@@ -1,0 +1,279 @@
+//! Pattern recognition around a trapped `syscall` instruction.
+//!
+//! "Before forwarding the syscall request, ABOM checks the binary around
+//! the syscall instruction and sees if it matches any pattern that it
+//! recognizes" (§4.4). ABOM never scans whole binaries online — it looks
+//! only at the few bytes *preceding* the trapping instruction.
+
+use std::fmt;
+
+use xc_isa::image::BinaryImage;
+use xc_isa::inst::Reg;
+
+use crate::table::MAX_SYSCALL_NR;
+
+/// A recognized `mov` + `syscall` pattern, with the addresses needed to
+/// patch it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pattern {
+    /// Case 1 (7-byte replacement): `b8 imm32` (`mov $nr,%eax`, 5 bytes)
+    /// immediately before the `syscall`.
+    MovEaxImm {
+        /// Address of the `mov`.
+        mov_addr: u64,
+        /// The (validated) syscall number.
+        nr: u64,
+    },
+    /// Case 2 (7-byte replacement): `48 8b 44 24 disp`
+    /// (`mov disp(%rsp),%rax`, 5 bytes) immediately before the `syscall` —
+    /// the Go runtime's calling convention.
+    MovRaxFromStack {
+        /// Address of the `mov`.
+        mov_addr: u64,
+        /// Stack displacement holding the syscall number.
+        disp: u8,
+    },
+    /// Case 3 (9-byte two-phase replacement): `48 c7 c0 imm32`
+    /// (`mov $nr,%rax`, 7 bytes) immediately before the `syscall`.
+    MovRaxImm {
+        /// Address of the `mov`.
+        mov_addr: u64,
+        /// The (validated) syscall number.
+        nr: u64,
+    },
+}
+
+impl Pattern {
+    /// Address of the first byte the replacement overwrites.
+    pub fn mov_addr(&self) -> u64 {
+        match *self {
+            Pattern::MovEaxImm { mov_addr, .. }
+            | Pattern::MovRaxFromStack { mov_addr, .. }
+            | Pattern::MovRaxImm { mov_addr, .. } => mov_addr,
+        }
+    }
+
+    /// Total length of the original `mov`+`syscall` pair.
+    pub fn pair_len(&self) -> usize {
+        match self {
+            Pattern::MovEaxImm { .. } | Pattern::MovRaxFromStack { .. } => 7,
+            Pattern::MovRaxImm { .. } => 9,
+        }
+    }
+}
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Pattern::MovEaxImm { mov_addr, nr } => {
+                write!(f, "case1 mov $\u{23}{nr},%eax at {mov_addr:#x}")
+            }
+            Pattern::MovRaxFromStack { mov_addr, disp } => {
+                write!(f, "case2 mov {disp:#x}(%rsp),%rax at {mov_addr:#x}")
+            }
+            Pattern::MovRaxImm { mov_addr, nr } => {
+                write!(f, "case3 mov $\u{23}{nr},%rax at {mov_addr:#x}")
+            }
+        }
+    }
+}
+
+/// Checks whether the bytes at `syscall_addr` are `0f 05`.
+pub fn is_syscall_at(image: &BinaryImage, syscall_addr: u64) -> bool {
+    matches!(image.read_bytes(syscall_addr, 2), Ok([0x0f, 0x05]))
+}
+
+/// Recognizes one of the three patterns ending in the `syscall` at
+/// `syscall_addr`, by inspecting the immediately preceding bytes.
+///
+/// Returns `None` when no pattern matches — e.g. the number is set far
+/// from the `syscall` (libpthread's cancellable wrappers), set via a
+/// non-immediate `mov`, or the syscall number exceeds the entry table.
+///
+/// The 7-byte `mov $nr,%rax` form is checked before the 5-byte forms: if
+/// the 7 preceding bytes decode as the REX.W mov, the 5-byte window would
+/// misread its immediate bytes.
+pub fn recognize(image: &BinaryImage, syscall_addr: u64) -> Option<Pattern> {
+    if !is_syscall_at(image, syscall_addr) {
+        return None;
+    }
+
+    // Case 3: 48 c7 c0 imm32 (7 bytes).
+    if syscall_addr >= image.base() + 7 {
+        if let Ok(bytes) = image.read_bytes(syscall_addr - 7, 7) {
+            if bytes[0] == 0x48 && bytes[1] == 0xc7 && bytes[2] == 0xc0 {
+                let imm = u32::from_le_bytes([bytes[3], bytes[4], bytes[5], bytes[6]]) as i32;
+                if imm >= 0 && u64::from(imm as u32) <= MAX_SYSCALL_NR {
+                    return Some(Pattern::MovRaxImm {
+                        mov_addr: syscall_addr - 7,
+                        nr: u64::from(imm as u32),
+                    });
+                }
+            }
+        }
+    }
+
+    // 5-byte cases.
+    if syscall_addr >= image.base() + 5 {
+        if let Ok(bytes) = image.read_bytes(syscall_addr - 5, 5) {
+            // Case 1: b8 imm32 — mov $nr,%eax specifically (other registers
+            // do not feed the syscall number).
+            if bytes[0] == 0xb8 + Reg::Rax.code() {
+                let nr = u64::from(u32::from_le_bytes([bytes[1], bytes[2], bytes[3], bytes[4]]));
+                if nr <= MAX_SYSCALL_NR {
+                    return Some(Pattern::MovEaxImm {
+                        mov_addr: syscall_addr - 5,
+                        nr,
+                    });
+                }
+            }
+            // Case 2: 48 8b 44 24 disp — mov disp(%rsp),%rax.
+            if bytes[0] == 0x48 && bytes[1] == 0x8b && bytes[2] == 0x44 && bytes[3] == 0x24 {
+                return Some(Pattern::MovRaxFromStack {
+                    mov_addr: syscall_addr - 5,
+                    disp: bytes[4],
+                });
+            }
+        }
+    }
+
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xc_isa::asm::Assembler;
+    use xc_isa::inst::Inst;
+
+    fn build(insts: &[Inst]) -> (BinaryImage, u64) {
+        let mut a = Assembler::new(0x40_0000);
+        a.inst(Inst::Nop); // some preceding content
+        let mut syscall_addr = 0;
+        for inst in insts {
+            if *inst == Inst::Syscall {
+                syscall_addr = a.here();
+            }
+            a.inst(*inst);
+        }
+        (a.finish().unwrap(), syscall_addr)
+    }
+
+    #[test]
+    fn recognizes_case1() {
+        let (img, at) = build(&[
+            Inst::MovImm32 { reg: Reg::Rax, imm: 1 },
+            Inst::Syscall,
+            Inst::Ret,
+        ]);
+        assert_eq!(
+            recognize(&img, at),
+            Some(Pattern::MovEaxImm { mov_addr: at - 5, nr: 1 })
+        );
+    }
+
+    #[test]
+    fn recognizes_case2() {
+        let (img, at) = build(&[
+            Inst::LoadRspDisp8R64 { reg: Reg::Rax, disp: 8 },
+            Inst::Syscall,
+            Inst::Ret,
+        ]);
+        assert_eq!(
+            recognize(&img, at),
+            Some(Pattern::MovRaxFromStack { mov_addr: at - 5, disp: 8 })
+        );
+    }
+
+    #[test]
+    fn recognizes_case3() {
+        let (img, at) = build(&[
+            Inst::MovImm32SxR64 { reg: Reg::Rax, imm: 15 },
+            Inst::Syscall,
+            Inst::Ret,
+        ]);
+        let p = recognize(&img, at).unwrap();
+        assert_eq!(p, Pattern::MovRaxImm { mov_addr: at - 7, nr: 15 });
+        assert_eq!(p.pair_len(), 9);
+    }
+
+    #[test]
+    fn rejects_mov_to_other_register() {
+        let (img, at) = build(&[
+            Inst::MovImm32 { reg: Reg::Rdi, imm: 1 },
+            Inst::Syscall,
+            Inst::Ret,
+        ]);
+        assert_eq!(recognize(&img, at), None);
+    }
+
+    #[test]
+    fn rejects_non_adjacent_mov() {
+        // libpthread cancellable pattern: a check between mov and syscall.
+        let (img, at) = build(&[
+            Inst::MovImm32 { reg: Reg::Rax, imm: 1 },
+            Inst::TestEaxEax,
+            Inst::Syscall,
+            Inst::Ret,
+        ]);
+        assert_eq!(recognize(&img, at), None);
+    }
+
+    #[test]
+    fn rejects_out_of_range_number() {
+        let (img, at) = build(&[
+            Inst::MovImm32 { reg: Reg::Rax, imm: 100_000 },
+            Inst::Syscall,
+            Inst::Ret,
+        ]);
+        assert_eq!(recognize(&img, at), None);
+        let (img, at) = build(&[
+            Inst::MovImm32SxR64 { reg: Reg::Rax, imm: -1 },
+            Inst::Syscall,
+            Inst::Ret,
+        ]);
+        assert_eq!(recognize(&img, at), None);
+    }
+
+    #[test]
+    fn rejects_syscall_at_image_start() {
+        let mut a = Assembler::new(0x40_0000);
+        a.inst(Inst::Syscall);
+        let img = a.finish().unwrap();
+        assert_eq!(recognize(&img, 0x40_0000), None);
+    }
+
+    #[test]
+    fn rejects_when_not_actually_syscall() {
+        let (img, _) = build(&[
+            Inst::MovImm32 { reg: Reg::Rax, imm: 1 },
+            Inst::Syscall,
+            Inst::Ret,
+        ]);
+        // Address of the mov, not the syscall.
+        assert_eq!(recognize(&img, 0x40_0001), None);
+    }
+
+    #[test]
+    fn case3_preferred_over_misread_case1() {
+        // mov $0xb8??,%rax would expose a b8 byte at offset -5 if scanned
+        // naively; ensure the 7-byte form wins.
+        let (img, at) = build(&[
+            Inst::MovImm32SxR64 { reg: Reg::Rax, imm: 0 },
+            Inst::Syscall,
+            Inst::Ret,
+        ]);
+        assert!(matches!(
+            recognize(&img, at),
+            Some(Pattern::MovRaxImm { nr: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn pattern_display() {
+        let p = Pattern::MovEaxImm { mov_addr: 0x10, nr: 3 };
+        assert!(p.to_string().contains("case1"));
+        assert_eq!(p.mov_addr(), 0x10);
+        assert_eq!(p.pair_len(), 7);
+    }
+}

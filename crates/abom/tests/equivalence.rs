@@ -1,0 +1,236 @@
+//! Execution-equivalence properties of ABOM (§4.4).
+//!
+//! The paper argues informally that binary patching is safe: 7-byte
+//! replacements are a single atomic exchange, the 9-byte replacement is
+//! staged so "any intermediate state of the binary is still valid", the
+//! handler fixes up return addresses, and a #UD trap recovers jumps into a
+//! patched call's interior. These tests *prove* those claims for the
+//! modelled subset by running programs under every configuration and
+//! comparing syscall traces.
+
+use proptest::prelude::*;
+
+use xc_abom::binaries::{invoke, invoke_with, library_image, WrapperSpec, WrapperStyle};
+use xc_abom::handler::XContainerKernel;
+use xc_abom::patcher::AbomConfig;
+use xc_abom::table::MAX_SYSCALL_NR;
+
+fn arb_style() -> impl Strategy<Value = WrapperStyle> {
+    prop_oneof![
+        Just(WrapperStyle::GlibcSmall),
+        Just(WrapperStyle::GlibcLarge),
+        Just(WrapperStyle::GoStack),
+        Just(WrapperStyle::PthreadCancellable),
+        Just(WrapperStyle::IndirectNumber),
+        Just(WrapperStyle::XorZeroRead),
+    ]
+}
+
+#[derive(Debug, Clone)]
+struct LibraryPlan {
+    specs: Vec<WrapperSpec>,
+    /// Sequence of (wrapper index, stack nr for Go wrappers).
+    calls: Vec<(usize, u64)>,
+}
+
+fn arb_plan() -> impl Strategy<Value = LibraryPlan> {
+    let wrappers = proptest::collection::vec((arb_style(), 0..=MAX_SYSCALL_NR), 1..6);
+    (wrappers, proptest::collection::vec(any::<(u16, u64)>(), 1..40)).prop_map(
+        |(styles, raw_calls)| {
+            let specs: Vec<WrapperSpec> = styles
+                .into_iter()
+                .enumerate()
+                .map(|(index, (style, nr))| WrapperSpec { index, style, nr })
+                .collect();
+            let calls = raw_calls
+                .into_iter()
+                .map(|(w, nr)| (usize::from(w) % specs.len(), nr % (MAX_SYSCALL_NR + 1)))
+                .collect();
+            LibraryPlan { specs, calls }
+        },
+    )
+}
+
+/// Runs the plan under a kernel config and returns the syscall-number
+/// trace.
+fn run_plan(plan: &LibraryPlan, config: AbomConfig) -> Vec<u64> {
+    let mut image = library_image(&plan.specs);
+    let mut kernel = XContainerKernel::with_config(config);
+    for &(widx, stack_nr) in &plan.calls {
+        let spec = plan.specs[widx];
+        let entry = image
+            .symbol(&format!("wrapper_{}", spec.index))
+            .expect("wrapper symbol");
+        let arg = spec.style.takes_stack_number().then_some(stack_nr);
+        let rdi = spec.style.takes_register_number().then_some(stack_nr);
+        invoke_with(&mut image, &mut kernel, entry, arg, rdi).expect("invocation");
+    }
+    kernel.syscall_numbers()
+}
+
+/// Runs the plan with offline patching applied first, ABOM disabled.
+fn run_plan_offline(plan: &LibraryPlan) -> Vec<u64> {
+    let image = library_image(&plan.specs);
+    let (mut patched, _) = xc_abom::offline::OfflinePatcher::new()
+        .patch(&image)
+        .expect("offline patch");
+    let mut kernel = XContainerKernel::with_config(AbomConfig {
+        enabled: false,
+        nine_byte_phase2: true,
+    });
+    for &(widx, stack_nr) in &plan.calls {
+        let spec = plan.specs[widx];
+        let entry = patched
+            .symbol(&format!("wrapper_{}", spec.index))
+            .expect("wrapper symbol");
+        let arg = spec.style.takes_stack_number().then_some(stack_nr);
+        let rdi = spec.style.takes_register_number().then_some(stack_nr);
+        invoke_with(&mut patched, &mut kernel, entry, arg, rdi).expect("invocation");
+    }
+    kernel.syscall_numbers()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Online ABOM never changes program semantics: the syscall trace with
+    /// patching enabled equals the trace with patching disabled, for
+    /// arbitrary wrapper libraries and call sequences.
+    #[test]
+    fn online_patching_preserves_traces(plan in arb_plan()) {
+        let baseline = run_plan(&plan, AbomConfig { enabled: false, nine_byte_phase2: true });
+        let patched = run_plan(&plan, AbomConfig::default());
+        prop_assert_eq!(baseline, patched);
+    }
+
+    /// Phase 1 of the 9-byte replacement alone (interrupted patch — a
+    /// concurrent vCPU may execute this state indefinitely) is equivalent.
+    #[test]
+    fn nine_byte_phase1_state_is_valid(plan in arb_plan()) {
+        let baseline = run_plan(&plan, AbomConfig { enabled: false, nine_byte_phase2: true });
+        let phase1 = run_plan(&plan, AbomConfig { enabled: true, nine_byte_phase2: false });
+        prop_assert_eq!(baseline, phase1);
+    }
+
+    /// The offline detour patcher preserves semantics, including for the
+    /// cancellable wrappers online ABOM cannot touch.
+    #[test]
+    fn offline_patching_preserves_traces(plan in arb_plan()) {
+        let baseline = run_plan(&plan, AbomConfig { enabled: false, nine_byte_phase2: true });
+        let offline = run_plan_offline(&plan);
+        prop_assert_eq!(baseline, offline);
+    }
+
+    /// Re-running a fully patched image yields pure function-call dispatch:
+    /// after a warm-up pass over every wrapper, no syscall ever traps
+    /// again (for patchable styles).
+    #[test]
+    fn warm_image_never_traps_for_patchable_styles(
+        styles in proptest::collection::vec((0..3usize, 0..=MAX_SYSCALL_NR), 1..5),
+        reps in 1..5usize,
+    ) {
+        let patchable = [
+            WrapperStyle::GlibcSmall,
+            WrapperStyle::GlibcLarge,
+            WrapperStyle::GoStack,
+        ];
+        let specs: Vec<WrapperSpec> = styles
+            .iter()
+            .enumerate()
+            .map(|(index, &(s, nr))| WrapperSpec { index, style: patchable[s], nr })
+            .collect();
+        let mut image = library_image(&specs);
+        let mut kernel = XContainerKernel::new();
+        // Warm-up: every site traps exactly once and is patched.
+        for spec in &specs {
+            let entry = image.symbol(&format!("wrapper_{}", spec.index)).unwrap();
+            let arg = spec.style.takes_stack_number().then_some(spec.nr);
+            invoke(&mut image, &mut kernel, entry, arg).unwrap();
+        }
+        prop_assert_eq!(kernel.stats().trapped, specs.len() as u64);
+        // Steady state: zero traps.
+        let warm_traps = kernel.stats().trapped;
+        for _ in 0..reps {
+            for spec in &specs {
+                let entry = image.symbol(&format!("wrapper_{}", spec.index)).unwrap();
+                let arg = spec.style.takes_stack_number().then_some(spec.nr);
+                invoke(&mut image, &mut kernel, entry, arg).unwrap();
+            }
+        }
+        prop_assert_eq!(kernel.stats().trapped, warm_traps);
+        prop_assert_eq!(
+            kernel.stats().via_function_call,
+            (reps * specs.len()) as u64
+        );
+    }
+}
+
+/// Deterministic regression: the mid-patch interleaving the paper worries
+/// about — one vCPU executes the wrapper *between* phase 1 and phase 2 of
+/// the 9-byte replacement.
+#[test]
+fn nine_byte_interleaved_execution_is_equivalent() {
+    use xc_isa::cpu::Cpu;
+
+    let specs = [WrapperSpec { index: 0, style: WrapperStyle::GlibcLarge, nr: 15 }];
+
+    // vCPU A: trap patches phase 1 only (simulating preemption before
+    // phase 2).
+    let mut image = library_image(&specs);
+    let entry = image.symbol("wrapper_0").unwrap();
+    let mut kernel_a = XContainerKernel::with_config(AbomConfig {
+        enabled: true,
+        nine_byte_phase2: false,
+    });
+    invoke(&mut image, &mut kernel_a, entry, None).unwrap();
+    assert_eq!(kernel_a.syscall_numbers(), vec![15]);
+
+    // vCPU B: executes the phase-1 state (call + leftover syscall). The
+    // handler must skip the leftover syscall at the return address.
+    let mut kernel_b = XContainerKernel::with_config(AbomConfig {
+        enabled: false,
+        nine_byte_phase2: true,
+    });
+    let mut cpu = Cpu::new(entry);
+    cpu.push_halt_frame().unwrap();
+    cpu.run(&mut image, &mut kernel_b, 1000).unwrap();
+    assert_eq!(kernel_b.syscall_numbers(), vec![15], "exactly one syscall, not two");
+    assert_eq!(kernel_b.stats().via_function_call, 1);
+    assert_eq!(kernel_b.stats().trapped, 0);
+
+    // Phase 2 later completes; execution still equivalent.
+    let mut kernel_c = XContainerKernel::new(); // patching enabled
+    invoke(&mut image, &mut kernel_c, entry, None).unwrap();
+    assert_eq!(kernel_c.syscall_numbers(), vec![15]);
+}
+
+/// Deterministic regression for the jump-into-the-middle #UD recovery.
+#[test]
+fn jump_into_patched_call_interior_recovers() {
+    use xc_isa::asm::Assembler;
+    use xc_isa::inst::{Inst, Reg};
+
+    let mut a = Assembler::new(0x40_0000);
+    a.label("wrapper").unwrap();
+    a.inst(Inst::MovImm32 { reg: Reg::Rax, imm: 7 });
+    a.label("sysc").unwrap();
+    a.inst(Inst::Syscall);
+    a.inst(Inst::Ret);
+    a.label("jumper").unwrap();
+    a.inst(Inst::MovImm32 { reg: Reg::Rax, imm: 7 });
+    a.jmp_to("sysc");
+    let mut image = a.finish().unwrap();
+    image.protect_all(false);
+
+    let wrapper = image.symbol("wrapper").unwrap();
+    let jumper = image.symbol("jumper").unwrap();
+    let mut kernel = XContainerKernel::new();
+
+    // Patch through the normal path.
+    invoke(&mut image, &mut kernel, wrapper, None).unwrap();
+    // The jumper now lands on the 60 ff tail; the #UD fixer must recover
+    // and the syscall trace must match the unpatched semantics.
+    invoke(&mut image, &mut kernel, jumper, None).unwrap();
+    assert_eq!(kernel.syscall_numbers(), vec![7, 7]);
+    assert_eq!(kernel.stats().ud_fixups, 1);
+}

@@ -1,0 +1,70 @@
+//! Criterion benchmarks for the ABOM pipeline: pattern recognition,
+//! online patching, interpreted wrapper execution, and the offline
+//! detour tool.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use xcontainers::abom::binaries::{
+    glibc_wrapper_image, invoke, library_image, WrapperSpec, WrapperStyle,
+};
+use xcontainers::abom::offline::OfflinePatcher;
+use xcontainers::abom::patcher::Abom;
+use xcontainers::abom::patterns::recognize;
+use xcontainers::prelude::*;
+
+fn pattern_recognition(c: &mut Criterion) {
+    let image = glibc_wrapper_image(1);
+    let syscall_addr = image.symbol("wrapper").unwrap() + 5;
+    c.bench_function("abom/recognize_case1", |b| {
+        b.iter(|| black_box(recognize(&image, syscall_addr)))
+    });
+}
+
+fn online_patch(c: &mut Criterion) {
+    c.bench_function("abom/patch_case1", |b| {
+        b.iter_batched(
+            || (glibc_wrapper_image(1), Abom::new()),
+            |(mut image, mut abom)| {
+                let at = image.symbol("wrapper").unwrap() + 5;
+                black_box(abom.on_syscall_trap(&mut image, at))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn interpreted_execution(c: &mut Criterion) {
+    c.bench_function("abom/warm_wrapper_invocation", |b| {
+        let mut image = glibc_wrapper_image(1);
+        let entry = image.symbol("wrapper").unwrap();
+        let mut kernel = XContainerKernel::new();
+        // Warm: first invocation patches.
+        invoke(&mut image, &mut kernel, entry, None).unwrap();
+        b.iter(|| {
+            invoke(&mut image, &mut kernel, entry, None).unwrap();
+            black_box(kernel.stats().via_function_call)
+        })
+    });
+}
+
+fn offline_tool(c: &mut Criterion) {
+    let specs: Vec<WrapperSpec> = (0..32)
+        .map(|index| WrapperSpec {
+            index,
+            style: if index % 3 == 0 {
+                WrapperStyle::PthreadCancellable
+            } else {
+                WrapperStyle::GlibcSmall
+            },
+            nr: index as u64,
+        })
+        .collect();
+    let image = library_image(&specs);
+    c.bench_function("abom/offline_patch_32_wrappers", |b| {
+        b.iter(|| black_box(OfflinePatcher::new().patch(&image).unwrap().1.total_patched()))
+    });
+}
+
+criterion_group!(benches, pattern_recognition, online_patch, interpreted_execution, offline_tool);
+criterion_main!(benches);

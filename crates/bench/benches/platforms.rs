@@ -1,0 +1,59 @@
+//! Criterion benchmarks for platform cost evaluation and the closed-loop
+//! workload simulator — the paths every figure harness hammers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use xcontainers::prelude::*;
+use xcontainers::workloads::apps::nginx_static;
+use xcontainers::workloads::http::run_closed_loop;
+use xcontainers::workloads::scalability::{throughput, ScalabilityConfig};
+use xcontainers::workloads::table1::table1_profiles;
+
+fn cost_evaluation(c: &mut Criterion) {
+    let costs = CostModel::skylake_cloud();
+    let platforms = Platform::cloud_configurations(CloudEnv::GoogleGce);
+    c.bench_function("platform/syscall_cost_all_configs", |b| {
+        b.iter(|| {
+            let total: u64 = platforms
+                .iter()
+                .map(|p| p.syscall_cost(&costs).as_nanos())
+                .sum();
+            black_box(total)
+        })
+    });
+    let profile = nginx_static();
+    c.bench_function("platform/service_time_nginx", |b| {
+        let p = Platform::x_container(CloudEnv::AmazonEc2, true);
+        b.iter(|| black_box(profile.service_time(&p, &costs)))
+    });
+}
+
+fn closed_loop(c: &mut Criterion) {
+    let costs = CostModel::skylake_cloud();
+    let server = ServerModel {
+        platform: Platform::docker(CloudEnv::AmazonEc2, true),
+        profile: nginx_static(),
+        workers: 4,
+        cores: 4,
+    };
+    c.bench_function("workload/closed_loop_50conn_50ms", |b| {
+        b.iter(|| {
+            black_box(run_closed_loop(&server, &costs, 50, Nanos::from_millis(50), 7).throughput_rps)
+        })
+    });
+}
+
+fn figure_sweeps(c: &mut Criterion) {
+    let costs = CostModel::skylake_cloud();
+    c.bench_function("workload/fig8_point_n400", |b| {
+        b.iter(|| black_box(throughput(ScalabilityConfig::XContainer, 400, &costs)))
+    });
+    c.bench_function("workload/table1_memcached_2k_syscalls", |b| {
+        let profile = table1_profiles().remove(0);
+        b.iter(|| black_box(profile.measure(2_000, 42).online_reduction))
+    });
+}
+
+criterion_group!(benches, cost_evaluation, closed_loop, figure_sweeps);
+criterion_main!(benches);

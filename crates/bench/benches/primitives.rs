@@ -1,0 +1,123 @@
+//! Criterion benchmarks for the simulation substrate: event queue,
+//! RNG, histogram, and the two schedulers. These guard the *model's own*
+//! performance so figure regeneration stays fast.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use xcontainers::libos::sched::{FairScheduler, WEIGHT_NICE_0};
+use xcontainers::prelude::*;
+use xcontainers::sim::engine::{EventQueue, Simulation, World};
+use xcontainers::xen::sched::CreditScheduler;
+
+struct Chain;
+impl World for Chain {
+    type Event = u32;
+    fn handle(&mut self, _now: Nanos, depth: u32, queue: &mut EventQueue<u32>) {
+        if depth > 0 {
+            queue.schedule_in(Nanos::from_nanos(10), depth - 1);
+        }
+    }
+}
+
+fn engine(c: &mut Criterion) {
+    c.bench_function("engine/10k_chained_events", |b| {
+        b.iter_batched(
+            || {
+                let mut sim = Simulation::new(Chain);
+                sim.queue_mut().schedule_at(Nanos::ZERO, 10_000);
+                sim
+            },
+            |mut sim| {
+                sim.run();
+                black_box(sim.steps())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn rng(c: &mut Criterion) {
+    c.bench_function("rng/next_u64", |b| {
+        let mut r = Rng::new(7);
+        b.iter(|| black_box(r.next_u64()))
+    });
+    c.bench_function("rng/zipf_1e6", |b| {
+        let mut r = Rng::new(7);
+        b.iter(|| black_box(r.zipf(1_000_000, 0.9)))
+    });
+}
+
+fn histogram(c: &mut Criterion) {
+    c.bench_function("histogram/record", |b| {
+        let mut h = Histogram::new();
+        let mut v = 1u64;
+        b.iter(|| {
+            v = v.wrapping_mul(6364136223846793005).wrapping_add(1);
+            h.record(black_box(v >> 20));
+        })
+    });
+    c.bench_function("histogram/quantile_p99", |b| {
+        let h: Histogram = (1..100_000u64).collect();
+        b.iter(|| black_box(h.quantile(0.99)))
+    });
+}
+
+fn schedulers(c: &mut Criterion) {
+    c.bench_function("cfs/pick_account_64_tasks", |b| {
+        let mut s = FairScheduler::new();
+        for _ in 0..64 {
+            let t = s.add_task(WEIGHT_NICE_0);
+            s.set_runnable(t, true);
+        }
+        b.iter(|| {
+            let t = s.pick_next().expect("runnable");
+            s.account(t, Nanos::from_micros(750));
+            black_box(t)
+        })
+    });
+    c.bench_function("credit/tick_400_vcpus_16_pcpus", |b| {
+        let mut s = CreditScheduler::new(16);
+        for _ in 0..400 {
+            let v = s.add_vcpu(256);
+            s.set_runnable(v, true).expect("vcpu");
+        }
+        b.iter(|| black_box(s.tick().len()))
+    });
+}
+
+fn substrate(c: &mut Criterion) {
+    use xcontainers::libos::netdev::VirtualNic;
+    use xcontainers::xen::domain::DomainId;
+
+    c.bench_function("netdev/send_poll_reap_batch32", |b| {
+        b.iter_batched(
+            || VirtualNic::connect(DomainId(3), DomainId(2)).expect("handshake"),
+            |mut nic| {
+                for i in 0..32u32 {
+                    nic.send(&i.to_le_bytes()).expect("send");
+                }
+                nic.backend_poll().expect("poll");
+                black_box(nic.frontend_reap().expect("reap"))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    use xcontainers::libos::kernel::GuestKernel;
+    use xcontainers::libos::Backend;
+    c.bench_function("guest_kernel/pipe_roundtrip", |b| {
+        let costs = CostModel::skylake_cloud();
+        let mut k = GuestKernel::new(Backend::XKernel, KernelConfig::xlibos_default());
+        k.spawn("bench", 100, &costs).expect("spawn");
+        let pipe = k.pipe(&costs);
+        let mut buf = [0u8; 64];
+        b.iter(|| {
+            k.write_pipe(pipe, &[1u8; 64], &costs).expect("write");
+            black_box(k.read_pipe(pipe, &mut buf, &costs).expect("read"))
+        })
+    });
+}
+
+criterion_group!(benches, engine, rng, histogram, schedulers, substrate);
+criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! # xc-bench — harnesses that regenerate every table and figure
+//!
+//! One binary per experiment (run with `cargo run -p xc-bench --bin
+//! <name>`):
+//!
+//! | Binary | Reproduces |
+//! |---|---|
+//! | `table1` | Table 1 — ABOM syscall reduction per application |
+//! | `fig3_macro` | Figure 3 — NGINX/memcached/Redis relative throughput & latency |
+//! | `fig4_syscall` | Figure 4 — relative syscall throughput, single + concurrent |
+//! | `fig5_micro` | Figure 5 — UnixBench microbenchmarks + iperf, 4 panels |
+//! | `fig6_libos` | Figure 6 — Graphene/Unikernel/X-Container comparison |
+//! | `fig8_scalability` | Figure 8 — throughput vs number of containers |
+//! | `fig9_loadbalance` | Figure 9 — HAProxy vs IPVS load balancing |
+//! | `spawn_time` | §4.5 — container instantiation latency (extension) |
+//! | `ablations` | DESIGN.md §4 — ABOM, global-bit, scheduling, KPTI ablations |
+//! | `security_matrix` | §3.4 — TCB and attack-surface comparison (extension) |
+//! | `rdma_study` | §5.7 — soft-RDMA capability study (extension) |
+//! | `all_experiments` | combined acceptance pass over all findings |
+//!
+//! Every harness prints the paper's expected shape next to the measured
+//! value and appends a machine-readable record through [`record`].
+//!
+//! The Criterion benches (`cargo bench -p xc-bench`) measure the *model
+//! itself* (simulator throughput, ABOM patch latency, platform cost
+//! evaluation) so regressions in the reproduction infrastructure are
+//! caught.
+
+use std::fs;
+use std::path::Path;
+
+use xcontainers::prelude::{Json, json_object};
+
+/// Where harnesses drop machine-readable results.
+pub const RESULTS_DIR: &str = "results";
+
+/// One paper-vs-measured comparison row.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Experiment id, e.g. `fig4`.
+    pub experiment: &'static str,
+    /// Short metric name, e.g. `x_vs_docker_amazon`.
+    pub metric: String,
+    /// What the paper reports (free text: "27x", "~2x", "18%").
+    pub paper: String,
+    /// What this reproduction measures.
+    pub measured: f64,
+    /// Whether the measured value is inside the acceptance band the
+    /// tests enforce.
+    pub in_band: bool,
+}
+
+impl Finding {
+    fn to_json(&self) -> Json {
+        json_object([
+            ("experiment", Json::from(self.experiment)),
+            ("metric", Json::from(self.metric.clone())),
+            ("paper", Json::from(self.paper.clone())),
+            ("measured", Json::from(self.measured)),
+            ("in_band", Json::from(self.in_band)),
+        ])
+    }
+}
+
+/// Serializes findings to `results/<experiment>.json` (creates the
+/// directory as needed). Errors are reported but non-fatal: harnesses
+/// must still print their tables on read-only filesystems.
+pub fn record(experiment: &str, findings: &[Finding]) {
+    let dir = Path::new(RESULTS_DIR);
+    if let Err(e) = fs::create_dir_all(dir) {
+        eprintln!("note: cannot create {RESULTS_DIR}/: {e}");
+        return;
+    }
+    let body = Json::Arr(findings.iter().map(Finding::to_json).collect()).to_string_compact();
+    let path = dir.join(format!("{experiment}.json"));
+    if let Err(e) = fs::write(&path, body) {
+        eprintln!("note: cannot write {}: {e}", path.display());
+    }
+}
+
+/// Formats a ratio as the figures do (`1.86x`).
+pub fn ratio(v: f64) -> String {
+    format!("{v:.2}x")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finding_serializes() {
+        let f = Finding {
+            experiment: "fig4",
+            metric: "x_vs_docker".to_owned(),
+            paper: "27x".to_owned(),
+            measured: 27.4,
+            in_band: true,
+        };
+        let json = f.to_json().to_string_compact();
+        assert!(json.contains("\"experiment\":\"fig4\""));
+        assert!(json.contains("27.4"));
+    }
+
+    #[test]
+    fn ratio_format() {
+        assert_eq!(ratio(1.855), "1.85x");
+    }
+}

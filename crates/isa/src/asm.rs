@@ -1,0 +1,340 @@
+//! A small assembler with labels.
+//!
+//! `xc-abom` and `xc-workloads` build synthetic application binaries —
+//! glibc-style syscall wrappers, Go-runtime-style wrappers, libpthread-style
+//! cancellable wrappers — out of the [`Inst`] subset. The assembler resolves
+//! label references for relative jumps/calls and produces a
+//! [`BinaryImage`] with symbols.
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::image::BinaryImage;
+use crate::inst::{Cond, Inst};
+
+/// Assembly errors, reported by [`Assembler::finish`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// A referenced label was never defined.
+    UndefinedLabel(String),
+    /// A label was defined twice.
+    DuplicateLabel(String),
+    /// A rel8 reference target is further than ±128 bytes away.
+    Rel8OutOfRange {
+        /// The label that was out of range.
+        label: String,
+        /// The computed displacement.
+        disp: i64,
+    },
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UndefinedLabel(l) => write!(f, "undefined label `{l}`"),
+            AsmError::DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
+            AsmError::Rel8OutOfRange { label, disp } => {
+                write!(f, "label `{l}` out of rel8 range (disp {disp})", l = label)
+            }
+        }
+    }
+}
+
+impl Error for AsmError {}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FixKind {
+    /// One displacement byte at `patch_at`, relative to `end_of_inst`.
+    Rel8,
+    /// Four displacement bytes at `patch_at`, relative to `end_of_inst`.
+    Rel32,
+}
+
+#[derive(Debug, Clone)]
+struct Fixup {
+    label: String,
+    patch_at: usize,
+    end_of_inst: usize,
+    kind: FixKind,
+}
+
+/// An incremental assembler producing a [`BinaryImage`].
+///
+/// # Example
+///
+/// ```
+/// use xc_isa::asm::Assembler;
+/// use xc_isa::inst::{Inst, Reg};
+///
+/// let mut a = Assembler::new(0x400000);
+/// a.label("__getpid").unwrap();
+/// a.inst(Inst::MovImm32 { reg: Reg::Rax, imm: 39 });
+/// a.inst(Inst::Syscall);
+/// a.inst(Inst::Ret);
+/// let image = a.finish().unwrap();
+/// assert_eq!(image.symbol("__getpid"), Some(0x400000));
+/// assert_eq!(image.read_bytes(0x400005, 2).unwrap(), [0x0f, 0x05]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Assembler {
+    base: u64,
+    bytes: Vec<u8>,
+    labels: BTreeMap<String, usize>,
+    fixups: Vec<Fixup>,
+}
+
+impl Assembler {
+    /// Starts assembling at virtual address `base`.
+    pub fn new(base: u64) -> Self {
+        Assembler {
+            base,
+            bytes: Vec::new(),
+            labels: BTreeMap::new(),
+            fixups: Vec::new(),
+        }
+    }
+
+    /// Current virtual address (where the next instruction lands).
+    pub fn here(&self) -> u64 {
+        self.base + self.bytes.len() as u64
+    }
+
+    /// Defines a label (and exported symbol) at the current position.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError::DuplicateLabel`] if the label already exists.
+    pub fn label(&mut self, name: &str) -> Result<&mut Self, AsmError> {
+        if self
+            .labels
+            .insert(name.to_owned(), self.bytes.len())
+            .is_some()
+        {
+            return Err(AsmError::DuplicateLabel(name.to_owned()));
+        }
+        Ok(self)
+    }
+
+    /// Emits one instruction.
+    pub fn inst(&mut self, inst: Inst) -> &mut Self {
+        inst.encode_into(&mut self.bytes);
+        self
+    }
+
+    /// Emits several instructions.
+    pub fn insts<I: IntoIterator<Item = Inst>>(&mut self, insts: I) -> &mut Self {
+        for i in insts {
+            self.inst(i);
+        }
+        self
+    }
+
+    /// Emits raw bytes (used for intentionally odd byte sequences).
+    pub fn raw(&mut self, bytes: &[u8]) -> &mut Self {
+        self.bytes.extend_from_slice(bytes);
+        self
+    }
+
+    /// Emits `int3` padding up to the next multiple of `align` bytes, like
+    /// linkers pad between functions.
+    pub fn align(&mut self, align: usize) -> &mut Self {
+        while !self.bytes.len().is_multiple_of(align) {
+            self.bytes.push(0xcc);
+        }
+        self
+    }
+
+    /// Emits `jmp rel32` to a label (resolved at [`Assembler::finish`]).
+    pub fn jmp_to(&mut self, label: &str) -> &mut Self {
+        self.bytes.push(0xe9);
+        self.push_fixup(label, FixKind::Rel32);
+        self
+    }
+
+    /// Emits `jmp rel8` to a label (must be within ±128 bytes).
+    pub fn jmp_short_to(&mut self, label: &str) -> &mut Self {
+        self.bytes.push(0xeb);
+        self.push_fixup(label, FixKind::Rel8);
+        self
+    }
+
+    /// Emits `jcc rel8` to a label.
+    pub fn jcc_to(&mut self, cond: Cond, label: &str) -> &mut Self {
+        self.bytes.push(match cond {
+            Cond::E => 0x74,
+            Cond::Ne => 0x75,
+        });
+        self.push_fixup(label, FixKind::Rel8);
+        self
+    }
+
+    /// Emits `call rel32` to a label.
+    pub fn call_to(&mut self, label: &str) -> &mut Self {
+        self.bytes.push(0xe8);
+        self.push_fixup(label, FixKind::Rel32);
+        self
+    }
+
+    fn push_fixup(&mut self, label: &str, kind: FixKind) {
+        let patch_at = self.bytes.len();
+        let width = match kind {
+            FixKind::Rel8 => 1,
+            FixKind::Rel32 => 4,
+        };
+        self.bytes.extend(std::iter::repeat_n(0u8, width));
+        self.fixups.push(Fixup {
+            label: label.to_owned(),
+            patch_at,
+            end_of_inst: self.bytes.len(),
+            kind,
+        });
+    }
+
+    /// Resolves fixups and produces the final image with all labels
+    /// exported as symbols.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`AsmError`] encountered (undefined label or rel8
+    /// range overflow).
+    pub fn finish(mut self) -> Result<BinaryImage, AsmError> {
+        for fix in &self.fixups {
+            let target = *self
+                .labels
+                .get(&fix.label)
+                .ok_or_else(|| AsmError::UndefinedLabel(fix.label.clone()))?;
+            let disp = target as i64 - fix.end_of_inst as i64;
+            match fix.kind {
+                FixKind::Rel8 => {
+                    let rel = i8::try_from(disp).map_err(|_| AsmError::Rel8OutOfRange {
+                        label: fix.label.clone(),
+                        disp,
+                    })?;
+                    self.bytes[fix.patch_at] = rel as u8;
+                }
+                FixKind::Rel32 => {
+                    let rel = disp as i32;
+                    self.bytes[fix.patch_at..fix.patch_at + 4]
+                        .copy_from_slice(&rel.to_le_bytes());
+                }
+            }
+        }
+        let mut image = BinaryImage::new(self.base, self.bytes);
+        for (name, off) in &self.labels {
+            image.add_symbol(name, self.base + *off as u64);
+        }
+        Ok(image)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode::{decode, disassemble};
+    use crate::inst::Reg;
+
+    #[test]
+    fn forward_and_backward_jumps_resolve() {
+        let mut a = Assembler::new(0x1000);
+        a.label("start").unwrap();
+        a.inst(Inst::Nop);
+        a.jmp_short_to("end");
+        a.inst(Inst::Nop); // skipped
+        a.label("end").unwrap();
+        a.jmp_to("start");
+        let img = a.finish().unwrap();
+        // jmp short at 0x1001: eb 01 (skip one nop).
+        assert_eq!(img.read_bytes(0x1001, 2).unwrap(), [0xeb, 0x01]);
+        // jmp rel32 back to start: e9 <-9>.
+        let d = decode(img.read_bytes(0x1004, 5).unwrap()).unwrap();
+        assert_eq!(d.inst, Inst::JmpRel32 { rel: -9 });
+    }
+
+    #[test]
+    fn call_to_label() {
+        let mut a = Assembler::new(0);
+        a.call_to("fn");
+        a.inst(Inst::Ret);
+        a.label("fn").unwrap();
+        a.inst(Inst::Ret);
+        let img = a.finish().unwrap();
+        let d = decode(img.read_bytes(0, 5).unwrap()).unwrap();
+        assert_eq!(d.inst, Inst::CallRel32 { rel: 1 });
+        assert_eq!(img.symbol("fn"), Some(6));
+    }
+
+    #[test]
+    fn undefined_label_error() {
+        let mut a = Assembler::new(0);
+        a.jmp_to("nowhere");
+        assert_eq!(
+            a.finish().unwrap_err(),
+            AsmError::UndefinedLabel("nowhere".to_owned())
+        );
+    }
+
+    #[test]
+    fn duplicate_label_error() {
+        let mut a = Assembler::new(0);
+        a.label("x").unwrap();
+        assert_eq!(a.label("x").unwrap_err(), AsmError::DuplicateLabel("x".to_owned()));
+    }
+
+    #[test]
+    fn rel8_range_check() {
+        let mut a = Assembler::new(0);
+        a.jmp_short_to("far");
+        for _ in 0..200 {
+            a.inst(Inst::Nop);
+        }
+        a.label("far").unwrap();
+        match a.finish().unwrap_err() {
+            AsmError::Rel8OutOfRange { label, disp } => {
+                assert_eq!(label, "far");
+                assert_eq!(disp, 200);
+            }
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn align_pads_with_int3() {
+        let mut a = Assembler::new(0);
+        a.inst(Inst::Nop);
+        a.align(16);
+        a.label("aligned").unwrap();
+        a.inst(Inst::Ret);
+        let img = a.finish().unwrap();
+        assert_eq!(img.symbol("aligned"), Some(16));
+        assert_eq!(img.read_bytes(1, 1).unwrap(), [0xcc]);
+    }
+
+    #[test]
+    fn assembled_code_disassembles_cleanly() {
+        let mut a = Assembler::new(0x400000);
+        a.label("wrapper").unwrap();
+        a.inst(Inst::PushRbp);
+        a.inst(Inst::MovImm32 { reg: Reg::Rax, imm: 1 });
+        a.inst(Inst::Syscall);
+        a.inst(Inst::TestEaxEax);
+        a.jcc_to(Cond::Ne, "out");
+        a.inst(Inst::Nop);
+        a.label("out").unwrap();
+        a.inst(Inst::PopRbp);
+        a.inst(Inst::Ret);
+        let img = a.finish().unwrap();
+        let bytes = img.read_bytes(img.base(), img.len()).unwrap();
+        let (insts, err) = disassemble(bytes);
+        assert!(err.is_none(), "disassembly failed: {err:?}");
+        assert_eq!(insts.len(), 8);
+    }
+
+    #[test]
+    fn here_tracks_position() {
+        let mut a = Assembler::new(0x100);
+        assert_eq!(a.here(), 0x100);
+        a.inst(Inst::Syscall);
+        assert_eq!(a.here(), 0x102);
+    }
+}

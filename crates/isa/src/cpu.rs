@@ -1,0 +1,691 @@
+//! A mini x86-64 interpreter.
+//!
+//! The interpreter exists to *prove* properties of ABOM that the paper
+//! argues informally in §4.4: that a patched binary is execution-equivalent
+//! to the original, that **every intermediate state** of the two-phase
+//! 9-byte replacement is valid, and that the jump-into-the-middle case is
+//! recovered by the invalid-opcode trap handler. `xc-abom`'s tests run the
+//! same program under trap semantics, patched semantics, and interrupted
+//! mid-patch semantics, and compare the resulting syscall traces.
+//!
+//! The machine model is deliberately small: eight general-purpose
+//! registers, a zero flag, a byte-addressed stack, and three trap hooks
+//! ([`Hooks`]) through which the "kernel" (ABOM + X-LibOS in `xc-abom`)
+//! observes syscalls, vsyscall-table calls, and invalid-opcode faults.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::decode::{decode, DecodeError};
+use crate::image::BinaryImage;
+use crate::inst::{Cond, Inst, Reg};
+
+/// Virtual address of the top of the simulated user stack.
+pub const STACK_TOP: u64 = 0x7fff_ffff_0000;
+/// Size of the simulated user stack in bytes.
+pub const STACK_SIZE: u64 = 64 * 1024;
+
+/// What the kernel hook wants the CPU to do next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Flow {
+    /// Keep executing.
+    Continue,
+    /// Stop the CPU (e.g. the process exited).
+    Halt,
+}
+
+/// Kernel-side handlers for the three traps the interpreter raises.
+///
+/// `xc-abom` implements this for the X-Kernel + X-LibOS pair; tests
+/// implement it for plain trap-and-record kernels.
+pub trait Hooks {
+    /// A `syscall` instruction executed; `cpu.reg(Reg::Rax)` holds the
+    /// number. Called **before** `rip` advances past the instruction, so
+    /// the hook sees the syscall site (ABOM patches around it). After the
+    /// hook returns, the CPU sets `rip` to the instruction end.
+    fn on_syscall(&mut self, cpu: &mut Cpu, image: &mut BinaryImage) -> Flow;
+
+    /// A `call [disp32]` targeting an address outside the image (the
+    /// vsyscall page). `rip` has already been advanced to the return
+    /// address; the hook may bump it (the §4.4 return-address fix-up).
+    fn on_vsyscall_call(&mut self, target: u64, cpu: &mut Cpu, image: &mut BinaryImage) -> Flow;
+
+    /// An invalid opcode (#UD) at `cpu.rip()`. The hook may repair `rip`
+    /// (ABOM's jump-into-the-middle fixer) and return
+    /// [`Flow::Continue`]; returning `Continue` *without* changing `rip`
+    /// is reported as [`CpuError::UnhandledFault`] to avoid livelock.
+    fn on_invalid_opcode(&mut self, cpu: &mut Cpu, image: &mut BinaryImage) -> Flow;
+}
+
+/// Execution errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CpuError {
+    /// Instruction fetch/decoding failed at an address.
+    Decode {
+        /// Faulting address.
+        addr: u64,
+        /// Underlying decode failure.
+        source: DecodeError,
+    },
+    /// `rip` left the image without a hook intercepting.
+    FetchOutsideImage {
+        /// The runaway address.
+        addr: u64,
+    },
+    /// Stack overflow/underflow or unaligned stack access.
+    StackFault {
+        /// Faulting stack address.
+        addr: u64,
+    },
+    /// Execution hit an `int3` padding byte.
+    Breakpoint {
+        /// Address of the `int3`.
+        addr: u64,
+    },
+    /// A #UD was raised and the hook did not repair `rip`.
+    UnhandledFault {
+        /// Faulting address.
+        addr: u64,
+    },
+    /// `run` exceeded its step budget.
+    StepLimit,
+}
+
+impl fmt::Display for CpuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CpuError::Decode { addr, source } => write!(f, "decode fault at {addr:#x}: {source}"),
+            CpuError::FetchOutsideImage { addr } => {
+                write!(f, "instruction fetch outside image at {addr:#x}")
+            }
+            CpuError::StackFault { addr } => write!(f, "stack fault at {addr:#x}"),
+            CpuError::Breakpoint { addr } => write!(f, "breakpoint (int3) at {addr:#x}"),
+            CpuError::UnhandledFault { addr } => write!(f, "unhandled #UD at {addr:#x}"),
+            CpuError::StepLimit => write!(f, "step limit exceeded"),
+        }
+    }
+}
+
+impl Error for CpuError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CpuError::Decode { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// The interpreter state.
+///
+/// # Example
+///
+/// ```
+/// use xc_isa::asm::Assembler;
+/// use xc_isa::cpu::{Cpu, Flow, Hooks};
+/// use xc_isa::image::BinaryImage;
+/// use xc_isa::inst::{Inst, Reg};
+///
+/// struct Recorder(Vec<u64>);
+/// impl Hooks for Recorder {
+///     fn on_syscall(&mut self, cpu: &mut Cpu, _: &mut BinaryImage) -> Flow {
+///         self.0.push(cpu.reg(Reg::Rax));
+///         Flow::Continue
+///     }
+///     fn on_vsyscall_call(&mut self, _: u64, _: &mut Cpu, _: &mut BinaryImage) -> Flow {
+///         Flow::Continue
+///     }
+///     fn on_invalid_opcode(&mut self, _: &mut Cpu, _: &mut BinaryImage) -> Flow {
+///         Flow::Halt
+///     }
+/// }
+///
+/// let mut a = Assembler::new(0x1000);
+/// a.inst(Inst::MovImm32 { reg: Reg::Rax, imm: 39 }); // getpid
+/// a.inst(Inst::Syscall);
+/// a.inst(Inst::Ret);
+/// let mut image = a.finish().unwrap();
+///
+/// let mut cpu = Cpu::new(0x1000);
+/// cpu.push_halt_frame().unwrap(); // top-level `ret` halts
+/// let mut kernel = Recorder(Vec::new());
+/// cpu.run(&mut image, &mut kernel, 100).unwrap();
+/// assert_eq!(kernel.0, vec![39]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cpu {
+    rip: u64,
+    regs: [u64; 8],
+    zf: bool,
+    stack: Vec<u8>,
+    halted: bool,
+    steps: u64,
+}
+
+impl Cpu {
+    /// Creates a CPU with `rip` at `entry`, an empty stack, and zeroed
+    /// registers (except `rsp`, which points at [`STACK_TOP`]).
+    pub fn new(entry: u64) -> Self {
+        let mut regs = [0u64; 8];
+        regs[Reg::Rsp as usize] = STACK_TOP;
+        Cpu {
+            rip: entry,
+            regs,
+            zf: false,
+            stack: vec![0; STACK_SIZE as usize],
+            halted: false,
+            steps: 0,
+        }
+    }
+
+    /// Current instruction pointer.
+    pub fn rip(&self) -> u64 {
+        self.rip
+    }
+
+    /// Sets the instruction pointer (used by trap handlers).
+    pub fn set_rip(&mut self, rip: u64) {
+        self.rip = rip;
+    }
+
+    /// Reads a register.
+    pub fn reg(&self, reg: Reg) -> u64 {
+        self.regs[reg as usize]
+    }
+
+    /// Writes a register.
+    pub fn set_reg(&mut self, reg: Reg, value: u64) {
+        self.regs[reg as usize] = value;
+    }
+
+    /// Whether the CPU has halted.
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Instructions executed so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    fn stack_offset(&self, addr: u64, len: u64) -> Result<usize, CpuError> {
+        let bottom = STACK_TOP - STACK_SIZE;
+        if addr < bottom || addr + len > STACK_TOP {
+            return Err(CpuError::StackFault { addr });
+        }
+        Ok((addr - bottom) as usize)
+    }
+
+    /// Reads a little-endian u64 from the stack region.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CpuError::StackFault`] outside the stack range.
+    pub fn read_stack_u64(&self, addr: u64) -> Result<u64, CpuError> {
+        let off = self.stack_offset(addr, 8)?;
+        Ok(u64::from_le_bytes(
+            self.stack[off..off + 8].try_into().expect("8-byte slice"),
+        ))
+    }
+
+    /// Writes a little-endian u64 to the stack region.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CpuError::StackFault`] outside the stack range.
+    pub fn write_stack_u64(&mut self, addr: u64, value: u64) -> Result<(), CpuError> {
+        let off = self.stack_offset(addr, 8)?;
+        self.stack[off..off + 8].copy_from_slice(&value.to_le_bytes());
+        Ok(())
+    }
+
+    /// Pushes a value, moving `rsp` down by 8.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CpuError::StackFault`] on overflow.
+    pub fn push(&mut self, value: u64) -> Result<(), CpuError> {
+        let rsp = self.reg(Reg::Rsp) - 8;
+        self.write_stack_u64(rsp, value)?;
+        self.set_reg(Reg::Rsp, rsp);
+        Ok(())
+    }
+
+    /// Pops a value, moving `rsp` up by 8.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CpuError::StackFault`] on underflow.
+    pub fn pop(&mut self) -> Result<u64, CpuError> {
+        let rsp = self.reg(Reg::Rsp);
+        let value = self.read_stack_u64(rsp)?;
+        self.set_reg(Reg::Rsp, rsp + 8);
+        Ok(value)
+    }
+
+    /// Executes one instruction. Returns `false` once halted.
+    ///
+    /// # Errors
+    ///
+    /// See [`CpuError`]; decoding faults at `rip` are routed through
+    /// [`Hooks::on_invalid_opcode`] first when they are #UD-class.
+    pub fn step<H: Hooks>(
+        &mut self,
+        image: &mut BinaryImage,
+        hooks: &mut H,
+    ) -> Result<bool, CpuError> {
+        if self.halted {
+            return Ok(false);
+        }
+        if !image.contains(self.rip) {
+            return Err(CpuError::FetchOutsideImage { addr: self.rip });
+        }
+        self.steps += 1;
+        let at = self.rip;
+        let window = image
+            .read_upto(at, 16)
+            .map_err(|_| CpuError::FetchOutsideImage { addr: at })?
+            .to_vec();
+        let decoded = match decode(&window) {
+            Ok(d) => d,
+            Err(DecodeError::InvalidOpcode(_)) => {
+                return self.raise_ud(at, image, hooks);
+            }
+            Err(source) => return Err(CpuError::Decode { addr: at, source }),
+        };
+        let len = decoded.len as u64;
+        match decoded.inst {
+            Inst::Nop => self.rip = at + len,
+            Inst::Int3 => return Err(CpuError::Breakpoint { addr: at }),
+            Inst::Ud2 => {
+                return self.raise_ud(at, image, hooks);
+            }
+            Inst::Ret => {
+                let target = self.pop()?;
+                if target == 0 {
+                    // Convention: returning to the null sentinel ends the
+                    // program (like returning from `_start`).
+                    self.halted = true;
+                } else {
+                    self.rip = target;
+                }
+            }
+            Inst::Leave => {
+                let rbp = self.reg(Reg::Rbp);
+                self.set_reg(Reg::Rsp, rbp);
+                let saved = self.pop()?;
+                self.set_reg(Reg::Rbp, saved);
+                self.rip = at + len;
+            }
+            Inst::Syscall => {
+                if hooks.on_syscall(self, image) == Flow::Halt {
+                    self.halted = true;
+                    return Ok(false);
+                }
+                // rip may have been altered by a patching hook only through
+                // set_rip; the architectural return address is fixed.
+                self.rip = at + len;
+            }
+            Inst::PushRbp => {
+                let rbp = self.reg(Reg::Rbp);
+                self.push(rbp)?;
+                self.rip = at + len;
+            }
+            Inst::PopRbp => {
+                let v = self.pop()?;
+                self.set_reg(Reg::Rbp, v);
+                self.rip = at + len;
+            }
+            Inst::MovImm32 { reg, imm } => {
+                self.set_reg(reg, u64::from(imm));
+                self.rip = at + len;
+            }
+            Inst::MovImm32SxR64 { reg, imm } => {
+                self.set_reg(reg, imm as i64 as u64);
+                self.rip = at + len;
+            }
+            Inst::LoadRspDisp8R32 { reg, disp } => {
+                let v = self.read_stack_u64(self.reg(Reg::Rsp) + u64::from(disp))?;
+                self.set_reg(reg, v & 0xffff_ffff);
+                self.rip = at + len;
+            }
+            Inst::LoadRspDisp8R64 { reg, disp } => {
+                let v = self.read_stack_u64(self.reg(Reg::Rsp) + u64::from(disp))?;
+                self.set_reg(reg, v);
+                self.rip = at + len;
+            }
+            Inst::MovRegReg64 { dst, src } => {
+                let v = self.reg(src);
+                self.set_reg(dst, v);
+                self.rip = at + len;
+            }
+            Inst::CallAbsIndirect { target } => {
+                if image.contains(target) {
+                    self.push(at + len)?;
+                    self.rip = target;
+                } else {
+                    // Vsyscall-page call: the handler runs "inline" in the
+                    // kernel hook; rip becomes the return address first so
+                    // the hook can apply the §4.4 fix-up.
+                    self.rip = at + len;
+                    if hooks.on_vsyscall_call(target, self, image) == Flow::Halt {
+                        self.halted = true;
+                        return Ok(false);
+                    }
+                }
+            }
+            Inst::CallRel32 { rel } => {
+                self.push(at + len)?;
+                self.rip = (at + len).wrapping_add_signed(i64::from(rel));
+            }
+            Inst::JmpRel8 { rel } => {
+                self.rip = (at + len).wrapping_add_signed(i64::from(rel));
+            }
+            Inst::JmpRel32 { rel } => {
+                self.rip = (at + len).wrapping_add_signed(i64::from(rel));
+            }
+            Inst::JccRel8 { cond, rel } => {
+                let taken = match cond {
+                    Cond::E => self.zf,
+                    Cond::Ne => !self.zf,
+                };
+                self.rip = if taken {
+                    (at + len).wrapping_add_signed(i64::from(rel))
+                } else {
+                    at + len
+                };
+            }
+            Inst::TestEaxEax => {
+                self.zf = self.reg(Reg::Rax) & 0xffff_ffff == 0;
+                self.rip = at + len;
+            }
+            Inst::XorEaxEax => {
+                // Writing a 32-bit register zero-extends: rax := 0.
+                self.set_reg(Reg::Rax, 0);
+                self.zf = true;
+                self.rip = at + len;
+            }
+            Inst::AddRspImm8 { imm } => {
+                let rsp = self.reg(Reg::Rsp) + u64::from(imm);
+                self.set_reg(Reg::Rsp, rsp);
+                self.rip = at + len;
+            }
+            Inst::SubRspImm8 { imm } => {
+                let rsp = self.reg(Reg::Rsp) - u64::from(imm);
+                self.set_reg(Reg::Rsp, rsp);
+                self.rip = at + len;
+            }
+        }
+        Ok(!self.halted)
+    }
+
+    fn raise_ud<H: Hooks>(
+        &mut self,
+        at: u64,
+        image: &mut BinaryImage,
+        hooks: &mut H,
+    ) -> Result<bool, CpuError> {
+        match hooks.on_invalid_opcode(self, image) {
+            Flow::Halt => {
+                self.halted = true;
+                Ok(false)
+            }
+            Flow::Continue => {
+                if self.rip == at {
+                    Err(CpuError::UnhandledFault { addr: at })
+                } else {
+                    Ok(true)
+                }
+            }
+        }
+    }
+
+    /// Runs until halt or `max_steps` instructions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CpuError`]s from [`Cpu::step`], plus
+    /// [`CpuError::StepLimit`] when the budget runs out.
+    pub fn run<H: Hooks>(
+        &mut self,
+        image: &mut BinaryImage,
+        hooks: &mut H,
+        max_steps: u64,
+    ) -> Result<(), CpuError> {
+        for _ in 0..max_steps {
+            if !self.step(image, hooks)? {
+                return Ok(());
+            }
+        }
+        if self.halted {
+            Ok(())
+        } else {
+            Err(CpuError::StepLimit)
+        }
+    }
+
+    /// Arranges for a top-level `ret` to halt the CPU: pushes the null
+    /// return-address sentinel. Call once before running a function body.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CpuError::StackFault`] if the stack is exhausted.
+    pub fn push_halt_frame(&mut self) -> Result<(), CpuError> {
+        self.push(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Assembler;
+
+    /// Records syscall numbers; treats vsyscall calls as syscalls resolved
+    /// from the table offset (nr = (offset - 8) / 8, mirroring the table
+    /// layout used by xc-abom).
+    struct Recorder {
+        syscalls: Vec<u64>,
+        uds: u32,
+    }
+
+    impl Recorder {
+        fn new() -> Self {
+            Recorder { syscalls: Vec::new(), uds: 0 }
+        }
+    }
+
+    impl Hooks for Recorder {
+        fn on_syscall(&mut self, cpu: &mut Cpu, _: &mut BinaryImage) -> Flow {
+            self.syscalls.push(cpu.reg(Reg::Rax));
+            Flow::Continue
+        }
+        fn on_vsyscall_call(&mut self, target: u64, _: &mut Cpu, _: &mut BinaryImage) -> Flow {
+            self.syscalls.push(target);
+            Flow::Continue
+        }
+        fn on_invalid_opcode(&mut self, _: &mut Cpu, _: &mut BinaryImage) -> Flow {
+            self.uds += 1;
+            Flow::Halt
+        }
+    }
+
+    fn run_image(mut image: BinaryImage, entry: u64) -> (Recorder, Cpu) {
+        let mut cpu = Cpu::new(entry);
+        cpu.push_halt_frame().unwrap();
+        let mut hooks = Recorder::new();
+        cpu.run(&mut image, &mut hooks, 10_000).unwrap();
+        (hooks, cpu)
+    }
+
+    #[test]
+    fn linear_syscalls_record_numbers() {
+        let mut a = Assembler::new(0x1000);
+        a.inst(Inst::MovImm32 { reg: Reg::Rax, imm: 0 });
+        a.inst(Inst::Syscall);
+        a.inst(Inst::MovImm32 { reg: Reg::Rax, imm: 1 });
+        a.inst(Inst::Syscall);
+        a.inst(Inst::Ret);
+        let (hooks, cpu) = run_image(a.finish().unwrap(), 0x1000);
+        assert_eq!(hooks.syscalls, vec![0, 1]);
+        assert!(cpu.is_halted());
+    }
+
+    #[test]
+    fn call_and_ret_nest() {
+        let mut a = Assembler::new(0x1000);
+        a.call_to("fn");
+        a.inst(Inst::MovImm32 { reg: Reg::Rax, imm: 2 });
+        a.inst(Inst::Syscall);
+        a.inst(Inst::Ret);
+        a.label("fn").unwrap();
+        a.inst(Inst::MovImm32 { reg: Reg::Rax, imm: 1 });
+        a.inst(Inst::Syscall);
+        a.inst(Inst::Ret);
+        let (hooks, _) = run_image(a.finish().unwrap(), 0x1000);
+        assert_eq!(hooks.syscalls, vec![1, 2]);
+    }
+
+    #[test]
+    fn conditional_branch_on_zero_flag() {
+        let mut a = Assembler::new(0x1000);
+        a.inst(Inst::MovImm32 { reg: Reg::Rax, imm: 0 });
+        a.inst(Inst::TestEaxEax);
+        a.jcc_to(Cond::E, "taken");
+        a.inst(Inst::MovImm32 { reg: Reg::Rax, imm: 99 });
+        a.inst(Inst::Syscall); // skipped
+        a.label("taken").unwrap();
+        a.inst(Inst::MovImm32 { reg: Reg::Rax, imm: 7 });
+        a.inst(Inst::Syscall);
+        a.inst(Inst::Ret);
+        let (hooks, _) = run_image(a.finish().unwrap(), 0x1000);
+        assert_eq!(hooks.syscalls, vec![7]);
+    }
+
+    #[test]
+    fn vsyscall_call_routes_to_hook() {
+        let mut a = Assembler::new(0x1000);
+        a.inst(Inst::CallAbsIndirect { target: 0xffff_ffff_ff60_0008 });
+        a.inst(Inst::Ret);
+        let (hooks, _) = run_image(a.finish().unwrap(), 0x1000);
+        assert_eq!(hooks.syscalls, vec![0xffff_ffff_ff60_0008]);
+    }
+
+    #[test]
+    fn stack_load_reads_pushed_args() {
+        // Go-style: caller pushes the syscall number, wrapper loads it.
+        let mut a = Assembler::new(0x1000);
+        // [rsp+8] must hold 42 at wrapper entry; our harness pre-stores it.
+        a.label("wrapper").unwrap();
+        a.inst(Inst::LoadRspDisp8R64 { reg: Reg::Rax, disp: 8 });
+        a.inst(Inst::Syscall);
+        a.inst(Inst::Ret);
+        let mut image = a.finish().unwrap();
+        let mut cpu = Cpu::new(0x1000);
+        // A Go caller pushes the syscall number, then the call pushes the
+        // return address (here: the halt sentinel).
+        cpu.push(42).unwrap();
+        cpu.push_halt_frame().unwrap();
+        let mut hooks = Recorder::new();
+        cpu.run(&mut image, &mut hooks, 100).unwrap();
+        assert_eq!(hooks.syscalls, vec![42]);
+    }
+
+    #[test]
+    fn int3_reports_breakpoint() {
+        let mut a = Assembler::new(0x1000);
+        a.inst(Inst::Int3);
+        let mut image = a.finish().unwrap();
+        let mut cpu = Cpu::new(0x1000);
+        let mut hooks = Recorder::new();
+        assert_eq!(
+            cpu.run(&mut image, &mut hooks, 10),
+            Err(CpuError::Breakpoint { addr: 0x1000 })
+        );
+    }
+
+    #[test]
+    fn ud_routes_to_hook_and_halts() {
+        let mut a = Assembler::new(0x1000);
+        a.raw(&[0x60, 0xff]);
+        let mut image = a.finish().unwrap();
+        let mut cpu = Cpu::new(0x1000);
+        let mut hooks = Recorder::new();
+        cpu.run(&mut image, &mut hooks, 10).unwrap();
+        assert_eq!(hooks.uds, 1);
+        assert!(cpu.is_halted());
+    }
+
+    #[test]
+    fn unrepaired_ud_is_livelock_error() {
+        struct BadHook;
+        impl Hooks for BadHook {
+            fn on_syscall(&mut self, _: &mut Cpu, _: &mut BinaryImage) -> Flow {
+                Flow::Continue
+            }
+            fn on_vsyscall_call(&mut self, _: u64, _: &mut Cpu, _: &mut BinaryImage) -> Flow {
+                Flow::Continue
+            }
+            fn on_invalid_opcode(&mut self, _: &mut Cpu, _: &mut BinaryImage) -> Flow {
+                Flow::Continue // claims handled but repairs nothing
+            }
+        }
+        let mut a = Assembler::new(0x1000);
+        a.raw(&[0x60]);
+        let mut image = a.finish().unwrap();
+        let mut cpu = Cpu::new(0x1000);
+        assert_eq!(
+            cpu.run(&mut image, &mut BadHook, 10),
+            Err(CpuError::UnhandledFault { addr: 0x1000 })
+        );
+    }
+
+    #[test]
+    fn step_limit_enforced() {
+        let mut a = Assembler::new(0x1000);
+        a.label("spin").unwrap();
+        a.jmp_short_to("spin");
+        let mut image = a.finish().unwrap();
+        let mut cpu = Cpu::new(0x1000);
+        let mut hooks = Recorder::new();
+        assert_eq!(cpu.run(&mut image, &mut hooks, 50), Err(CpuError::StepLimit));
+        assert_eq!(cpu.steps(), 50);
+    }
+
+    #[test]
+    fn fetch_outside_image_faults() {
+        let a = Assembler::new(0x1000);
+        let mut image = a.finish().unwrap();
+        // Empty image: rip immediately outside.
+        let mut cpu = Cpu::new(0x1000);
+        let mut hooks = Recorder::new();
+        assert_eq!(
+            cpu.run(&mut image, &mut hooks, 10),
+            Err(CpuError::FetchOutsideImage { addr: 0x1000 })
+        );
+    }
+
+    #[test]
+    fn stack_fault_on_underflow() {
+        let mut cpu = Cpu::new(0x1000);
+        // rsp at STACK_TOP: reading the return address underflows the range.
+        assert!(cpu.pop().is_err());
+    }
+
+    #[test]
+    fn leave_restores_frame() {
+        let mut a = Assembler::new(0x1000);
+        a.inst(Inst::PushRbp);
+        a.inst(Inst::MovRegReg64 { dst: Reg::Rbp, src: Reg::Rsp });
+        a.inst(Inst::SubRspImm8 { imm: 16 });
+        a.inst(Inst::Leave);
+        a.inst(Inst::Ret);
+        let mut image = a.finish().unwrap();
+        let mut cpu = Cpu::new(0x1000);
+        cpu.push_halt_frame().unwrap();
+        let rsp0 = cpu.reg(Reg::Rsp);
+        let mut hooks = Recorder::new();
+        cpu.run(&mut image, &mut hooks, 100).unwrap();
+        assert!(cpu.is_halted());
+        // Balanced: rsp returned above the halt frame.
+        assert_eq!(cpu.reg(Reg::Rsp), rsp0 + 8);
+    }
+}

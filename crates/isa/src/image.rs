@@ -1,0 +1,411 @@
+//! Loaded binary images.
+//!
+//! A [`BinaryImage`] is a contiguous range of virtual memory holding code,
+//! split into 4 KiB pages with per-page protection and dirty bits. ABOM
+//! patches text pages that are mapped **read-only**: it temporarily clears
+//! the CR0 write-protect bit and writes through with `cmpxchg` (§4.4). The
+//! image models exactly that:
+//!
+//! * plain writes honour page protection,
+//! * [`BinaryImage::cmpxchg`] is the ≤ 8-byte atomic compare-exchange used
+//!   by the patcher, with a `wp_override` flag standing in for the CR0.WP
+//!   manipulation,
+//! * successful patches set the page dirty bit, which the X-LibOS may later
+//!   flush or ignore (§4.4, last paragraph).
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// Page size used for protection and dirty tracking.
+pub const PAGE_SIZE: u64 = 4096;
+
+/// Errors raised by image memory operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ImageError {
+    /// Address (or range end) is outside the image.
+    OutOfBounds {
+        /// Offending virtual address.
+        addr: u64,
+    },
+    /// Write to a read-only page without write-protect override.
+    WriteProtected {
+        /// Offending virtual address.
+        addr: u64,
+    },
+    /// `cmpxchg` longer than 8 bytes — the hardware primitive cannot do it.
+    ExchangeTooWide {
+        /// Requested width.
+        len: usize,
+    },
+    /// `cmpxchg` expected-value mismatch: the memory changed concurrently.
+    ExchangeMismatch {
+        /// Address of the attempted exchange.
+        addr: u64,
+    },
+}
+
+impl fmt::Display for ImageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImageError::OutOfBounds { addr } => write!(f, "address {addr:#x} outside image"),
+            ImageError::WriteProtected { addr } => {
+                write!(f, "write to protected page at {addr:#x}")
+            }
+            ImageError::ExchangeTooWide { len } => {
+                write!(f, "cmpxchg of {len} bytes exceeds 8-byte hardware limit")
+            }
+            ImageError::ExchangeMismatch { addr } => {
+                write!(f, "cmpxchg expectation failed at {addr:#x}")
+            }
+        }
+    }
+}
+
+impl Error for ImageError {}
+
+/// A loaded code image: bytes at a base virtual address, with page
+/// protection, dirty tracking, and symbols.
+///
+/// # Example
+///
+/// ```
+/// use xc_isa::image::BinaryImage;
+///
+/// let mut img = BinaryImage::new(0x400000, vec![0x90; 4096]);
+/// img.protect_all(false); // text pages are read-only
+/// assert!(img.write(0x400000, &[0xcc]).is_err());
+/// // ABOM-style patch: WP override + compare-exchange.
+/// img.cmpxchg(0x400000, &[0x90], &[0xcc], true).unwrap();
+/// assert_eq!(img.read_bytes(0x400000, 1).unwrap(), [0xcc]);
+/// assert!(img.is_dirty(0x400000));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BinaryImage {
+    base: u64,
+    bytes: Vec<u8>,
+    writable: Vec<bool>,
+    dirty: Vec<bool>,
+    symbols: BTreeMap<String, u64>,
+}
+
+impl BinaryImage {
+    /// Creates an image of `bytes` mapped at virtual address `base`, with
+    /// all pages initially writable and clean.
+    pub fn new(base: u64, bytes: Vec<u8>) -> Self {
+        let pages = (bytes.len() as u64).div_ceil(PAGE_SIZE) as usize;
+        BinaryImage {
+            base,
+            bytes,
+            writable: vec![true; pages],
+            dirty: vec![false; pages],
+            symbols: BTreeMap::new(),
+        }
+    }
+
+    /// Base virtual address.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Image length in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether the image is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// One-past-the-end virtual address.
+    pub fn end(&self) -> u64 {
+        self.base + self.bytes.len() as u64
+    }
+
+    /// Whether `addr` lies inside the image.
+    pub fn contains(&self, addr: u64) -> bool {
+        addr >= self.base && addr < self.end()
+    }
+
+    fn offset(&self, addr: u64, len: usize) -> Result<usize, ImageError> {
+        if !self.contains(addr) || addr + len as u64 > self.end() {
+            return Err(ImageError::OutOfBounds { addr });
+        }
+        Ok((addr - self.base) as usize)
+    }
+
+    fn page_index(&self, addr: u64) -> usize {
+        ((addr - self.base) / PAGE_SIZE) as usize
+    }
+
+    /// Defines a symbol at a virtual address.
+    pub fn add_symbol(&mut self, name: &str, addr: u64) {
+        self.symbols.insert(name.to_owned(), addr);
+    }
+
+    /// Looks up a symbol address.
+    pub fn symbol(&self, name: &str) -> Option<u64> {
+        self.symbols.get(name).copied()
+    }
+
+    /// Iterates over `(name, addr)` pairs in name order.
+    pub fn symbols(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.symbols.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Reads `len` bytes starting at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImageError::OutOfBounds`] if the range leaves the image.
+    pub fn read_bytes(&self, addr: u64, len: usize) -> Result<&[u8], ImageError> {
+        let off = self.offset(addr, len)?;
+        Ok(&self.bytes[off..off + len])
+    }
+
+    /// Reads as many bytes as available (up to `len`) starting at `addr` —
+    /// convenient for decoding near the image end.
+    pub fn read_upto(&self, addr: u64, len: usize) -> Result<&[u8], ImageError> {
+        if !self.contains(addr) {
+            return Err(ImageError::OutOfBounds { addr });
+        }
+        let off = (addr - self.base) as usize;
+        let avail = (self.bytes.len() - off).min(len);
+        Ok(&self.bytes[off..off + avail])
+    }
+
+    /// Plain write honouring page protection.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImageError::WriteProtected`] if any touched page is
+    /// read-only, and [`ImageError::OutOfBounds`] for bad ranges.
+    pub fn write(&mut self, addr: u64, data: &[u8]) -> Result<(), ImageError> {
+        let off = self.offset(addr, data.len())?;
+        let first = self.page_index(addr);
+        let last = self.page_index(addr + data.len().max(1) as u64 - 1);
+        for page in first..=last {
+            if !self.writable[page] {
+                return Err(ImageError::WriteProtected {
+                    addr: self.base + page as u64 * PAGE_SIZE,
+                });
+            }
+        }
+        self.bytes[off..off + data.len()].copy_from_slice(data);
+        for page in first..=last {
+            self.dirty[page] = true;
+        }
+        Ok(())
+    }
+
+    /// Atomic compare-exchange of up to 8 bytes, the ABOM patch primitive.
+    ///
+    /// `wp_override` models clearing CR0.WP so kernel-mode code can write
+    /// read-only pages (§4.4). On success the touched pages are marked
+    /// dirty — "the patch is mostly transparent to X-LibOS, except that the
+    /// page table dirty bit will be set for read-only pages".
+    ///
+    /// # Errors
+    ///
+    /// * [`ImageError::ExchangeTooWide`] if `expected.len() > 8`,
+    /// * [`ImageError::ExchangeMismatch`] if memory does not equal
+    ///   `expected`,
+    /// * [`ImageError::WriteProtected`] if a page is read-only and
+    ///   `wp_override` is false,
+    /// * [`ImageError::OutOfBounds`] for bad ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `expected.len() != new.len()` — a caller bug.
+    pub fn cmpxchg(
+        &mut self,
+        addr: u64,
+        expected: &[u8],
+        new: &[u8],
+        wp_override: bool,
+    ) -> Result<(), ImageError> {
+        assert_eq!(
+            expected.len(),
+            new.len(),
+            "cmpxchg expected/new length mismatch"
+        );
+        if expected.len() > 8 {
+            return Err(ImageError::ExchangeTooWide { len: expected.len() });
+        }
+        let off = self.offset(addr, expected.len())?;
+        let first = self.page_index(addr);
+        let last = self.page_index(addr + expected.len().max(1) as u64 - 1);
+        if !wp_override {
+            for page in first..=last {
+                if !self.writable[page] {
+                    return Err(ImageError::WriteProtected {
+                        addr: self.base + page as u64 * PAGE_SIZE,
+                    });
+                }
+            }
+        }
+        if &self.bytes[off..off + expected.len()] != expected {
+            return Err(ImageError::ExchangeMismatch { addr });
+        }
+        self.bytes[off..off + new.len()].copy_from_slice(new);
+        for page in first..=last {
+            self.dirty[page] = true;
+        }
+        Ok(())
+    }
+
+    /// Sets the writable flag for the page containing `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is outside the image.
+    pub fn protect_page(&mut self, addr: u64, writable: bool) {
+        assert!(self.contains(addr), "protect_page outside image");
+        let page = self.page_index(addr);
+        self.writable[page] = writable;
+    }
+
+    /// Sets the writable flag for all pages (text segments load read-only).
+    pub fn protect_all(&mut self, writable: bool) {
+        for w in &mut self.writable {
+            *w = writable;
+        }
+    }
+
+    /// Whether the page containing `addr` is writable.
+    pub fn is_writable(&self, addr: u64) -> bool {
+        self.contains(addr) && self.writable[self.page_index(addr)]
+    }
+
+    /// Whether the page containing `addr` is dirty.
+    pub fn is_dirty(&self, addr: u64) -> bool {
+        self.contains(addr) && self.dirty[self.page_index(addr)]
+    }
+
+    /// Number of dirty pages.
+    pub fn dirty_pages(&self) -> usize {
+        self.dirty.iter().filter(|d| **d).count()
+    }
+
+    /// Clears all dirty bits (modelling a flush to disk so "the same patch
+    /// is not needed in the future", §4.4). Returns how many pages were
+    /// dirty.
+    pub fn flush_dirty(&mut self) -> usize {
+        let n = self.dirty_pages();
+        for d in &mut self.dirty {
+            *d = false;
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn image() -> BinaryImage {
+        BinaryImage::new(0x40_0000, vec![0x90; 2 * PAGE_SIZE as usize])
+    }
+
+    #[test]
+    fn bounds_and_contains() {
+        let img = image();
+        assert!(img.contains(0x40_0000));
+        assert!(img.contains(0x40_1fff));
+        assert!(!img.contains(0x40_2000));
+        assert!(!img.contains(0x3f_ffff));
+        assert_eq!(img.len(), 8192);
+        assert_eq!(img.end(), 0x40_2000);
+        assert!(img.read_bytes(0x40_1fff, 2).is_err());
+        assert!(img.read_bytes(0x40_1fff, 1).is_ok());
+    }
+
+    #[test]
+    fn read_upto_clips() {
+        let img = image();
+        assert_eq!(img.read_upto(0x40_1ffe, 16).unwrap().len(), 2);
+        assert!(img.read_upto(0x40_2000, 1).is_err());
+    }
+
+    #[test]
+    fn write_respects_protection() {
+        let mut img = image();
+        img.protect_page(0x40_0000, false);
+        assert_eq!(
+            img.write(0x40_0000, &[1]),
+            Err(ImageError::WriteProtected { addr: 0x40_0000 })
+        );
+        // Second page is still writable.
+        img.write(0x40_1000, &[1]).unwrap();
+        assert!(img.is_dirty(0x40_1000));
+        assert!(!img.is_dirty(0x40_0000));
+    }
+
+    #[test]
+    fn cmpxchg_happy_path_sets_dirty() {
+        let mut img = image();
+        img.protect_all(false);
+        img.cmpxchg(0x40_0000, &[0x90, 0x90], &[0x0f, 0x05], true)
+            .unwrap();
+        assert_eq!(img.read_bytes(0x40_0000, 2).unwrap(), [0x0f, 0x05]);
+        assert!(img.is_dirty(0x40_0000));
+        assert_eq!(img.dirty_pages(), 1);
+        assert_eq!(img.flush_dirty(), 1);
+        assert_eq!(img.dirty_pages(), 0);
+    }
+
+    #[test]
+    fn cmpxchg_mismatch_leaves_memory_untouched() {
+        let mut img = image();
+        let before = img.read_bytes(0x40_0000, 4).unwrap().to_vec();
+        let err = img
+            .cmpxchg(0x40_0000, &[1, 2, 3, 4], &[5, 6, 7, 8], true)
+            .unwrap_err();
+        assert_eq!(err, ImageError::ExchangeMismatch { addr: 0x40_0000 });
+        assert_eq!(img.read_bytes(0x40_0000, 4).unwrap(), before.as_slice());
+        assert_eq!(img.dirty_pages(), 0);
+    }
+
+    #[test]
+    fn cmpxchg_width_limit() {
+        let mut img = image();
+        let nine_old = [0x90; 9];
+        let nine_new = [0xcc; 9];
+        assert_eq!(
+            img.cmpxchg(0x40_0000, &nine_old, &nine_new, true),
+            Err(ImageError::ExchangeTooWide { len: 9 })
+        );
+        // 8 bytes is the hardware maximum and works.
+        img.cmpxchg(0x40_0000, &[0x90; 8], &[0xcc; 8], true).unwrap();
+    }
+
+    #[test]
+    fn cmpxchg_without_override_respects_protection() {
+        let mut img = image();
+        img.protect_all(false);
+        assert_eq!(
+            img.cmpxchg(0x40_0000, &[0x90], &[0xcc], false),
+            Err(ImageError::WriteProtected { addr: 0x40_0000 })
+        );
+    }
+
+    #[test]
+    fn symbols() {
+        let mut img = image();
+        img.add_symbol("__read", 0x40_0010);
+        img.add_symbol("__write", 0x40_0020);
+        assert_eq!(img.symbol("__read"), Some(0x40_0010));
+        assert_eq!(img.symbol("missing"), None);
+        let names: Vec<&str> = img.symbols().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["__read", "__write"]);
+    }
+
+    #[test]
+    fn cross_page_write_marks_both_pages() {
+        let mut img = image();
+        img.write(0x40_0ffe, &[1, 2, 3, 4]).unwrap();
+        assert!(img.is_dirty(0x40_0000));
+        assert!(img.is_dirty(0x40_1000));
+    }
+}

@@ -1,0 +1,502 @@
+//! The instruction subset and its byte-accurate encodings.
+//!
+//! Encodings follow the Intel SDM exactly for every instruction we model;
+//! the ABOM patterns in `xc-abom` match on these raw bytes, so encoding
+//! fidelity is what makes the reproduction byte-faithful to Figure 2 of the
+//! paper.
+
+use std::fmt;
+
+/// General-purpose registers addressable in the low 3 bits of an opcode or
+/// ModRM field (the `r32`/`r64` registers without a REX.B extension).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u8)]
+#[allow(missing_docs)]
+pub enum Reg {
+    Rax = 0,
+    Rcx = 1,
+    Rdx = 2,
+    Rbx = 3,
+    Rsp = 4,
+    Rbp = 5,
+    Rsi = 6,
+    Rdi = 7,
+}
+
+impl Reg {
+    /// All eight registers, in encoding order.
+    pub const ALL: [Reg; 8] = [
+        Reg::Rax,
+        Reg::Rcx,
+        Reg::Rdx,
+        Reg::Rbx,
+        Reg::Rsp,
+        Reg::Rbp,
+        Reg::Rsi,
+        Reg::Rdi,
+    ];
+
+    /// The 3-bit encoding of this register.
+    #[inline]
+    pub const fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// Decodes a 3-bit register field.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `code > 7`.
+    pub fn from_code(code: u8) -> Reg {
+        Reg::ALL[usize::from(code)]
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Reg::Rax => "rax",
+            Reg::Rcx => "rcx",
+            Reg::Rdx => "rdx",
+            Reg::Rbx => "rbx",
+            Reg::Rsp => "rsp",
+            Reg::Rbp => "rbp",
+            Reg::Rsi => "rsi",
+            Reg::Rdi => "rdi",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Condition codes for the `Jcc rel8` short conditional jumps we model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Cond {
+    /// `je` / `jz` (opcode `74`)
+    E,
+    /// `jne` / `jnz` (opcode `75`)
+    Ne,
+}
+
+impl Cond {
+    const fn opcode(self) -> u8 {
+        match self {
+            Cond::E => 0x74,
+            Cond::Ne => 0x75,
+        }
+    }
+}
+
+/// The modelled instruction subset.
+///
+/// Every variant encodes to the exact bytes an assembler would produce, and
+/// the sizes the paper's Figure 2 relies on hold by construction:
+/// [`Inst::MovImm32`] is 5 bytes, [`Inst::MovImm32SxR64`] is 7 bytes,
+/// [`Inst::Syscall`] is 2 bytes, and [`Inst::CallAbsIndirect`] is 7 bytes
+/// ending in `60 ff` for vsyscall-page targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Inst {
+    /// `nop` — `90`.
+    Nop,
+    /// `ret` — `c3`.
+    Ret,
+    /// `leave` — `c9`.
+    Leave,
+    /// `int3` — `cc` (used as padding between functions, as linkers do).
+    Int3,
+    /// `ud2` — `0f 0b`.
+    Ud2,
+    /// `syscall` — `0f 05`.
+    Syscall,
+    /// `push rbp` — `55`.
+    PushRbp,
+    /// `pop rbp` — `5d`.
+    PopRbp,
+    /// `mov r32, imm32` — `b8+rd imm32` (5 bytes). Writing a 32-bit
+    /// register zero-extends into the full 64-bit register.
+    MovImm32 {
+        /// Destination register.
+        reg: Reg,
+        /// Immediate value.
+        imm: u32,
+    },
+    /// `mov r64, imm32` (sign-extended) — `REX.W c7 /0 imm32` (7 bytes).
+    MovImm32SxR64 {
+        /// Destination register.
+        reg: Reg,
+        /// Immediate, sign-extended to 64 bits at execution.
+        imm: i32,
+    },
+    /// `mov r32, [rsp+disp8]` — `8b /r` with SIB (4 bytes).
+    LoadRspDisp8R32 {
+        /// Destination register.
+        reg: Reg,
+        /// Unsigned byte displacement from `rsp`.
+        disp: u8,
+    },
+    /// `mov r64, [rsp+disp8]` — `REX.W 8b /r` with SIB (5 bytes). This is
+    /// the Go `syscall.Syscall` pattern from Figure 2.
+    LoadRspDisp8R64 {
+        /// Destination register.
+        reg: Reg,
+        /// Unsigned byte displacement from `rsp`.
+        disp: u8,
+    },
+    /// `mov r64, r64` — `REX.W 89 /r` (3 bytes).
+    MovRegReg64 {
+        /// Destination register.
+        dst: Reg,
+        /// Source register.
+        src: Reg,
+    },
+    /// `call [disp32]` — `ff 14 25 disp32` (7 bytes): indirect call through
+    /// an absolute 32-bit address, **sign-extended** to 64 bits. For
+    /// vsyscall-page targets (`0xffffffffff600xxx`) the last two encoded
+    /// bytes are always `60 ff`, which is what makes the
+    /// jump-into-the-middle case decode to an invalid opcode (§4.4).
+    CallAbsIndirect {
+        /// The 64-bit effective target (must be sign-extendable from 32
+        /// bits).
+        target: u64,
+    },
+    /// `call rel32` — `e8 rel32` (5 bytes).
+    CallRel32 {
+        /// Relative displacement from the end of this instruction.
+        rel: i32,
+    },
+    /// `jmp rel8` — `eb rel8` (2 bytes). The phase-2 form of the 9-byte
+    /// replacement is `eb f7` (−9: back to the start of the 7-byte call).
+    JmpRel8 {
+        /// Relative displacement from the end of this instruction.
+        rel: i8,
+    },
+    /// `jmp rel32` — `e9 rel32` (5 bytes).
+    JmpRel32 {
+        /// Relative displacement from the end of this instruction.
+        rel: i32,
+    },
+    /// `jcc rel8` — `7x rel8` (2 bytes).
+    JccRel8 {
+        /// Condition.
+        cond: Cond,
+        /// Relative displacement from the end of this instruction.
+        rel: i8,
+    },
+    /// `test eax, eax` — `85 c0`.
+    TestEaxEax,
+    /// `xor eax, eax` — `31 c0`: the idiomatic zeroing of `%rax`, how
+    /// optimized code sets up syscall 0 (`read`). Not a pattern ABOM
+    /// recognizes — a realistic source of unpatchable sites.
+    XorEaxEax,
+    /// `add rsp, imm8` — `48 83 c4 ib` (4 bytes).
+    AddRspImm8 {
+        /// Unsigned byte added to `rsp`.
+        imm: u8,
+    },
+    /// `sub rsp, imm8` — `48 83 ec ib` (4 bytes).
+    SubRspImm8 {
+        /// Unsigned byte subtracted from `rsp`.
+        imm: u8,
+    },
+}
+
+impl Inst {
+    /// Encoded length in bytes.
+    pub fn encoded_len(&self) -> usize {
+        match self {
+            Inst::Nop | Inst::Ret | Inst::Leave | Inst::Int3 | Inst::PushRbp | Inst::PopRbp => 1,
+            Inst::Ud2
+            | Inst::Syscall
+            | Inst::TestEaxEax
+            | Inst::XorEaxEax
+            | Inst::JmpRel8 { .. }
+            | Inst::JccRel8 { .. } => 2,
+            Inst::MovRegReg64 { .. } => 3,
+            Inst::LoadRspDisp8R32 { .. } | Inst::AddRspImm8 { .. } | Inst::SubRspImm8 { .. } => 4,
+            Inst::MovImm32 { .. }
+            | Inst::LoadRspDisp8R64 { .. }
+            | Inst::CallRel32 { .. }
+            | Inst::JmpRel32 { .. } => 5,
+            Inst::MovImm32SxR64 { .. } | Inst::CallAbsIndirect { .. } => 7,
+        }
+    }
+
+    /// Appends the encoding of this instruction to `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a [`Inst::CallAbsIndirect`] target is not representable as
+    /// a sign-extended 32-bit address (use [`Inst::is_encodable`] to check).
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        match *self {
+            Inst::Nop => out.push(0x90),
+            Inst::Ret => out.push(0xc3),
+            Inst::Leave => out.push(0xc9),
+            Inst::Int3 => out.push(0xcc),
+            Inst::Ud2 => out.extend_from_slice(&[0x0f, 0x0b]),
+            Inst::Syscall => out.extend_from_slice(&[0x0f, 0x05]),
+            Inst::PushRbp => out.push(0x55),
+            Inst::PopRbp => out.push(0x5d),
+            Inst::MovImm32 { reg, imm } => {
+                out.push(0xb8 + reg.code());
+                out.extend_from_slice(&imm.to_le_bytes());
+            }
+            Inst::MovImm32SxR64 { reg, imm } => {
+                out.push(0x48);
+                out.push(0xc7);
+                out.push(0xc0 + reg.code());
+                out.extend_from_slice(&imm.to_le_bytes());
+            }
+            Inst::LoadRspDisp8R32 { reg, disp } => {
+                out.push(0x8b);
+                out.push(0x44 + (reg.code() << 3));
+                out.push(0x24);
+                out.push(disp);
+            }
+            Inst::LoadRspDisp8R64 { reg, disp } => {
+                out.push(0x48);
+                out.push(0x8b);
+                out.push(0x44 + (reg.code() << 3));
+                out.push(0x24);
+                out.push(disp);
+            }
+            Inst::MovRegReg64 { dst, src } => {
+                out.push(0x48);
+                out.push(0x89);
+                out.push(0xc0 + (src.code() << 3) + dst.code());
+            }
+            Inst::CallAbsIndirect { target } => {
+                assert!(
+                    Self::fits_sign_extended_32(target),
+                    "call target {target:#x} not sign-extendable from 32 bits"
+                );
+                out.push(0xff);
+                out.push(0x14);
+                out.push(0x25);
+                out.extend_from_slice(&(target as u32).to_le_bytes());
+            }
+            Inst::CallRel32 { rel } => {
+                out.push(0xe8);
+                out.extend_from_slice(&rel.to_le_bytes());
+            }
+            Inst::JmpRel8 { rel } => {
+                out.push(0xeb);
+                out.push(rel as u8);
+            }
+            Inst::JmpRel32 { rel } => {
+                out.push(0xe9);
+                out.extend_from_slice(&rel.to_le_bytes());
+            }
+            Inst::JccRel8 { cond, rel } => {
+                out.push(cond.opcode());
+                out.push(rel as u8);
+            }
+            Inst::TestEaxEax => out.extend_from_slice(&[0x85, 0xc0]),
+            Inst::XorEaxEax => out.extend_from_slice(&[0x31, 0xc0]),
+            Inst::AddRspImm8 { imm } => out.extend_from_slice(&[0x48, 0x83, 0xc4, imm]),
+            Inst::SubRspImm8 { imm } => out.extend_from_slice(&[0x48, 0x83, 0xec, imm]),
+        }
+    }
+
+    /// Returns the encoding as a fresh byte vector.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.encoded_len());
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Whether this instruction can be encoded (only
+    /// [`Inst::CallAbsIndirect`] can be unencodable).
+    pub fn is_encodable(&self) -> bool {
+        match *self {
+            Inst::CallAbsIndirect { target } => Self::fits_sign_extended_32(target),
+            _ => true,
+        }
+    }
+
+    /// Whether `addr` survives a 32-bit truncate + sign-extend round trip.
+    pub fn fits_sign_extended_32(addr: u64) -> bool {
+        (addr as u32 as i32 as i64 as u64) == addr
+    }
+
+    /// Whether this instruction transfers control (ends a basic block).
+    pub fn is_control_flow(&self) -> bool {
+        matches!(
+            self,
+            Inst::Ret
+                | Inst::CallAbsIndirect { .. }
+                | Inst::CallRel32 { .. }
+                | Inst::JmpRel8 { .. }
+                | Inst::JmpRel32 { .. }
+                | Inst::JccRel8 { .. }
+        )
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Inst::Nop => write!(f, "nop"),
+            Inst::Ret => write!(f, "ret"),
+            Inst::Leave => write!(f, "leave"),
+            Inst::Int3 => write!(f, "int3"),
+            Inst::Ud2 => write!(f, "ud2"),
+            Inst::Syscall => write!(f, "syscall"),
+            Inst::PushRbp => write!(f, "push %rbp"),
+            Inst::PopRbp => write!(f, "pop %rbp"),
+            Inst::MovImm32 { reg, imm } => write!(f, "mov ${imm:#x},%e{}", &reg.to_string()[1..]),
+            Inst::MovImm32SxR64 { reg, imm } => write!(f, "mov ${imm:#x},%{reg}"),
+            Inst::LoadRspDisp8R32 { reg, disp } => {
+                write!(f, "mov {disp:#x}(%rsp),%e{}", &reg.to_string()[1..])
+            }
+            Inst::LoadRspDisp8R64 { reg, disp } => write!(f, "mov {disp:#x}(%rsp),%{reg}"),
+            Inst::MovRegReg64 { dst, src } => write!(f, "mov %{src},%{dst}"),
+            Inst::CallAbsIndirect { target } => write!(f, "callq *{target:#x}"),
+            Inst::CallRel32 { rel } => write!(f, "call .{rel:+}"),
+            Inst::JmpRel8 { rel } => write!(f, "jmp .{rel:+}"),
+            Inst::JmpRel32 { rel } => write!(f, "jmp .{rel:+}"),
+            Inst::JccRel8 { cond: Cond::E, rel } => write!(f, "je .{rel:+}"),
+            Inst::JccRel8 { cond: Cond::Ne, rel } => write!(f, "jne .{rel:+}"),
+            Inst::TestEaxEax => write!(f, "test %eax,%eax"),
+            Inst::XorEaxEax => write!(f, "xor %eax,%eax"),
+            Inst::AddRspImm8 { imm } => write!(f, "add ${imm:#x},%rsp"),
+            Inst::SubRspImm8 { imm } => write!(f, "sub ${imm:#x},%rsp"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure2_case1_bytes() {
+        // 00000000000eb6a0 <__read>: b8 00 00 00 00 ; 0f 05
+        let mut b = Vec::new();
+        Inst::MovImm32 { reg: Reg::Rax, imm: 0 }.encode_into(&mut b);
+        Inst::Syscall.encode_into(&mut b);
+        assert_eq!(b, [0xb8, 0x00, 0x00, 0x00, 0x00, 0x0f, 0x05]);
+    }
+
+    #[test]
+    fn figure2_case1_replacement_bytes() {
+        // callq *0xffffffffff600008 => ff 14 25 08 00 60 ff
+        let b = Inst::CallAbsIndirect { target: 0xffff_ffff_ff60_0008 }.encode();
+        assert_eq!(b, [0xff, 0x14, 0x25, 0x08, 0x00, 0x60, 0xff]);
+        assert_eq!(b.len(), 7);
+        // The last two bytes are the invalid-opcode tail the paper relies on.
+        assert_eq!(&b[5..], [0x60, 0xff]);
+    }
+
+    #[test]
+    fn figure2_9byte_bytes() {
+        // 10330: 48 c7 c0 0f 00 00 00  mov $0xf,%rax ; 0f 05
+        let mut b = Vec::new();
+        Inst::MovImm32SxR64 { reg: Reg::Rax, imm: 0xf }.encode_into(&mut b);
+        Inst::Syscall.encode_into(&mut b);
+        assert_eq!(b, [0x48, 0xc7, 0xc0, 0x0f, 0x00, 0x00, 0x00, 0x0f, 0x05]);
+        // Phase-1 replacement: callq *0xffffffffff600080
+        let call = Inst::CallAbsIndirect { target: 0xffff_ffff_ff60_0080 }.encode();
+        assert_eq!(call, [0xff, 0x14, 0x25, 0x80, 0x00, 0x60, 0xff]);
+        // Phase-2 tail: jmp back to the call start: eb f7 (-9).
+        let jmp = Inst::JmpRel8 { rel: -9 }.encode();
+        assert_eq!(jmp, [0xeb, 0xf7]);
+    }
+
+    #[test]
+    fn figure2_case2_go_pattern_bytes() {
+        // 7f41d: 48 8b 44 24 08  mov 0x8(%rsp),%rax ; 0f 05
+        let mut b = Vec::new();
+        Inst::LoadRspDisp8R64 { reg: Reg::Rax, disp: 8 }.encode_into(&mut b);
+        Inst::Syscall.encode_into(&mut b);
+        assert_eq!(b, [0x48, 0x8b, 0x44, 0x24, 0x08, 0x0f, 0x05]);
+        // Replacement: callq *0xffffffffff600c08
+        let call = Inst::CallAbsIndirect { target: 0xffff_ffff_ff60_0c08 }.encode();
+        assert_eq!(call, [0xff, 0x14, 0x25, 0x08, 0x0c, 0x60, 0xff]);
+    }
+
+    #[test]
+    fn lengths_match_encodings() {
+        let samples = [
+            Inst::Nop,
+            Inst::Ret,
+            Inst::Leave,
+            Inst::Int3,
+            Inst::Ud2,
+            Inst::Syscall,
+            Inst::PushRbp,
+            Inst::PopRbp,
+            Inst::MovImm32 { reg: Reg::Rdi, imm: 42 },
+            Inst::MovImm32SxR64 { reg: Reg::Rax, imm: -1 },
+            Inst::LoadRspDisp8R32 { reg: Reg::Rax, disp: 16 },
+            Inst::LoadRspDisp8R64 { reg: Reg::Rdx, disp: 8 },
+            Inst::MovRegReg64 { dst: Reg::Rdi, src: Reg::Rax },
+            Inst::CallAbsIndirect { target: 0xffff_ffff_ff60_0008 },
+            Inst::CallRel32 { rel: -1234 },
+            Inst::JmpRel8 { rel: -9 },
+            Inst::JmpRel32 { rel: 77777 },
+            Inst::JccRel8 { cond: Cond::E, rel: 4 },
+            Inst::JccRel8 { cond: Cond::Ne, rel: -4 },
+            Inst::TestEaxEax,
+            Inst::XorEaxEax,
+            Inst::AddRspImm8 { imm: 24 },
+            Inst::SubRspImm8 { imm: 24 },
+        ];
+        for inst in samples {
+            assert_eq!(
+                inst.encode().len(),
+                inst.encoded_len(),
+                "length mismatch for {inst}"
+            );
+        }
+    }
+
+    #[test]
+    fn mov_reg_reg_modrm() {
+        // mov %rax,%rdi => 48 89 c7
+        let b = Inst::MovRegReg64 { dst: Reg::Rdi, src: Reg::Rax }.encode();
+        assert_eq!(b, [0x48, 0x89, 0xc7]);
+    }
+
+    #[test]
+    fn sign_extension_checks() {
+        assert!(Inst::fits_sign_extended_32(0xffff_ffff_ff60_0008));
+        assert!(Inst::fits_sign_extended_32(0x7fff_ffff));
+        assert!(!Inst::fits_sign_extended_32(0x1_0000_0000));
+        assert!(!Inst::CallAbsIndirect { target: 0x1_0000_0000 }.is_encodable());
+    }
+
+    #[test]
+    #[should_panic(expected = "not sign-extendable")]
+    fn unencodable_call_panics() {
+        Inst::CallAbsIndirect { target: 0x1_0000_0000 }.encode();
+    }
+
+    #[test]
+    fn control_flow_classification() {
+        assert!(Inst::Ret.is_control_flow());
+        assert!(Inst::JmpRel8 { rel: 0 }.is_control_flow());
+        assert!(!Inst::Syscall.is_control_flow());
+        assert!(!Inst::Nop.is_control_flow());
+    }
+
+    #[test]
+    fn reg_codes_roundtrip() {
+        for reg in Reg::ALL {
+            assert_eq!(Reg::from_code(reg.code()), reg);
+        }
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Inst::Syscall.to_string(), "syscall");
+        assert_eq!(
+            Inst::MovImm32 { reg: Reg::Rax, imm: 1 }.to_string(),
+            "mov $0x1,%eax"
+        );
+        assert_eq!(
+            Inst::CallAbsIndirect { target: 0xffff_ffff_ff60_0008 }.to_string(),
+            "callq *0xffffffffff600008"
+        );
+    }
+}

@@ -1,0 +1,443 @@
+//! The assembled guest kernel.
+//!
+//! [`GuestKernel`] ties the subsystems of this crate — process table,
+//! fair scheduler, VFS, pipes — into one object that behaves like the
+//! kernel of a single container and *accounts simulated time* for every
+//! operation it performs, using the deployment backend's cost
+//! composition. It is the "X-LibOS as a whole" the examples drive, and a
+//! cross-checking ground for the per-operation cost models used by the
+//! figure harnesses.
+
+use std::collections::BTreeMap;
+
+use xc_sim::cost::CostModel;
+use xc_sim::time::Nanos;
+use xc_xen::domain::DomainId;
+use xc_xen::pgtable::PageTables;
+
+use crate::backend::Backend;
+use crate::config::KernelConfig;
+use crate::pipe::{Pipe, PipeError};
+use crate::process::{Pid, ProcessError, ProcessTable};
+use crate::sched::{FairScheduler, TaskId, WEIGHT_NICE_0};
+use crate::vfs::{Fd, Vfs, VfsError};
+
+/// Identifier of an open pipe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PipeId(pub u32);
+
+/// Errors from kernel operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KernelError {
+    /// Process-management failure.
+    Process(ProcessError),
+    /// Filesystem failure.
+    Vfs(VfsError),
+    /// Pipe failure.
+    Pipe(PipeError),
+    /// Unknown pipe id.
+    BadPipe(PipeId),
+}
+
+impl std::fmt::Display for KernelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KernelError::Process(e) => write!(f, "process error: {e}"),
+            KernelError::Vfs(e) => write!(f, "vfs error: {e}"),
+            KernelError::Pipe(e) => write!(f, "pipe error: {e}"),
+            KernelError::BadPipe(id) => write!(f, "bad pipe id {}", id.0),
+        }
+    }
+}
+
+impl std::error::Error for KernelError {}
+
+impl From<ProcessError> for KernelError {
+    fn from(e: ProcessError) -> Self {
+        KernelError::Process(e)
+    }
+}
+impl From<VfsError> for KernelError {
+    fn from(e: VfsError) -> Self {
+        KernelError::Vfs(e)
+    }
+}
+impl From<PipeError> for KernelError {
+    fn from(e: PipeError) -> Self {
+        KernelError::Pipe(e)
+    }
+}
+
+/// A complete single-container guest kernel with time accounting.
+///
+/// # Example
+///
+/// ```
+/// use xc_libos::backend::Backend;
+/// use xc_libos::config::KernelConfig;
+/// use xc_libos::kernel::GuestKernel;
+/// use xc_sim::cost::CostModel;
+///
+/// let costs = CostModel::skylake_cloud();
+/// let mut k = GuestKernel::new(Backend::XKernel, KernelConfig::xlibos_default());
+/// let nginx = k.spawn("nginx", 1500, &costs)?;
+/// let worker = k.fork(nginx, &costs)?;
+/// assert_eq!(k.process_count(), 2);
+/// k.exit(worker, &costs)?;
+/// assert!(k.elapsed().as_nanos() > 0, "every operation was accounted");
+/// # Ok::<(), xc_libos::kernel::KernelError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct GuestKernel {
+    backend: Backend,
+    config: KernelConfig,
+    page_tables: PageTables,
+    processes: ProcessTable,
+    scheduler: FairScheduler,
+    vfs: Vfs,
+    pipes: BTreeMap<PipeId, Pipe>,
+    next_pipe: u32,
+    tasks: BTreeMap<Pid, TaskId>,
+    elapsed: Nanos,
+    syscalls: u64,
+    abom_optimized: bool,
+}
+
+impl GuestKernel {
+    /// Boots a kernel for one container (domain id is internal — one
+    /// kernel per container).
+    pub fn new(backend: Backend, config: KernelConfig) -> Self {
+        GuestKernel {
+            backend,
+            config,
+            page_tables: PageTables::new(),
+            processes: ProcessTable::new(backend, DomainId(1)),
+            scheduler: FairScheduler::new(),
+            vfs: Vfs::new(),
+            pipes: BTreeMap::new(),
+            next_pipe: 0,
+            tasks: BTreeMap::new(),
+            elapsed: Nanos::ZERO,
+            syscalls: 0,
+            abom_optimized: backend == Backend::XKernel,
+        }
+    }
+
+    /// Simulated time consumed by all operations so far.
+    pub fn elapsed(&self) -> Nanos {
+        self.elapsed
+    }
+
+    /// Total syscalls dispatched.
+    pub fn syscalls(&self) -> u64 {
+        self.syscalls
+    }
+
+    /// Live processes.
+    pub fn process_count(&self) -> usize {
+        self.processes.len()
+    }
+
+    /// The filesystem (shared by all processes of the container).
+    pub fn vfs_mut(&mut self) -> &mut Vfs {
+        &mut self.vfs
+    }
+
+    fn charge_syscall(&mut self, costs: &CostModel) {
+        self.syscalls += 1;
+        self.elapsed += self
+            .backend
+            .syscall_cost(costs, &self.config, self.abom_optimized);
+    }
+
+    /// Spawns the container's initial (or an additional top-level)
+    /// process.
+    ///
+    /// # Errors
+    ///
+    /// Propagates process/hypervisor failures.
+    pub fn spawn(
+        &mut self,
+        name: &str,
+        pages: u64,
+        costs: &CostModel,
+    ) -> Result<Pid, KernelError> {
+        let (pid, cost) = self
+            .processes
+            .spawn_init(name, pages, &mut self.page_tables, costs)?;
+        self.elapsed += cost;
+        let task = self.scheduler.add_task(WEIGHT_NICE_0);
+        self.scheduler.set_runnable(task, true);
+        self.tasks.insert(pid, task);
+        Ok(pid)
+    }
+
+    /// `fork()` — one syscall plus the backend's fork work.
+    ///
+    /// # Errors
+    ///
+    /// Propagates process/hypervisor failures.
+    pub fn fork(&mut self, parent: Pid, costs: &CostModel) -> Result<Pid, KernelError> {
+        self.charge_syscall(costs);
+        let (child, cost) = self.processes.fork(parent, &mut self.page_tables, costs)?;
+        self.elapsed += cost;
+        let task = self.scheduler.add_task(WEIGHT_NICE_0);
+        self.scheduler.set_runnable(task, true);
+        self.tasks.insert(child, task);
+        Ok(child)
+    }
+
+    /// `execve()`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates process failures.
+    pub fn exec(
+        &mut self,
+        pid: Pid,
+        name: &str,
+        image_pages: u64,
+        loader_syscalls: u64,
+        costs: &CostModel,
+    ) -> Result<(), KernelError> {
+        self.charge_syscall(costs);
+        let cost = self.processes.exec(
+            pid,
+            name,
+            image_pages,
+            loader_syscalls,
+            &self.config,
+            costs,
+            self.abom_optimized,
+        )?;
+        self.syscalls += loader_syscalls;
+        self.elapsed += cost;
+        Ok(())
+    }
+
+    /// Terminates a process and unschedules its task.
+    ///
+    /// # Errors
+    ///
+    /// Propagates process/hypervisor failures.
+    pub fn exit(&mut self, pid: Pid, costs: &CostModel) -> Result<(), KernelError> {
+        self.charge_syscall(costs);
+        let cost = self.processes.exit(pid, &mut self.page_tables, costs)?;
+        self.elapsed += cost;
+        if let Some(task) = self.tasks.remove(&pid) {
+            self.scheduler.remove_task(task);
+        }
+        Ok(())
+    }
+
+    /// Creates a pipe.
+    pub fn pipe(&mut self, costs: &CostModel) -> PipeId {
+        self.charge_syscall(costs);
+        let id = PipeId(self.next_pipe);
+        self.next_pipe += 1;
+        self.pipes.insert(id, Pipe::new());
+        id
+    }
+
+    /// Writes to a pipe (one syscall + copy costs).
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::BadPipe`] or pipe-full conditions.
+    pub fn write_pipe(
+        &mut self,
+        pipe: PipeId,
+        data: &[u8],
+        costs: &CostModel,
+    ) -> Result<usize, KernelError> {
+        self.charge_syscall(costs);
+        let p = self.pipes.get_mut(&pipe).ok_or(KernelError::BadPipe(pipe))?;
+        let (n, cost) = p.write(data, costs)?;
+        self.elapsed += cost;
+        Ok(n)
+    }
+
+    /// Reads from a pipe (one syscall + copy costs).
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::BadPipe`] or pipe-empty conditions.
+    pub fn read_pipe(
+        &mut self,
+        pipe: PipeId,
+        buf: &mut [u8],
+        costs: &CostModel,
+    ) -> Result<usize, KernelError> {
+        self.charge_syscall(costs);
+        let p = self.pipes.get_mut(&pipe).ok_or(KernelError::BadPipe(pipe))?;
+        let (n, cost) = p.read(buf, costs)?;
+        self.elapsed += cost;
+        Ok(n)
+    }
+
+    /// Opens, creating if necessary (two syscalls worst case).
+    ///
+    /// # Errors
+    ///
+    /// VFS failures.
+    pub fn open(&mut self, path: &str, costs: &CostModel) -> Result<Fd, KernelError> {
+        self.charge_syscall(costs);
+        if self.vfs.size(path).is_err() {
+            self.vfs.create(path)?;
+        }
+        Ok(self.vfs.open(path)?)
+    }
+
+    /// `write()` to a file.
+    ///
+    /// # Errors
+    ///
+    /// VFS failures.
+    pub fn write(&mut self, fd: Fd, data: &[u8], costs: &CostModel) -> Result<(), KernelError> {
+        self.charge_syscall(costs);
+        let cost = self.vfs.write(fd, data, costs)?;
+        self.elapsed += cost.scale(self.config.kernel_work_factor());
+        Ok(())
+    }
+
+    /// `read()` from a file.
+    ///
+    /// # Errors
+    ///
+    /// VFS failures.
+    pub fn read(
+        &mut self,
+        fd: Fd,
+        buf: &mut [u8],
+        costs: &CostModel,
+    ) -> Result<usize, KernelError> {
+        self.charge_syscall(costs);
+        let (n, cost) = self.vfs.read(fd, buf, costs)?;
+        self.elapsed += cost.scale(self.config.kernel_work_factor());
+        Ok(n)
+    }
+
+    /// Runs the scheduler for one quantum: picks the next runnable task,
+    /// charges the context switch (if the task changed), and accounts the
+    /// slice. Returns the pid that ran, if any.
+    pub fn run_quantum(&mut self, costs: &CostModel) -> Option<Pid> {
+        let before = self.scheduler.switches();
+        let task = self.scheduler.pick_next()?;
+        if self.scheduler.switches() > before {
+            self.elapsed += self
+                .backend
+                .context_switch_cost(costs, self.scheduler.runnable_count());
+        }
+        let slice = self.scheduler.timeslice();
+        self.scheduler.account(task, slice);
+        self.elapsed += slice;
+        self.tasks
+            .iter()
+            .find(|(_, t)| **t == task)
+            .map(|(pid, _)| *pid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kernel(backend: Backend) -> GuestKernel {
+        let config = match backend {
+            Backend::Native => KernelConfig::docker_default(),
+            Backend::XenPv => KernelConfig::pv_guest_default(),
+            Backend::XKernel => KernelConfig::xlibos_default(),
+        };
+        GuestKernel::new(backend, config)
+    }
+
+    #[test]
+    fn process_lifecycle_accounts_time() {
+        let costs = CostModel::skylake_cloud();
+        let mut k = kernel(Backend::XKernel);
+        let init = k.spawn("nginx", 1500, &costs).unwrap();
+        let t0 = k.elapsed();
+        let worker = k.fork(init, &costs).unwrap();
+        assert!(k.elapsed() > t0);
+        k.exec(worker, "php-fpm", 800, 120, &costs).unwrap();
+        assert_eq!(k.process_count(), 2);
+        k.exit(worker, &costs).unwrap();
+        assert_eq!(k.process_count(), 1);
+        assert!(k.syscalls() >= 123, "fork + exec(+loader) + exit");
+    }
+
+    #[test]
+    fn pipe_ping_pong_through_kernel() {
+        let costs = CostModel::skylake_cloud();
+        let mut k = kernel(Backend::XKernel);
+        let a = k.spawn("a", 100, &costs).unwrap();
+        let _b = k.fork(a, &costs).unwrap();
+        let pipe = k.pipe(&costs);
+        let mut buf = [0u8; 4];
+        for _ in 0..10 {
+            assert_eq!(k.write_pipe(pipe, b"ping", &costs).unwrap(), 4);
+            assert_eq!(k.read_pipe(pipe, &mut buf, &costs).unwrap(), 4);
+            assert_eq!(&buf, b"ping");
+        }
+        assert!(matches!(
+            k.read_pipe(pipe, &mut buf, &costs),
+            Err(KernelError::Pipe(PipeError::WouldBlockEmpty))
+        ));
+    }
+
+    #[test]
+    fn file_io_through_kernel() {
+        let costs = CostModel::skylake_cloud();
+        let mut k = kernel(Backend::Native);
+        k.spawn("cp", 100, &costs).unwrap();
+        let fd = k.open("/data", &costs).unwrap();
+        k.write(fd, &[7u8; 4096], &costs).unwrap();
+        assert_eq!(k.vfs_mut().size("/data").unwrap(), 4096);
+    }
+
+    #[test]
+    fn same_work_cheaper_on_x_libos_for_syscall_heavy_load() {
+        let costs = CostModel::skylake_cloud();
+        let mut native = kernel(Backend::Native);
+        let mut xk = kernel(Backend::XKernel);
+        for k in [&mut native, &mut xk] {
+            k.spawn("worker", 100, &costs).unwrap();
+            let pipe = k.pipe(&costs);
+            let mut buf = [0u8; 64];
+            for _ in 0..500 {
+                k.write_pipe(pipe, &[1u8; 64], &costs).unwrap();
+                k.read_pipe(pipe, &mut buf, &costs).unwrap();
+            }
+        }
+        assert_eq!(native.syscalls(), xk.syscalls(), "identical op streams");
+        assert!(
+            xk.elapsed() < native.elapsed(),
+            "X-LibOS {} vs native {}",
+            xk.elapsed(),
+            native.elapsed()
+        );
+    }
+
+    #[test]
+    fn scheduler_quantum_rotates_processes() {
+        let costs = CostModel::skylake_cloud();
+        let mut k = kernel(Backend::XKernel);
+        let a = k.spawn("a", 100, &costs).unwrap();
+        let b = k.fork(a, &costs).unwrap();
+        let mut ran = std::collections::BTreeSet::new();
+        for _ in 0..4 {
+            ran.insert(k.run_quantum(&costs).expect("runnable"));
+        }
+        assert!(ran.contains(&a) && ran.contains(&b), "both scheduled: {ran:?}");
+    }
+
+    #[test]
+    fn bad_pipe_rejected() {
+        let costs = CostModel::skylake_cloud();
+        let mut k = kernel(Backend::Native);
+        assert!(matches!(
+            k.write_pipe(PipeId(9), b"x", &costs),
+            Err(KernelError::BadPipe(PipeId(9)))
+        ));
+    }
+}

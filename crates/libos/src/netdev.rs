@@ -1,0 +1,282 @@
+//! A working paravirtual network device: netfront + netback.
+//!
+//! Ties together every §4.1 transport mechanism — XenStore negotiation,
+//! grant tables, shared descriptor rings, event channels — into a device
+//! pair that really moves packet bytes from a guest to the driver
+//! domain's "wire". The figure harnesses only need the *cost* of this
+//! path (modelled in [`crate::net`]); this module exists to demonstrate
+//! that the substrate pieces compose into the actual protocol, and to
+//! let integration tests validate notification and copy counts against
+//! the cost model's assumptions.
+
+use std::collections::BTreeMap;
+
+use xc_xen::domain::DomainId;
+use xc_xen::error::XenError;
+use xc_xen::events::EventChannels;
+use xc_xen::grant::{GrantAccess, GrantTable};
+use xc_xen::ring::{Descriptor, SharedRing};
+use xc_xen::xenstore::XenStore;
+
+/// A packet buffer registered with the front-end.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct TxBuffer {
+    gref: u32,
+    data: Vec<u8>,
+}
+
+/// The connected device pair (front-end in the guest, back-end in the
+/// driver domain).
+///
+/// # Example
+///
+/// ```
+/// use xc_libos::netdev::VirtualNic;
+/// use xc_xen::domain::DomainId;
+///
+/// let mut nic = VirtualNic::connect(DomainId(3), DomainId(2))?;
+/// nic.send(b"GET / HTTP/1.1\r\n")?;
+/// let delivered = nic.backend_poll()?;
+/// assert_eq!(delivered, vec![b"GET / HTTP/1.1\r\n".to_vec()]);
+/// # Ok::<(), xc_xen::XenError>(())
+/// ```
+#[derive(Debug)]
+pub struct VirtualNic {
+    frontend: DomainId,
+    backend: DomainId,
+    ring: SharedRing,
+    grants: GrantTable,
+    events: EventChannels,
+    store: XenStore,
+    fe_port: u32,
+    be_port: u32,
+    next_gref_id: u64,
+    tx_buffers: BTreeMap<u32, TxBuffer>,
+    wire: Vec<Vec<u8>>,
+    notifications: u64,
+}
+
+impl VirtualNic {
+    /// Performs the full connect handshake: XenStore negotiation, ring
+    /// setup, event-channel bind.
+    ///
+    /// # Errors
+    ///
+    /// Propagates substrate failures.
+    pub fn connect(frontend: DomainId, backend: DomainId) -> Result<Self, XenError> {
+        let mut store = XenStore::new();
+        let mut events = EventChannels::new();
+        let dom0 = DomainId(0);
+
+        // Toolstack wires the two ends together in the store.
+        let fe_path = format!("/local/domain/{}/device/vif/0", frontend.0);
+        let be_path = format!("/local/domain/{}/backend/vif/{}/0", backend.0, frontend.0);
+        store.write(dom0, &format!("{fe_path}/backend"), &be_path)?;
+        store.write(dom0, &format!("{be_path}/frontend"), &fe_path)?;
+
+        // Backend watches the frontend's directory for the ring details.
+        store.watch(backend, &fe_path, "fe-ready")?;
+
+        // Frontend allocates the event channel pair and publishes.
+        let fe_port = events.alloc_unbound(frontend)?;
+        let be_port = events.alloc_unbound(backend)?;
+        events.bind(frontend, fe_port, backend, be_port)?;
+        store.write(frontend, &format!("{fe_path}/event-channel"), &fe_port.to_string())?;
+        store.set_perm(frontend, &format!("{fe_path}/event-channel"), backend)?;
+        store.write(frontend, &format!("{fe_path}/ring-ref"), "1")?;
+        store.set_perm(frontend, &format!("{fe_path}/ring-ref"), backend)?;
+
+        // Backend observes the handshake and connects.
+        let fired = store.take_events(backend);
+        if fired.is_empty() {
+            return Err(XenError::BadEventPort(fe_port));
+        }
+        store.write(backend, &format!("/local/domain/{}/backend/vif/{}/0/state", backend.0, frontend.0), "connected")?;
+
+        Ok(VirtualNic {
+            frontend,
+            backend,
+            ring: SharedRing::new(256)?,
+            grants: GrantTable::new(),
+            events,
+            store,
+            fe_port,
+            be_port,
+            next_gref_id: 0,
+            tx_buffers: BTreeMap::new(),
+            wire: Vec::new(),
+            notifications: 0,
+        })
+    }
+
+    /// Front-end: transmits one packet. Grants the buffer, queues a
+    /// descriptor, and notifies if the ring says so.
+    ///
+    /// # Errors
+    ///
+    /// Ring-full backpressure or grant failures.
+    pub fn send(&mut self, payload: &[u8]) -> Result<(), XenError> {
+        let frame = 0x1000 + self.next_gref_id;
+        self.next_gref_id += 1;
+        let gref = self
+            .grants
+            .grant(self.frontend, self.backend, frame, GrantAccess::ReadOnly)?;
+        self.tx_buffers
+            .insert(gref, TxBuffer { gref, data: payload.to_vec() });
+        let notify = self.ring.push_request(Descriptor {
+            id: u64::from(gref),
+            len: payload.len() as u32,
+            gref,
+        })?;
+        if notify {
+            self.events.send(self.frontend, self.fe_port)?;
+            self.notifications += 1;
+        }
+        Ok(())
+    }
+
+    /// Back-end: drains pending events and the request ring, copying
+    /// each granted buffer to the wire and completing the descriptor.
+    /// Returns the packets delivered this poll.
+    ///
+    /// # Errors
+    ///
+    /// Grant/ring failures.
+    pub fn backend_poll(&mut self) -> Result<Vec<Vec<u8>>, XenError> {
+        // Consume the pending event (level-triggered).
+        let _ = self.events.take_pending(self.backend);
+        let mut delivered = Vec::new();
+        while let Some(req) = self.ring.pop_request() {
+            // Hypervisor-mediated copy of the granted frame.
+            self.grants
+                .copy(self.backend, req.gref, u64::from(req.len))?;
+            let buf = self
+                .tx_buffers
+                .remove(&req.gref)
+                .ok_or(XenError::BadGrantRef(req.gref))?;
+            delivered.push(buf.data.clone());
+            self.wire.push(buf.data);
+            // Complete back to the front-end.
+            let notify = self.ring.push_response(Descriptor {
+                id: req.id,
+                len: req.len,
+                gref: req.gref,
+            })?;
+            if notify {
+                self.events.send(self.backend, self.be_port)?;
+            }
+        }
+        Ok(delivered)
+    }
+
+    /// Front-end: reaps completions, revoking grants. Returns how many
+    /// buffers were reclaimed.
+    ///
+    /// # Errors
+    ///
+    /// Grant failures.
+    pub fn frontend_reap(&mut self) -> Result<u32, XenError> {
+        let _ = self.events.take_pending(self.frontend);
+        let mut reaped = 0;
+        while let Some(rsp) = self.ring.pop_response() {
+            self.grants.revoke(self.frontend, rsp.gref)?;
+            reaped += 1;
+        }
+        Ok(reaped)
+    }
+
+    /// Everything that has reached the wire, in order.
+    pub fn wire(&self) -> &[Vec<u8>] {
+        &self.wire
+    }
+
+    /// Event-channel notifications the front-end actually sent (the
+    /// ring's suppression keeps this far below the packet count under
+    /// batching).
+    pub fn notifications(&self) -> u64 {
+        self.notifications
+    }
+
+    /// Bytes moved by hypervisor grant copies.
+    pub fn bytes_copied(&self) -> u64 {
+        self.grants.bytes_copied()
+    }
+
+    /// The negotiated backend state in XenStore.
+    pub fn backend_state(&self) -> Option<String> {
+        self.store
+            .read(
+                DomainId(0),
+                &format!(
+                    "/local/domain/{}/backend/vif/{}/0/state",
+                    self.backend.0, self.frontend.0
+                ),
+            )
+            .ok()
+            .flatten()
+            .map(str::to_owned)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nic() -> VirtualNic {
+        VirtualNic::connect(DomainId(3), DomainId(2)).expect("handshake")
+    }
+
+    #[test]
+    fn handshake_leaves_connected_state() {
+        let n = nic();
+        assert_eq!(n.backend_state().as_deref(), Some("connected"));
+    }
+
+    #[test]
+    fn bytes_travel_exactly() {
+        let mut n = nic();
+        n.send(b"hello").unwrap();
+        n.send(b"world!").unwrap();
+        let got = n.backend_poll().unwrap();
+        assert_eq!(got, vec![b"hello".to_vec(), b"world!".to_vec()]);
+        assert_eq!(n.bytes_copied(), 11);
+        assert_eq!(n.frontend_reap().unwrap(), 2);
+    }
+
+    #[test]
+    fn batching_suppresses_notifications() {
+        let mut n = nic();
+        for i in 0..64u32 {
+            n.send(&i.to_le_bytes()).unwrap();
+        }
+        // One wake-up for the whole batch.
+        assert_eq!(n.notifications(), 1);
+        assert_eq!(n.backend_poll().unwrap().len(), 64);
+        assert_eq!(n.frontend_reap().unwrap(), 64);
+    }
+
+    #[test]
+    fn ring_backpressure_propagates() {
+        let mut n = nic();
+        for i in 0..256u32 {
+            n.send(&i.to_le_bytes()).unwrap();
+        }
+        assert!(n.send(b"overflow").is_err(), "ring full");
+        n.backend_poll().unwrap();
+        n.frontend_reap().unwrap();
+        n.send(b"after drain").unwrap();
+    }
+
+    #[test]
+    fn grants_are_reclaimed() {
+        let mut n = nic();
+        for round in 0..10 {
+            n.send(format!("packet {round}").as_bytes()).unwrap();
+            n.backend_poll().unwrap();
+            n.frontend_reap().unwrap();
+        }
+        // All grants revoked after each round trip.
+        assert_eq!(n.grants.live_grants(), 0);
+        assert_eq!(n.wire().len(), 10);
+    }
+}

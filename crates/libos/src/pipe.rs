@@ -1,0 +1,230 @@
+//! Kernel pipes.
+//!
+//! Back two UnixBench microbenchmarks (Figure 5): **Pipe Throughput** (one
+//! process writing and reading its own pipe) and **Context Switching**
+//! (two processes ping-ponging through a pipe pair, which forces a
+//! process switch per message). Data really moves through a bounded ring;
+//! costs are `pipe_op` + copy, with syscall dispatch charged by the
+//! caller.
+
+use std::collections::VecDeque;
+use std::error::Error;
+use std::fmt;
+
+use xc_sim::cost::CostModel;
+use xc_sim::time::Nanos;
+
+/// Default pipe capacity (Linux's 64 KiB).
+pub const PIPE_CAPACITY: usize = 64 * 1024;
+
+/// Pipe errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PipeError {
+    /// The pipe buffer is full (writer must block).
+    WouldBlockFull,
+    /// The pipe buffer is empty (reader must block).
+    WouldBlockEmpty,
+    /// All writers closed and the buffer is drained.
+    Closed,
+}
+
+impl fmt::Display for PipeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipeError::WouldBlockFull => write!(f, "pipe full, write would block"),
+            PipeError::WouldBlockEmpty => write!(f, "pipe empty, read would block"),
+            PipeError::Closed => write!(f, "pipe closed"),
+        }
+    }
+}
+
+impl Error for PipeError {}
+
+/// A unidirectional kernel pipe.
+///
+/// # Example
+///
+/// ```
+/// use xc_libos::pipe::Pipe;
+/// use xc_sim::cost::CostModel;
+///
+/// let costs = CostModel::skylake_cloud();
+/// let mut p = Pipe::new();
+/// p.write(b"ping", &costs)?;
+/// let mut buf = [0u8; 8];
+/// let (n, _cost) = p.read(&mut buf, &costs)?;
+/// assert_eq!(&buf[..n], b"ping");
+/// # Ok::<(), xc_libos::pipe::PipeError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Pipe {
+    buffer: VecDeque<u8>,
+    capacity: usize,
+    writer_open: bool,
+    bytes_through: u64,
+}
+
+impl Default for Pipe {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Pipe {
+    /// Creates a pipe with the default 64 KiB capacity.
+    pub fn new() -> Self {
+        Pipe::with_capacity(PIPE_CAPACITY)
+    }
+
+    /// Creates a pipe with a custom capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "pipe capacity must be positive");
+        Pipe {
+            buffer: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            writer_open: true,
+            bytes_through: 0,
+        }
+    }
+
+    /// Bytes currently buffered.
+    pub fn len(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buffer.is_empty()
+    }
+
+    /// Free space.
+    pub fn free(&self) -> usize {
+        self.capacity - self.buffer.len()
+    }
+
+    /// Writes as much of `data` as fits, returning `(written, cost)`.
+    ///
+    /// # Errors
+    ///
+    /// [`PipeError::WouldBlockFull`] when no space at all;
+    /// [`PipeError::Closed`] if the write end was closed.
+    pub fn write(&mut self, data: &[u8], costs: &CostModel) -> Result<(usize, Nanos), PipeError> {
+        if !self.writer_open {
+            return Err(PipeError::Closed);
+        }
+        if self.free() == 0 {
+            return Err(PipeError::WouldBlockFull);
+        }
+        let n = data.len().min(self.free());
+        self.buffer.extend(&data[..n]);
+        self.bytes_through += n as u64;
+        Ok((n, costs.pipe_op + costs.copy_bytes(n as u64)))
+    }
+
+    /// Reads up to `buf.len()` bytes, returning `(read, cost)`.
+    ///
+    /// # Errors
+    ///
+    /// [`PipeError::WouldBlockEmpty`] when empty with a live writer;
+    /// [`PipeError::Closed`] when empty and the writer closed.
+    pub fn read(&mut self, buf: &mut [u8], costs: &CostModel) -> Result<(usize, Nanos), PipeError> {
+        if self.buffer.is_empty() {
+            return if self.writer_open {
+                Err(PipeError::WouldBlockEmpty)
+            } else {
+                Err(PipeError::Closed)
+            };
+        }
+        let n = buf.len().min(self.buffer.len());
+        for slot in buf.iter_mut().take(n) {
+            *slot = self.buffer.pop_front().expect("checked non-empty");
+        }
+        Ok((n, costs.pipe_op + costs.copy_bytes(n as u64)))
+    }
+
+    /// Closes the write end.
+    pub fn close_writer(&mut self) {
+        self.writer_open = false;
+    }
+
+    /// Total bytes that have passed through.
+    pub fn bytes_through(&self) -> u64 {
+        self.bytes_through
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn costs() -> CostModel {
+        CostModel::skylake_cloud()
+    }
+
+    #[test]
+    fn fifo_order() {
+        let mut p = Pipe::new();
+        p.write(b"abc", &costs()).unwrap();
+        p.write(b"def", &costs()).unwrap();
+        let mut buf = [0u8; 6];
+        let (n, _) = p.read(&mut buf, &costs()).unwrap();
+        assert_eq!(&buf[..n], b"abcdef");
+    }
+
+    #[test]
+    fn blocking_semantics() {
+        let mut p = Pipe::with_capacity(4);
+        assert_eq!(
+            p.read(&mut [0u8; 1], &costs()),
+            Err(PipeError::WouldBlockEmpty)
+        );
+        let (written, _) = p.write(b"123456", &costs()).unwrap();
+        assert_eq!(written, 4, "short write at capacity");
+        assert_eq!(p.write(b"x", &costs()), Err(PipeError::WouldBlockFull));
+        let mut buf = [0u8; 2];
+        p.read(&mut buf, &costs()).unwrap();
+        assert_eq!(p.free(), 2);
+    }
+
+    #[test]
+    fn close_semantics() {
+        let mut p = Pipe::new();
+        p.write(b"last", &costs()).unwrap();
+        p.close_writer();
+        assert_eq!(p.write(b"x", &costs()), Err(PipeError::Closed));
+        let mut buf = [0u8; 8];
+        let (n, _) = p.read(&mut buf, &costs()).unwrap();
+        assert_eq!(n, 4);
+        assert_eq!(p.read(&mut buf, &costs()), Err(PipeError::Closed));
+    }
+
+    #[test]
+    fn ping_pong_counts_bytes() {
+        // The Context Switching benchmark shape.
+        let c = costs();
+        let mut to_b = Pipe::new();
+        let mut to_a = Pipe::new();
+        for _ in 0..100 {
+            to_b.write(b"ping", &c).unwrap();
+            let mut buf = [0u8; 4];
+            to_b.read(&mut buf, &c).unwrap();
+            to_a.write(b"pong", &c).unwrap();
+            to_a.read(&mut buf, &c).unwrap();
+        }
+        assert_eq!(to_b.bytes_through(), 400);
+        assert_eq!(to_a.bytes_through(), 400);
+    }
+
+    #[test]
+    fn cost_scales_with_payload() {
+        let c = costs();
+        let mut p = Pipe::new();
+        let (_, small) = p.write(&[0u8; 16], &c).unwrap();
+        let (_, large) = p.write(&[0u8; 32 * 1024], &c).unwrap();
+        assert!(large > small);
+    }
+}

@@ -1,0 +1,417 @@
+//! Processes and threads.
+//!
+//! §2.1: processes inside an X-Container are "used for concurrency, while
+//! X-Containers provide isolation between containers" — but they keep
+//! their own address spaces "for resource management and compatibility".
+//! The process table models fork/exec/exit with address-space bookkeeping
+//! through the hypervisor layer and cost accounting through
+//! [`Backend`].
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+use xc_sim::cost::CostModel;
+use xc_sim::time::Nanos;
+use xc_xen::domain::DomainId;
+use xc_xen::pgtable::{AddressSpaceId, PageTables};
+
+use crate::backend::Backend;
+use crate::config::KernelConfig;
+
+/// Process identifier within one kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Pid(pub u32);
+
+impl fmt::Display for Pid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pid {}", self.0)
+    }
+}
+
+/// Process management errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProcessError {
+    /// Unknown pid.
+    NoSuchProcess(Pid),
+    /// The hypervisor refused an address-space operation.
+    Hypervisor(xc_xen::XenError),
+}
+
+impl fmt::Display for ProcessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProcessError::NoSuchProcess(p) => write!(f, "no such process {p}"),
+            ProcessError::Hypervisor(e) => write!(f, "hypervisor rejected operation: {e}"),
+        }
+    }
+}
+
+impl Error for ProcessError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ProcessError::Hypervisor(e) => Some(e),
+            ProcessError::NoSuchProcess(_) => None,
+        }
+    }
+}
+
+impl From<xc_xen::XenError> for ProcessError {
+    fn from(e: xc_xen::XenError) -> Self {
+        ProcessError::Hypervisor(e)
+    }
+}
+
+/// One process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Process {
+    pid: Pid,
+    parent: Option<Pid>,
+    space: AddressSpaceId,
+    resident_pages: u64,
+    threads: u32,
+    name: String,
+}
+
+impl Process {
+    /// Process id.
+    pub fn pid(&self) -> Pid {
+        self.pid
+    }
+
+    /// Parent pid, if any.
+    pub fn parent(&self) -> Option<Pid> {
+        self.parent
+    }
+
+    /// The process's address space.
+    pub fn space(&self) -> AddressSpaceId {
+        self.space
+    }
+
+    /// Resident pages (drives fork cost).
+    pub fn resident_pages(&self) -> u64 {
+        self.resident_pages
+    }
+
+    /// Thread count.
+    pub fn threads(&self) -> u32 {
+        self.threads
+    }
+
+    /// Command name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// The kernel's process table, parameterized by deployment [`Backend`].
+///
+/// # Example
+///
+/// ```
+/// use xc_libos::backend::Backend;
+/// use xc_libos::process::ProcessTable;
+/// use xc_xen::domain::DomainId;
+/// use xc_xen::pgtable::PageTables;
+/// use xc_sim::cost::CostModel;
+///
+/// let costs = CostModel::skylake_cloud();
+/// let mut pt = PageTables::new();
+/// let mut procs = ProcessTable::new(Backend::XKernel, DomainId(1));
+/// let (init, _) = procs.spawn_init("nginx", 1500, &mut pt, &costs)?;
+/// let (worker, cost) = procs.fork(init, &mut pt, &costs)?;
+/// assert_ne!(worker, init);
+/// assert!(cost.as_nanos() > 0);
+/// # Ok::<(), xc_libos::process::ProcessError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ProcessTable {
+    backend: Backend,
+    domain: DomainId,
+    next_pid: u32,
+    processes: BTreeMap<Pid, Process>,
+    total_forks: u64,
+    total_execs: u64,
+}
+
+impl ProcessTable {
+    /// Creates an empty table for a kernel of `domain` on `backend`.
+    pub fn new(backend: Backend, domain: DomainId) -> Self {
+        ProcessTable {
+            backend,
+            domain,
+            next_pid: 1,
+            processes: BTreeMap::new(),
+            total_forks: 0,
+            total_execs: 0,
+        }
+    }
+
+    /// The deployment backend.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// Creates the initial process (the container's entry point), with its
+    /// address space registered in the hypervisor page tables. Returns the
+    /// pid and the setup cost.
+    ///
+    /// # Errors
+    ///
+    /// Propagates hypervisor rejections.
+    pub fn spawn_init(
+        &mut self,
+        name: &str,
+        resident_pages: u64,
+        pt: &mut PageTables,
+        costs: &CostModel,
+    ) -> Result<(Pid, Nanos), ProcessError> {
+        let space = pt.create_space(self.domain)?;
+        let pid = self.alloc_pid();
+        self.processes.insert(
+            pid,
+            Process {
+                pid,
+                parent: None,
+                space,
+                resident_pages,
+                threads: 1,
+                name: name.to_owned(),
+            },
+        );
+        // Setup cost ≈ mapping the image.
+        let cost = self.backend.fork_cost(costs, resident_pages);
+        Ok((pid, cost))
+    }
+
+    /// Forks `parent`, returning the child pid and the fork cost.
+    ///
+    /// # Errors
+    ///
+    /// [`ProcessError::NoSuchProcess`] or hypervisor rejections.
+    pub fn fork(
+        &mut self,
+        parent: Pid,
+        pt: &mut PageTables,
+        costs: &CostModel,
+    ) -> Result<(Pid, Nanos), ProcessError> {
+        let (pages, name) = {
+            let p = self.get(parent)?;
+            (p.resident_pages, p.name.clone())
+        };
+        let space = pt.create_space(self.domain)?;
+        let pid = self.alloc_pid();
+        self.processes.insert(
+            pid,
+            Process {
+                pid,
+                parent: Some(parent),
+                space,
+                resident_pages: pages,
+                threads: 1,
+                name,
+            },
+        );
+        self.total_forks += 1;
+        Ok((pid, self.backend.fork_cost(costs, pages)))
+    }
+
+    /// Replaces `pid`'s image (`execve`), returning the cost.
+    ///
+    /// # Errors
+    ///
+    /// [`ProcessError::NoSuchProcess`] for unknown pids.
+    #[allow(clippy::too_many_arguments)] // mirrors execve's own arity
+    pub fn exec(
+        &mut self,
+        pid: Pid,
+        name: &str,
+        image_pages: u64,
+        loader_syscalls: u64,
+        config: &KernelConfig,
+        costs: &CostModel,
+        optimized: bool,
+    ) -> Result<Nanos, ProcessError> {
+        let backend = self.backend;
+        let p = self.get_mut(pid)?;
+        p.name = name.to_owned();
+        p.resident_pages = image_pages;
+        p.threads = 1;
+        self.total_execs += 1;
+        Ok(backend.exec_cost(costs, config, image_pages, loader_syscalls, optimized))
+    }
+
+    /// Terminates a process, destroying its address space. Returns the
+    /// teardown cost.
+    ///
+    /// # Errors
+    ///
+    /// [`ProcessError::NoSuchProcess`] or hypervisor rejections.
+    pub fn exit(
+        &mut self,
+        pid: Pid,
+        pt: &mut PageTables,
+        costs: &CostModel,
+    ) -> Result<Nanos, ProcessError> {
+        let p = self
+            .processes
+            .remove(&pid)
+            .ok_or(ProcessError::NoSuchProcess(pid))?;
+        pt.destroy_space(p.space)?;
+        Ok(costs.process_teardown)
+    }
+
+    /// Adds a thread to a process (worker-thread model, §2.2).
+    ///
+    /// # Errors
+    ///
+    /// [`ProcessError::NoSuchProcess`] for unknown pids.
+    pub fn add_thread(&mut self, pid: Pid) -> Result<u32, ProcessError> {
+        let p = self.get_mut(pid)?;
+        p.threads += 1;
+        Ok(p.threads)
+    }
+
+    /// Looks up a process.
+    ///
+    /// # Errors
+    ///
+    /// [`ProcessError::NoSuchProcess`] for unknown pids.
+    pub fn get(&self, pid: Pid) -> Result<&Process, ProcessError> {
+        self.processes.get(&pid).ok_or(ProcessError::NoSuchProcess(pid))
+    }
+
+    fn get_mut(&mut self, pid: Pid) -> Result<&mut Process, ProcessError> {
+        self.processes
+            .get_mut(&pid)
+            .ok_or(ProcessError::NoSuchProcess(pid))
+    }
+
+    /// Live process count.
+    pub fn len(&self) -> usize {
+        self.processes.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.processes.is_empty()
+    }
+
+    /// Total runnable tasks if every thread is runnable (scheduler input).
+    pub fn total_threads(&self) -> u64 {
+        self.processes.values().map(|p| u64::from(p.threads)).sum()
+    }
+
+    /// Forks performed since creation.
+    pub fn total_forks(&self) -> u64 {
+        self.total_forks
+    }
+
+    /// Execs performed since creation.
+    pub fn total_execs(&self) -> u64 {
+        self.total_execs
+    }
+
+    fn alloc_pid(&mut self) -> Pid {
+        let pid = Pid(self.next_pid);
+        self.next_pid += 1;
+        pid
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (ProcessTable, PageTables, CostModel) {
+        (
+            ProcessTable::new(Backend::XKernel, DomainId(1)),
+            PageTables::new(),
+            CostModel::skylake_cloud(),
+        )
+    }
+
+    #[test]
+    fn init_fork_exit_lifecycle() {
+        let (mut procs, mut pt, costs) = setup();
+        let (init, _) = procs.spawn_init("redis", 2000, &mut pt, &costs).unwrap();
+        let (child, fork_cost) = procs.fork(init, &mut pt, &costs).unwrap();
+        assert_eq!(procs.len(), 2);
+        assert_eq!(procs.get(child).unwrap().parent(), Some(init));
+        assert_eq!(procs.get(child).unwrap().resident_pages(), 2000);
+        assert!(fork_cost > Nanos::ZERO);
+        assert_eq!(pt.space_count(), 2);
+
+        let teardown = procs.exit(child, &mut pt, &costs).unwrap();
+        assert_eq!(teardown, costs.process_teardown);
+        assert_eq!(procs.len(), 1);
+        assert_eq!(pt.space_count(), 1);
+        assert!(procs.get(child).is_err());
+    }
+
+    #[test]
+    fn exec_replaces_image() {
+        let (mut procs, mut pt, costs) = setup();
+        let (init, _) = procs.spawn_init("sh", 200, &mut pt, &costs).unwrap();
+        let cfg = KernelConfig::xlibos_default();
+        let cost = procs
+            .exec(init, "nginx", 1500, 150, &cfg, &costs, true)
+            .unwrap();
+        assert!(cost > Nanos::ZERO);
+        let p = procs.get(init).unwrap();
+        assert_eq!(p.name(), "nginx");
+        assert_eq!(p.resident_pages(), 1500);
+        assert_eq!(procs.total_execs(), 1);
+    }
+
+    #[test]
+    fn threads_accumulate() {
+        let (mut procs, mut pt, costs) = setup();
+        let (init, _) = procs.spawn_init("memcached", 800, &mut pt, &costs).unwrap();
+        for _ in 0..3 {
+            procs.add_thread(init).unwrap();
+        }
+        assert_eq!(procs.get(init).unwrap().threads(), 4);
+        assert_eq!(procs.total_threads(), 4);
+    }
+
+    #[test]
+    fn fork_cost_reflects_backend() {
+        let costs = CostModel::skylake_cloud();
+        let mut pt_a = PageTables::new();
+        let mut pt_b = PageTables::new();
+        let mut native = ProcessTable::new(Backend::Native, DomainId(0));
+        let mut xk = ProcessTable::new(Backend::XKernel, DomainId(1));
+        let (ni, _) = native.spawn_init("a", 2000, &mut pt_a, &costs).unwrap();
+        let (xi, _) = xk.spawn_init("a", 2000, &mut pt_b, &costs).unwrap();
+        let (_, nc) = native.fork(ni, &mut pt_a, &costs).unwrap();
+        let (_, xc) = xk.fork(xi, &mut pt_b, &costs).unwrap();
+        assert!(xc > nc, "hypervisor-validated fork must cost more");
+    }
+
+    #[test]
+    fn unknown_pid_errors() {
+        let (mut procs, mut pt, costs) = setup();
+        let ghost = Pid(99);
+        assert!(matches!(
+            procs.fork(ghost, &mut pt, &costs),
+            Err(ProcessError::NoSuchProcess(_))
+        ));
+        assert!(matches!(
+            procs.exit(ghost, &mut pt, &costs),
+            Err(ProcessError::NoSuchProcess(_))
+        ));
+        assert!(matches!(procs.add_thread(ghost), Err(ProcessError::NoSuchProcess(_))));
+    }
+
+    #[test]
+    fn pids_monotonic() {
+        let (mut procs, mut pt, costs) = setup();
+        let (a, _) = procs.spawn_init("a", 10, &mut pt, &costs).unwrap();
+        let (b, _) = procs.fork(a, &mut pt, &costs).unwrap();
+        let (c, _) = procs.fork(a, &mut pt, &costs).unwrap();
+        assert!(a < b && b < c);
+        assert_eq!(procs.total_forks(), 2);
+    }
+}

@@ -1,0 +1,297 @@
+//! A CFS-style fair scheduler — the inner level of Figure 8's hierarchy.
+//!
+//! Under Docker, one flat instance of this scheduler juggles the threads
+//! of *all* containers (4N tasks for N NGINX+PHP containers); under
+//! X-Containers each X-LibOS runs its own small instance over the
+//! container's 4 processes while the credit scheduler juggles N vCPUs.
+//! "This hierarchical scheduling turned out to be a more scalable way of
+//! co-scheduling many containers" (§5.6).
+//!
+//! The implementation follows CFS's essentials: per-task virtual runtime,
+//! weighted by nice-equivalent weights, always running the task with the
+//! minimum vruntime; a `BTreeMap` plays the red-black tree's role.
+
+use std::collections::BTreeMap;
+
+use xc_sim::time::Nanos;
+
+/// Task identifier within one scheduler instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TaskId(pub u64);
+
+/// Default task weight (CFS nice-0).
+pub const WEIGHT_NICE_0: u32 = 1024;
+
+/// CFS scheduling latency target: every runnable task should run once per
+/// this period (stretched when the runqueue is long, like the real
+/// `sched_latency_ns` / `sched_min_granularity_ns` pair).
+pub const SCHED_LATENCY: Nanos = Nanos::from_millis(6);
+
+/// Minimum slice a task receives once picked.
+pub const MIN_GRANULARITY: Nanos = Nanos::from_micros(750);
+
+#[derive(Debug, Clone)]
+struct Task {
+    weight: u32,
+    vruntime: u128,
+    run_time: Nanos,
+    runnable: bool,
+}
+
+/// The fair scheduler.
+///
+/// # Example
+///
+/// ```
+/// use xc_libos::sched::{FairScheduler, WEIGHT_NICE_0};
+/// use xc_sim::time::Nanos;
+///
+/// let mut s = FairScheduler::new();
+/// let a = s.add_task(WEIGHT_NICE_0);
+/// let b = s.add_task(WEIGHT_NICE_0);
+/// s.set_runnable(a, true);
+/// s.set_runnable(b, true);
+/// // Fair alternation: run whoever has the least virtual runtime.
+/// let first = s.pick_next().unwrap();
+/// s.account(first, Nanos::from_millis(3));
+/// let second = s.pick_next().unwrap();
+/// assert_ne!(first, second);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FairScheduler {
+    tasks: BTreeMap<TaskId, Task>,
+    next_id: u64,
+    current: Option<TaskId>,
+    switches: u64,
+}
+
+impl FairScheduler {
+    /// Creates an empty scheduler.
+    pub fn new() -> Self {
+        FairScheduler::default()
+    }
+
+    /// Registers a task with the given weight (blocked initially).
+    pub fn add_task(&mut self, weight: u32) -> TaskId {
+        let id = TaskId(self.next_id);
+        self.next_id += 1;
+        // New tasks start at the current minimum vruntime so they neither
+        // starve nor monopolize (CFS's place_entity).
+        let min_vr = self.min_vruntime();
+        self.tasks.insert(
+            id,
+            Task { weight: weight.max(1), vruntime: min_vr, run_time: Nanos::ZERO, runnable: false },
+        );
+        id
+    }
+
+    /// Removes a task.
+    pub fn remove_task(&mut self, id: TaskId) {
+        self.tasks.remove(&id);
+        if self.current == Some(id) {
+            self.current = None;
+        }
+    }
+
+    /// Marks a task runnable/blocked.
+    pub fn set_runnable(&mut self, id: TaskId, runnable: bool) {
+        let floor = self.min_vruntime();
+        if let Some(t) = self.tasks.get_mut(&id) {
+            if runnable && !t.runnable {
+                // Re-sync a waker's vruntime to the floor to avoid a
+                // sleeper monopolizing after a long block.
+                t.vruntime = t.vruntime.max(floor);
+            }
+            t.runnable = runnable;
+        }
+        if !runnable && self.current == Some(id) {
+            self.current = None;
+        }
+    }
+
+    fn min_vruntime(&self) -> u128 {
+        self.tasks
+            .values()
+            .filter(|t| t.runnable)
+            .map(|t| t.vruntime)
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Number of runnable tasks.
+    pub fn runnable_count(&self) -> u64 {
+        self.tasks.values().filter(|t| t.runnable).count() as u64
+    }
+
+    /// Picks the runnable task with the minimum vruntime (ties broken by
+    /// id for determinism). Counts a switch when the pick differs from the
+    /// previously running task.
+    pub fn pick_next(&mut self) -> Option<TaskId> {
+        let pick = self
+            .tasks
+            .iter()
+            .filter(|(_, t)| t.runnable)
+            .min_by_key(|(id, t)| (t.vruntime, **id))
+            .map(|(id, _)| *id)?;
+        if self.current != Some(pick) {
+            self.switches += 1;
+            self.current = Some(pick);
+        }
+        Some(pick)
+    }
+
+    /// Accounts `ran` wall time to a task, advancing its weighted
+    /// vruntime.
+    pub fn account(&mut self, id: TaskId, ran: Nanos) {
+        if let Some(t) = self.tasks.get_mut(&id) {
+            // vruntime advances inversely to weight.
+            t.vruntime += u128::from(ran.as_nanos()) * u128::from(WEIGHT_NICE_0)
+                / u128::from(t.weight);
+            t.run_time += ran;
+        }
+    }
+
+    /// The slice a picked task should run before preemption: the latency
+    /// target divided among runnable tasks, floored at the minimum
+    /// granularity. Long runqueues stretch total latency — the mechanism
+    /// behind Docker's Figure 8 degradation.
+    pub fn timeslice(&self) -> Nanos {
+        let n = self.runnable_count().max(1);
+        (SCHED_LATENCY / n).max(MIN_GRANULARITY)
+    }
+
+    /// Total time accounted to a task.
+    pub fn run_time(&self, id: TaskId) -> Option<Nanos> {
+        self.tasks.get(&id).map(|t| t.run_time)
+    }
+
+    /// Context switches observed.
+    pub fn switches(&self) -> u64 {
+        self.switches
+    }
+
+    /// Runs a closed-loop simulation for `duration`, alternating picks and
+    /// full timeslices. Returns per-task run time. Used by tests and the
+    /// scalability harness to measure fairness and switch rates.
+    pub fn run_for(&mut self, duration: Nanos) -> BTreeMap<TaskId, Nanos> {
+        let mut elapsed = Nanos::ZERO;
+        while elapsed < duration {
+            let Some(task) = self.pick_next() else { break };
+            let slice = self.timeslice().min(duration - elapsed);
+            self.account(task, slice);
+            elapsed += slice;
+        }
+        self.tasks
+            .iter()
+            .map(|(id, t)| (*id, t.run_time))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_weights_share_equally() {
+        let mut s = FairScheduler::new();
+        let tasks: Vec<TaskId> = (0..4).map(|_| s.add_task(WEIGHT_NICE_0)).collect();
+        for &t in &tasks {
+            s.set_runnable(t, true);
+        }
+        let times = s.run_for(Nanos::from_secs(1));
+        for &t in &tasks {
+            let share = times[&t].as_secs_f64();
+            assert!((share - 0.25).abs() < 0.01, "share {share}");
+        }
+    }
+
+    #[test]
+    fn weighted_shares() {
+        let mut s = FairScheduler::new();
+        let light = s.add_task(WEIGHT_NICE_0);
+        let heavy = s.add_task(WEIGHT_NICE_0 * 3);
+        s.set_runnable(light, true);
+        s.set_runnable(heavy, true);
+        s.run_for(Nanos::from_secs(1));
+        let ratio = s.run_time(heavy).unwrap().as_secs_f64()
+            / s.run_time(light).unwrap().as_secs_f64();
+        assert!((2.6..3.4).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn blocked_tasks_never_run() {
+        let mut s = FairScheduler::new();
+        let a = s.add_task(WEIGHT_NICE_0);
+        let b = s.add_task(WEIGHT_NICE_0);
+        s.set_runnable(a, true);
+        s.run_for(Nanos::from_millis(100));
+        assert_eq!(s.run_time(b).unwrap(), Nanos::ZERO);
+        assert!(s.run_time(a).unwrap() >= Nanos::from_millis(99));
+    }
+
+    #[test]
+    fn timeslice_shrinks_with_load_then_floors() {
+        let mut s = FairScheduler::new();
+        let t0 = s.add_task(WEIGHT_NICE_0);
+        s.set_runnable(t0, true);
+        assert_eq!(s.timeslice(), SCHED_LATENCY);
+        for _ in 0..3 {
+            let t = s.add_task(WEIGHT_NICE_0);
+            s.set_runnable(t, true);
+        }
+        assert_eq!(s.timeslice(), SCHED_LATENCY / 4);
+        for _ in 0..100 {
+            let t = s.add_task(WEIGHT_NICE_0);
+            s.set_runnable(t, true);
+        }
+        assert_eq!(s.timeslice(), MIN_GRANULARITY, "floor engaged");
+    }
+
+    #[test]
+    fn switch_rate_grows_with_runqueue() {
+        // The Figure 8 mechanism: more runnable tasks → shorter slices →
+        // more context switches per second.
+        let mut small = FairScheduler::new();
+        for _ in 0..4 {
+            let t = small.add_task(WEIGHT_NICE_0);
+            small.set_runnable(t, true);
+        }
+        small.run_for(Nanos::from_secs(1));
+
+        let mut big = FairScheduler::new();
+        for _ in 0..64 {
+            let t = big.add_task(WEIGHT_NICE_0);
+            big.set_runnable(t, true);
+        }
+        big.run_for(Nanos::from_secs(1));
+        assert!(big.switches() as f64 > small.switches() as f64 * 1.9);
+    }
+
+    #[test]
+    fn woken_sleeper_does_not_monopolize() {
+        let mut s = FairScheduler::new();
+        let sleeper = s.add_task(WEIGHT_NICE_0);
+        let worker = s.add_task(WEIGHT_NICE_0);
+        s.set_runnable(worker, true);
+        s.run_for(Nanos::from_secs(1));
+        // Sleeper wakes with vruntime floored to the worker's, not zero.
+        s.set_runnable(sleeper, true);
+        s.run_for(Nanos::from_millis(100));
+        let sleeper_time = s.run_time(sleeper).unwrap();
+        assert!(
+            sleeper_time <= Nanos::from_millis(60),
+            "sleeper got {sleeper_time}, should not monopolize"
+        );
+    }
+
+    #[test]
+    fn remove_task_clears_current() {
+        let mut s = FairScheduler::new();
+        let a = s.add_task(WEIGHT_NICE_0);
+        s.set_runnable(a, true);
+        assert_eq!(s.pick_next(), Some(a));
+        s.remove_task(a);
+        assert_eq!(s.pick_next(), None);
+    }
+}

@@ -1,0 +1,284 @@
+//! A small in-memory VFS with a page-cache cost model.
+//!
+//! Backs the UnixBench **File Copy** microbenchmark (Figure 5): reads and
+//! writes move real bytes through real descriptor state, while the cost of
+//! each operation is composed from `vfs_op` + per-KiB page-cache copying
+//! plus the backend's syscall dispatch (charged by the caller).
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+use xc_sim::cost::CostModel;
+use xc_sim::time::Nanos;
+
+/// File descriptor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Fd(pub u32);
+
+/// VFS errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VfsError {
+    /// Path does not exist.
+    NotFound(String),
+    /// Descriptor is closed or never existed.
+    BadFd(Fd),
+    /// Path already exists (exclusive create).
+    Exists(String),
+}
+
+impl fmt::Display for VfsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VfsError::NotFound(p) => write!(f, "no such file: {p}"),
+            VfsError::BadFd(fd) => write!(f, "bad file descriptor {}", fd.0),
+            VfsError::Exists(p) => write!(f, "file exists: {p}"),
+        }
+    }
+}
+
+impl Error for VfsError {}
+
+#[derive(Debug, Clone, Default)]
+struct Inode {
+    data: Vec<u8>,
+}
+
+#[derive(Debug, Clone)]
+struct OpenFile {
+    path: String,
+    offset: usize,
+}
+
+/// The in-memory filesystem.
+///
+/// # Example
+///
+/// ```
+/// use xc_libos::vfs::Vfs;
+/// use xc_sim::cost::CostModel;
+///
+/// let costs = CostModel::skylake_cloud();
+/// let mut fs = Vfs::new();
+/// fs.create("/etc/nginx.conf")?;
+/// let fd = fs.open("/etc/nginx.conf")?;
+/// fs.write(fd, b"worker_processes 1;", &costs)?;
+/// fs.seek(fd, 0)?;
+/// let mut buf = [0u8; 64];
+/// let (n, _cost) = fs.read(fd, &mut buf, &costs)?;
+/// assert_eq!(&buf[..n], b"worker_processes 1;");
+/// # Ok::<(), xc_libos::vfs::VfsError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Vfs {
+    inodes: BTreeMap<String, Inode>,
+    open: BTreeMap<Fd, OpenFile>,
+    next_fd: u32,
+    bytes_read: u64,
+    bytes_written: u64,
+}
+
+impl Vfs {
+    /// Creates an empty filesystem.
+    pub fn new() -> Self {
+        Vfs::default()
+    }
+
+    /// Creates an empty file.
+    ///
+    /// # Errors
+    ///
+    /// [`VfsError::Exists`] if the path is taken.
+    pub fn create(&mut self, path: &str) -> Result<(), VfsError> {
+        if self.inodes.contains_key(path) {
+            return Err(VfsError::Exists(path.to_owned()));
+        }
+        self.inodes.insert(path.to_owned(), Inode::default());
+        Ok(())
+    }
+
+    /// Opens an existing file at offset 0.
+    ///
+    /// # Errors
+    ///
+    /// [`VfsError::NotFound`] for missing paths.
+    pub fn open(&mut self, path: &str) -> Result<Fd, VfsError> {
+        if !self.inodes.contains_key(path) {
+            return Err(VfsError::NotFound(path.to_owned()));
+        }
+        let fd = Fd(self.next_fd);
+        self.next_fd += 1;
+        self.open.insert(fd, OpenFile { path: path.to_owned(), offset: 0 });
+        Ok(fd)
+    }
+
+    /// Closes a descriptor.
+    ///
+    /// # Errors
+    ///
+    /// [`VfsError::BadFd`] if not open.
+    pub fn close(&mut self, fd: Fd) -> Result<(), VfsError> {
+        self.open.remove(&fd).map(|_| ()).ok_or(VfsError::BadFd(fd))
+    }
+
+    /// Repositions a descriptor.
+    ///
+    /// # Errors
+    ///
+    /// [`VfsError::BadFd`] if not open.
+    pub fn seek(&mut self, fd: Fd, offset: usize) -> Result<(), VfsError> {
+        let of = self.open.get_mut(&fd).ok_or(VfsError::BadFd(fd))?;
+        of.offset = offset;
+        Ok(())
+    }
+
+    /// Reads into `buf` from the current offset, returning bytes read and
+    /// the in-kernel cost (VFS traversal + page-cache copy).
+    ///
+    /// # Errors
+    ///
+    /// [`VfsError::BadFd`] if not open.
+    pub fn read(
+        &mut self,
+        fd: Fd,
+        buf: &mut [u8],
+        costs: &CostModel,
+    ) -> Result<(usize, Nanos), VfsError> {
+        let of = self.open.get_mut(&fd).ok_or(VfsError::BadFd(fd))?;
+        let inode = self.inodes.get(&of.path).ok_or(VfsError::BadFd(fd))?;
+        let available = inode.data.len().saturating_sub(of.offset);
+        let n = available.min(buf.len());
+        buf[..n].copy_from_slice(&inode.data[of.offset..of.offset + n]);
+        of.offset += n;
+        self.bytes_read += n as u64;
+        let cost = costs.vfs_op + costs.page_cache_per_kb * (n as u64).div_ceil(1024);
+        Ok((n, cost))
+    }
+
+    /// Writes `data` at the current offset (extending the file), returning
+    /// the in-kernel cost.
+    ///
+    /// # Errors
+    ///
+    /// [`VfsError::BadFd`] if not open.
+    pub fn write(&mut self, fd: Fd, data: &[u8], costs: &CostModel) -> Result<Nanos, VfsError> {
+        let of = self.open.get_mut(&fd).ok_or(VfsError::BadFd(fd))?;
+        let inode = self.inodes.get_mut(&of.path).ok_or(VfsError::BadFd(fd))?;
+        let end = of.offset + data.len();
+        if inode.data.len() < end {
+            inode.data.resize(end, 0);
+        }
+        inode.data[of.offset..end].copy_from_slice(data);
+        of.offset = end;
+        self.bytes_written += data.len() as u64;
+        Ok(costs.vfs_op + costs.page_cache_per_kb * (data.len() as u64).div_ceil(1024))
+    }
+
+    /// File size by path.
+    ///
+    /// # Errors
+    ///
+    /// [`VfsError::NotFound`] for missing paths.
+    pub fn size(&self, path: &str) -> Result<usize, VfsError> {
+        self.inodes
+            .get(path)
+            .map(|i| i.data.len())
+            .ok_or(VfsError::NotFound(path.to_owned()))
+    }
+
+    /// Total bytes read through this VFS.
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read
+    }
+
+    /// Total bytes written through this VFS.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn costs() -> CostModel {
+        CostModel::skylake_cloud()
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let mut fs = Vfs::new();
+        fs.create("/f").unwrap();
+        let fd = fs.open("/f").unwrap();
+        fs.write(fd, b"hello world", &costs()).unwrap();
+        fs.seek(fd, 6).unwrap();
+        let mut buf = [0u8; 16];
+        let (n, _) = fs.read(fd, &mut buf, &costs()).unwrap();
+        assert_eq!(&buf[..n], b"world");
+        assert_eq!(fs.size("/f").unwrap(), 11);
+    }
+
+    #[test]
+    fn file_copy_loop_moves_all_bytes() {
+        // The UnixBench File Copy shape: 1 KB buffer, src → dst.
+        let c = costs();
+        let mut fs = Vfs::new();
+        fs.create("/src").unwrap();
+        fs.create("/dst").unwrap();
+        let src = fs.open("/src").unwrap();
+        fs.write(src, &vec![7u8; 10_000], &c).unwrap();
+        fs.seek(src, 0).unwrap();
+        let dst = fs.open("/dst").unwrap();
+        let mut buf = [0u8; 1024];
+        let mut total_cost = Nanos::ZERO;
+        loop {
+            let (n, rc) = fs.read(src, &mut buf, &c).unwrap();
+            if n == 0 {
+                break;
+            }
+            total_cost += rc;
+            total_cost += fs.write(dst, &buf[..n], &c).unwrap();
+        }
+        assert_eq!(fs.size("/dst").unwrap(), 10_000);
+        assert!(total_cost > Nanos::ZERO);
+        assert_eq!(fs.bytes_read(), 10_000);
+        assert_eq!(fs.bytes_written(), 20_000);
+    }
+
+    #[test]
+    fn cost_scales_with_size() {
+        let c = costs();
+        let mut fs = Vfs::new();
+        fs.create("/f").unwrap();
+        let fd = fs.open("/f").unwrap();
+        let small = fs.write(fd, &[0u8; 512], &c).unwrap();
+        let large = fs.write(fd, &[0u8; 64 * 1024], &c).unwrap();
+        assert!(large > small);
+    }
+
+    #[test]
+    fn errors() {
+        let mut fs = Vfs::new();
+        assert!(matches!(fs.open("/missing"), Err(VfsError::NotFound(_))));
+        fs.create("/f").unwrap();
+        assert!(matches!(fs.create("/f"), Err(VfsError::Exists(_))));
+        let fd = fs.open("/f").unwrap();
+        fs.close(fd).unwrap();
+        assert!(matches!(fs.close(fd), Err(VfsError::BadFd(_))));
+        let mut buf = [0u8; 4];
+        assert!(matches!(
+            fs.read(fd, &mut buf, &costs()),
+            Err(VfsError::BadFd(_))
+        ));
+    }
+
+    #[test]
+    fn eof_reads_zero() {
+        let mut fs = Vfs::new();
+        fs.create("/f").unwrap();
+        let fd = fs.open("/f").unwrap();
+        let mut buf = [0u8; 4];
+        let (n, _) = fs.read(fd, &mut buf, &costs()).unwrap();
+        assert_eq!(n, 0);
+    }
+}

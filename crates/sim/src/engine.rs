@@ -1,0 +1,373 @@
+//! Deterministic discrete-event simulation engine.
+//!
+//! The engine is a classic event-queue DES specialised for determinism:
+//! events scheduled for the same instant fire in insertion order (a strictly
+//! monotonic sequence number breaks ties), so a simulation is a pure function
+//! of its inputs.
+//!
+//! Ownership is structured to fit Rust: the *world* (all mutable simulation
+//! state) is a single value implementing [`World`]; events are plain data
+//! (usually an enum); and the engine hands the world each event together with
+//! a mutable [`EventQueue`] through which it may schedule more events. No
+//! `Rc<RefCell<…>>` webs, no trait-object callbacks.
+//!
+//! # Example
+//!
+//! ```
+//! use xc_sim::engine::{EventQueue, Simulation, World};
+//! use xc_sim::time::Nanos;
+//!
+//! struct Counter { fired: u32 }
+//! enum Ev { Tick }
+//!
+//! impl World for Counter {
+//!     type Event = Ev;
+//!     fn handle(&mut self, now: Nanos, _ev: Ev, queue: &mut EventQueue<Ev>) {
+//!         self.fired += 1;
+//!         if self.fired < 3 {
+//!             queue.schedule_in(Nanos::from_nanos(10), Ev::Tick);
+//!         }
+//!         let _ = now;
+//!     }
+//! }
+//!
+//! let mut sim = Simulation::new(Counter { fired: 0 });
+//! sim.queue_mut().schedule_at(Nanos::ZERO, Ev::Tick);
+//! sim.run();
+//! assert_eq!(sim.world().fired, 3);
+//! assert_eq!(sim.now(), Nanos::from_nanos(20));
+//! ```
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::Nanos;
+
+/// Simulation state that reacts to events.
+///
+/// Implementors own *all* mutable state of a simulation; the engine owns the
+/// clock and the pending-event queue.
+pub trait World: Sized {
+    /// The event type driving this world (usually an enum).
+    type Event;
+
+    /// Handles one event at simulated time `now`.
+    ///
+    /// The handler may schedule follow-up events through `queue`; it must not
+    /// assume any particular ordering among events scheduled for the same
+    /// instant other than insertion order.
+    fn handle(&mut self, now: Nanos, event: Self::Event, queue: &mut EventQueue<Self::Event>);
+}
+
+struct Entry<E> {
+    at: Nanos,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The pending-event queue handed to [`World::handle`].
+///
+/// Events may be scheduled for the current instant or any future instant;
+/// scheduling into the past is a logic error and panics, because it would
+/// silently corrupt causality.
+#[derive(Default)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+    now: Nanos,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: Nanos::ZERO,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Nanos {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `event` at the absolute instant `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current time.
+    pub fn schedule_at(&mut self, at: Nanos, event: E) {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: at={at}, now={}",
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { at, seq, event });
+    }
+
+    /// Schedules `event` after a relative `delay`.
+    pub fn schedule_in(&mut self, delay: Nanos, event: E) {
+        let at = self.now.saturating_add(delay);
+        self.schedule_at(at, event);
+    }
+
+    fn pop(&mut self) -> Option<(Nanos, E)> {
+        self.heap.pop().map(|e| {
+            debug_assert!(e.at >= self.now);
+            self.now = e.at;
+            (e.at, e.event)
+        })
+    }
+}
+
+impl<E> std::fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("now", &self.now)
+            .field("pending", &self.heap.len())
+            .finish()
+    }
+}
+
+/// A running simulation: a [`World`] plus its event queue and clock.
+#[derive(Debug)]
+pub struct Simulation<W: World> {
+    world: W,
+    queue: EventQueue<W::Event>,
+    steps: u64,
+}
+
+impl<W: World> Simulation<W> {
+    /// Wraps a world with an empty event queue at time zero.
+    pub fn new(world: W) -> Self {
+        Simulation {
+            world,
+            queue: EventQueue::new(),
+            steps: 0,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Nanos {
+        self.queue.now()
+    }
+
+    /// Total number of events processed so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Shared access to the world.
+    pub fn world(&self) -> &W {
+        &self.world
+    }
+
+    /// Mutable access to the world (e.g. to inspect or seed state between
+    /// phases).
+    pub fn world_mut(&mut self) -> &mut W {
+        &mut self.world
+    }
+
+    /// Mutable access to the event queue (e.g. to schedule initial events).
+    pub fn queue_mut(&mut self) -> &mut EventQueue<W::Event> {
+        &mut self.queue
+    }
+
+    /// Consumes the simulation, returning the final world state.
+    pub fn into_world(self) -> W {
+        self.world
+    }
+
+    /// Processes a single event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        match self.queue.pop() {
+            Some((at, event)) => {
+                self.steps += 1;
+                self.world.handle(at, event, &mut self.queue);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Runs until the event queue drains. Returns the finishing time.
+    pub fn run(&mut self) -> Nanos {
+        while self.step() {}
+        self.now()
+    }
+
+    /// Runs until the queue drains or the clock passes `deadline`, whichever
+    /// comes first. Events scheduled at exactly `deadline` are processed.
+    pub fn run_until(&mut self, deadline: Nanos) -> Nanos {
+        loop {
+            match self.queue.heap.peek() {
+                Some(head) if head.at <= deadline => {
+                    self.step();
+                }
+                _ => break,
+            }
+        }
+        // Advance the clock to the deadline even if the queue drained early,
+        // so measurement windows have a well-defined length.
+        if self.queue.now < deadline {
+            self.queue.now = deadline;
+        }
+        self.now()
+    }
+
+    /// Runs for at most `max_steps` additional events (a runaway backstop for
+    /// property tests). Returns the number of events processed.
+    pub fn run_steps(&mut self, max_steps: u64) -> u64 {
+        let mut n = 0;
+        while n < max_steps && self.step() {
+            n += 1;
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Recorder {
+        log: Vec<(u64, u32)>,
+    }
+
+    enum Ev {
+        Mark(u32),
+        Chain(u32),
+    }
+
+    impl World for Recorder {
+        type Event = Ev;
+        fn handle(&mut self, now: Nanos, event: Ev, queue: &mut EventQueue<Ev>) {
+            match event {
+                Ev::Mark(id) => self.log.push((now.as_nanos(), id)),
+                Ev::Chain(depth) => {
+                    self.log.push((now.as_nanos(), depth));
+                    if depth > 0 {
+                        queue.schedule_in(Nanos::from_nanos(5), Ev::Chain(depth - 1));
+                    }
+                }
+            }
+        }
+    }
+
+    fn sim() -> Simulation<Recorder> {
+        Simulation::new(Recorder { log: Vec::new() })
+    }
+
+    #[test]
+    fn fires_in_time_order() {
+        let mut s = sim();
+        s.queue_mut().schedule_at(Nanos::from_nanos(30), Ev::Mark(3));
+        s.queue_mut().schedule_at(Nanos::from_nanos(10), Ev::Mark(1));
+        s.queue_mut().schedule_at(Nanos::from_nanos(20), Ev::Mark(2));
+        s.run();
+        assert_eq!(s.world().log, vec![(10, 1), (20, 2), (30, 3)]);
+    }
+
+    #[test]
+    fn simultaneous_events_fire_in_insertion_order() {
+        let mut s = sim();
+        for id in 0..10 {
+            s.queue_mut().schedule_at(Nanos::from_nanos(50), Ev::Mark(id));
+        }
+        s.run();
+        let ids: Vec<u32> = s.world().log.iter().map(|&(_, id)| id).collect();
+        assert_eq!(ids, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chained_events_advance_clock() {
+        let mut s = sim();
+        s.queue_mut().schedule_at(Nanos::ZERO, Ev::Chain(4));
+        let end = s.run();
+        assert_eq!(end, Nanos::from_nanos(20));
+        assert_eq!(s.steps(), 5);
+    }
+
+    #[test]
+    fn run_until_respects_deadline() {
+        let mut s = sim();
+        s.queue_mut().schedule_at(Nanos::ZERO, Ev::Chain(100));
+        s.run_until(Nanos::from_nanos(23));
+        // Events at t=0,5,10,15,20 fire; t=25 does not.
+        assert_eq!(s.world().log.len(), 5);
+        assert_eq!(s.now(), Nanos::from_nanos(23));
+        // Remaining events still fire afterwards.
+        s.run_until(Nanos::from_nanos(25));
+        assert_eq!(s.world().log.len(), 6);
+    }
+
+    #[test]
+    fn run_until_advances_clock_when_drained() {
+        let mut s = sim();
+        s.queue_mut().schedule_at(Nanos::from_nanos(5), Ev::Mark(1));
+        s.run_until(Nanos::from_nanos(1_000));
+        assert_eq!(s.now(), Nanos::from_nanos(1_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_past_panics() {
+        let mut s = sim();
+        s.queue_mut().schedule_at(Nanos::from_nanos(10), Ev::Mark(1));
+        s.run();
+        s.queue_mut().schedule_at(Nanos::from_nanos(5), Ev::Mark(2));
+    }
+
+    #[test]
+    fn run_steps_backstop() {
+        let mut s = sim();
+        s.queue_mut().schedule_at(Nanos::ZERO, Ev::Chain(u32::MAX));
+        let n = s.run_steps(100);
+        assert_eq!(n, 100);
+        assert!(!s.queue.is_empty());
+    }
+
+    #[test]
+    fn queue_len_tracking() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule_in(Nanos::from_nanos(1), 1);
+        q.schedule_in(Nanos::from_nanos(2), 2);
+        assert_eq!(q.len(), 2);
+    }
+}

@@ -1,0 +1,379 @@
+//! Experiment output: aligned text tables and a minimal JSON emitter.
+//!
+//! Every figure/table harness in `xc-bench` renders its results through
+//! [`Table`], so all experiment output shares one format, and dumps a
+//! machine-readable mirror via [`json_object`]/[`json_array`] without pulling
+//! a serialization dependency into the simulation core.
+
+use std::fmt;
+use std::fmt::Write as _;
+
+/// One table cell.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cell {
+    /// Left-aligned text.
+    Text(String),
+    /// Right-aligned number rendered with the given number of decimals.
+    Num(f64, usize),
+    /// Empty cell.
+    Blank,
+}
+
+impl Cell {
+    fn render(&self) -> String {
+        match self {
+            Cell::Text(s) => s.clone(),
+            Cell::Num(v, dp) => format!("{v:.*}", dp),
+            Cell::Blank => String::new(),
+        }
+    }
+
+    fn is_numeric(&self) -> bool {
+        matches!(self, Cell::Num(..))
+    }
+}
+
+impl From<&str> for Cell {
+    fn from(s: &str) -> Self {
+        Cell::Text(s.to_owned())
+    }
+}
+
+impl From<String> for Cell {
+    fn from(s: String) -> Self {
+        Cell::Text(s)
+    }
+}
+
+impl From<f64> for Cell {
+    fn from(v: f64) -> Self {
+        Cell::Num(v, 2)
+    }
+}
+
+impl From<u64> for Cell {
+    fn from(v: u64) -> Self {
+        Cell::Num(v as f64, 0)
+    }
+}
+
+/// An aligned text table with a title, column headers, and rows.
+///
+/// # Example
+///
+/// ```
+/// use xc_sim::report::Table;
+///
+/// let mut t = Table::new("Demo", &["config", "throughput"]);
+/// t.row(["Docker".into(), 1.00.into()]);
+/// t.row(["X-Container".into(), 1.86.into()]);
+/// let text = t.to_text();
+/// assert!(text.contains("X-Container"));
+/// assert!(text.contains("1.86"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<Cell>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Table {
+            title: title.to_owned(),
+            headers: headers.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row. Rows shorter than the header are padded with blanks;
+    /// longer rows are permitted and extend the layout.
+    pub fn row<I>(&mut self, cells: I) -> &mut Self
+    where
+        I: IntoIterator<Item = Cell>,
+    {
+        self.rows.push(cells.into_iter().collect());
+        self
+    }
+
+    /// Appends a visual separator row.
+    pub fn separator(&mut self) -> &mut Self {
+        self.rows.push(Vec::new());
+        self
+    }
+
+    /// Number of data rows (separators included).
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the aligned text form.
+    pub fn to_text(&self) -> String {
+        let columns = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain(std::iter::once(self.headers.len()))
+            .max()
+            .unwrap_or(0);
+
+        let mut widths = vec![0usize; columns];
+        for (i, h) in self.headers.iter().enumerate() {
+            widths[i] = widths[i].max(h.chars().count());
+        }
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|row| row.iter().map(Cell::render).collect())
+            .collect();
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+
+        let total: usize = widths.iter().sum::<usize>() + 3 * widths.len().saturating_sub(1);
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let mut header_line = String::new();
+        for (i, h) in self.headers.iter().enumerate() {
+            if i > 0 {
+                header_line.push_str(" | ");
+            }
+            let _ = write!(header_line, "{:<w$}", h, w = widths[i]);
+        }
+        let _ = writeln!(out, "{header_line}");
+        let _ = writeln!(out, "{}", "-".repeat(total.max(header_line.len())));
+
+        for (row, cells) in self.rows.iter().zip(&rendered) {
+            if cells.is_empty() {
+                let _ = writeln!(out, "{}", "-".repeat(total.max(header_line.len())));
+                continue;
+            }
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str(" | ");
+                }
+                if row[i].is_numeric() {
+                    let _ = write!(line, "{:>w$}", cell, w = widths[i]);
+                } else {
+                    let _ = write!(line, "{:<w$}", cell, w = widths[i]);
+                }
+            }
+            let _ = writeln!(out, "{}", line.trim_end());
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_text())
+    }
+}
+
+/// A JSON value for the minimal emitter.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Finite number (non-finite values are emitted as `null`).
+    Num(f64),
+    /// String (escaped on emission).
+    Str(String),
+    /// Ordered array.
+    Arr(Vec<Json>),
+    /// Ordered object (insertion order preserved for reproducible output).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Serializes to compact JSON text.
+    pub fn to_string_compact(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(v) => {
+                if v.is_finite() {
+                    if v.fract() == 0.0 && v.abs() < 1e15 {
+                        let _ = write!(out, "{}", *v as i64);
+                    } else {
+                        let _ = write!(out, "{v}");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => {
+                            let _ = write!(out, "\\u{:04x}", c as u32);
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    Json::Str(k.clone()).write(out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Self {
+        Json::Str(s.to_owned())
+    }
+}
+impl From<String> for Json {
+    fn from(s: String) -> Self {
+        Json::Str(s)
+    }
+}
+impl From<f64> for Json {
+    fn from(v: f64) -> Self {
+        Json::Num(v)
+    }
+}
+impl From<u64> for Json {
+    fn from(v: u64) -> Self {
+        Json::Num(v as f64)
+    }
+}
+impl From<bool> for Json {
+    fn from(v: bool) -> Self {
+        Json::Bool(v)
+    }
+}
+
+/// Builds a [`Json::Obj`] from `(key, value)` pairs.
+pub fn json_object<I, K, V>(fields: I) -> Json
+where
+    I: IntoIterator<Item = (K, V)>,
+    K: Into<String>,
+    V: Into<Json>,
+{
+    Json::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.into(), v.into()))
+            .collect(),
+    )
+}
+
+/// Builds a [`Json::Arr`] from values.
+pub fn json_array<I, V>(items: I) -> Json
+where
+    I: IntoIterator<Item = V>,
+    V: Into<Json>,
+{
+    Json::Arr(items.into_iter().map(Into::into).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment_and_content() {
+        let mut t = Table::new("T", &["name", "value"]);
+        t.row(["alpha".into(), Cell::Num(1.5, 2)]);
+        t.row(["b".into(), Cell::Num(10.0, 1)]);
+        let text = t.to_text();
+        assert!(text.contains("== T =="));
+        assert!(text.contains("alpha"));
+        assert!(text.contains("1.50"));
+        assert!(text.contains("10.0"));
+        // Numbers are right-aligned to the same column end.
+        let lines: Vec<&str> = text.lines().collect();
+        let a = lines.iter().find(|l| l.contains("alpha")).unwrap();
+        let b = lines.iter().find(|l| l.contains("10.0")).unwrap();
+        assert_eq!(
+            a.rfind("1.50").map(|i| i + 4),
+            b.rfind("10.0").map(|i| i + 4),
+        );
+    }
+
+    #[test]
+    fn table_separator_and_ragged_rows() {
+        let mut t = Table::new("T", &["a"]);
+        t.row(["x".into(), "extra".into()]);
+        t.separator();
+        t.row(["y".into()]);
+        let text = t.to_text();
+        assert!(text.contains("extra"));
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn json_escaping() {
+        let j = Json::Str("a\"b\\c\nd\u{1}".to_owned());
+        assert_eq!(j.to_string_compact(), "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn json_object_roundtrip_shape() {
+        let j = json_object([
+            ("name", Json::from("fig4")),
+            ("relative", Json::from(27.4)),
+            ("patched", Json::from(true)),
+            ("runs", json_array([1u64, 2, 3])),
+        ]);
+        assert_eq!(
+            j.to_string_compact(),
+            r#"{"name":"fig4","relative":27.4,"patched":true,"runs":[1,2,3]}"#
+        );
+    }
+
+    #[test]
+    fn json_numbers() {
+        assert_eq!(Json::Num(3.0).to_string_compact(), "3");
+        assert_eq!(Json::Num(3.25).to_string_compact(), "3.25");
+        assert_eq!(Json::Num(f64::NAN).to_string_compact(), "null");
+        assert_eq!(Json::Null.to_string_compact(), "null");
+    }
+}

@@ -1,0 +1,487 @@
+//! Streaming statistics and latency histograms.
+//!
+//! Two accumulators cover everything the experiment harnesses need:
+//!
+//! * [`Summary`] — count / mean / standard deviation / min / max via
+//!   Welford's online algorithm (the paper reports mean ± stddev of five
+//!   runs; the harnesses do the same),
+//! * [`Histogram`] — an HDR-style log-bucketed histogram for request
+//!   latencies, supporting arbitrary quantiles with bounded relative error.
+
+use std::fmt;
+
+use crate::time::Nanos;
+
+/// Streaming count / mean / variance / extrema accumulator.
+///
+/// # Example
+///
+/// ```
+/// use xc_sim::stats::Summary;
+///
+/// let mut s = Summary::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     s.record(x);
+/// }
+/// assert_eq!(s.count(), 8);
+/// assert!((s.mean() - 5.0).abs() < 1e-12);
+/// assert!((s.stddev() - 2.138089935).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Summary {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Summary {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean, or 0 for an empty summary.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sample standard deviation (n−1 denominator), or 0 with fewer than two
+    /// observations.
+    pub fn stddev(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.count - 1) as f64).sqrt()
+        }
+    }
+
+    /// Smallest observation, or 0 for an empty summary.
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation, or 0 for an empty summary.
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.mean() * self.count as f64
+    }
+
+    /// Merges another summary into this one (parallel Welford combination).
+    pub fn merge(&mut self, other: &Summary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.3} sd={:.3} min={:.3} max={:.3}",
+            self.count,
+            self.mean(),
+            self.stddev(),
+            self.min(),
+            self.max()
+        )
+    }
+}
+
+impl FromIterator<f64> for Summary {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = Summary::new();
+        for x in iter {
+            s.record(x);
+        }
+        s
+    }
+}
+
+impl Extend<f64> for Summary {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.record(x);
+        }
+    }
+}
+
+/// Number of linear sub-buckets per power-of-two bucket.
+///
+/// 32 sub-buckets bound the relative quantile error to about 3%.
+const SUB_BUCKETS: usize = 32;
+const SUB_BITS: u32 = 5; // log2(SUB_BUCKETS)
+
+/// HDR-style log-bucketed histogram over `u64` values (typically
+/// nanoseconds).
+///
+/// Values are grouped into power-of-two magnitude buckets, each split into
+/// `SUB_BUCKETS` linear sub-buckets, giving ~3% relative error on reported
+/// quantiles regardless of the value range — the same design HdrHistogram
+/// uses, reimplemented minimally here to keep the core dependency-free.
+///
+/// # Example
+///
+/// ```
+/// use xc_sim::stats::Histogram;
+///
+/// let mut h = Histogram::new();
+/// for v in 1..=1000u64 {
+///     h.record(v);
+/// }
+/// let p50 = h.quantile(0.50);
+/// assert!((450..=550).contains(&p50), "p50 was {p50}");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum: u128,
+    max: u64,
+    min: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        // 64 magnitude buckets × SUB_BUCKETS covers the full u64 range.
+        Histogram {
+            counts: vec![0; 64 * SUB_BUCKETS],
+            total: 0,
+            sum: 0,
+            max: 0,
+            min: u64::MAX,
+        }
+    }
+
+    fn index_of(value: u64) -> usize {
+        if value < SUB_BUCKETS as u64 {
+            return value as usize;
+        }
+        let magnitude = 63 - value.leading_zeros(); // >= SUB_BITS here
+        let bucket = magnitude - SUB_BITS + 1;
+        let sub = (value >> (magnitude - SUB_BITS)) as usize & (SUB_BUCKETS - 1);
+        (bucket as usize) * SUB_BUCKETS + sub
+    }
+
+    /// Representative (midpoint-ish upper bound) value for a bucket index.
+    fn value_of(index: usize) -> u64 {
+        let bucket = index / SUB_BUCKETS;
+        let sub = (index % SUB_BUCKETS) as u64;
+        if bucket == 0 {
+            sub
+        } else {
+            let magnitude = bucket as u32 + SUB_BITS - 1;
+            let base = (SUB_BUCKETS as u64 + sub) << (magnitude - SUB_BITS);
+            // Upper edge of the sub-bucket minus one, i.e. the largest value
+            // mapping to this index.
+            base + ((1u64 << (magnitude - SUB_BITS)) - 1)
+        }
+    }
+
+    /// Records a single value.
+    pub fn record(&mut self, value: u64) {
+        self.counts[Self::index_of(value)] += 1;
+        self.total += 1;
+        self.sum += u128::from(value);
+        self.max = self.max.max(value);
+        self.min = self.min.min(value);
+    }
+
+    /// Records a [`Nanos`] duration.
+    pub fn record_nanos(&mut self, value: Nanos) {
+        self.record(value.as_nanos());
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether the histogram is empty.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Exact mean of recorded values (sums are exact; only bucket *positions*
+    /// are approximate).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Exact maximum recorded value, or 0 if empty.
+    pub fn max(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.max
+        }
+    }
+
+    /// Exact minimum recorded value, or 0 if empty.
+    pub fn min(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Value at quantile `q` in `[0, 1]`, within ~3% relative error.
+    ///
+    /// Returns 0 for an empty histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]` or NaN.
+    pub fn quantile(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Clamp the bucket's representative value into the exactly
+                // tracked [min, max] envelope.
+                return Self::value_of(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Convenience: the median.
+    pub fn median(&self) -> u64 {
+        self.quantile(0.5)
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+        self.min = self.min.min(other.min);
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.1} p50={} p99={} max={}",
+            self.total,
+            self.mean(),
+            self.quantile(0.5),
+            self.quantile(0.99),
+            self.max()
+        )
+    }
+}
+
+impl Extend<u64> for Histogram {
+    fn extend<I: IntoIterator<Item = u64>>(&mut self, iter: I) {
+        for v in iter {
+            self.record(v);
+        }
+    }
+}
+
+impl FromIterator<u64> for Histogram {
+    fn from_iter<I: IntoIterator<Item = u64>>(iter: I) -> Self {
+        let mut h = Histogram::new();
+        h.extend(iter);
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basic_moments() {
+        let s: Summary = [1.0, 2.0, 3.0, 4.0, 5.0].into_iter().collect();
+        assert_eq!(s.count(), 5);
+        assert!((s.mean() - 3.0).abs() < 1e-12);
+        assert!((s.stddev() - (2.5f64).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 5.0);
+        assert!((s.sum() - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_empty_is_safe() {
+        let s = Summary::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.stddev(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+    }
+
+    #[test]
+    fn summary_merge_matches_sequential() {
+        let mut a: Summary = (0..100).map(f64::from).collect();
+        let b: Summary = (100..250).map(f64::from).collect();
+        let all: Summary = (0..250).map(f64::from).collect();
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-9);
+        assert!((a.stddev() - all.stddev()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_merge_with_empty() {
+        let mut a = Summary::new();
+        let b: Summary = [7.0].into_iter().collect();
+        a.merge(&b);
+        assert_eq!(a.count(), 1);
+        assert_eq!(a.mean(), 7.0);
+        let mut c = a;
+        c.merge(&Summary::new());
+        assert_eq!(c.count(), 1);
+    }
+
+    #[test]
+    fn histogram_small_values_exact() {
+        let mut h = Histogram::new();
+        for v in 0..SUB_BUCKETS as u64 {
+            h.record(v);
+        }
+        // Small values land in dedicated unit buckets: quantiles are exact.
+        assert_eq!(h.quantile(1.0), SUB_BUCKETS as u64 - 1);
+        assert_eq!(h.min(), 0);
+    }
+
+    #[test]
+    fn histogram_quantile_error_bounded() {
+        let mut h = Histogram::new();
+        for v in 1..=100_000u64 {
+            h.record(v);
+        }
+        for &(q, expect) in &[(0.5, 50_000u64), (0.9, 90_000), (0.99, 99_000)] {
+            let got = h.quantile(q);
+            let err = (got as f64 - expect as f64).abs() / expect as f64;
+            assert!(err < 0.04, "q={q} got={got} expect={expect} err={err}");
+        }
+    }
+
+    #[test]
+    fn histogram_mean_is_exact() {
+        let mut h = Histogram::new();
+        for v in [10u64, 20, 30, 40] {
+            h.record(v);
+        }
+        assert_eq!(h.mean(), 25.0);
+        assert_eq!(h.max(), 40);
+        assert_eq!(h.min(), 10);
+    }
+
+    #[test]
+    fn histogram_merge_equals_union() {
+        let a: Histogram = (1..1000u64).collect();
+        let b: Histogram = (1000..5000u64).collect();
+        let mut merged = a.clone();
+        merged.merge(&b);
+        let union: Histogram = (1..5000u64).collect();
+        assert_eq!(merged.count(), union.count());
+        assert_eq!(merged.quantile(0.5), union.quantile(0.5));
+        assert_eq!(merged.max(), union.max());
+    }
+
+    #[test]
+    fn histogram_empty_quantile_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.99), 0);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn histogram_handles_huge_values() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX - 1);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), u64::MAX);
+        // Quantile clamps into the observed envelope.
+        assert!(h.quantile(0.5) >= u64::MAX / 2);
+    }
+
+    #[test]
+    fn index_value_monotone() {
+        // value_of(index_of(v)) >= v and indices are monotone in v.
+        let mut prev_idx = 0;
+        for v in (0..2_000_000u64).step_by(997) {
+            let idx = Histogram::index_of(v);
+            assert!(idx >= prev_idx, "index must be monotone at v={v}");
+            prev_idx = idx;
+            assert!(Histogram::value_of(idx) >= v);
+        }
+    }
+}

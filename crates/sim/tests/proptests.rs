@@ -1,0 +1,112 @@
+//! Property-based tests for the simulation substrate: event ordering,
+//! statistics invariants, and RNG bounds.
+
+use proptest::prelude::*;
+use xc_sim::engine::{EventQueue, Simulation, World};
+use xc_sim::rng::Rng;
+use xc_sim::stats::{Histogram, Summary};
+use xc_sim::time::Nanos;
+
+/// World that records (time, tag) for every event it sees.
+struct Recorder {
+    log: Vec<(u64, u32)>,
+}
+
+impl World for Recorder {
+    type Event = u32;
+    fn handle(&mut self, now: Nanos, tag: u32, _q: &mut EventQueue<u32>) {
+        self.log.push((now.as_nanos(), tag));
+    }
+}
+
+proptest! {
+    /// Events fire in nondecreasing time order, and equal-time events in
+    /// insertion order — regardless of the scheduling order.
+    #[test]
+    fn event_order_is_total(times in proptest::collection::vec(0u64..10_000, 1..200)) {
+        let mut sim = Simulation::new(Recorder { log: Vec::new() });
+        for (tag, &t) in times.iter().enumerate() {
+            sim.queue_mut().schedule_at(Nanos::from_nanos(t), tag as u32);
+        }
+        sim.run();
+        let log = &sim.world().log;
+        prop_assert_eq!(log.len(), times.len());
+        for pair in log.windows(2) {
+            prop_assert!(pair[0].0 <= pair[1].0, "time order");
+            if pair[0].0 == pair[1].0 {
+                prop_assert!(pair[0].1 < pair[1].1, "insertion order on ties");
+            }
+        }
+    }
+
+    /// run_until never processes an event past the deadline, and the
+    /// remainder still fires afterwards.
+    #[test]
+    fn run_until_partitions_cleanly(
+        times in proptest::collection::vec(0u64..10_000, 1..100),
+        deadline in 0u64..10_000,
+    ) {
+        let mut sim = Simulation::new(Recorder { log: Vec::new() });
+        for (tag, &t) in times.iter().enumerate() {
+            sim.queue_mut().schedule_at(Nanos::from_nanos(t), tag as u32);
+        }
+        sim.run_until(Nanos::from_nanos(deadline));
+        let before = sim.world().log.len();
+        let expected_before = times.iter().filter(|&&t| t <= deadline).count();
+        prop_assert_eq!(before, expected_before);
+        sim.run();
+        prop_assert_eq!(sim.world().log.len(), times.len());
+    }
+
+    /// Summary mean/min/max always bracket correctly and merging any
+    /// split equals the whole.
+    #[test]
+    fn summary_merge_invariant(
+        xs in proptest::collection::vec(-1e6f64..1e6, 1..200),
+        split in 0usize..200,
+    ) {
+        let split = split.min(xs.len());
+        let whole: Summary = xs.iter().copied().collect();
+        let mut left: Summary = xs[..split].iter().copied().collect();
+        let right: Summary = xs[split..].iter().copied().collect();
+        left.merge(&right);
+        prop_assert_eq!(left.count(), whole.count());
+        prop_assert!((left.mean() - whole.mean()).abs() < 1e-6 * (1.0 + whole.mean().abs()));
+        prop_assert_eq!(left.min(), whole.min());
+        prop_assert_eq!(left.max(), whole.max());
+        prop_assert!(whole.min() <= whole.mean() && whole.mean() <= whole.max());
+    }
+
+    /// Histogram quantiles are monotone in q and bounded by min/max.
+    #[test]
+    fn histogram_quantiles_monotone(values in proptest::collection::vec(0u64..1_000_000, 1..300)) {
+        let h: Histogram = values.iter().copied().collect();
+        let mut prev = 0;
+        for i in 0..=10 {
+            let q = h.quantile(i as f64 / 10.0);
+            prop_assert!(q >= prev, "monotone");
+            prev = q;
+        }
+        prop_assert!(h.quantile(0.0) >= h.min());
+        prop_assert!(h.quantile(1.0) <= h.max().max(h.min()));
+    }
+
+    /// Bounded RNG draws never escape their range, for any seed.
+    #[test]
+    fn rng_bounds_hold(seed in any::<u64>(), bound in 1u64..1_000_000) {
+        let mut r = Rng::new(seed);
+        for _ in 0..100 {
+            prop_assert!(r.next_below(bound) < bound);
+            let f = r.next_f64();
+            prop_assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    /// Derived RNG streams are stable functions of (parent seed, label).
+    #[test]
+    fn rng_derivation_is_stable(seed in any::<u64>(), label in "[a-z]{1,12}") {
+        let a = Rng::new(seed).derive(&label).next_u64();
+        let b = Rng::new(seed).derive(&label).next_u64();
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,295 @@
+//! The request/response service engine.
+//!
+//! All of the paper's networked benchmarks — `ab` against NGINX, `wrk`
+//! against NGINX/PHP, `memtier_benchmark` against memcached/Redis — are
+//! closed-loop load generators: a fixed number of connections, each
+//! issuing the next request as soon as the previous response returns.
+//! This module prices one request on a platform ([`ServerModel`]) and
+//! derives closed-loop throughput and latency percentiles from a
+//! deterministic multi-worker queueing simulation on the `xc-sim` engine.
+
+use xc_runtimes::platform::Platform;
+use xc_sim::cost::CostModel;
+use xc_sim::engine::{EventQueue, Simulation, World};
+use xc_sim::rng::Rng;
+use xc_sim::stats::Histogram;
+use xc_sim::time::Nanos;
+
+/// What one request costs the server, in kernel-visible operations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestProfile {
+    /// Human-readable profile name.
+    pub name: &'static str,
+    /// Syscalls the server issues per request (accept/epoll share, reads,
+    /// writes, timers…).
+    pub syscalls: u64,
+    /// Bytes received (request).
+    pub recv_bytes: u64,
+    /// Bytes sent (response).
+    pub send_bytes: u64,
+    /// User-space compute per request (parsing, hashing, templating) —
+    /// unaffected by the platform.
+    pub app_compute: Nanos,
+    /// In-kernel work beyond the network path (e.g. file I/O for static
+    /// pages), priced at the platform's kernel-work multiplier.
+    pub kernel_work: Nanos,
+    /// Process context switches forced per request (e.g. proxying to a
+    /// backend process). Most single-process servers: 0.
+    pub process_switches: u64,
+    /// Multi-process coordination events per request (POSIX state shared
+    /// between workers — where Graphene pays its IPC tax).
+    pub coordination_events: u64,
+}
+
+impl RequestProfile {
+    /// Service time of one request on `platform`: the CPU time the server
+    /// burns before the response is on the wire.
+    pub fn service_time(&self, platform: &Platform, costs: &CostModel) -> Nanos {
+        let net = platform.net_stack(costs);
+        let syscalls = platform.syscall_cost(costs) * self.syscalls;
+        let rx = net.recv_cost(costs, self.recv_bytes).scale(platform.net_work_multiplier());
+        let tx = net.send_cost(costs, self.send_bytes).scale(platform.net_work_multiplier());
+        let kernel = self.kernel_work.scale(platform.kernel_ops_multiplier());
+        let switches = platform.context_switch_cost(costs, 4) * self.process_switches;
+        let coordination = platform.multiprocess_ipc_cost(costs) * self.coordination_events;
+        platform.environment_adjust(
+            syscalls + rx + tx + kernel + self.app_compute + switches + coordination,
+        )
+    }
+}
+
+/// A server deployment: a platform, a request profile, and worker
+/// parallelism.
+#[derive(Debug, Clone)]
+pub struct ServerModel {
+    /// The platform the server runs on.
+    pub platform: Platform,
+    /// Per-request costs.
+    pub profile: RequestProfile,
+    /// Worker processes/threads serving requests in parallel.
+    pub workers: u32,
+    /// CPU cores available to this server.
+    pub cores: u32,
+}
+
+impl ServerModel {
+    /// Effective parallelism: workers capped by cores, and by one when the
+    /// platform cannot run processes concurrently (§2.3).
+    pub fn parallelism(&self) -> u32 {
+        let hw = self.workers.min(self.cores).max(1);
+        if self.platform.supports_multicore() {
+            hw
+        } else {
+            1
+        }
+    }
+
+    /// Open-loop capacity ceiling in requests/second.
+    pub fn capacity_rps(&self, costs: &CostModel) -> f64 {
+        let st = self.profile.service_time(&self.platform, costs);
+        f64::from(self.parallelism()) / st.as_secs_f64()
+    }
+}
+
+/// Result of a closed-loop run.
+#[derive(Debug, Clone)]
+pub struct ClosedLoopResult {
+    /// Completed requests per second.
+    pub throughput_rps: f64,
+    /// Per-request latency distribution (nanoseconds).
+    pub latency: Histogram,
+}
+
+impl ClosedLoopResult {
+    /// Mean latency in microseconds.
+    pub fn mean_latency_us(&self) -> f64 {
+        self.latency.mean() / 1_000.0
+    }
+}
+
+/// Discrete-event closed-loop world: `connections` clients, each with one
+/// outstanding request; `parallelism` servers drain a FIFO.
+struct ClosedLoop {
+    service: Nanos,
+    jitter: f64,
+    rtt: Nanos,
+    busy: u32,
+    parallelism: u32,
+    queue_depth: u64,
+    completed: u64,
+    latency: Histogram,
+    rng: Rng,
+    /// Arrival timestamps for queued-but-unserved requests (FIFO).
+    waiting: std::collections::VecDeque<Nanos>,
+}
+
+enum Ev {
+    /// A request arrives at the server (issued_at records client send time).
+    Arrive { issued_at: Nanos },
+    /// A server worker finishes the request issued at `issued_at`.
+    Finish { issued_at: Nanos },
+}
+
+impl ClosedLoop {
+    fn sample_service(&mut self) -> Nanos {
+        // ±jitter uniform service-time variation keeps the histogram
+        // honest without changing the mean.
+        let f = 1.0 + self.jitter * (self.rng.next_f64() * 2.0 - 1.0);
+        self.service.scale(f)
+    }
+}
+
+impl World for ClosedLoop {
+    type Event = Ev;
+
+    fn handle(&mut self, now: Nanos, event: Ev, queue: &mut EventQueue<Ev>) {
+        match event {
+            Ev::Arrive { issued_at } => {
+                self.queue_depth += 1;
+                if self.busy < self.parallelism {
+                    self.busy += 1;
+                    self.queue_depth -= 1;
+                    let st = self.sample_service();
+                    queue.schedule_in(st, Ev::Finish { issued_at });
+                } else {
+                    self.waiting.push_back(issued_at);
+                }
+            }
+            Ev::Finish { issued_at } => {
+                self.completed += 1;
+                let latency = (now - issued_at) + self.rtt;
+                self.latency.record_nanos(latency);
+                // The client issues its next request after a wire RTT.
+                queue.schedule_in(self.rtt, Ev::Arrive { issued_at: now + self.rtt });
+                // Pull the next queued request, if any.
+                if let Some(waiting_since) = self.waiting.pop_front() {
+                    self.queue_depth -= 1;
+                    let st = self.sample_service();
+                    queue.schedule_in(st, Ev::Finish { issued_at: waiting_since });
+                } else {
+                    self.busy -= 1;
+                }
+            }
+        }
+    }
+}
+
+/// Runs a closed-loop benchmark: `connections` concurrent clients against
+/// `server`, for `duration` of simulated time.
+pub fn run_closed_loop(
+    server: &ServerModel,
+    costs: &CostModel,
+    connections: u32,
+    duration: Nanos,
+    seed: u64,
+) -> ClosedLoopResult {
+    let service = server.profile.service_time(&server.platform, costs);
+    let rtt = server.platform.net_stack(costs).wire_latency(costs);
+    let world = ClosedLoop {
+        service,
+        jitter: 0.15,
+        rtt,
+        busy: 0,
+        parallelism: server.parallelism(),
+        queue_depth: 0,
+        completed: 0,
+        latency: Histogram::new(),
+        rng: Rng::new(seed),
+        waiting: std::collections::VecDeque::new(),
+    };
+    let mut sim = Simulation::new(world);
+    for i in 0..connections {
+        // Stagger initial arrivals across one RTT.
+        let offset = rtt * u64::from(i) / u64::from(connections.max(1));
+        sim.queue_mut().schedule_at(offset, Ev::Arrive { issued_at: offset });
+    }
+    sim.run_until(duration);
+    let world = sim.world();
+    ClosedLoopResult {
+        throughput_rps: world.completed as f64 / duration.as_secs_f64(),
+        latency: world.latency.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xc_runtimes::cloud::CloudEnv;
+
+    fn profile() -> RequestProfile {
+        RequestProfile {
+            name: "test",
+            syscalls: 8,
+            recv_bytes: 200,
+            send_bytes: 1024,
+            app_compute: Nanos::from_micros(3),
+            kernel_work: Nanos::from_micros(1),
+            process_switches: 0,
+            coordination_events: 0,
+        }
+    }
+
+    fn server(platform: Platform, workers: u32) -> ServerModel {
+        ServerModel { platform, profile: profile(), workers, cores: 4 }
+    }
+
+    #[test]
+    fn service_time_platform_ordering() {
+        let costs = CostModel::skylake_cloud();
+        let p = profile();
+        let docker = p.service_time(&Platform::docker(CloudEnv::AmazonEc2, true), &costs);
+        let xc = p.service_time(&Platform::x_container(CloudEnv::AmazonEc2, true), &costs);
+        let gv = p.service_time(&Platform::gvisor(CloudEnv::AmazonEc2, true), &costs);
+        assert!(xc < docker, "X-Container must serve faster than patched Docker");
+        assert!(gv > docker * 2, "gVisor interception dominates");
+    }
+
+    #[test]
+    fn closed_loop_saturates_with_connections() {
+        let costs = CostModel::skylake_cloud();
+        let s = server(Platform::docker(CloudEnv::AmazonEc2, true), 1);
+        let low = run_closed_loop(&s, &costs, 1, Nanos::from_millis(200), 1);
+        let high = run_closed_loop(&s, &costs, 64, Nanos::from_millis(200), 1);
+        assert!(high.throughput_rps > low.throughput_rps * 2.0);
+        // At 64 connections a single worker is saturated: throughput near
+        // the capacity ceiling.
+        let cap = s.capacity_rps(&costs);
+        assert!(high.throughput_rps <= cap * 1.01);
+        assert!(high.throughput_rps > cap * 0.85, "high {high:?} cap {cap}");
+    }
+
+    #[test]
+    fn latency_grows_with_saturation() {
+        let costs = CostModel::skylake_cloud();
+        let s = server(Platform::docker(CloudEnv::AmazonEc2, true), 1);
+        let low = run_closed_loop(&s, &costs, 1, Nanos::from_millis(200), 1);
+        let high = run_closed_loop(&s, &costs, 64, Nanos::from_millis(200), 1);
+        assert!(high.mean_latency_us() > low.mean_latency_us() * 4.0);
+    }
+
+    #[test]
+    fn workers_scale_until_cores() {
+        let costs = CostModel::skylake_cloud();
+        let one = server(Platform::docker(CloudEnv::AmazonEc2, true), 1);
+        let four = server(Platform::docker(CloudEnv::AmazonEc2, true), 4);
+        let eight = server(Platform::docker(CloudEnv::AmazonEc2, true), 8); // > cores
+        assert!(four.capacity_rps(&costs) > one.capacity_rps(&costs) * 3.5);
+        assert_eq!(eight.parallelism(), 4, "capped by cores");
+    }
+
+    #[test]
+    fn gvisor_cannot_use_multicore() {
+        let s = server(Platform::gvisor(CloudEnv::AmazonEc2, true), 4);
+        assert_eq!(s.parallelism(), 1);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let costs = CostModel::skylake_cloud();
+        let s = server(Platform::docker(CloudEnv::AmazonEc2, true), 2);
+        let a = run_closed_loop(&s, &costs, 16, Nanos::from_millis(100), 7);
+        let b = run_closed_loop(&s, &costs, 16, Nanos::from_millis(100), 7);
+        assert_eq!(a.throughput_rps, b.throughput_rps);
+        assert_eq!(a.latency.quantile(0.99), b.latency.quantile(0.99));
+    }
+}

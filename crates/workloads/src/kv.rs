@@ -1,0 +1,209 @@
+//! Key-value benchmark clients: `memtier_benchmark` and YCSB.
+//!
+//! Table 1 drives MongoDB with YCSB and memcached/Redis with
+//! `memtier_benchmark` (1:10 SET:GET, §5.3). This module generates the
+//! actual operation streams — Zipf-distributed keys, configurable
+//! read/write mixes — and executes them against a working in-memory
+//! store with per-op platform costing, giving the macro numbers a
+//! data-bearing backend instead of a pure cost formula.
+
+use std::collections::HashMap;
+
+use xc_runtimes::platform::Platform;
+use xc_sim::cost::CostModel;
+use xc_sim::rng::Rng;
+use xc_sim::stats::Histogram;
+use xc_sim::time::Nanos;
+
+use crate::http::RequestProfile;
+
+/// One client operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KvOp {
+    /// Read a key.
+    Get(u64),
+    /// Write a key with a payload size.
+    Set(u64, u32),
+}
+
+/// A key-value workload description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KvWorkload {
+    /// Number of distinct keys.
+    pub keys: u64,
+    /// Zipf skew θ (0 = uniform; YCSB default ≈ 0.99 clamped below 1).
+    pub theta: f64,
+    /// Fraction of reads.
+    pub read_fraction: f64,
+    /// Value size in bytes.
+    pub value_bytes: u32,
+}
+
+impl KvWorkload {
+    /// memtier's 1:10 SET:GET mix over 10 000 keys (§5.3).
+    pub fn memtier() -> Self {
+        KvWorkload { keys: 10_000, theta: 0.0, read_fraction: 10.0 / 11.0, value_bytes: 100 }
+    }
+
+    /// YCSB workload B (95% reads, Zipfian) as used for MongoDB.
+    pub fn ycsb_b() -> Self {
+        KvWorkload { keys: 100_000, theta: 0.9, read_fraction: 0.95, value_bytes: 1_000 }
+    }
+
+    /// Samples the next operation.
+    pub fn next_op(&self, rng: &mut Rng) -> KvOp {
+        let key = rng.zipf(self.keys, self.theta);
+        if rng.chance(self.read_fraction) {
+            KvOp::Get(key)
+        } else {
+            KvOp::Set(key, self.value_bytes)
+        }
+    }
+}
+
+/// Result of a run.
+#[derive(Debug, Clone)]
+pub struct KvRunResult {
+    /// Operations per second.
+    pub throughput_ops: f64,
+    /// GET hit ratio (misses = keys never written).
+    pub hit_ratio: f64,
+    /// Per-op service-time distribution (ns).
+    pub latency: Histogram,
+    /// Final number of resident keys.
+    pub resident_keys: usize,
+}
+
+/// Per-op kernel footprints: a GET is lighter than a SET (no value
+/// upload, smaller response for misses).
+fn op_profile(op: KvOp, base: &RequestProfile) -> RequestProfile {
+    match op {
+        KvOp::Get(_) => base.clone(),
+        KvOp::Set(_, bytes) => RequestProfile {
+            recv_bytes: base.recv_bytes + u64::from(bytes),
+            send_bytes: 16, // "STORED"
+            app_compute: base.app_compute + Nanos::from_nanos(400),
+            ..base.clone()
+        },
+    }
+}
+
+/// Executes `ops` operations of `workload` against a real in-memory
+/// store hosted on `platform`, returning measured results.
+pub fn run_kv(
+    workload: &KvWorkload,
+    base_profile: &RequestProfile,
+    platform: &Platform,
+    costs: &CostModel,
+    ops: u64,
+    seed: u64,
+) -> KvRunResult {
+    let mut rng = Rng::new(seed);
+    let mut store: HashMap<u64, Vec<u8>> = HashMap::new();
+    let mut latency = Histogram::new();
+    let mut total = Nanos::ZERO;
+    let mut gets = 0u64;
+    let mut hits = 0u64;
+
+    for _ in 0..ops {
+        let op = workload.next_op(&mut rng);
+        let service = op_profile(op, base_profile).service_time(platform, costs);
+        total += service;
+        latency.record_nanos(service);
+        match op {
+            KvOp::Get(k) => {
+                gets += 1;
+                if store.contains_key(&k) {
+                    hits += 1;
+                }
+            }
+            KvOp::Set(k, bytes) => {
+                store.insert(k, vec![0u8; bytes as usize]);
+            }
+        }
+    }
+
+    KvRunResult {
+        throughput_ops: ops as f64 / total.as_secs_f64(),
+        hit_ratio: if gets == 0 { 0.0 } else { hits as f64 / gets as f64 },
+        latency,
+        resident_keys: store.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::memcached;
+    use xc_runtimes::cloud::CloudEnv;
+
+    fn run(platform: &Platform, workload: &KvWorkload) -> KvRunResult {
+        let costs = CostModel::skylake_cloud();
+        run_kv(workload, &memcached(), platform, &costs, 20_000, 7)
+    }
+
+    #[test]
+    fn memtier_mix_is_one_to_ten() {
+        let mut rng = Rng::new(3);
+        let w = KvWorkload::memtier();
+        let sets = (0..50_000)
+            .filter(|_| matches!(w.next_op(&mut rng), KvOp::Set(..)))
+            .count();
+        let ratio = sets as f64 / 50_000.0;
+        assert!((ratio - 1.0 / 11.0).abs() < 0.01, "set fraction {ratio}");
+    }
+
+    #[test]
+    fn zipf_concentrates_ycsb_hits() {
+        // Skewed reads hit the written head of the keyspace quickly.
+        let p = Platform::docker(CloudEnv::AmazonEc2, true);
+        let ycsb = run(&p, &KvWorkload::ycsb_b());
+        let uniform = run(
+            &p,
+            &KvWorkload { theta: 0.0, ..KvWorkload::ycsb_b() },
+        );
+        assert!(
+            ycsb.hit_ratio > uniform.hit_ratio,
+            "zipf {:.3} vs uniform {:.3}",
+            ycsb.hit_ratio,
+            uniform.hit_ratio
+        );
+    }
+
+    #[test]
+    fn x_container_outpaces_docker_on_memtier() {
+        let docker = run(&Platform::docker(CloudEnv::AmazonEc2, true), &KvWorkload::memtier());
+        let xc = run(
+            &Platform::x_container(CloudEnv::AmazonEc2, true),
+            &KvWorkload::memtier(),
+        );
+        let gain = xc.throughput_ops / docker.throughput_ops;
+        assert!((1.2..2.6).contains(&gain), "memtier gain {gain:.2}");
+    }
+
+    #[test]
+    fn sets_cost_more_than_gets() {
+        let costs = CostModel::skylake_cloud();
+        let p = Platform::docker(CloudEnv::AmazonEc2, true);
+        let get = op_profile(KvOp::Get(1), &memcached()).service_time(&p, &costs);
+        let set = op_profile(KvOp::Set(1, 1_000), &memcached()).service_time(&p, &costs);
+        assert!(set > get);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let p = Platform::docker(CloudEnv::GoogleGce, false);
+        let a = run(&p, &KvWorkload::memtier());
+        let b = run(&p, &KvWorkload::memtier());
+        assert_eq!(a.throughput_ops, b.throughput_ops);
+        assert_eq!(a.resident_keys, b.resident_keys);
+    }
+
+    #[test]
+    fn store_really_stores() {
+        let p = Platform::docker(CloudEnv::AmazonEc2, true);
+        let r = run(&p, &KvWorkload::memtier());
+        assert!(r.resident_keys > 500, "writes landed: {}", r.resident_keys);
+        assert!(r.latency.count() == 20_000);
+    }
+}

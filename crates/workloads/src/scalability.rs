@@ -1,0 +1,304 @@
+//! Figure 8 — throughput scalability from 1 to 400 containers.
+//!
+//! The experiment: N `webdevops/php-nginx` containers (NGINX + PHP-FPM,
+//! one worker each — 4 processes per container) on one 16-core, 96 GB
+//! machine, each driven by a dedicated `wrk` thread with 5 connections.
+//! Four configurations: native Docker, X-Containers, and Docker inside
+//! ordinary Xen HVM / Xen PV VMs.
+//!
+//! The mechanisms that shape the curves (§5.6):
+//!
+//! * **Flat scheduling degrades.** Docker's host kernel schedules 4N
+//!   processes; per-switch cost grows with runqueue length, and each
+//!   request forces several switches (NGINX ↔ PHP-FPM).
+//! * **Hierarchical scheduling holds.** The X-Kernel schedules N
+//!   single-vCPU domains; each X-LibOS schedules only its own 4
+//!   processes, so the inner runqueue never grows.
+//! * **Per-container parallelism.** At low N a Docker container's two
+//!   busy processes can spread over idle cores, while an X-Container is
+//!   pinned to its single vCPU — Docker's early lead.
+//! * **I/O indirection.** X-Containers pay the split-driver/dom0 path per
+//!   request; full VMs pay that *plus* a complete second network stack
+//!   and the idle load of a full guest OS.
+//! * **Memory density.** 512 MiB VMs exhaust 96 GB near 190 instances;
+//!   the paper could not boot more than 250 PV / 200 HVM instances even
+//!   after squeezing to 256 MiB.
+
+use xc_runtimes::cloud::CloudEnv;
+use xc_runtimes::platform::Platform;
+use xc_sim::cost::CostModel;
+use xc_sim::time::Nanos;
+
+use crate::apps::nginx_php_fpm;
+
+/// The four Figure 8 configurations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScalabilityConfig {
+    /// Native Docker on the host kernel.
+    Docker,
+    /// X-Containers (1 vCPU, 128 MiB each).
+    XContainer,
+    /// Docker inside Xen HVM instances (1 vCPU, 512 MiB each).
+    XenHvm,
+    /// Docker inside Xen PV instances (1 vCPU, 512 MiB each).
+    XenPv,
+}
+
+impl ScalabilityConfig {
+    /// All configurations in figure order.
+    pub const ALL: [ScalabilityConfig; 4] = [
+        ScalabilityConfig::Docker,
+        ScalabilityConfig::XContainer,
+        ScalabilityConfig::XenHvm,
+        ScalabilityConfig::XenPv,
+    ];
+
+    /// Legend label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ScalabilityConfig::Docker => "Docker",
+            ScalabilityConfig::XContainer => "X-Container",
+            ScalabilityConfig::XenHvm => "Xen HVM",
+            ScalabilityConfig::XenPv => "Xen PV",
+        }
+    }
+
+    /// Maximum bootable instances on the 96 GB host (§5.6: beyond 200
+    /// VMs the paper squeezed memory to 256 MiB and still could not pass
+    /// 250 PV / 200 HVM).
+    pub fn max_instances(self) -> u64 {
+        match self {
+            ScalabilityConfig::Docker => 1_000,
+            ScalabilityConfig::XContainer => 700, // 128 MiB each in 96 GB
+            ScalabilityConfig::XenPv => 250,
+            ScalabilityConfig::XenHvm => 200,
+        }
+    }
+
+    fn platform(self) -> Platform {
+        let cloud = CloudEnv::LocalCluster;
+        match self {
+            ScalabilityConfig::Docker => Platform::docker(cloud, true),
+            ScalabilityConfig::XContainer => Platform::x_container(cloud, true),
+            // Docker inside a guest: guest kernel is an ordinary patched
+            // Linux; PV guests forward syscalls, HVM guests trap natively
+            // but exit on I/O.
+            ScalabilityConfig::XenPv => Platform::xen_container(cloud, true),
+            ScalabilityConfig::XenHvm => Platform::docker(cloud, true),
+        }
+    }
+
+    /// Idle/background CPU load of one instance (full guest OS images run
+    /// systemd, cron, agents…; containers and X-Containers boot only the
+    /// application).
+    fn background_core_per_instance(self) -> f64 {
+        match self {
+            ScalabilityConfig::Docker => 0.001,
+            ScalabilityConfig::XContainer => 0.003,
+            ScalabilityConfig::XenPv | ScalabilityConfig::XenHvm => 0.040,
+        }
+    }
+}
+
+/// Per-request process switches (wrk → NGINX → PHP-FPM → NGINX → wrk).
+const SWITCHES_PER_REQUEST: u64 = 4;
+
+/// Extra per-request cost of the dom0/split-driver I/O path for
+/// Xen-hosted configurations (netback processing, bridge, grant copies
+/// for ~4 packets).
+const DOM0_IO_TAX: Nanos = Nanos::from_micros(40);
+
+/// Extra per-request cost for full VMs: the second network stack (guest
+/// bridge + docker proxy inside the VM).
+const DOUBLE_STACK_TAX: Nanos = Nanos::from_micros(55);
+
+/// Additional HVM-only per-request cost: virtio VM exits for I/O.
+const HVM_IO_EXITS: Nanos = Nanos::from_micros(18);
+
+/// One point of the Figure 8 curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScalabilityPoint {
+    /// Number of containers requested.
+    pub containers: u64,
+    /// Aggregate requests/second, or `None` when the configuration
+    /// cannot run this many instances.
+    pub throughput_rps: Option<f64>,
+}
+
+/// CPU time one request consumes under `config` with `n` containers.
+pub fn per_request_cpu(config: ScalabilityConfig, n: u64, costs: &CostModel) -> Nanos {
+    let platform = config.platform();
+    let profile = nginx_php_fpm();
+
+    // Base: syscalls + network + app/kernel work (no switches here; they
+    // are priced below with the right runqueue length).
+    let net = platform.net_stack(costs);
+    let base = platform.syscall_cost(costs) * profile.syscalls
+        + net.recv_cost(costs, profile.recv_bytes)
+        + net.send_cost(costs, profile.send_bytes)
+        + profile.app_compute
+        + profile.kernel_work;
+
+    // Scheduling: flat configurations see all containers' busy processes
+    // on one runqueue (≈ 2 busy of 4 per container); hierarchical ones
+    // see only the container's own 4 tasks, plus one vCPU switch per
+    // request once vCPUs outnumber cores.
+    let cores = u64::from(CloudEnv::LocalCluster.cores());
+    let switch = match config {
+        ScalabilityConfig::Docker => platform.context_switch_cost(costs, 2 * n),
+        ScalabilityConfig::XContainer
+        | ScalabilityConfig::XenPv
+        | ScalabilityConfig::XenHvm => platform.context_switch_cost(costs, 4),
+    };
+    let mut total = base + switch * SWITCHES_PER_REQUEST;
+
+    match config {
+        ScalabilityConfig::Docker => {}
+        ScalabilityConfig::XContainer => {
+            total += DOM0_IO_TAX;
+            if n > cores {
+                // Waking this container's vCPU evicts another: one
+                // cross-container switch (full TLB flush) per request,
+                // plus credit-queue scan.
+                total += platform.context_switch_cost(costs, n / cores);
+            }
+        }
+        ScalabilityConfig::XenPv => {
+            total += DOM0_IO_TAX + DOUBLE_STACK_TAX;
+            if n > cores {
+                total += platform.context_switch_cost(costs, n / cores);
+            }
+        }
+        ScalabilityConfig::XenHvm => {
+            total += DOM0_IO_TAX + DOUBLE_STACK_TAX + HVM_IO_EXITS
+                + (costs.vmexit * 4); // 4 packets' worth of exits
+            if n > cores {
+                total += platform.context_switch_cost(costs, n / cores);
+            }
+        }
+    }
+    platform.environment_adjust(total)
+}
+
+/// Aggregate throughput with `n` containers under `config`.
+pub fn throughput(config: ScalabilityConfig, n: u64, costs: &CostModel) -> Option<f64> {
+    if n == 0 {
+        return Some(0.0);
+    }
+    if n > config.max_instances() {
+        return None;
+    }
+    let cores = f64::from(CloudEnv::LocalCluster.cores());
+    let per_request = per_request_cpu(config, n, costs).as_secs_f64();
+
+    // Background load of idle instances eats into capacity.
+    let background = config.background_core_per_instance() * n as f64;
+    let usable = (cores - background).max(0.5);
+    let capacity = usable / per_request;
+
+    // Per-container ceiling: Docker's two busy processes can use up to
+    // two cores; single-vCPU instances are capped at one.
+    let per_container_cores = match config {
+        ScalabilityConfig::Docker => 2.0,
+        _ => 1.0,
+    };
+    let offered = n as f64 * per_container_cores / per_request;
+
+    Some(capacity.min(offered))
+}
+
+/// The container counts the figure sweeps.
+pub fn figure8_points() -> Vec<u64> {
+    vec![1, 5, 10, 25, 50, 75, 100, 150, 200, 250, 300, 350, 400]
+}
+
+/// Runs the full Figure 8 sweep for one configuration.
+pub fn sweep(config: ScalabilityConfig, costs: &CostModel) -> Vec<ScalabilityPoint> {
+    figure8_points()
+        .into_iter()
+        .map(|n| ScalabilityPoint {
+            containers: n,
+            throughput_rps: throughput(config, n, costs),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c() -> CostModel {
+        CostModel::skylake_cloud()
+    }
+
+    #[test]
+    fn docker_leads_at_low_density() {
+        let costs = c();
+        for n in [16, 32, 64] {
+            let d = throughput(ScalabilityConfig::Docker, n, &costs).unwrap();
+            let x = throughput(ScalabilityConfig::XContainer, n, &costs).unwrap();
+            assert!(d > x, "n={n}: docker {d:.0} must lead x {x:.0}");
+        }
+    }
+
+    #[test]
+    fn x_container_wins_at_400_by_double_digits() {
+        // §5.6: "with N = 400, X-Containers outperformed Docker by 18%".
+        let costs = c();
+        let d = throughput(ScalabilityConfig::Docker, 400, &costs).unwrap();
+        let x = throughput(ScalabilityConfig::XContainer, 400, &costs).unwrap();
+        let gain = x / d - 1.0;
+        assert!((0.08..0.35).contains(&gain), "gain at 400: {:.1}%", gain * 100.0);
+    }
+
+    #[test]
+    fn docker_throughput_declines_past_peak() {
+        let costs = c();
+        let peak = throughput(ScalabilityConfig::Docker, 50, &costs).unwrap();
+        let tail = throughput(ScalabilityConfig::Docker, 400, &costs).unwrap();
+        assert!(tail < peak * 0.95, "peak {peak:.0} tail {tail:.0}");
+    }
+
+    #[test]
+    fn x_container_stays_flat() {
+        let costs = c();
+        let mid = throughput(ScalabilityConfig::XContainer, 100, &costs).unwrap();
+        let tail = throughput(ScalabilityConfig::XContainer, 400, &costs).unwrap();
+        assert!((tail / mid - 1.0).abs() < 0.15, "mid {mid:.0} tail {tail:.0}");
+    }
+
+    #[test]
+    fn vm_configs_truncate_and_trail() {
+        let costs = c();
+        assert!(throughput(ScalabilityConfig::XenPv, 251, &costs).is_none());
+        assert!(throughput(ScalabilityConfig::XenHvm, 201, &costs).is_none());
+        assert!(throughput(ScalabilityConfig::XenPv, 250, &costs).is_some());
+        for n in [50, 100, 200] {
+            let pv = throughput(ScalabilityConfig::XenPv, n, &costs).unwrap();
+            let hvm = throughput(ScalabilityConfig::XenHvm, n, &costs).unwrap();
+            let x = throughput(ScalabilityConfig::XContainer, n, &costs).unwrap();
+            assert!(pv < x, "n={n}: pv {pv:.0} below x {x:.0}");
+            assert!(hvm < x, "n={n}: hvm {hvm:.0} below x {x:.0}");
+        }
+    }
+
+    #[test]
+    fn sweep_covers_figure_points() {
+        let costs = c();
+        let points = sweep(ScalabilityConfig::XenHvm, &costs);
+        assert_eq!(points.len(), figure8_points().len());
+        // HVM truncates after 200.
+        let at_400 = points.iter().find(|p| p.containers == 400).unwrap();
+        assert!(at_400.throughput_rps.is_none());
+    }
+
+    #[test]
+    fn throughput_rises_before_saturation() {
+        let costs = c();
+        for config in ScalabilityConfig::ALL {
+            let t1 = throughput(config, 1, &costs).unwrap();
+            let t5 = throughput(config, 5, &costs).unwrap();
+            assert!(t5 > t1 * 3.0, "{}: t1 {t1:.0} t5 {t5:.0}", config.label());
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! UnixBench **Context Switching** (Figure 5).
+//!
+//! "The Context Switching benchmark tests the speed of two processes
+//! communicating with a pipe" (§5.4): a token bounces between two
+//! processes through a pipe pair, forcing two process context switches
+//! per round trip — the benchmark where X-Containers *lose* to Docker
+//! because page-table installation must cross into the X-Kernel.
+
+use xc_libos::pipe::Pipe;
+use xc_runtimes::platform::Platform;
+use xc_sim::cost::CostModel;
+use xc_sim::time::Nanos;
+
+/// Token size (UnixBench spopen-style ping-pong).
+pub const TOKEN: usize = 4;
+/// Round trips measured per score call.
+pub const ROUND_TRIPS: u64 = 1_000;
+
+/// The Context Switching benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ContextSwitchBench;
+
+impl ContextSwitchBench {
+    /// Round trips per second (each round trip = 2 switches + 4 pipe
+    /// syscalls).
+    pub fn score(platform: &Platform, costs: &CostModel) -> f64 {
+        let mut a_to_b = Pipe::new();
+        let mut b_to_a = Pipe::new();
+        let dispatch = platform.syscall_cost(costs);
+        // Two processes alive; blockers leave the runqueue short.
+        let switch = platform.context_switch_cost(costs, 2);
+        let token = [0xffu8; TOKEN];
+        let mut buf = [0u8; TOKEN];
+        let mut total = Nanos::ZERO;
+        for _ in 0..ROUND_TRIPS {
+            // A writes, blocks reading the reply → switch to B.
+            let (_, w1) = a_to_b.write(&token, costs).expect("a→b write");
+            total += dispatch + w1 + switch;
+            let (_, r1) = a_to_b.read(&mut buf, costs).expect("b reads");
+            let (_, w2) = b_to_a.write(&token, costs).expect("b→a write");
+            total += dispatch * 2 + r1 + w2 + switch;
+            let (_, r2) = b_to_a.read(&mut buf, costs).expect("a reads");
+            total += dispatch + r2;
+        }
+        let total = platform.environment_adjust(total);
+        ROUND_TRIPS as f64 / total.as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xc_runtimes::cloud::CloudEnv;
+
+    #[test]
+    fn x_container_loses_context_switching() {
+        // §5.4: page-table operations must be done in the X-Kernel.
+        let costs = CostModel::skylake_cloud();
+        let docker = ContextSwitchBench::score(&Platform::docker(CloudEnv::AmazonEc2, true), &costs);
+        let xc = ContextSwitchBench::score(&Platform::x_container(CloudEnv::AmazonEc2, true), &costs);
+        let rel = xc / docker;
+        assert!((0.4..1.0).contains(&rel), "ctx switch relative {rel}");
+    }
+
+    #[test]
+    fn unpatched_docker_fastest() {
+        let costs = CostModel::skylake_cloud();
+        let patched = ContextSwitchBench::score(&Platform::docker(CloudEnv::AmazonEc2, true), &costs);
+        let unpatched =
+            ContextSwitchBench::score(&Platform::docker(CloudEnv::AmazonEc2, false), &costs);
+        assert!(unpatched > patched);
+    }
+
+    #[test]
+    fn pv_worst_of_the_vm_family() {
+        let costs = CostModel::skylake_cloud();
+        let xen = ContextSwitchBench::score(&Platform::xen_container(CloudEnv::AmazonEc2, true), &costs);
+        let xc = ContextSwitchBench::score(&Platform::x_container(CloudEnv::AmazonEc2, true), &costs);
+        assert!(xen < xc, "full-flush PV switches must trail global-bit X switches");
+    }
+}

@@ -1,0 +1,58 @@
+//! UnixBench **Execl** (Figure 5).
+//!
+//! "The Execl benchmark measures the speed of the exec system call, which
+//! overlays a new binary on the current process" (§5.4). Dominated by the
+//! loader's syscall storm plus page-table rebuild.
+
+use xc_runtimes::platform::Platform;
+use xc_sim::cost::CostModel;
+
+/// Resident pages of the benchmark binary being re-exec'd.
+pub const IMAGE_PAGES: u64 = 150;
+/// Syscalls performed while loading the image (ELF headers, `mmap`s,
+/// dynamic-linker `openat`/`read`/`close` storms).
+pub const LOADER_SYSCALLS: u64 = 140;
+
+/// The Execl benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExeclBench;
+
+impl ExeclBench {
+    /// `execl` iterations per second.
+    pub fn score(platform: &Platform, costs: &CostModel) -> f64 {
+        let per_exec =
+            platform.environment_adjust(platform.exec_cost(costs, IMAGE_PAGES, LOADER_SYSCALLS));
+        1.0 / per_exec.as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xc_runtimes::cloud::CloudEnv;
+
+    #[test]
+    fn x_container_wins_execl() {
+        let costs = CostModel::skylake_cloud();
+        let docker = ExeclBench::score(&Platform::docker(CloudEnv::AmazonEc2, true), &costs);
+        let xc = ExeclBench::score(&Platform::x_container(CloudEnv::AmazonEc2, true), &costs);
+        let rel = xc / docker;
+        assert!((1.05..3.0).contains(&rel), "execl relative {rel}");
+    }
+
+    #[test]
+    fn gvisor_execl_collapses() {
+        let costs = CostModel::skylake_cloud();
+        let docker = ExeclBench::score(&Platform::docker(CloudEnv::AmazonEc2, true), &costs);
+        let gv = ExeclBench::score(&Platform::gvisor(CloudEnv::AmazonEc2, true), &costs);
+        assert!(gv < docker * 0.5);
+    }
+
+    #[test]
+    fn unpatched_docker_faster() {
+        let costs = CostModel::skylake_cloud();
+        let p = ExeclBench::score(&Platform::docker(CloudEnv::AmazonEc2, true), &costs);
+        let u = ExeclBench::score(&Platform::docker(CloudEnv::AmazonEc2, false), &costs);
+        assert!(u > p);
+    }
+}

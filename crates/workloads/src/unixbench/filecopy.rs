@@ -1,0 +1,85 @@
+//! UnixBench **File Copy** with a 1 KiB buffer (Figure 5).
+//!
+//! Per iteration the benchmark `read`s 1 KiB from a source file and
+//! `write`s it to a destination file — two syscalls plus VFS/page-cache
+//! work. The bytes really move through the `xc-libos` VFS so the copy
+//! loop is exercised end to end; the platform determines the dispatch
+//! cost attached to each call.
+
+use xc_libos::vfs::Vfs;
+use xc_runtimes::platform::Platform;
+use xc_sim::cost::CostModel;
+use xc_sim::time::Nanos;
+
+/// Copy buffer size (the paper's 1 KB variant).
+pub const BUFFER: usize = 1024;
+/// Size of the file shuttled per measured pass.
+pub const FILE_SIZE: usize = 64 * 1024;
+
+/// The File Copy benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FileCopyBench;
+
+impl FileCopyBench {
+    /// Copy iterations (1 KiB read+write pairs) per second.
+    pub fn score(platform: &Platform, costs: &CostModel) -> f64 {
+        let mut fs = Vfs::new();
+        fs.create("/src").expect("fresh fs");
+        fs.create("/dst").expect("fresh fs");
+        let src = fs.open("/src").expect("open src");
+        fs.write(src, &vec![0xabu8; FILE_SIZE], costs).expect("seed src");
+        fs.seek(src, 0).expect("rewind");
+        let dst = fs.open("/dst").expect("open dst");
+
+        let dispatch = platform.syscall_cost(costs);
+        let kernel_mult = platform.kernel_ops_multiplier();
+        let mut buf = [0u8; BUFFER];
+        let mut total = Nanos::ZERO;
+        let mut iterations = 0u64;
+        loop {
+            let (n, read_cost) = fs.read(src, &mut buf, costs).expect("read");
+            if n == 0 {
+                break;
+            }
+            let write_cost = fs.write(dst, &buf[..n], costs).expect("write");
+            total += dispatch * 2 + (read_cost + write_cost).scale(kernel_mult);
+            iterations += 1;
+        }
+        assert_eq!(fs.size("/dst").expect("dst exists"), FILE_SIZE);
+        let total = platform.environment_adjust(total);
+        iterations as f64 / total.as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xc_runtimes::cloud::CloudEnv;
+
+    #[test]
+    fn x_container_wins_file_copy() {
+        let costs = CostModel::skylake_cloud();
+        let docker = FileCopyBench::score(&Platform::docker(CloudEnv::AmazonEc2, true), &costs);
+        let xc = FileCopyBench::score(&Platform::x_container(CloudEnv::AmazonEc2, true), &costs);
+        let rel = xc / docker;
+        assert!((1.5..4.5).contains(&rel), "file copy relative {rel}");
+    }
+
+    #[test]
+    fn xen_container_slowest_of_vm_family() {
+        let costs = CostModel::skylake_cloud();
+        let xen = FileCopyBench::score(&Platform::xen_container(CloudEnv::AmazonEc2, true), &costs);
+        let docker = FileCopyBench::score(&Platform::docker(CloudEnv::AmazonEc2, true), &costs);
+        assert!(xen < docker);
+    }
+
+    #[test]
+    fn score_is_deterministic() {
+        let costs = CostModel::skylake_cloud();
+        let p = Platform::docker(CloudEnv::GoogleGce, false);
+        assert_eq!(
+            FileCopyBench::score(&p, &costs),
+            FileCopyBench::score(&p, &costs)
+        );
+    }
+}

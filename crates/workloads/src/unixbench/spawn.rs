@@ -1,0 +1,79 @@
+//! UnixBench **Process Creation** (Figure 5).
+//!
+//! "The Process Creation benchmark measures the performance of spawning
+//! new processes with the fork system call" (§5.4): fork + immediate
+//! child exit + parent wait, dominated by address-space construction —
+//! the other benchmark X-Containers lose, since every PTE update is
+//! validated by the X-Kernel.
+
+use xc_libos::process::ProcessTable;
+use xc_runtimes::platform::Platform;
+use xc_sim::cost::CostModel;
+use xc_sim::time::Nanos;
+use xc_xen::domain::DomainId;
+use xc_xen::pgtable::PageTables;
+
+/// Resident pages of the forking benchmark process.
+pub const BENCH_PAGES: u64 = 500;
+/// Forks measured per score call.
+pub const FORKS: u64 = 200;
+
+/// The Process Creation benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProcessCreationBench;
+
+impl ProcessCreationBench {
+    /// fork+exit pairs per second, driven through the real process table
+    /// (address spaces are created and destroyed in the hypervisor model).
+    pub fn score(platform: &Platform, costs: &CostModel) -> f64 {
+        let mut pt = PageTables::new();
+        let mut procs = ProcessTable::new(platform.backend(), DomainId(1));
+        let (init, _) = procs
+            .spawn_init("unixbench", BENCH_PAGES, &mut pt, costs)
+            .expect("spawn init");
+        let dispatch = platform.syscall_cost(costs);
+        let mut total = Nanos::ZERO;
+        for _ in 0..FORKS {
+            // fork syscall + platform-specific fork work.
+            let (child, fork_cost) = procs.fork(init, &mut pt, costs).expect("fork");
+            // Platform interposition surcharge (e.g. gVisor sentry
+            // emulation) over the raw backend fork.
+            let surcharge = platform
+                .fork_cost(costs, BENCH_PAGES)
+                .saturating_sub(fork_cost);
+            // child exits; parent waits.
+            let teardown = procs.exit(child, &mut pt, costs).expect("exit");
+            total += dispatch * 2 + fork_cost + surcharge + teardown;
+        }
+        assert_eq!(procs.total_forks(), FORKS);
+        assert_eq!(procs.len(), 1, "all children reaped");
+        let total = platform.environment_adjust(total);
+        FORKS as f64 / total.as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xc_runtimes::cloud::CloudEnv;
+
+    #[test]
+    fn x_container_loses_process_creation() {
+        let costs = CostModel::skylake_cloud();
+        let docker =
+            ProcessCreationBench::score(&Platform::docker(CloudEnv::AmazonEc2, true), &costs);
+        let xc =
+            ProcessCreationBench::score(&Platform::x_container(CloudEnv::AmazonEc2, true), &costs);
+        let rel = xc / docker;
+        assert!((0.3..1.0).contains(&rel), "process creation relative {rel}");
+    }
+
+    #[test]
+    fn gvisor_process_creation_collapses() {
+        let costs = CostModel::skylake_cloud();
+        let docker =
+            ProcessCreationBench::score(&Platform::docker(CloudEnv::AmazonEc2, true), &costs);
+        let gv = ProcessCreationBench::score(&Platform::gvisor(CloudEnv::AmazonEc2, true), &costs);
+        assert!(gv < docker * 0.4);
+    }
+}

@@ -1,0 +1,66 @@
+//! Xen-Blanket — running the whole stack nested inside a cloud VM.
+//!
+//! The prototype "leveraged Xen-Blanket drivers to run the platform
+//! efficiently in public clouds" (§4): the X-Kernel runs as an HVM guest
+//! of the cloud's hypervisor, and Blanket drivers connect the inner split
+//! drivers to the outer cloud's paravirtual devices. Functionally
+//! transparent; its cost is an extra driver hop on every I/O batch, which
+//! is part of why Xen-Containers/X-Containers don't beat native Docker on
+//! pure packet pushing (Figure 5's iperf panel).
+
+use xc_sim::cost::CostModel;
+use xc_sim::time::Nanos;
+
+/// The Blanket layer configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct XenBlanket {
+    /// Whether the stack runs nested in a cloud VM (true on EC2/GCE,
+    /// false on the paper's bare-metal local cluster).
+    pub nested: bool,
+}
+
+impl XenBlanket {
+    /// Blanket deployment for a public-cloud host.
+    pub fn cloud() -> Self {
+        XenBlanket { nested: true }
+    }
+
+    /// Bare-metal deployment (the paper's local PowerEdge cluster).
+    pub fn bare_metal() -> Self {
+        XenBlanket { nested: false }
+    }
+
+    /// Extra cost per I/O batch crossing the Blanket: one more
+    /// shared-ring notification plus a grant copy of the batch payload.
+    pub fn io_batch_overhead(&self, costs: &CostModel, batch_kb: u64) -> Nanos {
+        if self.nested {
+            costs.ring_notify + costs.grant_copy_per_kb * batch_kb
+        } else {
+            Nanos::ZERO
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bare_metal_is_free() {
+        let costs = CostModel::skylake_cloud();
+        assert_eq!(
+            XenBlanket::bare_metal().io_batch_overhead(&costs, 64),
+            Nanos::ZERO
+        );
+    }
+
+    #[test]
+    fn cloud_charges_per_batch() {
+        let costs = CostModel::skylake_cloud();
+        let small = XenBlanket::cloud().io_batch_overhead(&costs, 4);
+        let large = XenBlanket::cloud().io_batch_overhead(&costs, 64);
+        assert!(small > Nanos::ZERO);
+        assert!(large > small);
+        assert_eq!(large - small, costs.grant_copy_per_kb * 60);
+    }
+}

@@ -1,0 +1,229 @@
+//! The hypercall interface.
+//!
+//! §3.4: "X-Containers rely on a small X-Kernel … with a small number of
+//! hypervisor calls that lead to a smaller number of vulnerabilities in
+//! practice." This module enumerates the hypercalls the model uses, maps
+//! each to its primitive cost, and keeps per-call accounting so harnesses
+//! can report *how many privileged crossings* each architecture performed
+//! — the quantity the paper's performance arguments reduce to.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use xc_sim::cost::CostModel;
+use xc_sim::time::Nanos;
+
+/// The modelled hypercall set (names follow Xen's).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Hypercall {
+    /// Batched page-table updates; carries the number of entries.
+    MmuUpdate {
+        /// PTE updates in the batch.
+        entries: u64,
+    },
+    /// Atomic return-from-interrupt with privilege switch (PV guests
+    /// only; X-LibOS replaces it with a user-mode `ret`, §4.2).
+    Iret,
+    /// Event-channel operation (bind/send/unmask).
+    EventChannelOp,
+    /// Grant-table operation (map/unmap/copy).
+    GrantTableOp {
+        /// KiB moved for copy operations (0 for map/unmap).
+        copy_kb: u64,
+    },
+    /// Scheduler operation (yield/block).
+    SchedOp,
+    /// Install a new page-table base (context switch).
+    NewBaseptr,
+    /// Update a single VA mapping.
+    UpdateVaMapping,
+    /// Set the guest's trap/exception table.
+    SetTrapTable,
+    /// Set per-vCPU timer.
+    SetTimerOp,
+}
+
+impl Hypercall {
+    /// A stable name for accounting keys.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Hypercall::MmuUpdate { .. } => "mmu_update",
+            Hypercall::Iret => "iret",
+            Hypercall::EventChannelOp => "event_channel_op",
+            Hypercall::GrantTableOp { .. } => "grant_table_op",
+            Hypercall::SchedOp => "sched_op",
+            Hypercall::NewBaseptr => "new_baseptr",
+            Hypercall::UpdateVaMapping => "update_va_mapping",
+            Hypercall::SetTrapTable => "set_trap_table",
+            Hypercall::SetTimerOp => "set_timer_op",
+        }
+    }
+
+    /// Cost of this hypercall under the given model: the base trap plus
+    /// per-operation work.
+    pub fn cost(&self, costs: &CostModel) -> Nanos {
+        match *self {
+            Hypercall::MmuUpdate { entries } => costs.mmu_update_batch(entries),
+            Hypercall::Iret => costs.iret_hypercall,
+            Hypercall::EventChannelOp => costs.event_channel_send,
+            Hypercall::GrantTableOp { copy_kb } => {
+                costs.hypercall + costs.grant_copy_per_kb * copy_kb
+            }
+            Hypercall::SchedOp
+            | Hypercall::NewBaseptr
+            | Hypercall::UpdateVaMapping
+            | Hypercall::SetTrapTable
+            | Hypercall::SetTimerOp => costs.hypercall,
+        }
+    }
+}
+
+impl fmt::Display for Hypercall {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Running totals of hypervisor crossings and their time.
+///
+/// # Example
+///
+/// ```
+/// use xc_sim::cost::CostModel;
+/// use xc_xen::hypercall::{Hypercall, HypervisorAccounting};
+///
+/// let costs = CostModel::skylake_cloud();
+/// let mut acct = HypervisorAccounting::new();
+/// acct.charge(Hypercall::Iret, &costs);
+/// acct.charge(Hypercall::MmuUpdate { entries: 32 }, &costs);
+/// assert_eq!(acct.total_calls(), 2);
+/// assert!(acct.total_time() > costs.iret_hypercall);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HypervisorAccounting {
+    calls: BTreeMap<&'static str, u64>,
+    time: BTreeMap<&'static str, Nanos>,
+    total_time: Nanos,
+}
+
+impl HypervisorAccounting {
+    /// Fresh zeroed accounting.
+    pub fn new() -> Self {
+        HypervisorAccounting::default()
+    }
+
+    /// Records one hypercall and returns its cost.
+    pub fn charge(&mut self, call: Hypercall, costs: &CostModel) -> Nanos {
+        let cost = call.cost(costs);
+        *self.calls.entry(call.name()).or_insert(0) += 1;
+        *self.time.entry(call.name()).or_insert(Nanos::ZERO) += cost;
+        self.total_time += cost;
+        cost
+    }
+
+    /// Number of invocations of a particular hypercall.
+    pub fn calls_of(&self, name: &str) -> u64 {
+        self.calls.get(name).copied().unwrap_or(0)
+    }
+
+    /// Total hypercalls issued.
+    pub fn total_calls(&self) -> u64 {
+        self.calls.values().sum()
+    }
+
+    /// Total simulated time spent in the hypervisor.
+    pub fn total_time(&self) -> Nanos {
+        self.total_time
+    }
+
+    /// Iterates `(name, count, time)` in name order.
+    pub fn entries(&self) -> impl Iterator<Item = (&'static str, u64, Nanos)> + '_ {
+        self.calls
+            .iter()
+            .map(|(name, count)| (*name, *count, self.time[name]))
+    }
+
+    /// Merges another accounting into this one.
+    pub fn merge(&mut self, other: &HypervisorAccounting) {
+        for (name, count) in &other.calls {
+            *self.calls.entry(name).or_insert(0) += count;
+        }
+        for (name, time) in &other.time {
+            *self.time.entry(name).or_insert(Nanos::ZERO) += *time;
+        }
+        self.total_time += other.total_time;
+    }
+}
+
+impl fmt::Display for HypervisorAccounting {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "hypervisor crossings ({} total, {}):", self.total_calls(), self.total_time)?;
+        for (name, count, time) in self.entries() {
+            writeln!(f, "  {name:<20} {count:>10}  {time}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn costs_scale_with_batch_size() {
+        let costs = CostModel::skylake_cloud();
+        let small = Hypercall::MmuUpdate { entries: 1 }.cost(&costs);
+        let large = Hypercall::MmuUpdate { entries: 100 }.cost(&costs);
+        assert!(large > small);
+        // Batching amortizes the trap: 100 entries cost less than 100
+        // single-entry calls.
+        assert!(large < small * 100);
+    }
+
+    #[test]
+    fn grant_copy_charges_per_kb() {
+        let costs = CostModel::skylake_cloud();
+        let map = Hypercall::GrantTableOp { copy_kb: 0 }.cost(&costs);
+        let copy = Hypercall::GrantTableOp { copy_kb: 4 }.cost(&costs);
+        assert_eq!(copy - map, costs.grant_copy_per_kb * 4);
+    }
+
+    #[test]
+    fn accounting_totals() {
+        let costs = CostModel::skylake_cloud();
+        let mut acct = HypervisorAccounting::new();
+        for _ in 0..3 {
+            acct.charge(Hypercall::Iret, &costs);
+        }
+        acct.charge(Hypercall::SchedOp, &costs);
+        assert_eq!(acct.calls_of("iret"), 3);
+        assert_eq!(acct.calls_of("sched_op"), 1);
+        assert_eq!(acct.calls_of("mmu_update"), 0);
+        assert_eq!(acct.total_calls(), 4);
+        assert_eq!(
+            acct.total_time(),
+            costs.iret_hypercall * 3 + costs.hypercall
+        );
+    }
+
+    #[test]
+    fn merge_combines() {
+        let costs = CostModel::skylake_cloud();
+        let mut a = HypervisorAccounting::new();
+        a.charge(Hypercall::Iret, &costs);
+        let mut b = HypervisorAccounting::new();
+        b.charge(Hypercall::Iret, &costs);
+        b.charge(Hypercall::SetTimerOp, &costs);
+        a.merge(&b);
+        assert_eq!(a.calls_of("iret"), 2);
+        assert_eq!(a.total_calls(), 3);
+    }
+
+    #[test]
+    fn display_lists_calls() {
+        let costs = CostModel::skylake_cloud();
+        let mut acct = HypervisorAccounting::new();
+        acct.charge(Hypercall::EventChannelOp, &costs);
+        assert!(acct.to_string().contains("event_channel_op"));
+    }
+}

@@ -1,0 +1,269 @@
+//! Live migration and checkpoint/restore.
+//!
+//! §3.3 lists them among the reasons Xen is the right exokernel: "there
+//! are many mature technologies in Xen's ecosystem enabling features
+//! such as live migration, fault tolerance, and checkpoint/restore,
+//! which are hard to implement with traditional containers." This module
+//! implements the classic **pre-copy** algorithm those technologies use:
+//!
+//! 1. copy all memory while the domain keeps running,
+//! 2. iteratively re-send the pages dirtied during the previous round,
+//! 3. when the remaining dirty set is small enough (or rounds are
+//!    exhausted), stop the domain, send the residue, and resume on the
+//!    target — the only downtime.
+//!
+//! The model is exact given a dirty rate and link bandwidth, which lets
+//! tests pin the algorithm's well-known properties: convergence iff the
+//! link outpaces dirtying, monotone downtime in the dirty rate, and the
+//! stop-and-copy fallback.
+
+use xc_sim::time::Nanos;
+
+/// Inputs to a migration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MigrationParams {
+    /// Domain memory footprint in MiB (X-Containers: 128; full VMs: 512+).
+    pub memory_mb: f64,
+    /// Rate at which the workload dirties memory, MiB/s.
+    pub dirty_rate_mb_s: f64,
+    /// Migration link bandwidth, MiB/s (10 GbE ≈ 1 150 MiB/s).
+    pub link_mb_s: f64,
+    /// Stop-and-copy when the remaining dirty set drops below this (MiB).
+    pub downtime_threshold_mb: f64,
+    /// Maximum pre-copy rounds before forcing stop-and-copy.
+    pub max_rounds: u32,
+}
+
+impl MigrationParams {
+    /// Defaults for an X-Container on the paper's 10 GbE local cluster.
+    pub fn x_container_default() -> Self {
+        MigrationParams {
+            memory_mb: 128.0,
+            dirty_rate_mb_s: 40.0,
+            link_mb_s: 1_150.0,
+            downtime_threshold_mb: 4.0,
+            max_rounds: 30,
+        }
+    }
+}
+
+/// One pre-copy round.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Round {
+    /// MiB transferred this round.
+    pub sent_mb: f64,
+    /// Wall time of the round.
+    pub duration: Nanos,
+}
+
+/// The computed migration schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MigrationPlan {
+    /// Pre-copy rounds, in order (round 0 is the full copy).
+    pub rounds: Vec<Round>,
+    /// MiB sent during the stop-and-copy phase.
+    pub final_copy_mb: f64,
+    /// Domain downtime (stop-and-copy transfer + handoff).
+    pub downtime: Nanos,
+    /// Total wall time from start to resume.
+    pub total_time: Nanos,
+    /// Whether pre-copy converged below the threshold (false = round
+    /// budget exhausted, downtime is whatever the residue costs).
+    pub converged: bool,
+}
+
+impl MigrationPlan {
+    /// Total MiB moved across all phases.
+    pub fn total_sent_mb(&self) -> f64 {
+        self.rounds.iter().map(|r| r.sent_mb).sum::<f64>() + self.final_copy_mb
+    }
+}
+
+/// Fixed cost of the final handoff (device reattach, ARP announcement).
+const HANDOFF: Nanos = Nanos::from_millis(3);
+
+/// Plans a pre-copy live migration.
+///
+/// # Panics
+///
+/// Panics if any parameter is non-positive.
+pub fn plan_precopy(p: MigrationParams) -> MigrationPlan {
+    assert!(p.memory_mb > 0.0 && p.link_mb_s > 0.0, "degenerate migration");
+    assert!(p.dirty_rate_mb_s >= 0.0 && p.downtime_threshold_mb > 0.0);
+
+    let mut rounds = Vec::new();
+    let mut to_send = p.memory_mb;
+    let mut total = Nanos::ZERO;
+    let mut converged = false;
+
+    for _ in 0..p.max_rounds {
+        let duration = Nanos::from_secs_f64(to_send / p.link_mb_s);
+        rounds.push(Round { sent_mb: to_send, duration });
+        total += duration;
+        // Pages dirtied while this round was on the wire become the next
+        // round's payload (capped at the whole footprint).
+        let dirtied = p.dirty_rate_mb_s * duration.as_secs_f64();
+        to_send = dirtied.min(p.memory_mb);
+        if to_send <= p.downtime_threshold_mb {
+            converged = true;
+            break;
+        }
+        // Non-convergence detection: if the dirty set stopped shrinking,
+        // more rounds only burn bandwidth.
+        if dirtied >= rounds.last().expect("pushed above").sent_mb {
+            break;
+        }
+    }
+
+    let final_copy = Nanos::from_secs_f64(to_send / p.link_mb_s);
+    let downtime = final_copy + HANDOFF;
+    MigrationPlan {
+        rounds,
+        final_copy_mb: to_send,
+        downtime,
+        total_time: total + downtime,
+        converged,
+    }
+}
+
+/// A checkpoint (suspend-to-image) of a domain.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Checkpoint {
+    /// Image size in MiB (memory + device state).
+    pub image_mb: f64,
+    /// Time to quiesce and write the image.
+    pub save_time: Nanos,
+    /// Time to read the image and resume.
+    pub restore_time: Nanos,
+}
+
+/// Plans a checkpoint/restore through storage of the given bandwidth.
+///
+/// # Panics
+///
+/// Panics if parameters are non-positive.
+pub fn plan_checkpoint(memory_mb: f64, storage_mb_s: f64) -> Checkpoint {
+    assert!(memory_mb > 0.0 && storage_mb_s > 0.0);
+    let device_state_mb = 2.0;
+    let image_mb = memory_mb + device_state_mb;
+    let io = Nanos::from_secs_f64(image_mb / storage_mb_s);
+    Checkpoint {
+        image_mb,
+        save_time: io + HANDOFF,
+        restore_time: io + HANDOFF,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_domain_migrates_in_two_phases() {
+        let plan = plan_precopy(MigrationParams {
+            dirty_rate_mb_s: 0.0,
+            ..MigrationParams::x_container_default()
+        });
+        assert!(plan.converged);
+        assert_eq!(plan.rounds.len(), 1);
+        assert_eq!(plan.final_copy_mb, 0.0);
+        // Downtime is just the handoff.
+        assert_eq!(plan.downtime, Nanos::from_millis(3));
+    }
+
+    #[test]
+    fn default_x_container_converges_fast() {
+        let plan = plan_precopy(MigrationParams::x_container_default());
+        assert!(plan.converged);
+        assert!(plan.rounds.len() <= 3, "rounds {}", plan.rounds.len());
+        assert!(plan.downtime < Nanos::from_millis(10), "downtime {}", plan.downtime);
+        // Rounds shrink geometrically.
+        for pair in plan.rounds.windows(2) {
+            assert!(pair[1].sent_mb < pair[0].sent_mb);
+        }
+    }
+
+    #[test]
+    fn total_time_monotone_in_dirty_rate_and_downtime_bounded() {
+        // Downtime itself oscillates inside the threshold band (a faster
+        // dirtier may stop one round later with a *smaller* residue), but
+        // total migration time grows with the dirty rate, and converged
+        // downtime never exceeds threshold/link + handoff.
+        let p0 = MigrationParams::x_container_default();
+        let downtime_bound =
+            Nanos::from_secs_f64(p0.downtime_threshold_mb / p0.link_mb_s) + HANDOFF;
+        let mut last_total = Nanos::ZERO;
+        for rate in [10.0, 100.0, 400.0, 900.0] {
+            let plan = plan_precopy(MigrationParams { dirty_rate_mb_s: rate, ..p0 });
+            assert!(
+                plan.total_time >= last_total,
+                "rate {rate}: total {:?}",
+                plan.total_time
+            );
+            last_total = plan.total_time;
+            if plan.converged {
+                assert!(
+                    plan.downtime <= downtime_bound,
+                    "rate {rate}: downtime {:?} exceeds bound {downtime_bound:?}",
+                    plan.downtime
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hot_domain_falls_back_to_stop_and_copy() {
+        // Dirtying as fast as the link can carry: pre-copy cannot gain.
+        let plan = plan_precopy(MigrationParams {
+            dirty_rate_mb_s: 1_150.0,
+            ..MigrationParams::x_container_default()
+        });
+        assert!(!plan.converged);
+        assert!(plan.rounds.len() <= 2, "no point iterating");
+        // Stop-and-copy moves the full footprint: downtime ≈ memory/link.
+        assert!(plan.final_copy_mb > 100.0);
+        assert!(plan.downtime > Nanos::from_millis(90));
+    }
+
+    #[test]
+    fn total_sent_at_least_memory() {
+        for rate in [0.0, 50.0, 500.0] {
+            let p = MigrationParams {
+                dirty_rate_mb_s: rate,
+                ..MigrationParams::x_container_default()
+            };
+            let plan = plan_precopy(p);
+            assert!(plan.total_sent_mb() >= p.memory_mb - 1e-9);
+        }
+    }
+
+    #[test]
+    fn small_footprint_migrates_faster_than_vm() {
+        // The container-density argument extends to migration: a 128 MiB
+        // X-Container moves an order of magnitude faster than a 512 MiB+
+        // Ubuntu VM at the same dirty rate.
+        let xc = plan_precopy(MigrationParams::x_container_default());
+        let vm = plan_precopy(MigrationParams {
+            memory_mb: 512.0,
+            ..MigrationParams::x_container_default()
+        });
+        assert!(vm.total_time > xc.total_time * 3);
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_times() {
+        let ckpt = plan_checkpoint(128.0, 500.0);
+        assert!((ckpt.image_mb - 130.0).abs() < 1e-9);
+        assert!(ckpt.save_time > Nanos::from_millis(250));
+        assert_eq!(ckpt.save_time, ckpt.restore_time);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn zero_memory_rejected() {
+        plan_precopy(MigrationParams {
+            memory_mb: 0.0,
+            ..MigrationParams::x_container_default()
+        });
+    }
+}

@@ -1,0 +1,299 @@
+//! Hypervisor-validated page-table management.
+//!
+//! In the PV architecture "all operations that require root privileges are
+//! handled by Xen … such as installing new page tables" (§4.1). The model
+//! enforces the central PV safety invariant — **a guest may never map one
+//! of its own page-table frames writable** — and implements the address
+//! space switching whose TLB behaviour differentiates PV guests from
+//! X-Containers (§4.3).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use xc_sim::cost::CostModel;
+use xc_sim::time::Nanos;
+
+use crate::abi::XenAbi;
+use crate::domain::DomainId;
+use crate::error::XenError;
+
+/// Identifier of a guest address space (one per process).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AddressSpaceId(pub u64);
+
+impl fmt::Display for AddressSpaceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "as{}", self.0)
+    }
+}
+
+/// Classification of an address-space switch, which determines its TLB
+/// cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwitchKind {
+    /// No change (same space re-installed).
+    None,
+    /// Between processes of the same domain.
+    IntraDomain,
+    /// Between different domains/containers.
+    CrossDomain,
+}
+
+#[derive(Debug, Clone)]
+struct Space {
+    domain: DomainId,
+    /// Frames serving as page-table pages for this space (pinned
+    /// read-only by the hypervisor).
+    table_frames: BTreeSet<u64>,
+    /// Frames currently mapped writable.
+    writable_frames: BTreeSet<u64>,
+}
+
+/// The hypervisor's page-table subsystem.
+///
+/// # Example
+///
+/// ```
+/// use xc_xen::domain::DomainId;
+/// use xc_xen::pgtable::PageTables;
+///
+/// let mut pt = PageTables::new();
+/// let space = pt.create_space(DomainId(1))?;
+/// pt.pin_table_frame(space, 0x100)?;          // the space's own L1 page
+/// pt.map(space, 0x200, true)?;                // normal data page: fine
+/// assert!(pt.map(space, 0x100, true).is_err()); // PT page writable: rejected
+/// # Ok::<(), xc_xen::XenError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PageTables {
+    spaces: BTreeMap<AddressSpaceId, Space>,
+    next: u64,
+    /// Currently installed space per physical CPU.
+    current: BTreeMap<u32, AddressSpaceId>,
+    switches: u64,
+    rejected_updates: u64,
+}
+
+impl PageTables {
+    /// Creates an empty subsystem.
+    pub fn new() -> Self {
+        PageTables::default()
+    }
+
+    /// Creates an address space for a process of `domain`.
+    ///
+    /// # Errors
+    ///
+    /// Infallible today; returns `Result` because real implementations can
+    /// exhaust PT frames.
+    pub fn create_space(&mut self, domain: DomainId) -> Result<AddressSpaceId, XenError> {
+        let id = AddressSpaceId(self.next);
+        self.next += 1;
+        self.spaces.insert(
+            id,
+            Space {
+                domain,
+                table_frames: BTreeSet::new(),
+                writable_frames: BTreeSet::new(),
+            },
+        );
+        Ok(id)
+    }
+
+    /// Destroys an address space.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XenError::BadPageTableUpdate`] for unknown spaces.
+    pub fn destroy_space(&mut self, id: AddressSpaceId) -> Result<(), XenError> {
+        self.spaces
+            .remove(&id)
+            .map(|_| ())
+            .ok_or(XenError::BadPageTableUpdate { reason: "unknown address space" })
+    }
+
+    fn space_mut(&mut self, id: AddressSpaceId) -> Result<&mut Space, XenError> {
+        self.spaces
+            .get_mut(&id)
+            .ok_or(XenError::BadPageTableUpdate { reason: "unknown address space" })
+    }
+
+    /// Registers `frame` as a page-table page of `space` (Xen "pins" it).
+    /// A pinned frame must not be writable anywhere in the space.
+    ///
+    /// # Errors
+    ///
+    /// Rejects pinning a frame that is currently mapped writable.
+    pub fn pin_table_frame(&mut self, space: AddressSpaceId, frame: u64) -> Result<(), XenError> {
+        let s = self.space_mut(space)?;
+        if s.writable_frames.contains(&frame) {
+            self.rejected_updates += 1;
+            return Err(XenError::BadPageTableUpdate {
+                reason: "cannot pin a writable frame as a page table",
+            });
+        }
+        s.table_frames.insert(frame);
+        Ok(())
+    }
+
+    /// Validates and applies one mapping update.
+    ///
+    /// # Errors
+    ///
+    /// Rejects writable mappings of pinned page-table frames — the PV
+    /// isolation invariant.
+    pub fn map(
+        &mut self,
+        space: AddressSpaceId,
+        frame: u64,
+        writable: bool,
+    ) -> Result<(), XenError> {
+        let s = self.space_mut(space)?;
+        if writable && s.table_frames.contains(&frame) {
+            self.rejected_updates += 1;
+            return Err(XenError::BadPageTableUpdate {
+                reason: "writable mapping of a page-table frame",
+            });
+        }
+        if writable {
+            s.writable_frames.insert(frame);
+        }
+        Ok(())
+    }
+
+    /// Installs `space` on physical CPU `pcpu`, classifying the switch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XenError::BadPageTableUpdate`] for unknown spaces.
+    pub fn switch_to(
+        &mut self,
+        pcpu: u32,
+        space: AddressSpaceId,
+    ) -> Result<SwitchKind, XenError> {
+        let new_domain = self
+            .spaces
+            .get(&space)
+            .ok_or(XenError::BadPageTableUpdate { reason: "unknown address space" })?
+            .domain;
+        let kind = match self.current.get(&pcpu) {
+            Some(prev) if *prev == space => SwitchKind::None,
+            Some(prev) => match self.spaces.get(prev) {
+                Some(prev_space) if prev_space.domain == new_domain => SwitchKind::IntraDomain,
+                _ => SwitchKind::CrossDomain,
+            },
+            None => SwitchKind::CrossDomain,
+        };
+        self.current.insert(pcpu, space);
+        if kind != SwitchKind::None {
+            self.switches += 1;
+        }
+        Ok(kind)
+    }
+
+    /// Cost of a classified switch under an ABI.
+    pub fn switch_cost(kind: SwitchKind, abi: XenAbi, costs: &CostModel) -> Nanos {
+        match kind {
+            SwitchKind::None => Nanos::ZERO,
+            SwitchKind::IntraDomain => abi.process_switch_cost(costs),
+            SwitchKind::CrossDomain => abi.container_switch_cost(costs),
+        }
+    }
+
+    /// Space currently installed on `pcpu`.
+    pub fn current_space(&self, pcpu: u32) -> Option<AddressSpaceId> {
+        self.current.get(&pcpu).copied()
+    }
+
+    /// Total non-trivial switches performed.
+    pub fn switches(&self) -> u64 {
+        self.switches
+    }
+
+    /// Total updates the hypervisor refused.
+    pub fn rejected_updates(&self) -> u64 {
+        self.rejected_updates
+    }
+
+    /// Number of live address spaces.
+    pub fn space_count(&self) -> usize {
+        self.spaces.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOM_A: DomainId = DomainId(1);
+    const DOM_B: DomainId = DomainId(2);
+
+    #[test]
+    fn pv_invariant_no_writable_pt_frames() {
+        let mut pt = PageTables::new();
+        let s = pt.create_space(DOM_A).unwrap();
+        pt.pin_table_frame(s, 10).unwrap();
+        assert!(pt.map(s, 10, false).is_ok(), "read-only mapping allowed");
+        assert!(pt.map(s, 10, true).is_err(), "writable mapping rejected");
+        assert_eq!(pt.rejected_updates(), 1);
+    }
+
+    #[test]
+    fn pin_of_writable_frame_rejected() {
+        let mut pt = PageTables::new();
+        let s = pt.create_space(DOM_A).unwrap();
+        pt.map(s, 20, true).unwrap();
+        assert!(pt.pin_table_frame(s, 20).is_err());
+    }
+
+    #[test]
+    fn switch_classification() {
+        let mut pt = PageTables::new();
+        let a1 = pt.create_space(DOM_A).unwrap();
+        let a2 = pt.create_space(DOM_A).unwrap();
+        let b1 = pt.create_space(DOM_B).unwrap();
+
+        assert_eq!(pt.switch_to(0, a1).unwrap(), SwitchKind::CrossDomain); // cold
+        assert_eq!(pt.switch_to(0, a1).unwrap(), SwitchKind::None);
+        assert_eq!(pt.switch_to(0, a2).unwrap(), SwitchKind::IntraDomain);
+        assert_eq!(pt.switch_to(0, b1).unwrap(), SwitchKind::CrossDomain);
+        assert_eq!(pt.switches(), 3);
+        assert_eq!(pt.current_space(0), Some(b1));
+    }
+
+    #[test]
+    fn per_cpu_current_tracking() {
+        let mut pt = PageTables::new();
+        let a = pt.create_space(DOM_A).unwrap();
+        let b = pt.create_space(DOM_B).unwrap();
+        pt.switch_to(0, a).unwrap();
+        pt.switch_to(1, b).unwrap();
+        assert_eq!(pt.current_space(0), Some(a));
+        assert_eq!(pt.current_space(1), Some(b));
+    }
+
+    #[test]
+    fn switch_costs_ordered() {
+        let costs = CostModel::skylake_cloud();
+        let none = PageTables::switch_cost(SwitchKind::None, XenAbi::XKernel, &costs);
+        let intra = PageTables::switch_cost(SwitchKind::IntraDomain, XenAbi::XKernel, &costs);
+        let cross = PageTables::switch_cost(SwitchKind::CrossDomain, XenAbi::XKernel, &costs);
+        assert_eq!(none, Nanos::ZERO);
+        assert!(intra < cross, "global bit helps only within a container");
+        // Under plain PV, intra-domain switches are as bad as cross-domain.
+        let pv_intra = PageTables::switch_cost(SwitchKind::IntraDomain, XenAbi::XenPv, &costs);
+        let pv_cross = PageTables::switch_cost(SwitchKind::CrossDomain, XenAbi::XenPv, &costs);
+        assert_eq!(pv_intra, pv_cross);
+    }
+
+    #[test]
+    fn destroy_space() {
+        let mut pt = PageTables::new();
+        let s = pt.create_space(DOM_A).unwrap();
+        assert_eq!(pt.space_count(), 1);
+        pt.destroy_space(s).unwrap();
+        assert_eq!(pt.space_count(), 0);
+        assert!(pt.destroy_space(s).is_err());
+        assert!(pt.switch_to(0, s).is_err());
+    }
+}

@@ -1,0 +1,370 @@
+//! Transcendent memory (tmem) — §4.5's answer to static memory sizing.
+//!
+//! "Xen provides native Transcendent Memory (tmem) support, which can be
+//! leveraged by Linux kernels in different VMs for efficiently sharing
+//! the page cache and RAM-based swap space." The model implements the
+//! real tmem semantics:
+//!
+//! * **Ephemeral pools** (clean page-cache pages): `put` may be dropped
+//!   at any time; `get` is *flaky* by contract — a miss is normal and the
+//!   guest re-reads from disk. Eviction is LRU across all ephemeral
+//!   pools (the shared "utility" memory of the host).
+//! * **Persistent pools** (RAM-based swap): `put` either succeeds and
+//!   **guarantees** a later `get`, or fails upfront when the host has no
+//!   spare memory. Persistent pages count against the host reservation.
+//!
+//! This is what lets 400 X-Containers with static 128 MiB reservations
+//! share the host's page cache without ballooning.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use crate::domain::DomainId;
+use crate::error::XenError;
+
+/// Pool lifetime class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PoolKind {
+    /// Clean page cache: droppable, `get` may miss.
+    Ephemeral,
+    /// RAM swap: guaranteed until `flush`/`get`.
+    Persistent,
+}
+
+/// Identifier of a tmem pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PoolId(pub u32);
+
+/// Key of an object within a pool (object id + page index, as in the
+/// real ABI).
+pub type TmemKey = (u64, u32);
+
+#[derive(Debug, Clone)]
+struct Pool {
+    owner: DomainId,
+    kind: PoolKind,
+    pages: BTreeMap<TmemKey, u64>, // key → page "contents" token
+}
+
+/// Host-wide tmem statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TmemStats {
+    /// Successful ephemeral `get`s.
+    pub eph_hits: u64,
+    /// Missed ephemeral `get`s (dropped or never present).
+    pub eph_misses: u64,
+    /// Ephemeral pages evicted under pressure.
+    pub evictions: u64,
+    /// Persistent puts refused for lack of memory.
+    pub persistent_refusals: u64,
+}
+
+/// The hypervisor's transcendent-memory subsystem.
+///
+/// # Example
+///
+/// ```
+/// use xc_xen::domain::DomainId;
+/// use xc_xen::tmem::{PoolKind, Tmem};
+///
+/// let mut tmem = Tmem::new(2); // two spare host pages
+/// let dom = DomainId(5);
+/// let pool = tmem.new_pool(dom, PoolKind::Ephemeral);
+///
+/// tmem.put(dom, pool, (1, 0), 0xAA)?;
+/// assert_eq!(tmem.get(dom, pool, (1, 0))?, Some(0xAA)); // hit (and consumed)
+/// assert_eq!(tmem.get(dom, pool, (1, 0))?, None);       // exclusive get
+/// # Ok::<(), xc_xen::XenError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tmem {
+    capacity_pages: u64,
+    used_pages: u64,
+    next_pool: u32,
+    pools: BTreeMap<PoolId, Pool>,
+    /// LRU of live ephemeral pages for eviction.
+    eph_lru: VecDeque<(PoolId, TmemKey)>,
+    stats: TmemStats,
+}
+
+impl Tmem {
+    /// Creates the subsystem with `capacity_pages` of spare host memory.
+    pub fn new(capacity_pages: u64) -> Self {
+        Tmem {
+            capacity_pages,
+            used_pages: 0,
+            next_pool: 0,
+            pools: BTreeMap::new(),
+            eph_lru: VecDeque::new(),
+            stats: TmemStats::default(),
+        }
+    }
+
+    /// Creates a pool for `owner`.
+    pub fn new_pool(&mut self, owner: DomainId, kind: PoolKind) -> PoolId {
+        let id = PoolId(self.next_pool);
+        self.next_pool += 1;
+        self.pools.insert(id, Pool { owner, kind, pages: BTreeMap::new() });
+        id
+    }
+
+    fn pool_checked(&mut self, caller: DomainId, pool: PoolId) -> Result<&mut Pool, XenError> {
+        let p = self
+            .pools
+            .get_mut(&pool)
+            .ok_or(XenError::BadPageTableUpdate { reason: "unknown tmem pool" })?;
+        if p.owner != caller {
+            return Err(XenError::PermissionDenied { caller, op: "tmem pool access" });
+        }
+        Ok(p)
+    }
+
+    fn evict_one_ephemeral(&mut self) -> bool {
+        while let Some((pool_id, key)) = self.eph_lru.pop_front() {
+            if let Some(pool) = self.pools.get_mut(&pool_id) {
+                if pool.pages.remove(&key).is_some() {
+                    self.used_pages -= 1;
+                    self.stats.evictions += 1;
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Stores a page. Ephemeral puts evict older ephemeral pages under
+    /// pressure; persistent puts fail when no memory can be found.
+    ///
+    /// # Errors
+    ///
+    /// Pool-ownership violations; persistent-pool exhaustion is reported
+    /// as `Ok(false)` (the guest falls back to real swap), matching the
+    /// ABI's non-fatal failure.
+    pub fn put(
+        &mut self,
+        caller: DomainId,
+        pool: PoolId,
+        key: TmemKey,
+        contents: u64,
+    ) -> Result<bool, XenError> {
+        let kind = self.pool_checked(caller, pool)?.kind;
+        // Replacing an existing key reuses its page.
+        let replacing = self
+            .pools
+            .get(&pool)
+            .is_some_and(|p| p.pages.contains_key(&key));
+        if !replacing && self.used_pages >= self.capacity_pages {
+            match kind {
+                PoolKind::Ephemeral => {
+                    if !self.evict_one_ephemeral() {
+                        // Nothing evictable: drop the put silently (legal
+                        // for ephemeral pools).
+                        return Ok(false);
+                    }
+                }
+                PoolKind::Persistent => {
+                    if !self.evict_one_ephemeral() {
+                        self.stats.persistent_refusals += 1;
+                        return Ok(false);
+                    }
+                }
+            }
+        }
+        let p = self.pools.get_mut(&pool).expect("checked above");
+        if p.pages.insert(key, contents).is_none() {
+            self.used_pages += 1;
+        }
+        if kind == PoolKind::Ephemeral {
+            self.eph_lru.push_back((pool, key));
+        }
+        Ok(true)
+    }
+
+    /// Retrieves (and removes — gets are exclusive, as in the real ABI)
+    /// a page. Ephemeral misses are normal; persistent gets always hit if
+    /// the put succeeded and no flush intervened.
+    ///
+    /// # Errors
+    ///
+    /// Pool-ownership violations.
+    pub fn get(
+        &mut self,
+        caller: DomainId,
+        pool: PoolId,
+        key: TmemKey,
+    ) -> Result<Option<u64>, XenError> {
+        let kind = self.pool_checked(caller, pool)?.kind;
+        let p = self.pools.get_mut(&pool).expect("checked above");
+        let hit = p.pages.remove(&key);
+        if hit.is_some() {
+            self.used_pages -= 1;
+        }
+        if kind == PoolKind::Ephemeral {
+            if hit.is_some() {
+                self.stats.eph_hits += 1;
+            } else {
+                self.stats.eph_misses += 1;
+            }
+        }
+        Ok(hit)
+    }
+
+    /// Flushes one page (guest dropped/overwrote its disk copy).
+    ///
+    /// # Errors
+    ///
+    /// Pool-ownership violations.
+    pub fn flush_page(
+        &mut self,
+        caller: DomainId,
+        pool: PoolId,
+        key: TmemKey,
+    ) -> Result<(), XenError> {
+        let p = self.pool_checked(caller, pool)?;
+        if p.pages.remove(&key).is_some() {
+            self.used_pages -= 1;
+        }
+        Ok(())
+    }
+
+    /// Destroys a whole pool (domain shutdown), releasing its pages.
+    ///
+    /// # Errors
+    ///
+    /// Pool-ownership violations.
+    pub fn destroy_pool(&mut self, caller: DomainId, pool: PoolId) -> Result<(), XenError> {
+        self.pool_checked(caller, pool)?;
+        let p = self.pools.remove(&pool).expect("checked above");
+        self.used_pages -= p.pages.len() as u64;
+        Ok(())
+    }
+
+    /// Pages currently stored.
+    pub fn used_pages(&self) -> u64 {
+        self.used_pages
+    }
+
+    /// Total spare-page capacity.
+    pub fn capacity_pages(&self) -> u64 {
+        self.capacity_pages
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> TmemStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: DomainId = DomainId(1);
+    const B: DomainId = DomainId(2);
+
+    #[test]
+    fn exclusive_get_semantics() {
+        let mut t = Tmem::new(8);
+        let pool = t.new_pool(A, PoolKind::Persistent);
+        assert!(t.put(A, pool, (7, 0), 42).unwrap());
+        assert_eq!(t.get(A, pool, (7, 0)).unwrap(), Some(42));
+        assert_eq!(t.get(A, pool, (7, 0)).unwrap(), None);
+        assert_eq!(t.used_pages(), 0);
+    }
+
+    #[test]
+    fn ephemeral_eviction_under_pressure() {
+        let mut t = Tmem::new(2);
+        let pool = t.new_pool(A, PoolKind::Ephemeral);
+        assert!(t.put(A, pool, (1, 0), 10).unwrap());
+        assert!(t.put(A, pool, (2, 0), 20).unwrap());
+        // Third put evicts the LRU (1,0).
+        assert!(t.put(A, pool, (3, 0), 30).unwrap());
+        assert_eq!(t.get(A, pool, (1, 0)).unwrap(), None, "evicted");
+        assert_eq!(t.get(A, pool, (3, 0)).unwrap(), Some(30));
+        assert_eq!(t.stats().evictions, 1);
+        assert_eq!(t.stats().eph_misses, 1);
+        assert_eq!(t.stats().eph_hits, 1);
+    }
+
+    #[test]
+    fn persistent_puts_guaranteed_or_refused() {
+        let mut t = Tmem::new(1);
+        let pers = t.new_pool(A, PoolKind::Persistent);
+        assert!(t.put(A, pers, (1, 0), 1).unwrap());
+        // No ephemeral pages to evict: refuse, do not drop silently.
+        assert!(!t.put(A, pers, (2, 0), 2).unwrap());
+        assert_eq!(t.stats().persistent_refusals, 1);
+        // The guaranteed page is still there.
+        assert_eq!(t.get(A, pers, (1, 0)).unwrap(), Some(1));
+    }
+
+    #[test]
+    fn persistent_put_evicts_ephemeral_first() {
+        let mut t = Tmem::new(1);
+        let eph = t.new_pool(A, PoolKind::Ephemeral);
+        let pers = t.new_pool(A, PoolKind::Persistent);
+        assert!(t.put(A, eph, (1, 0), 1).unwrap());
+        // Persistent demand steals the ephemeral page.
+        assert!(t.put(A, pers, (9, 0), 9).unwrap());
+        assert_eq!(t.stats().evictions, 1);
+        assert_eq!(t.get(A, pers, (9, 0)).unwrap(), Some(9));
+    }
+
+    #[test]
+    fn cross_domain_isolation() {
+        let mut t = Tmem::new(4);
+        let pool_a = t.new_pool(A, PoolKind::Persistent);
+        t.put(A, pool_a, (1, 0), 11).unwrap();
+        assert!(matches!(
+            t.get(B, pool_a, (1, 0)),
+            Err(XenError::PermissionDenied { .. })
+        ));
+        assert!(matches!(
+            t.put(B, pool_a, (1, 1), 1),
+            Err(XenError::PermissionDenied { .. })
+        ));
+    }
+
+    #[test]
+    fn flush_and_destroy_release_memory() {
+        let mut t = Tmem::new(4);
+        let pool = t.new_pool(A, PoolKind::Persistent);
+        t.put(A, pool, (1, 0), 1).unwrap();
+        t.put(A, pool, (1, 1), 2).unwrap();
+        t.flush_page(A, pool, (1, 0)).unwrap();
+        assert_eq!(t.used_pages(), 1);
+        t.destroy_pool(A, pool).unwrap();
+        assert_eq!(t.used_pages(), 0);
+        assert!(t.get(A, pool, (1, 1)).is_err(), "pool gone");
+    }
+
+    #[test]
+    fn replacing_a_key_does_not_leak() {
+        let mut t = Tmem::new(1);
+        let pool = t.new_pool(A, PoolKind::Persistent);
+        assert!(t.put(A, pool, (1, 0), 1).unwrap());
+        assert!(t.put(A, pool, (1, 0), 2).unwrap(), "replace in place");
+        assert_eq!(t.used_pages(), 1);
+        assert_eq!(t.get(A, pool, (1, 0)).unwrap(), Some(2));
+    }
+
+    #[test]
+    fn page_cache_sharing_scenario() {
+        // Two guests share the host's spare memory for page cache: one
+        // fills, the other benefits after the first releases.
+        let mut t = Tmem::new(100);
+        let a_pool = t.new_pool(A, PoolKind::Ephemeral);
+        let b_pool = t.new_pool(B, PoolKind::Ephemeral);
+        for i in 0..100 {
+            assert!(t.put(A, a_pool, (0, i), u64::from(i)).unwrap());
+        }
+        assert_eq!(t.used_pages(), 100);
+        // B's puts now evict A's LRU pages — the shared-cache behaviour.
+        for i in 0..50 {
+            assert!(t.put(B, b_pool, (0, i), 1000 + u64::from(i)).unwrap());
+        }
+        assert_eq!(t.used_pages(), 100);
+        assert_eq!(t.stats().evictions, 50);
+        assert_eq!(t.get(B, b_pool, (0, 0)).unwrap(), Some(1000));
+    }
+}

@@ -1,0 +1,322 @@
+//! XenStore — the toolstack's hierarchical configuration database.
+//!
+//! Everything in a Xen system rendezvouses through XenStore: the
+//! toolstack writes a domain's configuration under `/local/domain/<id>`,
+//! front-end and back-end drivers negotiate ring references and event
+//! channel ports through watched keys, and the §4.5 Docker Wrapper uses
+//! the same channel to pass the container entry point to the bootloader.
+//!
+//! The model implements the real semantics that matter to those flows:
+//! a path→value tree, per-domain ownership with read/write permission
+//! checks, and **watches** that fire on writes at or below a prefix.
+
+use std::collections::BTreeMap;
+
+use crate::domain::DomainId;
+use crate::error::XenError;
+
+/// A registered watch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Watch {
+    owner: DomainId,
+    prefix: String,
+    token: String,
+}
+
+/// A fired watch event: `(token, path)` as in the real protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WatchEvent {
+    /// The token the watcher registered.
+    pub token: String,
+    /// The path that changed.
+    pub path: String,
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    value: String,
+    owner: DomainId,
+    /// Domains (other than the owner and Dom0) allowed to read.
+    readers: Vec<DomainId>,
+}
+
+/// The store.
+///
+/// # Example
+///
+/// ```
+/// use xc_xen::domain::DomainId;
+/// use xc_xen::xenstore::XenStore;
+///
+/// let mut xs = XenStore::new();
+/// let dom0 = DomainId(0);
+/// let guest = DomainId(3);
+///
+/// // Toolstack publishes the vif backend path; the guest watches it.
+/// xs.watch(guest, "/local/domain/3/device", "vif-token")?;
+/// xs.write(dom0, "/local/domain/3/device/vif/0/backend-id", "2")?;
+/// let events = xs.take_events(guest);
+/// assert_eq!(events[0].token, "vif-token");
+/// # Ok::<(), xc_xen::XenError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct XenStore {
+    nodes: BTreeMap<String, Node>,
+    watches: Vec<Watch>,
+    pending: BTreeMap<DomainId, Vec<WatchEvent>>,
+}
+
+impl XenStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        XenStore::default()
+    }
+
+    fn may_write(&self, caller: DomainId, path: &str) -> bool {
+        // Dom0 (the toolstack) writes anywhere; a guest only under its
+        // own /local/domain/<id> subtree.
+        caller == DomainId(0) || path.starts_with(&format!("/local/domain/{}/", caller.0))
+    }
+
+    fn may_read(&self, caller: DomainId, node: &Node) -> bool {
+        caller == DomainId(0) || caller == node.owner || node.readers.contains(&caller)
+    }
+
+    /// Writes `value` at `path`, firing matching watches.
+    ///
+    /// # Errors
+    ///
+    /// [`XenError::PermissionDenied`] outside the caller's subtree.
+    pub fn write(&mut self, caller: DomainId, path: &str, value: &str) -> Result<(), XenError> {
+        if !self.may_write(caller, path) {
+            return Err(XenError::PermissionDenied { caller, op: "xenstore write" });
+        }
+        match self.nodes.get_mut(path) {
+            Some(node) => node.value = value.to_owned(),
+            None => {
+                self.nodes.insert(
+                    path.to_owned(),
+                    Node { value: value.to_owned(), owner: caller, readers: Vec::new() },
+                );
+            }
+        }
+        // Fire watches on the path or any ancestor prefix.
+        let fired: Vec<(DomainId, WatchEvent)> = self
+            .watches
+            .iter()
+            .filter(|w| path.starts_with(&w.prefix))
+            .map(|w| {
+                (
+                    w.owner,
+                    WatchEvent { token: w.token.clone(), path: path.to_owned() },
+                )
+            })
+            .collect();
+        for (owner, event) in fired {
+            self.pending.entry(owner).or_default().push(event);
+        }
+        Ok(())
+    }
+
+    /// Grants `reader` read access to `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`XenError::PermissionDenied`] unless the caller owns the node (or
+    /// is Dom0); [`XenError::BadPageTableUpdate`] for missing nodes.
+    pub fn set_perm(
+        &mut self,
+        caller: DomainId,
+        path: &str,
+        reader: DomainId,
+    ) -> Result<(), XenError> {
+        let node = self
+            .nodes
+            .get_mut(path)
+            .ok_or(XenError::BadPageTableUpdate { reason: "no such xenstore node" })?;
+        if caller != DomainId(0) && caller != node.owner {
+            return Err(XenError::PermissionDenied { caller, op: "xenstore set_perm" });
+        }
+        if !node.readers.contains(&reader) {
+            node.readers.push(reader);
+        }
+        Ok(())
+    }
+
+    /// Reads the value at `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`XenError::PermissionDenied`] without read access; missing nodes
+    /// read as `None`.
+    pub fn read(&self, caller: DomainId, path: &str) -> Result<Option<&str>, XenError> {
+        match self.nodes.get(path) {
+            None => Ok(None),
+            Some(node) => {
+                if self.may_read(caller, node) {
+                    Ok(Some(&node.value))
+                } else {
+                    Err(XenError::PermissionDenied { caller, op: "xenstore read" })
+                }
+            }
+        }
+    }
+
+    /// Registers a watch on `prefix` with a caller-chosen `token`.
+    ///
+    /// # Errors
+    ///
+    /// Infallible today; `Result` mirrors the real API.
+    pub fn watch(&mut self, caller: DomainId, prefix: &str, token: &str) -> Result<(), XenError> {
+        self.watches.push(Watch {
+            owner: caller,
+            prefix: prefix.to_owned(),
+            token: token.to_owned(),
+        });
+        Ok(())
+    }
+
+    /// Removes a watch by token.
+    pub fn unwatch(&mut self, caller: DomainId, token: &str) {
+        self.watches
+            .retain(|w| !(w.owner == caller && w.token == token));
+    }
+
+    /// Drains pending watch events for a domain, in firing order.
+    pub fn take_events(&mut self, caller: DomainId) -> Vec<WatchEvent> {
+        self.pending.remove(&caller).unwrap_or_default()
+    }
+
+    /// Lists direct children of `path` (for `xenstore-ls`-style walks).
+    pub fn children(&self, path: &str) -> Vec<String> {
+        let prefix = if path.ends_with('/') {
+            path.to_owned()
+        } else {
+            format!("{path}/")
+        };
+        let mut out: Vec<String> = self
+            .nodes
+            .keys()
+            .filter(|k| k.starts_with(&prefix))
+            .filter_map(|k| k[prefix.len()..].split('/').next())
+            .map(str::to_owned)
+            .collect();
+        out.dedup();
+        out
+    }
+
+    /// Number of nodes in the store.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOM0: DomainId = DomainId(0);
+    const FRONT: DomainId = DomainId(3);
+    const BACK: DomainId = DomainId(2);
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut xs = XenStore::new();
+        xs.write(DOM0, "/local/domain/3/name", "nginx-1").unwrap();
+        assert_eq!(xs.read(DOM0, "/local/domain/3/name").unwrap(), Some("nginx-1"));
+        assert_eq!(xs.read(DOM0, "/missing").unwrap(), None);
+    }
+
+    #[test]
+    fn guest_confined_to_own_subtree() {
+        let mut xs = XenStore::new();
+        xs.write(FRONT, "/local/domain/3/data/x", "1").unwrap();
+        assert!(matches!(
+            xs.write(FRONT, "/local/domain/2/data/x", "1"),
+            Err(XenError::PermissionDenied { .. })
+        ));
+        assert!(matches!(
+            xs.write(FRONT, "/tool/stack", "1"),
+            Err(XenError::PermissionDenied { .. })
+        ));
+    }
+
+    #[test]
+    fn read_permissions() {
+        let mut xs = XenStore::new();
+        xs.write(FRONT, "/local/domain/3/device/vif/ring-ref", "17").unwrap();
+        // The backend cannot read until granted.
+        assert!(matches!(
+            xs.read(BACK, "/local/domain/3/device/vif/ring-ref"),
+            Err(XenError::PermissionDenied { .. })
+        ));
+        xs.set_perm(FRONT, "/local/domain/3/device/vif/ring-ref", BACK).unwrap();
+        assert_eq!(
+            xs.read(BACK, "/local/domain/3/device/vif/ring-ref").unwrap(),
+            Some("17")
+        );
+    }
+
+    #[test]
+    fn watches_fire_on_prefix() {
+        let mut xs = XenStore::new();
+        xs.watch(FRONT, "/local/domain/3/device", "dev").unwrap();
+        xs.write(DOM0, "/local/domain/3/device/vif/0/state", "4").unwrap();
+        xs.write(DOM0, "/local/domain/3/name", "nginx").unwrap(); // no match
+        let events = xs.take_events(FRONT);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].token, "dev");
+        assert_eq!(events[0].path, "/local/domain/3/device/vif/0/state");
+        assert!(xs.take_events(FRONT).is_empty(), "drained");
+    }
+
+    #[test]
+    fn unwatch_stops_events() {
+        let mut xs = XenStore::new();
+        xs.watch(FRONT, "/local/domain/3", "t").unwrap();
+        xs.unwatch(FRONT, "t");
+        xs.write(DOM0, "/local/domain/3/x", "1").unwrap();
+        assert!(xs.take_events(FRONT).is_empty());
+    }
+
+    #[test]
+    fn split_driver_negotiation_flow() {
+        // The classic frontend/backend handshake, end to end.
+        let mut xs = XenStore::new();
+        // Toolstack seeds both ends.
+        xs.write(DOM0, "/local/domain/3/device/vif/0/backend", "/local/domain/2/backend/vif/3/0")
+            .unwrap();
+        xs.write(DOM0, "/local/domain/2/backend/vif/3/0/frontend", "/local/domain/3/device/vif/0")
+            .unwrap();
+        // Backend watches for the frontend's ring grant.
+        xs.watch(BACK, "/local/domain/3/device/vif/0", "fe").unwrap();
+        // Frontend publishes ring-ref + event channel, grants read.
+        xs.write(FRONT, "/local/domain/3/device/vif/0/ring-ref", "8").unwrap();
+        xs.set_perm(FRONT, "/local/domain/3/device/vif/0/ring-ref", BACK).unwrap();
+        xs.write(FRONT, "/local/domain/3/device/vif/0/event-channel", "5").unwrap();
+        xs.set_perm(FRONT, "/local/domain/3/device/vif/0/event-channel", BACK).unwrap();
+        // Backend sees both writes and reads the values.
+        let events = xs.take_events(BACK);
+        assert_eq!(events.len(), 2);
+        assert_eq!(
+            xs.read(BACK, "/local/domain/3/device/vif/0/ring-ref").unwrap(),
+            Some("8")
+        );
+    }
+
+    #[test]
+    fn children_listing() {
+        let mut xs = XenStore::new();
+        xs.write(DOM0, "/local/domain/3/device/vif/0/state", "1").unwrap();
+        xs.write(DOM0, "/local/domain/3/device/vbd/0/state", "1").unwrap();
+        let kids = xs.children("/local/domain/3/device");
+        assert_eq!(kids, vec!["vbd".to_owned(), "vif".to_owned()]);
+        assert_eq!(xs.len(), 2);
+        assert!(!xs.is_empty());
+    }
+}

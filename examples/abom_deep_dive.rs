@@ -1,0 +1,93 @@
+//! ABOM deep dive: every replacement pattern of §4.4, shown as real
+//! bytes and disassembly, before and after patching — including the
+//! 9-byte two-phase replacement, the return-address fix-up, and the
+//! offline detour for libpthread-style cancellable wrappers.
+//!
+//! Run with: `cargo run --example abom_deep_dive`
+
+use xcontainers::abom::binaries::{
+    glibc_large_nr_wrapper_image, glibc_wrapper_image, go_wrapper_image,
+    invoke, invoke_with, pthread_cancellable_wrapper_image,
+};
+use xcontainers::abom::offline::OfflinePatcher;
+use xcontainers::isa::decode::disassemble;
+use xcontainers::isa::image::BinaryImage;
+use xcontainers::prelude::*;
+
+fn dump(title: &str, image: &BinaryImage, at: u64, len: usize) {
+    let bytes = image.read_upto(at, len).expect("in range");
+    let hex: Vec<String> = bytes.iter().map(|b| format!("{b:02x}")).collect();
+    println!("  {title}: {}", hex.join(" "));
+    let (insts, stop) = disassemble(bytes);
+    for (off, inst) in insts {
+        println!("    {:#08x}: {inst}", at + off as u64);
+    }
+    if let Some((off, e)) = stop {
+        println!("    {:#08x}: <{e}>", at + off as u64);
+    }
+}
+
+fn main() {
+    println!("== Case 1: glibc __read — 7-byte replacement ==");
+    let mut image = glibc_wrapper_image(0);
+    let entry = image.symbol("wrapper").unwrap();
+    dump("before", &image, entry, 8);
+    let mut kernel = XContainerKernel::new();
+    invoke(&mut image, &mut kernel, entry, None).unwrap();
+    dump("after ", &image, entry, 8);
+    println!();
+
+    println!("== Case 2: Go syscall.Syscall — stack-dispatch entry ==");
+    let mut image = go_wrapper_image();
+    let entry = image.symbol("wrapper").unwrap();
+    dump("before", &image, entry, 8);
+    let mut kernel = XContainerKernel::new();
+    invoke(&mut image, &mut kernel, entry, Some(202)).unwrap();
+    dump("after ", &image, entry, 8);
+    println!("  (entry 0xffffffffff600c08 reads the number from 0x8(%rsp))");
+    println!();
+
+    println!("== Case 3: __restore_rt — 9-byte two-phase replacement ==");
+    let mut image = glibc_large_nr_wrapper_image(15);
+    let entry = image.symbol("wrapper").unwrap();
+    dump("before ", &image, entry, 10);
+    // Interrupted patch: phase 1 only (as if the patching vCPU were
+    // preempted between the two exchanges).
+    let mut phase1 = XContainerKernel::with_config(AbomConfig {
+        enabled: true,
+        nine_byte_phase2: false,
+    });
+    invoke(&mut image, &mut phase1, entry, None).unwrap();
+    dump("phase 1", &image, entry, 10);
+    println!("  (still runs correctly: the handler skips the leftover syscall");
+    println!("   found at the return address)");
+    // The normal path applies both phases within one trap:
+    let mut full = glibc_large_nr_wrapper_image(15);
+    let full_entry = full.symbol("wrapper").unwrap();
+    let mut kernel = XContainerKernel::new();
+    invoke(&mut full, &mut kernel, full_entry, None).unwrap();
+    dump("phase 2", &full, full_entry, 10);
+    println!("  (eb f7 = jmp -9, back to the call — every intermediate state executable)");
+    println!();
+
+    println!("== Offline detour: libpthread cancellable wrapper ==");
+    let image = pthread_cancellable_wrapper_image(202);
+    let entry = image.symbol("wrapper").unwrap();
+    dump("before", &image, entry, 14);
+    let (mut patched, report) = OfflinePatcher::new().patch(&image).unwrap();
+    println!(
+        "  offline tool: {} adjacent, {} detoured, image grew {} bytes",
+        report.adjacent_patched,
+        report.detour_patched,
+        patched.len() - image.len()
+    );
+    dump("after ", &patched, entry, 14);
+    let mut kernel = XContainerKernel::new();
+    invoke_with(&mut patched, &mut kernel, entry, None, None).unwrap();
+    println!(
+        "  executed: trace {:?}, trapped {}, via function call {}",
+        kernel.syscall_numbers(),
+        kernel.stats().trapped,
+        kernel.stats().via_function_call
+    );
+}

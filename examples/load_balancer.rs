@@ -1,0 +1,40 @@
+//! The Figure 9 scenario: three NGINX backends behind a load balancer,
+//! escalating from user-space HAProxy to in-kernel IPVS — the kernel
+//! customization only X-Containers permit without host root (§5.7).
+//!
+//! Run with: `cargo run --example load_balancer`
+
+use xcontainers::prelude::*;
+use xcontainers::workloads::loadbalance::{balancer_cost, bottleneck, throughput, Bottleneck};
+
+fn main() {
+    let costs = CostModel::skylake_cloud();
+
+    let mut table = Table::new(
+        "Load balancing: 3 NGINX backends + 1 balancer (one host)",
+        &["configuration", "balancer cost", "total req/s", "bottleneck", "vs Docker"],
+    );
+
+    let baseline = throughput(LbMode::HaproxyDocker, &costs);
+    for mode in LbMode::ALL {
+        let total = throughput(mode, &costs);
+        let neck = match bottleneck(mode, &costs) {
+            Bottleneck::Balancer => "balancer",
+            Bottleneck::Backends => "backends",
+        };
+        table.row([
+            Cell::from(mode.label()),
+            Cell::from(balancer_cost(mode, &costs).to_string()),
+            Cell::Num(total, 0),
+            Cell::from(neck),
+            Cell::Num(total / baseline, 2),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "IPVS needs kernel modules and iptables/ARP rewiring — root-level,\n\
+         host-wide changes under Docker, but a private-kernel tweak inside an\n\
+         X-Container. Direct routing shifts the bottleneck to the backends,\n\
+         exactly as §5.7 reports."
+    );
+}

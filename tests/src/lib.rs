@@ -1,0 +1,1 @@
+// integration test crate root (tests live in tests/tests/)
