@@ -87,23 +87,35 @@ pub struct WrapperSpec {
 fn emit_wrapper(a: &mut Assembler, style: WrapperStyle, nr: u64) {
     match style {
         WrapperStyle::GlibcSmall => {
-            a.inst(Inst::MovImm32 { reg: Reg::Rax, imm: nr as u32 });
+            a.inst(Inst::MovImm32 {
+                reg: Reg::Rax,
+                imm: nr as u32,
+            });
             a.inst(Inst::Syscall);
             a.inst(Inst::Ret);
         }
         WrapperStyle::GlibcLarge => {
-            a.inst(Inst::MovImm32SxR64 { reg: Reg::Rax, imm: nr as i32 });
+            a.inst(Inst::MovImm32SxR64 {
+                reg: Reg::Rax,
+                imm: nr as i32,
+            });
             a.inst(Inst::Syscall);
             a.inst(Inst::Ret);
         }
         WrapperStyle::GoStack => {
-            a.inst(Inst::LoadRspDisp8R64 { reg: Reg::Rax, disp: 8 });
+            a.inst(Inst::LoadRspDisp8R64 {
+                reg: Reg::Rax,
+                disp: 8,
+            });
             a.inst(Inst::Syscall);
             a.inst(Inst::Ret);
         }
         WrapperStyle::PthreadCancellable => {
             // mov; cancel-state check; conditional slow path; syscall.
-            a.inst(Inst::MovImm32 { reg: Reg::Rax, imm: nr as u32 });
+            a.inst(Inst::MovImm32 {
+                reg: Reg::Rax,
+                imm: nr as u32,
+            });
             a.inst(Inst::TestEaxEax);
             // Taken only for nr == 0 (read): jump over a nop — keeps the
             // check semantically inert while breaking mov/syscall
@@ -116,7 +128,10 @@ fn emit_wrapper(a: &mut Assembler, style: WrapperStyle, nr: u64) {
             a.inst(Inst::Ret);
         }
         WrapperStyle::IndirectNumber => {
-            a.inst(Inst::MovRegReg64 { dst: Reg::Rax, src: Reg::Rdi });
+            a.inst(Inst::MovRegReg64 {
+                dst: Reg::Rax,
+                src: Reg::Rdi,
+            });
             a.inst(Inst::Syscall);
             a.inst(Inst::Ret);
         }
@@ -225,10 +240,26 @@ mod tests {
     #[test]
     fn library_exports_aligned_symbols() {
         let specs = [
-            WrapperSpec { index: 0, style: WrapperStyle::GlibcSmall, nr: 0 },
-            WrapperSpec { index: 1, style: WrapperStyle::GlibcLarge, nr: 15 },
-            WrapperSpec { index: 2, style: WrapperStyle::GoStack, nr: 0 },
-            WrapperSpec { index: 3, style: WrapperStyle::PthreadCancellable, nr: 202 },
+            WrapperSpec {
+                index: 0,
+                style: WrapperStyle::GlibcSmall,
+                nr: 0,
+            },
+            WrapperSpec {
+                index: 1,
+                style: WrapperStyle::GlibcLarge,
+                nr: 15,
+            },
+            WrapperSpec {
+                index: 2,
+                style: WrapperStyle::GoStack,
+                nr: 0,
+            },
+            WrapperSpec {
+                index: 3,
+                style: WrapperStyle::PthreadCancellable,
+                nr: 202,
+            },
         ];
         let image = library_image(&specs);
         for spec in &specs {

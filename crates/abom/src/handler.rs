@@ -60,7 +60,10 @@ impl XContainerKernel {
     /// Creates a kernel with explicit ABOM configuration (e.g. disabled,
     /// for baseline runs).
     pub fn with_config(config: AbomConfig) -> Self {
-        XContainerKernel { abom: Abom::with_config(config), trace: Vec::new() }
+        XContainerKernel {
+            abom: Abom::with_config(config),
+            trace: Vec::new(),
+        }
     }
 
     /// Combined ABOM + dispatch statistics.
@@ -146,8 +149,8 @@ impl Hooks for XContainerKernel {
         // Verify the shape and move rip back to the call start.
         let at = cpu.rip();
         let tail_ok = matches!(image.read_bytes(at, 2), Ok([0x60, 0xff]));
-        let head_ok = at >= image.base() + 5
-            && matches!(image.read_bytes(at - 5, 3), Ok([0xff, 0x14, 0x25]));
+        let head_ok =
+            at >= image.base() + 5 && matches!(image.read_bytes(at - 5, 3), Ok([0xff, 0x14, 0x25]));
         if tail_ok && head_ok {
             cpu.set_rip(at - 5);
             self.abom.stats_mut().ud_fixups += 1;
@@ -225,12 +228,18 @@ mod tests {
         // directly at the (former) syscall address.
         let mut a = Assembler::new(0x40_0000);
         a.label("wrapper").unwrap();
-        a.inst(Inst::MovImm32 { reg: Reg::Rax, imm: 7 });
+        a.inst(Inst::MovImm32 {
+            reg: Reg::Rax,
+            imm: 7,
+        });
         a.label("raw_syscall").unwrap();
         a.inst(Inst::Syscall);
         a.inst(Inst::Ret);
         a.label("jumper").unwrap();
-        a.inst(Inst::MovImm32 { reg: Reg::Rax, imm: 7 });
+        a.inst(Inst::MovImm32 {
+            reg: Reg::Rax,
+            imm: 7,
+        });
         a.jmp_to("raw_syscall");
         let mut image = a.finish().unwrap();
         let wrapper = image.symbol("wrapper").unwrap();
@@ -249,7 +258,10 @@ mod tests {
     #[test]
     fn exit_group_halts() {
         let mut a = Assembler::new(0x1000);
-        a.inst(Inst::MovImm32 { reg: Reg::Rax, imm: SYS_EXIT_GROUP as u32 });
+        a.inst(Inst::MovImm32 {
+            reg: Reg::Rax,
+            imm: SYS_EXIT_GROUP as u32,
+        });
         a.inst(Inst::Syscall);
         a.inst(Inst::Ud2); // never reached
         let mut image = a.finish().unwrap();
@@ -263,7 +275,9 @@ mod tests {
     #[test]
     fn wild_vsyscall_call_halts() {
         let mut a = Assembler::new(0x1000);
-        a.inst(Inst::CallAbsIndirect { target: 0xffff_ffff_ff60_0004 }); // misaligned
+        a.inst(Inst::CallAbsIndirect {
+            target: 0xffff_ffff_ff60_0004,
+        }); // misaligned
         a.inst(Inst::Ret);
         let mut image = a.finish().unwrap();
         let mut kernel = XContainerKernel::new();

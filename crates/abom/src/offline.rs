@@ -20,9 +20,14 @@
 //!    `mov`+`syscall` collapsed into a vsyscall-table call, then jumps
 //!    back.
 //!
-//! Like every real detour patcher, the tool assumes no *external* jump
-//! targets the interior of a detoured region; interior bytes are filled
-//! with `int3` so a violated assumption fails loudly rather than silently.
+//! Historically, detour patchers *assume* no external jump targets the
+//! interior of a detoured region. This tool **proves** it instead: before
+//! any detour is written, the `xc-verify` static analyzer (CFG +
+//! dataflow over the same image) checks each candidate region, and
+//! regions with a proven interior jump target are refused with
+//! [`SkipReason::InteriorJumpTarget`]. Interior bytes of regions that do
+//! get detoured are still filled with `int3` so even an unproven
+//! violation fails loudly rather than silently.
 
 use std::error::Error;
 use std::fmt;
@@ -30,6 +35,7 @@ use std::fmt;
 use xc_isa::decode::{decode, DecodeError};
 use xc_isa::image::{BinaryImage, PAGE_SIZE};
 use xc_isa::inst::{Inst, Reg};
+use xc_verify::{DetourHazard, Verifier};
 
 use crate::patcher::{Abom, PatchOutcome};
 use crate::patterns::recognize;
@@ -44,6 +50,12 @@ pub enum SkipReason {
     NumberOutOfRange,
     /// The detour region is too small to hold the redirect jump.
     RegionTooSmall,
+    /// The static analyzer proved that control enters the detour region's
+    /// interior from outside it; a detour would break that entrance.
+    InteriorJumpTarget,
+    /// The static analyzer proved that an instruction inside the region
+    /// branches somewhere the trampoline relocation cannot preserve.
+    InteriorBranchEscape,
 }
 
 impl fmt::Display for SkipReason {
@@ -52,6 +64,12 @@ impl fmt::Display for SkipReason {
             SkipReason::UnknownNumber => write!(f, "syscall number not statically known"),
             SkipReason::NumberOutOfRange => write!(f, "syscall number outside entry table"),
             SkipReason::RegionTooSmall => write!(f, "region too small for detour"),
+            SkipReason::InteriorJumpTarget => {
+                write!(f, "region interior is a jump target from outside")
+            }
+            SkipReason::InteriorBranchEscape => {
+                write!(f, "region interior branch escapes the relocatable window")
+            }
         }
     }
 }
@@ -89,6 +107,20 @@ impl OfflineReport {
     pub fn total_patched(&self) -> u64 {
         self.adjacent_patched + self.detour_patched
     }
+
+    /// Sites refused because the verifier proved the region interior is
+    /// entered from outside (either hazard kind).
+    pub fn interior_jump_skips(&self) -> u64 {
+        self.skipped
+            .iter()
+            .filter(|(_, r)| {
+                matches!(
+                    r,
+                    SkipReason::InteriorJumpTarget | SkipReason::InteriorBranchEscape
+                )
+            })
+            .count() as u64
+    }
 }
 
 /// Configuration for the offline tool.
@@ -104,7 +136,9 @@ pub struct OfflineConfig {
 
 impl Default for OfflineConfig {
     fn default() -> Self {
-        OfflineConfig { across_conditional_branches: true }
+        OfflineConfig {
+            across_conditional_branches: true,
+        }
     }
 }
 
@@ -146,7 +180,10 @@ impl OfflinePatcher {
 
     /// Creates the tool with explicit configuration.
     pub fn with_config(config: OfflineConfig) -> Self {
-        OfflinePatcher { table: VsyscallTable::new(), config }
+        OfflinePatcher {
+            table: VsyscallTable::new(),
+            config,
+        }
     }
 
     /// Scans and patches `image`, returning a rewritten image (original
@@ -158,6 +195,9 @@ impl OfflinePatcher {
     /// are reported in [`OfflineReport::skipped`], not as errors.
     pub fn patch(&self, image: &BinaryImage) -> Result<(BinaryImage, OfflineReport), OfflineError> {
         let (sites, skipped) = self.scan(image);
+        // One static analysis of the unpatched image backs every detour
+        // decision below.
+        let analysis = Verifier::new().analyze(image);
 
         // Build the output: original bytes + page-aligned trampoline area.
         let text_len = image.len();
@@ -168,7 +208,10 @@ impl OfflinePatcher {
             .to_vec();
         bytes.resize(tramp_start_off as usize, 0xcc);
 
-        let mut report = OfflineReport { skipped, ..OfflineReport::default() };
+        let mut report = OfflineReport {
+            skipped,
+            ..OfflineReport::default()
+        };
         let mut detours: Vec<(Site, u64)> = Vec::new();
         let mut tramp_cursor = image.base() + tramp_start_off;
 
@@ -180,7 +223,9 @@ impl OfflinePatcher {
             let region_end = site.syscall_addr + 2;
             let region_len = (region_end - region_start) as usize;
             if region_len < 5 {
-                report.skipped.push((site.syscall_addr, SkipReason::RegionTooSmall));
+                report
+                    .skipped
+                    .push((site.syscall_addr, SkipReason::RegionTooSmall));
                 continue;
             }
             let Some(entry) = self.table.entry_for_number(site.nr) else {
@@ -189,6 +234,19 @@ impl OfflinePatcher {
                     .push((site.syscall_addr, SkipReason::NumberOutOfRange));
                 continue;
             };
+            // Pre-flight safety proof: refuse regions whose interior is
+            // reachable from outside the region.
+            let mov_end = site.mov_addr + site.mov_len as u64;
+            if let Some(hazard) =
+                analysis.region_detour_hazard(region_start, mov_end, site.syscall_addr)
+            {
+                let reason = match hazard {
+                    DetourHazard::InteriorJumpTarget { .. } => SkipReason::InteriorJumpTarget,
+                    DetourHazard::EscapingInteriorBranch { .. } => SkipReason::InteriorBranchEscape,
+                };
+                report.skipped.push((site.syscall_addr, reason));
+                continue;
+            }
 
             // Trampoline: displaced interior (minus mov and syscall), then
             // the vsyscall call, then a jump back to the region end.
@@ -367,8 +425,8 @@ impl OfflinePatcher {
 mod tests {
     use super::*;
     use crate::binaries::{
-        glibc_wrapper_image, invoke, library_image, pthread_cancellable_wrapper_image,
-        WrapperSpec, WrapperStyle,
+        glibc_wrapper_image, invoke, library_image, pthread_cancellable_wrapper_image, WrapperSpec,
+        WrapperStyle,
     };
     use crate::handler::XContainerKernel;
 
@@ -407,10 +465,26 @@ mod tests {
     #[test]
     fn mixed_library_full_coverage() {
         let specs = [
-            WrapperSpec { index: 0, style: WrapperStyle::GlibcSmall, nr: 0 },
-            WrapperSpec { index: 1, style: WrapperStyle::GlibcLarge, nr: 15 },
-            WrapperSpec { index: 2, style: WrapperStyle::PthreadCancellable, nr: 202 },
-            WrapperSpec { index: 3, style: WrapperStyle::PthreadCancellable, nr: 1 },
+            WrapperSpec {
+                index: 0,
+                style: WrapperStyle::GlibcSmall,
+                nr: 0,
+            },
+            WrapperSpec {
+                index: 1,
+                style: WrapperStyle::GlibcLarge,
+                nr: 15,
+            },
+            WrapperSpec {
+                index: 2,
+                style: WrapperStyle::PthreadCancellable,
+                nr: 202,
+            },
+            WrapperSpec {
+                index: 3,
+                style: WrapperStyle::PthreadCancellable,
+                nr: 1,
+            },
         ];
         let image = library_image(&specs);
         let (mut patched, report) = OfflinePatcher::new().patch(&image).unwrap();
@@ -428,7 +502,11 @@ mod tests {
 
     #[test]
     fn go_stack_wrapper_is_adjacent_patched() {
-        let specs = [WrapperSpec { index: 0, style: WrapperStyle::GoStack, nr: 0 }];
+        let specs = [WrapperSpec {
+            index: 0,
+            style: WrapperStyle::GoStack,
+            nr: 0,
+        }];
         let image = library_image(&specs);
         let (mut patched, report) = OfflinePatcher::new().patch(&image).unwrap();
         assert_eq!(report.adjacent_patched, 1);
@@ -459,7 +537,10 @@ mod tests {
         use xc_isa::asm::Assembler;
         let mut a = Assembler::new(0x40_0000);
         a.label("raw").unwrap();
-        a.inst(Inst::MovRegReg64 { dst: Reg::Rax, src: Reg::Rdi });
+        a.inst(Inst::MovRegReg64 {
+            dst: Reg::Rax,
+            src: Reg::Rdi,
+        });
         a.inst(Inst::Syscall);
         a.inst(Inst::Ret);
         let image = a.finish().unwrap();
@@ -471,7 +552,11 @@ mod tests {
 
     #[test]
     fn xor_zero_region_too_small() {
-        let specs = [WrapperSpec { index: 0, style: WrapperStyle::XorZeroRead, nr: 0 }];
+        let specs = [WrapperSpec {
+            index: 0,
+            style: WrapperStyle::XorZeroRead,
+            nr: 0,
+        }];
         let image = library_image(&specs);
         let (_, report) = OfflinePatcher::new().patch(&image).unwrap();
         assert_eq!(report.total_patched(), 0);

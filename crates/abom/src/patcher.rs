@@ -33,11 +33,22 @@ pub struct AbomConfig {
     /// Whether phase 2 of the 9-byte replacement runs (ablation: phase 1
     /// alone is still correct, just leaves a dead `syscall`).
     pub nine_byte_phase2: bool,
+    /// Run the full `xc-verify` static analysis before each patch and
+    /// refuse sites it cannot prove [`Safe`](xc_verify::Verdict::Safe).
+    /// Off by default: the online replacements carry their own safety
+    /// argument (trap-driven, atomic, `#UD`-recoverable), so the analysis
+    /// is redundant — this knob exists to *measure* that redundancy (the
+    /// `verify_study` ablation bench).
+    pub preflight_verify: bool,
 }
 
 impl Default for AbomConfig {
     fn default() -> Self {
-        AbomConfig { enabled: true, nine_byte_phase2: true }
+        AbomConfig {
+            enabled: true,
+            nine_byte_phase2: true,
+            preflight_verify: false,
+        }
     }
 }
 
@@ -51,6 +62,10 @@ pub enum PatchOutcome {
     /// The surrounding bytes matched no known pattern; the syscall keeps
     /// trapping.
     NotRecognized,
+    /// Pre-flight verification could not prove the site safe
+    /// (only with [`AbomConfig::preflight_verify`]); the syscall keeps
+    /// trapping.
+    VerifyRejected,
     /// The optimizer is disabled.
     Disabled,
     /// The image rejected the write (e.g. out-of-bounds after a bad
@@ -61,7 +76,10 @@ pub enum PatchOutcome {
 impl PatchOutcome {
     /// Whether the site will dispatch via function call from now on.
     pub fn is_optimized(&self) -> bool {
-        matches!(self, PatchOutcome::Patched(_) | PatchOutcome::AlreadyPatched)
+        matches!(
+            self,
+            PatchOutcome::Patched(_) | PatchOutcome::AlreadyPatched
+        )
     }
 }
 
@@ -101,7 +119,11 @@ impl Abom {
 
     /// Creates the patcher with explicit configuration.
     pub fn with_config(config: AbomConfig) -> Self {
-        Abom { table: VsyscallTable::new(), config, stats: AbomStats::new() }
+        Abom {
+            table: VsyscallTable::new(),
+            config,
+            stats: AbomStats::new(),
+        }
     }
 
     /// The vsyscall table this patcher targets.
@@ -127,11 +149,7 @@ impl Abom {
     /// Handles one trapped `syscall` at `syscall_addr`: recognizes and
     /// patches the site. Call *before* forwarding the syscall (the current
     /// invocation still completes via the trap path either way).
-    pub fn on_syscall_trap(
-        &mut self,
-        image: &mut BinaryImage,
-        syscall_addr: u64,
-    ) -> PatchOutcome {
+    pub fn on_syscall_trap(&mut self, image: &mut BinaryImage, syscall_addr: u64) -> PatchOutcome {
         if !self.config.enabled {
             return PatchOutcome::Disabled;
         }
@@ -139,6 +157,16 @@ impl Abom {
             self.stats.unrecognized += 1;
             return PatchOutcome::NotRecognized;
         };
+        if self.config.preflight_verify {
+            // Full static analysis per trap — deliberately expensive; the
+            // verify_study bench quantifies the cost and the (expected)
+            // zero change in patch decisions.
+            let analysis = xc_verify::Verifier::new().analyze(image);
+            if analysis.verdict_at(syscall_addr) != Some(xc_verify::Verdict::Safe) {
+                self.stats.verify_rejected += 1;
+                return PatchOutcome::VerifyRejected;
+            }
+        }
         match self.apply(image, pattern, syscall_addr) {
             Ok(outcome) => {
                 if let PatchOutcome::Patched(p) = outcome {
@@ -168,8 +196,11 @@ impl Abom {
                     .expect("recognize() validated the number");
                 let call = Inst::CallAbsIndirect { target: entry }.encode();
                 let mut original = Vec::with_capacity(7);
-                Inst::MovImm32 { reg: xc_isa::inst::Reg::Rax, imm: nr as u32 }
-                    .encode_into(&mut original);
+                Inst::MovImm32 {
+                    reg: xc_isa::inst::Reg::Rax,
+                    imm: nr as u32,
+                }
+                .encode_into(&mut original);
                 Inst::Syscall.encode_into(&mut original);
                 self.exchange(image, mov_addr, &original, &call)
                     .map(|fresh| finish_outcome(fresh, pattern))
@@ -178,8 +209,11 @@ impl Abom {
                 let entry = self.table.stack_dispatch_entry(disp);
                 let call = Inst::CallAbsIndirect { target: entry }.encode();
                 let mut original = Vec::with_capacity(7);
-                Inst::LoadRspDisp8R64 { reg: xc_isa::inst::Reg::Rax, disp }
-                    .encode_into(&mut original);
+                Inst::LoadRspDisp8R64 {
+                    reg: xc_isa::inst::Reg::Rax,
+                    disp,
+                }
+                .encode_into(&mut original);
                 Inst::Syscall.encode_into(&mut original);
                 self.exchange(image, mov_addr, &original, &call)
                     .map(|fresh| finish_outcome(fresh, pattern))
@@ -194,8 +228,11 @@ impl Abom {
                 // which is execution-equivalent because the handler skips a
                 // syscall found at the return address.
                 let call = Inst::CallAbsIndirect { target: entry }.encode();
-                let original_mov =
-                    Inst::MovImm32SxR64 { reg: xc_isa::inst::Reg::Rax, imm: nr as i32 }.encode();
+                let original_mov = Inst::MovImm32SxR64 {
+                    reg: xc_isa::inst::Reg::Rax,
+                    imm: nr as i32,
+                }
+                .encode();
                 let fresh = self.exchange(image, mov_addr, &original_mov, &call)?;
                 // Phase 2: replace the now-dead syscall with jmp -9 (back
                 // to the call), equally equivalent via the handler check.
@@ -256,7 +293,10 @@ mod tests {
     fn case1_image(nr: u32) -> (BinaryImage, u64) {
         let mut a = Assembler::new(0x40_0000);
         a.label("wrapper").unwrap();
-        a.inst(Inst::MovImm32 { reg: Reg::Rax, imm: nr });
+        a.inst(Inst::MovImm32 {
+            reg: Reg::Rax,
+            imm: nr,
+        });
         let syscall_at = a.here();
         a.inst(Inst::Syscall);
         a.inst(Inst::Ret);
@@ -270,7 +310,10 @@ mod tests {
         let (mut img, at) = case1_image(0);
         let mut abom = Abom::new();
         let outcome = abom.on_syscall_trap(&mut img, at);
-        assert!(matches!(outcome, PatchOutcome::Patched(Pattern::MovEaxImm { nr: 0, .. })));
+        assert!(matches!(
+            outcome,
+            PatchOutcome::Patched(Pattern::MovEaxImm { nr: 0, .. })
+        ));
         assert_eq!(
             img.read_bytes(0x40_0000, 7).unwrap(),
             [0xff, 0x14, 0x25, 0x08, 0x00, 0x60, 0xff]
@@ -284,7 +327,10 @@ mod tests {
     fn second_trap_reports_already_patched() {
         let (mut img, at) = case1_image(3);
         let mut abom = Abom::new();
-        assert!(matches!(abom.on_syscall_trap(&mut img, at), PatchOutcome::Patched(_)));
+        assert!(matches!(
+            abom.on_syscall_trap(&mut img, at),
+            PatchOutcome::Patched(_)
+        ));
         // The same site cannot trap again in reality (the bytes changed),
         // but a concurrent vCPU may race; simulate the race by re-applying.
         let again = abom.on_syscall_trap(&mut img, at);
@@ -296,7 +342,10 @@ mod tests {
     #[test]
     fn case3_two_phase_bytes() {
         let mut a = Assembler::new(0x40_0000);
-        a.inst(Inst::MovImm32SxR64 { reg: Reg::Rax, imm: 15 });
+        a.inst(Inst::MovImm32SxR64 {
+            reg: Reg::Rax,
+            imm: 15,
+        });
         let at = a.here();
         a.inst(Inst::Syscall);
         a.inst(Inst::Ret);
@@ -304,7 +353,10 @@ mod tests {
 
         let mut abom = Abom::new();
         let outcome = abom.on_syscall_trap(&mut img, at);
-        assert!(matches!(outcome, PatchOutcome::Patched(Pattern::MovRaxImm { nr: 15, .. })));
+        assert!(matches!(
+            outcome,
+            PatchOutcome::Patched(Pattern::MovRaxImm { nr: 15, .. })
+        ));
         // Phase 1: callq *0xffffffffff600080; phase 2: eb f7.
         assert_eq!(
             img.read_bytes(0x40_0000, 9).unwrap(),
@@ -316,13 +368,20 @@ mod tests {
     #[test]
     fn case3_phase1_only_when_configured() {
         let mut a = Assembler::new(0x40_0000);
-        a.inst(Inst::MovImm32SxR64 { reg: Reg::Rax, imm: 15 });
+        a.inst(Inst::MovImm32SxR64 {
+            reg: Reg::Rax,
+            imm: 15,
+        });
         let at = a.here();
         a.inst(Inst::Syscall);
         a.inst(Inst::Ret);
         let mut img = a.finish().unwrap();
 
-        let mut abom = Abom::with_config(AbomConfig { enabled: true, nine_byte_phase2: false });
+        let mut abom = Abom::with_config(AbomConfig {
+            enabled: true,
+            nine_byte_phase2: false,
+            preflight_verify: false,
+        });
         abom.on_syscall_trap(&mut img, at);
         // Syscall still in place after phase 1.
         assert_eq!(img.read_bytes(at, 2).unwrap(), [0x0f, 0x05]);
@@ -331,7 +390,10 @@ mod tests {
     #[test]
     fn case2_patch_targets_stack_entry() {
         let mut a = Assembler::new(0x40_0000);
-        a.inst(Inst::LoadRspDisp8R64 { reg: Reg::Rax, disp: 8 });
+        a.inst(Inst::LoadRspDisp8R64 {
+            reg: Reg::Rax,
+            disp: 8,
+        });
         let at = a.here();
         a.inst(Inst::Syscall);
         a.inst(Inst::Ret);
@@ -339,7 +401,10 @@ mod tests {
 
         let mut abom = Abom::new();
         let outcome = abom.on_syscall_trap(&mut img, at);
-        assert!(matches!(outcome, PatchOutcome::Patched(Pattern::MovRaxFromStack { disp: 8, .. })));
+        assert!(matches!(
+            outcome,
+            PatchOutcome::Patched(Pattern::MovRaxFromStack { disp: 8, .. })
+        ));
         assert_eq!(
             img.read_bytes(0x40_0000, 7).unwrap(),
             [0xff, 0x14, 0x25, 0x08, 0x0c, 0x60, 0xff]
@@ -350,7 +415,11 @@ mod tests {
     fn disabled_module_forwards_untouched() {
         let (mut img, at) = case1_image(1);
         let before = img.read_bytes(0x40_0000, 7).unwrap().to_vec();
-        let mut abom = Abom::with_config(AbomConfig { enabled: false, nine_byte_phase2: true });
+        let mut abom = Abom::with_config(AbomConfig {
+            enabled: false,
+            nine_byte_phase2: true,
+            preflight_verify: false,
+        });
         assert_eq!(abom.on_syscall_trap(&mut img, at), PatchOutcome::Disabled);
         assert_eq!(img.read_bytes(0x40_0000, 7).unwrap(), before.as_slice());
     }
@@ -358,14 +427,20 @@ mod tests {
     #[test]
     fn unrecognized_counts() {
         let mut a = Assembler::new(0x40_0000);
-        a.inst(Inst::MovImm32 { reg: Reg::Rax, imm: 2 });
+        a.inst(Inst::MovImm32 {
+            reg: Reg::Rax,
+            imm: 2,
+        });
         a.inst(Inst::Nop); // break adjacency
         let at = a.here();
         a.inst(Inst::Syscall);
         a.inst(Inst::Ret);
         let mut img = a.finish().unwrap();
         let mut abom = Abom::new();
-        assert_eq!(abom.on_syscall_trap(&mut img, at), PatchOutcome::NotRecognized);
+        assert_eq!(
+            abom.on_syscall_trap(&mut img, at),
+            PatchOutcome::NotRecognized
+        );
         assert_eq!(abom.stats().unrecognized, 1);
     }
 
@@ -376,12 +451,23 @@ mod tests {
         // Simulate a racing vCPU patching first.
         let entry = abom.table().entry_for_number(2).unwrap();
         let call = Inst::CallAbsIndirect { target: entry }.encode();
-        let mut original = Inst::MovImm32 { reg: Reg::Rax, imm: 2 }.encode();
+        let mut original = Inst::MovImm32 {
+            reg: Reg::Rax,
+            imm: 2,
+        }
+        .encode();
         original.extend_from_slice(&Inst::Syscall.encode());
         img.cmpxchg(at - 5, &original, &call, true).unwrap();
         // Our exchange sees the mismatch but verifies the new bytes.
         let abom2 = Abom::new();
-        let result = abom2.apply(&mut img, Pattern::MovEaxImm { mov_addr: at - 5, nr: 2 }, at);
+        let result = abom2.apply(
+            &mut img,
+            Pattern::MovEaxImm {
+                mov_addr: at - 5,
+                nr: 2,
+            },
+            at,
+        );
         assert_eq!(result.unwrap(), PatchOutcome::AlreadyPatched);
     }
 }

@@ -162,45 +162,69 @@ mod tests {
     #[test]
     fn recognizes_case1() {
         let (img, at) = build(&[
-            Inst::MovImm32 { reg: Reg::Rax, imm: 1 },
+            Inst::MovImm32 {
+                reg: Reg::Rax,
+                imm: 1,
+            },
             Inst::Syscall,
             Inst::Ret,
         ]);
         assert_eq!(
             recognize(&img, at),
-            Some(Pattern::MovEaxImm { mov_addr: at - 5, nr: 1 })
+            Some(Pattern::MovEaxImm {
+                mov_addr: at - 5,
+                nr: 1
+            })
         );
     }
 
     #[test]
     fn recognizes_case2() {
         let (img, at) = build(&[
-            Inst::LoadRspDisp8R64 { reg: Reg::Rax, disp: 8 },
+            Inst::LoadRspDisp8R64 {
+                reg: Reg::Rax,
+                disp: 8,
+            },
             Inst::Syscall,
             Inst::Ret,
         ]);
         assert_eq!(
             recognize(&img, at),
-            Some(Pattern::MovRaxFromStack { mov_addr: at - 5, disp: 8 })
+            Some(Pattern::MovRaxFromStack {
+                mov_addr: at - 5,
+                disp: 8
+            })
         );
     }
 
     #[test]
     fn recognizes_case3() {
         let (img, at) = build(&[
-            Inst::MovImm32SxR64 { reg: Reg::Rax, imm: 15 },
+            Inst::MovImm32SxR64 {
+                reg: Reg::Rax,
+                imm: 15,
+            },
             Inst::Syscall,
             Inst::Ret,
         ]);
         let p = recognize(&img, at).unwrap();
-        assert_eq!(p, Pattern::MovRaxImm { mov_addr: at - 7, nr: 15 });
+        assert_eq!(
+            p,
+            Pattern::MovRaxImm {
+                mov_addr: at - 7,
+                nr: 15
+            }
+        );
         assert_eq!(p.pair_len(), 9);
     }
 
     #[test]
     fn rejects_mov_to_other_register() {
         let (img, at) = build(&[
-            Inst::MovImm32 { reg: Reg::Rdi, imm: 1 },
+            Inst::MovImm32 {
+                reg: Reg::Rdi,
+                imm: 1,
+            },
             Inst::Syscall,
             Inst::Ret,
         ]);
@@ -211,7 +235,10 @@ mod tests {
     fn rejects_non_adjacent_mov() {
         // libpthread cancellable pattern: a check between mov and syscall.
         let (img, at) = build(&[
-            Inst::MovImm32 { reg: Reg::Rax, imm: 1 },
+            Inst::MovImm32 {
+                reg: Reg::Rax,
+                imm: 1,
+            },
             Inst::TestEaxEax,
             Inst::Syscall,
             Inst::Ret,
@@ -222,13 +249,19 @@ mod tests {
     #[test]
     fn rejects_out_of_range_number() {
         let (img, at) = build(&[
-            Inst::MovImm32 { reg: Reg::Rax, imm: 100_000 },
+            Inst::MovImm32 {
+                reg: Reg::Rax,
+                imm: 100_000,
+            },
             Inst::Syscall,
             Inst::Ret,
         ]);
         assert_eq!(recognize(&img, at), None);
         let (img, at) = build(&[
-            Inst::MovImm32SxR64 { reg: Reg::Rax, imm: -1 },
+            Inst::MovImm32SxR64 {
+                reg: Reg::Rax,
+                imm: -1,
+            },
             Inst::Syscall,
             Inst::Ret,
         ]);
@@ -246,7 +279,10 @@ mod tests {
     #[test]
     fn rejects_when_not_actually_syscall() {
         let (img, _) = build(&[
-            Inst::MovImm32 { reg: Reg::Rax, imm: 1 },
+            Inst::MovImm32 {
+                reg: Reg::Rax,
+                imm: 1,
+            },
             Inst::Syscall,
             Inst::Ret,
         ]);
@@ -259,7 +295,10 @@ mod tests {
         // mov $0xb8??,%rax would expose a b8 byte at offset -5 if scanned
         // naively; ensure the 7-byte form wins.
         let (img, at) = build(&[
-            Inst::MovImm32SxR64 { reg: Reg::Rax, imm: 0 },
+            Inst::MovImm32SxR64 {
+                reg: Reg::Rax,
+                imm: 0,
+            },
             Inst::Syscall,
             Inst::Ret,
         ]);
@@ -271,7 +310,10 @@ mod tests {
 
     #[test]
     fn pattern_display() {
-        let p = Pattern::MovEaxImm { mov_addr: 0x10, nr: 3 };
+        let p = Pattern::MovEaxImm {
+            mov_addr: 0x10,
+            nr: 3,
+        };
         assert!(p.to_string().contains("case1"));
         assert_eq!(p.mov_addr(), 0x10);
         assert_eq!(p.pair_len(), 7);

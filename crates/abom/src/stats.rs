@@ -28,6 +28,9 @@ pub struct AbomStats {
     /// Return addresses adjusted by the X-LibOS handler (9-byte phase-1/2
     /// leftovers skipped).
     pub return_fixups: u64,
+    /// Sites refused by pre-flight static verification (only non-zero
+    /// with `AbomConfig::preflight_verify`).
+    pub verify_rejected: u64,
 }
 
 impl AbomStats {
@@ -69,6 +72,7 @@ impl AbomStats {
         self.unrecognized += other.unrecognized;
         self.ud_fixups += other.ud_fixups;
         self.return_fixups += other.return_fixups;
+        self.verify_rejected += other.verify_rejected;
     }
 }
 
@@ -106,7 +110,11 @@ mod tests {
 
     #[test]
     fn merge_adds_counters() {
-        let mut a = AbomStats { trapped: 1, via_function_call: 2, ..AbomStats::new() };
+        let mut a = AbomStats {
+            trapped: 1,
+            via_function_call: 2,
+            ..AbomStats::new()
+        };
         let b = AbomStats {
             trapped: 10,
             via_function_call: 20,
@@ -121,7 +129,11 @@ mod tests {
 
     #[test]
     fn display_mentions_reduction() {
-        let s = AbomStats { trapped: 1, via_function_call: 1, ..AbomStats::new() };
+        let s = AbomStats {
+            trapped: 1,
+            via_function_call: 1,
+            ..AbomStats::new()
+        };
         assert!(s.to_string().contains("50.00%"));
     }
 }

@@ -1,0 +1,311 @@
+//! Always-on patch-safety integration tests: the `xc-verify` analyzer
+//! wired into both patch paths, plus the deterministic mid-patch
+//! regressions (moved out of the property-test suite so they run in
+//! default builds).
+
+use xc_isa::asm::Assembler;
+use xc_isa::cpu::Cpu;
+use xc_isa::inst::{Inst, Reg};
+use xc_verify::reverify;
+
+use xc_abom::binaries::{invoke, library_image, WrapperSpec, WrapperStyle};
+use xc_abom::handler::XContainerKernel;
+use xc_abom::offline::{OfflinePatcher, SkipReason};
+use xc_abom::patcher::{Abom, AbomConfig, PatchOutcome};
+
+/// A library whose second wrapper has a side entrance: another routine
+/// tail-jumps into the wrapper's interior with its own `%rax` setup. The
+/// linear scanner alone would detour the whole region and break the side
+/// entrance; the verifier must veto it.
+fn poisoned_library() -> xc_isa::image::BinaryImage {
+    let mut a = Assembler::new(0x40_0000);
+    // A clean detour candidate (mov / nop / syscall).
+    a.label("clean").unwrap();
+    a.inst(Inst::MovImm32 {
+        reg: Reg::Rax,
+        imm: 39,
+    });
+    a.inst(Inst::Nop);
+    a.inst(Inst::Syscall);
+    a.inst(Inst::Ret);
+    a.align(16);
+    // The victim: same shape, but its interior is a jump target.
+    a.label("victim").unwrap();
+    a.inst(Inst::MovImm32 {
+        reg: Reg::Rax,
+        imm: 1,
+    });
+    a.label("victim_interior").unwrap();
+    a.inst(Inst::Nop);
+    a.inst(Inst::Syscall);
+    a.inst(Inst::Ret);
+    a.align(16);
+    a.label("side_entrance").unwrap();
+    a.inst(Inst::MovImm32 {
+        reg: Reg::Rax,
+        imm: 2,
+    });
+    a.jmp_to("victim_interior");
+    a.finish().unwrap()
+}
+
+#[test]
+fn offline_refuses_interior_jump_target_region() {
+    let image = poisoned_library();
+    let victim_syscall = image.symbol("victim_interior").unwrap() + 1;
+    let (mut patched, report) = OfflinePatcher::new().patch(&image).unwrap();
+
+    // The clean wrapper is detoured; the poisoned one is refused.
+    assert_eq!(report.detour_patched, 1);
+    assert_eq!(report.interior_jump_skips(), 1);
+    assert!(report
+        .skipped
+        .contains(&(victim_syscall, SkipReason::InteriorJumpTarget)));
+
+    // Execution proof that the refusal matters: the side entrance still
+    // works (its target was not turned into int3 fill), with the side
+    // entrance's own syscall number.
+    let mut kernel = XContainerKernel::new();
+    let side = patched.symbol("side_entrance").unwrap();
+    patched.protect_all(false);
+    invoke(&mut patched, &mut kernel, side, None).unwrap();
+    assert_eq!(kernel.syscall_numbers(), vec![2]);
+
+    // And the clean wrapper dispatches via function call.
+    let clean = patched.symbol("clean").unwrap();
+    invoke(&mut patched, &mut kernel, clean, None).unwrap();
+    assert_eq!(kernel.syscall_numbers(), vec![2, 39]);
+    assert_eq!(kernel.stats().via_function_call, 1);
+}
+
+#[test]
+fn offline_output_passes_reverification() {
+    let specs = [
+        WrapperSpec {
+            index: 0,
+            style: WrapperStyle::GlibcSmall,
+            nr: 0,
+        },
+        WrapperSpec {
+            index: 1,
+            style: WrapperStyle::GlibcLarge,
+            nr: 15,
+        },
+        WrapperSpec {
+            index: 2,
+            style: WrapperStyle::PthreadCancellable,
+            nr: 202,
+        },
+        WrapperSpec {
+            index: 3,
+            style: WrapperStyle::GoStack,
+            nr: 0,
+        },
+    ];
+    let image = library_image(&specs);
+    let (patched, report) = OfflinePatcher::new().patch(&image).unwrap();
+
+    let shape = reverify(&patched, image.len());
+    assert!(shape.ok(), "violations: {:?}", shape.violations);
+    assert_eq!(shape.detours.len() as u64, report.detour_patched);
+    // Every adjacent patch decodes to a documented 7- or 9-byte form, and
+    // every detour trampoline carries exactly one vsyscall call (counted
+    // as a 7-byte form inside the trampoline area — excluded here by the
+    // text-only classification).
+    assert_eq!(
+        (shape.seven_byte.len() + shape.nine_byte.len()) as u64,
+        report.adjacent_patched
+    );
+}
+
+#[test]
+fn reverify_catches_a_corrupted_detour() {
+    let image = library_image(&[WrapperSpec {
+        index: 0,
+        style: WrapperStyle::PthreadCancellable,
+        nr: 202,
+    }]);
+    let (patched, report) = OfflinePatcher::new().patch(&image).unwrap();
+    assert_eq!(report.detour_patched, 1);
+
+    // Corrupt the detour jump so it no longer targets the trampoline.
+    let (jmp_addr, _) = reverify(&patched, image.len()).detours[0];
+    let mut bytes = patched
+        .read_bytes(patched.base(), patched.len())
+        .unwrap()
+        .to_vec();
+    let off = (jmp_addr - patched.base()) as usize;
+    for b in &mut bytes[off..off + 5] {
+        *b = 0xcc;
+    }
+    let corrupted = xc_isa::image::BinaryImage::new(patched.base(), bytes);
+    let shape = reverify(&corrupted, image.len());
+    assert!(!shape.ok());
+    assert!(shape
+        .violations
+        .iter()
+        .any(|v| matches!(v, xc_verify::Violation::TrampolineUntargeted { .. })));
+}
+
+#[test]
+fn preflight_verify_allows_provably_safe_sites() {
+    let specs = [WrapperSpec {
+        index: 0,
+        style: WrapperStyle::GlibcSmall,
+        nr: 0,
+    }];
+    let mut image = library_image(&specs);
+    let entry = image.symbol("wrapper_0").unwrap();
+    let mut kernel = XContainerKernel::with_config(AbomConfig {
+        enabled: true,
+        nine_byte_phase2: true,
+        preflight_verify: true,
+    });
+    for _ in 0..3 {
+        invoke(&mut image, &mut kernel, entry, None).unwrap();
+    }
+    assert_eq!(kernel.stats().verify_rejected, 0);
+    assert_eq!(kernel.stats().via_function_call, 2, "patched on first trap");
+}
+
+#[test]
+fn preflight_verify_rejects_rcx_consumer() {
+    // recognize() accepts this site (adjacent mov+syscall), but the
+    // verifier proves the caller reads the %rcx the syscall clobbers —
+    // the one hazard class the online pattern match cannot see.
+    let mut a = Assembler::new(0x40_0000);
+    a.label("wrapper").unwrap();
+    a.inst(Inst::MovImm32 {
+        reg: Reg::Rax,
+        imm: 7,
+    });
+    a.inst(Inst::Syscall);
+    a.inst(Inst::MovRegReg64 {
+        dst: Reg::Rdx,
+        src: Reg::Rcx,
+    });
+    a.inst(Inst::Ret);
+    let mut image = a.finish().unwrap();
+    image.protect_all(false);
+    let syscall_addr = image.symbol("wrapper").unwrap() + 5;
+
+    let mut abom = Abom::with_config(AbomConfig {
+        enabled: true,
+        nine_byte_phase2: true,
+        preflight_verify: true,
+    });
+    assert_eq!(
+        abom.on_syscall_trap(&mut image, syscall_addr),
+        PatchOutcome::VerifyRejected
+    );
+    assert_eq!(abom.stats().verify_rejected, 1);
+
+    // Without pre-flight verification the same site is happily patched —
+    // the ablation delta the knob exists to expose.
+    let mut image2 = poisonless_copy();
+    let site2 = image2.symbol("wrapper").unwrap() + 5;
+    let mut abom2 = Abom::new();
+    assert!(abom2.on_syscall_trap(&mut image2, site2).is_optimized());
+}
+
+/// Same shape as in `preflight_verify_rejects_rcx_consumer`, fresh image.
+fn poisonless_copy() -> xc_isa::image::BinaryImage {
+    let mut a = Assembler::new(0x40_0000);
+    a.label("wrapper").unwrap();
+    a.inst(Inst::MovImm32 {
+        reg: Reg::Rax,
+        imm: 7,
+    });
+    a.inst(Inst::Syscall);
+    a.inst(Inst::MovRegReg64 {
+        dst: Reg::Rdx,
+        src: Reg::Rcx,
+    });
+    a.inst(Inst::Ret);
+    let mut image = a.finish().unwrap();
+    image.protect_all(false);
+    image
+}
+
+/// Deterministic regression: the mid-patch interleaving the paper worries
+/// about — one vCPU executes the wrapper *between* phase 1 and phase 2 of
+/// the 9-byte replacement. (Moved from the proptest suite so it runs in
+/// default builds.)
+#[test]
+fn nine_byte_interleaved_execution_is_equivalent() {
+    let specs = [WrapperSpec {
+        index: 0,
+        style: WrapperStyle::GlibcLarge,
+        nr: 15,
+    }];
+
+    // vCPU A: trap patches phase 1 only (simulating preemption before
+    // phase 2).
+    let mut image = library_image(&specs);
+    let entry = image.symbol("wrapper_0").unwrap();
+    let mut kernel_a = XContainerKernel::with_config(AbomConfig {
+        enabled: true,
+        nine_byte_phase2: false,
+        preflight_verify: false,
+    });
+    invoke(&mut image, &mut kernel_a, entry, None).unwrap();
+    assert_eq!(kernel_a.syscall_numbers(), vec![15]);
+
+    // vCPU B: executes the phase-1 state (call + leftover syscall). The
+    // handler must skip the leftover syscall at the return address.
+    let mut kernel_b = XContainerKernel::with_config(AbomConfig {
+        enabled: false,
+        nine_byte_phase2: true,
+        preflight_verify: false,
+    });
+    let mut cpu = Cpu::new(entry);
+    cpu.push_halt_frame().unwrap();
+    cpu.run(&mut image, &mut kernel_b, 1000).unwrap();
+    assert_eq!(
+        kernel_b.syscall_numbers(),
+        vec![15],
+        "exactly one syscall, not two"
+    );
+    assert_eq!(kernel_b.stats().via_function_call, 1);
+    assert_eq!(kernel_b.stats().trapped, 0);
+
+    // Phase 2 later completes; execution still equivalent.
+    let mut kernel_c = XContainerKernel::new(); // patching enabled
+    invoke(&mut image, &mut kernel_c, entry, None).unwrap();
+    assert_eq!(kernel_c.syscall_numbers(), vec![15]);
+}
+
+/// Deterministic regression for the jump-into-the-middle #UD recovery.
+/// (Moved from the proptest suite so it runs in default builds.)
+#[test]
+fn jump_into_patched_call_interior_recovers() {
+    let mut a = Assembler::new(0x40_0000);
+    a.label("wrapper").unwrap();
+    a.inst(Inst::MovImm32 {
+        reg: Reg::Rax,
+        imm: 7,
+    });
+    a.label("sysc").unwrap();
+    a.inst(Inst::Syscall);
+    a.inst(Inst::Ret);
+    a.label("jumper").unwrap();
+    a.inst(Inst::MovImm32 {
+        reg: Reg::Rax,
+        imm: 7,
+    });
+    a.jmp_to("sysc");
+    let mut image = a.finish().unwrap();
+    image.protect_all(false);
+
+    let wrapper = image.symbol("wrapper").unwrap();
+    let jumper = image.symbol("jumper").unwrap();
+    let mut kernel = XContainerKernel::new();
+
+    // Patch through the normal path.
+    invoke(&mut image, &mut kernel, wrapper, None).unwrap();
+    // The jumper now lands on the 60 ff tail; the #UD fixer must recover
+    // and the syscall trace must match the unpatched semantics.
+    invoke(&mut image, &mut kernel, jumper, None).unwrap();
+    assert_eq!(kernel.syscall_numbers(), vec![7, 7]);
+    assert_eq!(kernel.stats().ud_fixups, 1);
+}

@@ -13,10 +13,26 @@ use xc_isa::image::BinaryImage;
 
 fn base_image() -> BinaryImage {
     library_image(&[
-        WrapperSpec { index: 0, style: WrapperStyle::GlibcSmall, nr: 0 },
-        WrapperSpec { index: 1, style: WrapperStyle::GlibcLarge, nr: 15 },
-        WrapperSpec { index: 2, style: WrapperStyle::PthreadCancellable, nr: 202 },
-        WrapperSpec { index: 3, style: WrapperStyle::GoStack, nr: 0 },
+        WrapperSpec {
+            index: 0,
+            style: WrapperStyle::GlibcSmall,
+            nr: 0,
+        },
+        WrapperSpec {
+            index: 1,
+            style: WrapperStyle::GlibcLarge,
+            nr: 15,
+        },
+        WrapperSpec {
+            index: 2,
+            style: WrapperStyle::PthreadCancellable,
+            nr: 202,
+        },
+        WrapperSpec {
+            index: 3,
+            style: WrapperStyle::GoStack,
+            nr: 0,
+        },
     ])
 }
 

@@ -62,9 +62,23 @@ fn offline_tool(c: &mut Criterion) {
         .collect();
     let image = library_image(&specs);
     c.bench_function("abom/offline_patch_32_wrappers", |b| {
-        b.iter(|| black_box(OfflinePatcher::new().patch(&image).unwrap().1.total_patched()))
+        b.iter(|| {
+            black_box(
+                OfflinePatcher::new()
+                    .patch(&image)
+                    .unwrap()
+                    .1
+                    .total_patched(),
+            )
+        })
     });
 }
 
-criterion_group!(benches, pattern_recognition, online_patch, interpreted_execution, offline_tool);
+criterion_group!(
+    benches,
+    pattern_recognition,
+    online_patch,
+    interpreted_execution,
+    offline_tool
+);
 criterion_main!(benches);

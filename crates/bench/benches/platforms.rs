@@ -39,7 +39,9 @@ fn closed_loop(c: &mut Criterion) {
     };
     c.bench_function("workload/closed_loop_50conn_50ms", |b| {
         b.iter(|| {
-            black_box(run_closed_loop(&server, &costs, 50, Nanos::from_millis(50), 7).throughput_rps)
+            black_box(
+                run_closed_loop(&server, &costs, 50, Nanos::from_millis(50), 7).throughput_rps,
+            )
         })
     });
 }

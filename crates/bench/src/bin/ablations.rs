@@ -23,8 +23,8 @@ fn main() {
     // ---- 1. ABOM on/off ------------------------------------------------
     let on = Platform::x_container(cloud, true);
     let off = Platform::x_container_no_abom(cloud, true);
-    let syscall_gain = off.syscall_cost(&costs).as_nanos() as f64
-        / on.syscall_cost(&costs).as_nanos() as f64;
+    let syscall_gain =
+        off.syscall_cost(&costs).as_nanos() as f64 / on.syscall_cost(&costs).as_nanos() as f64;
     let mem_on = memcached().service_time(&on, &costs);
     let mem_off = memcached().service_time(&off, &costs);
     let macro_gain = mem_off.as_nanos() as f64 / mem_on.as_nanos() as f64;
@@ -60,8 +60,14 @@ fn main() {
         "Ablation 2: global-bit kernel mappings (§4.3)",
         &["configuration", "process switch"],
     );
-    t2.row(["global bit set (X-LibOS)".into(), Cell::from(xk.to_string())]);
-    t2.row(["global bit clear (plain PV)".into(), Cell::from(pv.to_string())]);
+    t2.row([
+        "global bit set (X-LibOS)".into(),
+        Cell::from(xk.to_string()),
+    ]);
+    t2.row([
+        "global bit clear (plain PV)".into(),
+        Cell::from(pv.to_string()),
+    ]);
     println!("{t2}");
     findings.push(Finding {
         experiment: "ablations",
@@ -79,7 +85,10 @@ fn main() {
         "Ablation 3: hierarchical vs flat scheduling at N=400",
         &["configuration", "aggregate req/s"],
     );
-    t3.row(["hierarchical (X-Kernel + X-LibOS)".into(), Cell::Num(x400, 0)]);
+    t3.row([
+        "hierarchical (X-Kernel + X-LibOS)".into(),
+        Cell::Num(x400, 0),
+    ]);
     t3.row(["flat (one CFS, 1600 tasks)".into(), Cell::Num(d400, 0)]);
     println!("{t3}");
 
@@ -124,11 +133,16 @@ fn main() {
         let mut kernel = XContainerKernel::with_config(AbomConfig {
             enabled: true,
             nine_byte_phase2: phase2,
+            preflight_verify: false,
         });
         for _ in 0..100 {
             invoke(&mut image, &mut kernel, entry, None).expect("invoke");
         }
-        results.push((phase2, kernel.stats().reduction_percent(), kernel.stats().return_fixups));
+        results.push((
+            phase2,
+            kernel.stats().reduction_percent(),
+            kernel.stats().return_fixups,
+        ));
     }
     let mut t5 = Table::new(
         "Ablation 5: 9-byte replacement phase 2 (jmp back) on/off",

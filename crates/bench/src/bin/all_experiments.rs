@@ -6,9 +6,7 @@
 
 use xc_bench::{record, Finding};
 use xcontainers::prelude::*;
-use xcontainers::workloads::fig6::{
-    fig6a_nginx_1worker, fig6b_nginx_4workers, fig6c_php_mysql,
-};
+use xcontainers::workloads::fig6::{fig6a_nginx_1worker, fig6b_nginx_4workers, fig6c_php_mysql};
 use xcontainers::workloads::loadbalance::{throughput as lb_throughput, LbMode};
 use xcontainers::workloads::scalability::{throughput as sc_throughput, ScalabilityConfig};
 use xcontainers::workloads::table1::run_table1;
@@ -59,7 +57,12 @@ fn main() {
             workers,
             cores: 4,
         };
-        let x = ServerModel { platform: xc.clone(), profile: profile.clone(), workers, cores: 4 };
+        let x = ServerModel {
+            platform: xc.clone(),
+            profile: profile.clone(),
+            workers,
+            cores: 4,
+        };
         let dt = run_closed_loop(&d, &costs, 50, Nanos::from_millis(200), 7).throughput_rps;
         let xt = run_closed_loop(&x, &costs, 50, Nanos::from_millis(200), 7).throughput_rps;
         findings.push(Finding {
@@ -118,9 +121,12 @@ fn main() {
     });
     let u_ded =
         fig6c_php_mysql(LibOsPlatform::Unikernel, DbTopology::Dedicated, &costs).expect("u");
-    let x_merged =
-        fig6c_php_mysql(LibOsPlatform::XContainer, DbTopology::DedicatedMerged, &costs)
-            .expect("x merged");
+    let x_merged = fig6c_php_mysql(
+        LibOsPlatform::XContainer,
+        DbTopology::DedicatedMerged,
+        &costs,
+    )
+    .expect("x merged");
     findings.push(Finding {
         experiment: "fig6",
         metric: "php_merged_vs_u_dedicated".to_owned(),

@@ -25,7 +25,13 @@ fn run(platform: &Platform, profile: &RequestProfile, costs: &CostModel) -> (f64
         workers,
         cores: 4,
     };
-    let r = run_closed_loop(&server, costs, CONNECTIONS, Nanos::from_millis(DURATION_MS), 7);
+    let r = run_closed_loop(
+        &server,
+        costs,
+        CONNECTIONS,
+        Nanos::from_millis(DURATION_MS),
+        7,
+    );
     (r.throughput_rps, r.latency.mean() / 1_000.0)
 }
 

@@ -4,7 +4,7 @@
 //! concurrent (4 copies), on both clouds, normalized to patched Docker —
 //! the paper's exact presentation.
 
-use xc_bench::{record, ratio, Finding};
+use xc_bench::{ratio, record, Finding};
 use xcontainers::prelude::*;
 use xcontainers::workloads::unixbench::concurrent_score;
 
@@ -53,8 +53,7 @@ fn main() {
 
     let docker = Platform::docker(CloudEnv::AmazonEc2, true);
     let xc = Platform::x_container(CloudEnv::AmazonEc2, true);
-    let headline =
-        SystemCallBench::score(&xc, &costs) / SystemCallBench::score(&docker, &costs);
+    let headline = SystemCallBench::score(&xc, &costs) / SystemCallBench::score(&docker, &costs);
     println!(
         "Headline: X-Container raw syscall throughput = {} Docker (paper: up to 27x).\n\
          The Meltdown patch leaves X-Containers and Clear Containers untouched:\n\

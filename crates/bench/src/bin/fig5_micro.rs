@@ -11,7 +11,11 @@ use xcontainers::workloads::unixbench::{concurrent_score, MicroBench};
 fn panel(cloud: CloudEnv, concurrent: bool, costs: &CostModel, findings: &mut Vec<Finding>) {
     let mode = if concurrent { "Concurrent" } else { "Single" };
     let mut table = Table::new(
-        &format!("Figure 5: {} {} (relative to patched Docker)", cloud.name(), mode),
+        &format!(
+            "Figure 5: {} {} (relative to patched Docker)",
+            cloud.name(),
+            mode
+        ),
         &[
             "configuration",
             "Execl",
@@ -28,7 +32,11 @@ fn panel(cloud: CloudEnv, concurrent: bool, costs: &CostModel, findings: &mut Ve
         .iter()
         .map(|b| {
             let s = b.score(&baseline, costs);
-            if concurrent { concurrent_score(s, &baseline, 4) } else { s }
+            if concurrent {
+                concurrent_score(s, &baseline, 4)
+            } else {
+                s
+            }
         })
         .collect();
     let base_iperf = IperfBench::throughput_bps(&baseline, costs);

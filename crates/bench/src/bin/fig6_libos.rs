@@ -4,18 +4,22 @@
 
 use xc_bench::{record, Finding};
 use xcontainers::prelude::*;
-use xcontainers::workloads::fig6::{
-    fig6a_nginx_1worker, fig6b_nginx_4workers, fig6c_php_mysql,
-};
+use xcontainers::workloads::fig6::{fig6a_nginx_1worker, fig6b_nginx_4workers, fig6c_php_mysql};
 
 fn main() {
     let costs = CostModel::skylake_cloud();
     let mut findings = Vec::new();
 
     // ---- (a) NGINX, 1 worker ------------------------------------------
-    let mut a = Table::new("Figure 6a: NGINX 1 worker (requests/s)", &["platform", "req/s"]);
+    let mut a = Table::new(
+        "Figure 6a: NGINX 1 worker (requests/s)",
+        &["platform", "req/s"],
+    );
     for p in LibOsPlatform::ALL {
-        a.row([Cell::from(p.letter()), Cell::Num(fig6a_nginx_1worker(p, &costs), 0)]);
+        a.row([
+            Cell::from(p.letter()),
+            Cell::Num(fig6a_nginx_1worker(p, &costs), 0),
+        ]);
     }
     println!("{a}");
     let g = fig6a_nginx_1worker(LibOsPlatform::Graphene, &costs);
@@ -37,11 +41,17 @@ fn main() {
     });
 
     // ---- (b) NGINX, 4 workers ------------------------------------------
-    let mut b = Table::new("Figure 6b: NGINX 4 workers (requests/s)", &["platform", "req/s"]);
+    let mut b = Table::new(
+        "Figure 6b: NGINX 4 workers (requests/s)",
+        &["platform", "req/s"],
+    );
     for p in LibOsPlatform::ALL {
         match fig6b_nginx_4workers(p, &costs) {
             Some(v) => b.row([Cell::from(p.letter()), Cell::Num(v, 0)]),
-            None => b.row([Cell::from(p.letter()), Cell::from("unsupported (single process)")]),
+            None => b.row([
+                Cell::from(p.letter()),
+                Cell::from("unsupported (single process)"),
+            ]),
         };
     }
     println!("{b}");
@@ -74,8 +84,12 @@ fn main() {
     println!("{c}");
     let u_ded = fig6c_php_mysql(LibOsPlatform::Unikernel, DbTopology::Dedicated, &costs).unwrap();
     let x_ded = fig6c_php_mysql(LibOsPlatform::XContainer, DbTopology::Dedicated, &costs).unwrap();
-    let x_merged =
-        fig6c_php_mysql(LibOsPlatform::XContainer, DbTopology::DedicatedMerged, &costs).unwrap();
+    let x_merged = fig6c_php_mysql(
+        LibOsPlatform::XContainer,
+        DbTopology::DedicatedMerged,
+        &costs,
+    )
+    .unwrap();
     findings.push(Finding {
         experiment: "fig6",
         metric: "php_x_vs_unikernel_dedicated".to_owned(),

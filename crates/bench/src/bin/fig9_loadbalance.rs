@@ -12,7 +12,12 @@ fn main() {
 
     let mut table = Table::new(
         "Figure 9: load balancing throughput (3 NGINX backends)",
-        &["configuration", "balancer cost/req", "total req/s", "bottleneck"],
+        &[
+            "configuration",
+            "balancer cost/req",
+            "total req/s",
+            "bottleneck",
+        ],
     );
     for mode in LbMode::ALL {
         table.row([

@@ -16,6 +16,7 @@
 //! | `ablations` | DESIGN.md §4 — ABOM, global-bit, scheduling, KPTI ablations |
 //! | `security_matrix` | §3.4 — TCB and attack-surface comparison (extension) |
 //! | `rdma_study` | §5.7 — soft-RDMA capability study (extension) |
+//! | `verify_study` | §4.4 — static patch-safety verdicts, re-verification, pre-flight ablation (extension) |
 //! | `all_experiments` | combined acceptance pass over all findings |
 //!
 //! Every harness prints the paper's expected shape next to the measured
@@ -29,7 +30,7 @@
 use std::fs;
 use std::path::Path;
 
-use xcontainers::prelude::{Json, json_object};
+use xcontainers::prelude::{json_object, Json};
 
 /// Where harnesses drop machine-readable results.
 pub const RESULTS_DIR: &str = "results";

@@ -18,6 +18,7 @@
 //! | [`sim`] | deterministic discrete-event engine, RNG, statistics, cost model |
 //! | [`isa`] | x86-64 subset: codec, assembler, binary images, mini interpreter |
 //! | [`abom`] | the Automatic Binary Optimization Module (§4.4), online + offline |
+//! | [`verify`] | static patch-safety analyzer: disassembly, CFG, dataflow, verdicts |
 //! | [`xen`] | hypervisor substrate: domains, hypercalls, event channels, grant tables, credit scheduler, PV vs X-Kernel ABI |
 //! | [`libos`] | guest Linux / X-LibOS: processes, CFS scheduler, VFS, pipes, network paths |
 //! | [`runtimes`] | platform compositions: Docker, Xen-Container, X-Container, gVisor, Clear Containers, Graphene, Unikernel |
@@ -72,6 +73,7 @@ pub use xc_isa as isa;
 pub use xc_libos as libos;
 pub use xc_runtimes as runtimes;
 pub use xc_sim as sim;
+pub use xc_verify as verify;
 pub use xc_workloads as workloads;
 pub use xc_xen as xen;
 
@@ -94,6 +96,7 @@ pub mod prelude {
     pub use xc_sim::rng::Rng;
     pub use xc_sim::stats::{Histogram, Summary};
     pub use xc_sim::time::Nanos;
+    pub use xc_verify::{Verdict, Verifier, VerifyReport};
     pub use xc_workloads::fig6::{DbTopology, LibOsPlatform};
     pub use xc_workloads::http::{run_closed_loop, RequestProfile, ServerModel};
     pub use xc_workloads::loadbalance::LbMode;
@@ -114,5 +117,11 @@ mod tests {
         let _ = Summary::new();
         let _ = Histogram::new();
         let _ = Table::new("t", &["a"]);
+        let mut image = xc_abom::binaries::glibc_wrapper_image(0);
+        image.protect_all(true);
+        let analysis = Verifier::new().analyze(&image);
+        assert_eq!(analysis.report().tally(), (1, 0, 0));
+        let _: &VerifyReport = analysis.report();
+        assert!(Verdict::Safe.allows_patch());
     }
 }

@@ -1,0 +1,174 @@
+//! # xc-criterion-stub — an offline subset of the `criterion` API
+//!
+//! The workspace's `cargo bench` targets were written against
+//! [criterion](https://crates.io/crates/criterion), which cannot be
+//! fetched in registry-less environments. This crate provides the small
+//! slice those benches use — [`Criterion::bench_function`],
+//! [`Bencher::iter`], [`Bencher::iter_batched`], [`BatchSize`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros — with a simple
+//! wall-clock timing loop instead of criterion's statistical engine.
+//!
+//! Timings are printed as `name ... median ns/iter` so regressions are
+//! still eyeballable; swap the workspace dependency back to real
+//! criterion for publication-grade numbers.
+
+#![forbid(unsafe_code)]
+
+use std::time::Instant;
+
+/// How batched setup output is sized (accepted for API compatibility;
+/// the stub always runs one setup per measured batch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small routine input: criterion would batch many per allocation.
+    SmallInput,
+    /// Large routine input.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Collects per-iteration timings for one benchmark.
+pub struct Bencher {
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Time `routine` over a fixed sample budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        self.run_samples(|| {
+            let start = Instant::now();
+            let out = routine();
+            let elapsed = start.elapsed();
+            std::hint::black_box(out);
+            elapsed.as_secs_f64()
+        });
+    }
+
+    /// Time `routine` on fresh input from `setup`; setup time is not
+    /// measured.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        self.run_samples(|| {
+            let input = setup();
+            let start = Instant::now();
+            let out = routine(input);
+            let elapsed = start.elapsed();
+            std::hint::black_box(out);
+            elapsed.as_secs_f64()
+        });
+    }
+
+    fn run_samples<F: FnMut() -> f64>(&mut self, mut sample: F) {
+        const WARMUP: usize = 3;
+        const BUDGET_SECS: f64 = 0.25;
+        const MAX_SAMPLES: usize = 2_000;
+        for _ in 0..WARMUP {
+            sample();
+        }
+        let started = Instant::now();
+        while self.samples.len() < MAX_SAMPLES
+            && (self.samples.len() < 10 || started.elapsed().as_secs_f64() < BUDGET_SECS)
+        {
+            self.samples.push(sample());
+        }
+    }
+
+    fn median_nanos(&mut self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples
+            .sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        self.samples[self.samples.len() / 2] * 1e9
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Run one named benchmark and print its median time.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        let median = bencher.median_nanos();
+        let (value, unit) = if median >= 1e6 {
+            (median / 1e6, "ms")
+        } else if median >= 1e3 {
+            (median / 1e3, "µs")
+        } else {
+            (median, "ns")
+        };
+        println!(
+            "{name:<50} {value:>10.2} {unit}/iter ({} samples)",
+            bencher.samples.len()
+        );
+        self
+    }
+}
+
+/// Bundle benchmark functions into one group runner, like
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups, like
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_chains() {
+        let mut c = Criterion::default();
+        let mut iters = 0u64;
+        c.bench_function("noop", |b| b.iter(|| std::hint::black_box(1 + 1)))
+            .bench_function("batched", |b| {
+                b.iter_batched(
+                    || vec![1u8; 16],
+                    |v| {
+                        iters += 1;
+                        v.len()
+                    },
+                    BatchSize::SmallInput,
+                )
+            });
+        assert!(iters > 0);
+    }
+
+    criterion_group!(smoke, run_one);
+
+    fn run_one(c: &mut Criterion) {
+        c.bench_function("group-member", |b| b.iter(|| 0u8));
+    }
+
+    #[test]
+    fn group_macro_produces_runner() {
+        smoke();
+    }
+}

@@ -215,8 +215,7 @@ impl Assembler {
                 }
                 FixKind::Rel32 => {
                     let rel = disp as i32;
-                    self.bytes[fix.patch_at..fix.patch_at + 4]
-                        .copy_from_slice(&rel.to_le_bytes());
+                    self.bytes[fix.patch_at..fix.patch_at + 4].copy_from_slice(&rel.to_le_bytes());
                 }
             }
         }
@@ -278,7 +277,10 @@ mod tests {
     fn duplicate_label_error() {
         let mut a = Assembler::new(0);
         a.label("x").unwrap();
-        assert_eq!(a.label("x").unwrap_err(), AsmError::DuplicateLabel("x".to_owned()));
+        assert_eq!(
+            a.label("x").unwrap_err(),
+            AsmError::DuplicateLabel("x".to_owned())
+        );
     }
 
     #[test]
@@ -315,7 +317,10 @@ mod tests {
         let mut a = Assembler::new(0x400000);
         a.label("wrapper").unwrap();
         a.inst(Inst::PushRbp);
-        a.inst(Inst::MovImm32 { reg: Reg::Rax, imm: 1 });
+        a.inst(Inst::MovImm32 {
+            reg: Reg::Rax,
+            imm: 1,
+        });
         a.inst(Inst::Syscall);
         a.inst(Inst::TestEaxEax);
         a.jcc_to(Cond::Ne, "out");

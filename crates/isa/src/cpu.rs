@@ -489,7 +489,10 @@ mod tests {
 
     impl Recorder {
         fn new() -> Self {
-            Recorder { syscalls: Vec::new(), uds: 0 }
+            Recorder {
+                syscalls: Vec::new(),
+                uds: 0,
+            }
         }
     }
 
@@ -519,9 +522,15 @@ mod tests {
     #[test]
     fn linear_syscalls_record_numbers() {
         let mut a = Assembler::new(0x1000);
-        a.inst(Inst::MovImm32 { reg: Reg::Rax, imm: 0 });
+        a.inst(Inst::MovImm32 {
+            reg: Reg::Rax,
+            imm: 0,
+        });
         a.inst(Inst::Syscall);
-        a.inst(Inst::MovImm32 { reg: Reg::Rax, imm: 1 });
+        a.inst(Inst::MovImm32 {
+            reg: Reg::Rax,
+            imm: 1,
+        });
         a.inst(Inst::Syscall);
         a.inst(Inst::Ret);
         let (hooks, cpu) = run_image(a.finish().unwrap(), 0x1000);
@@ -533,11 +542,17 @@ mod tests {
     fn call_and_ret_nest() {
         let mut a = Assembler::new(0x1000);
         a.call_to("fn");
-        a.inst(Inst::MovImm32 { reg: Reg::Rax, imm: 2 });
+        a.inst(Inst::MovImm32 {
+            reg: Reg::Rax,
+            imm: 2,
+        });
         a.inst(Inst::Syscall);
         a.inst(Inst::Ret);
         a.label("fn").unwrap();
-        a.inst(Inst::MovImm32 { reg: Reg::Rax, imm: 1 });
+        a.inst(Inst::MovImm32 {
+            reg: Reg::Rax,
+            imm: 1,
+        });
         a.inst(Inst::Syscall);
         a.inst(Inst::Ret);
         let (hooks, _) = run_image(a.finish().unwrap(), 0x1000);
@@ -547,13 +562,22 @@ mod tests {
     #[test]
     fn conditional_branch_on_zero_flag() {
         let mut a = Assembler::new(0x1000);
-        a.inst(Inst::MovImm32 { reg: Reg::Rax, imm: 0 });
+        a.inst(Inst::MovImm32 {
+            reg: Reg::Rax,
+            imm: 0,
+        });
         a.inst(Inst::TestEaxEax);
         a.jcc_to(Cond::E, "taken");
-        a.inst(Inst::MovImm32 { reg: Reg::Rax, imm: 99 });
+        a.inst(Inst::MovImm32 {
+            reg: Reg::Rax,
+            imm: 99,
+        });
         a.inst(Inst::Syscall); // skipped
         a.label("taken").unwrap();
-        a.inst(Inst::MovImm32 { reg: Reg::Rax, imm: 7 });
+        a.inst(Inst::MovImm32 {
+            reg: Reg::Rax,
+            imm: 7,
+        });
         a.inst(Inst::Syscall);
         a.inst(Inst::Ret);
         let (hooks, _) = run_image(a.finish().unwrap(), 0x1000);
@@ -563,7 +587,9 @@ mod tests {
     #[test]
     fn vsyscall_call_routes_to_hook() {
         let mut a = Assembler::new(0x1000);
-        a.inst(Inst::CallAbsIndirect { target: 0xffff_ffff_ff60_0008 });
+        a.inst(Inst::CallAbsIndirect {
+            target: 0xffff_ffff_ff60_0008,
+        });
         a.inst(Inst::Ret);
         let (hooks, _) = run_image(a.finish().unwrap(), 0x1000);
         assert_eq!(hooks.syscalls, vec![0xffff_ffff_ff60_0008]);
@@ -575,7 +601,10 @@ mod tests {
         let mut a = Assembler::new(0x1000);
         // [rsp+8] must hold 42 at wrapper entry; our harness pre-stores it.
         a.label("wrapper").unwrap();
-        a.inst(Inst::LoadRspDisp8R64 { reg: Reg::Rax, disp: 8 });
+        a.inst(Inst::LoadRspDisp8R64 {
+            reg: Reg::Rax,
+            disp: 8,
+        });
         a.inst(Inst::Syscall);
         a.inst(Inst::Ret);
         let mut image = a.finish().unwrap();
@@ -646,7 +675,10 @@ mod tests {
         let mut image = a.finish().unwrap();
         let mut cpu = Cpu::new(0x1000);
         let mut hooks = Recorder::new();
-        assert_eq!(cpu.run(&mut image, &mut hooks, 50), Err(CpuError::StepLimit));
+        assert_eq!(
+            cpu.run(&mut image, &mut hooks, 50),
+            Err(CpuError::StepLimit)
+        );
         assert_eq!(cpu.steps(), 50);
     }
 
@@ -674,7 +706,10 @@ mod tests {
     fn leave_restores_frame() {
         let mut a = Assembler::new(0x1000);
         a.inst(Inst::PushRbp);
-        a.inst(Inst::MovRegReg64 { dst: Reg::Rbp, src: Reg::Rsp });
+        a.inst(Inst::MovRegReg64 {
+            dst: Reg::Rbp,
+            src: Reg::Rsp,
+        });
         a.inst(Inst::SubRspImm8 { imm: 16 });
         a.inst(Inst::Leave);
         a.inst(Inst::Ret);

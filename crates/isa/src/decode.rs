@@ -103,17 +103,41 @@ pub fn decode(bytes: &[u8]) -> Result<Decoded, DecodeError> {
         return Err(DecodeError::InvalidOpcode(b0));
     }
     match b0 {
-        0x90 => Ok(Decoded { inst: Inst::Nop, len: 1 }),
-        0xc3 => Ok(Decoded { inst: Inst::Ret, len: 1 }),
-        0xc9 => Ok(Decoded { inst: Inst::Leave, len: 1 }),
-        0xcc => Ok(Decoded { inst: Inst::Int3, len: 1 }),
-        0x55 => Ok(Decoded { inst: Inst::PushRbp, len: 1 }),
-        0x5d => Ok(Decoded { inst: Inst::PopRbp, len: 1 }),
+        0x90 => Ok(Decoded {
+            inst: Inst::Nop,
+            len: 1,
+        }),
+        0xc3 => Ok(Decoded {
+            inst: Inst::Ret,
+            len: 1,
+        }),
+        0xc9 => Ok(Decoded {
+            inst: Inst::Leave,
+            len: 1,
+        }),
+        0xcc => Ok(Decoded {
+            inst: Inst::Int3,
+            len: 1,
+        }),
+        0x55 => Ok(Decoded {
+            inst: Inst::PushRbp,
+            len: 1,
+        }),
+        0x5d => Ok(Decoded {
+            inst: Inst::PopRbp,
+            len: 1,
+        }),
         0x0f => {
             need(bytes, 2)?;
             match bytes[1] {
-                0x05 => Ok(Decoded { inst: Inst::Syscall, len: 2 }),
-                0x0b => Ok(Decoded { inst: Inst::Ud2, len: 2 }),
+                0x05 => Ok(Decoded {
+                    inst: Inst::Syscall,
+                    len: 2,
+                }),
+                0x0b => Ok(Decoded {
+                    inst: Inst::Ud2,
+                    len: 2,
+                }),
                 other => Err(DecodeError::Unsupported(other)),
             }
         }
@@ -161,42 +185,57 @@ pub fn decode(bytes: &[u8]) -> Result<Decoded, DecodeError> {
         0xe8 => {
             need(bytes, 5)?;
             Ok(Decoded {
-                inst: Inst::CallRel32 { rel: read_u32(&bytes[1..]) as i32 },
+                inst: Inst::CallRel32 {
+                    rel: read_u32(&bytes[1..]) as i32,
+                },
                 len: 5,
             })
         }
         0xe9 => {
             need(bytes, 5)?;
             Ok(Decoded {
-                inst: Inst::JmpRel32 { rel: read_u32(&bytes[1..]) as i32 },
+                inst: Inst::JmpRel32 {
+                    rel: read_u32(&bytes[1..]) as i32,
+                },
                 len: 5,
             })
         }
         0xeb => {
             need(bytes, 2)?;
             Ok(Decoded {
-                inst: Inst::JmpRel8 { rel: bytes[1] as i8 },
+                inst: Inst::JmpRel8 {
+                    rel: bytes[1] as i8,
+                },
                 len: 2,
             })
         }
         0x74 => {
             need(bytes, 2)?;
             Ok(Decoded {
-                inst: Inst::JccRel8 { cond: Cond::E, rel: bytes[1] as i8 },
+                inst: Inst::JccRel8 {
+                    cond: Cond::E,
+                    rel: bytes[1] as i8,
+                },
                 len: 2,
             })
         }
         0x75 => {
             need(bytes, 2)?;
             Ok(Decoded {
-                inst: Inst::JccRel8 { cond: Cond::Ne, rel: bytes[1] as i8 },
+                inst: Inst::JccRel8 {
+                    cond: Cond::Ne,
+                    rel: bytes[1] as i8,
+                },
                 len: 2,
             })
         }
         0x85 => {
             need(bytes, 2)?;
             if bytes[1] == 0xc0 {
-                Ok(Decoded { inst: Inst::TestEaxEax, len: 2 })
+                Ok(Decoded {
+                    inst: Inst::TestEaxEax,
+                    len: 2,
+                })
             } else {
                 Err(DecodeError::Unsupported(b0))
             }
@@ -204,7 +243,10 @@ pub fn decode(bytes: &[u8]) -> Result<Decoded, DecodeError> {
         0x31 => {
             need(bytes, 2)?;
             if bytes[1] == 0xc0 {
-                Ok(Decoded { inst: Inst::XorEaxEax, len: 2 })
+                Ok(Decoded {
+                    inst: Inst::XorEaxEax,
+                    len: 2,
+                })
             } else {
                 Err(DecodeError::Unsupported(b0))
             }
@@ -319,7 +361,10 @@ mod tests {
     #[test]
     fn roundtrip_all_variants() {
         for reg in Reg::ALL {
-            roundtrip(Inst::MovImm32 { reg, imm: 0xdead_beef });
+            roundtrip(Inst::MovImm32 {
+                reg,
+                imm: 0xdead_beef,
+            });
             roundtrip(Inst::MovImm32SxR64 { reg, imm: -7 });
             roundtrip(Inst::LoadRspDisp8R32 { reg, disp: 0x18 });
             roundtrip(Inst::LoadRspDisp8R64 { reg, disp: 0x08 });
@@ -335,12 +380,20 @@ mod tests {
         roundtrip(Inst::Syscall);
         roundtrip(Inst::PushRbp);
         roundtrip(Inst::PopRbp);
-        roundtrip(Inst::CallAbsIndirect { target: 0xffff_ffff_ff60_0c08 });
+        roundtrip(Inst::CallAbsIndirect {
+            target: 0xffff_ffff_ff60_0c08,
+        });
         roundtrip(Inst::CallRel32 { rel: -100_000 });
         roundtrip(Inst::JmpRel8 { rel: -9 });
         roundtrip(Inst::JmpRel32 { rel: 123_456 });
-        roundtrip(Inst::JccRel8 { cond: Cond::E, rel: 5 });
-        roundtrip(Inst::JccRel8 { cond: Cond::Ne, rel: -5 });
+        roundtrip(Inst::JccRel8 {
+            cond: Cond::E,
+            rel: 5,
+        });
+        roundtrip(Inst::JccRel8 {
+            cond: Cond::Ne,
+            rel: -5,
+        });
         roundtrip(Inst::TestEaxEax);
         roundtrip(Inst::XorEaxEax);
         roundtrip(Inst::AddRspImm8 { imm: 8 });
@@ -350,7 +403,10 @@ mod tests {
     #[test]
     fn pusha_byte_is_invalid_in_long_mode() {
         // Jumping 5 bytes into a vsyscall call instruction lands on 0x60.
-        let call = Inst::CallAbsIndirect { target: 0xffff_ffff_ff60_0008 }.encode();
+        let call = Inst::CallAbsIndirect {
+            target: 0xffff_ffff_ff60_0008,
+        }
+        .encode();
         assert_eq!(decode(&call[5..]), Err(DecodeError::InvalidOpcode(0x60)));
     }
 
@@ -360,12 +416,18 @@ mod tests {
         assert_eq!(decode(&[0xb8, 0x01]), Err(DecodeError::Truncated));
         assert_eq!(decode(&[0x0f]), Err(DecodeError::Truncated));
         assert_eq!(decode(&[0xff, 0x14]), Err(DecodeError::Truncated));
-        assert_eq!(decode(&[0x48, 0xc7, 0xc0, 0x01]), Err(DecodeError::Truncated));
+        assert_eq!(
+            decode(&[0x48, 0xc7, 0xc0, 0x01]),
+            Err(DecodeError::Truncated)
+        );
     }
 
     #[test]
     fn unsupported_reported() {
-        assert!(matches!(decode(&[0xf4]), Err(DecodeError::Unsupported(0xf4))));
+        assert!(matches!(
+            decode(&[0xf4]),
+            Err(DecodeError::Unsupported(0xf4))
+        ));
         assert!(matches!(
             decode(&[0x0f, 0xae, 0x00]),
             Err(DecodeError::Unsupported(0xae))
@@ -378,14 +440,20 @@ mod tests {
         let d = decode(&bytes).unwrap();
         assert_eq!(
             d.inst,
-            Inst::CallAbsIndirect { target: 0xffff_ffff_ff60_0008 }
+            Inst::CallAbsIndirect {
+                target: 0xffff_ffff_ff60_0008
+            }
         );
     }
 
     #[test]
     fn disassemble_figure2_case1() {
         let mut code = Vec::new();
-        Inst::MovImm32 { reg: Reg::Rax, imm: 0 }.encode_into(&mut code);
+        Inst::MovImm32 {
+            reg: Reg::Rax,
+            imm: 0,
+        }
+        .encode_into(&mut code);
         Inst::Syscall.encode_into(&mut code);
         Inst::Ret.encode_into(&mut code);
         let (insts, err) = disassemble(&code);
@@ -393,7 +461,13 @@ mod tests {
         assert_eq!(
             insts,
             vec![
-                (0, Inst::MovImm32 { reg: Reg::Rax, imm: 0 }),
+                (
+                    0,
+                    Inst::MovImm32 {
+                        reg: Reg::Rax,
+                        imm: 0
+                    }
+                ),
                 (5, Inst::Syscall),
                 (7, Inst::Ret),
             ]
@@ -406,6 +480,104 @@ mod tests {
         let (insts, err) = disassemble(&code);
         assert_eq!(insts, vec![(0, Inst::Nop)]);
         assert_eq!(err, Some((1, DecodeError::InvalidOpcode(0x60))));
+    }
+
+    #[test]
+    fn disassemble_truncated_final_instruction() {
+        // A well-formed prefix followed by a mov whose immediate is cut
+        // off by the end of the buffer.
+        let mut code = Vec::new();
+        Inst::Nop.encode_into(&mut code);
+        Inst::MovImm32 {
+            reg: Reg::Rax,
+            imm: 0xdead_beef,
+        }
+        .encode_into(&mut code);
+        code.truncate(code.len() - 2); // drop 2 of the 4 immediate bytes
+        let (insts, err) = disassemble(&code);
+        assert_eq!(insts, vec![(0, Inst::Nop)]);
+        assert_eq!(err, Some((1, DecodeError::Truncated)));
+
+        // The degenerate case: a lone multi-byte opcode prefix.
+        let (insts, err) = disassemble(&[0x0f]);
+        assert!(insts.is_empty());
+        assert_eq!(err, Some((0, DecodeError::Truncated)));
+    }
+
+    #[test]
+    fn disassemble_int3_padding_runs() {
+        // Linkers pad between functions with int3; the disassembler must
+        // walk straight through a run and pick up the next function.
+        let mut code = Vec::new();
+        Inst::Ret.encode_into(&mut code);
+        for _ in 0..5 {
+            Inst::Int3.encode_into(&mut code);
+        }
+        let next_fn = code.len();
+        Inst::MovImm32 {
+            reg: Reg::Rax,
+            imm: 1,
+        }
+        .encode_into(&mut code);
+        Inst::Syscall.encode_into(&mut code);
+
+        let (insts, err) = disassemble(&code);
+        assert!(err.is_none());
+        assert_eq!(insts.len(), 1 + 5 + 2);
+        assert_eq!(insts[0], (0, Inst::Ret));
+        for (i, item) in insts[1..6].iter().enumerate() {
+            assert_eq!(*item, (1 + i, Inst::Int3));
+        }
+        assert_eq!(
+            insts[6],
+            (
+                next_fn,
+                Inst::MovImm32 {
+                    reg: Reg::Rax,
+                    imm: 1
+                }
+            )
+        );
+    }
+
+    #[test]
+    fn branch_landing_mid_instruction_decodes_overlapping_stream() {
+        // The overlapping-decode hazard: a branch targeting the *interior*
+        // of a mov immediate re-decodes the immediate bytes as different
+        // instructions. `mov $0x9090050f,%eax` hides `syscall; nop; nop`
+        // starting one byte in. xc-verify must treat such targets as
+        // Unknown rather than trusting either decode stream.
+        let mov = Inst::MovImm32 {
+            reg: Reg::Rax,
+            imm: u32::from_le_bytes([0x0f, 0x05, 0x90, 0x90]),
+        };
+        let mut code = mov.encode();
+        Inst::Ret.encode_into(&mut code);
+
+        // Straight-line decode sees the mov.
+        let (insts, err) = disassemble(&code);
+        assert!(err.is_none());
+        assert_eq!(insts[0], (0, mov));
+
+        // Decoding from the branch target (offset 1) yields a *different*,
+        // equally valid stream whose boundaries disagree with the linear
+        // sweep — the definition of an overlapping decode.
+        let (overlapped, err) = disassemble(&code[1..]);
+        assert!(err.is_none());
+        assert_eq!(
+            overlapped,
+            vec![
+                (0, Inst::Syscall),
+                (2, Inst::Nop),
+                (3, Inst::Nop),
+                (4, Inst::Ret)
+            ]
+        );
+        let sweep_boundaries: Vec<usize> = insts.iter().map(|(o, _)| *o).collect();
+        assert!(
+            !sweep_boundaries.contains(&1),
+            "offset 1 is mid-instruction"
+        );
     }
 
     #[test]
@@ -422,7 +594,9 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(DecodeError::InvalidOpcode(0x60).to_string().contains("0x60"));
+        assert!(DecodeError::InvalidOpcode(0x60)
+            .to_string()
+            .contains("0x60"));
         assert!(DecodeError::Truncated.to_string().contains("truncated"));
         assert!(DecodeError::Unsupported(0xf4).to_string().contains("0xf4"));
     }

@@ -231,7 +231,9 @@ impl BinaryImage {
             "cmpxchg expected/new length mismatch"
         );
         if expected.len() > 8 {
-            return Err(ImageError::ExchangeTooWide { len: expected.len() });
+            return Err(ImageError::ExchangeTooWide {
+                len: expected.len(),
+            });
         }
         let off = self.offset(addr, expected.len())?;
         let first = self.page_index(addr);
@@ -377,7 +379,8 @@ mod tests {
             Err(ImageError::ExchangeTooWide { len: 9 })
         );
         // 8 bytes is the hardware maximum and works.
-        img.cmpxchg(0x40_0000, &[0x90; 8], &[0xcc; 8], true).unwrap();
+        img.cmpxchg(0x40_0000, &[0x90; 8], &[0xcc; 8], true)
+            .unwrap();
     }
 
     #[test]

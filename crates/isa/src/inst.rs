@@ -331,6 +331,73 @@ impl Inst {
                 | Inst::JccRel8 { .. }
         )
     }
+
+    /// Control-flow classification for CFG construction (see
+    /// [`BranchKind`]).
+    pub fn branch_kind(&self) -> BranchKind {
+        match self {
+            Inst::JmpRel8 { .. } | Inst::JmpRel32 { .. } => BranchKind::DirectJump,
+            Inst::JccRel8 { .. } => BranchKind::ConditionalJump,
+            Inst::CallRel32 { .. } => BranchKind::DirectCall,
+            Inst::CallAbsIndirect { .. } => BranchKind::IndirectCall,
+            Inst::Ret => BranchKind::Return,
+            Inst::Int3 | Inst::Ud2 => BranchKind::Trap,
+            _ => BranchKind::None,
+        }
+    }
+
+    /// The absolute direct-branch target, given that this instruction is
+    /// located at `at`. `None` for everything that is not a direct
+    /// relative jump, conditional jump, or call — including
+    /// [`Inst::CallAbsIndirect`], whose destination is loaded from memory
+    /// and therefore not a *static* control edge.
+    pub fn branch_target(&self, at: u64) -> Option<u64> {
+        let next = at.wrapping_add(self.encoded_len() as u64);
+        match *self {
+            Inst::JmpRel8 { rel } | Inst::JccRel8 { rel, .. } => {
+                Some(next.wrapping_add(rel as i64 as u64))
+            }
+            Inst::JmpRel32 { rel } | Inst::CallRel32 { rel } => {
+                Some(next.wrapping_add(rel as i64 as u64))
+            }
+            _ => None,
+        }
+    }
+
+    /// Whether execution can continue at the next sequential instruction.
+    /// False for unconditional jumps, returns, and traps (`int3`, `ud2`);
+    /// true for calls, which resume at the return address.
+    pub fn falls_through(&self) -> bool {
+        !matches!(
+            self,
+            Inst::Ret | Inst::JmpRel8 { .. } | Inst::JmpRel32 { .. } | Inst::Int3 | Inst::Ud2
+        )
+    }
+}
+
+/// How an instruction ends (or does not end) a basic block. Because the
+/// modelled subset has no indirect *jumps* (only the indirect `call
+/// [disp32]`, which returns to its fall-through), the direct targets
+/// reported by [`Inst::branch_target`] form a **complete** set of
+/// intra-image control-transfer destinations — the property `xc-verify`'s
+/// interior-jump-target analysis rests on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BranchKind {
+    /// Sequential instruction: execution continues at the next address.
+    None,
+    /// `jmp rel8`/`jmp rel32`: one direct successor, no fall-through.
+    DirectJump,
+    /// `jcc rel8`: direct target plus fall-through.
+    ConditionalJump,
+    /// `call rel32`: direct target; returns to the fall-through.
+    DirectCall,
+    /// `call [disp32]`: statically unresolvable destination (the
+    /// conservative indirect-escape set); returns to the fall-through.
+    IndirectCall,
+    /// `ret`: escapes to the caller.
+    Return,
+    /// `int3`/`ud2`: raises a fault; execution does not continue.
+    Trap,
 }
 
 impl fmt::Display for Inst {
@@ -356,7 +423,10 @@ impl fmt::Display for Inst {
             Inst::JmpRel8 { rel } => write!(f, "jmp .{rel:+}"),
             Inst::JmpRel32 { rel } => write!(f, "jmp .{rel:+}"),
             Inst::JccRel8 { cond: Cond::E, rel } => write!(f, "je .{rel:+}"),
-            Inst::JccRel8 { cond: Cond::Ne, rel } => write!(f, "jne .{rel:+}"),
+            Inst::JccRel8 {
+                cond: Cond::Ne,
+                rel,
+            } => write!(f, "jne .{rel:+}"),
             Inst::TestEaxEax => write!(f, "test %eax,%eax"),
             Inst::XorEaxEax => write!(f, "xor %eax,%eax"),
             Inst::AddRspImm8 { imm } => write!(f, "add ${imm:#x},%rsp"),
@@ -373,7 +443,11 @@ mod tests {
     fn figure2_case1_bytes() {
         // 00000000000eb6a0 <__read>: b8 00 00 00 00 ; 0f 05
         let mut b = Vec::new();
-        Inst::MovImm32 { reg: Reg::Rax, imm: 0 }.encode_into(&mut b);
+        Inst::MovImm32 {
+            reg: Reg::Rax,
+            imm: 0,
+        }
+        .encode_into(&mut b);
         Inst::Syscall.encode_into(&mut b);
         assert_eq!(b, [0xb8, 0x00, 0x00, 0x00, 0x00, 0x0f, 0x05]);
     }
@@ -381,7 +455,10 @@ mod tests {
     #[test]
     fn figure2_case1_replacement_bytes() {
         // callq *0xffffffffff600008 => ff 14 25 08 00 60 ff
-        let b = Inst::CallAbsIndirect { target: 0xffff_ffff_ff60_0008 }.encode();
+        let b = Inst::CallAbsIndirect {
+            target: 0xffff_ffff_ff60_0008,
+        }
+        .encode();
         assert_eq!(b, [0xff, 0x14, 0x25, 0x08, 0x00, 0x60, 0xff]);
         assert_eq!(b.len(), 7);
         // The last two bytes are the invalid-opcode tail the paper relies on.
@@ -392,11 +469,18 @@ mod tests {
     fn figure2_9byte_bytes() {
         // 10330: 48 c7 c0 0f 00 00 00  mov $0xf,%rax ; 0f 05
         let mut b = Vec::new();
-        Inst::MovImm32SxR64 { reg: Reg::Rax, imm: 0xf }.encode_into(&mut b);
+        Inst::MovImm32SxR64 {
+            reg: Reg::Rax,
+            imm: 0xf,
+        }
+        .encode_into(&mut b);
         Inst::Syscall.encode_into(&mut b);
         assert_eq!(b, [0x48, 0xc7, 0xc0, 0x0f, 0x00, 0x00, 0x00, 0x0f, 0x05]);
         // Phase-1 replacement: callq *0xffffffffff600080
-        let call = Inst::CallAbsIndirect { target: 0xffff_ffff_ff60_0080 }.encode();
+        let call = Inst::CallAbsIndirect {
+            target: 0xffff_ffff_ff60_0080,
+        }
+        .encode();
         assert_eq!(call, [0xff, 0x14, 0x25, 0x80, 0x00, 0x60, 0xff]);
         // Phase-2 tail: jmp back to the call start: eb f7 (-9).
         let jmp = Inst::JmpRel8 { rel: -9 }.encode();
@@ -407,11 +491,18 @@ mod tests {
     fn figure2_case2_go_pattern_bytes() {
         // 7f41d: 48 8b 44 24 08  mov 0x8(%rsp),%rax ; 0f 05
         let mut b = Vec::new();
-        Inst::LoadRspDisp8R64 { reg: Reg::Rax, disp: 8 }.encode_into(&mut b);
+        Inst::LoadRspDisp8R64 {
+            reg: Reg::Rax,
+            disp: 8,
+        }
+        .encode_into(&mut b);
         Inst::Syscall.encode_into(&mut b);
         assert_eq!(b, [0x48, 0x8b, 0x44, 0x24, 0x08, 0x0f, 0x05]);
         // Replacement: callq *0xffffffffff600c08
-        let call = Inst::CallAbsIndirect { target: 0xffff_ffff_ff60_0c08 }.encode();
+        let call = Inst::CallAbsIndirect {
+            target: 0xffff_ffff_ff60_0c08,
+        }
+        .encode();
         assert_eq!(call, [0xff, 0x14, 0x25, 0x08, 0x0c, 0x60, 0xff]);
     }
 
@@ -426,17 +517,40 @@ mod tests {
             Inst::Syscall,
             Inst::PushRbp,
             Inst::PopRbp,
-            Inst::MovImm32 { reg: Reg::Rdi, imm: 42 },
-            Inst::MovImm32SxR64 { reg: Reg::Rax, imm: -1 },
-            Inst::LoadRspDisp8R32 { reg: Reg::Rax, disp: 16 },
-            Inst::LoadRspDisp8R64 { reg: Reg::Rdx, disp: 8 },
-            Inst::MovRegReg64 { dst: Reg::Rdi, src: Reg::Rax },
-            Inst::CallAbsIndirect { target: 0xffff_ffff_ff60_0008 },
+            Inst::MovImm32 {
+                reg: Reg::Rdi,
+                imm: 42,
+            },
+            Inst::MovImm32SxR64 {
+                reg: Reg::Rax,
+                imm: -1,
+            },
+            Inst::LoadRspDisp8R32 {
+                reg: Reg::Rax,
+                disp: 16,
+            },
+            Inst::LoadRspDisp8R64 {
+                reg: Reg::Rdx,
+                disp: 8,
+            },
+            Inst::MovRegReg64 {
+                dst: Reg::Rdi,
+                src: Reg::Rax,
+            },
+            Inst::CallAbsIndirect {
+                target: 0xffff_ffff_ff60_0008,
+            },
             Inst::CallRel32 { rel: -1234 },
             Inst::JmpRel8 { rel: -9 },
             Inst::JmpRel32 { rel: 77777 },
-            Inst::JccRel8 { cond: Cond::E, rel: 4 },
-            Inst::JccRel8 { cond: Cond::Ne, rel: -4 },
+            Inst::JccRel8 {
+                cond: Cond::E,
+                rel: 4,
+            },
+            Inst::JccRel8 {
+                cond: Cond::Ne,
+                rel: -4,
+            },
             Inst::TestEaxEax,
             Inst::XorEaxEax,
             Inst::AddRspImm8 { imm: 24 },
@@ -454,7 +568,11 @@ mod tests {
     #[test]
     fn mov_reg_reg_modrm() {
         // mov %rax,%rdi => 48 89 c7
-        let b = Inst::MovRegReg64 { dst: Reg::Rdi, src: Reg::Rax }.encode();
+        let b = Inst::MovRegReg64 {
+            dst: Reg::Rdi,
+            src: Reg::Rax,
+        }
+        .encode();
         assert_eq!(b, [0x48, 0x89, 0xc7]);
     }
 
@@ -463,13 +581,19 @@ mod tests {
         assert!(Inst::fits_sign_extended_32(0xffff_ffff_ff60_0008));
         assert!(Inst::fits_sign_extended_32(0x7fff_ffff));
         assert!(!Inst::fits_sign_extended_32(0x1_0000_0000));
-        assert!(!Inst::CallAbsIndirect { target: 0x1_0000_0000 }.is_encodable());
+        assert!(!Inst::CallAbsIndirect {
+            target: 0x1_0000_0000
+        }
+        .is_encodable());
     }
 
     #[test]
     #[should_panic(expected = "not sign-extendable")]
     fn unencodable_call_panics() {
-        Inst::CallAbsIndirect { target: 0x1_0000_0000 }.encode();
+        Inst::CallAbsIndirect {
+            target: 0x1_0000_0000,
+        }
+        .encode();
     }
 
     #[test]
@@ -478,6 +602,84 @@ mod tests {
         assert!(Inst::JmpRel8 { rel: 0 }.is_control_flow());
         assert!(!Inst::Syscall.is_control_flow());
         assert!(!Inst::Nop.is_control_flow());
+    }
+
+    #[test]
+    fn branch_targets_resolve_relative_displacements() {
+        // jmp rel8 at 0x1000: next = 0x1002, rel −9 → 0xff9.
+        assert_eq!(Inst::JmpRel8 { rel: -9 }.branch_target(0x1000), Some(0xff9));
+        // jcc rel8 forward.
+        assert_eq!(
+            Inst::JccRel8 {
+                cond: Cond::E,
+                rel: 4
+            }
+            .branch_target(0x1000),
+            Some(0x1006)
+        );
+        // call rel32 / jmp rel32 are 5 bytes.
+        assert_eq!(
+            Inst::CallRel32 { rel: 11 }.branch_target(0x1000),
+            Some(0x1010)
+        );
+        assert_eq!(
+            Inst::JmpRel32 { rel: -5 }.branch_target(0x1000),
+            Some(0x1000)
+        );
+        // Indirect call and non-branches have no static target.
+        assert_eq!(
+            Inst::CallAbsIndirect {
+                target: 0xffff_ffff_ff60_0008
+            }
+            .branch_target(0x1000),
+            None
+        );
+        assert_eq!(Inst::Syscall.branch_target(0x1000), None);
+        assert_eq!(Inst::Ret.branch_target(0x1000), None);
+    }
+
+    #[test]
+    fn branch_kinds_and_fallthrough() {
+        assert_eq!(Inst::Nop.branch_kind(), BranchKind::None);
+        assert_eq!(
+            Inst::JmpRel32 { rel: 0 }.branch_kind(),
+            BranchKind::DirectJump
+        );
+        assert_eq!(
+            Inst::JccRel8 {
+                cond: Cond::Ne,
+                rel: 0
+            }
+            .branch_kind(),
+            BranchKind::ConditionalJump
+        );
+        assert_eq!(
+            Inst::CallRel32 { rel: 0 }.branch_kind(),
+            BranchKind::DirectCall
+        );
+        assert_eq!(
+            Inst::CallAbsIndirect {
+                target: 0xffff_ffff_ff60_0008
+            }
+            .branch_kind(),
+            BranchKind::IndirectCall
+        );
+        assert_eq!(Inst::Ret.branch_kind(), BranchKind::Return);
+        assert_eq!(Inst::Int3.branch_kind(), BranchKind::Trap);
+        assert_eq!(Inst::Ud2.branch_kind(), BranchKind::Trap);
+
+        // Calls and conditional jumps fall through; jumps/returns/traps don't.
+        assert!(Inst::CallRel32 { rel: 0 }.falls_through());
+        assert!(Inst::JccRel8 {
+            cond: Cond::E,
+            rel: 0
+        }
+        .falls_through());
+        assert!(Inst::Syscall.falls_through());
+        assert!(!Inst::JmpRel8 { rel: 0 }.falls_through());
+        assert!(!Inst::Ret.falls_through());
+        assert!(!Inst::Int3.falls_through());
+        assert!(!Inst::Ud2.falls_through());
     }
 
     #[test]
@@ -491,11 +693,18 @@ mod tests {
     fn display_forms() {
         assert_eq!(Inst::Syscall.to_string(), "syscall");
         assert_eq!(
-            Inst::MovImm32 { reg: Reg::Rax, imm: 1 }.to_string(),
+            Inst::MovImm32 {
+                reg: Reg::Rax,
+                imm: 1
+            }
+            .to_string(),
             "mov $0x1,%eax"
         );
         assert_eq!(
-            Inst::CallAbsIndirect { target: 0xffff_ffff_ff60_0008 }.to_string(),
+            Inst::CallAbsIndirect {
+                target: 0xffff_ffff_ff60_0008
+            }
+            .to_string(),
             "callq *0xffffffffff600008"
         );
     }

@@ -52,4 +52,4 @@ pub use asm::Assembler;
 pub use cpu::{Cpu, Flow, Hooks};
 pub use decode::{decode, DecodeError, Decoded};
 pub use image::BinaryImage;
-pub use inst::{Inst, Reg};
+pub use inst::{BranchKind, Inst, Reg};

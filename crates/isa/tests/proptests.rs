@@ -32,7 +32,9 @@ fn arb_inst() -> impl Strategy<Value = Inst> {
         (arb_reg(), any::<u8>()).prop_map(|(reg, disp)| Inst::LoadRspDisp8R32 { reg, disp }),
         (arb_reg(), any::<u8>()).prop_map(|(reg, disp)| Inst::LoadRspDisp8R64 { reg, disp }),
         (arb_reg(), arb_reg()).prop_map(|(dst, src)| Inst::MovRegReg64 { dst, src }),
-        any::<i32>().prop_map(|v| Inst::CallAbsIndirect { target: v as i64 as u64 }),
+        any::<i32>().prop_map(|v| Inst::CallAbsIndirect {
+            target: v as i64 as u64
+        }),
         any::<i32>().prop_map(|rel| Inst::CallRel32 { rel }),
         any::<i8>().prop_map(|rel| Inst::JmpRel8 { rel }),
         any::<i32>().prop_map(|rel| Inst::JmpRel32 { rel }),

@@ -51,9 +51,7 @@ impl Backend {
     pub fn syscall_cost(self, costs: &CostModel, config: &KernelConfig, optimized: bool) -> Nanos {
         match self {
             Backend::Native => costs.syscall_trap + config.kpti_tax(costs),
-            Backend::XenPv => {
-                XenAbi::XenPv.forwarded_syscall_cost(costs) + config.kpti_tax(costs)
-            }
+            Backend::XenPv => XenAbi::XenPv.forwarded_syscall_cost(costs) + config.kpti_tax(costs),
             Backend::XKernel => {
                 if optimized {
                     XenAbi::XKernel.optimized_syscall_cost(costs)
@@ -85,7 +83,8 @@ impl Backend {
     /// Cost of a context switch between two *processes* of this kernel,
     /// with `runnable` tasks on the runqueue.
     pub fn context_switch_cost(self, costs: &CostModel, runnable: u64) -> Nanos {
-        let sched = costs.context_switch_base + costs.sched_per_runnable * runnable.saturating_sub(1);
+        let sched =
+            costs.context_switch_base + costs.sched_per_runnable * runnable.saturating_sub(1);
         match self {
             Backend::Native => {
                 sched + costs.page_table_switch + costs.tlb_flush_with_refill(USER_HOT_PAGES)
@@ -132,9 +131,7 @@ impl Backend {
                 .expect("virtualized backend")
                 .fork_page_table_cost(costs, image_pages, MMU_BATCH),
         };
-        costs.exec_base
-            + map_cost
-            + self.syscall_cost(costs, config, optimized) * loader_syscalls
+        costs.exec_base + map_cost + self.syscall_cost(costs, config, optimized) * loader_syscalls
     }
 }
 
@@ -204,7 +201,10 @@ mod tests {
         let c = CostModel::skylake_cloud();
         let short = Backend::Native.context_switch_cost(&c, 4);
         let long = Backend::Native.context_switch_cost(&c, 1600);
-        assert!(long > short, "flat scheduling degrades with 4N tasks (Figure 8)");
+        assert!(
+            long > short,
+            "flat scheduling degrades with 4N tasks (Figure 8)"
+        );
         assert_eq!(long - short, c.sched_per_runnable * (1600 - 4));
     }
 

@@ -56,31 +56,55 @@ impl KernelConfig {
     /// The stock cloud host kernel under Docker: SMP, KPTI patched,
     /// shared among all containers.
     pub fn docker_default() -> Self {
-        KernelConfig { smp: true, kpti: true, dedicated: false, vcpus: 8, modules: BTreeSet::new() }
+        KernelConfig {
+            smp: true,
+            kpti: true,
+            dedicated: false,
+            vcpus: 8,
+            modules: BTreeSet::new(),
+        }
     }
 
     /// The same kernel with the Meltdown patch reverted (the `-unpatched`
     /// configurations of §5.1).
     pub fn docker_unpatched() -> Self {
-        KernelConfig { kpti: false, ..KernelConfig::docker_default() }
+        KernelConfig {
+            kpti: false,
+            ..KernelConfig::docker_default()
+        }
     }
 
     /// Guest kernel inside a Xen-Container (unmodified Linux 4.4 PV).
     pub fn pv_guest_default() -> Self {
-        KernelConfig { smp: true, kpti: true, dedicated: false, vcpus: 1, modules: BTreeSet::new() }
+        KernelConfig {
+            smp: true,
+            kpti: true,
+            dedicated: false,
+            vcpus: 1,
+            modules: BTreeSet::new(),
+        }
     }
 
     /// X-LibOS: dedicated, KPTI off (there is no kernel/user isolation
     /// boundary left to protect inside the container — isolation is the
     /// X-Kernel's job, which carries its own patch).
     pub fn xlibos_default() -> Self {
-        KernelConfig { smp: true, kpti: false, dedicated: true, vcpus: 1, modules: BTreeSet::new() }
+        KernelConfig {
+            smp: true,
+            kpti: false,
+            dedicated: true,
+            vcpus: 1,
+            modules: BTreeSet::new(),
+        }
     }
 
     /// X-LibOS trimmed for a single-threaded event-driven app: SMP off
     /// (the §3.2 example of kernel customization).
     pub fn xlibos_uniprocessor() -> Self {
-        KernelConfig { smp: false, ..KernelConfig::xlibos_default() }
+        KernelConfig {
+            smp: false,
+            ..KernelConfig::xlibos_default()
+        }
     }
 
     /// Loads a kernel module (requires no root-in-host under X-Containers,
@@ -164,14 +188,18 @@ mod tests {
         let tuned = KernelConfig::xlibos_uniprocessor();
         assert_eq!(stock.kernel_work_factor(), 1.0);
         assert!(tuned.kernel_work_factor() < 1.0);
-        assert!(tuned.kernel_work_factor() > 0.8, "customization is a trim, not magic");
+        assert!(
+            tuned.kernel_work_factor() > 0.8,
+            "customization is a trim, not magic"
+        );
     }
 
     #[test]
     fn module_loading() {
         let mut cfg = KernelConfig::xlibos_default();
         assert!(!cfg.has_module(KernelModule::Ipvs));
-        cfg.load_module(KernelModule::Ipvs).load_module(KernelModule::SoftRoce);
+        cfg.load_module(KernelModule::Ipvs)
+            .load_module(KernelModule::SoftRoce);
         assert!(cfg.has_module(KernelModule::Ipvs));
         assert!(cfg.has_module(KernelModule::SoftRoce));
         assert!(!cfg.has_module(KernelModule::SoftIwarp));

@@ -156,12 +156,7 @@ impl GuestKernel {
     /// # Errors
     ///
     /// Propagates process/hypervisor failures.
-    pub fn spawn(
-        &mut self,
-        name: &str,
-        pages: u64,
-        costs: &CostModel,
-    ) -> Result<Pid, KernelError> {
+    pub fn spawn(&mut self, name: &str, pages: u64, costs: &CostModel) -> Result<Pid, KernelError> {
         let (pid, cost) = self
             .processes
             .spawn_init(name, pages, &mut self.page_tables, costs)?;
@@ -251,7 +246,10 @@ impl GuestKernel {
         costs: &CostModel,
     ) -> Result<usize, KernelError> {
         self.charge_syscall(costs);
-        let p = self.pipes.get_mut(&pipe).ok_or(KernelError::BadPipe(pipe))?;
+        let p = self
+            .pipes
+            .get_mut(&pipe)
+            .ok_or(KernelError::BadPipe(pipe))?;
         let (n, cost) = p.write(data, costs)?;
         self.elapsed += cost;
         Ok(n)
@@ -269,7 +267,10 @@ impl GuestKernel {
         costs: &CostModel,
     ) -> Result<usize, KernelError> {
         self.charge_syscall(costs);
-        let p = self.pipes.get_mut(&pipe).ok_or(KernelError::BadPipe(pipe))?;
+        let p = self
+            .pipes
+            .get_mut(&pipe)
+            .ok_or(KernelError::BadPipe(pipe))?;
         let (n, cost) = p.read(buf, costs)?;
         self.elapsed += cost;
         Ok(n)
@@ -428,7 +429,10 @@ mod tests {
         for _ in 0..4 {
             ran.insert(k.run_quantum(&costs).expect("runnable"));
         }
-        assert!(ran.contains(&a) && ran.contains(&b), "both scheduled: {ran:?}");
+        assert!(
+            ran.contains(&a) && ran.contains(&b),
+            "both scheduled: {ran:?}"
+        );
     }
 
     #[test]

@@ -59,7 +59,7 @@ pub mod syscalls;
 pub mod vfs;
 
 pub use backend::Backend;
-pub use kernel::GuestKernel;
 pub use config::KernelConfig;
+pub use kernel::GuestKernel;
 pub use process::{Pid, ProcessTable};
 pub use sched::FairScheduler;

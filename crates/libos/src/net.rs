@@ -62,7 +62,12 @@ pub struct NetStack {
 impl NetStack {
     /// Creates a stack for the given deployment.
     pub fn new(backend: Backend, config: KernelConfig, path: NetPath) -> Self {
-        NetStack { backend, config, path, entry_surcharge: Nanos::ZERO }
+        NetStack {
+            backend,
+            config,
+            path,
+            entry_surcharge: Nanos::ZERO,
+        }
     }
 
     /// Adds a per-kernel-entry surcharge on top of the backend's entry
@@ -88,7 +93,10 @@ impl NetStack {
             NetPath::NativeBridge { iptables_rules } => {
                 costs.bridge_hop + costs.iptables_nat * u64::from(iptables_rules)
             }
-            NetPath::SplitDriver { blanket, iptables_rules } => {
+            NetPath::SplitDriver {
+                blanket,
+                iptables_rules,
+            } => {
                 // Grant copy of the segment + ring notify amortized over a
                 // batch of ~8 segments + iptables in the driver domain.
                 costs.grant_copy_bytes(MSS)
@@ -161,7 +169,10 @@ mod tests {
         let xc = NetStack::new(
             Backend::XKernel,
             KernelConfig::xlibos_default(),
-            NetPath::SplitDriver { blanket: XenBlanket::cloud(), iptables_rules: 1 },
+            NetPath::SplitDriver {
+                blanket: XenBlanket::cloud(),
+                iptables_rules: 1,
+            },
         );
         (docker, xc, costs)
     }
@@ -197,7 +208,10 @@ mod tests {
         let xc = NetStack::new(
             Backend::XKernel,
             cfg,
-            NetPath::SplitDriver { blanket: XenBlanket::cloud(), iptables_rules: 1 },
+            NetPath::SplitDriver {
+                blanket: XenBlanket::cloud(),
+                iptables_rules: 1,
+            },
         );
         assert!(xc.send_cost(&costs, 16 * 1024) > native.send_cost(&costs, 16 * 1024));
     }
@@ -225,7 +239,9 @@ mod tests {
         let fwd = NetStack::new(
             Backend::XKernel,
             KernelConfig::xlibos_default(),
-            NetPath::KernelForward { responses_return: true },
+            NetPath::KernelForward {
+                responses_return: true,
+            },
         );
         let proxy_cost = xc.recv_cost(&costs, 4096) + xc.send_cost(&costs, 4096);
         let forward_cost = fwd.forward_cost(&costs, 4096);

@@ -81,7 +81,11 @@ impl VirtualNic {
         let fe_port = events.alloc_unbound(frontend)?;
         let be_port = events.alloc_unbound(backend)?;
         events.bind(frontend, fe_port, backend, be_port)?;
-        store.write(frontend, &format!("{fe_path}/event-channel"), &fe_port.to_string())?;
+        store.write(
+            frontend,
+            &format!("{fe_path}/event-channel"),
+            &fe_port.to_string(),
+        )?;
         store.set_perm(frontend, &format!("{fe_path}/event-channel"), backend)?;
         store.write(frontend, &format!("{fe_path}/ring-ref"), "1")?;
         store.set_perm(frontend, &format!("{fe_path}/ring-ref"), backend)?;
@@ -91,7 +95,14 @@ impl VirtualNic {
         if fired.is_empty() {
             return Err(XenError::BadEventPort(fe_port));
         }
-        store.write(backend, &format!("/local/domain/{}/backend/vif/{}/0/state", backend.0, frontend.0), "connected")?;
+        store.write(
+            backend,
+            &format!(
+                "/local/domain/{}/backend/vif/{}/0/state",
+                backend.0, frontend.0
+            ),
+            "connected",
+        )?;
 
         Ok(VirtualNic {
             frontend,
@@ -121,8 +132,13 @@ impl VirtualNic {
         let gref = self
             .grants
             .grant(self.frontend, self.backend, frame, GrantAccess::ReadOnly)?;
-        self.tx_buffers
-            .insert(gref, TxBuffer { gref, data: payload.to_vec() });
+        self.tx_buffers.insert(
+            gref,
+            TxBuffer {
+                gref,
+                data: payload.to_vec(),
+            },
+        );
         let notify = self.ring.push_request(Descriptor {
             id: u64::from(gref),
             len: payload.len() as u32,

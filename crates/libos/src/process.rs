@@ -279,7 +279,9 @@ impl ProcessTable {
     ///
     /// [`ProcessError::NoSuchProcess`] for unknown pids.
     pub fn get(&self, pid: Pid) -> Result<&Process, ProcessError> {
-        self.processes.get(&pid).ok_or(ProcessError::NoSuchProcess(pid))
+        self.processes
+            .get(&pid)
+            .ok_or(ProcessError::NoSuchProcess(pid))
     }
 
     fn get_mut(&mut self, pid: Pid) -> Result<&mut Process, ProcessError> {
@@ -402,7 +404,10 @@ mod tests {
             procs.exit(ghost, &mut pt, &costs),
             Err(ProcessError::NoSuchProcess(_))
         ));
-        assert!(matches!(procs.add_thread(ghost), Err(ProcessError::NoSuchProcess(_))));
+        assert!(matches!(
+            procs.add_thread(ghost),
+            Err(ProcessError::NoSuchProcess(_))
+        ));
     }
 
     #[test]

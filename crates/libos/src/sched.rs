@@ -80,7 +80,12 @@ impl FairScheduler {
         let min_vr = self.min_vruntime();
         self.tasks.insert(
             id,
-            Task { weight: weight.max(1), vruntime: min_vr, run_time: Nanos::ZERO, runnable: false },
+            Task {
+                weight: weight.max(1),
+                vruntime: min_vr,
+                run_time: Nanos::ZERO,
+                runnable: false,
+            },
         );
         id
     }
@@ -145,8 +150,8 @@ impl FairScheduler {
     pub fn account(&mut self, id: TaskId, ran: Nanos) {
         if let Some(t) = self.tasks.get_mut(&id) {
             // vruntime advances inversely to weight.
-            t.vruntime += u128::from(ran.as_nanos()) * u128::from(WEIGHT_NICE_0)
-                / u128::from(t.weight);
+            t.vruntime +=
+                u128::from(ran.as_nanos()) * u128::from(WEIGHT_NICE_0) / u128::from(t.weight);
             t.run_time += ran;
         }
     }
@@ -181,10 +186,7 @@ impl FairScheduler {
             self.account(task, slice);
             elapsed += slice;
         }
-        self.tasks
-            .iter()
-            .map(|(id, t)| (*id, t.run_time))
-            .collect()
+        self.tasks.iter().map(|(id, t)| (*id, t.run_time)).collect()
     }
 }
 
@@ -214,8 +216,8 @@ mod tests {
         s.set_runnable(light, true);
         s.set_runnable(heavy, true);
         s.run_for(Nanos::from_secs(1));
-        let ratio = s.run_time(heavy).unwrap().as_secs_f64()
-            / s.run_time(light).unwrap().as_secs_f64();
+        let ratio =
+            s.run_time(heavy).unwrap().as_secs_f64() / s.run_time(light).unwrap().as_secs_f64();
         assert!((2.6..3.4).contains(&ratio), "ratio {ratio}");
     }
 

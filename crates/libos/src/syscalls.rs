@@ -131,7 +131,10 @@ mod tests {
 
     #[test]
     fn unixbench_loop_named() {
-        let names: Vec<_> = UNIXBENCH_SYSCALL_LOOP.iter().map(|&n| name(n).unwrap()).collect();
+        let names: Vec<_> = UNIXBENCH_SYSCALL_LOOP
+            .iter()
+            .map(|&n| name(n).unwrap())
+            .collect();
         assert_eq!(names, vec!["dup", "close", "getpid", "getuid", "umask"]);
     }
 

@@ -108,7 +108,13 @@ impl Vfs {
         }
         let fd = Fd(self.next_fd);
         self.next_fd += 1;
-        self.open.insert(fd, OpenFile { path: path.to_owned(), offset: 0 });
+        self.open.insert(
+            fd,
+            OpenFile {
+                path: path.to_owned(),
+                offset: 0,
+            },
+        );
         Ok(fd)
     }
 

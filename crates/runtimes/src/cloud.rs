@@ -18,7 +18,11 @@ pub enum CloudEnv {
 
 impl CloudEnv {
     /// All environments, in paper order.
-    pub const ALL: [CloudEnv; 3] = [CloudEnv::AmazonEc2, CloudEnv::GoogleGce, CloudEnv::LocalCluster];
+    pub const ALL: [CloudEnv; 3] = [
+        CloudEnv::AmazonEc2,
+        CloudEnv::GoogleGce,
+        CloudEnv::LocalCluster,
+    ];
 
     /// Display name matching the figures.
     pub fn name(self) -> &'static str {

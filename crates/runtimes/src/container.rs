@@ -82,7 +82,12 @@ impl Container {
     pub fn new(name: &str, platform: Platform) -> Container {
         let memory_mb = Container::default_memory_mb(&platform);
         let spawn = SpawnMethod::default_for(&platform);
-        Container { name: name.to_owned(), platform, memory_mb, spawn }
+        Container {
+            name: name.to_owned(),
+            platform,
+            memory_mb,
+            spawn,
+        }
     }
 
     /// Overrides the memory reservation (Figure 8 squeezes VM memory to
@@ -145,10 +150,7 @@ mod tests {
 
     #[test]
     fn paper_spawn_times() {
-        assert_eq!(
-            SpawnMethod::XlToolstack.spawn_time(),
-            Nanos::from_secs(3)
-        );
+        assert_eq!(SpawnMethod::XlToolstack.spawn_time(), Nanos::from_secs(3));
         assert_eq!(
             SpawnMethod::LightVmToolstack.spawn_time(),
             Nanos::from_millis(184)
@@ -159,10 +161,7 @@ mod tests {
 
     #[test]
     fn lightvm_toolstack_closes_most_of_the_gap() {
-        let xc = Container::new(
-            "web",
-            Platform::x_container(CloudEnv::AmazonEc2, true),
-        );
+        let xc = Container::new("web", Platform::x_container(CloudEnv::AmazonEc2, true));
         let improved = xc.clone().with_spawn(SpawnMethod::LightVmToolstack);
         let docker = Container::new("web", Platform::docker(CloudEnv::AmazonEc2, true));
         assert!(xc.spawn_time() > docker.spawn_time());

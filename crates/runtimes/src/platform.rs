@@ -111,7 +111,10 @@ impl Platform {
 
     /// X-Container with ABOM disabled — the §5.2 ablation baseline.
     pub fn x_container_no_abom(cloud: CloudEnv, patched: bool) -> Platform {
-        Platform { abom_enabled: false, ..Platform::x_container(cloud, patched) }
+        Platform {
+            abom_enabled: false,
+            ..Platform::x_container(cloud, patched)
+        }
     }
 
     /// gVisor with the ptrace platform (as deployed in the paper's era).
@@ -205,12 +208,7 @@ impl Platform {
 
     /// Figure-style name, e.g. `X-Container-unpatched`.
     pub fn name(&self) -> String {
-        if self.patched
-            || matches!(
-                self.kind,
-                PlatformKind::Graphene | PlatformKind::Unikernel
-            )
-        {
+        if self.patched || matches!(self.kind, PlatformKind::Graphene | PlatformKind::Unikernel) {
             self.kind.label().to_owned()
         } else {
             format!("{}-unpatched", self.kind.label())
@@ -385,7 +383,8 @@ impl Platform {
     pub fn exec_cost(&self, costs: &CostModel, image_pages: u64, loader_syscalls: u64) -> Nanos {
         match self.kind {
             PlatformKind::Gvisor => {
-                self.backend.exec_cost(costs, &self.guest_config, image_pages, 0, false)
+                self.backend
+                    .exec_cost(costs, &self.guest_config, image_pages, 0, false)
                     + self.syscall_cost(costs) * loader_syscalls
             }
             _ => {
@@ -459,7 +458,10 @@ mod tests {
 
     #[test]
     fn ten_configurations_on_gce_eight_on_ec2() {
-        assert_eq!(Platform::cloud_configurations(CloudEnv::GoogleGce).len(), 10);
+        assert_eq!(
+            Platform::cloud_configurations(CloudEnv::GoogleGce).len(),
+            10
+        );
         assert_eq!(Platform::cloud_configurations(CloudEnv::AmazonEc2).len(), 8);
     }
 
@@ -499,8 +501,12 @@ mod tests {
             Platform::x_container(cloud, false).syscall_cost(&costs)
         );
         assert_eq!(
-            Platform::clear_container(cloud, true).unwrap().syscall_cost(&costs),
-            Platform::clear_container(cloud, false).unwrap().syscall_cost(&costs)
+            Platform::clear_container(cloud, true)
+                .unwrap()
+                .syscall_cost(&costs),
+            Platform::clear_container(cloud, false)
+                .unwrap()
+                .syscall_cost(&costs)
         );
         // …but hits Docker and Xen-Containers.
         assert!(

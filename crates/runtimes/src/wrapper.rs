@@ -200,12 +200,13 @@ mod tests {
     fn workers_and_env_cost_a_little() {
         let mut big = DockerImage::nginx();
         big.workers = 8;
-        big.env = (0..20)
-            .map(|i| (format!("K{i}"), "v".to_owned()))
-            .collect();
+        big.env = (0..20).map(|i| (format!("K{i}"), "v".to_owned())).collect();
         let small = boot_plan(&DockerImage::nginx(), SpawnMethod::LightVmToolstack).total();
         let large = boot_plan(&big, SpawnMethod::LightVmToolstack).total();
         assert!(large > small);
-        assert!(large < small + Nanos::from_millis(5), "marginal, not dominant");
+        assert!(
+            large < small + Nanos::from_millis(5),
+            "marginal, not dominant"
+        );
     }
 }

@@ -301,11 +301,20 @@ mod tests {
         // The architectural story of the paper depends on these orderings;
         // guard them so calibration changes cannot silently invert them.
         let m = CostModel::skylake_cloud();
-        assert!(m.function_call < m.syscall_trap, "function call must beat trap");
+        assert!(
+            m.function_call < m.syscall_trap,
+            "function call must beat trap"
+        );
         assert!(m.syscall_trap < m.hypercall.saturating_add(m.syscall_trap));
-        assert!(m.iret_userspace < m.iret_hypercall, "usermode iret is the point of §4.2");
+        assert!(
+            m.iret_userspace < m.iret_hypercall,
+            "usermode iret is the point of §4.2"
+        );
         assert!(m.vmexit < m.vmexit + m.nested_vmexit_extra);
-        assert!(m.ptrace_stop > m.syscall_trap, "ptrace interception dominates gVisor");
+        assert!(
+            m.ptrace_stop > m.syscall_trap,
+            "ptrace interception dominates gVisor"
+        );
         assert!(m.thread_switch < m.context_switch_base + m.page_table_switch);
     }
 

@@ -296,9 +296,12 @@ mod tests {
     #[test]
     fn fires_in_time_order() {
         let mut s = sim();
-        s.queue_mut().schedule_at(Nanos::from_nanos(30), Ev::Mark(3));
-        s.queue_mut().schedule_at(Nanos::from_nanos(10), Ev::Mark(1));
-        s.queue_mut().schedule_at(Nanos::from_nanos(20), Ev::Mark(2));
+        s.queue_mut()
+            .schedule_at(Nanos::from_nanos(30), Ev::Mark(3));
+        s.queue_mut()
+            .schedule_at(Nanos::from_nanos(10), Ev::Mark(1));
+        s.queue_mut()
+            .schedule_at(Nanos::from_nanos(20), Ev::Mark(2));
         s.run();
         assert_eq!(s.world().log, vec![(10, 1), (20, 2), (30, 3)]);
     }
@@ -307,7 +310,8 @@ mod tests {
     fn simultaneous_events_fire_in_insertion_order() {
         let mut s = sim();
         for id in 0..10 {
-            s.queue_mut().schedule_at(Nanos::from_nanos(50), Ev::Mark(id));
+            s.queue_mut()
+                .schedule_at(Nanos::from_nanos(50), Ev::Mark(id));
         }
         s.run();
         let ids: Vec<u32> = s.world().log.iter().map(|&(_, id)| id).collect();
@@ -348,7 +352,8 @@ mod tests {
     #[should_panic(expected = "cannot schedule into the past")]
     fn scheduling_into_past_panics() {
         let mut s = sim();
-        s.queue_mut().schedule_at(Nanos::from_nanos(10), Ev::Mark(1));
+        s.queue_mut()
+            .schedule_at(Nanos::from_nanos(10), Ev::Mark(1));
         s.run();
         s.queue_mut().schedule_at(Nanos::from_nanos(5), Ev::Mark(2));
     }

@@ -1,0 +1,341 @@
+//! Basic-block control-flow graph over a [`Disassembly`].
+//!
+//! Because the `xc-isa` subset has **no indirect jumps** — the only
+//! indirect control transfer is `call *disp32`, which returns to its
+//! fall-through — the set of direct branch targets recovered here is the
+//! *complete* set of intra-image control-transfer destinations (see
+//! [`xc_isa::inst::BranchKind`]). That completeness is what lets the
+//! verifier prove a detour region free of interior jump targets rather
+//! than merely failing to find one.
+//!
+//! Indirect call *destinations* (the vsyscall table) escape the image;
+//! they are collected in [`Cfg::indirect_sites`] so callers can reason
+//! about them conservatively.
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+use xc_isa::inst::BranchKind;
+
+use crate::disasm::Disassembly;
+
+/// How control reaches an edge's destination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeKind {
+    /// Execution falls off the end of the source block.
+    FallThrough,
+    /// An unconditional `jmp rel8`/`jmp rel32`.
+    Jump,
+    /// The taken side of a `jcc rel8`.
+    CondTaken,
+    /// A `call rel32` (control returns to the fall-through later).
+    Call,
+}
+
+/// One control-flow edge, `src` instruction → `target` address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Edge {
+    /// Address of the transferring instruction.
+    pub src: u64,
+    /// Destination address.
+    pub target: u64,
+    /// Transfer kind.
+    pub kind: EdgeKind,
+}
+
+/// A maximal straight-line run of instructions.
+#[derive(Debug, Clone)]
+pub struct BasicBlock {
+    /// Address of the first instruction.
+    pub start: u64,
+    /// One past the last byte of the last instruction.
+    pub end: u64,
+    /// Instruction addresses, in order.
+    pub insts: Vec<u64>,
+    /// Successor block-start addresses.
+    pub succs: Vec<u64>,
+}
+
+/// The control-flow graph of one image.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// Blocks keyed by start address.
+    pub blocks: BTreeMap<u64, BasicBlock>,
+    /// Every direct control-flow edge (complete, by the subset property).
+    pub edges: Vec<Edge>,
+    /// Addresses of `call *disp32` instructions — the only control
+    /// transfers whose destination is not statically known. Destinations
+    /// are outside the image (vsyscall area); the return address is the
+    /// in-image fall-through.
+    pub indirect_sites: Vec<u64>,
+}
+
+impl Cfg {
+    /// Builds the CFG from the linear-sweep instruction map.
+    ///
+    /// Leaders are: the descent entry points, every direct branch target
+    /// that is a sweep boundary, and every address following a
+    /// block-terminating instruction (`ret`, `jmp`, `jcc`, `int3`, `ud2`,
+    /// or an undecodable gap).
+    pub fn build(disasm: &Disassembly) -> Cfg {
+        let mut leaders: BTreeSet<u64> = disasm.entries.clone();
+        let mut edges = Vec::new();
+        let mut indirect_sites = Vec::new();
+
+        for (&at, d) in &disasm.insts {
+            let next = at + d.len as u64;
+            match d.inst.branch_kind() {
+                BranchKind::DirectJump => {
+                    let t = d.inst.branch_target(at).expect("direct jump has target");
+                    edges.push(Edge {
+                        src: at,
+                        target: t,
+                        kind: EdgeKind::Jump,
+                    });
+                    leaders.insert(t);
+                    leaders.insert(next);
+                }
+                BranchKind::ConditionalJump => {
+                    let t = d.inst.branch_target(at).expect("jcc has target");
+                    edges.push(Edge {
+                        src: at,
+                        target: t,
+                        kind: EdgeKind::CondTaken,
+                    });
+                    edges.push(Edge {
+                        src: at,
+                        target: next,
+                        kind: EdgeKind::FallThrough,
+                    });
+                    leaders.insert(t);
+                    leaders.insert(next);
+                }
+                BranchKind::DirectCall => {
+                    let t = d.inst.branch_target(at).expect("call rel32 has target");
+                    edges.push(Edge {
+                        src: at,
+                        target: t,
+                        kind: EdgeKind::Call,
+                    });
+                    leaders.insert(t);
+                    // A call does not end the block: control returns to
+                    // the fall-through, which stays in the same block.
+                }
+                BranchKind::IndirectCall => indirect_sites.push(at),
+                BranchKind::Return | BranchKind::Trap => {
+                    leaders.insert(next);
+                }
+                BranchKind::None => {}
+            }
+            // An instruction bordering an undecodable gap ends its block.
+            if !disasm.is_boundary(next) && next < disasm.end() {
+                leaders.insert(next);
+            }
+        }
+        // Instructions right after a gap start a fresh block.
+        for &gap in &disasm.undecodable {
+            if disasm.is_boundary(gap + 1) {
+                leaders.insert(gap + 1);
+            }
+        }
+        leaders.retain(|l| disasm.is_boundary(*l));
+
+        // Carve blocks between consecutive leaders.
+        let mut blocks = BTreeMap::new();
+        let leader_vec: Vec<u64> = leaders.iter().copied().collect();
+        for (i, &start) in leader_vec.iter().enumerate() {
+            let limit = leader_vec.get(i + 1).copied().unwrap_or(u64::MAX);
+            let mut insts = Vec::new();
+            let mut at = start;
+            let mut end = start;
+            let mut terminated = false;
+            while at < limit {
+                let Some(d) = disasm.insts.get(&at) else {
+                    break;
+                };
+                insts.push(at);
+                end = at + d.len as u64;
+                at = end;
+                if matches!(
+                    d.inst.branch_kind(),
+                    BranchKind::DirectJump
+                        | BranchKind::ConditionalJump
+                        | BranchKind::Return
+                        | BranchKind::Trap
+                ) {
+                    terminated = true;
+                    break;
+                }
+            }
+            if insts.is_empty() {
+                continue;
+            }
+            // Implicit fall-through into the next leader.
+            if !terminated && disasm.is_boundary(end) {
+                let last = *insts.last().expect("non-empty block");
+                edges.push(Edge {
+                    src: last,
+                    target: end,
+                    kind: EdgeKind::FallThrough,
+                });
+            }
+            blocks.insert(
+                start,
+                BasicBlock {
+                    start,
+                    end,
+                    insts,
+                    succs: Vec::new(),
+                },
+            );
+        }
+
+        // Resolve successor lists (call edges excluded: control returns).
+        let mut cfg = Cfg {
+            blocks,
+            edges,
+            indirect_sites,
+        };
+        let succ_edges: Vec<(u64, u64)> = cfg
+            .edges
+            .iter()
+            .filter(|e| e.kind != EdgeKind::Call)
+            .map(|e| (e.src, e.target))
+            .collect();
+        for (src, target) in succ_edges {
+            if let Some(block_start) = cfg.block_of(src) {
+                if cfg.blocks.contains_key(&target) {
+                    let b = cfg.blocks.get_mut(&block_start).expect("block exists");
+                    if !b.succs.contains(&target) {
+                        b.succs.push(target);
+                    }
+                }
+            }
+        }
+        cfg
+    }
+
+    /// Start address of the block containing instruction `addr`.
+    pub fn block_of(&self, addr: u64) -> Option<u64> {
+        let (&start, b) = self.blocks.range(..=addr).next_back()?;
+        (addr < b.end).then_some(start)
+    }
+
+    /// All edges whose destination lies in `[lo, hi)`.
+    pub fn edges_into(&self, lo: u64, hi: u64) -> impl Iterator<Item = &Edge> {
+        self.edges
+            .iter()
+            .filter(move |e| (lo..hi).contains(&e.target))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disasm::disassemble_image;
+    use xc_isa::asm::Assembler;
+    use xc_isa::inst::{Cond, Inst, Reg};
+
+    fn cfg_of(a: Assembler) -> Cfg {
+        let image = a.finish().unwrap();
+        Cfg::build(&disassemble_image(&image))
+    }
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let mut a = Assembler::new(0x1000);
+        a.label("f").unwrap();
+        a.inst(Inst::MovImm32 {
+            reg: Reg::Rax,
+            imm: 0,
+        });
+        a.inst(Inst::Syscall);
+        a.inst(Inst::Ret);
+        let cfg = cfg_of(a);
+        assert_eq!(cfg.blocks.len(), 1);
+        let b = &cfg.blocks[&0x1000];
+        assert_eq!(b.insts.len(), 3);
+        assert!(b.succs.is_empty());
+    }
+
+    #[test]
+    fn conditional_splits_blocks_and_edges() {
+        // The libpthread-style cancellable wrapper shape.
+        let mut a = Assembler::new(0x1000);
+        a.label("w").unwrap();
+        a.inst(Inst::MovImm32 {
+            reg: Reg::Rax,
+            imm: 3,
+        });
+        a.inst(Inst::TestEaxEax);
+        a.jcc_to(Cond::E, "skip");
+        a.inst(Inst::Nop);
+        a.label("skip").unwrap();
+        a.inst(Inst::Syscall);
+        a.inst(Inst::Ret);
+        let cfg = cfg_of(a);
+        // Blocks: [mov,test,jcc] [nop] [syscall,ret].
+        assert_eq!(cfg.blocks.len(), 3);
+        let entry = &cfg.blocks[&0x1000];
+        assert_eq!(entry.succs.len(), 2);
+        let skip = cfg.blocks.keys().copied().nth(2).unwrap();
+        assert!(entry.succs.contains(&skip));
+    }
+
+    #[test]
+    fn call_does_not_split_block_but_records_edge() {
+        let mut a = Assembler::new(0x1000);
+        a.label("main").unwrap();
+        a.inst(Inst::Nop);
+        a.call_to("helper");
+        a.inst(Inst::Nop);
+        a.inst(Inst::Ret);
+        a.label("helper").unwrap();
+        a.inst(Inst::Ret);
+        let cfg = cfg_of(a);
+        let main = &cfg.blocks[&0x1000];
+        // nop, call, nop, ret all in one block.
+        assert_eq!(main.insts.len(), 4);
+        assert!(main.succs.is_empty());
+        assert!(cfg
+            .edges
+            .iter()
+            .any(|e| e.kind == EdgeKind::Call && cfg.blocks.contains_key(&e.target)));
+    }
+
+    #[test]
+    fn indirect_call_is_recorded_as_escape_site() {
+        let mut a = Assembler::new(0x1000);
+        a.label("patched").unwrap();
+        a.inst(Inst::CallAbsIndirect {
+            target: 0xffff_ffff_ff60_0000,
+        });
+        a.inst(Inst::Ret);
+        let cfg = cfg_of(a);
+        assert_eq!(cfg.indirect_sites, vec![0x1000]);
+    }
+
+    #[test]
+    fn edges_into_finds_interior_entrances() {
+        let mut a = Assembler::new(0x1000);
+        a.label("w").unwrap();
+        a.inst(Inst::MovImm32 {
+            reg: Reg::Rax,
+            imm: 1,
+        }); // 0x1000..0x1005
+        a.inst(Inst::Nop); // 0x1005
+        a.inst(Inst::Syscall); // 0x1006
+        a.inst(Inst::Ret);
+        a.label("other").unwrap();
+        a.jmp_to("mid");
+        a.label("mid").unwrap();
+        a.inst(Inst::Ret);
+        let image = a.finish().unwrap();
+        let mid = image.symbol("mid").unwrap();
+        let cfg = Cfg::build(&disassemble_image(&image));
+        let hits: Vec<u64> = cfg.edges_into(mid, mid + 1).map(|e| e.target).collect();
+        assert_eq!(hits, vec![mid]);
+        // Nothing jumps into the wrapper interior.
+        assert_eq!(cfg.edges_into(0x1001, 0x1008).count(), 0);
+    }
+}

@@ -1,0 +1,423 @@
+//! Register dataflow over the CFG.
+//!
+//! Two analyses back the per-site verdicts:
+//!
+//! * **Forward `%rax` reaching-value** — which syscall number (if any)
+//!   provably reaches each `syscall` instruction, and from which single
+//!   defining `mov`. ABOM's 7/9-byte replacements fold the number into an
+//!   indexed vsyscall entry, so the number must be one compile-time
+//!   constant with one definition site adjacent in the patch region.
+//! * **Backward `%rcx` liveness** — `syscall` clobbers `%rcx` (saved
+//!   `%rip`) and `%r11` (saved `RFLAGS`); the replacement `call` preserves
+//!   both. Rewriting is observation-equivalent only where no live use of
+//!   `%rcx` follows the site. `%r11` is not representable in the 8-register
+//!   `xc-isa` subset, so its liveness is vacuously false and needs no
+//!   analysis — noted here so the asymmetry is deliberate, not forgotten.
+//!
+//! Both analyses are conservative in the same direction: when in doubt,
+//! `%rax` becomes [`RaxValue::Unknown`] and `%rcx` becomes live, each of
+//! which blocks a `Safe` verdict.
+
+use std::collections::BTreeMap;
+
+use xc_isa::inst::{Inst, Reg};
+
+use crate::cfg::Cfg;
+use crate::disasm::Disassembly;
+
+/// The abstract value of `%rax` at a program point (a join semilattice:
+/// `Unreached ⊑ Const ⊑ MultipleDefs ⊑ Unknown`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RaxValue {
+    /// No path reaches this point (⊥).
+    Unreached,
+    /// A single `mov` instruction's constant reaches here on every path.
+    Const {
+        /// The constant (sign-extended for `MovImm32SxR64`).
+        nr: i64,
+        /// Address of the defining instruction.
+        mov_addr: u64,
+        /// Encoded length of the defining instruction.
+        mov_len: u8,
+    },
+    /// A compile-time constant reaches here, but from more than one
+    /// definition site — no single region covers the definition.
+    MultipleDefs,
+    /// Anything: loaded from memory, copied from a register, a syscall or
+    /// call return value, or an entry-point assumption (⊤).
+    Unknown,
+}
+
+impl RaxValue {
+    /// Least upper bound of two values.
+    pub fn join(self, other: RaxValue) -> RaxValue {
+        use RaxValue::*;
+        match (self, other) {
+            (Unreached, x) | (x, Unreached) => x,
+            (Unknown, _) | (_, Unknown) => Unknown,
+            (Const { mov_addr: a, .. }, Const { mov_addr: b, .. }) if a == b => self,
+            _ => MultipleDefs,
+        }
+    }
+
+    /// Applies one instruction's effect on `%rax`.
+    pub fn transfer(self, at: u64, inst: &Inst) -> RaxValue {
+        match *inst {
+            Inst::MovImm32 { reg: Reg::Rax, imm } => RaxValue::Const {
+                nr: i64::from(imm),
+                mov_addr: at,
+                mov_len: 5,
+            },
+            Inst::MovImm32SxR64 { reg: Reg::Rax, imm } => RaxValue::Const {
+                nr: i64::from(imm),
+                mov_addr: at,
+                mov_len: 7,
+            },
+            Inst::XorEaxEax => RaxValue::Const {
+                nr: 0,
+                mov_addr: at,
+                mov_len: 2,
+            },
+            Inst::LoadRspDisp8R32 { reg: Reg::Rax, .. }
+            | Inst::LoadRspDisp8R64 { reg: Reg::Rax, .. }
+            | Inst::MovRegReg64 { dst: Reg::Rax, .. }
+            | Inst::Syscall
+            | Inst::CallRel32 { .. }
+            | Inst::CallAbsIndirect { .. } => RaxValue::Unknown,
+            _ => self,
+        }
+    }
+}
+
+/// Results of both dataflow passes, indexed by instruction address.
+#[derive(Debug, Clone)]
+pub struct Dataflow {
+    /// `%rax` value *on entry to* each instruction.
+    pub rax_in: BTreeMap<u64, RaxValue>,
+    /// Whether `%rcx` is live *after* each instruction executes.
+    pub rcx_live_out: BTreeMap<u64, bool>,
+}
+
+impl Dataflow {
+    /// Runs both analyses to fixpoint over `cfg`.
+    pub fn run(disasm: &Disassembly, cfg: &Cfg) -> Dataflow {
+        let rax_in = rax_forward(disasm, cfg);
+        let rcx_live_out = rcx_backward(disasm, cfg);
+        Dataflow {
+            rax_in,
+            rcx_live_out,
+        }
+    }
+}
+
+/// Forward worklist pass: `%rax` value at each instruction entry.
+///
+/// Block-entry boundary conditions: descent entry points and direct-call
+/// targets start at `Unknown` (callers may pass anything); a block with no
+/// predecessors and no entry marking is unreachable and stays `Unreached`.
+fn rax_forward(disasm: &Disassembly, cfg: &Cfg) -> BTreeMap<u64, RaxValue> {
+    use crate::cfg::EdgeKind;
+
+    let mut block_in: BTreeMap<u64, RaxValue> = BTreeMap::new();
+    for &start in cfg.blocks.keys() {
+        block_in.insert(start, RaxValue::Unreached);
+    }
+    for &entry in &disasm.entries {
+        block_in.insert(entry, RaxValue::Unknown);
+    }
+    for e in &cfg.edges {
+        if e.kind == EdgeKind::Call && cfg.blocks.contains_key(&e.target) {
+            block_in.insert(e.target, RaxValue::Unknown);
+        }
+    }
+
+    let mut worklist: Vec<u64> = cfg.blocks.keys().copied().collect();
+    let mut block_out: BTreeMap<u64, RaxValue> = BTreeMap::new();
+    let mut rax_in = BTreeMap::new();
+    while let Some(start) = worklist.pop() {
+        let block = &cfg.blocks[&start];
+        let mut v = block_in[&start];
+        for &at in &block.insts {
+            rax_in.insert(at, v);
+            v = v.transfer(at, &disasm.insts[&at].inst);
+        }
+        let changed = block_out.insert(start, v) != Some(v);
+        if changed {
+            for &succ in &block.succs {
+                let joined = block_in[&succ].join(v);
+                if joined != block_in[&succ] {
+                    block_in.insert(succ, joined);
+                    worklist.push(succ);
+                }
+            }
+        }
+    }
+    // One final in-order pass so `rax_in` reflects the fixpoint `block_in`.
+    for (start, block) in &cfg.blocks {
+        let mut v = block_in[start];
+        for &at in &block.insts {
+            rax_in.insert(at, v);
+            v = v.transfer(at, &disasm.insts[&at].inst);
+        }
+    }
+    rax_in
+}
+
+/// `%rcx` access classification for the backward pass.
+fn rcx_use_def(inst: &Inst) -> (bool, bool) {
+    // (reads rcx, writes rcx)
+    match *inst {
+        // rcx is the 4th SysV argument register: assume every call reads it.
+        Inst::CallRel32 { .. } | Inst::CallAbsIndirect { .. } => (true, false),
+        Inst::MovRegReg64 { src: Reg::Rcx, dst } => (true, dst == Reg::Rcx),
+        Inst::MovRegReg64 { dst: Reg::Rcx, .. }
+        | Inst::MovImm32 { reg: Reg::Rcx, .. }
+        | Inst::MovImm32SxR64 { reg: Reg::Rcx, .. }
+        | Inst::LoadRspDisp8R32 { reg: Reg::Rcx, .. }
+        | Inst::LoadRspDisp8R64 { reg: Reg::Rcx, .. } => (false, true),
+        // syscall clobbers rcx with the return rip.
+        Inst::Syscall => (false, true),
+        _ => (false, false),
+    }
+}
+
+/// Backward worklist pass: is `%rcx` live after each instruction?
+///
+/// Exit boundary conditions: dead at `ret` (caller-saved per SysV) and at
+/// traps; live when the block ends at an undecodable gap or falls off the
+/// image (we cannot see the continuation).
+fn rcx_backward(disasm: &Disassembly, cfg: &Cfg) -> BTreeMap<u64, bool> {
+    let mut block_out: BTreeMap<u64, bool> = BTreeMap::new();
+    for (&start, block) in &cfg.blocks {
+        let last = *block.insts.last().expect("blocks are non-empty");
+        let terminator = &disasm.insts[&last].inst;
+        let v = match terminator {
+            Inst::Ret | Inst::Int3 | Inst::Ud2 => false,
+            // Jumps / jcc: liveness flows from successors instead.
+            _ if !block.succs.is_empty() => false,
+            // Block ends without successors for another reason (gap, image
+            // edge, branch to a non-block address): assume live.
+            _ => true,
+        };
+        block_out.insert(start, v);
+    }
+
+    let mut preds_of: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+    for (&start, block) in &cfg.blocks {
+        for &s in &block.succs {
+            preds_of.entry(s).or_default().push(start);
+        }
+    }
+
+    let mut block_in_live: BTreeMap<u64, bool> = BTreeMap::new();
+    let mut worklist: Vec<u64> = cfg.blocks.keys().copied().collect();
+    while let Some(start) = worklist.pop() {
+        let block = &cfg.blocks[&start];
+        let mut live = block_out[&start]
+            || block
+                .succs
+                .iter()
+                .any(|s| block_in_live.get(s).copied().unwrap_or(false));
+        for &at in block.insts.iter().rev() {
+            let (reads, writes) = rcx_use_def(&disasm.insts[&at].inst);
+            if writes {
+                live = false;
+            }
+            if reads {
+                live = true;
+            }
+        }
+        let changed = block_in_live.insert(start, live) != Some(live);
+        if changed {
+            if let Some(preds) = preds_of.get(&start) {
+                worklist.extend(preds.iter().copied());
+            }
+        }
+    }
+
+    // Final pass materializing per-instruction live-out.
+    let mut rcx_live_out = BTreeMap::new();
+    for (&start, block) in &cfg.blocks {
+        let mut live = block_out[&start]
+            || block
+                .succs
+                .iter()
+                .any(|s| block_in_live.get(s).copied().unwrap_or(false));
+        for &at in block.insts.iter().rev() {
+            rcx_live_out.insert(at, live);
+            let (reads, writes) = rcx_use_def(&disasm.insts[&at].inst);
+            if writes {
+                live = false;
+            }
+            if reads {
+                live = true;
+            }
+        }
+    }
+    rcx_live_out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disasm::disassemble_image;
+    use xc_isa::asm::Assembler;
+    use xc_isa::inst::Cond;
+
+    fn analyze(a: Assembler) -> (Disassembly, Cfg, Dataflow) {
+        let image = a.finish().unwrap();
+        let d = disassemble_image(&image);
+        let cfg = Cfg::build(&d);
+        let df = Dataflow::run(&d, &cfg);
+        (d, cfg, df)
+    }
+
+    #[test]
+    fn const_reaches_syscall_in_straight_line() {
+        let mut a = Assembler::new(0x1000);
+        a.label("w").unwrap();
+        a.inst(Inst::MovImm32 {
+            reg: Reg::Rax,
+            imm: 39,
+        });
+        a.inst(Inst::Syscall); // at 0x1005
+        a.inst(Inst::Ret);
+        let (_, _, df) = analyze(a);
+        assert_eq!(
+            df.rax_in[&0x1005],
+            RaxValue::Const {
+                nr: 39,
+                mov_addr: 0x1000,
+                mov_len: 5
+            }
+        );
+        // rcx is clobber-dead: nothing reads it before the ret.
+        assert!(!df.rcx_live_out[&0x1005]);
+    }
+
+    #[test]
+    fn const_survives_conditional_join() {
+        // mov; test; je skip; nop; skip: syscall — one def, two paths.
+        let mut a = Assembler::new(0x1000);
+        a.label("w").unwrap();
+        a.inst(Inst::MovImm32 {
+            reg: Reg::Rax,
+            imm: 3,
+        });
+        a.inst(Inst::TestEaxEax);
+        a.jcc_to(Cond::E, "skip");
+        a.inst(Inst::Nop);
+        a.label("skip").unwrap();
+        a.inst(Inst::Syscall);
+        a.inst(Inst::Ret);
+        let image = a.finish().unwrap();
+        let syscall_at = image.symbol("skip").unwrap();
+        let d = disassemble_image(&image);
+        let cfg = Cfg::build(&d);
+        let df = Dataflow::run(&d, &cfg);
+        assert_eq!(
+            df.rax_in[&syscall_at],
+            RaxValue::Const {
+                nr: 3,
+                mov_addr: 0x1000,
+                mov_len: 5
+            }
+        );
+    }
+
+    #[test]
+    fn two_defs_join_to_multiple_defs() {
+        let mut a = Assembler::new(0x1000);
+        a.label("w").unwrap();
+        a.inst(Inst::TestEaxEax);
+        a.jcc_to(Cond::E, "other");
+        a.inst(Inst::MovImm32 {
+            reg: Reg::Rax,
+            imm: 1,
+        });
+        a.jmp_short_to("join");
+        a.label("other").unwrap();
+        a.inst(Inst::MovImm32 {
+            reg: Reg::Rax,
+            imm: 2,
+        });
+        a.label("join").unwrap();
+        a.inst(Inst::Syscall);
+        a.inst(Inst::Ret);
+        let image = a.finish().unwrap();
+        let syscall_at = image.symbol("join").unwrap();
+        let d = disassemble_image(&image);
+        let cfg = Cfg::build(&d);
+        let df = Dataflow::run(&d, &cfg);
+        assert_eq!(df.rax_in[&syscall_at], RaxValue::MultipleDefs);
+    }
+
+    #[test]
+    fn register_copy_and_stack_load_are_unknown() {
+        let mut a = Assembler::new(0x1000);
+        a.label("w").unwrap();
+        a.inst(Inst::MovRegReg64 {
+            dst: Reg::Rax,
+            src: Reg::Rdi,
+        });
+        a.inst(Inst::Syscall); // 0x1003
+        a.inst(Inst::LoadRspDisp8R64 {
+            reg: Reg::Rax,
+            disp: 8,
+        });
+        a.inst(Inst::Syscall); // 0x100a
+        a.inst(Inst::Ret);
+        let (_, _, df) = analyze(a);
+        assert_eq!(df.rax_in[&0x1003], RaxValue::Unknown);
+        assert_eq!(df.rax_in[&0x100a], RaxValue::Unknown);
+    }
+
+    #[test]
+    fn rcx_read_after_syscall_is_live() {
+        let mut a = Assembler::new(0x1000);
+        a.label("w").unwrap();
+        a.inst(Inst::MovImm32 {
+            reg: Reg::Rax,
+            imm: 0,
+        });
+        a.inst(Inst::Syscall); // 0x1005
+        a.inst(Inst::MovRegReg64 {
+            dst: Reg::Rdx,
+            src: Reg::Rcx,
+        });
+        a.inst(Inst::Ret);
+        let (_, _, df) = analyze(a);
+        assert!(df.rcx_live_out[&0x1005]);
+    }
+
+    #[test]
+    fn call_makes_rcx_conservatively_live() {
+        let mut a = Assembler::new(0x1000);
+        a.label("w").unwrap();
+        a.inst(Inst::Syscall); // 0x1000
+        a.call_to("helper");
+        a.inst(Inst::Ret);
+        a.label("helper").unwrap();
+        a.inst(Inst::Ret);
+        let (_, _, df) = analyze(a);
+        assert!(df.rcx_live_out[&0x1000]);
+    }
+
+    #[test]
+    fn rcx_write_kills_liveness() {
+        let mut a = Assembler::new(0x1000);
+        a.label("w").unwrap();
+        a.inst(Inst::Syscall); // 0x1000
+        a.inst(Inst::MovImm32 {
+            reg: Reg::Rcx,
+            imm: 0,
+        });
+        a.inst(Inst::MovRegReg64 {
+            dst: Reg::Rdx,
+            src: Reg::Rcx,
+        });
+        a.inst(Inst::Ret);
+        let (_, _, df) = analyze(a);
+        assert!(!df.rcx_live_out[&0x1000]);
+    }
+}

@@ -1,0 +1,523 @@
+//! The verifier: per-site verdicts and detour-region hazard queries.
+
+use xc_isa::image::BinaryImage;
+use xc_isa::inst::{Inst, Reg};
+
+use crate::cfg::Cfg;
+use crate::dataflow::{Dataflow, RaxValue};
+use crate::disasm::{disassemble_image, Disassembly};
+use crate::report::{SiteKind, SiteReport, UnknownReason, UnsafeReason, Verdict, VerifyReport};
+
+/// Analysis parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VerifierConfig {
+    /// Highest syscall number with a dedicated vsyscall entry. Mirrors
+    /// `xc_abom::table::MAX_SYSCALL_NR` (this crate sits below `xc-abom`
+    /// in the dependency order, so the constant is duplicated, not
+    /// imported).
+    pub max_syscall_nr: i64,
+}
+
+impl Default for VerifierConfig {
+    fn default() -> Self {
+        VerifierConfig {
+            max_syscall_nr: 351,
+        }
+    }
+}
+
+/// Why a detour cannot safely overwrite a region (the offline patcher's
+/// pre-flight query; see [`Analysis::region_detour_hazard`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DetourHazard {
+    /// Control enters the region interior from outside it.
+    InteriorJumpTarget {
+        /// The interior address entered from outside.
+        target: u64,
+    },
+    /// An interior branch targets an address the trampoline relocation
+    /// cannot preserve.
+    EscapingInteriorBranch {
+        /// Address of the escaping branch.
+        src: u64,
+    },
+}
+
+/// The static patch-safety analyzer.
+#[derive(Debug, Clone, Default)]
+pub struct Verifier {
+    config: VerifierConfig,
+}
+
+impl Verifier {
+    /// A verifier with default configuration.
+    pub fn new() -> Self {
+        Verifier::default()
+    }
+
+    /// A verifier with explicit configuration.
+    pub fn with_config(config: VerifierConfig) -> Self {
+        Verifier { config }
+    }
+
+    /// Runs the full pipeline — disassembly, CFG construction, dataflow —
+    /// and renders a verdict for every `syscall` site in `image`.
+    pub fn analyze(&self, image: &BinaryImage) -> Analysis {
+        let disasm = disassemble_image(image);
+        let cfg = Cfg::build(&disasm);
+        let dataflow = Dataflow::run(&disasm, &cfg);
+        let mut analysis = Analysis {
+            config: self.config,
+            disasm,
+            cfg,
+            dataflow,
+            report: VerifyReport::default(),
+        };
+        analysis.report = analysis.judge_all();
+        analysis
+    }
+}
+
+/// The completed analysis of one image.
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    config: VerifierConfig,
+    /// The hybrid disassembly.
+    pub disasm: Disassembly,
+    /// The control-flow graph.
+    pub cfg: Cfg,
+    /// The dataflow fixpoints.
+    pub dataflow: Dataflow,
+    /// Per-site verdicts.
+    pub report: VerifyReport,
+}
+
+impl Analysis {
+    /// The per-site report.
+    pub fn report(&self) -> &VerifyReport {
+        &self.report
+    }
+
+    /// The verdict for the `syscall` at `syscall_addr`, if one exists
+    /// there.
+    pub fn verdict_at(&self, syscall_addr: u64) -> Option<Verdict> {
+        self.report.site(syscall_addr).map(|s| s.verdict)
+    }
+
+    /// Pre-flight check for an offline detour over
+    /// `[region_start, syscall_addr + 2)` whose displaced interior is
+    /// `[mov_end, syscall_addr)`.
+    ///
+    /// The detour overwrites the region with a `jmp rel32` + `int3` fill
+    /// and re-materializes the interior in a trampoline at the same
+    /// offset from the trampoline's start that it had from `mov_end`, so:
+    ///
+    /// * control entering the interior from **outside** the region lands
+    ///   on `int3` fill — [`DetourHazard::InteriorJumpTarget`];
+    /// * an **interior** branch stays correct only if its destination is
+    ///   within `[mov_end, syscall_addr]` (the `syscall_addr` endpoint
+    ///   maps onto the trampoline's vsyscall call, which is exactly the
+    ///   replacement semantics) — anything else is
+    ///   [`DetourHazard::EscapingInteriorBranch`].
+    pub fn region_detour_hazard(
+        &self,
+        region_start: u64,
+        mov_end: u64,
+        syscall_addr: u64,
+    ) -> Option<DetourHazard> {
+        let region_end = syscall_addr + 2;
+        // Outside → interior edges. The region start itself is fine: the
+        // detour jump lives there.
+        for e in self.cfg.edges_into(region_start + 1, region_end) {
+            if !(region_start..region_end).contains(&e.src) {
+                return Some(DetourHazard::InteriorJumpTarget { target: e.target });
+            }
+        }
+        // An external entry point inside the region interior.
+        if let Some(&entry) = self
+            .disasm
+            .entries
+            .range(region_start + 1..region_end)
+            .next()
+        {
+            return Some(DetourHazard::InteriorJumpTarget { target: entry });
+        }
+        // Interior branches that escape the relocatable window.
+        for (&at, d) in self.disasm.insts.range(mov_end..syscall_addr) {
+            if let Some(t) = d.inst.branch_target(at) {
+                if !(mov_end..=syscall_addr).contains(&t) {
+                    return Some(DetourHazard::EscapingInteriorBranch { src: at });
+                }
+            }
+        }
+        None
+    }
+
+    /// Judges every `syscall` site.
+    fn judge_all(&self) -> VerifyReport {
+        let mut sites = Vec::new();
+        for (&at, d) in &self.disasm.insts {
+            if d.inst == Inst::Syscall {
+                sites.push(self.judge_site(at));
+            }
+        }
+        VerifyReport { sites }
+    }
+
+    /// Judges the `syscall` at `syscall_addr`.
+    fn judge_site(&self, syscall_addr: u64) -> SiteReport {
+        let rax = self
+            .dataflow
+            .rax_in
+            .get(&syscall_addr)
+            .copied()
+            .unwrap_or(RaxValue::Unknown);
+
+        // Pick the candidate patch region the way the *linear* offline
+        // scanner would (straight-line, flow-insensitive), then let the
+        // CFG and dataflow refine or veto it. This ordering matters: the
+        // verifier's job is to judge the region a naive patcher would
+        // pick, including regions the dataflow already knows are entered
+        // from elsewhere.
+        let (kind, number, mov_addr, region) =
+            if let Some((mov, len, nr)) = self.syntactic_region(syscall_addr) {
+                (
+                    SiteKind::ImmediateNumber,
+                    Some(nr),
+                    Some(mov),
+                    Some((mov, mov + len)),
+                )
+            } else if let Some(load_addr) = self.adjacent_stack_load(syscall_addr) {
+                (
+                    SiteKind::StackNumber,
+                    None,
+                    Some(load_addr),
+                    Some((load_addr, syscall_addr)),
+                )
+            } else {
+                (SiteKind::Other, None, None, None)
+            };
+
+        let verdict = self.judge_region(syscall_addr, rax, kind, number, region);
+        SiteReport {
+            syscall_addr,
+            kind,
+            number,
+            mov_addr,
+            verdict,
+        }
+    }
+
+    /// The region a straight-line scan would patch: walks backwards from
+    /// the syscall over rax-preserving instructions to the defining
+    /// immediate load. Mirrors the kill set of `xc-abom`'s offline
+    /// scanner (rax writes, calls, unconditional control flow and `int3`
+    /// end the walk; conditional branches do not).
+    fn syntactic_region(&self, syscall_addr: u64) -> Option<(u64, u64, i64)> {
+        let mut at = syscall_addr;
+        loop {
+            let (prev, d) = self.disasm.enclosing(at.checked_sub(1)?)?;
+            if prev + d.len as u64 != at {
+                return None; // overlapping decode, not a clean adjacency
+            }
+            match d.inst {
+                Inst::MovImm32 { reg: Reg::Rax, imm } => return Some((prev, 5, i64::from(imm))),
+                Inst::MovImm32SxR64 { reg: Reg::Rax, imm } if imm >= 0 => {
+                    return Some((prev, 7, i64::from(imm)))
+                }
+                Inst::XorEaxEax => return Some((prev, 2, 0)),
+                Inst::MovImm32SxR64 { reg: Reg::Rax, .. }
+                | Inst::LoadRspDisp8R32 { reg: Reg::Rax, .. }
+                | Inst::LoadRspDisp8R64 { reg: Reg::Rax, .. }
+                | Inst::MovRegReg64 { dst: Reg::Rax, .. }
+                | Inst::Syscall
+                | Inst::CallRel32 { .. }
+                | Inst::CallAbsIndirect { .. }
+                | Inst::Ret
+                | Inst::JmpRel8 { .. }
+                | Inst::JmpRel32 { .. }
+                | Inst::Int3 => return None,
+                _ => at = prev,
+            }
+        }
+    }
+
+    /// The instruction directly before `syscall_addr`, when it is a
+    /// `mov %rax, disp8(%rsp)`-style stack load (the Go wrapper shape).
+    fn adjacent_stack_load(&self, syscall_addr: u64) -> Option<u64> {
+        let (at, d) = self.disasm.enclosing(syscall_addr.checked_sub(1)?)?;
+        let adjacent = at + d.len as u64 == syscall_addr;
+        let is_load = matches!(
+            d.inst,
+            Inst::LoadRspDisp8R64 { reg: Reg::Rax, .. }
+                | Inst::LoadRspDisp8R32 { reg: Reg::Rax, .. }
+        );
+        (adjacent && is_load).then_some(at)
+    }
+
+    fn judge_region(
+        &self,
+        syscall_addr: u64,
+        rax: RaxValue,
+        kind: SiteKind,
+        number: Option<i64>,
+        region: Option<(u64, u64)>,
+    ) -> Verdict {
+        let Some((region_start, mov_end)) = region else {
+            return Verdict::Unknown(match rax {
+                RaxValue::MultipleDefs => UnknownReason::MultipleDefinitions,
+                _ => UnknownReason::NumberNotConstant,
+            });
+        };
+        let region_end = syscall_addr + 2;
+
+        // Structural soundness of the region bytes first: if the region is
+        // not a single contiguous decode, nothing below is trustworthy.
+        if let Err(at) = self.disasm.contiguous_code(region_start, region_end) {
+            return Verdict::Unknown(UnknownReason::UndecodedBytes { at });
+        }
+        if let Some((&at, _)) = self
+            .disasm
+            .overlapping_targets
+            .range(region_start..region_end)
+            .next()
+        {
+            return Verdict::Unknown(UnknownReason::OverlappingDecode { at });
+        }
+
+        // Proven-unsafe conditions.
+        if let Some(h) = self.region_detour_hazard(region_start, mov_end, syscall_addr) {
+            return Verdict::Unsafe(match h {
+                DetourHazard::InteriorJumpTarget { target } => {
+                    UnsafeReason::InteriorJumpTarget { target }
+                }
+                DetourHazard::EscapingInteriorBranch { src } => {
+                    UnsafeReason::InteriorBranchEscapes { src }
+                }
+            });
+        }
+        if self
+            .dataflow
+            .rcx_live_out
+            .get(&syscall_addr)
+            .copied()
+            .unwrap_or(true)
+        {
+            return Verdict::Unsafe(UnsafeReason::RcxLiveAfterSite);
+        }
+
+        // Number validity. The syntactic region names a defining mov; the
+        // flow-sensitive dataflow must agree that this mov's constant is
+        // the *only* value reaching the site on every path.
+        if kind == SiteKind::ImmediateNumber {
+            match rax {
+                RaxValue::Const { mov_addr, .. } if mov_addr == region_start => {}
+                RaxValue::Const { .. } | RaxValue::MultipleDefs => {
+                    return Verdict::Unknown(UnknownReason::MultipleDefinitions)
+                }
+                _ => return Verdict::Unknown(UnknownReason::NumberNotConstant),
+            }
+            // Stack-dispatch entries validate the number at run time, so
+            // only immediate numbers get the static range check.
+            let nr = number.expect("immediate sites carry a number");
+            if !(0..=self.config.max_syscall_nr).contains(&nr) {
+                return Verdict::Unknown(UnknownReason::NumberOutOfRange { nr });
+            }
+        }
+
+        Verdict::Safe
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xc_isa::asm::Assembler;
+    use xc_isa::inst::Cond;
+
+    fn analyze(a: Assembler) -> Analysis {
+        Verifier::new().analyze(&a.finish().unwrap())
+    }
+
+    #[test]
+    fn glibc_wrapper_is_safe() {
+        let mut a = Assembler::new(0x1000);
+        a.label("__read").unwrap();
+        a.inst(Inst::MovImm32 {
+            reg: Reg::Rax,
+            imm: 0,
+        });
+        a.inst(Inst::Syscall);
+        a.inst(Inst::Ret);
+        let an = analyze(a);
+        assert_eq!(an.verdict_at(0x1005), Some(Verdict::Safe));
+        let site = an.report().site(0x1005).unwrap();
+        assert_eq!(site.kind, SiteKind::ImmediateNumber);
+        assert_eq!(site.number, Some(0));
+    }
+
+    #[test]
+    fn go_stack_wrapper_is_safe_without_range_check() {
+        let mut a = Assembler::new(0x1000);
+        a.label("syscall_Syscall").unwrap();
+        a.inst(Inst::LoadRspDisp8R64 {
+            reg: Reg::Rax,
+            disp: 8,
+        });
+        a.inst(Inst::Syscall); // 0x1005
+        a.inst(Inst::Ret);
+        let an = analyze(a);
+        assert_eq!(an.verdict_at(0x1005), Some(Verdict::Safe));
+        assert_eq!(
+            an.report().site(0x1005).unwrap().kind,
+            SiteKind::StackNumber
+        );
+    }
+
+    #[test]
+    fn out_of_range_number_is_unknown() {
+        let mut a = Assembler::new(0x1000);
+        a.label("w").unwrap();
+        a.inst(Inst::MovImm32 {
+            reg: Reg::Rax,
+            imm: 9999,
+        });
+        a.inst(Inst::Syscall);
+        a.inst(Inst::Ret);
+        let an = analyze(a);
+        assert_eq!(
+            an.verdict_at(0x1005),
+            Some(Verdict::Unknown(UnknownReason::NumberOutOfRange {
+                nr: 9999
+            }))
+        );
+    }
+
+    #[test]
+    fn cancellable_wrapper_interior_branch_is_safe() {
+        // je targets the syscall itself — intra-region, relocates exactly.
+        let mut a = Assembler::new(0x1000);
+        a.label("w").unwrap();
+        a.inst(Inst::MovImm32 {
+            reg: Reg::Rax,
+            imm: 3,
+        });
+        a.inst(Inst::TestEaxEax);
+        a.jcc_to(Cond::E, "skip");
+        a.inst(Inst::Nop);
+        a.label("skip").unwrap();
+        a.inst(Inst::Syscall);
+        a.inst(Inst::Ret);
+        let image = a.finish().unwrap();
+        let syscall_at = image.symbol("skip").unwrap();
+        let an = Verifier::new().analyze(&image);
+        assert_eq!(an.verdict_at(syscall_at), Some(Verdict::Safe));
+    }
+
+    #[test]
+    fn outside_jump_into_interior_is_unsafe() {
+        let mut a = Assembler::new(0x1000);
+        a.label("w").unwrap();
+        a.inst(Inst::MovImm32 {
+            reg: Reg::Rax,
+            imm: 1,
+        });
+        a.label("interior").unwrap();
+        a.inst(Inst::Nop);
+        a.inst(Inst::Syscall);
+        a.inst(Inst::Ret);
+        a.label("other").unwrap();
+        a.jmp_to("interior");
+        let image = a.finish().unwrap();
+        let interior = image.symbol("interior").unwrap();
+        let an = Verifier::new().analyze(&image);
+        assert_eq!(
+            an.verdict_at(0x1006),
+            Some(Verdict::Unsafe(UnsafeReason::InteriorJumpTarget {
+                target: interior
+            }))
+        );
+    }
+
+    #[test]
+    fn escaping_interior_branch_is_unsafe() {
+        // A branch inside the region that leaves it (loops back to the mov).
+        let mut a = Assembler::new(0x1000);
+        a.label("w").unwrap();
+        a.inst(Inst::MovImm32 {
+            reg: Reg::Rax,
+            imm: 1,
+        }); // 0x1000
+        a.inst(Inst::TestEaxEax); // 0x1005
+        a.jcc_to(Cond::Ne, "w"); // 0x1007, escapes to region start
+        a.inst(Inst::Syscall); // 0x1009
+        a.inst(Inst::Ret);
+        let an = analyze(a);
+        assert_eq!(
+            an.verdict_at(0x1009),
+            Some(Verdict::Unsafe(UnsafeReason::InteriorBranchEscapes {
+                src: 0x1007
+            }))
+        );
+    }
+
+    #[test]
+    fn rcx_use_after_syscall_is_unsafe() {
+        let mut a = Assembler::new(0x1000);
+        a.label("w").unwrap();
+        a.inst(Inst::MovImm32 {
+            reg: Reg::Rax,
+            imm: 0,
+        });
+        a.inst(Inst::Syscall); // 0x1005
+        a.inst(Inst::MovRegReg64 {
+            dst: Reg::Rdx,
+            src: Reg::Rcx,
+        });
+        a.inst(Inst::Ret);
+        let an = analyze(a);
+        assert_eq!(
+            an.verdict_at(0x1005),
+            Some(Verdict::Unsafe(UnsafeReason::RcxLiveAfterSite))
+        );
+    }
+
+    #[test]
+    fn register_copied_number_is_unknown() {
+        let mut a = Assembler::new(0x1000);
+        a.label("w").unwrap();
+        a.inst(Inst::MovRegReg64 {
+            dst: Reg::Rax,
+            src: Reg::Rdi,
+        });
+        a.inst(Inst::Syscall); // 0x1003
+        a.inst(Inst::Ret);
+        let an = analyze(a);
+        assert_eq!(
+            an.verdict_at(0x1003),
+            Some(Verdict::Unknown(UnknownReason::NumberNotConstant))
+        );
+    }
+
+    #[test]
+    fn report_tally_counts_by_verdict() {
+        let mut a = Assembler::new(0x1000);
+        a.label("safe").unwrap();
+        a.inst(Inst::MovImm32 {
+            reg: Reg::Rax,
+            imm: 1,
+        });
+        a.inst(Inst::Syscall);
+        a.inst(Inst::Ret);
+        a.label("unknown").unwrap();
+        a.inst(Inst::MovRegReg64 {
+            dst: Reg::Rax,
+            src: Reg::Rdi,
+        });
+        a.inst(Inst::Syscall);
+        a.inst(Inst::Ret);
+        let an = analyze(a);
+        assert_eq!(an.report().tally(), (1, 0, 1));
+        assert!(an.report().to_string().contains("2 sites"));
+    }
+}

@@ -1,0 +1,203 @@
+//! End-to-end verification of whole synthetic binaries (the acceptance
+//! scenarios from the analyzer's design): a clean library proves `Safe`
+//! at every site, and a constructed interior-jump-target binary is
+//! flagged `Unsafe` at exactly the poisoned site.
+
+use xc_isa::asm::Assembler;
+use xc_isa::image::BinaryImage;
+use xc_isa::inst::{Cond, Inst, Reg};
+use xc_verify::{SiteKind, UnknownReason, UnsafeReason, Verdict, Verifier};
+
+/// A small synthetic libc: one wrapper of every patchable shape, padded
+/// between functions like a linker would.
+fn clean_library() -> BinaryImage {
+    let mut a = Assembler::new(0x40_0000);
+    // glibc small wrapper (7-byte pattern).
+    a.label("__read").unwrap();
+    a.inst(Inst::MovImm32 {
+        reg: Reg::Rax,
+        imm: 0,
+    });
+    a.inst(Inst::Syscall);
+    a.inst(Inst::Ret);
+    a.align(16);
+    // glibc large wrapper (9-byte pattern).
+    a.label("__rt_sigreturn").unwrap();
+    a.inst(Inst::MovImm32SxR64 {
+        reg: Reg::Rax,
+        imm: 15,
+    });
+    a.inst(Inst::Syscall);
+    a.inst(Inst::Ret);
+    a.align(16);
+    // Go-style stack-number wrapper.
+    a.label("syscall_Syscall").unwrap();
+    a.inst(Inst::LoadRspDisp8R64 {
+        reg: Reg::Rax,
+        disp: 8,
+    });
+    a.inst(Inst::Syscall);
+    a.inst(Inst::Ret);
+    a.align(16);
+    // libpthread-style cancellable wrapper: intra-region conditional.
+    a.label("__close_cancellable").unwrap();
+    a.inst(Inst::MovImm32 {
+        reg: Reg::Rax,
+        imm: 3,
+    });
+    a.inst(Inst::TestEaxEax);
+    a.jcc_to(Cond::E, "close_do");
+    a.inst(Inst::Nop);
+    a.label("close_do").unwrap();
+    a.inst(Inst::Syscall);
+    a.inst(Inst::Ret);
+    a.finish().unwrap()
+}
+
+#[test]
+fn clean_library_proves_every_site_safe() {
+    let image = clean_library();
+    let analysis = Verifier::new().analyze(&image);
+    let report = analysis.report();
+    assert_eq!(report.sites.len(), 4);
+    let (safe, unsafe_, unknown) = report.tally();
+    assert_eq!(
+        (safe, unsafe_, unknown),
+        (4, 0, 0),
+        "expected all sites safe:\n{report}"
+    );
+    // The Go wrapper is recognized as the stack-dispatch shape.
+    let go_syscall = image.symbol("syscall_Syscall").unwrap() + 5;
+    assert_eq!(report.site(go_syscall).unwrap().kind, SiteKind::StackNumber);
+    // The cancellable wrapper's number and definition site are recovered.
+    let close = report.site(image.symbol("close_do").unwrap()).unwrap();
+    assert_eq!(close.number, Some(3));
+    assert_eq!(
+        close.mov_addr,
+        Some(image.symbol("__close_cancellable").unwrap())
+    );
+}
+
+/// The same library with one poisoned wrapper: a helper elsewhere in the
+/// image jumps straight to the wrapper's `syscall`, skipping the `mov`.
+/// A linear scanner still sees `mov …; nop; syscall` and would happily
+/// detour the whole region — breaking the side entrance.
+fn poisoned_library() -> (BinaryImage, u64) {
+    let mut a = Assembler::new(0x40_0000);
+    a.label("__read").unwrap();
+    a.inst(Inst::MovImm32 {
+        reg: Reg::Rax,
+        imm: 0,
+    });
+    a.inst(Inst::Syscall);
+    a.inst(Inst::Ret);
+    a.align(16);
+    // The victim: a wrapper whose interior is also a jump target.
+    a.label("__write").unwrap();
+    a.inst(Inst::MovImm32 {
+        reg: Reg::Rax,
+        imm: 1,
+    });
+    a.label("__write_interior").unwrap();
+    a.inst(Inst::Nop);
+    a.inst(Inst::Syscall);
+    a.inst(Inst::Ret);
+    a.align(16);
+    // The poisoner: tail-jumps into the victim's interior with its own
+    // number already in rax.
+    a.label("__write_nocheck").unwrap();
+    a.inst(Inst::MovImm32 {
+        reg: Reg::Rax,
+        imm: 1,
+    });
+    a.jmp_to("__write_interior");
+    let image = a.finish().unwrap();
+    let syscall_addr = image.symbol("__write_interior").unwrap() + 1;
+    (image, syscall_addr)
+}
+
+#[test]
+fn interior_jump_target_binary_is_flagged_unsafe() {
+    let (image, victim_syscall) = poisoned_library();
+    let analysis = Verifier::new().analyze(&image);
+    let interior = image.symbol("__write_interior").unwrap();
+    assert_eq!(
+        analysis.verdict_at(victim_syscall),
+        Some(Verdict::Unsafe(UnsafeReason::InteriorJumpTarget {
+            target: interior
+        }))
+    );
+    // The clean wrapper in the same image is unaffected.
+    let read_syscall = image.symbol("__read").unwrap() + 5;
+    assert_eq!(analysis.verdict_at(read_syscall), Some(Verdict::Safe));
+}
+
+#[test]
+fn branch_landing_mid_instruction_yields_unknown_not_safe() {
+    // The decoder ambiguity case: a jump into the immediate of the mov.
+    // The bytes around the "hidden" syscall have two valid readings, so
+    // the verifier must refuse to certify the enclosing site.
+    let mut a = Assembler::new(0x1000);
+    a.label("f").unwrap();
+    // imm bytes decode as `syscall; nop; nop` when entered at +1.
+    a.inst(Inst::MovImm32 {
+        reg: Reg::Rax,
+        imm: u32::from_le_bytes([0x0f, 0x05, 0x90, 0x90]),
+    });
+    a.inst(Inst::Syscall); // the sweep-visible site at 0x1005
+    a.inst(Inst::Ret);
+    a.label("evil").unwrap();
+    a.inst(Inst::JmpRel32 { rel: 0 }); // patched below to hit 0x1001
+    let image = a.finish().unwrap();
+    let evil = image.symbol("evil").unwrap();
+    let mut bytes = image
+        .read_bytes(image.base(), image.len())
+        .unwrap()
+        .to_vec();
+    let rel = (0x1001i64 - (evil as i64 + 5)) as i32;
+    let off = (evil - image.base()) as usize;
+    bytes[off + 1..off + 5].copy_from_slice(&rel.to_le_bytes());
+    let mut poisoned = BinaryImage::new(image.base(), bytes);
+    poisoned.add_symbol("f", 0x1000);
+    poisoned.add_symbol("evil", evil);
+
+    let analysis = Verifier::new().analyze(&poisoned);
+    assert_eq!(
+        analysis.verdict_at(0x1005),
+        Some(Verdict::Unknown(UnknownReason::OverlappingDecode {
+            at: 0x1001
+        }))
+    );
+}
+
+#[test]
+fn rcx_consumer_after_syscall_is_flagged() {
+    // A hand-written assembly routine that (incorrectly, but legally)
+    // reads the %rip that `syscall` left in %rcx.
+    let mut a = Assembler::new(0x1000);
+    a.label("probe_rip").unwrap();
+    a.inst(Inst::MovImm32 {
+        reg: Reg::Rax,
+        imm: 39,
+    });
+    a.inst(Inst::Syscall);
+    a.inst(Inst::MovRegReg64 {
+        dst: Reg::Rax,
+        src: Reg::Rcx,
+    });
+    a.inst(Inst::Ret);
+    let analysis = Verifier::new().analyze(&a.finish().unwrap());
+    assert_eq!(
+        analysis.verdict_at(0x1005),
+        Some(Verdict::Unsafe(UnsafeReason::RcxLiveAfterSite))
+    );
+}
+
+#[test]
+fn report_display_renders_every_site() {
+    let image = clean_library();
+    let rendered = Verifier::new().analyze(&image).report().to_string();
+    assert!(rendered.contains("4 sites: 4 safe, 0 unsafe, 0 unknown"));
+    assert!(rendered.contains("[stack]"));
+    assert!(rendered.contains("[immediate]"));
+}

@@ -152,11 +152,7 @@ pub fn figure3_profiles() -> Vec<RequestProfile> {
 }
 
 /// Convenience: service time of a profile on a platform.
-pub fn service_time(
-    profile: &RequestProfile,
-    platform: &Platform,
-    costs: &CostModel,
-) -> Nanos {
+pub fn service_time(profile: &RequestProfile, platform: &Platform, costs: &CostModel) -> Nanos {
     profile.service_time(platform, costs)
 }
 
@@ -203,7 +199,12 @@ mod tests {
             let gv = profile
                 .service_time(&Platform::gvisor(CloudEnv::GoogleGce, true), &costs)
                 .as_nanos() as f64;
-            assert!(gv / docker > 2.0, "{}: gVisor only {}x", profile.name, gv / docker);
+            assert!(
+                gv / docker > 2.0,
+                "{}: gVisor only {}x",
+                profile.name,
+                gv / docker
+            );
         }
     }
 

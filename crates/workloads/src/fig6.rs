@@ -98,8 +98,11 @@ pub enum DbTopology {
 
 impl DbTopology {
     /// All topologies in figure order.
-    pub const ALL: [DbTopology; 3] =
-        [DbTopology::Shared, DbTopology::Dedicated, DbTopology::DedicatedMerged];
+    pub const ALL: [DbTopology; 3] = [
+        DbTopology::Shared,
+        DbTopology::Dedicated,
+        DbTopology::DedicatedMerged,
+    ];
 
     /// Figure legend label.
     pub fn label(self) -> &'static str {
@@ -140,11 +143,7 @@ fn query_latency(p: LibOsPlatform, merged: bool, costs: &CostModel) -> Nanos {
 /// Returns `None` for unsupported combinations: Graphene cannot run the
 /// PHP CGI server at all; a unikernel cannot merge two processes into
 /// one instance.
-pub fn fig6c_php_mysql(
-    p: LibOsPlatform,
-    topology: DbTopology,
-    costs: &CostModel,
-) -> Option<f64> {
+pub fn fig6c_php_mysql(p: LibOsPlatform, topology: DbTopology, costs: &CostModel) -> Option<f64> {
     if p == LibOsPlatform::Graphene {
         return None; // "Graphene does not support the PHP CGI server"
     }
@@ -163,9 +162,7 @@ pub fn fig6c_php_mysql(
     let db_capacity = 1.0 / mysql_query().service_time(&platform, costs).as_secs_f64();
     let total = match topology {
         DbTopology::Shared => (2.0 * per_server).min(db_capacity),
-        DbTopology::Dedicated | DbTopology::DedicatedMerged => {
-            2.0 * per_server.min(db_capacity)
-        }
+        DbTopology::Dedicated | DbTopology::DedicatedMerged => 2.0 * per_server.min(db_capacity),
     };
     Some(total)
 }
@@ -205,10 +202,12 @@ mod tests {
     fn fig6c_support_matrix() {
         let costs = c();
         assert!(fig6c_php_mysql(LibOsPlatform::Graphene, DbTopology::Shared, &costs).is_none());
-        assert!(
-            fig6c_php_mysql(LibOsPlatform::Unikernel, DbTopology::DedicatedMerged, &costs)
-                .is_none()
-        );
+        assert!(fig6c_php_mysql(
+            LibOsPlatform::Unikernel,
+            DbTopology::DedicatedMerged,
+            &costs
+        )
+        .is_none());
         for topo in DbTopology::ALL {
             assert!(
                 fig6c_php_mysql(LibOsPlatform::XContainer, topo, &costs).is_some(),
@@ -235,11 +234,14 @@ mod tests {
         // "X-Container throughput was about three times that of the
         // Unikernel Dedicated configuration."
         let costs = c();
-        let u_ded = fig6c_php_mysql(LibOsPlatform::Unikernel, DbTopology::Dedicated, &costs)
-            .unwrap();
-        let x_merged =
-            fig6c_php_mysql(LibOsPlatform::XContainer, DbTopology::DedicatedMerged, &costs)
-                .unwrap();
+        let u_ded =
+            fig6c_php_mysql(LibOsPlatform::Unikernel, DbTopology::Dedicated, &costs).unwrap();
+        let x_merged = fig6c_php_mysql(
+            LibOsPlatform::XContainer,
+            DbTopology::DedicatedMerged,
+            &costs,
+        )
+        .unwrap();
         let ratio = x_merged / u_ded;
         assert!((2.0..4.0).contains(&ratio), "merged/U-dedicated {ratio:.2}");
     }

@@ -47,8 +47,12 @@ impl RequestProfile {
     pub fn service_time(&self, platform: &Platform, costs: &CostModel) -> Nanos {
         let net = platform.net_stack(costs);
         let syscalls = platform.syscall_cost(costs) * self.syscalls;
-        let rx = net.recv_cost(costs, self.recv_bytes).scale(platform.net_work_multiplier());
-        let tx = net.send_cost(costs, self.send_bytes).scale(platform.net_work_multiplier());
+        let rx = net
+            .recv_cost(costs, self.recv_bytes)
+            .scale(platform.net_work_multiplier());
+        let tx = net
+            .send_cost(costs, self.send_bytes)
+            .scale(platform.net_work_multiplier());
         let kernel = self.kernel_work.scale(platform.kernel_ops_multiplier());
         let switches = platform.context_switch_cost(costs, 4) * self.process_switches;
         let coordination = platform.multiprocess_ipc_cost(costs) * self.coordination_events;
@@ -160,12 +164,22 @@ impl World for ClosedLoop {
                 let latency = (now - issued_at) + self.rtt;
                 self.latency.record_nanos(latency);
                 // The client issues its next request after a wire RTT.
-                queue.schedule_in(self.rtt, Ev::Arrive { issued_at: now + self.rtt });
+                queue.schedule_in(
+                    self.rtt,
+                    Ev::Arrive {
+                        issued_at: now + self.rtt,
+                    },
+                );
                 // Pull the next queued request, if any.
                 if let Some(waiting_since) = self.waiting.pop_front() {
                     self.queue_depth -= 1;
                     let st = self.sample_service();
-                    queue.schedule_in(st, Ev::Finish { issued_at: waiting_since });
+                    queue.schedule_in(
+                        st,
+                        Ev::Finish {
+                            issued_at: waiting_since,
+                        },
+                    );
                 } else {
                     self.busy -= 1;
                 }
@@ -201,7 +215,8 @@ pub fn run_closed_loop(
     for i in 0..connections {
         // Stagger initial arrivals across one RTT.
         let offset = rtt * u64::from(i) / u64::from(connections.max(1));
-        sim.queue_mut().schedule_at(offset, Ev::Arrive { issued_at: offset });
+        sim.queue_mut()
+            .schedule_at(offset, Ev::Arrive { issued_at: offset });
     }
     sim.run_until(duration);
     let world = sim.world();
@@ -230,7 +245,12 @@ mod tests {
     }
 
     fn server(platform: Platform, workers: u32) -> ServerModel {
-        ServerModel { platform, profile: profile(), workers, cores: 4 }
+        ServerModel {
+            platform,
+            profile: profile(),
+            workers,
+            cores: 4,
+        }
     }
 
     #[test]
@@ -240,7 +260,10 @@ mod tests {
         let docker = p.service_time(&Platform::docker(CloudEnv::AmazonEc2, true), &costs);
         let xc = p.service_time(&Platform::x_container(CloudEnv::AmazonEc2, true), &costs);
         let gv = p.service_time(&Platform::gvisor(CloudEnv::AmazonEc2, true), &costs);
-        assert!(xc < docker, "X-Container must serve faster than patched Docker");
+        assert!(
+            xc < docker,
+            "X-Container must serve faster than patched Docker"
+        );
         assert!(gv > docker * 2, "gVisor interception dominates");
     }
 

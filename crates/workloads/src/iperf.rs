@@ -25,7 +25,9 @@ impl IperfBench {
     pub fn throughput_bps(platform: &Platform, costs: &CostModel) -> f64 {
         let net = platform.net_stack(costs);
         let per_send = platform.syscall_cost(costs)
-            + net.send_cost(costs, SEND_SIZE).scale(platform.net_work_multiplier());
+            + net
+                .send_cost(costs, SEND_SIZE)
+                .scale(platform.net_work_multiplier());
         let per_send = platform.environment_adjust(per_send);
         let cpu_bound = SEND_SIZE as f64 * 8.0 / per_send.as_secs_f64();
         cpu_bound.min(LINE_RATE_BPS)

@@ -42,12 +42,22 @@ pub struct KvWorkload {
 impl KvWorkload {
     /// memtier's 1:10 SET:GET mix over 10 000 keys (§5.3).
     pub fn memtier() -> Self {
-        KvWorkload { keys: 10_000, theta: 0.0, read_fraction: 10.0 / 11.0, value_bytes: 100 }
+        KvWorkload {
+            keys: 10_000,
+            theta: 0.0,
+            read_fraction: 10.0 / 11.0,
+            value_bytes: 100,
+        }
     }
 
     /// YCSB workload B (95% reads, Zipfian) as used for MongoDB.
     pub fn ycsb_b() -> Self {
-        KvWorkload { keys: 100_000, theta: 0.9, read_fraction: 0.95, value_bytes: 1_000 }
+        KvWorkload {
+            keys: 100_000,
+            theta: 0.9,
+            read_fraction: 0.95,
+            value_bytes: 1_000,
+        }
     }
 
     /// Samples the next operation.
@@ -125,7 +135,11 @@ pub fn run_kv(
 
     KvRunResult {
         throughput_ops: ops as f64 / total.as_secs_f64(),
-        hit_ratio: if gets == 0 { 0.0 } else { hits as f64 / gets as f64 },
+        hit_ratio: if gets == 0 {
+            0.0
+        } else {
+            hits as f64 / gets as f64
+        },
         latency,
         resident_keys: store.len(),
     }
@@ -160,7 +174,10 @@ mod tests {
         let ycsb = run(&p, &KvWorkload::ycsb_b());
         let uniform = run(
             &p,
-            &KvWorkload { theta: 0.0, ..KvWorkload::ycsb_b() },
+            &KvWorkload {
+                theta: 0.0,
+                ..KvWorkload::ycsb_b()
+            },
         );
         assert!(
             ycsb.hit_ratio > uniform.hit_ratio,
@@ -172,7 +189,10 @@ mod tests {
 
     #[test]
     fn x_container_outpaces_docker_on_memtier() {
-        let docker = run(&Platform::docker(CloudEnv::AmazonEc2, true), &KvWorkload::memtier());
+        let docker = run(
+            &Platform::docker(CloudEnv::AmazonEc2, true),
+            &KvWorkload::memtier(),
+        );
         let xc = run(
             &Platform::x_container(CloudEnv::AmazonEc2, true),
             &KvWorkload::memtier(),

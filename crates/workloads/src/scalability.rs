@@ -146,9 +146,9 @@ pub fn per_request_cpu(config: ScalabilityConfig, n: u64, costs: &CostModel) -> 
     let cores = u64::from(CloudEnv::LocalCluster.cores());
     let switch = match config {
         ScalabilityConfig::Docker => platform.context_switch_cost(costs, 2 * n),
-        ScalabilityConfig::XContainer
-        | ScalabilityConfig::XenPv
-        | ScalabilityConfig::XenHvm => platform.context_switch_cost(costs, 4),
+        ScalabilityConfig::XContainer | ScalabilityConfig::XenPv | ScalabilityConfig::XenHvm => {
+            platform.context_switch_cost(costs, 4)
+        }
     };
     let mut total = base + switch * SWITCHES_PER_REQUEST;
 
@@ -170,8 +170,7 @@ pub fn per_request_cpu(config: ScalabilityConfig, n: u64, costs: &CostModel) -> 
             }
         }
         ScalabilityConfig::XenHvm => {
-            total += DOM0_IO_TAX + DOUBLE_STACK_TAX + HVM_IO_EXITS
-                + (costs.vmexit * 4); // 4 packets' worth of exits
+            total += DOM0_IO_TAX + DOUBLE_STACK_TAX + HVM_IO_EXITS + (costs.vmexit * 4); // 4 packets' worth of exits
             if n > cores {
                 total += platform.context_switch_cost(costs, n / cores);
             }
@@ -248,7 +247,11 @@ mod tests {
         let d = throughput(ScalabilityConfig::Docker, 400, &costs).unwrap();
         let x = throughput(ScalabilityConfig::XContainer, 400, &costs).unwrap();
         let gain = x / d - 1.0;
-        assert!((0.08..0.35).contains(&gain), "gain at 400: {:.1}%", gain * 100.0);
+        assert!(
+            (0.08..0.35).contains(&gain),
+            "gain at 400: {:.1}%",
+            gain * 100.0
+        );
     }
 
     #[test]
@@ -264,7 +267,10 @@ mod tests {
         let costs = c();
         let mid = throughput(ScalabilityConfig::XContainer, 100, &costs).unwrap();
         let tail = throughput(ScalabilityConfig::XContainer, 400, &costs).unwrap();
-        assert!((tail / mid - 1.0).abs() < 0.15, "mid {mid:.0} tail {tail:.0}");
+        assert!(
+            (tail / mid - 1.0).abs() < 0.15,
+            "mid {mid:.0} tail {tail:.0}"
+        );
     }
 
     #[test]

@@ -48,10 +48,7 @@ impl Fleet {
     fn try_start(&mut self, c: usize, queue: &mut EventQueue<Ev>) {
         let limit = self.per_container_limit;
         let state = &mut self.containers[c];
-        if state.waiting.is_empty()
-            || state.in_service >= limit
-            || self.busy_cores >= self.cores
-        {
+        if state.waiting.is_empty() || state.in_service >= limit || self.busy_cores >= self.cores {
             return;
         }
         state.waiting.pop_front();
@@ -63,7 +60,9 @@ impl Fleet {
     fn drain_core_queue(&mut self, queue: &mut EventQueue<Ev>) {
         // Hand freed cores to waiting containers in FIFO order.
         while self.busy_cores < self.cores {
-            let Some(c) = self.core_queue.pop_front() else { break };
+            let Some(c) = self.core_queue.pop_front() else {
+                break;
+            };
             let before = self.busy_cores;
             self.try_start(c, queue);
             if self.busy_cores == before {
@@ -120,7 +119,10 @@ pub fn des_throughput(
         busy_cores: 0,
         per_container_limit,
         containers: (0..n)
-            .map(|_| ContainerState { in_service: 0, waiting: VecDeque::new() })
+            .map(|_| ContainerState {
+                in_service: 0,
+                waiting: VecDeque::new(),
+            })
             .collect(),
         core_queue: VecDeque::new(),
         completed: 0,
@@ -177,8 +179,18 @@ mod tests {
     #[test]
     fn des_is_deterministic() {
         let costs = CostModel::skylake_cloud();
-        let a = des_throughput(ScalabilityConfig::XContainer, 40, Nanos::from_millis(100), &costs);
-        let b = des_throughput(ScalabilityConfig::XContainer, 40, Nanos::from_millis(100), &costs);
+        let a = des_throughput(
+            ScalabilityConfig::XContainer,
+            40,
+            Nanos::from_millis(100),
+            &costs,
+        );
+        let b = des_throughput(
+            ScalabilityConfig::XContainer,
+            40,
+            Nanos::from_millis(100),
+            &costs,
+        );
         assert_eq!(a, b);
     }
 
@@ -188,13 +200,22 @@ mod tests {
         // containers cannot exceed the core count.
         let costs = CostModel::skylake_cloud();
         let service = per_request_cpu(ScalabilityConfig::XContainer, 1, &costs);
-        let one = des_throughput(ScalabilityConfig::XContainer, 1, Nanos::from_millis(200), &costs);
+        let one = des_throughput(
+            ScalabilityConfig::XContainer,
+            1,
+            Nanos::from_millis(200),
+            &costs,
+        );
         let cap_one = 1.0 / service.as_secs_f64();
         assert!(one <= cap_one * 1.01, "one {one:.0} cap {cap_one:.0}");
 
         let service_many = per_request_cpu(ScalabilityConfig::XContainer, 200, &costs);
-        let many =
-            des_throughput(ScalabilityConfig::XContainer, 200, Nanos::from_millis(200), &costs);
+        let many = des_throughput(
+            ScalabilityConfig::XContainer,
+            200,
+            Nanos::from_millis(200),
+            &costs,
+        );
         let cap_many = 16.0 / service_many.as_secs_f64();
         assert!(many <= cap_many * 1.01, "many {many:.0} cap {cap_many:.0}");
     }

@@ -115,23 +115,25 @@ pub struct AppMeasurement {
 }
 
 impl AppProfile {
-    /// Builds the wrapper library for this app's site mix.
-    fn library(&self) -> BinaryImage {
+    /// Builds the wrapper library for this app's site mix — one
+    /// `wrapper_<index>` per [`SiteMix`] entry. Public so the
+    /// `verify_study` harness can run the static analyzer over the same
+    /// images the reduction study executes.
+    pub fn library(&self) -> BinaryImage {
         let specs: Vec<WrapperSpec> = self
             .sites
             .iter()
             .enumerate()
-            .map(|(index, s)| WrapperSpec { index, style: s.style, nr: s.nr })
+            .map(|(index, s)| WrapperSpec {
+                index,
+                style: s.style,
+                nr: s.nr,
+            })
             .collect();
         library_image(&specs)
     }
 
-    fn run(
-        &self,
-        template: &BinaryImage,
-        syscalls: u64,
-        rng: &mut Rng,
-    ) -> XContainerKernel {
+    fn run(&self, template: &BinaryImage, syscalls: u64, rng: &mut Rng) -> XContainerKernel {
         let weights: Vec<f64> = self.sites.iter().map(|s| s.weight).collect();
         let mut kernel = XContainerKernel::new();
         // Fresh process image: patches do not persist across exec unless
@@ -184,7 +186,11 @@ fn glibc_sites(weights: &[(u64, f64)]) -> Vec<SiteMix> {
     weights
         .iter()
         .map(|&(nr, weight)| SiteMix {
-            style: if nr < 256 { WrapperStyle::GlibcSmall } else { WrapperStyle::GlibcLarge },
+            style: if nr < 256 {
+                WrapperStyle::GlibcSmall
+            } else {
+                WrapperStyle::GlibcLarge
+            },
             nr,
             weight,
         })
@@ -192,15 +198,27 @@ fn glibc_sites(weights: &[(u64, f64)]) -> Vec<SiteMix> {
 }
 
 fn go_sites(weight: f64) -> SiteMix {
-    SiteMix { style: WrapperStyle::GoStack, nr: 0, weight }
+    SiteMix {
+        style: WrapperStyle::GoStack,
+        nr: 0,
+        weight,
+    }
 }
 
 fn cancellable(nr: u64, weight: f64) -> SiteMix {
-    SiteMix { style: WrapperStyle::PthreadCancellable, nr, weight }
+    SiteMix {
+        style: WrapperStyle::PthreadCancellable,
+        nr,
+        weight,
+    }
 }
 
 fn indirect(weight: f64) -> SiteMix {
-    SiteMix { style: WrapperStyle::IndirectNumber, nr: 39, weight }
+    SiteMix {
+        style: WrapperStyle::IndirectNumber,
+        nr: 39,
+        weight,
+    }
 }
 
 /// The twelve Table 1 rows.
@@ -241,11 +259,14 @@ pub fn table1_profiles() -> Vec<AppProfile> {
             paper_reduction: 100.0,
             paper_manual: None,
             // Go funnels everything through syscall.Syscall (case 2).
-            sites: vec![go_sites(0.85), SiteMix {
-                style: WrapperStyle::GoStack,
-                nr: 0,
-                weight: 0.15,
-            }],
+            sites: vec![
+                go_sites(0.85),
+                SiteMix {
+                    style: WrapperStyle::GoStack,
+                    nr: 0,
+                    weight: 0.15,
+                },
+            ],
             syscalls_per_process: None,
             concurrency: ConcurrencyModel::MultiThreaded,
         },
@@ -343,9 +364,20 @@ pub fn table1_profiles() -> Vec<AppProfile> {
             // All-glibc sites, but a fresh cc/ld process every ~300
             // syscalls re-traps each of the ~14 hot sites once.
             sites: glibc_sites(&[
-                (0, 0.18), (1, 0.14), (2, 0.10), (3, 0.10), (9, 0.08),
-                (10, 0.06), (11, 0.06), (12, 0.05), (21, 0.05), (4, 0.05),
-                (5, 0.04), (257, 0.04), (262, 0.03), (8, 0.02),
+                (0, 0.18),
+                (1, 0.14),
+                (2, 0.10),
+                (3, 0.10),
+                (9, 0.08),
+                (10, 0.06),
+                (11, 0.06),
+                (12, 0.05),
+                (21, 0.05),
+                (4, 0.05),
+                (5, 0.04),
+                (257, 0.04),
+                (262, 0.03),
+                (8, 0.02),
             ]),
             syscalls_per_process: Some(300),
             concurrency: ConcurrencyModel::ProcessPerTask,
@@ -418,7 +450,11 @@ mod tests {
     fn weights_sum_to_one() {
         for p in table1_profiles() {
             let total: f64 = p.sites.iter().map(|s| s.weight).sum();
-            assert!((total - 1.0).abs() < 1e-6, "{}: weights sum {total}", p.name);
+            assert!(
+                (total - 1.0).abs() < 1e-6,
+                "{}: weights sum {total}",
+                p.name
+            );
         }
     }
 
@@ -443,7 +479,11 @@ mod tests {
     #[test]
     fn measured_reductions_track_paper_rows() {
         for (p, m) in run_table1(RUNS, 7) {
-            let tolerance = if p.syscalls_per_process.is_some() { 1.5 } else { 1.0 };
+            let tolerance = if p.syscalls_per_process.is_some() {
+                1.5
+            } else {
+                1.0
+            };
             assert!(
                 (m.online_reduction - p.paper_reduction).abs() < tolerance,
                 "{}: measured {:.2}% vs paper {:.2}%",
@@ -461,7 +501,11 @@ mod tests {
             .find(|p| p.name == "MySQL")
             .unwrap();
         let m = mysql.measure(RUNS, 3);
-        assert!((m.online_reduction - 44.6).abs() < 2.0, "online {:.2}", m.online_reduction);
+        assert!(
+            (m.online_reduction - 44.6).abs() < 2.0,
+            "online {:.2}",
+            m.online_reduction
+        );
         assert!(
             (m.offline_reduction - 92.2).abs() < 2.0,
             "offline {:.2}",

@@ -56,8 +56,10 @@ mod tests {
     fn x_container_loses_context_switching() {
         // §5.4: page-table operations must be done in the X-Kernel.
         let costs = CostModel::skylake_cloud();
-        let docker = ContextSwitchBench::score(&Platform::docker(CloudEnv::AmazonEc2, true), &costs);
-        let xc = ContextSwitchBench::score(&Platform::x_container(CloudEnv::AmazonEc2, true), &costs);
+        let docker =
+            ContextSwitchBench::score(&Platform::docker(CloudEnv::AmazonEc2, true), &costs);
+        let xc =
+            ContextSwitchBench::score(&Platform::x_container(CloudEnv::AmazonEc2, true), &costs);
         let rel = xc / docker;
         assert!((0.4..1.0).contains(&rel), "ctx switch relative {rel}");
     }
@@ -65,7 +67,8 @@ mod tests {
     #[test]
     fn unpatched_docker_fastest() {
         let costs = CostModel::skylake_cloud();
-        let patched = ContextSwitchBench::score(&Platform::docker(CloudEnv::AmazonEc2, true), &costs);
+        let patched =
+            ContextSwitchBench::score(&Platform::docker(CloudEnv::AmazonEc2, true), &costs);
         let unpatched =
             ContextSwitchBench::score(&Platform::docker(CloudEnv::AmazonEc2, false), &costs);
         assert!(unpatched > patched);
@@ -74,8 +77,13 @@ mod tests {
     #[test]
     fn pv_worst_of_the_vm_family() {
         let costs = CostModel::skylake_cloud();
-        let xen = ContextSwitchBench::score(&Platform::xen_container(CloudEnv::AmazonEc2, true), &costs);
-        let xc = ContextSwitchBench::score(&Platform::x_container(CloudEnv::AmazonEc2, true), &costs);
-        assert!(xen < xc, "full-flush PV switches must trail global-bit X switches");
+        let xen =
+            ContextSwitchBench::score(&Platform::xen_container(CloudEnv::AmazonEc2, true), &costs);
+        let xc =
+            ContextSwitchBench::score(&Platform::x_container(CloudEnv::AmazonEc2, true), &costs);
+        assert!(
+            xen < xc,
+            "full-flush PV switches must trail global-bit X switches"
+        );
     }
 }

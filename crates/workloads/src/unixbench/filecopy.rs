@@ -27,7 +27,8 @@ impl FileCopyBench {
         fs.create("/src").expect("fresh fs");
         fs.create("/dst").expect("fresh fs");
         let src = fs.open("/src").expect("open src");
-        fs.write(src, &vec![0xabu8; FILE_SIZE], costs).expect("seed src");
+        fs.write(src, &vec![0xabu8; FILE_SIZE], costs)
+            .expect("seed src");
         fs.seek(src, 0).expect("rewind");
         let dst = fs.open("/dst").expect("open dst");
 

@@ -111,8 +111,16 @@ mod tests {
         let xc = Platform::x_container(CloudEnv::AmazonEc2, true);
         let rel = |b: MicroBench| b.score(&xc, &costs) / b.score(&docker, &costs);
 
-        assert!(rel(MicroBench::Execl) > 1.0, "execl {}", rel(MicroBench::Execl));
-        assert!(rel(MicroBench::FileCopy) > 1.5, "filecopy {}", rel(MicroBench::FileCopy));
+        assert!(
+            rel(MicroBench::Execl) > 1.0,
+            "execl {}",
+            rel(MicroBench::Execl)
+        );
+        assert!(
+            rel(MicroBench::FileCopy) > 1.5,
+            "filecopy {}",
+            rel(MicroBench::FileCopy)
+        );
         assert!(
             rel(MicroBench::PipeThroughput) > 1.5,
             "pipe {}",

@@ -49,8 +49,10 @@ mod tests {
     #[test]
     fn x_container_wins_pipe() {
         let costs = CostModel::skylake_cloud();
-        let docker = PipeThroughputBench::score(&Platform::docker(CloudEnv::AmazonEc2, true), &costs);
-        let xc = PipeThroughputBench::score(&Platform::x_container(CloudEnv::AmazonEc2, true), &costs);
+        let docker =
+            PipeThroughputBench::score(&Platform::docker(CloudEnv::AmazonEc2, true), &costs);
+        let xc =
+            PipeThroughputBench::score(&Platform::x_container(CloudEnv::AmazonEc2, true), &costs);
         let rel = xc / docker;
         assert!((1.5..5.0).contains(&rel), "pipe relative {rel}");
     }
@@ -58,7 +60,8 @@ mod tests {
     #[test]
     fn gvisor_pipe_collapses() {
         let costs = CostModel::skylake_cloud();
-        let docker = PipeThroughputBench::score(&Platform::docker(CloudEnv::AmazonEc2, true), &costs);
+        let docker =
+            PipeThroughputBench::score(&Platform::docker(CloudEnv::AmazonEc2, true), &costs);
         let gv = PipeThroughputBench::score(&Platform::gvisor(CloudEnv::AmazonEc2, true), &costs);
         assert!(gv < docker * 0.2);
     }

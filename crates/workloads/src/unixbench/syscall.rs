@@ -23,8 +23,8 @@ impl SystemCallBench {
     pub fn score(platform: &Platform, costs: &CostModel) -> f64 {
         let dispatch = platform.syscall_cost(costs);
         let per_call = dispatch + costs.syscall_body;
-        let per_iteration = platform
-            .environment_adjust(per_call * CALLS_PER_ITERATION + costs.loop_iteration);
+        let per_iteration =
+            platform.environment_adjust(per_call * CALLS_PER_ITERATION + costs.loop_iteration);
         1.0 / per_iteration.as_secs_f64()
     }
 }
@@ -60,7 +60,8 @@ mod tests {
     fn xen_container_below_docker() {
         let costs = CostModel::skylake_cloud();
         let docker = SystemCallBench::score(&Platform::docker(CloudEnv::AmazonEc2, true), &costs);
-        let xen = SystemCallBench::score(&Platform::xen_container(CloudEnv::AmazonEc2, true), &costs);
+        let xen =
+            SystemCallBench::score(&Platform::xen_container(CloudEnv::AmazonEc2, true), &costs);
         assert!(xen < docker);
     }
 

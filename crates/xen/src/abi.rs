@@ -66,9 +66,7 @@ impl XenAbi {
                     + costs.page_table_switch
                     + costs.tlb_flush_with_refill(USER_HOT_PAGES)
             }
-            XenAbi::XKernel => {
-                costs.syscall_trap + costs.vsyscall_dispatch + costs.iret_userspace
-            }
+            XenAbi::XKernel => costs.syscall_trap + costs.vsyscall_dispatch + costs.iret_userspace,
         }
     }
 
@@ -92,9 +90,7 @@ impl XenAbi {
     /// interrupt handlers without trapping into the X-Kernel" (§4.2).
     pub fn event_delivery_cost(self, costs: &CostModel) -> Nanos {
         match self {
-            XenAbi::XenPv => {
-                costs.hypercall + costs.upcall_delivery + costs.iret_hypercall
-            }
+            XenAbi::XenPv => costs.hypercall + costs.upcall_delivery + costs.iret_hypercall,
             XenAbi::XKernel => costs.vsyscall_dispatch + costs.iret_userspace,
         }
     }
@@ -110,9 +106,7 @@ impl XenAbi {
     pub fn process_switch_cost(self, costs: &CostModel) -> Nanos {
         let base = costs.hypercall * SWITCH_HYPERCALLS + costs.page_table_switch;
         match self {
-            XenAbi::XenPv => {
-                base + costs.tlb_flush_with_refill(KERNEL_HOT_PAGES + USER_HOT_PAGES)
-            }
+            XenAbi::XenPv => base + costs.tlb_flush_with_refill(KERNEL_HOT_PAGES + USER_HOT_PAGES),
             XenAbi::XKernel => base + costs.tlb_flush_with_refill(USER_HOT_PAGES),
         }
     }
@@ -189,8 +183,7 @@ mod tests {
         let c = costs();
         // Cross-container switches lose the global-bit advantage.
         assert!(
-            XenAbi::XKernel.container_switch_cost(&c)
-                > XenAbi::XKernel.process_switch_cost(&c)
+            XenAbi::XKernel.container_switch_cost(&c) > XenAbi::XKernel.process_switch_cost(&c)
         );
         assert_eq!(
             XenAbi::XKernel.container_switch_cost(&c),

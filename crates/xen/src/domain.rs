@@ -150,7 +150,13 @@ impl Machine {
         self.used_memory_mb += memory_mb;
         self.domains.insert(
             id,
-            Domain { id, name: name.to_owned(), kind, memory_mb, vcpus },
+            Domain {
+                id,
+                name: name.to_owned(),
+                kind,
+                memory_mb,
+                vcpus,
+            },
         );
         Ok(id)
     }
@@ -204,7 +210,9 @@ mod tests {
     #[test]
     fn create_and_destroy_tracks_memory() {
         let mut m = Machine::new(1024);
-        let a = m.create_domain("a", DomainKind::XContainer, 128, 1).unwrap();
+        let a = m
+            .create_domain("a", DomainKind::XContainer, 128, 1)
+            .unwrap();
         let b = m.create_domain("b", DomainKind::PvGuest, 512, 1).unwrap();
         assert_eq!(m.free_memory_mb(), 384);
         assert_eq!(m.domain_count(), 2);
@@ -218,8 +226,16 @@ mod tests {
     fn out_of_memory_rejected() {
         let mut m = Machine::new(256);
         m.create_domain("a", DomainKind::PvGuest, 200, 1).unwrap();
-        let err = m.create_domain("b", DomainKind::PvGuest, 100, 1).unwrap_err();
-        assert_eq!(err, XenError::OutOfMemory { requested_mb: 100, available_mb: 56 });
+        let err = m
+            .create_domain("b", DomainKind::PvGuest, 100, 1)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            XenError::OutOfMemory {
+                requested_mb: 100,
+                available_mb: 56
+            }
+        );
     }
 
     #[test]

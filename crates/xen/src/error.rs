@@ -60,7 +60,10 @@ impl fmt::Display for XenError {
             XenError::BadPageTableUpdate { reason } => {
                 write!(f, "page table update rejected: {reason}")
             }
-            XenError::OutOfMemory { requested_mb, available_mb } => write!(
+            XenError::OutOfMemory {
+                requested_mb,
+                available_mb,
+            } => write!(
                 f,
                 "out of memory: requested {requested_mb} MiB, {available_mb} MiB available"
             ),
@@ -77,10 +80,15 @@ mod tests {
 
     #[test]
     fn display_forms() {
-        assert!(XenError::NoSuchDomain(DomainId(3)).to_string().contains('3'));
-        assert!(XenError::NoFreePorts.to_string().contains("ports"));
-        assert!(XenError::OutOfMemory { requested_mb: 512, available_mb: 100 }
+        assert!(XenError::NoSuchDomain(DomainId(3))
             .to_string()
-            .contains("512"));
+            .contains('3'));
+        assert!(XenError::NoFreePorts.to_string().contains("ports"));
+        assert!(XenError::OutOfMemory {
+            requested_mb: 512,
+            available_mb: 100
+        }
+        .to_string()
+        .contains("512"));
     }
 }

@@ -21,10 +21,7 @@ enum PortState {
     /// Allocated, awaiting an interdomain bind.
     Unbound,
     /// Connected to a remote (domain, port).
-    Bound {
-        peer: DomainId,
-        peer_port: u32,
-    },
+    Bound { peer: DomainId, peer_port: u32 },
 }
 
 #[derive(Debug, Clone)]
@@ -86,7 +83,11 @@ impl EventChannels {
         table.next += 1;
         table.ports.insert(
             port,
-            Port { state: PortState::Unbound, pending: false, masked: false },
+            Port {
+                state: PortState::Unbound,
+                pending: false,
+                masked: false,
+            },
         );
         Ok(port)
     }
@@ -115,8 +116,14 @@ impl EventChannels {
                 return Err(XenError::BadEventPort(port));
             }
         }
-        self.port_mut(a, a_port)?.state = PortState::Bound { peer: b, peer_port: b_port };
-        self.port_mut(b, b_port)?.state = PortState::Bound { peer: a, peer_port: a_port };
+        self.port_mut(a, a_port)?.state = PortState::Bound {
+            peer: b,
+            peer_port: b_port,
+        };
+        self.port_mut(b, b_port)?.state = PortState::Bound {
+            peer: a,
+            peer_port: a_port,
+        };
         Ok(())
     }
 
@@ -265,10 +272,7 @@ mod tests {
     #[test]
     fn bad_port_rejected() {
         let mut ev = EventChannels::new();
-        assert_eq!(
-            ev.send(DomainId(9), 0),
-            Err(XenError::BadEventPort(0))
-        );
+        assert_eq!(ev.send(DomainId(9), 0), Err(XenError::BadEventPort(0)));
         assert_eq!(
             ev.set_masked(DomainId(9), 7, true),
             Err(XenError::BadEventPort(7))

@@ -85,15 +85,27 @@ impl GrantTable {
         self.next_ref += 1;
         self.grants.insert(
             gref,
-            Grant { granter, grantee, frame, access, mapped: false },
+            Grant {
+                granter,
+                grantee,
+                frame,
+                access,
+                mapped: false,
+            },
         );
         Ok(gref)
     }
 
     fn get_for(&mut self, caller: DomainId, gref: u32) -> Result<&mut Grant, XenError> {
-        let grant = self.grants.get_mut(&gref).ok_or(XenError::BadGrantRef(gref))?;
+        let grant = self
+            .grants
+            .get_mut(&gref)
+            .ok_or(XenError::BadGrantRef(gref))?;
         if grant.grantee != caller {
-            return Err(XenError::PermissionDenied { caller, op: "grant access" });
+            return Err(XenError::PermissionDenied {
+                caller,
+                op: "grant access",
+            });
         }
         Ok(grant)
     }
@@ -149,7 +161,10 @@ impl GrantTable {
     pub fn revoke(&mut self, caller: DomainId, gref: u32) -> Result<(), XenError> {
         let grant = self.grants.get(&gref).ok_or(XenError::BadGrantRef(gref))?;
         if grant.granter != caller {
-            return Err(XenError::PermissionDenied { caller, op: "grant revoke" });
+            return Err(XenError::PermissionDenied {
+                caller,
+                op: "grant revoke",
+            });
         }
         if grant.mapped {
             return Err(XenError::BadGrantRef(gref));

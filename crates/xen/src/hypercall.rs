@@ -157,7 +157,12 @@ impl HypervisorAccounting {
 
 impl fmt::Display for HypervisorAccounting {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "hypervisor crossings ({} total, {}):", self.total_calls(), self.total_time)?;
+        writeln!(
+            f,
+            "hypervisor crossings ({} total, {}):",
+            self.total_calls(),
+            self.total_time
+        )?;
         for (name, count, time) in self.entries() {
             writeln!(f, "  {name:<20} {count:>10}  {time}")?;
         }

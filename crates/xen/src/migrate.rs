@@ -88,7 +88,10 @@ const HANDOFF: Nanos = Nanos::from_millis(3);
 ///
 /// Panics if any parameter is non-positive.
 pub fn plan_precopy(p: MigrationParams) -> MigrationPlan {
-    assert!(p.memory_mb > 0.0 && p.link_mb_s > 0.0, "degenerate migration");
+    assert!(
+        p.memory_mb > 0.0 && p.link_mb_s > 0.0,
+        "degenerate migration"
+    );
     assert!(p.dirty_rate_mb_s >= 0.0 && p.downtime_threshold_mb > 0.0);
 
     let mut rounds = Vec::new();
@@ -98,7 +101,10 @@ pub fn plan_precopy(p: MigrationParams) -> MigrationPlan {
 
     for _ in 0..p.max_rounds {
         let duration = Nanos::from_secs_f64(to_send / p.link_mb_s);
-        rounds.push(Round { sent_mb: to_send, duration });
+        rounds.push(Round {
+            sent_mb: to_send,
+            duration,
+        });
         total += duration;
         // Pages dirtied while this round was on the wire become the next
         // round's payload (capped at the whole footprint).
@@ -176,7 +182,11 @@ mod tests {
         let plan = plan_precopy(MigrationParams::x_container_default());
         assert!(plan.converged);
         assert!(plan.rounds.len() <= 3, "rounds {}", plan.rounds.len());
-        assert!(plan.downtime < Nanos::from_millis(10), "downtime {}", plan.downtime);
+        assert!(
+            plan.downtime < Nanos::from_millis(10),
+            "downtime {}",
+            plan.downtime
+        );
         // Rounds shrink geometrically.
         for pair in plan.rounds.windows(2) {
             assert!(pair[1].sent_mb < pair[0].sent_mb);
@@ -194,7 +204,10 @@ mod tests {
             Nanos::from_secs_f64(p0.downtime_threshold_mb / p0.link_mb_s) + HANDOFF;
         let mut last_total = Nanos::ZERO;
         for rate in [10.0, 100.0, 400.0, 900.0] {
-            let plan = plan_precopy(MigrationParams { dirty_rate_mb_s: rate, ..p0 });
+            let plan = plan_precopy(MigrationParams {
+                dirty_rate_mb_s: rate,
+                ..p0
+            });
             assert!(
                 plan.total_time >= last_total,
                 "rate {rate}: total {:?}",

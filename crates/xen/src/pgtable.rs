@@ -109,13 +109,17 @@ impl PageTables {
         self.spaces
             .remove(&id)
             .map(|_| ())
-            .ok_or(XenError::BadPageTableUpdate { reason: "unknown address space" })
+            .ok_or(XenError::BadPageTableUpdate {
+                reason: "unknown address space",
+            })
     }
 
     fn space_mut(&mut self, id: AddressSpaceId) -> Result<&mut Space, XenError> {
         self.spaces
             .get_mut(&id)
-            .ok_or(XenError::BadPageTableUpdate { reason: "unknown address space" })
+            .ok_or(XenError::BadPageTableUpdate {
+                reason: "unknown address space",
+            })
     }
 
     /// Registers `frame` as a page-table page of `space` (Xen "pins" it).
@@ -166,15 +170,13 @@ impl PageTables {
     /// # Errors
     ///
     /// Returns [`XenError::BadPageTableUpdate`] for unknown spaces.
-    pub fn switch_to(
-        &mut self,
-        pcpu: u32,
-        space: AddressSpaceId,
-    ) -> Result<SwitchKind, XenError> {
+    pub fn switch_to(&mut self, pcpu: u32, space: AddressSpaceId) -> Result<SwitchKind, XenError> {
         let new_domain = self
             .spaces
             .get(&space)
-            .ok_or(XenError::BadPageTableUpdate { reason: "unknown address space" })?
+            .ok_or(XenError::BadPageTableUpdate {
+                reason: "unknown address space",
+            })?
             .domain;
         let kind = match self.current.get(&pcpu) {
             Some(prev) if *prev == space => SwitchKind::None,

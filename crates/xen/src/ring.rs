@@ -142,7 +142,9 @@ impl SharedRing {
     /// Returns an error when the ring is full (caller backpressures).
     pub fn push_request(&mut self, d: Descriptor) -> Result<bool, XenError> {
         if self.requests_full() {
-            return Err(XenError::BadPageTableUpdate { reason: "request ring full" });
+            return Err(XenError::BadPageTableUpdate {
+                reason: "request ring full",
+            });
         }
         let idx = (self.req_prod as usize) & (self.size - 1);
         self.requests[idx] = Some(d);
@@ -179,7 +181,9 @@ impl SharedRing {
     /// Returns an error when the response direction is full.
     pub fn push_response(&mut self, d: Descriptor) -> Result<bool, XenError> {
         if (self.rsp_prod - self.rsp_cons) as usize >= self.size {
-            return Err(XenError::BadPageTableUpdate { reason: "response ring full" });
+            return Err(XenError::BadPageTableUpdate {
+                reason: "response ring full",
+            });
         }
         let idx = (self.rsp_prod as usize) & (self.size - 1);
         self.responses[idx] = Some(d);
@@ -217,7 +221,11 @@ mod tests {
     use super::*;
 
     fn d(id: u64) -> Descriptor {
-        Descriptor { id, len: 1448, gref: id as u32 }
+        Descriptor {
+            id,
+            len: 1448,
+            gref: id as u32,
+        }
     }
 
     #[test]
@@ -289,10 +297,20 @@ mod tests {
         // The netfront/netback pattern: ids correlate grant-carried
         // buffers across the ring.
         let mut r = SharedRing::new(4).unwrap();
-        r.push_request(Descriptor { id: 7, len: 1448, gref: 42 }).unwrap();
+        r.push_request(Descriptor {
+            id: 7,
+            len: 1448,
+            gref: 42,
+        })
+        .unwrap();
         let req = r.pop_request().unwrap();
         assert_eq!(req.gref, 42);
-        r.push_response(Descriptor { id: req.id, len: 1448, gref: req.gref }).unwrap();
+        r.push_response(Descriptor {
+            id: req.id,
+            len: 1448,
+            gref: req.gref,
+        })
+        .unwrap();
         let rsp = r.pop_response().unwrap();
         assert_eq!((rsp.id, rsp.gref), (7, 42));
     }

@@ -110,7 +110,12 @@ impl CreditScheduler {
         self.next_id += 1;
         self.vcpus.insert(
             id,
-            Vcpu { weight: weight.max(1), runnable: false, credits: 0, run_time: Nanos::ZERO },
+            Vcpu {
+                weight: weight.max(1),
+                runnable: false,
+                credits: 0,
+                run_time: Nanos::ZERO,
+            },
         );
         id
     }
@@ -219,7 +224,12 @@ impl CreditScheduler {
     /// Closed-form steady state for `runnable` symmetric vCPUs: shares,
     /// switch rate, and the fraction of machine time burned on vCPU
     /// switches of cost `switch_cost`.
-    pub fn steady_state(&self, runnable: u64, switch_cost: Nanos, _costs: &CostModel) -> SteadyState {
+    pub fn steady_state(
+        &self,
+        runnable: u64,
+        switch_cost: Nanos,
+        _costs: &CostModel,
+    ) -> SteadyState {
         if runnable == 0 {
             return SteadyState {
                 share_per_vcpu: 0.0,
@@ -264,7 +274,10 @@ mod tests {
         let lt = s.run_time(light).unwrap().as_secs_f64();
         let ht = s.run_time(heavy).unwrap().as_secs_f64();
         let ratio = ht / lt;
-        assert!((1.8..2.2).contains(&ratio), "weight 2:1 should run ~2:1, got {ratio}");
+        assert!(
+            (1.8..2.2).contains(&ratio),
+            "weight 2:1 should run ~2:1, got {ratio}"
+        );
     }
 
     #[test]
@@ -336,7 +349,10 @@ mod tests {
         s.tick();
         s.remove_vcpu(a).unwrap();
         assert!(matches!(s.remove_vcpu(a), Err(XenError::NoSuchVcpu(_))));
-        assert!(matches!(s.set_runnable(a, true), Err(XenError::NoSuchVcpu(_))));
+        assert!(matches!(
+            s.set_runnable(a, true),
+            Err(XenError::NoSuchVcpu(_))
+        ));
         assert!(matches!(s.run_time(a), Err(XenError::NoSuchVcpu(_))));
         assert!(s.tick().is_empty());
     }

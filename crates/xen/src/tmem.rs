@@ -103,7 +103,14 @@ impl Tmem {
     pub fn new_pool(&mut self, owner: DomainId, kind: PoolKind) -> PoolId {
         let id = PoolId(self.next_pool);
         self.next_pool += 1;
-        self.pools.insert(id, Pool { owner, kind, pages: BTreeMap::new() });
+        self.pools.insert(
+            id,
+            Pool {
+                owner,
+                kind,
+                pages: BTreeMap::new(),
+            },
+        );
         id
     }
 
@@ -111,9 +118,14 @@ impl Tmem {
         let p = self
             .pools
             .get_mut(&pool)
-            .ok_or(XenError::BadPageTableUpdate { reason: "unknown tmem pool" })?;
+            .ok_or(XenError::BadPageTableUpdate {
+                reason: "unknown tmem pool",
+            })?;
         if p.owner != caller {
-            return Err(XenError::PermissionDenied { caller, op: "tmem pool access" });
+            return Err(XenError::PermissionDenied {
+                caller,
+                op: "tmem pool access",
+            });
         }
         Ok(p)
     }

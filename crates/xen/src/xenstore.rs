@@ -89,14 +89,21 @@ impl XenStore {
     /// [`XenError::PermissionDenied`] outside the caller's subtree.
     pub fn write(&mut self, caller: DomainId, path: &str, value: &str) -> Result<(), XenError> {
         if !self.may_write(caller, path) {
-            return Err(XenError::PermissionDenied { caller, op: "xenstore write" });
+            return Err(XenError::PermissionDenied {
+                caller,
+                op: "xenstore write",
+            });
         }
         match self.nodes.get_mut(path) {
             Some(node) => node.value = value.to_owned(),
             None => {
                 self.nodes.insert(
                     path.to_owned(),
-                    Node { value: value.to_owned(), owner: caller, readers: Vec::new() },
+                    Node {
+                        value: value.to_owned(),
+                        owner: caller,
+                        readers: Vec::new(),
+                    },
                 );
             }
         }
@@ -108,7 +115,10 @@ impl XenStore {
             .map(|w| {
                 (
                     w.owner,
-                    WatchEvent { token: w.token.clone(), path: path.to_owned() },
+                    WatchEvent {
+                        token: w.token.clone(),
+                        path: path.to_owned(),
+                    },
                 )
             })
             .collect();
@@ -133,9 +143,14 @@ impl XenStore {
         let node = self
             .nodes
             .get_mut(path)
-            .ok_or(XenError::BadPageTableUpdate { reason: "no such xenstore node" })?;
+            .ok_or(XenError::BadPageTableUpdate {
+                reason: "no such xenstore node",
+            })?;
         if caller != DomainId(0) && caller != node.owner {
-            return Err(XenError::PermissionDenied { caller, op: "xenstore set_perm" });
+            return Err(XenError::PermissionDenied {
+                caller,
+                op: "xenstore set_perm",
+            });
         }
         if !node.readers.contains(&reader) {
             node.readers.push(reader);
@@ -156,7 +171,10 @@ impl XenStore {
                 if self.may_read(caller, node) {
                     Ok(Some(&node.value))
                 } else {
-                    Err(XenError::PermissionDenied { caller, op: "xenstore read" })
+                    Err(XenError::PermissionDenied {
+                        caller,
+                        op: "xenstore read",
+                    })
                 }
             }
         }
@@ -228,7 +246,10 @@ mod tests {
     fn write_read_roundtrip() {
         let mut xs = XenStore::new();
         xs.write(DOM0, "/local/domain/3/name", "nginx-1").unwrap();
-        assert_eq!(xs.read(DOM0, "/local/domain/3/name").unwrap(), Some("nginx-1"));
+        assert_eq!(
+            xs.read(DOM0, "/local/domain/3/name").unwrap(),
+            Some("nginx-1")
+        );
         assert_eq!(xs.read(DOM0, "/missing").unwrap(), None);
     }
 
@@ -249,15 +270,18 @@ mod tests {
     #[test]
     fn read_permissions() {
         let mut xs = XenStore::new();
-        xs.write(FRONT, "/local/domain/3/device/vif/ring-ref", "17").unwrap();
+        xs.write(FRONT, "/local/domain/3/device/vif/ring-ref", "17")
+            .unwrap();
         // The backend cannot read until granted.
         assert!(matches!(
             xs.read(BACK, "/local/domain/3/device/vif/ring-ref"),
             Err(XenError::PermissionDenied { .. })
         ));
-        xs.set_perm(FRONT, "/local/domain/3/device/vif/ring-ref", BACK).unwrap();
+        xs.set_perm(FRONT, "/local/domain/3/device/vif/ring-ref", BACK)
+            .unwrap();
         assert_eq!(
-            xs.read(BACK, "/local/domain/3/device/vif/ring-ref").unwrap(),
+            xs.read(BACK, "/local/domain/3/device/vif/ring-ref")
+                .unwrap(),
             Some("17")
         );
     }
@@ -266,7 +290,8 @@ mod tests {
     fn watches_fire_on_prefix() {
         let mut xs = XenStore::new();
         xs.watch(FRONT, "/local/domain/3/device", "dev").unwrap();
-        xs.write(DOM0, "/local/domain/3/device/vif/0/state", "4").unwrap();
+        xs.write(DOM0, "/local/domain/3/device/vif/0/state", "4")
+            .unwrap();
         xs.write(DOM0, "/local/domain/3/name", "nginx").unwrap(); // no match
         let events = xs.take_events(FRONT);
         assert_eq!(events.len(), 1);
@@ -289,22 +314,36 @@ mod tests {
         // The classic frontend/backend handshake, end to end.
         let mut xs = XenStore::new();
         // Toolstack seeds both ends.
-        xs.write(DOM0, "/local/domain/3/device/vif/0/backend", "/local/domain/2/backend/vif/3/0")
-            .unwrap();
-        xs.write(DOM0, "/local/domain/2/backend/vif/3/0/frontend", "/local/domain/3/device/vif/0")
-            .unwrap();
+        xs.write(
+            DOM0,
+            "/local/domain/3/device/vif/0/backend",
+            "/local/domain/2/backend/vif/3/0",
+        )
+        .unwrap();
+        xs.write(
+            DOM0,
+            "/local/domain/2/backend/vif/3/0/frontend",
+            "/local/domain/3/device/vif/0",
+        )
+        .unwrap();
         // Backend watches for the frontend's ring grant.
-        xs.watch(BACK, "/local/domain/3/device/vif/0", "fe").unwrap();
+        xs.watch(BACK, "/local/domain/3/device/vif/0", "fe")
+            .unwrap();
         // Frontend publishes ring-ref + event channel, grants read.
-        xs.write(FRONT, "/local/domain/3/device/vif/0/ring-ref", "8").unwrap();
-        xs.set_perm(FRONT, "/local/domain/3/device/vif/0/ring-ref", BACK).unwrap();
-        xs.write(FRONT, "/local/domain/3/device/vif/0/event-channel", "5").unwrap();
-        xs.set_perm(FRONT, "/local/domain/3/device/vif/0/event-channel", BACK).unwrap();
+        xs.write(FRONT, "/local/domain/3/device/vif/0/ring-ref", "8")
+            .unwrap();
+        xs.set_perm(FRONT, "/local/domain/3/device/vif/0/ring-ref", BACK)
+            .unwrap();
+        xs.write(FRONT, "/local/domain/3/device/vif/0/event-channel", "5")
+            .unwrap();
+        xs.set_perm(FRONT, "/local/domain/3/device/vif/0/event-channel", BACK)
+            .unwrap();
         // Backend sees both writes and reads the values.
         let events = xs.take_events(BACK);
         assert_eq!(events.len(), 2);
         assert_eq!(
-            xs.read(BACK, "/local/domain/3/device/vif/0/ring-ref").unwrap(),
+            xs.read(BACK, "/local/domain/3/device/vif/0/ring-ref")
+                .unwrap(),
             Some("8")
         );
     }
@@ -312,8 +351,10 @@ mod tests {
     #[test]
     fn children_listing() {
         let mut xs = XenStore::new();
-        xs.write(DOM0, "/local/domain/3/device/vif/0/state", "1").unwrap();
-        xs.write(DOM0, "/local/domain/3/device/vbd/0/state", "1").unwrap();
+        xs.write(DOM0, "/local/domain/3/device/vif/0/state", "1")
+            .unwrap();
+        xs.write(DOM0, "/local/domain/3/device/vbd/0/state", "1")
+            .unwrap();
         let kids = xs.children("/local/domain/3/device");
         assert_eq!(kids, vec!["vbd".to_owned(), "vif".to_owned()]);
         assert_eq!(xs.len(), 2);

@@ -6,8 +6,8 @@
 //! Run with: `cargo run --example abom_deep_dive`
 
 use xcontainers::abom::binaries::{
-    glibc_large_nr_wrapper_image, glibc_wrapper_image, go_wrapper_image,
-    invoke, invoke_with, pthread_cancellable_wrapper_image,
+    glibc_large_nr_wrapper_image, glibc_wrapper_image, go_wrapper_image, invoke, invoke_with,
+    pthread_cancellable_wrapper_image,
 };
 use xcontainers::abom::offline::OfflinePatcher;
 use xcontainers::isa::decode::disassemble;
@@ -56,6 +56,7 @@ fn main() {
     let mut phase1 = XContainerKernel::with_config(AbomConfig {
         enabled: true,
         nine_byte_phase2: false,
+        preflight_verify: false,
     });
     invoke(&mut image, &mut phase1, entry, None).unwrap();
     dump("phase 1", &image, entry, 10);

@@ -11,10 +11,20 @@ use xcontainers::xen::migrate::{plan_checkpoint, plan_precopy, MigrationParams};
 fn main() {
     let mut table = Table::new(
         "Pre-copy live migration over 10 GbE",
-        &["instance", "dirty MiB/s", "rounds", "total time", "downtime", "converged"],
+        &[
+            "instance",
+            "dirty MiB/s",
+            "rounds",
+            "total time",
+            "downtime",
+            "converged",
+        ],
     );
 
-    for (label, memory_mb) in [("X-Container (128 MiB)", 128.0), ("Ubuntu VM (512 MiB)", 512.0)] {
+    for (label, memory_mb) in [
+        ("X-Container (128 MiB)", 128.0),
+        ("Ubuntu VM (512 MiB)", 512.0),
+    ] {
         for dirty in [10.0, 100.0, 400.0] {
             let plan = plan_precopy(MigrationParams {
                 memory_mb,
@@ -27,7 +37,11 @@ fn main() {
                 Cell::from(plan.rounds.len() as u64),
                 Cell::from(plan.total_time.to_string()),
                 Cell::from(plan.downtime.to_string()),
-                Cell::from(if plan.converged { "yes" } else { "stop-and-copy" }),
+                Cell::from(if plan.converged {
+                    "yes"
+                } else {
+                    "stop-and-copy"
+                }),
             ]);
         }
         table.separator();

@@ -12,7 +12,13 @@ fn main() {
 
     let mut table = Table::new(
         "Load balancing: 3 NGINX backends + 1 balancer (one host)",
-        &["configuration", "balancer cost", "total req/s", "bottleneck", "vs Docker"],
+        &[
+            "configuration",
+            "balancer cost",
+            "total req/s",
+            "bottleneck",
+            "vs Docker",
+        ],
     );
 
     let baseline = throughput(LbMode::HaproxyDocker, &costs);

@@ -33,8 +33,12 @@ fn main() {
 
     let u_dedicated =
         fig6c_php_mysql(LibOsPlatform::Unikernel, DbTopology::Dedicated, &costs).unwrap();
-    let x_merged =
-        fig6c_php_mysql(LibOsPlatform::XContainer, DbTopology::DedicatedMerged, &costs).unwrap();
+    let x_merged = fig6c_php_mysql(
+        LibOsPlatform::XContainer,
+        DbTopology::DedicatedMerged,
+        &costs,
+    )
+    .unwrap();
     println!(
         "Merged X-Container vs Unikernel-Dedicated: {:.2}x (paper: ~3x).\n\
          A unikernel cannot merge: one instance, one process. Graphene cannot\n\

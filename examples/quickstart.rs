@@ -32,7 +32,8 @@ fn main() {
     for round in 1..=3 {
         let mut cpu = Cpu::new(entry);
         cpu.push_halt_frame().expect("stack space");
-        cpu.run(&mut image, &mut kernel, 1_000).expect("wrapper run");
+        cpu.run(&mut image, &mut kernel, 1_000)
+            .expect("wrapper run");
         println!(
             "call {round}: trapped={} function_calls={}",
             kernel.stats().trapped,

@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Repository hygiene gate: formatting and lints, exactly as CI would run
+# them. Fails on any diff or warning.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (workspace, all targets, warnings are errors) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "ok: formatting clean, no lints"

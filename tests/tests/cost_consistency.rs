@@ -19,9 +19,8 @@ fn process_switch_formula_matches_ledger_reconstruction() {
         ledger.charge(Hypercall::SchedOp, &costs); // base-cost hypercalls
     }
     let ledger_part = ledger.total_time();
-    let reconstructed = ledger_part
-        + costs.page_table_switch
-        + costs.tlb_flush_with_refill(USER_HOT_PAGES);
+    let reconstructed =
+        ledger_part + costs.page_table_switch + costs.tlb_flush_with_refill(USER_HOT_PAGES);
 
     assert_eq!(
         XenAbi::XKernel.process_switch_cost(&costs),
@@ -33,8 +32,8 @@ fn process_switch_formula_matches_ledger_reconstruction() {
 #[test]
 fn pv_switch_extra_cost_is_exactly_the_kernel_refill() {
     let costs = CostModel::skylake_cloud();
-    let delta = XenAbi::XenPv.process_switch_cost(&costs)
-        - XenAbi::XKernel.process_switch_cost(&costs);
+    let delta =
+        XenAbi::XenPv.process_switch_cost(&costs) - XenAbi::XKernel.process_switch_cost(&costs);
     assert_eq!(delta, costs.tlb_refill_per_page * KERNEL_HOT_PAGES);
 }
 

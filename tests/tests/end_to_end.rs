@@ -16,9 +16,21 @@ use xcontainers::xen::grant::{GrantAccess, GrantTable};
 #[test]
 fn bytes_to_steady_state() {
     let specs = [
-        WrapperSpec { index: 0, style: WrapperStyle::GlibcSmall, nr: 0 },
-        WrapperSpec { index: 1, style: WrapperStyle::GlibcLarge, nr: 300 },
-        WrapperSpec { index: 2, style: WrapperStyle::GoStack, nr: 0 },
+        WrapperSpec {
+            index: 0,
+            style: WrapperStyle::GlibcSmall,
+            nr: 0,
+        },
+        WrapperSpec {
+            index: 1,
+            style: WrapperStyle::GlibcLarge,
+            nr: 300,
+        },
+        WrapperSpec {
+            index: 2,
+            style: WrapperStyle::GoStack,
+            nr: 0,
+        },
     ];
     let mut image = library_image(&specs);
     let mut kernel = XContainerKernel::new();
@@ -45,8 +57,12 @@ fn bytes_to_steady_state() {
 #[test]
 fn split_driver_handshake() {
     let mut machine = Machine::new(4096);
-    let dom0 = machine.create_domain("dom0", DomainKind::Dom0, 512, 2).unwrap();
-    let backend = machine.create_domain("net-backend", DomainKind::Driver, 256, 1).unwrap();
+    let dom0 = machine
+        .create_domain("dom0", DomainKind::Dom0, 512, 2)
+        .unwrap();
+    let backend = machine
+        .create_domain("net-backend", DomainKind::Driver, 256, 1)
+        .unwrap();
     let guest = machine
         .create_domain("xc-nginx", DomainKind::XContainer, 128, 1)
         .unwrap();
@@ -60,7 +76,9 @@ fn split_driver_handshake() {
     let mut grants = GrantTable::new();
     // Frontend grants a TX buffer to the backend, notifies, backend
     // copies and completes.
-    let gref = grants.grant(guest, backend, 0xabc0, GrantAccess::ReadOnly).unwrap();
+    let gref = grants
+        .grant(guest, backend, 0xabc0, GrantAccess::ReadOnly)
+        .unwrap();
     events.send(guest, fe_port).unwrap();
     assert!(events.has_pending(backend));
     let pending = events.take_pending(backend);
@@ -81,8 +99,16 @@ fn split_driver_handshake() {
 #[test]
 fn offline_online_agreement() {
     let specs = [
-        WrapperSpec { index: 0, style: WrapperStyle::GlibcSmall, nr: 2 },
-        WrapperSpec { index: 1, style: WrapperStyle::PthreadCancellable, nr: 202 },
+        WrapperSpec {
+            index: 0,
+            style: WrapperStyle::GlibcSmall,
+            nr: 2,
+        },
+        WrapperSpec {
+            index: 1,
+            style: WrapperStyle::PthreadCancellable,
+            nr: 202,
+        },
     ];
     let image = library_image(&specs);
     let (mut patched, report) = OfflinePatcher::new().patch(&image).unwrap();
@@ -91,6 +117,7 @@ fn offline_online_agreement() {
     let mut kernel = XContainerKernel::with_config(AbomConfig {
         enabled: false, // nothing left for the online module to do
         nine_byte_phase2: true,
+        preflight_verify: false,
     });
     for spec in &specs {
         let entry = patched.symbol(&format!("wrapper_{}", spec.index)).unwrap();
@@ -118,7 +145,10 @@ fn closed_loop_consistency() {
 
     let cap = server.capacity_rps(&costs);
     assert!(a.throughput_rps <= cap * 1.01);
-    assert!(a.throughput_rps > cap * 0.8, "saturated run should near capacity");
+    assert!(
+        a.throughput_rps > cap * 0.8,
+        "saturated run should near capacity"
+    );
 }
 
 /// Kernel-config customization flows through to workload numbers

@@ -16,7 +16,9 @@ fn container_lifetime_story() {
 
     // --- 1. Place the domain on the host -----------------------------
     let mut machine = Machine::new(96 * 1024);
-    machine.create_domain("dom0", DomainKind::Dom0, 4096, 4).unwrap();
+    machine
+        .create_domain("dom0", DomainKind::Dom0, 4096, 4)
+        .unwrap();
     let netback = machine
         .create_domain("net-backend", DomainKind::Driver, 512, 1)
         .unwrap();
@@ -27,7 +29,10 @@ fn container_lifetime_story() {
     // --- 2. Boot via the Docker Wrapper -------------------------------
     let image = DockerImage::nginx();
     let plan = boot_plan(&image, SpawnMethod::LightVmToolstack);
-    assert!(plan.total() < Nanos::from_millis(200), "LightVM-grade spawn");
+    assert!(
+        plan.total() < Nanos::from_millis(200),
+        "LightVM-grade spawn"
+    );
     let mut kernel = bootstrap_processes(&image, &costs).unwrap();
     assert_eq!(kernel.process_count(), 2, "nginx master + worker");
 
@@ -45,7 +50,8 @@ fn container_lifetime_story() {
     let mut nic = VirtualNic::connect(domid, netback).unwrap();
     assert_eq!(nic.backend_state().as_deref(), Some("connected"));
     for i in 0..32u32 {
-        nic.send(format!("HTTP/1.1 200 OK #{i}").as_bytes()).unwrap();
+        nic.send(format!("HTTP/1.1 200 OK #{i}").as_bytes())
+            .unwrap();
     }
     let delivered = nic.backend_poll().unwrap();
     assert_eq!(delivered.len(), 32);
@@ -85,6 +91,7 @@ fn baseline_never_stops_trapping() {
     let mut kernel = XContainerKernel::with_config(AbomConfig {
         enabled: false,
         nine_byte_phase2: true,
+        preflight_verify: false,
     });
     for _ in 0..10 {
         invoke(&mut libc, &mut kernel, entry, None).unwrap();

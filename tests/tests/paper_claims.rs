@@ -3,9 +3,7 @@
 //! the section it comes from.
 
 use xcontainers::prelude::*;
-use xcontainers::workloads::fig6::{
-    fig6a_nginx_1worker, fig6b_nginx_4workers, fig6c_php_mysql,
-};
+use xcontainers::workloads::fig6::{fig6a_nginx_1worker, fig6b_nginx_4workers, fig6c_php_mysql};
 use xcontainers::workloads::loadbalance::{throughput as lb, LbMode};
 use xcontainers::workloads::scalability::{throughput as fig8, ScalabilityConfig};
 use xcontainers::workloads::table1::run_table1;
@@ -56,8 +54,16 @@ fn claim_mysql_offline_recovery() {
         .find(|p| p.name == "MySQL")
         .expect("MySQL row");
     let m = mysql.measure(10_000, 5);
-    assert!((m.online_reduction - 44.6).abs() < 2.0, "online {:.2}", m.online_reduction);
-    assert!((m.offline_reduction - 92.2).abs() < 2.0, "offline {:.2}", m.offline_reduction);
+    assert!(
+        (m.online_reduction - 44.6).abs() < 2.0,
+        "online {:.2}",
+        m.online_reduction
+    );
+    assert!(
+        (m.offline_reduction - 92.2).abs() < 2.0,
+        "offline {:.2}",
+        m.offline_reduction
+    );
 }
 
 /// §5.3: "X-Containers improved throughput of Memcached from 134% to
@@ -91,7 +97,12 @@ fn claim_fig3b_latency_ordering() {
     let costs = costs();
     let profile = xcontainers::workloads::apps::memcached();
     let run = |p: Platform| {
-        let server = ServerModel { platform: p, profile: profile.clone(), workers: 4, cores: 4 };
+        let server = ServerModel {
+            platform: p,
+            profile: profile.clone(),
+            workers: 4,
+            cores: 4,
+        };
         run_closed_loop(&server, &costs, 50, Nanos::from_millis(200), 3)
             .latency
             .quantile(0.5) as f64
@@ -101,7 +112,10 @@ fn claim_fig3b_latency_ordering() {
     let gv = run(Platform::gvisor(CloudEnv::AmazonEc2, true));
     assert!(xc < docker, "X latency {xc} below Docker {docker}");
     let gv_rel = gv / docker;
-    assert!((2.0..40.0).contains(&gv_rel), "gVisor latency blow-up {gv_rel:.1}x");
+    assert!(
+        (2.0..40.0).contains(&gv_rel),
+        "gVisor latency blow-up {gv_rel:.1}x"
+    );
 }
 
 /// Figure 4's concurrent panels: platforms without multicore support
@@ -145,8 +159,12 @@ fn claim_meltdown_immunity() {
         assert_eq!(p, u, "{} must not move with the patch", bench.label());
     }
     assert_eq!(
-        Platform::clear_container(cloud, true).unwrap().syscall_cost(&costs),
-        Platform::clear_container(cloud, false).unwrap().syscall_cost(&costs),
+        Platform::clear_container(cloud, true)
+            .unwrap()
+            .syscall_cost(&costs),
+        Platform::clear_container(cloud, false)
+            .unwrap()
+            .syscall_cost(&costs),
     );
 }
 
@@ -170,8 +188,12 @@ fn claim_libos_comparison() {
     // configuration."
     let u_ded = fig6c_php_mysql(LibOsPlatform::Unikernel, DbTopology::Dedicated, &costs).unwrap();
     let x_ded = fig6c_php_mysql(LibOsPlatform::XContainer, DbTopology::Dedicated, &costs).unwrap();
-    let x_merged =
-        fig6c_php_mysql(LibOsPlatform::XContainer, DbTopology::DedicatedMerged, &costs).unwrap();
+    let x_merged = fig6c_php_mysql(
+        LibOsPlatform::XContainer,
+        DbTopology::DedicatedMerged,
+        &costs,
+    )
+    .unwrap();
     assert!(x_ded / u_ded > 1.4);
     assert!((2.0..4.0).contains(&(x_merged / u_ded)));
 }
