@@ -35,7 +35,7 @@ use std::fmt;
 use xc_isa::decode::{decode, DecodeError};
 use xc_isa::image::{BinaryImage, PAGE_SIZE};
 use xc_isa::inst::{Inst, Reg};
-use xc_verify::{DetourHazard, Verifier};
+use xc_verify::{AnalysisCache, DetourHazard, Verifier};
 
 use crate::patcher::{Abom, PatchOutcome};
 use crate::patterns::recognize;
@@ -194,10 +194,29 @@ impl OfflinePatcher {
     /// Returns [`OfflineError`] if an internal rewrite fails — scan misses
     /// are reported in [`OfflineReport::skipped`], not as errors.
     pub fn patch(&self, image: &BinaryImage) -> Result<(BinaryImage, OfflineReport), OfflineError> {
+        let mut cache = AnalysisCache::new();
+        self.patch_with_cache(image, &mut cache)
+    }
+
+    /// Like [`OfflinePatcher::patch`], but serving the pre-flight static
+    /// analysis through a caller-owned [`AnalysisCache`]. Callers that
+    /// already analyzed `image` (study harnesses, batch pipelines) share
+    /// the cache so the image's text section is decoded once, not once per
+    /// consumer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OfflineError`] if an internal rewrite fails — scan misses
+    /// are reported in [`OfflineReport::skipped`], not as errors.
+    pub fn patch_with_cache(
+        &self,
+        image: &BinaryImage,
+        cache: &mut AnalysisCache,
+    ) -> Result<(BinaryImage, OfflineReport), OfflineError> {
         let (sites, skipped) = self.scan(image);
         // One static analysis of the unpatched image backs every detour
-        // decision below.
-        let analysis = Verifier::new().analyze(image);
+        // decision below (memoized: a hit if the caller analyzed it first).
+        let analysis = cache.analyze(&Verifier::new(), image);
 
         // Build the output: original bytes + page-aligned trampoline area.
         let text_len = image.len();

@@ -109,6 +109,12 @@ pub struct Abom {
     table: VsyscallTable,
     config: AbomConfig,
     stats: AbomStats,
+    /// Memoized pre-flight analyses (only populated with
+    /// [`AbomConfig::preflight_verify`]). Keyed by image content, so a
+    /// successful patch automatically invalidates: the next trap sees new
+    /// bytes and re-analyzes. Repeated traps on *rejected* (never
+    /// rewritten) sites — the expensive case — hit the cache.
+    verify_cache: xc_verify::AnalysisCache,
 }
 
 impl Abom {
@@ -123,6 +129,7 @@ impl Abom {
             table: VsyscallTable::new(),
             config,
             stats: AbomStats::new(),
+            verify_cache: xc_verify::AnalysisCache::new(),
         }
     }
 
@@ -146,6 +153,12 @@ impl Abom {
         &mut self.stats
     }
 
+    /// The pre-flight analysis memo table (see
+    /// [`AbomConfig::preflight_verify`]).
+    pub fn verify_cache(&self) -> &xc_verify::AnalysisCache {
+        &self.verify_cache
+    }
+
     /// Handles one trapped `syscall` at `syscall_addr`: recognizes and
     /// patches the site. Call *before* forwarding the syscall (the current
     /// invocation still completes via the trap path either way).
@@ -158,10 +171,16 @@ impl Abom {
             return PatchOutcome::NotRecognized;
         };
         if self.config.preflight_verify {
-            // Full static analysis per trap — deliberately expensive; the
-            // verify_study bench quantifies the cost and the (expected)
-            // zero change in patch decisions.
-            let analysis = xc_verify::Verifier::new().analyze(image);
+            // Full static analysis per image *state*, memoized by content:
+            // only the first trap after each byte change pays the pipeline;
+            // every further trap on an unchanged image is a cache hit. The
+            // verify_study bench quantifies both the cost and the
+            // (expected) zero change in patch decisions.
+            let analysis = self
+                .verify_cache
+                .analyze(&xc_verify::Verifier::new(), image);
+            self.stats.verify_cache_hits = self.verify_cache.hits();
+            self.stats.verify_cache_misses = self.verify_cache.misses();
             if analysis.verdict_at(syscall_addr) != Some(xc_verify::Verdict::Safe) {
                 self.stats.verify_rejected += 1;
                 return PatchOutcome::VerifyRejected;

@@ -31,6 +31,11 @@ pub struct AbomStats {
     /// Sites refused by pre-flight static verification (only non-zero
     /// with `AbomConfig::preflight_verify`).
     pub verify_rejected: u64,
+    /// Pre-flight lookups served by the memoized analysis cache (only
+    /// non-zero with `AbomConfig::preflight_verify`).
+    pub verify_cache_hits: u64,
+    /// Pre-flight lookups that ran the full static-analysis pipeline.
+    pub verify_cache_misses: u64,
 }
 
 impl AbomStats {
@@ -73,6 +78,19 @@ impl AbomStats {
         self.ud_fixups += other.ud_fixups;
         self.return_fixups += other.return_fixups;
         self.verify_rejected += other.verify_rejected;
+        self.verify_cache_hits += other.verify_cache_hits;
+        self.verify_cache_misses += other.verify_cache_misses;
+    }
+
+    /// Fraction of pre-flight verifications served from the analysis
+    /// cache, in `[0, 1]` (0 when pre-flight verification never ran).
+    pub fn verify_cache_hit_rate(&self) -> f64 {
+        let total = self.verify_cache_hits + self.verify_cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.verify_cache_hits as f64 / total as f64
+        }
     }
 }
 

@@ -1,166 +1,21 @@
-//! Ablations of the design choices DESIGN.md §4 calls out:
-//!
-//! 1. **ABOM on/off** — how much of the X-Container win is the binary
-//!    optimizer vs the restructured trap path,
-//! 2. **Global-bit mappings** — the §4.3 TLB optimization,
-//! 3. **Hierarchical scheduling** — Figure 8 at N=400 with the X-Kernel
-//!    forced to flat per-request switch costs,
-//! 4. **Meltdown/KPTI** — the patch tax per platform,
-//! 5. **9-byte phase 2** — patching completeness with the second phase
-//!    disabled.
+//! Ablations of the design choices DESIGN.md §4 calls out: ABOM on/off,
+//! global-bit mappings, hierarchical scheduling, the Meltdown patch tax,
+//! and the 9-byte phase 2. The logic lives in
+//! [`xc_bench::harness::ablations`]; this wrapper parses `--jobs`,
+//! prints the result and records findings plus wall time.
 
-use xc_bench::{record, Finding};
-use xcontainers::abom::binaries::{glibc_large_nr_wrapper_image, invoke};
-use xcontainers::prelude::*;
-use xcontainers::workloads::apps::memcached;
-use xcontainers::xen::abi::XenAbi;
+use std::time::Instant;
+
+use xc_bench::harness::ablations;
+use xc_bench::record;
+use xc_bench::runner::{record_bench, BenchEntry, Runner};
 
 fn main() {
-    let costs = CostModel::skylake_cloud();
-    let cloud = CloudEnv::AmazonEc2;
-    let mut findings = Vec::new();
-
-    // ---- 1. ABOM on/off ------------------------------------------------
-    let on = Platform::x_container(cloud, true);
-    let off = Platform::x_container_no_abom(cloud, true);
-    let syscall_gain =
-        off.syscall_cost(&costs).as_nanos() as f64 / on.syscall_cost(&costs).as_nanos() as f64;
-    let mem_on = memcached().service_time(&on, &costs);
-    let mem_off = memcached().service_time(&off, &costs);
-    let macro_gain = mem_off.as_nanos() as f64 / mem_on.as_nanos() as f64;
-    let mut t1 = Table::new(
-        "Ablation 1: ABOM on vs off (X-Container, EC2 patched)",
-        &["metric", "ABOM off", "ABOM on", "gain"],
-    );
-    t1.row([
-        "syscall dispatch".into(),
-        Cell::from(off.syscall_cost(&costs).to_string()),
-        Cell::from(on.syscall_cost(&costs).to_string()),
-        Cell::Num(syscall_gain, 1),
-    ]);
-    t1.row([
-        "memcached service time".into(),
-        Cell::from(mem_off.to_string()),
-        Cell::from(mem_on.to_string()),
-        Cell::Num(macro_gain, 2),
-    ]);
-    println!("{t1}");
-    findings.push(Finding {
-        experiment: "ablations",
-        metric: "abom_syscall_gain".to_owned(),
-        paper: "function calls vs forwarded traps".to_owned(),
-        measured: syscall_gain,
-        in_band: syscall_gain > 5.0,
-    });
-
-    // ---- 2. Global-bit mappings ----------------------------------------
-    let xk = XenAbi::XKernel.process_switch_cost(&costs);
-    let pv = XenAbi::XenPv.process_switch_cost(&costs);
-    let mut t2 = Table::new(
-        "Ablation 2: global-bit kernel mappings (§4.3)",
-        &["configuration", "process switch"],
-    );
-    t2.row([
-        "global bit set (X-LibOS)".into(),
-        Cell::from(xk.to_string()),
-    ]);
-    t2.row([
-        "global bit clear (plain PV)".into(),
-        Cell::from(pv.to_string()),
-    ]);
-    println!("{t2}");
-    findings.push(Finding {
-        experiment: "ablations",
-        metric: "global_bit_switch_saving_ns".to_owned(),
-        paper: "avoids kernel-TLB refill per switch".to_owned(),
-        measured: (pv - xk).as_nanos() as f64,
-        in_band: pv > xk,
-    });
-
-    // ---- 3. Hierarchical scheduling at N=400 ----------------------------
-    use xcontainers::workloads::scalability::{throughput, ScalabilityConfig};
-    let x400 = throughput(ScalabilityConfig::XContainer, 400, &costs).expect("x@400");
-    let d400 = throughput(ScalabilityConfig::Docker, 400, &costs).expect("d@400");
-    let mut t3 = Table::new(
-        "Ablation 3: hierarchical vs flat scheduling at N=400",
-        &["configuration", "aggregate req/s"],
-    );
-    t3.row([
-        "hierarchical (X-Kernel + X-LibOS)".into(),
-        Cell::Num(x400, 0),
-    ]);
-    t3.row(["flat (one CFS, 1600 tasks)".into(), Cell::Num(d400, 0)]);
-    println!("{t3}");
-
-    // ---- 4. KPTI tax per platform ---------------------------------------
-    let mut t4 = Table::new(
-        "Ablation 4: Meltdown patch tax on syscall dispatch",
-        &["platform", "unpatched", "patched", "tax"],
-    );
-    for (name, p_on, p_off) in [
-        (
-            "Docker",
-            Platform::docker(cloud, true),
-            Platform::docker(cloud, false),
-        ),
-        (
-            "Xen-Container",
-            Platform::xen_container(cloud, true),
-            Platform::xen_container(cloud, false),
-        ),
-        (
-            "X-Container",
-            Platform::x_container(cloud, true),
-            Platform::x_container(cloud, false),
-        ),
-    ] {
-        let a = p_off.syscall_cost(&costs);
-        let b = p_on.syscall_cost(&costs);
-        t4.row([
-            name.into(),
-            Cell::from(a.to_string()),
-            Cell::from(b.to_string()),
-            Cell::Num(b.as_nanos() as f64 / a.as_nanos() as f64, 2),
-        ]);
-    }
-    println!("{t4}");
-
-    // ---- 5. 9-byte phase 2 on/off --------------------------------------
-    let mut results = Vec::new();
-    for phase2 in [true, false] {
-        let mut image = glibc_large_nr_wrapper_image(15);
-        let entry = image.symbol("wrapper").expect("wrapper");
-        let mut kernel = XContainerKernel::with_config(AbomConfig {
-            enabled: true,
-            nine_byte_phase2: phase2,
-            preflight_verify: false,
-        });
-        for _ in 0..100 {
-            invoke(&mut image, &mut kernel, entry, None).expect("invoke");
-        }
-        results.push((
-            phase2,
-            kernel.stats().reduction_percent(),
-            kernel.stats().return_fixups,
-        ));
-    }
-    let mut t5 = Table::new(
-        "Ablation 5: 9-byte replacement phase 2 (jmp back) on/off",
-        &["phase 2", "reduction %", "return fixups"],
-    );
-    for (phase2, reduction, fixups) in &results {
-        t5.row([
-            Cell::from(if *phase2 { "on" } else { "off" }),
-            Cell::Num(*reduction, 1),
-            Cell::from(*fixups),
-        ]);
-    }
-    println!("{t5}");
-    println!(
-        "Both states deliver the same reduction — the paper's claim that\n\
-         each intermediate state of the two-phase patch is valid; phase 2\n\
-         merely replaces dead bytes."
-    );
-
-    record("ablations", &findings);
+    let runner = Runner::from_args();
+    let start = Instant::now();
+    let out = ablations::run(&runner);
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    print!("{}", out.text);
+    record("ablations", &out.findings);
+    record_bench(&BenchEntry::timing("ablations", runner.jobs(), wall_ms));
 }

@@ -1,179 +1,58 @@
-//! Runs every table/figure harness in sequence (the full reproduction
-//! pass) by invoking the sibling binaries' logic modules directly is not
-//! possible across binaries, so this driver shells nothing: it simply
-//! re-executes the same experiment code paths and emits one combined
-//! summary of paper-vs-measured findings.
+//! The combined acceptance pass: every table/figure reduced to its
+//! headline paper-vs-measured findings in one summary table, with a
+//! nonzero exit status when any finding leaves its acceptance band.
+//!
+//! The experiment logic lives in [`xc_bench::harness::all_experiments`]
+//! and runs through the deterministic parallel [`Runner`] (`--jobs N`,
+//! default: available parallelism). When running with more than one
+//! worker this wrapper also re-runs the pass serially and fails unless
+//! the parallel output is byte-identical — the determinism contract,
+//! enforced on every invocation. Timings go to stderr and
+//! `BENCH_runner.json`, never stdout, so stdout stays byte-comparable
+//! across `--jobs` values.
 
-use xc_bench::{record, Finding};
-use xcontainers::prelude::*;
-use xcontainers::workloads::fig6::{fig6a_nginx_1worker, fig6b_nginx_4workers, fig6c_php_mysql};
-use xcontainers::workloads::loadbalance::{throughput as lb_throughput, LbMode};
-use xcontainers::workloads::scalability::{throughput as sc_throughput, ScalabilityConfig};
-use xcontainers::workloads::table1::run_table1;
-use xcontainers::workloads::unixbench::MicroBench;
+use std::time::Instant;
+
+use xc_bench::harness::all_experiments;
+use xc_bench::runner::{record_bench, BenchEntry, Runner};
+use xc_bench::{findings_json, record};
 
 fn main() {
-    let costs = CostModel::skylake_cloud();
-    let mut findings: Vec<Finding> = Vec::new();
-    let mut summary = Table::new(
-        "X-Containers reproduction — paper vs measured, all experiments",
-        &["experiment", "metric", "paper", "measured", "in band"],
-    );
+    let runner = Runner::from_args();
+    let start = Instant::now();
+    let out = all_experiments::run(&runner);
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
 
-    // Table 1 (reduced sample size for the combined pass).
-    for (p, m) in run_table1(8_000, 2019) {
-        findings.push(Finding {
-            experiment: "table1",
-            metric: format!("{}_reduction", p.name),
-            paper: format!("{:.1}%", p.paper_reduction),
-            measured: m.online_reduction,
-            in_band: (m.online_reduction - p.paper_reduction).abs() < 2.0,
-        });
+    let mut entry = BenchEntry::timing("all_experiments", runner.jobs(), wall_ms);
+    let mut diverged = false;
+    if runner.jobs() > 1 {
+        let serial_start = Instant::now();
+        let serial = all_experiments::run(&Runner::new(1));
+        entry.serial_wall_ms = Some(serial_start.elapsed().as_secs_f64() * 1e3);
+        let matches = serial.text == out.text
+            && findings_json(&serial.findings) == findings_json(&out.findings);
+        entry.parallel_matches_serial = Some(matches);
+        diverged = !matches;
+        eprintln!(
+            "all_experiments: {:.1} ms at --jobs {}, {:.1} ms serial reference, outputs {}",
+            wall_ms,
+            runner.jobs(),
+            entry.serial_wall_ms.unwrap(),
+            if matches { "identical" } else { "DIVERGED" }
+        );
+    } else {
+        eprintln!("all_experiments: {wall_ms:.1} ms at --jobs 1");
     }
 
-    // Figure 4 headline.
-    let docker = Platform::docker(CloudEnv::AmazonEc2, true);
-    let xc = Platform::x_container(CloudEnv::AmazonEc2, true);
-    let f4 = SystemCallBench::score(&xc, &costs) / SystemCallBench::score(&docker, &costs);
-    findings.push(Finding {
-        experiment: "fig4",
-        metric: "x_vs_docker_syscall".to_owned(),
-        paper: "up to 27x".to_owned(),
-        measured: f4,
-        in_band: (15.0..45.0).contains(&f4),
-    });
+    print!("{}", out.text);
+    record("all_experiments", &out.findings);
+    record_bench(&entry);
 
-    // Figure 3: closed-loop macro gains on EC2.
-    use xcontainers::workloads::apps::{memcached, nginx_static, redis};
-    for (profile, paper, band) in [
-        (nginx_static(), "1.21-1.50x", (1.0, 1.9)),
-        (memcached(), "1.34-2.08x", (1.2, 2.6)),
-        (redis(), "~1x", (0.8, 1.5)),
-    ] {
-        let workers = if profile.name == "memcached" { 4 } else { 1 };
-        let d = ServerModel {
-            platform: docker.clone(),
-            profile: profile.clone(),
-            workers,
-            cores: 4,
-        };
-        let x = ServerModel {
-            platform: xc.clone(),
-            profile: profile.clone(),
-            workers,
-            cores: 4,
-        };
-        let dt = run_closed_loop(&d, &costs, 50, Nanos::from_millis(200), 7).throughput_rps;
-        let xt = run_closed_loop(&x, &costs, 50, Nanos::from_millis(200), 7).throughput_rps;
-        findings.push(Finding {
-            experiment: "fig3",
-            metric: format!("x_{}_throughput_gain", profile.name),
-            paper: paper.to_owned(),
-            measured: xt / dt,
-            in_band: (band.0..band.1).contains(&(xt / dt)),
-        });
+    if diverged {
+        eprintln!("error: parallel output differs from the serial reference");
+        std::process::exit(1);
     }
-
-    // Figure 5 directions.
-    for (bench, wins) in [
-        (MicroBench::Execl, true),
-        (MicroBench::FileCopy, true),
-        (MicroBench::PipeThroughput, true),
-        (MicroBench::ContextSwitching, false),
-        (MicroBench::ProcessCreation, false),
-    ] {
-        let rel = bench.score(&xc, &costs) / bench.score(&docker, &costs);
-        findings.push(Finding {
-            experiment: "fig5",
-            metric: bench.label().to_lowercase().replace(' ', "_"),
-            paper: if wins { ">1 (X wins)" } else { "<1 (X loses)" }.to_owned(),
-            measured: rel,
-            in_band: (rel > 1.0) == wins,
-        });
-    }
-
-    // Figure 6.
-    let u = fig6a_nginx_1worker(LibOsPlatform::Unikernel, &costs);
-    let g = fig6a_nginx_1worker(LibOsPlatform::Graphene, &costs);
-    let x6 = fig6a_nginx_1worker(LibOsPlatform::XContainer, &costs);
-    findings.push(Finding {
-        experiment: "fig6",
-        metric: "nginx1_x_vs_u".to_owned(),
-        paper: "≈1x".to_owned(),
-        measured: x6 / u,
-        in_band: (0.85..1.35).contains(&(x6 / u)),
-    });
-    findings.push(Finding {
-        experiment: "fig6",
-        metric: "nginx1_x_vs_g".to_owned(),
-        paper: ">2x".to_owned(),
-        measured: x6 / g,
-        in_band: x6 / g > 1.6,
-    });
-    let g4 = fig6b_nginx_4workers(LibOsPlatform::Graphene, &costs).expect("graphene");
-    let x4 = fig6b_nginx_4workers(LibOsPlatform::XContainer, &costs).expect("x");
-    findings.push(Finding {
-        experiment: "fig6",
-        metric: "nginx4_x_vs_g".to_owned(),
-        paper: ">1.5x".to_owned(),
-        measured: x4 / g4,
-        in_band: x4 / g4 > 1.5,
-    });
-    let u_ded =
-        fig6c_php_mysql(LibOsPlatform::Unikernel, DbTopology::Dedicated, &costs).expect("u");
-    let x_merged = fig6c_php_mysql(
-        LibOsPlatform::XContainer,
-        DbTopology::DedicatedMerged,
-        &costs,
-    )
-    .expect("x merged");
-    findings.push(Finding {
-        experiment: "fig6",
-        metric: "php_merged_vs_u_dedicated".to_owned(),
-        paper: "~3x".to_owned(),
-        measured: x_merged / u_ded,
-        in_band: (2.0..4.0).contains(&(x_merged / u_ded)),
-    });
-
-    // Figure 8.
-    let d400 = sc_throughput(ScalabilityConfig::Docker, 400, &costs).expect("d");
-    let x400 = sc_throughput(ScalabilityConfig::XContainer, 400, &costs).expect("x");
-    findings.push(Finding {
-        experiment: "fig8",
-        metric: "x_gain_at_400_pct".to_owned(),
-        paper: "18%".to_owned(),
-        measured: (x400 / d400 - 1.0) * 100.0,
-        in_band: (8.0..35.0).contains(&((x400 / d400 - 1.0) * 100.0)),
-    });
-
-    // Figure 9.
-    let lb_docker = lb_throughput(LbMode::HaproxyDocker, &costs);
-    let lb_x = lb_throughput(LbMode::HaproxyXContainer, &costs);
-    findings.push(Finding {
-        experiment: "fig9",
-        metric: "haproxy_x_vs_docker".to_owned(),
-        paper: "2x".to_owned(),
-        measured: lb_x / lb_docker,
-        in_band: (1.5..2.8).contains(&(lb_x / lb_docker)),
-    });
-
-    for f in &findings {
-        summary.row([
-            Cell::from(f.experiment),
-            Cell::from(f.metric.clone()),
-            Cell::from(f.paper.clone()),
-            Cell::Num(f.measured, 2),
-            Cell::from(if f.in_band { "yes" } else { "NO" }),
-        ]);
-    }
-    println!("{summary}");
-    let out_of_band = findings.iter().filter(|f| !f.in_band).count();
-    println!(
-        "{} findings, {} outside the acceptance band.",
-        findings.len(),
-        out_of_band
-    );
-    record("all_experiments", &findings);
+    let out_of_band = out.findings.iter().filter(|f| !f.in_band).count();
     if out_of_band > 0 {
         std::process::exit(1);
     }

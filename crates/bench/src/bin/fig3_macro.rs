@@ -3,84 +3,22 @@
 //! and latency normalized to patched Docker, on both clouds.
 //!
 //! Each cell comes from a deterministic closed-loop simulation of the
-//! benchmark client against the platform's server model.
+//! benchmark client against the platform's server model. The logic
+//! lives in [`xc_bench::harness::fig3`]; this wrapper parses `--jobs`,
+//! prints the result and records findings plus wall time.
 
-use xc_bench::{record, Finding};
-use xcontainers::prelude::*;
-use xcontainers::workloads::apps::figure3_profiles;
+use std::time::Instant;
 
-const CONNECTIONS: u32 = 50;
-const DURATION_MS: u64 = 300;
-
-fn run(platform: &Platform, profile: &RequestProfile, costs: &CostModel) -> (f64, f64) {
-    // Default images: nginx:1.13 runs one worker, memcached:1.5.7 four
-    // threads, redis:3.2.11 a single event loop.
-    let workers = match profile.name {
-        "memcached" => 4,
-        _ => 1,
-    };
-    let server = ServerModel {
-        platform: platform.clone(),
-        profile: profile.clone(),
-        workers,
-        cores: 4,
-    };
-    let r = run_closed_loop(
-        &server,
-        costs,
-        CONNECTIONS,
-        Nanos::from_millis(DURATION_MS),
-        7,
-    );
-    (r.throughput_rps, r.latency.mean() / 1_000.0)
-}
+use xc_bench::harness::fig3;
+use xc_bench::record;
+use xc_bench::runner::{record_bench, BenchEntry, Runner};
 
 fn main() {
-    let costs = CostModel::skylake_cloud();
-    let mut findings = Vec::new();
-
-    for cloud in [CloudEnv::AmazonEc2, CloudEnv::GoogleGce] {
-        for profile in figure3_profiles() {
-            let mut table = Table::new(
-                &format!("Figure 3: {} — {}", profile.name, cloud.name()),
-                &["configuration", "rel. throughput", "rel. latency"],
-            );
-            let baseline = Platform::docker(cloud, true);
-            let (base_tput, base_lat) = run(&baseline, &profile, &costs);
-            for platform in Platform::cloud_configurations(cloud) {
-                let (tput, lat) = run(&platform, &profile, &costs);
-                table.row([
-                    Cell::from(platform.name()),
-                    Cell::Num(tput / base_tput, 2),
-                    Cell::Num(lat / base_lat, 2),
-                ]);
-                if platform.kind() == PlatformKind::XContainer && platform.is_patched() {
-                    let (paper, band): (&str, (f64, f64)) = match profile.name {
-                        "nginx-static" => ("1.21-1.50x Docker", (1.0, 1.9)),
-                        "memcached" => ("1.34-2.08x Docker", (1.2, 2.6)),
-                        _ => ("≈1x Docker (Redis)", (0.8, 1.5)),
-                    };
-                    findings.push(Finding {
-                        experiment: "fig3",
-                        metric: format!(
-                            "x_{}_{}_throughput",
-                            profile.name,
-                            cloud.name().to_lowercase()
-                        ),
-                        paper: paper.to_owned(),
-                        measured: tput / base_tput,
-                        in_band: (band.0..band.1).contains(&(tput / base_tput)),
-                    });
-                }
-            }
-            println!("{table}");
-        }
-    }
-    println!(
-        "Shape (§5.3): X-Containers lead Docker most on memcached (syscall-\n\
-         dense ops), moderately on NGINX, and only match it on Redis (user-\n\
-         space compute dominates). gVisor and Clear Containers trail; the\n\
-         patch penalizes Docker and Xen-Containers only."
-    );
-    record("fig3", &findings);
+    let runner = Runner::from_args();
+    let start = Instant::now();
+    let out = fig3::run(&runner);
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    print!("{}", out.text);
+    record("fig3", &out.findings);
+    record_bench(&BenchEntry::timing("fig3_macro", runner.jobs(), wall_ms));
 }

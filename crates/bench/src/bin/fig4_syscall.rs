@@ -2,63 +2,22 @@
 //!
 //! UnixBench System Call on all ten configurations, single and
 //! concurrent (4 copies), on both clouds, normalized to patched Docker —
-//! the paper's exact presentation.
+//! the paper's exact presentation. The logic lives in
+//! [`xc_bench::harness::fig4`]; this wrapper parses `--jobs`, prints the
+//! result and records findings plus wall time.
 
-use xc_bench::{ratio, record, Finding};
-use xcontainers::prelude::*;
-use xcontainers::workloads::unixbench::concurrent_score;
+use std::time::Instant;
+
+use xc_bench::harness::fig4;
+use xc_bench::record;
+use xc_bench::runner::{record_bench, BenchEntry, Runner};
 
 fn main() {
-    let costs = CostModel::skylake_cloud();
-    let mut findings = Vec::new();
-
-    for cloud in [CloudEnv::AmazonEc2, CloudEnv::GoogleGce] {
-        let mut table = Table::new(
-            &format!("Figure 4: relative syscall throughput — {}", cloud.name()),
-            &["configuration", "single", "concurrent (4x)"],
-        );
-        let baseline = Platform::docker(cloud, true);
-        let base_single = SystemCallBench::score(&baseline, &costs);
-        let base_conc = concurrent_score(base_single, &baseline, 4);
-
-        for platform in Platform::cloud_configurations(cloud) {
-            let single = SystemCallBench::score(&platform, &costs);
-            let conc = concurrent_score(single, &platform, 4);
-            table.row([
-                Cell::from(platform.name()),
-                Cell::Num(single / base_single, 2),
-                Cell::Num(conc / base_conc, 2),
-            ]);
-            if platform.kind() == PlatformKind::XContainer && platform.is_patched() {
-                findings.push(Finding {
-                    experiment: "fig4",
-                    metric: format!("x_vs_docker_{}", cloud.name().to_lowercase()),
-                    paper: "up to 27x".to_owned(),
-                    measured: single / base_single,
-                    in_band: (15.0..45.0).contains(&(single / base_single)),
-                });
-            }
-            if platform.kind() == PlatformKind::Gvisor && platform.is_patched() {
-                findings.push(Finding {
-                    experiment: "fig4",
-                    metric: format!("gvisor_vs_docker_{}", cloud.name().to_lowercase()),
-                    paper: "7-9% of Docker".to_owned(),
-                    measured: single / base_single,
-                    in_band: (0.04..0.15).contains(&(single / base_single)),
-                });
-            }
-        }
-        println!("{table}");
-    }
-
-    let docker = Platform::docker(CloudEnv::AmazonEc2, true);
-    let xc = Platform::x_container(CloudEnv::AmazonEc2, true);
-    let headline = SystemCallBench::score(&xc, &costs) / SystemCallBench::score(&docker, &costs);
-    println!(
-        "Headline: X-Container raw syscall throughput = {} Docker (paper: up to 27x).\n\
-         The Meltdown patch leaves X-Containers and Clear Containers untouched:\n\
-         optimized syscalls never cross the hardware privilege boundary (§5.4).",
-        ratio(headline)
-    );
-    record("fig4", &findings);
+    let runner = Runner::from_args();
+    let start = Instant::now();
+    let out = fig4::run(&runner);
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    print!("{}", out.text);
+    record("fig4", &out.findings);
+    record_bench(&BenchEntry::timing("fig4_syscall", runner.jobs(), wall_ms));
 }

@@ -2,103 +2,21 @@
 //! better): Execl, File Copy, Pipe Throughput, Context Switching,
 //! Process Creation, and iperf, in the paper's four panels
 //! (Amazon/Google × single/concurrent), normalized to patched Docker.
+//! The logic lives in [`xc_bench::harness::fig5`]; this wrapper parses
+//! `--jobs`, prints the result and records findings plus wall time.
 
-use xc_bench::{record, Finding};
-use xcontainers::prelude::*;
-use xcontainers::workloads::iperf::IperfBench;
-use xcontainers::workloads::unixbench::{concurrent_score, MicroBench};
+use std::time::Instant;
 
-fn panel(cloud: CloudEnv, concurrent: bool, costs: &CostModel, findings: &mut Vec<Finding>) {
-    let mode = if concurrent { "Concurrent" } else { "Single" };
-    let mut table = Table::new(
-        &format!(
-            "Figure 5: {} {} (relative to patched Docker)",
-            cloud.name(),
-            mode
-        ),
-        &[
-            "configuration",
-            "Execl",
-            "File Copy",
-            "Pipe Tput",
-            "Ctx Switch",
-            "Proc Create",
-            "iperf",
-        ],
-    );
-
-    let baseline = Platform::docker(cloud, true);
-    let base: Vec<f64> = MicroBench::ALL
-        .iter()
-        .map(|b| {
-            let s = b.score(&baseline, costs);
-            if concurrent {
-                concurrent_score(s, &baseline, 4)
-            } else {
-                s
-            }
-        })
-        .collect();
-    let base_iperf = IperfBench::throughput_bps(&baseline, costs);
-
-    for platform in Platform::cloud_configurations(cloud) {
-        let mut cells = vec![Cell::from(platform.name())];
-        for (i, bench) in MicroBench::ALL.iter().enumerate() {
-            let mut s = bench.score(&platform, costs);
-            if concurrent {
-                s = concurrent_score(s, &platform, 4);
-            }
-            cells.push(Cell::Num(s / base[i], 2));
-        }
-        cells.push(Cell::Num(
-            IperfBench::throughput_bps(&platform, costs) / base_iperf,
-            2,
-        ));
-        table.row(cells);
-
-        if platform.kind() == PlatformKind::XContainer && platform.is_patched() && !concurrent {
-            let execl = MicroBench::Execl.score(&platform, costs) / base[0];
-            let ctx = MicroBench::ContextSwitching.score(&platform, costs) / base[3];
-            let spawn = MicroBench::ProcessCreation.score(&platform, costs) / base[4];
-            findings.push(Finding {
-                experiment: "fig5",
-                metric: format!("x_execl_{}", cloud.name().to_lowercase()),
-                paper: "above 1 (X wins Execl)".to_owned(),
-                measured: execl,
-                in_band: execl > 1.0,
-            });
-            findings.push(Finding {
-                experiment: "fig5",
-                metric: format!("x_ctxswitch_{}", cloud.name().to_lowercase()),
-                paper: "below 1 (PT ops cross into X-Kernel)".to_owned(),
-                measured: ctx,
-                in_band: ctx < 1.0,
-            });
-            findings.push(Finding {
-                experiment: "fig5",
-                metric: format!("x_proccreate_{}", cloud.name().to_lowercase()),
-                paper: "below 1".to_owned(),
-                measured: spawn,
-                in_band: spawn < 1.0,
-            });
-        }
-    }
-    println!("{table}");
-}
+use xc_bench::harness::fig5;
+use xc_bench::record;
+use xc_bench::runner::{record_bench, BenchEntry, Runner};
 
 fn main() {
-    let costs = CostModel::skylake_cloud();
-    let mut findings = Vec::new();
-    for cloud in [CloudEnv::AmazonEc2, CloudEnv::GoogleGce] {
-        for concurrent in [false, true] {
-            panel(cloud, concurrent, &costs, &mut findings);
-        }
-    }
-    println!(
-        "Shape (§5.4): X-Containers win the syscall-dominated benchmarks\n\
-         (Execl, File Copy, Pipe) and lose Context Switching and Process\n\
-         Creation, whose page-table operations must be validated by the\n\
-         X-Kernel. The Meltdown patch does not move X-Container bars."
-    );
-    record("fig5", &findings);
+    let runner = Runner::from_args();
+    let start = Instant::now();
+    let out = fig5::run(&runner);
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    print!("{}", out.text);
+    record("fig5", &out.findings);
+    record_bench(&BenchEntry::timing("fig5_micro", runner.jobs(), wall_ms));
 }

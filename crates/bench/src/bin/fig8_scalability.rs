@@ -1,65 +1,25 @@
 //! Figure 8 — throughput scalability as the number of containers
 //! increases (NGINX+PHP-FPM per container, wrk with 1 thread / 5
-//! connections each, one 16-core 96 GB host).
+//! connections each, one 16-core 96 GB host). The logic lives in
+//! [`xc_bench::harness::fig8`]; this wrapper parses `--jobs`, prints the
+//! result and records findings plus wall time.
 
-use xc_bench::{record, Finding};
-use xcontainers::prelude::*;
-use xcontainers::workloads::scalability::{figure8_points, sweep, throughput, ScalabilityConfig};
+use std::time::Instant;
+
+use xc_bench::harness::fig8;
+use xc_bench::record;
+use xc_bench::runner::{record_bench, BenchEntry, Runner};
 
 fn main() {
-    let costs = CostModel::skylake_cloud();
-
-    let mut table = Table::new(
-        "Figure 8: aggregate throughput (requests/s) vs container count",
-        &["N", "Docker", "X-Container", "Xen HVM", "Xen PV"],
-    );
-    let sweeps: Vec<_> = ScalabilityConfig::ALL
-        .iter()
-        .map(|cfg| sweep(*cfg, &costs))
-        .collect();
-    for (i, n) in figure8_points().into_iter().enumerate() {
-        let cell = |cfg_idx: usize| match sweeps[cfg_idx][i].throughput_rps {
-            Some(v) => Cell::Num(v, 0),
-            None => Cell::from("cannot boot"),
-        };
-        table.row([Cell::from(n), cell(0), cell(1), cell(2), cell(3)]);
-    }
-    println!("{table}");
-
-    let d400 = throughput(ScalabilityConfig::Docker, 400, &costs).expect("docker@400");
-    let x400 = throughput(ScalabilityConfig::XContainer, 400, &costs).expect("x@400");
-    let d50 = throughput(ScalabilityConfig::Docker, 50, &costs).expect("docker@50");
-    let x50 = throughput(ScalabilityConfig::XContainer, 50, &costs).expect("x@50");
-    let gain_400 = (x400 / d400 - 1.0) * 100.0;
-
-    println!(
-        "At N=50:  Docker {:.0} rps vs X-Container {:.0} rps (Docker leads — \n\
-          cheaper switches, processes spread over idle cores).\n\
-         At N=400: Docker {:.0} rps vs X-Container {:.0} rps — X-Containers\n\
-          ahead by {:.1}% (paper: 18%). Flat CFS over 4N processes degrades;\n\
-          N vCPUs over 16 cores with 4-process inner schedulers do not.\n\
-         Xen PV stops at 250 instances and Xen HVM at 200 — 512 MiB guests\n\
-          exhaust the 96 GB host (§5.6).",
-        d50, x50, d400, x400, gain_400
-    );
-
-    record(
-        "fig8",
-        &[
-            Finding {
-                experiment: "fig8",
-                metric: "x_gain_over_docker_at_400".to_owned(),
-                paper: "18%".to_owned(),
-                measured: gain_400,
-                in_band: (8.0..35.0).contains(&gain_400),
-            },
-            Finding {
-                experiment: "fig8",
-                metric: "docker_leads_at_50".to_owned(),
-                paper: "Docker higher at small N".to_owned(),
-                measured: d50 / x50,
-                in_band: d50 > x50,
-            },
-        ],
-    );
+    let runner = Runner::from_args();
+    let start = Instant::now();
+    let out = fig8::run(&runner);
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    print!("{}", out.text);
+    record("fig8", &out.findings);
+    record_bench(&BenchEntry::timing(
+        "fig8_scalability",
+        runner.jobs(),
+        wall_ms,
+    ));
 }

@@ -1,160 +1,24 @@
-//! Verify study — static patch-safety analysis over the Table 1 corpus.
-//!
-//! Three questions, answered against the same synthetic wrapper
-//! libraries the Table 1 reduction study executes:
-//!
-//! 1. **Coverage** — how many syscall sites does `xc-verify` prove
-//!    `Safe`, and what remains `Unknown`? (Expected residue: only the
-//!    register-indirect wrappers, whose number is data-dependent.)
-//! 2. **Post-patch shape** — after the offline tool rewrites a library,
-//!    does re-verification confirm every detour/trampoline invariant?
-//! 3. **Redundancy ablation** — with `preflight_verify` enabled, does
-//!    the online patcher ever get vetoed? Zero rejections means the
-//!    §4.4 pattern matcher is already sound on this corpus — now proved
-//!    rather than assumed.
+//! Verify study — static patch-safety analysis over the Table 1 corpus:
+//! coverage, post-patch shape, and the pre-flight redundancy ablation.
+//! The logic lives in [`xc_bench::harness::verify_study`]; this wrapper
+//! parses `--jobs`, prints the result and records findings plus wall
+//! time and analysis-cache hit accounting.
 
 use std::time::Instant;
 
-use xc_bench::{record, Finding};
-use xcontainers::abom::binaries::{invoke_with, WrapperStyle};
-use xcontainers::abom::handler::XContainerKernel;
-use xcontainers::abom::offline::OfflinePatcher;
-use xcontainers::abom::stats::AbomStats;
-use xcontainers::prelude::*;
-use xcontainers::verify::{reverify, Verifier};
-use xcontainers::workloads::table1::{table1_profiles, AppProfile};
-
-/// Weighted-random syscall run with an explicit ABOM config (the Table 1
-/// path hard-codes the default config; the ablation needs the knob).
-fn run_with_config(
-    profile: &AppProfile,
-    config: AbomConfig,
-    syscalls: u64,
-    seed: u64,
-) -> AbomStats {
-    let weights: Vec<f64> = profile.sites.iter().map(|s| s.weight).collect();
-    let mut image = profile.library();
-    let mut kernel = XContainerKernel::with_config(config);
-    let mut rng = Rng::new(seed);
-    for _ in 0..syscalls {
-        let idx = rng.pick_weighted(&weights);
-        let site = profile.sites[idx];
-        let entry = image
-            .symbol(&format!("wrapper_{idx}"))
-            .expect("wrapper symbol");
-        let stack = site.style.takes_stack_number().then_some(site.nr);
-        let rdi = site.style.takes_register_number().then_some(site.nr);
-        invoke_with(&mut image, &mut kernel, entry, stack, rdi).expect("wrapper invocation");
-    }
-    *kernel.stats()
-}
+use xc_bench::harness::verify_study;
+use xc_bench::record;
+use xc_bench::runner::{record_bench, BenchEntry, Runner};
 
 fn main() {
-    const SYSCALLS_PER_APP: u64 = 3_000;
-    const SEED: u64 = 2019;
-
-    let mut table = Table::new(
-        "Verify study: static patch-safety analysis over the Table 1 corpus",
-        &[
-            "Application",
-            "sites",
-            "safe",
-            "unsafe",
-            "unknown",
-            "µs",
-            "reverify",
-            "detours",
-        ],
-    );
-    let mut findings = Vec::new();
-    let mut total_sites = 0usize;
-    let mut total_safe = 0usize;
-    let mut total_rejections = 0u64;
-
-    for profile in table1_profiles() {
-        let image = profile.library();
-
-        // 1. Pre-patch verdicts + analysis wall time.
-        let start = Instant::now();
-        let analysis = Verifier::new().analyze(&image);
-        let micros = start.elapsed().as_secs_f64() * 1e6;
-        let (safe, unsafe_, unknown) = analysis.report().tally();
-
-        // Expected residue: register-indirect wrappers are Unknown by
-        // construction (the number is data-dependent); everything else
-        // in the corpus should prove Safe.
-        let indirect = profile
-            .sites
-            .iter()
-            .filter(|s| s.style == WrapperStyle::IndirectNumber)
-            .count();
-        let sites = profile.sites.len();
-        total_sites += sites;
-        total_safe += safe;
-
-        // 2. Offline patch, then re-verify the rewritten image.
-        let (patched, report) = OfflinePatcher::new()
-            .patch(&image)
-            .expect("offline patching");
-        let shape = reverify(&patched, image.len());
-
-        // 3. Pre-flight ablation: same run, verifier in the loop.
-        let verified = run_with_config(
-            &profile,
-            AbomConfig {
-                enabled: true,
-                nine_byte_phase2: true,
-                preflight_verify: true,
-            },
-            SYSCALLS_PER_APP,
-            SEED,
-        );
-        total_rejections += verified.verify_rejected;
-
-        table.row([
-            Cell::from(profile.name),
-            Cell::Num(sites as f64, 0),
-            Cell::Num(safe as f64, 0),
-            Cell::Num(unsafe_ as f64, 0),
-            Cell::Num(unknown as f64, 0),
-            Cell::Num(micros, 1),
-            Cell::from(if shape.ok() { "ok" } else { "FAIL" }),
-            Cell::Num(shape.detours.len() as f64, 0),
-        ]);
-        findings.push(Finding {
-            experiment: "verify_study",
-            metric: format!("{}_safe_sites", profile.name),
-            paper: format!("{}/{} provable (§4.4 soundness)", sites - indirect, sites),
-            measured: safe as f64,
-            in_band: safe == sites - indirect && unsafe_ == 0,
-        });
-        findings.push(Finding {
-            experiment: "verify_study",
-            metric: format!("{}_reverify_ok", profile.name),
-            paper: "all detour invariants hold".to_owned(),
-            measured: if shape.ok() { 1.0 } else { 0.0 },
-            in_band: shape.ok() && shape.detours.len() as u64 == report.detour_patched,
-        });
-    }
-
-    println!("{table}");
-    println!(
-        "{total_safe}/{total_sites} sites proved Safe; the Unknown residue is\n\
-         exactly the register-indirect wrappers the paper's ABOM also cannot\n\
-         patch. Every offline-rewritten library passes post-patch\n\
-         re-verification."
-    );
-    println!(
-        "Pre-flight ablation: {total_rejections} online patches vetoed by the\n\
-         verifier across {SYSCALLS_PER_APP} syscalls/app — the §4.4 pattern\n\
-         matcher never patches a site the analyzer cannot prove."
-    );
-    findings.push(Finding {
-        experiment: "verify_study",
-        metric: "preflight_rejections".to_owned(),
-        paper: "0 (online patterns are sound by construction)".to_owned(),
-        measured: total_rejections as f64,
-        in_band: total_rejections == 0,
-    });
-    record("verify_study", &findings);
+    let runner = Runner::from_args();
+    let start = Instant::now();
+    let out = verify_study::run(&runner);
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    print!("{}", out.render());
+    record("verify_study", &out.findings());
+    let mut entry = BenchEntry::timing("verify_study", runner.jobs(), wall_ms);
+    entry.cache_hits = Some(out.cache_hits());
+    entry.cache_misses = Some(out.cache_misses());
+    record_bench(&entry);
 }

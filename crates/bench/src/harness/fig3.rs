@@ -1,0 +1,96 @@
+//! Figure 3 — macrobenchmark throughput and latency, normalized to
+//! patched Docker, on both clouds (see the `fig3_macro` binary).
+
+use xcontainers::prelude::*;
+use xcontainers::workloads::apps::figure3_profiles;
+
+use super::HarnessOutput;
+use crate::runner::Runner;
+use crate::{clouds, platform_matrix, Finding};
+
+const CONNECTIONS: u32 = 50;
+const DURATION_MS: u64 = 300;
+const SEED: u64 = 7;
+
+fn measure(platform: &Platform, profile: &RequestProfile, costs: &CostModel) -> (f64, f64) {
+    // Default images: nginx:1.13 runs one worker, memcached:1.5.7 four
+    // threads, redis:3.2.11 a single event loop.
+    let workers = match profile.name {
+        "memcached" => 4,
+        _ => 1,
+    };
+    let server = ServerModel {
+        platform: platform.clone(),
+        profile: profile.clone(),
+        workers,
+        cores: 4,
+    };
+    let r = run_closed_loop(
+        &server,
+        costs,
+        CONNECTIONS,
+        Nanos::from_millis(DURATION_MS),
+        SEED,
+    );
+    (r.throughput_rps, r.latency.mean() / 1_000.0)
+}
+
+/// One (cloud, profile) cell: a whole normalized table plus its findings.
+fn cell(cloud: CloudEnv, profile: &RequestProfile, costs: &CostModel) -> (String, Vec<Finding>) {
+    let mut findings = Vec::new();
+    let mut table = Table::new(
+        &format!("Figure 3: {} — {}", profile.name, cloud.name()),
+        &["configuration", "rel. throughput", "rel. latency"],
+    );
+    let (baseline, matrix) = platform_matrix(cloud);
+    let (base_tput, base_lat) = measure(&baseline, profile, costs);
+    for platform in matrix {
+        let (tput, lat) = measure(&platform, profile, costs);
+        table.row([
+            Cell::from(platform.name()),
+            Cell::Num(tput / base_tput, 2),
+            Cell::Num(lat / base_lat, 2),
+        ]);
+        if platform.kind() == PlatformKind::XContainer && platform.is_patched() {
+            let (paper, band): (&str, (f64, f64)) = match profile.name {
+                "nginx-static" => ("1.21-1.50x Docker", (1.0, 1.9)),
+                "memcached" => ("1.34-2.08x Docker", (1.2, 2.6)),
+                _ => ("≈1x Docker (Redis)", (0.8, 1.5)),
+            };
+            findings.push(Finding {
+                experiment: "fig3",
+                metric: format!(
+                    "x_{}_{}_throughput",
+                    profile.name,
+                    cloud.name().to_lowercase()
+                ),
+                paper: paper.to_owned(),
+                measured: tput / base_tput,
+                in_band: (band.0..band.1).contains(&(tput / base_tput)),
+            });
+        }
+    }
+    (format!("{table}\n"), findings)
+}
+
+/// Runs the full cloud × profile grid, one cell per (cloud, profile).
+pub fn run(runner: &Runner) -> HarnessOutput {
+    let costs = CostModel::skylake_cloud();
+    let profiles = figure3_profiles();
+    let grid: Vec<(CloudEnv, RequestProfile)> = clouds()
+        .into_iter()
+        .flat_map(|cloud| profiles.iter().map(move |p| (cloud, p.clone())))
+        .collect();
+    let cells = runner.run(grid.len(), |i| {
+        let (cloud, profile) = &grid[i];
+        cell(*cloud, profile, &costs)
+    });
+    let mut out = HarnessOutput::merge(cells);
+    out.text.push_str(
+        "Shape (§5.3): X-Containers lead Docker most on memcached (syscall-\n\
+         dense ops), moderately on NGINX, and only match it on Redis (user-\n\
+         space compute dominates). gVisor and Clear Containers trail; the\n\
+         patch penalizes Docker and Xen-Containers only.\n",
+    );
+    out
+}

@@ -1,0 +1,112 @@
+//! Figure 5 — UnixBench microbenchmarks + iperf in four panels
+//! (cloud × single/concurrent), normalized to patched Docker (see the
+//! `fig5_micro` binary).
+
+use xcontainers::prelude::*;
+use xcontainers::workloads::iperf::IperfBench;
+use xcontainers::workloads::unixbench::{concurrent_score, MicroBench};
+
+use super::HarnessOutput;
+use crate::runner::Runner;
+use crate::{clouds, platform_matrix, Finding};
+
+/// One panel cell: a (cloud, concurrency) table plus its findings.
+fn panel(cloud: CloudEnv, concurrent: bool, costs: &CostModel) -> (String, Vec<Finding>) {
+    let mut findings = Vec::new();
+    let mode = if concurrent { "Concurrent" } else { "Single" };
+    let mut table = Table::new(
+        &format!(
+            "Figure 5: {} {} (relative to patched Docker)",
+            cloud.name(),
+            mode
+        ),
+        &[
+            "configuration",
+            "Execl",
+            "File Copy",
+            "Pipe Tput",
+            "Ctx Switch",
+            "Proc Create",
+            "iperf",
+        ],
+    );
+
+    let (baseline, matrix) = platform_matrix(cloud);
+    let base: Vec<f64> = MicroBench::ALL
+        .iter()
+        .map(|b| {
+            let s = b.score(&baseline, costs);
+            if concurrent {
+                concurrent_score(s, &baseline, 4)
+            } else {
+                s
+            }
+        })
+        .collect();
+    let base_iperf = IperfBench::throughput_bps(&baseline, costs);
+
+    for platform in matrix {
+        let mut cells = vec![Cell::from(platform.name())];
+        for (i, bench) in MicroBench::ALL.iter().enumerate() {
+            let mut s = bench.score(&platform, costs);
+            if concurrent {
+                s = concurrent_score(s, &platform, 4);
+            }
+            cells.push(Cell::Num(s / base[i], 2));
+        }
+        cells.push(Cell::Num(
+            IperfBench::throughput_bps(&platform, costs) / base_iperf,
+            2,
+        ));
+        table.row(cells);
+
+        if platform.kind() == PlatformKind::XContainer && platform.is_patched() && !concurrent {
+            let execl = MicroBench::Execl.score(&platform, costs) / base[0];
+            let ctx = MicroBench::ContextSwitching.score(&platform, costs) / base[3];
+            let spawn = MicroBench::ProcessCreation.score(&platform, costs) / base[4];
+            findings.push(Finding {
+                experiment: "fig5",
+                metric: format!("x_execl_{}", cloud.name().to_lowercase()),
+                paper: "above 1 (X wins Execl)".to_owned(),
+                measured: execl,
+                in_band: execl > 1.0,
+            });
+            findings.push(Finding {
+                experiment: "fig5",
+                metric: format!("x_ctxswitch_{}", cloud.name().to_lowercase()),
+                paper: "below 1 (PT ops cross into X-Kernel)".to_owned(),
+                measured: ctx,
+                in_band: ctx < 1.0,
+            });
+            findings.push(Finding {
+                experiment: "fig5",
+                metric: format!("x_proccreate_{}", cloud.name().to_lowercase()),
+                paper: "below 1".to_owned(),
+                measured: spawn,
+                in_band: spawn < 1.0,
+            });
+        }
+    }
+    (format!("{table}\n"), findings)
+}
+
+/// Runs the four panels, one cell each.
+pub fn run(runner: &Runner) -> HarnessOutput {
+    let costs = CostModel::skylake_cloud();
+    let grid: Vec<(CloudEnv, bool)> = clouds()
+        .into_iter()
+        .flat_map(|cloud| [false, true].into_iter().map(move |c| (cloud, c)))
+        .collect();
+    let cells = runner.run(grid.len(), |i| {
+        let (cloud, concurrent) = grid[i];
+        panel(cloud, concurrent, &costs)
+    });
+    let mut out = HarnessOutput::merge(cells);
+    out.text.push_str(
+        "Shape (§5.4): X-Containers win the syscall-dominated benchmarks\n\
+         (Execl, File Copy, Pipe) and lose Context Switching and Process\n\
+         Creation, whose page-table operations must be validated by the\n\
+         X-Kernel. The Meltdown patch does not move X-Container bars.\n",
+    );
+    out
+}

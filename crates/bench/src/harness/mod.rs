@@ -1,0 +1,46 @@
+//! Experiment harness logic, one module per figure.
+//!
+//! The binaries in `src/bin/` are thin wrappers: they parse `--jobs`,
+//! call the matching `run` function here with a [`Runner`], print the
+//! returned text, and record the findings. Keeping the logic in the
+//! library makes it callable from the determinism integration tests and
+//! from the combined `all_experiments` pass without shelling out.
+//!
+//! Every `run` function is a pure function of its inputs plus the
+//! experiment constants, and returns *identical* output at every
+//! [`Runner::jobs`] value (enforced by `tests/determinism.rs`).
+//!
+//! [`Runner`]: crate::runner::Runner
+//! [`Runner::jobs`]: crate::runner::Runner::jobs
+
+pub mod ablations;
+pub mod all_experiments;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig8;
+pub mod verify_study;
+
+use crate::Finding;
+
+/// Rendered text plus machine-readable findings from one harness run.
+#[derive(Debug, Clone)]
+pub struct HarnessOutput {
+    /// Exactly what the binary prints to stdout (deterministic).
+    pub text: String,
+    /// The paper-vs-measured rows for `results/<experiment>.json`.
+    pub findings: Vec<Finding>,
+}
+
+impl HarnessOutput {
+    /// Merges per-cell `(text, findings)` results in cell order.
+    fn merge(cells: Vec<(String, Vec<Finding>)>) -> Self {
+        let mut text = String::new();
+        let mut findings = Vec::new();
+        for (t, f) in cells {
+            text.push_str(&t);
+            findings.extend(f);
+        }
+        HarnessOutput { text, findings }
+    }
+}

@@ -1,0 +1,300 @@
+//! Verify study — static patch-safety analysis over the Table 1 corpus
+//! (see the `verify_study` binary).
+//!
+//! Three questions, answered against the same synthetic wrapper
+//! libraries the Table 1 reduction study executes:
+//!
+//! 1. **Coverage** — how many syscall sites does `xc-verify` prove
+//!    `Safe`, and what remains `Unknown`? (Expected residue: only the
+//!    register-indirect wrappers, whose number is data-dependent.)
+//! 2. **Post-patch shape** — after the offline tool rewrites a library,
+//!    does re-verification confirm every detour/trampoline invariant?
+//! 3. **Redundancy ablation** — with `preflight_verify` enabled, does
+//!    the online patcher ever get vetoed? Zero rejections means the
+//!    §4.4 pattern matcher is already sound on this corpus — now proved
+//!    rather than assumed.
+//!
+//! Each application is one runner cell carrying its own
+//! [`AnalysisCache`]: the coverage pass populates it and the offline
+//! patcher's pre-flight re-reads it, so every profile contributes one
+//! guaranteed cache hit. The per-row analysis wall time is the only
+//! nondeterministic output; [`Output::stable_digest`] excludes it so
+//! tests can compare runs byte-for-byte.
+
+use std::time::Instant;
+
+use xcontainers::abom::binaries::{invoke_with, WrapperStyle};
+use xcontainers::abom::handler::XContainerKernel;
+use xcontainers::abom::offline::OfflinePatcher;
+use xcontainers::abom::stats::AbomStats;
+use xcontainers::prelude::*;
+use xcontainers::verify::{reverify, Verifier};
+use xcontainers::workloads::table1::{table1_profiles, AppProfile};
+
+use crate::runner::Runner;
+use crate::Finding;
+
+/// Default syscalls per application for the pre-flight ablation.
+pub const SYSCALLS_PER_APP: u64 = 3_000;
+/// Default root seed; each application runs on its own substream.
+pub const SEED: u64 = 2019;
+
+/// Weighted-random syscall run with an explicit ABOM config (the Table 1
+/// path hard-codes the default config; the ablation needs the knob).
+fn run_with_config(profile: &AppProfile, config: AbomConfig, syscalls: u64, rng: Rng) -> AbomStats {
+    let weights: Vec<f64> = profile.sites.iter().map(|s| s.weight).collect();
+    let mut image = profile.library();
+    let mut kernel = XContainerKernel::with_config(config);
+    let mut rng = rng;
+    for _ in 0..syscalls {
+        let idx = rng.pick_weighted(&weights);
+        let site = profile.sites[idx];
+        let entry = image
+            .symbol(&format!("wrapper_{idx}"))
+            .expect("wrapper symbol");
+        let stack = site.style.takes_stack_number().then_some(site.nr);
+        let rdi = site.style.takes_register_number().then_some(site.nr);
+        invoke_with(&mut image, &mut kernel, entry, stack, rdi).expect("wrapper invocation");
+    }
+    *kernel.stats()
+}
+
+/// Everything the study learns about one application.
+#[derive(Debug, Clone)]
+pub struct ProfileRow {
+    pub name: &'static str,
+    pub sites: usize,
+    pub safe: usize,
+    pub unsafe_: usize,
+    pub unknown: usize,
+    /// Analysis wall time — nondeterministic, excluded from digests.
+    pub micros: f64,
+    pub reverify_ok: bool,
+    pub detours: usize,
+    pub detour_patched: u64,
+    /// Register-indirect wrappers (the expected `Unknown` residue).
+    pub indirect: usize,
+    pub rejections: u64,
+    pub study_cache_hits: u64,
+    pub study_cache_misses: u64,
+    pub kernel_cache_hits: u64,
+    pub kernel_cache_misses: u64,
+}
+
+/// Full study output: one row per Table 1 application.
+#[derive(Debug, Clone)]
+pub struct Output {
+    pub rows: Vec<ProfileRow>,
+    pub syscalls_per_app: u64,
+}
+
+impl Output {
+    pub fn total_rejections(&self) -> u64 {
+        self.rows.iter().map(|r| r.rejections).sum()
+    }
+
+    /// Combined study + kernel pre-flight cache hits.
+    pub fn cache_hits(&self) -> u64 {
+        self.rows
+            .iter()
+            .map(|r| r.study_cache_hits + r.kernel_cache_hits)
+            .sum()
+    }
+
+    /// Combined study + kernel pre-flight cache misses.
+    pub fn cache_misses(&self) -> u64 {
+        self.rows
+            .iter()
+            .map(|r| r.study_cache_misses + r.kernel_cache_misses)
+            .sum()
+    }
+
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits() + self.cache_misses();
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits() as f64 / total as f64
+        }
+    }
+
+    /// The findings recorded to `results/verify_study.json`.
+    pub fn findings(&self) -> Vec<Finding> {
+        let mut findings = Vec::new();
+        for r in &self.rows {
+            findings.push(Finding {
+                experiment: "verify_study",
+                metric: format!("{}_safe_sites", r.name),
+                paper: format!(
+                    "{}/{} provable (§4.4 soundness)",
+                    r.sites - r.indirect,
+                    r.sites
+                ),
+                measured: r.safe as f64,
+                in_band: r.safe == r.sites - r.indirect && r.unsafe_ == 0,
+            });
+            findings.push(Finding {
+                experiment: "verify_study",
+                metric: format!("{}_reverify_ok", r.name),
+                paper: "all detour invariants hold".to_owned(),
+                measured: if r.reverify_ok { 1.0 } else { 0.0 },
+                in_band: r.reverify_ok && r.detours as u64 == r.detour_patched,
+            });
+        }
+        findings.push(Finding {
+            experiment: "verify_study",
+            metric: "preflight_rejections".to_owned(),
+            paper: "0 (online patterns are sound by construction)".to_owned(),
+            measured: self.total_rejections() as f64,
+            in_band: self.total_rejections() == 0,
+        });
+        findings.push(Finding {
+            experiment: "verify_study",
+            metric: "analysis_cache_hit_rate".to_owned(),
+            paper: "above 0 (offline pre-flight re-reads the study cache)".to_owned(),
+            measured: self.cache_hit_rate(),
+            in_band: self.cache_hits() > 0,
+        });
+        findings
+    }
+
+    /// Exactly what the `verify_study` binary prints to stdout.
+    pub fn render(&self) -> String {
+        let mut table = Table::new(
+            "Verify study: static patch-safety analysis over the Table 1 corpus",
+            &[
+                "Application",
+                "sites",
+                "safe",
+                "unsafe",
+                "unknown",
+                "µs",
+                "reverify",
+                "detours",
+            ],
+        );
+        let (mut total_sites, mut total_safe) = (0usize, 0usize);
+        for r in &self.rows {
+            total_sites += r.sites;
+            total_safe += r.safe;
+            table.row([
+                Cell::from(r.name),
+                Cell::Num(r.sites as f64, 0),
+                Cell::Num(r.safe as f64, 0),
+                Cell::Num(r.unsafe_ as f64, 0),
+                Cell::Num(r.unknown as f64, 0),
+                Cell::Num(r.micros, 1),
+                Cell::from(if r.reverify_ok { "ok" } else { "FAIL" }),
+                Cell::Num(r.detours as f64, 0),
+            ]);
+        }
+        format!(
+            "{table}\n\
+             {total_safe}/{total_sites} sites proved Safe; the Unknown residue is\n\
+             exactly the register-indirect wrappers the paper's ABOM also cannot\n\
+             patch. Every offline-rewritten library passes post-patch\n\
+             re-verification.\n\
+             Pre-flight ablation: {rej} online patches vetoed by the\n\
+             verifier across {per_app} syscalls/app — the §4.4 pattern\n\
+             matcher never patches a site the analyzer cannot prove.\n\
+             Analysis cache: {hits} hits / {misses} misses ({rate:.0}% hit rate)\n\
+             across the study and online pre-flight passes.\n",
+            rej = self.total_rejections(),
+            per_app = self.syscalls_per_app,
+            hits = self.cache_hits(),
+            misses = self.cache_misses(),
+            rate = self.cache_hit_rate() * 100.0,
+        )
+    }
+
+    /// Every deterministic output — rendered text with the wall-time
+    /// column blanked, plus the findings — for byte-comparison across
+    /// `--jobs` values.
+    pub fn stable_digest(&self) -> String {
+        let mut stable = self.clone();
+        for r in &mut stable.rows {
+            r.micros = 0.0;
+        }
+        format!(
+            "{}\n{}",
+            stable.render(),
+            crate::findings_json(&stable.findings())
+        )
+    }
+}
+
+/// One application cell: coverage, offline patch + re-verify, ablation.
+fn cell(profile: &AppProfile, syscalls: u64, rng: Rng) -> ProfileRow {
+    let image = profile.library();
+    let mut cache = AnalysisCache::new();
+
+    // 1. Pre-patch verdicts + analysis wall time (populates the cache).
+    let start = Instant::now();
+    let analysis = cache.analyze(&Verifier::new(), &image);
+    let micros = start.elapsed().as_secs_f64() * 1e6;
+    let (safe, unsafe_, unknown) = analysis.report().tally();
+
+    let indirect = profile
+        .sites
+        .iter()
+        .filter(|s| s.style == WrapperStyle::IndirectNumber)
+        .count();
+
+    // 2. Offline patch through the same cache (guaranteed hit), then
+    //    re-verify the rewritten image.
+    let (patched, report) = OfflinePatcher::new()
+        .patch_with_cache(&image, &mut cache)
+        .expect("offline patching");
+    let shape = reverify(&patched, image.len());
+
+    // 3. Pre-flight ablation: same run, verifier in the loop.
+    let verified = run_with_config(
+        profile,
+        AbomConfig {
+            enabled: true,
+            nine_byte_phase2: true,
+            preflight_verify: true,
+        },
+        syscalls,
+        rng,
+    );
+
+    ProfileRow {
+        name: profile.name,
+        sites: profile.sites.len(),
+        safe,
+        unsafe_,
+        unknown,
+        micros,
+        reverify_ok: shape.ok(),
+        detours: shape.detours.len(),
+        detour_patched: report.detour_patched,
+        indirect,
+        rejections: verified.verify_rejected,
+        study_cache_hits: cache.hits(),
+        study_cache_misses: cache.misses(),
+        kernel_cache_hits: verified.verify_cache_hits,
+        kernel_cache_misses: verified.verify_cache_misses,
+    }
+}
+
+/// Runs the study with explicit workload knobs (tests use small ones).
+pub fn run_with(runner: &Runner, syscalls_per_app: u64, seed: u64) -> Output {
+    let profiles = table1_profiles();
+    let rows = runner.run(profiles.len(), |i| {
+        cell(
+            &profiles[i],
+            syscalls_per_app,
+            Rng::substream(seed, i as u64),
+        )
+    });
+    Output {
+        rows,
+        syscalls_per_app,
+    }
+}
+
+/// Runs the study at the default workload size.
+pub fn run(runner: &Runner) -> Output {
+    run_with(runner, SYSCALLS_PER_APP, SEED)
+}

@@ -22,15 +22,25 @@
 //! Every harness prints the paper's expected shape next to the measured
 //! value and appends a machine-readable record through [`record`].
 //!
+//! The experiment logic itself lives in [`harness`] (one module per
+//! figure), executed through the deterministic parallel [`runner`]:
+//! every binary accepts `--jobs N` (default: available parallelism,
+//! `--jobs 1` = legacy serial path) and produces byte-identical output
+//! at every worker count. Wall-clock and cache measurements accumulate
+//! in `BENCH_runner.json` (see [`runner::record_bench`]).
+//!
 //! The Criterion benches (`cargo bench -p xc-bench`) measure the *model
 //! itself* (simulator throughput, ABOM patch latency, platform cost
 //! evaluation) so regressions in the reproduction infrastructure are
 //! caught.
 
+pub mod harness;
+pub mod runner;
+
 use std::fs;
 use std::path::Path;
 
-use xcontainers::prelude::{json_object, Json};
+use xcontainers::prelude::{json_object, CloudEnv, Json, Platform};
 
 /// Where harnesses drop machine-readable results.
 pub const RESULTS_DIR: &str = "results";
@@ -63,6 +73,12 @@ impl Finding {
     }
 }
 
+/// Renders findings exactly as [`record`] serializes them — shared by the
+/// determinism tests and the runner's serial-vs-parallel self-checks.
+pub fn findings_json(findings: &[Finding]) -> String {
+    Json::Arr(findings.iter().map(Finding::to_json).collect()).to_string_compact()
+}
+
 /// Serializes findings to `results/<experiment>.json` (creates the
 /// directory as needed). Errors are reported but non-fatal: harnesses
 /// must still print their tables on read-only filesystems.
@@ -72,11 +88,26 @@ pub fn record(experiment: &str, findings: &[Finding]) {
         eprintln!("note: cannot create {RESULTS_DIR}/: {e}");
         return;
     }
-    let body = Json::Arr(findings.iter().map(Finding::to_json).collect()).to_string_compact();
+    let body = findings_json(findings);
     let path = dir.join(format!("{experiment}.json"));
     if let Err(e) = fs::write(&path, body) {
         eprintln!("note: cannot write {}: {e}", path.display());
     }
+}
+
+/// The two evaluation clouds, in the figures' presentation order.
+pub fn clouds() -> [CloudEnv; 2] {
+    [CloudEnv::AmazonEc2, CloudEnv::GoogleGce]
+}
+
+/// The platform matrix shared by `fig3_macro`, `fig4_syscall` and
+/// `fig5_micro`: the patched-Docker normalization baseline plus the §5.1
+/// configurations for `cloud`, in figure order.
+pub fn platform_matrix(cloud: CloudEnv) -> (Platform, Vec<Platform>) {
+    (
+        Platform::docker(cloud, true),
+        Platform::cloud_configurations(cloud),
+    )
 }
 
 /// Formats a ratio as the figures do (`1.86x`).
@@ -105,5 +136,30 @@ mod tests {
     #[test]
     fn ratio_format() {
         assert_eq!(ratio(1.855), "1.85x");
+    }
+
+    #[test]
+    fn findings_json_matches_record_format() {
+        let f = Finding {
+            experiment: "fig4",
+            metric: "m".to_owned(),
+            paper: "27x".to_owned(),
+            measured: 1.0,
+            in_band: true,
+        };
+        assert_eq!(
+            findings_json(std::slice::from_ref(&f)),
+            format!("[{}]", f.to_json().to_string_compact())
+        );
+    }
+
+    #[test]
+    fn platform_matrix_baseline_is_patched_docker() {
+        for cloud in clouds() {
+            let (baseline, matrix) = platform_matrix(cloud);
+            assert_eq!(baseline.name(), "Docker");
+            assert!(baseline.is_patched());
+            assert_eq!(matrix.len(), Platform::cloud_configurations(cloud).len());
+        }
     }
 }

@@ -1,0 +1,382 @@
+//! Deterministic parallel experiment runner.
+//!
+//! Every figure in the paper's evaluation is a grid of independent
+//! (configuration, seed) cells, and each cell is a *pure function*: the
+//! DES engine in `xc-sim` is single-threaded and dependency-free by
+//! policy (DESIGN.md §5), so a cell's result depends only on its inputs.
+//! That makes the harness layer — not the engine — the right place for
+//! parallelism: [`Runner::run`] shards cells across `std::thread::scope`
+//! workers and merges results **in cell-index order**, so the merged
+//! output is bit-for-bit identical to a serial run at any `--jobs` value.
+//!
+//! Three properties carry the determinism argument:
+//!
+//! 1. **Cell purity** — cells share nothing mutable; each owns its world,
+//!    RNG, and statistics.
+//! 2. **Substream seeding** — a sharded experiment gives shard `i` the
+//!    generator [`Rng::substream`]`(seed, i)`, a function of the shard
+//!    index alone, never of the executing worker or claim order.
+//! 3. **Index-ordered merge** — workers record `(index, result)` pairs;
+//!    the merge sorts by index before any fold, so order-sensitive
+//!    reducers ([`Histogram::merge`], [`Summary::merge`], report
+//!    rendering) see the serial order.
+//!
+//! The runner also owns the perf trajectory file, `BENCH_runner.json`:
+//! each harness upserts a [`BenchEntry`] (wall time, jobs, serial
+//! reference time, cache hit rates) through [`record_bench`].
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use xcontainers::prelude::{json_object, Histogram, Json, Rng, Summary};
+
+/// Where harnesses record wall-clock and cache measurements.
+pub const BENCH_PATH: &str = "BENCH_runner.json";
+
+/// A deterministic parallel cell executor (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Runner {
+    jobs: usize,
+}
+
+impl Runner {
+    /// A runner with an explicit worker count (clamped to at least 1;
+    /// `1` is the legacy serial path — no threads are spawned).
+    pub fn new(jobs: usize) -> Self {
+        Runner { jobs: jobs.max(1) }
+    }
+
+    /// A runner configured from the process arguments: `--jobs N`,
+    /// `--jobs=N` or `-j N`, defaulting to the host's available
+    /// parallelism when absent.
+    pub fn from_args() -> Self {
+        Runner::new(jobs_from(std::env::args().skip(1)))
+    }
+
+    /// Worker count this runner shards across.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Evaluates `cell(i)` for `i in 0..cells` and returns the results in
+    /// index order — identically at every worker count.
+    ///
+    /// Workers claim cell indices from a shared atomic counter (work
+    /// stealing keeps unequal cell costs balanced) and stash
+    /// `(index, result)` pairs locally; the merge sorts by index.
+    pub fn run<T, F>(&self, cells: usize, cell: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let workers = self.jobs.min(cells);
+        if workers <= 1 {
+            return (0..cells).map(cell).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let mut indexed: Vec<(usize, T)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= cells {
+                                return local;
+                            }
+                            local.push((i, cell(i)));
+                        }
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("runner worker panicked"))
+                .collect()
+        });
+        indexed.sort_unstable_by_key(|&(i, _)| i);
+        debug_assert_eq!(indexed.len(), cells);
+        indexed.into_iter().map(|(_, v)| v).collect()
+    }
+
+    /// Runs a sharded experiment: shard `i` of `shards` receives its own
+    /// substream generator `Rng::substream(seed, i)` and the results come
+    /// back in shard order. The output is a function of `(shards, seed)`
+    /// only — never of the worker count.
+    pub fn run_sharded<T, F>(&self, shards: usize, seed: u64, shard: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize, Rng) -> T + Sync,
+    {
+        self.run(shards, |i| shard(i, Rng::substream(seed, i as u64)))
+    }
+
+    /// Draws `total` samples of `sample` split across `shards` substreams
+    /// and merges the per-shard histograms in shard order with
+    /// [`Histogram::merge`].
+    pub fn sharded_histogram<F>(&self, shards: usize, total: u64, seed: u64, sample: F) -> Histogram
+    where
+        F: Fn(&mut Rng) -> u64 + Sync,
+    {
+        let parts = self.run_sharded(shards.max(1), seed, |i, mut rng| {
+            let mut h = Histogram::new();
+            for _ in 0..shard_len(total, shards.max(1), i) {
+                h.record(sample(&mut rng));
+            }
+            h
+        });
+        let mut merged = Histogram::new();
+        for part in &parts {
+            merged.merge(part);
+        }
+        merged
+    }
+
+    /// Draws `total` samples of `sample` split across `shards` substreams
+    /// and merges the per-shard summaries in shard order with
+    /// [`Summary::merge`].
+    pub fn sharded_summary<F>(&self, shards: usize, total: u64, seed: u64, sample: F) -> Summary
+    where
+        F: Fn(&mut Rng) -> f64 + Sync,
+    {
+        let parts = self.run_sharded(shards.max(1), seed, |i, mut rng| {
+            let mut s = Summary::new();
+            for _ in 0..shard_len(total, shards.max(1), i) {
+                s.record(sample(&mut rng));
+            }
+            s
+        });
+        let mut merged = Summary::new();
+        for part in &parts {
+            merged.merge(part);
+        }
+        merged
+    }
+}
+
+impl Default for Runner {
+    fn default() -> Self {
+        Runner::from_args()
+    }
+}
+
+/// Samples shard `i` draws when `total` samples split over `shards`
+/// shards: the remainder goes to the lowest-indexed shards, so the split
+/// is a pure function of `(total, shards)`.
+fn shard_len(total: u64, shards: usize, i: usize) -> u64 {
+    let shards = shards as u64;
+    let i = i as u64;
+    total / shards + u64::from(i < total % shards)
+}
+
+/// Parses the `--jobs` flag out of an argument stream; defaults to the
+/// host's available parallelism.
+fn jobs_from<I: Iterator<Item = String>>(mut args: I) -> usize {
+    let parse = |v: &str| -> usize {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("error: --jobs expects a positive integer, got {v:?}");
+            std::process::exit(2);
+        })
+    };
+    while let Some(arg) = args.next() {
+        if arg == "--jobs" || arg == "-j" {
+            match args.next() {
+                Some(v) => return parse(&v).max(1),
+                None => {
+                    eprintln!("error: --jobs expects a value");
+                    std::process::exit(2);
+                }
+            }
+        } else if let Some(v) = arg.strip_prefix("--jobs=") {
+            return parse(v).max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// One harness's entry in [`BENCH_PATH`].
+#[derive(Debug, Clone)]
+pub struct BenchEntry {
+    /// Harness name, e.g. `fig4_syscall`.
+    pub harness: &'static str,
+    /// Worker count the measured run used.
+    pub jobs: usize,
+    /// Wall-clock time of the measured run, milliseconds.
+    pub wall_ms: f64,
+    /// Wall-clock time of a serial (`--jobs 1`) reference run, when the
+    /// harness performed one.
+    pub serial_wall_ms: Option<f64>,
+    /// Whether the parallel output was byte-identical to the serial
+    /// reference (only set when a reference ran).
+    pub parallel_matches_serial: Option<bool>,
+    /// Analysis-cache hits observed by the run, for caching harnesses.
+    pub cache_hits: Option<u64>,
+    /// Analysis-cache misses observed by the run.
+    pub cache_misses: Option<u64>,
+}
+
+impl BenchEntry {
+    /// A timing-only entry (no serial reference, no cache accounting).
+    pub fn timing(harness: &'static str, jobs: usize, wall_ms: f64) -> Self {
+        BenchEntry {
+            harness,
+            jobs,
+            wall_ms,
+            serial_wall_ms: None,
+            parallel_matches_serial: None,
+            cache_hits: None,
+            cache_misses: None,
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        let opt_num = |v: Option<f64>| v.map_or(Json::Null, Json::Num);
+        json_object([
+            ("harness", Json::from(self.harness)),
+            ("jobs", Json::Num(self.jobs as f64)),
+            (
+                "host_parallelism",
+                Json::Num(
+                    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+                        as f64,
+                ),
+            ),
+            ("wall_ms", Json::Num(self.wall_ms)),
+            ("serial_wall_ms", opt_num(self.serial_wall_ms)),
+            (
+                "parallel_matches_serial",
+                self.parallel_matches_serial.map_or(Json::Null, Json::Bool),
+            ),
+            ("cache_hits", opt_num(self.cache_hits.map(|v| v as f64))),
+            ("cache_misses", opt_num(self.cache_misses.map(|v| v as f64))),
+            (
+                "cache_hit_rate",
+                match (self.cache_hits, self.cache_misses) {
+                    (Some(h), Some(m)) if h + m > 0 => Json::Num(h as f64 / (h + m) as f64),
+                    _ => Json::Null,
+                },
+            ),
+        ])
+    }
+}
+
+/// Upserts `entry` into [`BENCH_PATH`] (one JSON object per line inside a
+/// top-level array, keyed by harness name, sorted for stable diffs).
+/// Errors are reported but non-fatal, mirroring [`crate::record`].
+pub fn record_bench(entry: &BenchEntry) {
+    let mut lines = read_bench_lines(BENCH_PATH);
+    let marker = format!(
+        "\"harness\":{}",
+        Json::from(entry.harness).to_string_compact()
+    );
+    lines.retain(|l| !l.contains(&marker));
+    lines.push(entry.to_json().to_string_compact());
+    lines.sort_unstable();
+    let body = format!("[\n{}\n]\n", lines.join(",\n"));
+    if let Err(e) = std::fs::write(BENCH_PATH, body) {
+        eprintln!("note: cannot write {BENCH_PATH}: {e}");
+    }
+}
+
+/// Reads the entry lines (one compact JSON object per line) back out of
+/// the bench file; tolerates a missing or malformed file by starting
+/// fresh.
+fn read_bench_lines(path: &str) -> Vec<String> {
+    let Ok(body) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    body.lines()
+        .map(str::trim)
+        .filter(|l| l.starts_with('{'))
+        .map(|l| l.trim_end_matches(',').to_owned())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_preserves_cell_order_at_any_parallelism() {
+        let square = |i: usize| i * i;
+        let serial = Runner::new(1).run(37, square);
+        for jobs in [2, 4, 8] {
+            assert_eq!(Runner::new(jobs).run(37, square), serial);
+        }
+    }
+
+    #[test]
+    fn run_handles_edge_sizes() {
+        assert!(Runner::new(4).run(0, |i| i).is_empty());
+        assert_eq!(Runner::new(4).run(1, |i| i + 10), vec![10]);
+        // More workers than cells.
+        assert_eq!(Runner::new(64).run(3, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn run_sharded_is_jobs_invariant() {
+        let draw = |_i: usize, mut rng: Rng| (0..100).map(|_| rng.next_u64()).collect::<Vec<_>>();
+        let serial = Runner::new(1).run_sharded(8, 2019, draw);
+        let parallel = Runner::new(4).run_sharded(8, 2019, draw);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn sharded_histogram_is_jobs_invariant() {
+        let sample = |rng: &mut Rng| rng.next_below(10_000);
+        let a = Runner::new(1).sharded_histogram(8, 10_000, 7, sample);
+        let b = Runner::new(4).sharded_histogram(8, 10_000, 7, sample);
+        assert_eq!(a.count(), 10_000);
+        assert_eq!(a.count(), b.count());
+        assert_eq!(a.mean(), b.mean());
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(a.quantile(q), b.quantile(q));
+        }
+    }
+
+    #[test]
+    fn sharded_summary_is_jobs_invariant() {
+        let sample = |rng: &mut Rng| rng.next_f64();
+        let a = Runner::new(1).sharded_summary(5, 1_000, 42, sample);
+        let b = Runner::new(8).sharded_summary(5, 1_000, 42, sample);
+        assert_eq!(a.count(), 1_000);
+        assert_eq!(a.mean(), b.mean());
+        assert_eq!(a.stddev(), b.stddev());
+    }
+
+    #[test]
+    fn shard_len_splits_exactly() {
+        for total in [0u64, 1, 7, 100] {
+            for shards in [1usize, 3, 8] {
+                let sum: u64 = (0..shards).map(|i| shard_len(total, shards, i)).sum();
+                assert_eq!(sum, total);
+            }
+        }
+    }
+
+    #[test]
+    fn jobs_flag_parsing() {
+        let parse = |args: &[&str]| jobs_from(args.iter().map(|s| (*s).to_owned()));
+        assert_eq!(parse(&["--jobs", "4"]), 4);
+        assert_eq!(parse(&["--jobs=2"]), 2);
+        assert_eq!(parse(&["-j", "8"]), 8);
+        assert_eq!(parse(&["--jobs", "0"]), 1, "clamped to at least one");
+        let default = parse(&[]);
+        assert!(default >= 1);
+    }
+
+    #[test]
+    fn bench_entry_serializes_expected_fields() {
+        let e = BenchEntry {
+            cache_hits: Some(9),
+            cache_misses: Some(1),
+            ..BenchEntry::timing("fig4_syscall", 4, 12.5)
+        };
+        let json = e.to_json().to_string_compact();
+        assert!(json.contains("\"harness\":\"fig4_syscall\""));
+        assert!(json.contains("\"jobs\":4"));
+        assert!(json.contains("\"cache_hit_rate\":0.9"));
+        assert!(json.contains("\"serial_wall_ms\":null"));
+    }
+}

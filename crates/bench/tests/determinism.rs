@@ -1,0 +1,88 @@
+//! The runner's core contract: every harness produces byte-identical
+//! output at every `--jobs` value. These tests exercise the cheap
+//! harnesses end-to-end (text *and* serialized findings) and a reduced
+//! verify-study slice, at 1, 2 and 4 workers on whatever host runs the
+//! suite — worker count, not host core count, is what the contract
+//! quantifies over.
+
+use xc_bench::findings_json;
+use xc_bench::harness::{fig4, fig5, fig8, verify_study};
+use xc_bench::runner::Runner;
+use xcontainers::prelude::{Histogram, Rng, Summary};
+
+/// Byte-compares one harness's full output across worker counts.
+fn assert_jobs_invariant(run: impl Fn(&Runner) -> (String, String)) {
+    let (text1, json1) = run(&Runner::new(1));
+    for jobs in [2, 4] {
+        let (text, json) = run(&Runner::new(jobs));
+        assert_eq!(text, text1, "text diverged at --jobs {jobs}");
+        assert_eq!(json, json1, "findings diverged at --jobs {jobs}");
+    }
+}
+
+#[test]
+fn fig4_is_jobs_invariant() {
+    assert_jobs_invariant(|r| {
+        let out = fig4::run(r);
+        (out.text, findings_json(&out.findings))
+    });
+}
+
+#[test]
+fn fig5_is_jobs_invariant() {
+    assert_jobs_invariant(|r| {
+        let out = fig5::run(r);
+        (out.text, findings_json(&out.findings))
+    });
+}
+
+#[test]
+fn fig8_is_jobs_invariant() {
+    assert_jobs_invariant(|r| {
+        let out = fig8::run(r);
+        (out.text, findings_json(&out.findings))
+    });
+}
+
+/// A reduced verify-study pass (300 syscalls/app instead of 3000) must
+/// produce the same stable digest — rendered tables with the wall-time
+/// column blanked, plus findings — at every worker count, including the
+/// RNG-dependent ablation columns fed by per-cell substreams.
+#[test]
+fn verify_study_slice_is_jobs_invariant() {
+    let digest1 = verify_study::run_with(&Runner::new(1), 300, verify_study::SEED).stable_digest();
+    for jobs in [2, 4] {
+        let digest =
+            verify_study::run_with(&Runner::new(jobs), 300, verify_study::SEED).stable_digest();
+        assert_eq!(digest, digest1, "verify study diverged at --jobs {jobs}");
+    }
+}
+
+/// The verify-study cache must observe hits (the offline pre-flight
+/// re-reads the coverage pass's analysis) at any worker count.
+#[test]
+fn verify_study_slice_reports_cache_hits() {
+    let out = verify_study::run_with(&Runner::new(4), 300, verify_study::SEED);
+    assert!(out.cache_hits() > 0, "expected analysis-cache hits");
+    assert!(out.cache_hit_rate() > 0.0);
+}
+
+/// Sharded statistics merge to the same result at every worker count.
+#[test]
+fn sharded_stats_are_jobs_invariant() {
+    let sample_h = |rng: &mut Rng| rng.next_below(1_000_000);
+    let sample_s = |rng: &mut Rng| rng.next_f64() * 500.0;
+    let h1: Histogram = Runner::new(1).sharded_histogram(8, 10_000, 42, sample_h);
+    let s1: Summary = Runner::new(1).sharded_summary(8, 10_000, 42, sample_s);
+    for jobs in [2, 4] {
+        assert_eq!(
+            Runner::new(jobs).sharded_histogram(8, 10_000, 42, sample_h),
+            h1
+        );
+        let s = Runner::new(jobs).sharded_summary(8, 10_000, 42, sample_s);
+        assert_eq!(s.count(), s1.count());
+        assert_eq!(s.sum().to_bits(), s1.sum().to_bits());
+        assert_eq!(s.min().to_bits(), s1.min().to_bits());
+        assert_eq!(s.max().to_bits(), s1.max().to_bits());
+    }
+}

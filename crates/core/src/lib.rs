@@ -96,7 +96,7 @@ pub mod prelude {
     pub use xc_sim::rng::Rng;
     pub use xc_sim::stats::{Histogram, Summary};
     pub use xc_sim::time::Nanos;
-    pub use xc_verify::{Verdict, Verifier, VerifyReport};
+    pub use xc_verify::{AnalysisCache, Verdict, Verifier, VerifyReport};
     pub use xc_workloads::fig6::{DbTopology, LibOsPlatform};
     pub use xc_workloads::http::{run_closed_loop, RequestProfile, ServerModel};
     pub use xc_workloads::loadbalance::LbMode;

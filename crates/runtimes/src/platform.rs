@@ -60,25 +60,53 @@ pub struct Platform {
     patched: bool,
     backend: Backend,
     guest_config: KernelConfig,
+    /// [`Platform::guest_config`] with `kpti` forced to the host patch
+    /// state — precomputed so the syscall-cost hot path never clones a
+    /// `KernelConfig` (see [`Platform::trap_config`]).
+    trap_config: KernelConfig,
     abom_enabled: bool,
 }
 
 impl Platform {
+    /// Assembles a platform, precomputing the trap-path kernel
+    /// configuration once so per-syscall cost queries stay allocation-free.
+    fn assemble(
+        kind: PlatformKind,
+        cloud: CloudEnv,
+        patched: bool,
+        backend: Backend,
+        guest_config: KernelConfig,
+        abom_enabled: bool,
+    ) -> Platform {
+        let mut trap_config = guest_config.clone();
+        trap_config.kpti = patched;
+        Platform {
+            kind,
+            cloud,
+            patched,
+            backend,
+            guest_config,
+            trap_config,
+            abom_enabled,
+        }
+    }
+
     /// Native Docker: shared host kernel, default seccomp profile,
     /// bridge + iptables networking.
     pub fn docker(cloud: CloudEnv, patched: bool) -> Platform {
-        Platform {
-            kind: PlatformKind::Docker,
+        let guest = if patched {
+            KernelConfig::docker_default()
+        } else {
+            KernelConfig::docker_unpatched()
+        };
+        Platform::assemble(
+            PlatformKind::Docker,
             cloud,
             patched,
-            backend: Backend::Native,
-            guest_config: if patched {
-                KernelConfig::docker_default()
-            } else {
-                KernelConfig::docker_unpatched()
-            },
-            abom_enabled: false,
-        }
+            Backend::Native,
+            guest,
+            false,
+        )
     }
 
     /// Xen-Container: "exactly the same software stack … as X-Containers.
@@ -87,26 +115,26 @@ impl Platform {
     pub fn xen_container(cloud: CloudEnv, patched: bool) -> Platform {
         let mut cfg = KernelConfig::pv_guest_default();
         cfg.kpti = patched;
-        Platform {
-            kind: PlatformKind::XenContainer,
+        Platform::assemble(
+            PlatformKind::XenContainer,
             cloud,
             patched,
-            backend: Backend::XenPv,
-            guest_config: cfg,
-            abom_enabled: false,
-        }
+            Backend::XenPv,
+            cfg,
+            false,
+        )
     }
 
     /// X-Container: X-LibOS on the X-Kernel with ABOM enabled.
     pub fn x_container(cloud: CloudEnv, patched: bool) -> Platform {
-        Platform {
-            kind: PlatformKind::XContainer,
+        Platform::assemble(
+            PlatformKind::XContainer,
             cloud,
             patched,
-            backend: Backend::XKernel,
-            guest_config: KernelConfig::xlibos_default(),
-            abom_enabled: true,
-        }
+            Backend::XKernel,
+            KernelConfig::xlibos_default(),
+            true,
+        )
     }
 
     /// X-Container with ABOM disabled — the §5.2 ablation baseline.
@@ -119,18 +147,19 @@ impl Platform {
 
     /// gVisor with the ptrace platform (as deployed in the paper's era).
     pub fn gvisor(cloud: CloudEnv, patched: bool) -> Platform {
-        Platform {
-            kind: PlatformKind::Gvisor,
+        let guest = if patched {
+            KernelConfig::docker_default()
+        } else {
+            KernelConfig::docker_unpatched()
+        };
+        Platform::assemble(
+            PlatformKind::Gvisor,
             cloud,
             patched,
-            backend: Backend::Native,
-            guest_config: if patched {
-                KernelConfig::docker_default()
-            } else {
-                KernelConfig::docker_unpatched()
-            },
-            abom_enabled: false,
-        }
+            Backend::Native,
+            guest,
+            false,
+        )
     }
 
     /// Clear Containers under nested KVM. Returns `None` where nested
@@ -139,39 +168,41 @@ impl Platform {
     /// Per §5.1, only the host kernel is ever patched; the guest kernel in
     /// the nested VM stays unpatched in both configurations.
     pub fn clear_container(cloud: CloudEnv, patched: bool) -> Option<Platform> {
-        cloud.nested_virt_available().then(|| Platform {
-            kind: PlatformKind::ClearContainer,
-            cloud,
-            patched,
-            backend: Backend::Native,
-            guest_config: KernelConfig::docker_unpatched(),
-            abom_enabled: false,
+        cloud.nested_virt_available().then(|| {
+            Platform::assemble(
+                PlatformKind::ClearContainer,
+                cloud,
+                patched,
+                Backend::Native,
+                KernelConfig::docker_unpatched(),
+                false,
+            )
         })
     }
 
     /// Graphene on Linux, compiled without the security isolation module
     /// (§5.5).
     pub fn graphene(cloud: CloudEnv) -> Platform {
-        Platform {
-            kind: PlatformKind::Graphene,
+        Platform::assemble(
+            PlatformKind::Graphene,
             cloud,
-            patched: false,
-            backend: Backend::Native,
-            guest_config: KernelConfig::docker_unpatched(),
-            abom_enabled: false,
-        }
+            false,
+            Backend::Native,
+            KernelConfig::docker_unpatched(),
+            false,
+        )
     }
 
     /// Rumprun unikernel on Xen (§5.5).
     pub fn unikernel(cloud: CloudEnv) -> Platform {
-        Platform {
-            kind: PlatformKind::Unikernel,
+        Platform::assemble(
+            PlatformKind::Unikernel,
             cloud,
-            patched: false,
-            backend: Backend::XKernel, // same-privilege LibOS structure
-            guest_config: KernelConfig::xlibos_uniprocessor(),
-            abom_enabled: true, // statically linked: calls, not traps
-        }
+            false,
+            Backend::XKernel, // same-privilege LibOS structure
+            KernelConfig::xlibos_uniprocessor(),
+            true, // statically linked: calls, not traps
+        )
     }
 
     /// The ten §5.1 cloud configurations for `cloud`, in figure order
@@ -289,7 +320,7 @@ impl Platform {
             }
             PlatformKind::XContainer => {
                 self.backend
-                    .syscall_cost(costs, &self.trap_config(), self.abom_enabled)
+                    .syscall_cost(costs, self.trap_config(), self.abom_enabled)
             }
             PlatformKind::Gvisor => {
                 // Entry + exit ptrace stops, the sentry's own work, and
@@ -325,18 +356,18 @@ impl Platform {
     pub fn syscall_cost_trapped(&self, costs: &CostModel) -> Nanos {
         match self.kind {
             PlatformKind::XContainer | PlatformKind::Unikernel => {
-                self.backend.syscall_cost(costs, &self.trap_config(), false)
+                self.backend.syscall_cost(costs, self.trap_config(), false)
             }
             _ => self.syscall_cost(costs),
         }
     }
 
     /// The trap path crosses into the X-Kernel, which carries the patch
-    /// when `patched` (the §5.1 port of KPTI to Xen).
-    fn trap_config(&self) -> KernelConfig {
-        let mut cfg = self.guest_config.clone();
-        cfg.kpti = self.patched;
-        cfg
+    /// when `patched` (the §5.1 port of KPTI to Xen). Precomputed at
+    /// construction: `syscall_cost` sits on every simulated request path.
+    #[inline]
+    fn trap_config(&self) -> &KernelConfig {
+        &self.trap_config
     }
 
     /// Cost of taking one device/network event batch into the kernel.

@@ -254,17 +254,20 @@ impl CostModel {
     ///
     /// This is the quantity the X-Container global-bit optimization (§4.3)
     /// avoids for the kernel's share of the working set.
+    #[inline]
     pub fn tlb_flush_with_refill(&self, hot_pages: u64) -> Nanos {
         self.tlb_flush_full + self.tlb_refill_per_page * hot_pages
     }
 
     /// Cost of one batched `mmu_update` hypercall applying `entries` PTE
     /// updates.
+    #[inline]
     pub fn mmu_update_batch(&self, entries: u64) -> Nanos {
         self.hypercall + self.pte_update * entries
     }
 
     /// Cost of copying `bytes` through `memcpy`.
+    #[inline]
     pub fn copy_bytes(&self, bytes: u64) -> Nanos {
         // Round up to whole KiB to keep integer math; sub-KiB copies are
         // dominated by fixed syscall costs anyway.
@@ -272,6 +275,7 @@ impl CostModel {
     }
 
     /// Cost of grant-copying `bytes` across a split-driver boundary.
+    #[inline]
     pub fn grant_copy_bytes(&self, bytes: u64) -> Nanos {
         self.grant_copy_per_kb * bytes.div_ceil(1024)
     }

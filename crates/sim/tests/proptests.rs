@@ -109,4 +109,70 @@ proptest! {
         let b = Rng::new(seed).derive(&label).next_u64();
         prop_assert_eq!(a, b);
     }
+
+    /// Merging per-shard histograms (in any chunking) is *exactly* the
+    /// single-stream histogram: every bucket count, and therefore every
+    /// quantile, matches — including values sitting right on power-of-two
+    /// bucket boundaries, which the generator aims for deliberately.
+    #[test]
+    fn histogram_shard_merge_equals_single_stream(
+        codes in proptest::collection::vec(0u64..180, 1..300),
+        shards in 1usize..8,
+    ) {
+        // Decode (exponent, offset) pairs into values at 2^e - 1, 2^e,
+        // and 2^e + 1 — the edges where bucket indexing changes.
+        let values: Vec<u64> = codes
+            .iter()
+            .map(|&c| {
+                let base = 1u64 << (c / 3).min(60);
+                match c % 3 {
+                    0 => base.saturating_sub(1),
+                    1 => base,
+                    _ => base + 1,
+                }
+            })
+            .collect();
+        let whole: Histogram = values.iter().copied().collect();
+        let mut merged = Histogram::new();
+        for chunk in values.chunks(values.len().div_ceil(shards)) {
+            let shard: Histogram = chunk.iter().copied().collect();
+            merged.merge(&shard);
+        }
+        prop_assert_eq!(merged.count(), whole.count());
+        prop_assert_eq!(merged.min(), whole.min());
+        prop_assert_eq!(merged.max(), whole.max());
+        prop_assert_eq!(merged.mean().to_bits(), whole.mean().to_bits());
+        for i in 0..=20 {
+            let q = f64::from(i) / 20.0;
+            prop_assert_eq!(merged.quantile(q), whole.quantile(q));
+        }
+    }
+
+    /// Merging per-shard summaries across any shard count matches the
+    /// single-stream summary (count/min/max exactly, moments within fp
+    /// tolerance) — the contract the parallel runner's sharded
+    /// statistics rely on.
+    #[test]
+    fn summary_shard_merge_equals_single_stream(
+        xs in proptest::collection::vec(-1e6f64..1e6, 1..300),
+        shards in 1usize..8,
+    ) {
+        let whole: Summary = xs.iter().copied().collect();
+        let mut merged = Summary::new();
+        for chunk in xs.chunks(xs.len().div_ceil(shards)) {
+            let shard: Summary = chunk.iter().copied().collect();
+            merged.merge(&shard);
+        }
+        prop_assert_eq!(merged.count(), whole.count());
+        prop_assert_eq!(merged.min(), whole.min());
+        prop_assert_eq!(merged.max(), whole.max());
+        let tol = 1e-9 * (1.0 + whole.sum().abs());
+        prop_assert!((merged.sum() - whole.sum()).abs() <= tol);
+        prop_assert!(
+            (merged.mean() - whole.mean()).abs() <= 1e-9 * (1.0 + whole.mean().abs())
+        );
+        prop_assert!(
+            (merged.stddev() - whole.stddev()).abs() <= 1e-6 * (1.0 + whole.stddev().abs())
+        );
+    }
 }

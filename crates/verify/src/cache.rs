@@ -1,0 +1,227 @@
+//! Memoized analysis results, keyed by image identity.
+//!
+//! The full pipeline — disassembly, CFG construction, dataflow, verdict
+//! judging — is a pure function of the image bytes and the verifier
+//! configuration, yet the hot paths that consume it re-run it per query:
+//! the online patcher's pre-flight check analyzes the image on *every*
+//! trapped syscall, and the offline patcher re-analyzes an image the
+//! caller often just analyzed itself. [`AnalysisCache`] memoizes
+//! [`Verifier::analyze`] behind a fingerprint of `(base, len, bytes,
+//! config)`, so repeated queries against an unchanged image decode once.
+//!
+//! Keying on the byte content (FNV-1a over the whole image) makes
+//! invalidation automatic: the moment a patcher rewrites a site, the
+//! fingerprint changes and the stale analysis is simply never consulted
+//! again. Entries are [`Arc`]-shared, so a hit costs one hash of the
+//! image plus a reference-count bump — no re-decode, no clone of the
+//! analysis.
+//!
+//! # Example
+//!
+//! ```
+//! use xc_isa::asm::Assembler;
+//! use xc_isa::inst::{Inst, Reg};
+//! use xc_verify::{AnalysisCache, Verifier};
+//!
+//! let mut a = Assembler::new(0x40_0000);
+//! a.inst(Inst::MovImm32 { reg: Reg::Rax, imm: 0 });
+//! a.inst(Inst::Syscall);
+//! a.inst(Inst::Ret);
+//! let image = a.finish().unwrap();
+//!
+//! let mut cache = AnalysisCache::new();
+//! let verifier = Verifier::new();
+//! let first = cache.analyze(&verifier, &image);
+//! let second = cache.analyze(&verifier, &image);
+//! assert!(std::sync::Arc::ptr_eq(&first, &second));
+//! assert_eq!((cache.hits(), cache.misses()), (1, 1));
+//! ```
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use xc_isa::image::BinaryImage;
+
+use crate::verifier::{Analysis, Verifier};
+
+/// FNV-1a offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+#[inline]
+fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
+    for b in bytes {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Fingerprint of everything [`Verifier::analyze`] depends on: load
+/// address, length, byte content, and the verifier's syscall-number bound.
+fn fingerprint(verifier: &Verifier, image: &BinaryImage) -> u64 {
+    let mut h = FNV_OFFSET;
+    h = fnv1a(h, &image.base().to_le_bytes());
+    h = fnv1a(h, &(image.len() as u64).to_le_bytes());
+    h = fnv1a(h, &verifier.config().max_syscall_nr.to_le_bytes());
+    let body = image
+        .read_bytes(image.base(), image.len())
+        .expect("whole-image read is in bounds by construction");
+    fnv1a(h, body)
+}
+
+/// A memo table over [`Verifier::analyze`] with hit/miss accounting.
+///
+/// The cache is unbounded: its natural population is one entry per
+/// distinct image *state* (pre-patch, post-offline-patch, and each
+/// intermediate online-patch state that gets re-queried), which for the
+/// study corpora is a handful of small images. Use [`AnalysisCache::clear`]
+/// if a long-lived process churns through many images.
+#[derive(Debug, Clone, Default)]
+pub struct AnalysisCache {
+    entries: HashMap<u64, Arc<Analysis>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl AnalysisCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        AnalysisCache::default()
+    }
+
+    /// Returns the memoized analysis of `image` under `verifier`, running
+    /// the full pipeline only when the `(image, config)` fingerprint has
+    /// not been seen before.
+    pub fn analyze(&mut self, verifier: &Verifier, image: &BinaryImage) -> Arc<Analysis> {
+        let key = fingerprint(verifier, image);
+        if let Some(hit) = self.entries.get(&key) {
+            self.hits += 1;
+            return Arc::clone(hit);
+        }
+        self.misses += 1;
+        let analysis = Arc::new(verifier.analyze(image));
+        self.entries.insert(key, Arc::clone(&analysis));
+        analysis
+    }
+
+    /// Number of lookups served from the memo table.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of lookups that ran the full analysis pipeline.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Fraction of lookups served from the memo table, in `[0, 1]`
+    /// (0 when nothing has been looked up).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Number of distinct image states currently memoized.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drops all memoized analyses; keeps the hit/miss counters.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xc_isa::asm::Assembler;
+    use xc_isa::inst::{Inst, Reg};
+
+    fn wrapper_image() -> BinaryImage {
+        let mut a = Assembler::new(0x40_0000);
+        a.inst(Inst::MovImm32 {
+            reg: Reg::Rax,
+            imm: 1,
+        });
+        a.inst(Inst::Syscall);
+        a.inst(Inst::Ret);
+        a.finish().unwrap()
+    }
+
+    #[test]
+    fn second_lookup_hits_and_shares() {
+        let image = wrapper_image();
+        let verifier = Verifier::new();
+        let mut cache = AnalysisCache::new();
+        let a = cache.analyze(&verifier, &image);
+        let b = cache.analyze(&verifier, &image);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert!((cache.hit_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn mutation_invalidates_by_content() {
+        let mut image = wrapper_image();
+        let verifier = Verifier::new();
+        let mut cache = AnalysisCache::new();
+        let before = cache.analyze(&verifier, &image);
+        // Rewrite the mov+syscall pair the way ABOM's case 1 would.
+        image.protect_all(true);
+        image
+            .write(0x40_0000, &[0xff, 0x14, 0x25, 0x08, 0x00, 0x60, 0xff])
+            .unwrap();
+        let after = cache.analyze(&verifier, &image);
+        assert!(!Arc::ptr_eq(&before, &after));
+        assert_eq!(cache.misses(), 2, "changed bytes must re-analyze");
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn config_participates_in_the_key() {
+        let image = wrapper_image();
+        let mut cache = AnalysisCache::new();
+        let default = Verifier::new();
+        let narrow = Verifier::with_config(crate::verifier::VerifierConfig { max_syscall_nr: 0 });
+        cache.analyze(&default, &image);
+        cache.analyze(&narrow, &image);
+        assert_eq!(cache.misses(), 2, "different configs must not collide");
+    }
+
+    #[test]
+    fn matches_uncached_analysis() {
+        let image = wrapper_image();
+        let verifier = Verifier::new();
+        let mut cache = AnalysisCache::new();
+        let cached = cache.analyze(&verifier, &image);
+        let direct = verifier.analyze(&image);
+        assert_eq!(cached.report().tally(), direct.report().tally());
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_counters() {
+        let image = wrapper_image();
+        let verifier = Verifier::new();
+        let mut cache = AnalysisCache::new();
+        cache.analyze(&verifier, &image);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.misses(), 1);
+        cache.analyze(&verifier, &image);
+        assert_eq!(cache.misses(), 2);
+    }
+}

@@ -47,6 +47,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod cfg;
 pub mod dataflow;
 pub mod disasm;
@@ -54,6 +55,7 @@ pub mod report;
 pub mod reverify;
 pub mod verifier;
 
+pub use cache::AnalysisCache;
 pub use cfg::{BasicBlock, Cfg, Edge, EdgeKind};
 pub use dataflow::{Dataflow, RaxValue};
 pub use disasm::{disassemble_image, Disassembly};

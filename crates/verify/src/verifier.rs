@@ -60,6 +60,12 @@ impl Verifier {
         Verifier { config }
     }
 
+    /// This verifier's configuration (part of the [`crate::AnalysisCache`]
+    /// key: analyses under different configurations must not alias).
+    pub fn config(&self) -> &VerifierConfig {
+        &self.config
+    }
+
     /// Runs the full pipeline — disassembly, CFG construction, dataflow —
     /// and renders a verdict for every `syscall` site in `image`.
     pub fn analyze(&self, image: &BinaryImage) -> Analysis {

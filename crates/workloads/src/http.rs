@@ -211,7 +211,10 @@ pub fn run_closed_loop(
         rng: Rng::new(seed),
         waiting: std::collections::VecDeque::new(),
     };
-    let mut sim = Simulation::new(world);
+    // Steady state holds at most one pending event per connection (its
+    // in-flight Arrive or Finish); pre-size the heap so it never grows
+    // mid-run.
+    let mut sim = Simulation::with_capacity(world, connections as usize + 1);
     for i in 0..connections {
         // Stagger initial arrivals across one RTT.
         let offset = rtt * u64::from(i) / u64::from(connections.max(1));

@@ -127,7 +127,8 @@ pub fn des_throughput(
         core_queue: VecDeque::new(),
         completed: 0,
     };
-    let mut sim = Simulation::new(fleet);
+    // One pending event per connection per container at steady state.
+    let mut sim = Simulation::with_capacity(fleet, n as usize * CONNECTIONS as usize + 1);
     for c in 0..n as usize {
         for k in 0..CONNECTIONS {
             // Stagger connection start-up across one RTT.

@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
-# Repository hygiene gate: formatting and lints, exactly as CI would run
-# them. Fails on any diff or warning.
+# Repository hygiene gate: formatting, lints, the runner determinism
+# suite, and a serial-vs-parallel smoke pass of the combined acceptance
+# harness. Fails on any diff, warning, test failure, or byte divergence
+# between --jobs 1 and --jobs N output.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -10,4 +12,36 @@ cargo fmt --all -- --check
 echo "== cargo clippy (workspace, all targets, warnings are errors) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "ok: formatting clean, no lints"
+echo "== runner determinism suite =="
+cargo test -q -p xc-bench --test determinism
+
+echo "== all_experiments --jobs 1 vs --jobs N smoke pass =="
+cargo build -q --release -p xc-bench --bin all_experiments
+bin=target/release/all_experiments
+jobs=$(nproc 2>/dev/null || echo 4)
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+t0=$(date +%s.%N)
+"$bin" --jobs 1 >"$tmp/serial.out"
+t1=$(date +%s.%N)
+cp results/all_experiments.json "$tmp/serial.json"
+"$bin" --jobs "$jobs" >"$tmp/parallel.out"
+t2=$(date +%s.%N)
+cp results/all_experiments.json "$tmp/parallel.json"
+
+if ! diff -q "$tmp/serial.out" "$tmp/parallel.out" >/dev/null; then
+    echo "FAIL: all_experiments stdout diverges between --jobs 1 and --jobs $jobs" >&2
+    diff "$tmp/serial.out" "$tmp/parallel.out" >&2 || true
+    exit 1
+fi
+if ! diff -q "$tmp/serial.json" "$tmp/parallel.json" >/dev/null; then
+    echo "FAIL: results/all_experiments.json diverges between --jobs 1 and --jobs $jobs" >&2
+    exit 1
+fi
+awk -v s="$t0" -v m="$t1" -v p="$t2" -v j="$jobs" 'BEGIN {
+    printf "ok: identical output at --jobs 1 (%.1fs) and --jobs %s (%.1fs, incl. serial self-check)\n",
+        m - s, j, p - m
+}'
+
+echo "ok: formatting clean, no lints, deterministic at any --jobs"
