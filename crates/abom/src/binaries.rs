@@ -222,7 +222,26 @@ pub fn invoke_with(
     stack_nr: Option<u64>,
     rdi: Option<u64>,
 ) -> Result<(), CpuError> {
-    let mut cpu = Cpu::new(entry);
+    invoke_reusing(&mut Cpu::new(entry), image, kernel, entry, stack_nr, rdi)
+}
+
+/// Like [`invoke_with`], but rewinds and reuses a caller-owned CPU instead
+/// of building a fresh one. Drivers that invoke wrappers in a tight loop
+/// (the Table 1 study executes hundreds of thousands of invocations) keep
+/// one CPU alive this way and skip the per-call 64 KiB stack allocation.
+///
+/// # Errors
+///
+/// Propagates interpreter faults ([`CpuError`]).
+pub fn invoke_reusing(
+    cpu: &mut Cpu,
+    image: &mut BinaryImage,
+    kernel: &mut XContainerKernel,
+    entry: u64,
+    stack_nr: Option<u64>,
+    rdi: Option<u64>,
+) -> Result<(), CpuError> {
+    cpu.reset(entry);
     if let Some(v) = rdi {
         cpu.set_reg(Reg::Rdi, v);
     }

@@ -33,12 +33,14 @@ pub struct AbomConfig {
     /// Whether phase 2 of the 9-byte replacement runs (ablation: phase 1
     /// alone is still correct, just leaves a dead `syscall`).
     pub nine_byte_phase2: bool,
-    /// Run the full `xc-verify` static analysis before each patch and
-    /// refuse sites it cannot prove [`Safe`](xc_verify::Verdict::Safe).
-    /// Off by default: the online replacements carry their own safety
-    /// argument (trap-driven, atomic, `#UD`-recoverable), so the analysis
-    /// is redundant — this knob exists to *measure* that redundancy (the
-    /// `verify_study` ablation bench).
+    /// Run the full `xc-verify` static analysis on every trapped syscall
+    /// and refuse to patch sites it cannot prove
+    /// [`Safe`](xc_verify::Verdict::Safe). Off by default: the online
+    /// replacements carry their own safety argument (trap-driven, atomic,
+    /// `#UD`-recoverable), so the analysis is redundant — this knob exists
+    /// to *measure* that redundancy (the `verify_study` ablation bench),
+    /// and the content-keyed [`xc_verify::AnalysisCache`] is what makes
+    /// the per-trap analysis affordable.
     pub preflight_verify: bool,
 }
 
@@ -112,8 +114,9 @@ pub struct Abom {
     /// Memoized pre-flight analyses (only populated with
     /// [`AbomConfig::preflight_verify`]). Keyed by image content, so a
     /// successful patch automatically invalidates: the next trap sees new
-    /// bytes and re-analyzes. Repeated traps on *rejected* (never
-    /// rewritten) sites — the expensive case — hit the cache.
+    /// bytes and re-analyzes. Repeated traps over an unchanged image —
+    /// unrecognized and cancellable wrappers, the common steady state —
+    /// hit the cache.
     verify_cache: xc_verify::AnalysisCache,
 }
 
@@ -166,26 +169,32 @@ impl Abom {
         if !self.config.enabled {
             return PatchOutcome::Disabled;
         }
-        let Some(pattern) = recognize(image, syscall_addr) else {
-            self.stats.unrecognized += 1;
-            return PatchOutcome::NotRecognized;
-        };
+        let pattern = recognize(image, syscall_addr);
         if self.config.preflight_verify {
-            // Full static analysis per image *state*, memoized by content:
-            // only the first trap after each byte change pays the pipeline;
-            // every further trap on an unchanged image is a cache hit. The
-            // verify_study bench quantifies both the cost and the
-            // (expected) zero change in patch decisions.
+            // The verifier-in-the-loop kernel re-proves *every* trapped
+            // site against the current image state, recognized or not —
+            // that is the ablation being measured. Memoization by content
+            // makes the repeated proofs cheap: only the first trap after
+            // each byte change pays the pipeline; every further trap on an
+            // unchanged image (unrecognized and cancellable wrappers trap
+            // forever) is a cache hit. Only sites the pattern matcher
+            // would actually rewrite can be vetoed.
             let analysis = self
                 .verify_cache
                 .analyze(&xc_verify::Verifier::new(), image);
             self.stats.verify_cache_hits = self.verify_cache.hits();
             self.stats.verify_cache_misses = self.verify_cache.misses();
-            if analysis.verdict_at(syscall_addr) != Some(xc_verify::Verdict::Safe) {
+            if pattern.is_some()
+                && analysis.verdict_at(syscall_addr) != Some(xc_verify::Verdict::Safe)
+            {
                 self.stats.verify_rejected += 1;
                 return PatchOutcome::VerifyRejected;
             }
         }
+        let Some(pattern) = pattern else {
+            self.stats.unrecognized += 1;
+            return PatchOutcome::NotRecognized;
+        };
         match self.apply(image, pattern, syscall_addr) {
             Ok(outcome) => {
                 if let PatchOutcome::Patched(p) = outcome {
@@ -461,6 +470,45 @@ mod tests {
             PatchOutcome::NotRecognized
         );
         assert_eq!(abom.stats().unrecognized, 1);
+    }
+
+    #[test]
+    fn preflight_repeated_traps_on_same_body_hit_the_cache() {
+        // A register-indirect wrapper is never rewritten, so its body —
+        // and therefore the image content — is identical on every trap:
+        // the first pre-flight analysis is a miss, each repeat is a hit.
+        let mut a = Assembler::new(0x40_0000);
+        a.label("wrapper").unwrap();
+        a.inst(Inst::MovRegReg64 {
+            dst: Reg::Rax,
+            src: Reg::Rdi,
+        });
+        let at = a.here();
+        a.inst(Inst::Syscall);
+        a.inst(Inst::Ret);
+        let mut img = a.finish().unwrap();
+
+        let mut abom = Abom::with_config(AbomConfig {
+            enabled: true,
+            nine_byte_phase2: true,
+            preflight_verify: true,
+        });
+        for _ in 0..3 {
+            assert_eq!(
+                abom.on_syscall_trap(&mut img, at),
+                PatchOutcome::NotRecognized
+            );
+        }
+        assert_eq!(abom.stats().verify_cache_misses, 1);
+        assert_eq!(
+            abom.stats().verify_cache_hits,
+            2,
+            "repeated analyses of the same body must hit"
+        );
+        // Unrecognized sites are counted but never vetoed: only sites the
+        // pattern matcher would rewrite can be rejected.
+        assert_eq!(abom.stats().unrecognized, 3);
+        assert_eq!(abom.stats().verify_rejected, 0);
     }
 
     #[test]

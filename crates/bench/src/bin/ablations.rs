@@ -2,20 +2,17 @@
 //! global-bit mappings, hierarchical scheduling, the Meltdown patch tax,
 //! and the 9-byte phase 2. The logic lives in
 //! [`xc_bench::harness::ablations`]; this wrapper parses `--jobs`,
-//! prints the result and records findings plus wall time.
+//! prints the result and records findings plus wall time and (when
+//! parallel) a serial reference run.
 
-use std::time::Instant;
-
-use xc_bench::harness::ablations;
+use xc_bench::harness::{ablations, measure};
 use xc_bench::record;
-use xc_bench::runner::{record_bench, BenchEntry, Runner};
+use xc_bench::runner::{record_bench, Runner};
 
 fn main() {
     let runner = Runner::from_args();
-    let start = Instant::now();
-    let out = ablations::run(&runner);
-    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let (out, entry) = measure("ablations", &runner, ablations::run);
     print!("{}", out.text);
     record("ablations", &out.findings);
-    record_bench(&BenchEntry::timing("ablations", runner.jobs(), wall_ms));
+    record_bench(&entry);
 }

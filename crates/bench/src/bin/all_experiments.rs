@@ -5,50 +5,37 @@
 //! The experiment logic lives in [`xc_bench::harness::all_experiments`]
 //! and runs through the deterministic parallel [`Runner`] (`--jobs N`,
 //! default: available parallelism). When running with more than one
-//! worker this wrapper also re-runs the pass serially and fails unless
-//! the parallel output is byte-identical — the determinism contract,
-//! enforced on every invocation. Timings go to stderr and
+//! worker, [`measure`] also re-runs the pass serially and this wrapper
+//! fails unless the parallel output is byte-identical — the determinism
+//! contract, enforced on every invocation. Timings go to stderr and
 //! `BENCH_runner.json`, never stdout, so stdout stays byte-comparable
 //! across `--jobs` values.
+//!
+//! [`measure`]: xc_bench::harness::measure
 
-use std::time::Instant;
-
-use xc_bench::harness::all_experiments;
-use xc_bench::runner::{record_bench, BenchEntry, Runner};
-use xc_bench::{findings_json, record};
+use xc_bench::harness::{all_experiments, measure};
+use xc_bench::record;
+use xc_bench::runner::{record_bench, Runner};
 
 fn main() {
     let runner = Runner::from_args();
-    let start = Instant::now();
-    let out = all_experiments::run(&runner);
-    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
-
-    let mut entry = BenchEntry::timing("all_experiments", runner.jobs(), wall_ms);
-    let mut diverged = false;
-    if runner.jobs() > 1 {
-        let serial_start = Instant::now();
-        let serial = all_experiments::run(&Runner::new(1));
-        entry.serial_wall_ms = Some(serial_start.elapsed().as_secs_f64() * 1e3);
-        let matches = serial.text == out.text
-            && findings_json(&serial.findings) == findings_json(&out.findings);
-        entry.parallel_matches_serial = Some(matches);
-        diverged = !matches;
-        eprintln!(
+    let (out, entry) = measure("all_experiments", &runner, all_experiments::run);
+    match (entry.serial_wall_ms, entry.parallel_matches_serial) {
+        (Some(serial_ms), Some(matches)) => eprintln!(
             "all_experiments: {:.1} ms at --jobs {}, {:.1} ms serial reference, outputs {}",
-            wall_ms,
+            entry.wall_ms,
             runner.jobs(),
-            entry.serial_wall_ms.unwrap(),
+            serial_ms,
             if matches { "identical" } else { "DIVERGED" }
-        );
-    } else {
-        eprintln!("all_experiments: {wall_ms:.1} ms at --jobs 1");
+        ),
+        _ => eprintln!("all_experiments: {:.1} ms at --jobs 1", entry.wall_ms),
     }
 
     print!("{}", out.text);
     record("all_experiments", &out.findings);
     record_bench(&entry);
 
-    if diverged {
+    if entry.parallel_matches_serial == Some(false) {
         eprintln!("error: parallel output differs from the serial reference");
         std::process::exit(1);
     }

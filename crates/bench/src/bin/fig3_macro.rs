@@ -5,20 +5,17 @@
 //! Each cell comes from a deterministic closed-loop simulation of the
 //! benchmark client against the platform's server model. The logic
 //! lives in [`xc_bench::harness::fig3`]; this wrapper parses `--jobs`,
-//! prints the result and records findings plus wall time.
+//! prints the result and records findings plus wall time, closed-loop
+//! cache counters, and (when parallel) a serial reference run.
 
-use std::time::Instant;
-
-use xc_bench::harness::fig3;
+use xc_bench::harness::{fig3, measure};
 use xc_bench::record;
-use xc_bench::runner::{record_bench, BenchEntry, Runner};
+use xc_bench::runner::{record_bench, Runner};
 
 fn main() {
     let runner = Runner::from_args();
-    let start = Instant::now();
-    let out = fig3::run(&runner);
-    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let (out, entry) = measure("fig3_macro", &runner, fig3::run);
     print!("{}", out.text);
     record("fig3", &out.findings);
-    record_bench(&BenchEntry::timing("fig3_macro", runner.jobs(), wall_ms));
+    record_bench(&entry);
 }

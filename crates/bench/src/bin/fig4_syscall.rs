@@ -4,20 +4,17 @@
 //! concurrent (4 copies), on both clouds, normalized to patched Docker —
 //! the paper's exact presentation. The logic lives in
 //! [`xc_bench::harness::fig4`]; this wrapper parses `--jobs`, prints the
-//! result and records findings plus wall time.
+//! result and records findings plus wall time and (when parallel) a
+//! serial reference run.
 
-use std::time::Instant;
-
-use xc_bench::harness::fig4;
+use xc_bench::harness::{fig4, measure};
 use xc_bench::record;
-use xc_bench::runner::{record_bench, BenchEntry, Runner};
+use xc_bench::runner::{record_bench, Runner};
 
 fn main() {
     let runner = Runner::from_args();
-    let start = Instant::now();
-    let out = fig4::run(&runner);
-    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let (out, entry) = measure("fig4_syscall", &runner, fig4::run);
     print!("{}", out.text);
     record("fig4", &out.findings);
-    record_bench(&BenchEntry::timing("fig4_syscall", runner.jobs(), wall_ms));
+    record_bench(&entry);
 }

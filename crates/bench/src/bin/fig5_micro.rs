@@ -3,20 +3,17 @@
 //! Process Creation, and iperf, in the paper's four panels
 //! (Amazon/Google × single/concurrent), normalized to patched Docker.
 //! The logic lives in [`xc_bench::harness::fig5`]; this wrapper parses
-//! `--jobs`, prints the result and records findings plus wall time.
+//! `--jobs`, prints the result and records findings plus wall time and
+//! (when parallel) a serial reference run.
 
-use std::time::Instant;
-
-use xc_bench::harness::fig5;
+use xc_bench::harness::{fig5, measure};
 use xc_bench::record;
-use xc_bench::runner::{record_bench, BenchEntry, Runner};
+use xc_bench::runner::{record_bench, Runner};
 
 fn main() {
     let runner = Runner::from_args();
-    let start = Instant::now();
-    let out = fig5::run(&runner);
-    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let (out, entry) = measure("fig5_micro", &runner, fig5::run);
     print!("{}", out.text);
     record("fig5", &out.findings);
-    record_bench(&BenchEntry::timing("fig5_micro", runner.jobs(), wall_ms));
+    record_bench(&entry);
 }

@@ -2,24 +2,17 @@
 //! increases (NGINX+PHP-FPM per container, wrk with 1 thread / 5
 //! connections each, one 16-core 96 GB host). The logic lives in
 //! [`xc_bench::harness::fig8`]; this wrapper parses `--jobs`, prints the
-//! result and records findings plus wall time.
+//! result and records findings plus wall time and (when parallel) a
+//! serial reference run.
 
-use std::time::Instant;
-
-use xc_bench::harness::fig8;
+use xc_bench::harness::{fig8, measure};
 use xc_bench::record;
-use xc_bench::runner::{record_bench, BenchEntry, Runner};
+use xc_bench::runner::{record_bench, Runner};
 
 fn main() {
     let runner = Runner::from_args();
-    let start = Instant::now();
-    let out = fig8::run(&runner);
-    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let (out, entry) = measure("fig8_scalability", &runner, fig8::run);
     print!("{}", out.text);
     record("fig8", &out.findings);
-    record_bench(&BenchEntry::timing(
-        "fig8_scalability",
-        runner.jobs(),
-        wall_ms,
-    ));
+    record_bench(&entry);
 }

@@ -2,7 +2,8 @@
 //! coverage, post-patch shape, and the pre-flight redundancy ablation.
 //! The logic lives in [`xc_bench::harness::verify_study`]; this wrapper
 //! parses `--jobs`, prints the result and records findings plus wall
-//! time and analysis-cache hit accounting.
+//! time, analysis-cache hit accounting, and (when parallel) a serial
+//! reference run compared on the wall-time-blanked stable digest.
 
 use std::time::Instant;
 
@@ -20,5 +21,13 @@ fn main() {
     let mut entry = BenchEntry::timing("verify_study", runner.jobs(), wall_ms);
     entry.cache_hits = Some(out.cache_hits());
     entry.cache_misses = Some(out.cache_misses());
+    if runner.jobs() > 1 {
+        // The rendered table carries per-profile wall times, so the
+        // serial comparison uses the digest with those columns blanked.
+        let serial_start = Instant::now();
+        let serial = verify_study::run(&Runner::new(1));
+        entry.serial_wall_ms = Some(serial_start.elapsed().as_secs_f64() * 1e3);
+        entry.parallel_matches_serial = Some(serial.stable_digest() == out.stable_digest());
+    }
     record_bench(&entry);
 }

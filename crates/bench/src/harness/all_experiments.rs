@@ -206,5 +206,9 @@ pub fn run(runner: &Runner) -> HarnessOutput {
         findings.len(),
         out_of_band
     );
-    HarnessOutput { text, findings }
+    HarnessOutput {
+        text,
+        findings,
+        cache_stats: None,
+    }
 }

@@ -12,7 +12,12 @@ const CONNECTIONS: u32 = 50;
 const DURATION_MS: u64 = 300;
 const SEED: u64 = 7;
 
-fn measure(platform: &Platform, profile: &RequestProfile, costs: &CostModel) -> (f64, f64) {
+fn measure(
+    platform: &Platform,
+    profile: &RequestProfile,
+    costs: &CostModel,
+    cache: &mut ClosedLoopCache,
+) -> (f64, f64) {
     // Default images: nginx:1.13 runs one worker, memcached:1.5.7 four
     // threads, redis:3.2.11 a single event loop.
     let workers = match profile.name {
@@ -25,27 +30,40 @@ fn measure(platform: &Platform, profile: &RequestProfile, costs: &CostModel) -> 
         workers,
         cores: 4,
     };
-    let r = run_closed_loop(
+    let r = run_closed_loop_cached(
         &server,
         costs,
         CONNECTIONS,
         Nanos::from_millis(DURATION_MS),
         SEED,
+        cache,
     );
     (r.throughput_rps, r.latency.mean() / 1_000.0)
 }
 
-/// One (cloud, profile) cell: a whole normalized table plus its findings.
-fn cell(cloud: CloudEnv, profile: &RequestProfile, costs: &CostModel) -> (String, Vec<Finding>) {
+/// One (cloud, profile) cell: a whole normalized table plus its
+/// findings and the cell's simulation-cache `(hits, misses)`.
+///
+/// A per-cell [`ClosedLoopCache`] deduplicates platforms that derive
+/// identical simulation parameters — the normalization baseline vs the
+/// matrix's patched-Docker entry, and the patched/unpatched pairs whose
+/// guest kernel ignores the host patch state (X-Container,
+/// Clear Container) — roughly a third of the naive simulation work.
+fn cell(
+    cloud: CloudEnv,
+    profile: &RequestProfile,
+    costs: &CostModel,
+) -> (String, Vec<Finding>, (u64, u64)) {
     let mut findings = Vec::new();
+    let mut cache = ClosedLoopCache::new();
     let mut table = Table::new(
         &format!("Figure 3: {} — {}", profile.name, cloud.name()),
         &["configuration", "rel. throughput", "rel. latency"],
     );
     let (baseline, matrix) = platform_matrix(cloud);
-    let (base_tput, base_lat) = measure(&baseline, profile, costs);
+    let (base_tput, base_lat) = measure(&baseline, profile, costs, &mut cache);
     for platform in matrix {
-        let (tput, lat) = measure(&platform, profile, costs);
+        let (tput, lat) = measure(&platform, profile, costs, &mut cache);
         table.row([
             Cell::from(platform.name()),
             Cell::Num(tput / base_tput, 2),
@@ -70,7 +88,11 @@ fn cell(cloud: CloudEnv, profile: &RequestProfile, costs: &CostModel) -> (String
             });
         }
     }
-    (format!("{table}\n"), findings)
+    (
+        format!("{table}\n"),
+        findings,
+        (cache.hits(), cache.misses()),
+    )
 }
 
 /// Runs the full cloud × profile grid, one cell per (cloud, profile).
@@ -85,7 +107,17 @@ pub fn run(runner: &Runner) -> HarnessOutput {
         let (cloud, profile) = &grid[i];
         cell(*cloud, profile, &costs)
     });
+    let (mut hits, mut misses) = (0, 0);
+    let cells: Vec<(String, Vec<Finding>)> = cells
+        .into_iter()
+        .map(|(text, findings, (h, m))| {
+            hits += h;
+            misses += m;
+            (text, findings)
+        })
+        .collect();
     let mut out = HarnessOutput::merge(cells);
+    out.cache_stats = Some((hits, misses));
     out.text.push_str(
         "Shape (§5.3): X-Containers lead Docker most on memcached (syscall-\n\
          dense ops), moderately on NGINX, and only match it on Redis (user-\n\

@@ -68,5 +68,9 @@ pub fn run(runner: &Runner) -> HarnessOutput {
             in_band: d50 > x50,
         },
     ];
-    HarnessOutput { text, findings }
+    HarnessOutput {
+        text,
+        findings,
+        cache_stats: None,
+    }
 }

@@ -230,9 +230,11 @@ impl BenchEntry {
         }
     }
 
+    /// Serializes the populated fields only: a harness that never ran a
+    /// serial reference or has no cache simply omits those keys instead
+    /// of emitting `null` placeholders.
     fn to_json(&self) -> Json {
-        let opt_num = |v: Option<f64>| v.map_or(Json::Null, Json::Num);
-        json_object([
+        let mut fields = vec![
             ("harness", Json::from(self.harness)),
             ("jobs", Json::Num(self.jobs as f64)),
             (
@@ -243,21 +245,25 @@ impl BenchEntry {
                 ),
             ),
             ("wall_ms", Json::Num(self.wall_ms)),
-            ("serial_wall_ms", opt_num(self.serial_wall_ms)),
-            (
-                "parallel_matches_serial",
-                self.parallel_matches_serial.map_or(Json::Null, Json::Bool),
-            ),
-            ("cache_hits", opt_num(self.cache_hits.map(|v| v as f64))),
-            ("cache_misses", opt_num(self.cache_misses.map(|v| v as f64))),
-            (
-                "cache_hit_rate",
-                match (self.cache_hits, self.cache_misses) {
-                    (Some(h), Some(m)) if h + m > 0 => Json::Num(h as f64 / (h + m) as f64),
-                    _ => Json::Null,
-                },
-            ),
-        ])
+        ];
+        if let Some(v) = self.serial_wall_ms {
+            fields.push(("serial_wall_ms", Json::Num(v)));
+        }
+        if let Some(v) = self.parallel_matches_serial {
+            fields.push(("parallel_matches_serial", Json::Bool(v)));
+        }
+        if let Some(h) = self.cache_hits {
+            fields.push(("cache_hits", Json::Num(h as f64)));
+        }
+        if let Some(m) = self.cache_misses {
+            fields.push(("cache_misses", Json::Num(m as f64)));
+        }
+        if let (Some(h), Some(m)) = (self.cache_hits, self.cache_misses) {
+            if h + m > 0 {
+                fields.push(("cache_hit_rate", Json::Num(h as f64 / (h + m) as f64)));
+            }
+        }
+        json_object(fields)
     }
 }
 
@@ -377,6 +383,29 @@ mod tests {
         assert!(json.contains("\"harness\":\"fig4_syscall\""));
         assert!(json.contains("\"jobs\":4"));
         assert!(json.contains("\"cache_hit_rate\":0.9"));
-        assert!(json.contains("\"serial_wall_ms\":null"));
+        assert!(
+            !json.contains("serial_wall_ms"),
+            "never-populated fields are dropped, not serialized as null: {json}"
+        );
+        assert!(
+            !json.contains("null"),
+            "no null placeholders at all: {json}"
+        );
+    }
+
+    #[test]
+    fn bench_entry_with_serial_reference_serializes_it() {
+        let e = BenchEntry {
+            serial_wall_ms: Some(40.0),
+            parallel_matches_serial: Some(true),
+            ..BenchEntry::timing("fig3_macro", 4, 12.5)
+        };
+        let json = e.to_json().to_string_compact();
+        assert!(json.contains("\"serial_wall_ms\":40"));
+        assert!(json.contains("\"parallel_matches_serial\":true"));
+        assert!(
+            !json.contains("cache_hits"),
+            "absent cache stays absent: {json}"
+        );
     }
 }

@@ -98,7 +98,9 @@ pub mod prelude {
     pub use xc_sim::time::Nanos;
     pub use xc_verify::{AnalysisCache, Verdict, Verifier, VerifyReport};
     pub use xc_workloads::fig6::{DbTopology, LibOsPlatform};
-    pub use xc_workloads::http::{run_closed_loop, RequestProfile, ServerModel};
+    pub use xc_workloads::http::{
+        run_closed_loop, run_closed_loop_cached, ClosedLoopCache, RequestProfile, ServerModel,
+    };
     pub use xc_workloads::loadbalance::LbMode;
     pub use xc_workloads::scalability::ScalabilityConfig;
     pub use xc_workloads::unixbench::{MicroBench, SystemCallBench};

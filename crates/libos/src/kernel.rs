@@ -20,6 +20,7 @@ use crate::config::KernelConfig;
 use crate::pipe::{Pipe, PipeError};
 use crate::process::{Pid, ProcessError, ProcessTable};
 use crate::sched::{FairScheduler, TaskId, WEIGHT_NICE_0};
+use crate::syscalls::DispatchTable;
 use crate::vfs::{Fd, Vfs, VfsError};
 
 /// Identifier of an open pipe.
@@ -101,6 +102,11 @@ pub struct GuestKernel {
     elapsed: Nanos,
     syscalls: u64,
     abom_optimized: bool,
+    /// Syscall routes and dispatch cost, resolved once on the first
+    /// syscall (the constructor has no cost model in scope). `(backend,
+    /// config, abom_optimized)` are immutable after construction, so the
+    /// resolution can never go stale.
+    dispatch: Option<DispatchTable>,
 }
 
 impl GuestKernel {
@@ -120,6 +126,7 @@ impl GuestKernel {
             elapsed: Nanos::ZERO,
             syscalls: 0,
             abom_optimized: backend == Backend::XKernel,
+            dispatch: None,
         }
     }
 
@@ -145,9 +152,24 @@ impl GuestKernel {
 
     fn charge_syscall(&mut self, costs: &CostModel) {
         self.syscalls += 1;
-        self.elapsed += self
-            .backend
-            .syscall_cost(costs, &self.config, self.abom_optimized);
+        let dispatch = self.dispatch.get_or_insert_with(|| {
+            DispatchTable::resolve(self.backend, &self.config, self.abom_optimized, costs)
+        });
+        // The resolution is keyed by construction-time state; callers
+        // passing a different cost model mid-lifetime would invalidate
+        // it, which debug builds catch here.
+        debug_assert_eq!(
+            dispatch.dispatch_cost(),
+            self.backend
+                .syscall_cost(costs, &self.config, self.abom_optimized)
+        );
+        self.elapsed += dispatch.dispatch_cost();
+    }
+
+    /// The resolved per-syscall dispatch table (route + cost per
+    /// syscall number), if any syscall has been dispatched yet.
+    pub fn dispatch_table(&self) -> Option<&DispatchTable> {
+        self.dispatch.as_ref()
     }
 
     /// Spawns the container's initial (or an additional top-level)
@@ -350,6 +372,29 @@ mod tests {
             Backend::XKernel => KernelConfig::xlibos_default(),
         };
         GuestKernel::new(backend, config)
+    }
+
+    #[test]
+    fn dispatch_table_resolves_lazily_and_charges_identically() {
+        let costs = CostModel::skylake_cloud();
+        for backend in [Backend::Native, Backend::XenPv, Backend::XKernel] {
+            let mut k = kernel(backend);
+            assert!(k.dispatch_table().is_none(), "resolved only on demand");
+            let init = k.spawn("a", 100, &costs).unwrap();
+            let before = k.elapsed();
+            let _ = k.fork(init, &costs).unwrap();
+            let table = k.dispatch_table().expect("resolved by first syscall");
+            // The cached cost is exactly the per-call composition the
+            // slow path would have charged.
+            let config = match backend {
+                Backend::Native => KernelConfig::docker_default(),
+                Backend::XenPv => KernelConfig::pv_guest_default(),
+                Backend::XKernel => KernelConfig::xlibos_default(),
+            };
+            let expected = backend.syscall_cost(&costs, &config, backend == Backend::XKernel);
+            assert_eq!(table.dispatch_cost(), expected);
+            assert!(k.elapsed() >= before + expected);
+        }
     }
 
     #[test]

@@ -63,3 +63,4 @@ pub use config::KernelConfig;
 pub use kernel::GuestKernel;
 pub use process::{Pid, ProcessTable};
 pub use sched::FairScheduler;
+pub use syscalls::{DispatchTable, SyscallRoute};

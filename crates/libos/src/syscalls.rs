@@ -3,7 +3,16 @@
 //! Binary compatibility (§2.3) means *numbers* are the interface: ABOM
 //! bakes them into vsyscall entries and the Table 1 profiles distribute
 //! dynamic calls over them. This module gives the numbers names so
-//! profiles and tests read like strace output instead of integer soup.
+//! profiles and tests read like strace output instead of integer soup,
+//! and provides the per-domain [`DispatchTable`] that resolves every
+//! number's dispatch route and cost once per kernel instead of on every
+//! syscall.
+
+use xc_sim::cost::CostModel;
+use xc_sim::time::Nanos;
+
+use crate::backend::Backend;
+use crate::config::KernelConfig;
 
 /// `read` — the Figure 2 case-1 example.
 pub const SYS_READ: u64 = 0;
@@ -115,6 +124,86 @@ pub fn name(nr: u64) -> Option<&'static str> {
 pub const UNIXBENCH_SYSCALL_LOOP: [u64; 5] =
     [SYS_DUP, SYS_CLOSE, SYS_GETPID, SYS_GETUID, SYS_UMASK];
 
+/// Entries in the ABOM vsyscall table: dedicated wrappers exist for
+/// syscall numbers `0..VSYSCALL_TABLE_ENTRIES` (§4.4); higher numbers
+/// fall back to the generic bounce.
+pub const VSYSCALL_TABLE_ENTRIES: u64 = 352;
+
+/// How a syscall leaves the process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyscallRoute {
+    /// Hardware `syscall` trap into a ring-0 kernel (native Linux).
+    Trap,
+    /// Bounced through the hypervisor ABI into an isolated or
+    /// same-privilege guest kernel (Xen PV, unoptimized X-LibOS).
+    Forwarded,
+    /// ABOM-rewritten function call straight into the X-LibOS — no
+    /// privilege crossing at all (§4.4).
+    FunctionCall,
+}
+
+/// Per-domain syscall-dispatch fast path.
+///
+/// [`Backend::syscall_cost`] recomposes the dispatch price — ABI
+/// constants plus the KPTI tax — from scratch on every call, and the
+/// route decision (trap vs bounce vs function call) is re-derived with
+/// it. Both are fixed once a kernel's `(backend, config, optimized)`
+/// triple is known, so a [`DispatchTable`] resolves them a single time:
+/// a dense `SyscallRoute` table indexed by syscall number plus the
+/// per-dispatch cost. `GuestKernel` builds one lazily on its first
+/// syscall and afterwards charges syscalls with a field read.
+#[derive(Debug, Clone)]
+pub struct DispatchTable {
+    /// Route per syscall number (dense, `VSYSCALL_TABLE_ENTRIES` long);
+    /// numbers past the table's end take `fallback`.
+    routes: Box<[SyscallRoute]>,
+    /// Route for numbers without a dedicated vsyscall entry.
+    fallback: SyscallRoute,
+    /// Dispatch cost shared by every routed syscall (the cost model
+    /// prices the crossing, not the number).
+    dispatch_cost: Nanos,
+}
+
+impl DispatchTable {
+    /// Resolves the route and dispatch cost for every syscall number
+    /// under the given kernel deployment.
+    pub fn resolve(
+        backend: Backend,
+        config: &KernelConfig,
+        optimized: bool,
+        costs: &CostModel,
+    ) -> Self {
+        let (table_route, fallback) = match backend {
+            Backend::Native => (SyscallRoute::Trap, SyscallRoute::Trap),
+            Backend::XenPv => (SyscallRoute::Forwarded, SyscallRoute::Forwarded),
+            // Only numbers with a dedicated vsyscall entry become ABOM
+            // function calls; the rest still bounce.
+            Backend::XKernel if optimized => (SyscallRoute::FunctionCall, SyscallRoute::Forwarded),
+            Backend::XKernel => (SyscallRoute::Forwarded, SyscallRoute::Forwarded),
+        };
+        DispatchTable {
+            routes: vec![table_route; VSYSCALL_TABLE_ENTRIES as usize].into_boxed_slice(),
+            fallback,
+            dispatch_cost: backend.syscall_cost(costs, config, optimized),
+        }
+    }
+
+    /// The dispatch route for syscall number `nr`.
+    #[inline]
+    pub fn route(&self, nr: u64) -> SyscallRoute {
+        self.routes
+            .get(nr as usize)
+            .copied()
+            .unwrap_or(self.fallback)
+    }
+
+    /// The resolved per-dispatch cost.
+    #[inline]
+    pub fn dispatch_cost(&self) -> Nanos {
+        self.dispatch_cost
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -150,5 +239,67 @@ mod tests {
             assert!(nr <= 351, "nr {nr} must have a dedicated entry");
         }
         const _: () = assert!(SYS_ACCEPT4 <= 351);
+    }
+
+    #[test]
+    fn dispatch_routes_per_backend() {
+        let costs = CostModel::skylake_cloud();
+        let native = DispatchTable::resolve(
+            Backend::Native,
+            &KernelConfig::docker_default(),
+            false,
+            &costs,
+        );
+        let pv = DispatchTable::resolve(
+            Backend::XenPv,
+            &KernelConfig::docker_default(),
+            false,
+            &costs,
+        );
+        let xc = DispatchTable::resolve(
+            Backend::XKernel,
+            &KernelConfig::xlibos_default(),
+            true,
+            &costs,
+        );
+        assert_eq!(native.route(SYS_READ), SyscallRoute::Trap);
+        assert_eq!(pv.route(SYS_READ), SyscallRoute::Forwarded);
+        assert_eq!(xc.route(SYS_READ), SyscallRoute::FunctionCall);
+        // Numbers beyond the vsyscall table keep bouncing even under ABOM.
+        assert_eq!(xc.route(VSYSCALL_TABLE_ENTRIES), SyscallRoute::Forwarded);
+        assert_eq!(xc.route(9999), SyscallRoute::Forwarded);
+        assert_eq!(native.route(9999), SyscallRoute::Trap);
+    }
+
+    #[test]
+    fn dispatch_cost_matches_backend_composition() {
+        let costs = CostModel::skylake_cloud();
+        for (backend, config, optimized) in [
+            (Backend::Native, KernelConfig::docker_default(), false),
+            (Backend::XenPv, KernelConfig::docker_default(), false),
+            (Backend::XKernel, KernelConfig::xlibos_default(), true),
+            (Backend::XKernel, KernelConfig::xlibos_default(), false),
+        ] {
+            let table = DispatchTable::resolve(backend, &config, optimized, &costs);
+            assert_eq!(
+                table.dispatch_cost(),
+                backend.syscall_cost(&costs, &config, optimized),
+                "{backend:?} optimized={optimized}"
+            );
+        }
+    }
+
+    #[test]
+    fn unoptimized_xkernel_never_routes_function_calls() {
+        let costs = CostModel::skylake_cloud();
+        let xc = DispatchTable::resolve(
+            Backend::XKernel,
+            &KernelConfig::xlibos_default(),
+            false,
+            &costs,
+        );
+        for nr in 0..VSYSCALL_TABLE_ENTRIES {
+            assert_eq!(xc.route(nr), SyscallRoute::Forwarded);
+        }
     }
 }

@@ -1,0 +1,479 @@
+//! Calendar-queue event storage for the DES engine.
+//!
+//! A [`CalendarQueue`] replaces the engine's former `BinaryHeap` with a
+//! timing wheel: pending events are bucketed by simulated-time *epoch*
+//! (`time >> BUCKET_BITS`), with a small overflow heap catching events
+//! scheduled beyond the wheel's window. The hot operations become O(1)
+//! amortised — a push is a bucket index plus a `Vec` push, a pop takes
+//! the tail of a pre-sorted front bucket — instead of O(log n) sift
+//! chains whose `u128` compares dominate a saturated simulation.
+//!
+//! # Determinism
+//!
+//! Both queue implementations in this module pop keys in strictly
+//! ascending `u128` order, and the engine packs `(time, seq)` into that
+//! key lexicographically (`time` in the high 64 bits, the insertion
+//! sequence number in the low 64). Equal keys cannot exist because the
+//! sequence number is unique, so the pop order — time first, insertion
+//! order within an instant — is a total order independent of the
+//! container: heap and wheel are observationally identical. The
+//! [`HeapQueue`] reference implementation (the engine's previous
+//! container, verbatim) exists so tests and the `queue_bench` binary can
+//! check that equivalence empirically on random schedules.
+//!
+//! # Structure
+//!
+//! * `current` — the open bucket: every pending event with epoch ≤
+//!   `cursor`, sorted by key *descending* so the next event to fire is a
+//!   plain `Vec::pop` from the tail.
+//! * `ring` — `NUM_BUCKETS` unsorted buckets for epochs in
+//!   `(cursor, cursor + NUM_BUCKETS)`. Within that half-open window each
+//!   residue class `epoch % NUM_BUCKETS` contains exactly one epoch, so
+//!   a live bucket only ever holds keys of a single epoch.
+//! * `overflow` — a min-heap for events at or beyond the window's far
+//!   edge; entries migrate onto the ring as the cursor advances.
+//!
+//! When `current` drains, the queue advances: the nearest populated
+//! epoch (scanning the ring, bounded by the overflow minimum) becomes
+//! the new cursor, overflow entries now inside the window migrate, and
+//! the cursor's ring bucket is sorted into `current`. Each event is
+//! touched a constant number of times on its way through — push, one
+//! migration at most, one sort, pop — which is where the wheel beats the
+//! heap's per-operation log factor.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::Nanos;
+
+/// log2 of the bucket width in nanoseconds: 2^12 ns ≈ 4.1 µs per
+/// bucket. Service times and RTTs in the workload models are
+/// microsecond-scale, so a saturated simulation lands a handful of
+/// events in each bucket.
+const BUCKET_BITS: u32 = 12;
+/// Number of wheel buckets (power of two). 1024 buckets × 4.1 µs ≈
+/// 4.2 ms of look-ahead window; events beyond it wait in the overflow
+/// heap.
+const NUM_BUCKETS: usize = 1 << 10;
+const EPOCH_MASK: u64 = NUM_BUCKETS as u64 - 1;
+
+/// Packs an absolute time and a sequence number into one scalar key
+/// whose `u128` order is the lexicographic `(time, seq)` order.
+#[inline]
+pub fn key(at: Nanos, seq: u64) -> u128 {
+    (u128::from(at.as_nanos()) << 64) | u128::from(seq)
+}
+
+/// Recovers the time half of a packed key.
+#[inline]
+pub fn key_time(key: u128) -> Nanos {
+    Nanos::from_nanos((key >> 64) as u64)
+}
+
+#[inline]
+fn epoch_of(key: u128) -> u64 {
+    ((key >> 64) as u64) >> BUCKET_BITS
+}
+
+/// One pending event: a packed `(time, seq)` key plus its payload.
+///
+/// Ordering is *inverted* on the key so that a `BinaryHeap` (a
+/// max-heap) pops the smallest key first.
+struct Entry<E> {
+    key: u128,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.key.cmp(&self.key)
+    }
+}
+
+/// The engine's previous event container — a plain binary min-heap on
+/// the packed key — kept as the reference implementation the calendar
+/// queue is checked against (equivalence proptest, `queue_bench`).
+pub struct HeapQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+}
+
+impl<E> HeapQueue<E> {
+    /// Creates an empty heap.
+    pub fn new() -> Self {
+        HeapQueue {
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    /// Creates an empty heap with room for `capacity` pending events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        HeapQueue {
+            heap: BinaryHeap::with_capacity(capacity),
+        }
+    }
+
+    /// Reserves room for at least `additional` more pending events.
+    pub fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Inserts an event under a packed key.
+    #[inline]
+    pub fn push(&mut self, key: u128, event: E) {
+        self.heap.push(Entry { key, event });
+    }
+
+    /// Removes and returns the smallest-keyed event.
+    #[inline]
+    pub fn pop(&mut self) -> Option<(u128, E)> {
+        self.heap.pop().map(|e| (e.key, e.event))
+    }
+
+    /// The smallest pending key, if any. (`&mut` for API symmetry with
+    /// [`CalendarQueue::peek_key`].)
+    #[inline]
+    pub fn peek_key(&mut self) -> Option<u128> {
+        self.heap.peek().map(|e| e.key)
+    }
+
+    /// Removes and returns the smallest-keyed event iff its key is at
+    /// most `limit`.
+    #[inline]
+    pub fn pop_due(&mut self, limit: u128) -> Option<(u128, E)> {
+        if self.heap.peek()?.key > limit {
+            return None;
+        }
+        self.heap.pop().map(|e| (e.key, e.event))
+    }
+}
+
+impl<E> Default for HeapQueue<E> {
+    fn default() -> Self {
+        HeapQueue::new()
+    }
+}
+
+/// A timing-wheel priority queue over packed `(time, seq)` keys.
+///
+/// Pops keys in strictly ascending order, exactly like [`HeapQueue`]
+/// (see the module docs for the argument), with O(1) amortised push and
+/// pop. The one contract inherited from the engine: a pushed key must
+/// not be smaller than the last key popped (the engine's
+/// "no scheduling into the past" rule guarantees it).
+pub struct CalendarQueue<E> {
+    /// Open bucket: all events with epoch ≤ `cursor`, sorted by key
+    /// descending (next event at the tail).
+    current: Vec<Entry<E>>,
+    /// Epoch covered by `current`.
+    cursor: u64,
+    /// The wheel. Lazily allocated on first use; bucket `epoch & MASK`
+    /// holds events of the single live epoch in that residue class.
+    ring: Vec<Vec<Entry<E>>>,
+    /// Total events stored across all ring buckets.
+    ring_len: usize,
+    /// Events at or beyond the window's far edge, min-keyed first.
+    overflow: BinaryHeap<Entry<E>>,
+}
+
+impl<E> CalendarQueue<E> {
+    /// Creates an empty queue with the cursor at epoch zero.
+    pub fn new() -> Self {
+        CalendarQueue {
+            current: Vec::new(),
+            cursor: 0,
+            ring: Vec::new(),
+            ring_len: 0,
+            overflow: BinaryHeap::new(),
+        }
+    }
+
+    /// Creates an empty queue with the open bucket pre-sized for
+    /// `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let mut q = CalendarQueue::new();
+        q.current.reserve(capacity);
+        q
+    }
+
+    /// Reserves room for at least `additional` more events in the open
+    /// bucket.
+    pub fn reserve(&mut self, additional: usize) {
+        self.current.reserve(additional);
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.current.len() + self.ring_len + self.overflow.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Inserts an event under a packed key.
+    #[inline]
+    pub fn push(&mut self, key: u128, event: E) {
+        let epoch = epoch_of(key);
+        if epoch <= self.cursor {
+            // The open bucket: binary-insert to keep the descending
+            // order. Most same-instant work lands at the tail.
+            let idx = self.current.partition_point(|e| e.key > key);
+            self.current.insert(idx, Entry { key, event });
+        } else if epoch - self.cursor < NUM_BUCKETS as u64 {
+            if self.ring.is_empty() {
+                self.ring = (0..NUM_BUCKETS).map(|_| Vec::new()).collect();
+            }
+            self.ring[(epoch & EPOCH_MASK) as usize].push(Entry { key, event });
+            self.ring_len += 1;
+        } else {
+            self.overflow.push(Entry { key, event });
+        }
+    }
+
+    /// Removes and returns the smallest-keyed event.
+    #[inline]
+    pub fn pop(&mut self) -> Option<(u128, E)> {
+        if self.current.is_empty() && !self.advance() {
+            return None;
+        }
+        self.current.pop().map(|e| (e.key, e.event))
+    }
+
+    /// The smallest pending key, if any. Takes `&mut self` because
+    /// finding the front may advance the wheel cursor.
+    #[inline]
+    pub fn peek_key(&mut self) -> Option<u128> {
+        if self.current.is_empty() && !self.advance() {
+            return None;
+        }
+        self.current.last().map(|e| e.key)
+    }
+
+    /// Removes and returns the smallest-keyed event iff its key is at
+    /// most `limit` — a fused peek-then-pop, so bounded drains
+    /// (`run_until`) find the front once per event instead of twice.
+    #[inline]
+    pub fn pop_due(&mut self, limit: u128) -> Option<(u128, E)> {
+        if self.current.is_empty() && !self.advance() {
+            return None;
+        }
+        match self.current.last() {
+            Some(e) if e.key <= limit => self.current.pop().map(|e| (e.key, e.event)),
+            _ => None,
+        }
+    }
+
+    /// Refills the drained open bucket from the nearest populated
+    /// epoch. Returns `false` when no events remain anywhere.
+    ///
+    /// Deliberately *not* `#[cold]`: in a steady closed loop the event
+    /// spacing is close to one bucket width, so the wheel advances
+    /// nearly once per pop and this path is as hot as the pop itself.
+    fn advance(&mut self) -> bool {
+        debug_assert!(self.current.is_empty());
+        if self.ring_len == 0 && self.overflow.is_empty() {
+            return false;
+        }
+        // The next cursor is the nearest populated epoch: scan the ring
+        // outward from the cursor, stopping early if the overflow
+        // minimum is nearer. A live ring bucket holds a single epoch,
+        // so a non-empty bucket at distance d *is* epoch cursor + d.
+        let overflow_epoch = self.overflow.peek().map(|e| epoch_of(e.key));
+        let mut next = overflow_epoch;
+        if self.ring_len > 0 {
+            for d in 1..NUM_BUCKETS as u64 {
+                let ep = self.cursor + d;
+                if matches!(next, Some(limit) if ep >= limit) {
+                    break;
+                }
+                if !self.ring[(ep & EPOCH_MASK) as usize].is_empty() {
+                    next = Some(ep);
+                    break;
+                }
+            }
+        }
+        let Some(next) = next else { return false };
+        self.cursor = next;
+        // Pull overflow entries that are now inside the window. The
+        // minimum's epoch is already in hand, so the common case (empty
+        // or still-distant overflow) costs no second heap peek.
+        if overflow_epoch.is_some_and(|ep| ep - self.cursor < NUM_BUCKETS as u64) {
+            while let Some(e) = self.overflow.peek() {
+                let ep = epoch_of(e.key);
+                if ep <= self.cursor {
+                    let e = self.overflow.pop().expect("peeked entry");
+                    self.current.push(e);
+                } else if ep - self.cursor < NUM_BUCKETS as u64 {
+                    let e = self.overflow.pop().expect("peeked entry");
+                    if self.ring.is_empty() {
+                        self.ring = (0..NUM_BUCKETS).map(|_| Vec::new()).collect();
+                    }
+                    self.ring[(ep & EPOCH_MASK) as usize].push(e);
+                    self.ring_len += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        // Open the cursor's ring bucket.
+        if self.ring_len > 0 {
+            let bucket = &mut self.ring[(self.cursor & EPOCH_MASK) as usize];
+            self.ring_len -= bucket.len();
+            self.current.append(bucket);
+        }
+        // Near-empty buckets are the steady state when event spacing is
+        // comparable to the bucket width; skip the sort-call overhead
+        // for the singleton case.
+        if self.current.len() > 1 {
+            self.current
+                .sort_unstable_by_key(|e| std::cmp::Reverse(e.key));
+        }
+        debug_assert!(!self.current.is_empty());
+        true
+    }
+}
+
+impl<E> Default for CalendarQueue<E> {
+    fn default() -> Self {
+        CalendarQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_packs_lexicographically() {
+        let early = key(Nanos::from_nanos(10), u64::MAX);
+        let late = key(Nanos::from_nanos(11), 0);
+        assert_eq!(key_time(early), Nanos::from_nanos(10));
+        assert_eq!(key_time(late), Nanos::from_nanos(11));
+        assert!(early < late, "time dominates seq");
+        let tie_a = key(Nanos::from_nanos(5), 1);
+        let tie_b = key(Nanos::from_nanos(5), 2);
+        assert!(tie_a < tie_b, "equal times break ties by insertion order");
+    }
+
+    /// Pops every event from both queues, asserting identical order.
+    fn drain_both(mut cal: CalendarQueue<u32>, mut heap: HeapQueue<u32>) {
+        assert_eq!(cal.len(), heap.len());
+        loop {
+            assert_eq!(cal.peek_key(), heap.peek_key());
+            let (a, b) = (cal.pop(), heap.pop());
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn wheel_matches_heap_within_window() {
+        let mut cal = CalendarQueue::new();
+        let mut heap = HeapQueue::new();
+        for (i, ns) in [30u64, 10, 20, 10, 0, 4096, 5000].iter().enumerate() {
+            let k = key(Nanos::from_nanos(*ns), i as u64);
+            cal.push(k, i as u32);
+            heap.push(k, i as u32);
+        }
+        drain_both(cal, heap);
+    }
+
+    #[test]
+    fn wheel_matches_heap_through_overflow() {
+        let mut cal = CalendarQueue::new();
+        let mut heap = HeapQueue::new();
+        // Far beyond the window (cursor 0, window ~4.2 ms) plus near
+        // events; the far ones must migrate back in, in order.
+        let times = [
+            1u64 << 40,
+            (1 << 40) + 1,
+            5,
+            1 << 33,
+            (1 << 33) + (1 << 22),
+            u64::MAX,
+        ];
+        for (i, ns) in times.iter().enumerate() {
+            let k = key(Nanos::from_nanos(*ns), i as u64);
+            cal.push(k, i as u32);
+            heap.push(k, i as u32);
+        }
+        drain_both(cal, heap);
+    }
+
+    #[test]
+    fn interleaved_push_pop_matches_heap() {
+        let mut cal = CalendarQueue::new();
+        let mut heap = HeapQueue::new();
+        let mut seq = 0u64;
+        let mut push = |cal: &mut CalendarQueue<u32>, heap: &mut HeapQueue<u32>, ns: u64| {
+            let k = key(Nanos::from_nanos(ns), seq);
+            cal.push(k, seq as u32);
+            heap.push(k, seq as u32);
+            seq += 1;
+        };
+        for ns in [100u64, 9_000, 50_000_000] {
+            push(&mut cal, &mut heap, ns);
+        }
+        assert_eq!(cal.pop(), heap.pop()); // pops t=100
+                                           // Push behind the cursor's epoch but after the popped key.
+        push(&mut cal, &mut heap, 150);
+        push(&mut cal, &mut heap, 8_999);
+        drain_both(cal, heap);
+    }
+
+    #[test]
+    fn epoch_rollover_wraps_ring_residues() {
+        // Two epochs NUM_BUCKETS apart share a ring residue; the second
+        // must wait for the window to slide, not corrupt the first.
+        let mut cal = CalendarQueue::new();
+        let mut heap = HeapQueue::new();
+        let bucket_ns = 1u64 << BUCKET_BITS;
+        let window = bucket_ns * NUM_BUCKETS as u64;
+        for (i, ns) in [bucket_ns, bucket_ns + window, bucket_ns + 2 * window]
+            .iter()
+            .enumerate()
+        {
+            let k = key(Nanos::from_nanos(*ns), i as u64);
+            cal.push(k, i as u32);
+            heap.push(k, i as u32);
+        }
+        drain_both(cal, heap);
+    }
+
+    #[test]
+    fn len_tracks_all_tiers() {
+        let mut cal: CalendarQueue<u8> = CalendarQueue::new();
+        assert!(cal.is_empty());
+        cal.push(key(Nanos::from_nanos(1), 0), 1); // current epoch
+        cal.push(key(Nanos::from_micros(100), 1), 2); // ring
+        cal.push(key(Nanos::from_secs(10), 2), 3); // overflow
+        assert_eq!(cal.len(), 3);
+        assert!(!cal.is_empty());
+        while cal.pop().is_some() {}
+        assert_eq!(cal.len(), 0);
+    }
+}

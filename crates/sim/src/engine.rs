@@ -38,9 +38,7 @@
 //! assert_eq!(sim.now(), Nanos::from_nanos(20));
 //! ```
 
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
-
+use crate::calendar::{key, key_time, CalendarQueue};
 use crate::time::Nanos;
 
 /// Simulation state that reacts to events.
@@ -59,59 +57,19 @@ pub trait World: Sized {
     fn handle(&mut self, now: Nanos, event: Self::Event, queue: &mut EventQueue<Self::Event>);
 }
 
-/// Heap entry with `(time, seq)` packed into one `u128` so the heap's
-/// sift operations compare a single scalar instead of two fields with a
-/// branch between them — the comparison is the hottest instruction in a
-/// saturated simulation.
-struct Entry<E> {
-    /// `(at << 64) | seq`: lexicographic `(time, seq)` order by
-    /// construction, since both halves are unsigned.
-    key: u128,
-    event: E,
-}
-
-impl<E> Entry<E> {
-    #[inline]
-    fn new(at: Nanos, seq: u64, event: E) -> Self {
-        Entry {
-            key: (u128::from(at.as_nanos()) << 64) | u128::from(seq),
-            event,
-        }
-    }
-
-    #[inline]
-    fn at(&self) -> Nanos {
-        Nanos::from_nanos((self.key >> 64) as u64)
-    }
-}
-
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.key == other.key
-    }
-}
-impl<E> Eq for Entry<E> {}
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
-        // first.
-        other.key.cmp(&self.key)
-    }
-}
-
 /// The pending-event queue handed to [`World::handle`].
 ///
 /// Events may be scheduled for the current instant or any future instant;
 /// scheduling into the past is a logic error and panics, because it would
 /// silently corrupt causality.
+///
+/// Storage is a [`CalendarQueue`] (see [`crate::calendar`]): events are
+/// keyed by `(time, seq)` packed into a `u128`, and the wheel pops keys
+/// in the same strictly ascending order the previous binary heap did,
+/// with O(1) amortised push/pop instead of O(log n).
 #[derive(Default)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    cal: CalendarQueue<E>,
     seq: u64,
     now: Nanos,
 }
@@ -120,21 +78,21 @@ impl<E> EventQueue<E> {
     /// Creates an empty queue at time zero.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            cal: CalendarQueue::new(),
             seq: 0,
             now: Nanos::ZERO,
         }
     }
 
     /// Creates an empty queue with room for `capacity` pending events
-    /// before the heap reallocates.
+    /// before the open bucket reallocates.
     ///
     /// Closed-loop workloads know their steady-state queue depth up front
     /// (roughly one in-flight event per connection plus one per busy
-    /// worker); pre-sizing removes every mid-run heap growth.
+    /// worker); pre-sizing removes every mid-run growth.
     pub fn with_capacity(capacity: usize) -> Self {
         EventQueue {
-            heap: BinaryHeap::with_capacity(capacity),
+            cal: CalendarQueue::with_capacity(capacity),
             seq: 0,
             now: Nanos::ZERO,
         }
@@ -142,7 +100,7 @@ impl<E> EventQueue<E> {
 
     /// Reserves room for at least `additional` more pending events.
     pub fn reserve(&mut self, additional: usize) {
-        self.heap.reserve(additional);
+        self.cal.reserve(additional);
     }
 
     /// Current simulated time.
@@ -152,12 +110,12 @@ impl<E> EventQueue<E> {
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.cal.len()
     }
 
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.cal.is_empty()
     }
 
     /// Schedules `event` at the absolute instant `at`.
@@ -173,7 +131,7 @@ impl<E> EventQueue<E> {
         );
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Entry::new(at, seq, event));
+        self.cal.push(key(at, seq), event);
     }
 
     /// Schedules `event` after a relative `delay`.
@@ -182,13 +140,36 @@ impl<E> EventQueue<E> {
         self.schedule_at(at, event);
     }
 
+    /// The instant of the next pending event, if any. Takes `&mut self`
+    /// because finding the front may advance the wheel cursor; the
+    /// visible state (pending events, `now`) is unchanged.
+    pub fn peek_at(&mut self) -> Option<Nanos> {
+        self.cal.peek_key().map(key_time)
+    }
+
     fn pop(&mut self) -> Option<(Nanos, E)> {
-        self.heap.pop().map(|e| {
-            let at = e.at();
+        self.cal.pop().map(|(key, event)| {
+            let at = key_time(key);
             debug_assert!(at >= self.now);
             self.now = at;
-            (at, e.event)
+            (at, event)
         })
+    }
+
+    /// Pops the next event iff it is due at or before `deadline` — a
+    /// fused peek-then-pop so bounded drains touch the queue front once
+    /// per event.
+    fn pop_due(&mut self, deadline: Nanos) -> Option<(Nanos, E)> {
+        // Every seq at time `deadline` qualifies, so the limit key is
+        // (deadline, u64::MAX).
+        self.cal
+            .pop_due(key(deadline, u64::MAX))
+            .map(|(key, event)| {
+                let at = key_time(key);
+                debug_assert!(at >= self.now);
+                self.now = at;
+                (at, event)
+            })
     }
 }
 
@@ -196,7 +177,7 @@ impl<E> std::fmt::Debug for EventQueue<E> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("EventQueue")
             .field("now", &self.now)
-            .field("pending", &self.heap.len())
+            .field("pending", &self.cal.len())
             .finish()
     }
 }
@@ -281,13 +262,9 @@ impl<W: World> Simulation<W> {
     /// Runs until the queue drains or the clock passes `deadline`, whichever
     /// comes first. Events scheduled at exactly `deadline` are processed.
     pub fn run_until(&mut self, deadline: Nanos) -> Nanos {
-        loop {
-            match self.queue.heap.peek() {
-                Some(head) if head.at() <= deadline => {
-                    self.step();
-                }
-                _ => break,
-            }
+        while let Some((at, event)) = self.queue.pop_due(deadline) {
+            self.steps += 1;
+            self.world.handle(at, event, &mut self.queue);
         }
         // Advance the clock to the deadline even if the queue drained early,
         // so measurement windows have a well-defined length.
@@ -414,18 +391,75 @@ mod tests {
         assert!(!s.queue.is_empty());
     }
 
+    /// A handler that reschedules at the *current* instant mid-drain must
+    /// see its follow-up fire after all other events at that instant that
+    /// were already pending, in insertion order.
     #[test]
-    fn entry_key_roundtrips_time_and_orders() {
-        let early: Entry<()> = Entry::new(Nanos::from_nanos(10), u64::MAX, ());
-        let late: Entry<()> = Entry::new(Nanos::from_nanos(11), 0, ());
-        assert_eq!(early.at(), Nanos::from_nanos(10));
-        assert_eq!(late.at(), Nanos::from_nanos(11));
-        // Inverted ordering: the earlier entry is the heap maximum, even
-        // when its sequence number is larger.
-        assert!(early > late);
-        let tie_a: Entry<()> = Entry::new(Nanos::from_nanos(5), 1, ());
-        let tie_b: Entry<()> = Entry::new(Nanos::from_nanos(5), 2, ());
-        assert!(tie_a > tie_b, "equal times break ties by insertion order");
+    fn schedule_at_now_during_drain_fires_last_in_insertion_order() {
+        struct Requeue {
+            log: Vec<u32>,
+        }
+        impl World for Requeue {
+            type Event = u32;
+            fn handle(&mut self, now: Nanos, id: u32, queue: &mut EventQueue<u32>) {
+                self.log.push(id);
+                if id == 0 {
+                    queue.schedule_at(now, 100);
+                }
+            }
+        }
+        let mut s = Simulation::new(Requeue { log: Vec::new() });
+        for id in 0..3 {
+            s.queue_mut().schedule_at(Nanos::from_nanos(7), id);
+        }
+        s.run();
+        assert_eq!(s.world().log, vec![0, 1, 2, 100]);
+        assert_eq!(s.now(), Nanos::from_nanos(7));
+    }
+
+    #[test]
+    fn schedules_at_nanos_max() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        q.schedule_at(Nanos::from_nanos(3), 1);
+        q.schedule_at(Nanos::MAX, 2);
+        q.schedule_in(Nanos::MAX, 3); // saturates to MAX, fires after 2
+        assert_eq!(q.pop(), Some((Nanos::from_nanos(3), 1)));
+        assert_eq!(q.peek_at(), Some(Nanos::MAX));
+        assert_eq!(q.pop(), Some((Nanos::MAX, 2)));
+        assert_eq!(q.pop(), Some((Nanos::MAX, 3)));
+        assert_eq!(q.pop(), None);
+        // At now == MAX, scheduling "later" still works (saturating).
+        q.schedule_in(Nanos::from_nanos(1), 4);
+        assert_eq!(q.pop(), Some((Nanos::MAX, 4)));
+    }
+
+    /// Events whose epochs collide on the same wheel residue (exactly one
+    /// window apart) must still fire in time order across the rollover.
+    #[test]
+    fn wheel_epoch_rollover_preserves_order() {
+        let mut s = sim();
+        // ~4.2 ms apart: same ring residue at 4 µs × 1024 buckets.
+        let window = Nanos::from_nanos((1 << 12) * 1024);
+        s.queue_mut()
+            .schedule_at(Nanos::from_nanos(100), Ev::Mark(1));
+        s.queue_mut()
+            .schedule_at(Nanos::from_nanos(100) + window, Ev::Mark(2));
+        s.queue_mut()
+            .schedule_at(Nanos::from_nanos(100) + window * 2, Ev::Mark(3));
+        s.run();
+        let ids: Vec<u32> = s.world().log.iter().map(|&(_, id)| id).collect();
+        assert_eq!(ids, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn peek_at_reports_next_event_without_popping() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        assert_eq!(q.peek_at(), None);
+        q.schedule_at(Nanos::from_nanos(9), 1);
+        q.schedule_at(Nanos::from_nanos(4), 2);
+        assert_eq!(q.peek_at(), Some(Nanos::from_nanos(4)));
+        assert_eq!(q.len(), 2, "peek must not consume");
+        assert_eq!(q.pop(), Some((Nanos::from_nanos(4), 2)));
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //! statistics invariants, and RNG bounds.
 
 use proptest::prelude::*;
+use xc_sim::calendar::{key, CalendarQueue, HeapQueue};
 use xc_sim::engine::{EventQueue, Simulation, World};
 use xc_sim::rng::Rng;
 use xc_sim::stats::{Histogram, Summary};
@@ -145,6 +146,42 @@ proptest! {
         for i in 0..=20 {
             let q = f64::from(i) / 20.0;
             prop_assert_eq!(merged.quantile(q), whole.quantile(q));
+        }
+    }
+
+    /// The calendar queue pops random interleaved schedules in exactly
+    /// the order the old binary heap did: same keys, same payloads, same
+    /// peeks, through pushes that land in the open bucket, the ring, and
+    /// the overflow heap (delays up to 2^36 ns span many windows).
+    #[test]
+    fn calendar_queue_matches_heap_on_random_interleaves(
+        ops in proptest::collection::vec((0u64..(1 << 36), any::<bool>()), 1..400),
+    ) {
+        let mut cal = CalendarQueue::new();
+        let mut heap = HeapQueue::new();
+        let mut now = 0u64;
+        for (i, &(delay, pop)) in ops.iter().enumerate() {
+            // Schedule relative to the last popped time, like the engine.
+            let k = key(Nanos::from_nanos(now.saturating_add(delay)), i as u64);
+            cal.push(k, i as u32);
+            heap.push(k, i as u32);
+            prop_assert_eq!(cal.len(), heap.len());
+            if pop {
+                prop_assert_eq!(cal.peek_key(), heap.peek_key());
+                let (a, b) = (cal.pop(), heap.pop());
+                prop_assert_eq!(a, b);
+                if let Some((k, _)) = a {
+                    now = (k >> 64) as u64;
+                }
+            }
+        }
+        loop {
+            prop_assert_eq!(cal.peek_key(), heap.peek_key());
+            let (a, b) = (cal.pop(), heap.pop());
+            prop_assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
         }
     }
 

@@ -1,13 +1,22 @@
-//! Memoized analysis results, keyed by image identity.
+//! Memoized analysis results, keyed by image *content*.
 //!
 //! The full pipeline — disassembly, CFG construction, dataflow, verdict
-//! judging — is a pure function of the image bytes and the verifier
-//! configuration, yet the hot paths that consume it re-run it per query:
-//! the online patcher's pre-flight check analyzes the image on *every*
-//! trapped syscall, and the offline patcher re-analyzes an image the
-//! caller often just analyzed itself. [`AnalysisCache`] memoizes
-//! [`Verifier::analyze`] behind a fingerprint of `(base, len, bytes,
-//! config)`, so repeated queries against an unchanged image decode once.
+//! judging — is a pure function of the image bytes, its entry offsets,
+//! and the verifier configuration, yet the hot paths that consume it
+//! re-run it per query: the online patcher's pre-flight check analyzes
+//! the image on *every* trapped syscall, and the offline patcher
+//! re-analyzes an image the caller often just analyzed itself.
+//! [`AnalysisCache`] memoizes [`Verifier::analyze`] behind a content
+//! fingerprint of `(bytes, entry offsets, config)` — deliberately **not**
+//! the load address. The same function body mapped at two different bases
+//! is one analysis, so distinct patch sites over identical bodies share a
+//! single pipeline run instead of missing on the base.
+//!
+//! To make base-free sharing sound, the cache analyzes a copy of the
+//! image rebased to address 0 and returns a [`CachedAnalysis`] view that
+//! remembers the querying image's base: queries arrive in absolute
+//! addresses, are translated to offsets against the shared analysis, and
+//! address-carrying results are translated back.
 //!
 //! Keying on the byte content (FNV-1a over the whole image) makes
 //! invalidation automatic: the moment a patcher rewrites a site, the
@@ -33,7 +42,7 @@
 //! let verifier = Verifier::new();
 //! let first = cache.analyze(&verifier, &image);
 //! let second = cache.analyze(&verifier, &image);
-//! assert!(std::sync::Arc::ptr_eq(&first, &second));
+//! assert!(std::sync::Arc::ptr_eq(first.shared(), second.shared()));
 //! assert_eq!((cache.hits(), cache.misses()), (1, 1));
 //! ```
 
@@ -42,7 +51,8 @@ use std::sync::Arc;
 
 use xc_isa::image::BinaryImage;
 
-use crate::verifier::{Analysis, Verifier};
+use crate::report::{UnknownReason, UnsafeReason, Verdict, VerifyReport};
+use crate::verifier::{Analysis, DetourHazard, Verifier};
 
 /// FNV-1a offset basis.
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
@@ -58,23 +68,129 @@ fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
     h
 }
 
-/// Fingerprint of everything [`Verifier::analyze`] depends on: load
-/// address, length, byte content, and the verifier's syscall-number bound.
+/// Content fingerprint of everything [`Verifier::analyze`] depends on
+/// *modulo translation*: length, byte content, the base-relative offsets
+/// of the image's entry symbols (they seed the recursive descent), and
+/// the verifier's syscall-number bound. The load address is deliberately
+/// excluded — the analysis of identical content is identical up to a
+/// uniform shift, which [`CachedAnalysis`] applies at query time.
 fn fingerprint(verifier: &Verifier, image: &BinaryImage) -> u64 {
     let mut h = FNV_OFFSET;
-    h = fnv1a(h, &image.base().to_le_bytes());
     h = fnv1a(h, &(image.len() as u64).to_le_bytes());
     h = fnv1a(h, &verifier.config().max_syscall_nr.to_le_bytes());
     let body = image
         .read_bytes(image.base(), image.len())
         .expect("whole-image read is in bounds by construction");
-    fnv1a(h, body)
+    h = fnv1a(h, body);
+    let mut offsets: Vec<u64> = image.symbols().map(|(_, a)| a - image.base()).collect();
+    offsets.sort_unstable();
+    for off in offsets {
+        h = fnv1a(h, &off.to_le_bytes());
+    }
+    h
+}
+
+/// A copy of `image` mapped at address 0 (symbols carried over as
+/// offsets): the canonical representative of its content class.
+fn rebased_to_zero(image: &BinaryImage) -> BinaryImage {
+    let bytes = image
+        .read_bytes(image.base(), image.len())
+        .expect("whole-image read is in bounds by construction")
+        .to_vec();
+    let mut out = BinaryImage::new(0, bytes);
+    for (name, addr) in image.symbols() {
+        out.add_symbol(name, addr - image.base());
+    }
+    out
+}
+
+/// A cache-backed view of one image's [`Analysis`].
+///
+/// The underlying analysis is computed over the image rebased to address
+/// 0 and shared by every image with the same content, wherever each is
+/// loaded. The view remembers the querying image's base and translates:
+/// query addresses are shifted down on the way in, address-carrying
+/// verdicts and hazards are shifted back up on the way out, so callers
+/// keep speaking absolute addresses throughout.
+#[derive(Debug, Clone)]
+pub struct CachedAnalysis {
+    base: u64,
+    inner: Arc<Analysis>,
+}
+
+impl CachedAnalysis {
+    /// The verdict for the `syscall` at absolute address `syscall_addr`,
+    /// if one exists there.
+    pub fn verdict_at(&self, syscall_addr: u64) -> Option<Verdict> {
+        let v = self
+            .inner
+            .verdict_at(syscall_addr.checked_sub(self.base)?)?;
+        Some(self.rebase_verdict(v))
+    }
+
+    /// Pre-flight detour check (see [`Analysis::region_detour_hazard`]),
+    /// in absolute addresses.
+    pub fn region_detour_hazard(
+        &self,
+        region_start: u64,
+        mov_end: u64,
+        syscall_addr: u64,
+    ) -> Option<DetourHazard> {
+        let h = self.inner.region_detour_hazard(
+            region_start - self.base,
+            mov_end - self.base,
+            syscall_addr - self.base,
+        )?;
+        Some(match h {
+            DetourHazard::InteriorJumpTarget { target } => DetourHazard::InteriorJumpTarget {
+                target: target + self.base,
+            },
+            DetourHazard::EscapingInteriorBranch { src } => DetourHazard::EscapingInteriorBranch {
+                src: src + self.base,
+            },
+        })
+    }
+
+    /// The per-site report. Site addresses are base-relative offsets (the
+    /// shared analysis is position-independent); counts and verdict kinds
+    /// are what callers consume.
+    pub fn report(&self) -> &VerifyReport {
+        self.inner.report()
+    }
+
+    /// The shared offset-based analysis (addresses relative to the image
+    /// base). Two views over identical content share one allocation.
+    pub fn shared(&self) -> &Arc<Analysis> {
+        &self.inner
+    }
+
+    fn rebase_verdict(&self, v: Verdict) -> Verdict {
+        match v {
+            Verdict::Unsafe(UnsafeReason::InteriorJumpTarget { target }) => {
+                Verdict::Unsafe(UnsafeReason::InteriorJumpTarget {
+                    target: target + self.base,
+                })
+            }
+            Verdict::Unsafe(UnsafeReason::InteriorBranchEscapes { src }) => {
+                Verdict::Unsafe(UnsafeReason::InteriorBranchEscapes {
+                    src: src + self.base,
+                })
+            }
+            Verdict::Unknown(UnknownReason::OverlappingDecode { at }) => {
+                Verdict::Unknown(UnknownReason::OverlappingDecode { at: at + self.base })
+            }
+            Verdict::Unknown(UnknownReason::UndecodedBytes { at }) => {
+                Verdict::Unknown(UnknownReason::UndecodedBytes { at: at + self.base })
+            }
+            other => other,
+        }
+    }
 }
 
 /// A memo table over [`Verifier::analyze`] with hit/miss accounting.
 ///
 /// The cache is unbounded: its natural population is one entry per
-/// distinct image *state* (pre-patch, post-offline-patch, and each
+/// distinct image *content* (pre-patch, post-offline-patch, and each
 /// intermediate online-patch state that gets re-queried), which for the
 /// study corpora is a handful of small images. Use [`AnalysisCache::clear`]
 /// if a long-lived process churns through many images.
@@ -92,18 +208,24 @@ impl AnalysisCache {
     }
 
     /// Returns the memoized analysis of `image` under `verifier`, running
-    /// the full pipeline only when the `(image, config)` fingerprint has
-    /// not been seen before.
-    pub fn analyze(&mut self, verifier: &Verifier, image: &BinaryImage) -> Arc<Analysis> {
+    /// the full pipeline only when the `(bytes, entry offsets, config)`
+    /// fingerprint has not been seen before — at *any* load address.
+    pub fn analyze(&mut self, verifier: &Verifier, image: &BinaryImage) -> CachedAnalysis {
         let key = fingerprint(verifier, image);
         if let Some(hit) = self.entries.get(&key) {
             self.hits += 1;
-            return Arc::clone(hit);
+            return CachedAnalysis {
+                base: image.base(),
+                inner: Arc::clone(hit),
+            };
         }
         self.misses += 1;
-        let analysis = Arc::new(verifier.analyze(image));
-        self.entries.insert(key, Arc::clone(&analysis));
-        analysis
+        let inner = Arc::new(verifier.analyze(&rebased_to_zero(image)));
+        self.entries.insert(key, Arc::clone(&inner));
+        CachedAnalysis {
+            base: image.base(),
+            inner,
+        }
     }
 
     /// Number of lookups served from the memo table.
@@ -127,7 +249,7 @@ impl AnalysisCache {
         }
     }
 
-    /// Number of distinct image states currently memoized.
+    /// Number of distinct image contents currently memoized.
     pub fn len(&self) -> usize {
         self.entries.len()
     }
@@ -149,8 +271,9 @@ mod tests {
     use xc_isa::asm::Assembler;
     use xc_isa::inst::{Inst, Reg};
 
-    fn wrapper_image() -> BinaryImage {
-        let mut a = Assembler::new(0x40_0000);
+    fn wrapper_image_at(base: u64) -> BinaryImage {
+        let mut a = Assembler::new(base);
+        a.label("wrapper").unwrap();
         a.inst(Inst::MovImm32 {
             reg: Reg::Rax,
             imm: 1,
@@ -160,6 +283,10 @@ mod tests {
         a.finish().unwrap()
     }
 
+    fn wrapper_image() -> BinaryImage {
+        wrapper_image_at(0x40_0000)
+    }
+
     #[test]
     fn second_lookup_hits_and_shares() {
         let image = wrapper_image();
@@ -167,11 +294,104 @@ mod tests {
         let mut cache = AnalysisCache::new();
         let a = cache.analyze(&verifier, &image);
         let b = cache.analyze(&verifier, &image);
-        assert!(Arc::ptr_eq(&a, &b));
+        assert!(Arc::ptr_eq(a.shared(), b.shared()));
         assert_eq!(cache.hits(), 1);
         assert_eq!(cache.misses(), 1);
         assert!((cache.hit_rate() - 0.5).abs() < 1e-12);
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn identical_bodies_at_different_bases_share_one_analysis() {
+        // The rekey at work: the same wrapper body mapped at two distinct
+        // load addresses is one cache entry, and each view still answers
+        // at its own absolute addresses.
+        let lo = wrapper_image_at(0x40_0000);
+        let hi = wrapper_image_at(0x7000_0000);
+        let verifier = Verifier::new();
+        let mut cache = AnalysisCache::new();
+        let a = cache.analyze(&verifier, &lo);
+        let b = cache.analyze(&verifier, &hi);
+        assert_eq!(
+            (cache.hits(), cache.misses()),
+            (1, 1),
+            "repeated analyses of the same body must hit"
+        );
+        assert!(Arc::ptr_eq(a.shared(), b.shared()));
+        assert_eq!(a.verdict_at(0x40_0005), Some(Verdict::Safe));
+        assert_eq!(b.verdict_at(0x7000_0005), Some(Verdict::Safe));
+        assert_eq!(b.verdict_at(0x40_0005), None, "views do not mix bases");
+    }
+
+    #[test]
+    fn rebased_view_translates_verdict_addresses() {
+        // An image whose verdict embeds an address: a jump from outside
+        // into the region interior. The view must report it in the
+        // caller's absolute address space.
+        fn hazard_image(base: u64) -> (BinaryImage, u64, u64) {
+            let mut a = Assembler::new(base);
+            a.label("w").unwrap();
+            a.inst(Inst::MovImm32 {
+                reg: Reg::Rax,
+                imm: 1,
+            });
+            a.label("interior").unwrap();
+            a.inst(Inst::Nop);
+            let syscall_at = a.here();
+            a.inst(Inst::Syscall);
+            a.inst(Inst::Ret);
+            a.label("other").unwrap();
+            a.jmp_to("interior");
+            let img = a.finish().unwrap();
+            let interior = img.symbol("interior").unwrap();
+            (img, syscall_at, interior)
+        }
+        let (lo, lo_sys, lo_interior) = hazard_image(0x1000);
+        let (hi, hi_sys, hi_interior) = hazard_image(0x9_0000);
+        let verifier = Verifier::new();
+        let mut cache = AnalysisCache::new();
+        let a = cache.analyze(&verifier, &lo);
+        let b = cache.analyze(&verifier, &hi);
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert_eq!(
+            a.verdict_at(lo_sys),
+            Some(Verdict::Unsafe(UnsafeReason::InteriorJumpTarget {
+                target: lo_interior
+            }))
+        );
+        assert_eq!(
+            b.verdict_at(hi_sys),
+            Some(Verdict::Unsafe(UnsafeReason::InteriorJumpTarget {
+                target: hi_interior
+            }))
+        );
+    }
+
+    #[test]
+    fn entry_offsets_participate_in_the_key() {
+        // Same bytes, same base, different symbol placement: the second
+        // image's extra entry point changes what the recursive descent
+        // sees, so the analyses must not alias.
+        let plain = wrapper_image();
+        let mut a = Assembler::new(0x40_0000);
+        a.label("wrapper").unwrap();
+        a.inst(Inst::MovImm32 {
+            reg: Reg::Rax,
+            imm: 1,
+        });
+        a.label("midway").unwrap();
+        a.inst(Inst::Syscall);
+        a.inst(Inst::Ret);
+        let labelled = a.finish().unwrap();
+        let verifier = Verifier::new();
+        let mut cache = AnalysisCache::new();
+        cache.analyze(&verifier, &plain);
+        cache.analyze(&verifier, &labelled);
+        assert_eq!(
+            cache.misses(),
+            2,
+            "different entry offsets must not collide"
+        );
     }
 
     #[test]
@@ -186,7 +406,7 @@ mod tests {
             .write(0x40_0000, &[0xff, 0x14, 0x25, 0x08, 0x00, 0x60, 0xff])
             .unwrap();
         let after = cache.analyze(&verifier, &image);
-        assert!(!Arc::ptr_eq(&before, &after));
+        assert!(!Arc::ptr_eq(before.shared(), after.shared()));
         assert_eq!(cache.misses(), 2, "changed bytes must re-analyze");
         assert_eq!(cache.len(), 2);
     }
@@ -210,6 +430,7 @@ mod tests {
         let cached = cache.analyze(&verifier, &image);
         let direct = verifier.analyze(&image);
         assert_eq!(cached.report().tally(), direct.report().tally());
+        assert_eq!(cached.verdict_at(0x40_0005), direct.verdict_at(0x40_0005));
     }
 
     #[test]

@@ -55,7 +55,7 @@ pub mod report;
 pub mod reverify;
 pub mod verifier;
 
-pub use cache::AnalysisCache;
+pub use cache::{AnalysisCache, CachedAnalysis};
 pub use cfg::{BasicBlock, Cfg, Edge, EdgeKind};
 pub use dataflow::{Dataflow, RaxValue};
 pub use disasm::{disassemble_image, Disassembly};

@@ -188,6 +188,71 @@ impl World for ClosedLoop {
     }
 }
 
+/// Memoizes closed-loop results by the simulation's *true* inputs.
+///
+/// A closed-loop run is a pure function of the service time, the wire
+/// RTT and the effective parallelism once the client side (connections,
+/// duration, seed) is fixed — the platform only enters through those
+/// derived parameters. Distinct platforms frequently collapse onto the
+/// same key: an X-Container's guest kernel ignores the host patch
+/// state, so its patched and unpatched variants price requests
+/// identically and need only one simulation between them.
+#[derive(Debug, Default)]
+pub struct ClosedLoopCache {
+    map: std::collections::HashMap<(u64, u64, u32, u32, u64, u64), ClosedLoopResult>,
+    hits: u64,
+    misses: u64,
+}
+
+impl ClosedLoopCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Simulations answered from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Simulations actually run.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+/// [`run_closed_loop`] behind a [`ClosedLoopCache`]: deployments whose
+/// derived simulation parameters coincide share one run. Results are
+/// identical to the uncached path — the cache key is exactly the input
+/// of the (deterministic) simulation.
+pub fn run_closed_loop_cached(
+    server: &ServerModel,
+    costs: &CostModel,
+    connections: u32,
+    duration: Nanos,
+    seed: u64,
+    cache: &mut ClosedLoopCache,
+) -> ClosedLoopResult {
+    let service = server.profile.service_time(&server.platform, costs);
+    let rtt = server.platform.net_stack(costs).wire_latency(costs);
+    let key = (
+        service.as_nanos(),
+        rtt.as_nanos(),
+        server.parallelism(),
+        connections,
+        duration.as_nanos(),
+        seed,
+    );
+    if let Some(hit) = cache.map.get(&key) {
+        cache.hits += 1;
+        return hit.clone();
+    }
+    cache.misses += 1;
+    let result = run_closed_loop(server, costs, connections, duration, seed);
+    cache.map.insert(key, result.clone());
+    result
+}
+
 /// Runs a closed-loop benchmark: `connections` concurrent clients against
 /// `server`, for `duration` of simulated time.
 pub fn run_closed_loop(
@@ -307,6 +372,40 @@ mod tests {
     fn gvisor_cannot_use_multicore() {
         let s = server(Platform::gvisor(CloudEnv::AmazonEc2, true), 4);
         assert_eq!(s.parallelism(), 1);
+    }
+
+    #[test]
+    fn cache_returns_identical_results_and_counts() {
+        let costs = CostModel::skylake_cloud();
+        let s = server(Platform::docker(CloudEnv::AmazonEc2, true), 2);
+        let mut cache = ClosedLoopCache::new();
+        let uncached = run_closed_loop(&s, &costs, 16, Nanos::from_millis(100), 7);
+        let a = run_closed_loop_cached(&s, &costs, 16, Nanos::from_millis(100), 7, &mut cache);
+        let b = run_closed_loop_cached(&s, &costs, 16, Nanos::from_millis(100), 7, &mut cache);
+        assert_eq!(a.throughput_rps, uncached.throughput_rps);
+        assert_eq!(a.latency, uncached.latency);
+        assert_eq!(b.throughput_rps, a.throughput_rps);
+        assert_eq!(b.latency, a.latency);
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        // A different seed is a different simulation.
+        let _ = run_closed_loop_cached(&s, &costs, 16, Nanos::from_millis(100), 8, &mut cache);
+        assert_eq!((cache.hits(), cache.misses()), (1, 2));
+    }
+
+    #[test]
+    fn cache_collapses_platforms_with_equal_parameters() {
+        // An X-Container's guest kernel ignores the host patch state, so
+        // the patched and unpatched deployments derive identical
+        // simulation parameters and share one cache entry.
+        let costs = CostModel::skylake_cloud();
+        let patched = server(Platform::x_container(CloudEnv::AmazonEc2, true), 2);
+        let unpatched = server(Platform::x_container(CloudEnv::AmazonEc2, false), 2);
+        let mut cache = ClosedLoopCache::new();
+        let a = run_closed_loop_cached(&patched, &costs, 8, Nanos::from_millis(50), 3, &mut cache);
+        let b =
+            run_closed_loop_cached(&unpatched, &costs, 8, Nanos::from_millis(50), 3, &mut cache);
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert_eq!(a.throughput_rps, b.throughput_rps);
     }
 
     #[test]

@@ -21,9 +21,10 @@
 
 use std::fmt;
 
-use xc_abom::binaries::{invoke_with, library_image, WrapperSpec, WrapperStyle};
+use xc_abom::binaries::{invoke_reusing, library_image, WrapperSpec, WrapperStyle};
 use xc_abom::handler::XContainerKernel;
 use xc_abom::offline::OfflinePatcher;
+use xc_isa::cpu::Cpu;
 use xc_isa::image::BinaryImage;
 use xc_sim::rng::Rng;
 
@@ -135,7 +136,18 @@ impl AppProfile {
 
     fn run(&self, template: &BinaryImage, syscalls: u64, rng: &mut Rng) -> XContainerKernel {
         let weights: Vec<f64> = self.sites.iter().map(|s| s.weight).collect();
+        // Resolve every wrapper entry once up front — the addresses are
+        // identical in every clone of the template — and reuse one CPU
+        // across invocations; both lookups sat on the hot loop before.
+        let entries: Vec<u64> = (0..self.sites.len())
+            .map(|idx| {
+                template
+                    .symbol(&format!("wrapper_{idx}"))
+                    .expect("wrapper symbol")
+            })
+            .collect();
         let mut kernel = XContainerKernel::new();
+        let mut cpu = Cpu::new(0);
         // Fresh process image: patches do not persist across exec unless
         // the dirty pages were flushed (we model the no-flush prototype).
         let mut image = template.clone();
@@ -143,18 +155,16 @@ impl AppProfile {
         for _ in 0..syscalls {
             if let Some(limit) = self.syscalls_per_process {
                 if in_process == limit {
-                    image = template.clone();
+                    image.clone_from(template);
                     in_process = 0;
                 }
             }
             let idx = rng.pick_weighted(&weights);
             let site = self.sites[idx];
-            let entry = image
-                .symbol(&format!("wrapper_{idx}"))
-                .expect("wrapper symbol");
             let stack = site.style.takes_stack_number().then_some(site.nr);
             let rdi = site.style.takes_register_number().then_some(site.nr);
-            invoke_with(&mut image, &mut kernel, entry, stack, rdi).expect("wrapper invocation");
+            invoke_reusing(&mut cpu, &mut image, &mut kernel, entries[idx], stack, rdi)
+                .expect("wrapper invocation");
             in_process += 1;
         }
         kernel

@@ -6,8 +6,6 @@
 //! pending/masked bitmap semantics real Xen uses; delivery *costs* are
 //! charged by the caller through [`crate::abi::XenAbi::event_delivery_cost`].
 
-use std::collections::BTreeMap;
-
 use crate::domain::DomainId;
 use crate::error::XenError;
 
@@ -31,11 +29,12 @@ struct Port {
     masked: bool,
 }
 
-/// Per-domain event channel table.
+/// Per-domain event channel table. Ports are allocated sequentially and
+/// never freed, so the port number *is* the `Vec` index — every lookup
+/// on the send/deliver hot path is one bounds-checked array access.
 #[derive(Debug, Clone, Default)]
 struct DomainPorts {
-    ports: BTreeMap<u32, Port>,
-    next: u32,
+    ports: Vec<Port>,
 }
 
 /// The hypervisor's event-channel subsystem.
@@ -58,7 +57,9 @@ struct DomainPorts {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct EventChannels {
-    domains: BTreeMap<DomainId, DomainPorts>,
+    /// Indexed by `DomainId.0`; domain ids are machine-assigned small
+    /// integers, so the table stays dense.
+    domains: Vec<DomainPorts>,
     sends: u64,
     deliveries: u64,
 }
@@ -75,20 +76,20 @@ impl EventChannels {
     ///
     /// Returns [`XenError::NoFreePorts`] past [`MAX_PORTS`].
     pub fn alloc_unbound(&mut self, dom: DomainId) -> Result<u32, XenError> {
-        let table = self.domains.entry(dom).or_default();
+        let idx = dom.0 as usize;
+        if idx >= self.domains.len() {
+            self.domains.resize_with(idx + 1, DomainPorts::default);
+        }
+        let table = &mut self.domains[idx];
         if table.ports.len() as u32 >= MAX_PORTS {
             return Err(XenError::NoFreePorts);
         }
-        let port = table.next;
-        table.next += 1;
-        table.ports.insert(
-            port,
-            Port {
-                state: PortState::Unbound,
-                pending: false,
-                masked: false,
-            },
-        );
+        let port = table.ports.len() as u32;
+        table.ports.push(Port {
+            state: PortState::Unbound,
+            pending: false,
+            masked: false,
+        });
         Ok(port)
     }
 
@@ -109,8 +110,8 @@ impl EventChannels {
         for (dom, port) in [(a, a_port), (b, b_port)] {
             let p = self
                 .domains
-                .get(&dom)
-                .and_then(|t| t.ports.get(&port))
+                .get(dom.0 as usize)
+                .and_then(|t| t.ports.get(port as usize))
                 .ok_or(XenError::BadEventPort(port))?;
             if p.state != PortState::Unbound {
                 return Err(XenError::BadEventPort(port));
@@ -129,8 +130,8 @@ impl EventChannels {
 
     fn port_mut(&mut self, dom: DomainId, port: u32) -> Result<&mut Port, XenError> {
         self.domains
-            .get_mut(&dom)
-            .and_then(|t| t.ports.get_mut(&port))
+            .get_mut(dom.0 as usize)
+            .and_then(|t| t.ports.get_mut(port as usize))
             .ok_or(XenError::BadEventPort(port))
     }
 
@@ -166,21 +167,21 @@ impl EventChannels {
     /// variable the guest polls, §4.2).
     pub fn has_pending(&self, dom: DomainId) -> bool {
         self.domains
-            .get(&dom)
-            .is_some_and(|t| t.ports.values().any(|p| p.pending && !p.masked))
+            .get(dom.0 as usize)
+            .is_some_and(|t| t.ports.iter().any(|p| p.pending && !p.masked))
     }
 
     /// Takes (clears and returns) all unmasked pending ports for `dom`,
     /// in port order.
     pub fn take_pending(&mut self, dom: DomainId) -> Vec<u32> {
-        let Some(table) = self.domains.get_mut(&dom) else {
+        let Some(table) = self.domains.get_mut(dom.0 as usize) else {
             return Vec::new();
         };
         let mut out = Vec::new();
-        for (port, p) in table.ports.iter_mut() {
+        for (port, p) in table.ports.iter_mut().enumerate() {
             if p.pending && !p.masked {
                 p.pending = false;
-                out.push(*port);
+                out.push(port as u32);
             }
         }
         self.deliveries += out.len() as u64;

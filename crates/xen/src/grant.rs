@@ -7,14 +7,20 @@
 //! unmap → revoke) with the validation real Xen performs, and counts
 //! copied bytes for the I/O cost paths.
 
-use std::collections::BTreeMap;
-
 use crate::domain::DomainId;
 use crate::error::XenError;
 
 /// Maximum grant entries per domain (matches Xen's default of 32 frames
 /// of v1 entries).
 pub const MAX_GRANTS: u32 = 16_384;
+
+/// Bits of a grant reference holding the slab slot index
+/// (`MAX_GRANTS == 1 << GREF_INDEX_BITS`); the remaining high bits hold
+/// the slot's generation counter.
+const GREF_INDEX_BITS: u32 = 14;
+const GREF_INDEX_MASK: u32 = MAX_GRANTS - 1;
+/// Generation counters wrap within the bits left above the index.
+const GEN_MASK: u32 = (1 << (32 - GREF_INDEX_BITS)) - 1;
 
 /// Access mode of a grant.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -32,6 +38,15 @@ struct Grant {
     frame: u64,
     access: GrantAccess,
     mapped: bool,
+}
+
+/// One slab slot: a generation counter plus the live grant, if any.
+/// Revoking bumps the generation, so stale references to a reused slot
+/// fail validation instead of aliasing the new occupant.
+#[derive(Debug, Clone, Default)]
+struct Slot {
+    gen: u32,
+    grant: Option<Grant>,
 }
 
 /// The hypervisor grant-table subsystem.
@@ -54,8 +69,13 @@ struct Grant {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct GrantTable {
-    grants: BTreeMap<u32, Grant>,
-    next_ref: u32,
+    /// Slab of grant slots; a grant reference encodes
+    /// `(generation << GREF_INDEX_BITS) | slot index`, so every lookup
+    /// is one array access plus a generation compare.
+    slots: Vec<Slot>,
+    /// Indices of vacated slots, reused LIFO.
+    free: Vec<u32>,
+    live: usize,
     bytes_copied: u64,
     maps: u64,
 }
@@ -78,29 +98,47 @@ impl GrantTable {
         frame: u64,
         access: GrantAccess,
     ) -> Result<u32, XenError> {
-        if self.grants.len() as u32 >= MAX_GRANTS {
+        if self.live as u32 >= MAX_GRANTS {
             return Err(XenError::GrantTableFull);
         }
-        let gref = self.next_ref;
-        self.next_ref += 1;
-        self.grants.insert(
-            gref,
-            Grant {
-                granter,
-                grantee,
-                frame,
-                access,
-                mapped: false,
-            },
-        );
-        Ok(gref)
+        let idx = match self.free.pop() {
+            Some(idx) => idx,
+            None => {
+                self.slots.push(Slot::default());
+                (self.slots.len() - 1) as u32
+            }
+        };
+        let slot = &mut self.slots[idx as usize];
+        slot.grant = Some(Grant {
+            granter,
+            grantee,
+            frame,
+            access,
+            mapped: false,
+        });
+        self.live += 1;
+        Ok((slot.gen << GREF_INDEX_BITS) | idx)
+    }
+
+    /// Resolves a reference to its live grant, checking the generation.
+    fn slot(&self, gref: u32) -> Option<&Grant> {
+        let slot = self.slots.get((gref & GREF_INDEX_MASK) as usize)?;
+        if slot.gen != (gref >> GREF_INDEX_BITS) & GEN_MASK {
+            return None;
+        }
+        slot.grant.as_ref()
+    }
+
+    fn slot_mut(&mut self, gref: u32) -> Option<&mut Grant> {
+        let slot = self.slots.get_mut((gref & GREF_INDEX_MASK) as usize)?;
+        if slot.gen != (gref >> GREF_INDEX_BITS) & GEN_MASK {
+            return None;
+        }
+        slot.grant.as_mut()
     }
 
     fn get_for(&mut self, caller: DomainId, gref: u32) -> Result<&mut Grant, XenError> {
-        let grant = self
-            .grants
-            .get_mut(&gref)
-            .ok_or(XenError::BadGrantRef(gref))?;
+        let grant = self.slot_mut(gref).ok_or(XenError::BadGrantRef(gref))?;
         if grant.grantee != caller {
             return Err(XenError::PermissionDenied {
                 caller,
@@ -159,7 +197,7 @@ impl GrantTable {
     /// [`XenError::BadGrantRef`] if unknown or still mapped;
     /// [`XenError::PermissionDenied`] if `caller` is not the granter.
     pub fn revoke(&mut self, caller: DomainId, gref: u32) -> Result<(), XenError> {
-        let grant = self.grants.get(&gref).ok_or(XenError::BadGrantRef(gref))?;
+        let grant = self.slot(gref).ok_or(XenError::BadGrantRef(gref))?;
         if grant.granter != caller {
             return Err(XenError::PermissionDenied {
                 caller,
@@ -169,18 +207,23 @@ impl GrantTable {
         if grant.mapped {
             return Err(XenError::BadGrantRef(gref));
         }
-        self.grants.remove(&gref);
+        let idx = gref & GREF_INDEX_MASK;
+        let slot = &mut self.slots[idx as usize];
+        slot.grant = None;
+        slot.gen = (slot.gen + 1) & GEN_MASK;
+        self.free.push(idx);
+        self.live -= 1;
         Ok(())
     }
 
     /// Access mode of a live grant.
     pub fn access(&self, gref: u32) -> Option<GrantAccess> {
-        self.grants.get(&gref).map(|g| g.access)
+        self.slot(gref).map(|g| g.access)
     }
 
     /// Number of live grants.
     pub fn live_grants(&self) -> usize {
-        self.grants.len()
+        self.live
     }
 
     /// Total bytes moved through hypervisor copies.
@@ -256,6 +299,21 @@ mod tests {
         let mut gt = GrantTable::new();
         let gref = gt.grant(FRONT, BACK, 7, GrantAccess::ReadOnly).unwrap();
         assert_eq!(gt.unmap(BACK, gref), Err(XenError::BadGrantRef(gref)));
+    }
+
+    #[test]
+    fn revoked_slot_is_reused_with_fresh_generation() {
+        let mut gt = GrantTable::new();
+        let old = gt.grant(FRONT, BACK, 7, GrantAccess::ReadOnly).unwrap();
+        gt.revoke(FRONT, old).unwrap();
+        let new = gt.grant(FRONT, BACK, 8, GrantAccess::ReadWrite).unwrap();
+        // Same slot, different generation: the stale ref must not alias.
+        assert_eq!(old & GREF_INDEX_MASK, new & GREF_INDEX_MASK);
+        assert_ne!(old, new);
+        assert_eq!(gt.map(BACK, old), Err(XenError::BadGrantRef(old)));
+        assert_eq!(gt.access(old), None);
+        assert_eq!(gt.map(BACK, new).unwrap(), 8);
+        assert_eq!(gt.live_grants(), 1);
     }
 
     #[test]

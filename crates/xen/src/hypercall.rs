@@ -7,11 +7,79 @@
 //! can report *how many privileged crossings* each architecture performed
 //! — the quantity the paper's performance arguments reduce to.
 
-use std::collections::BTreeMap;
 use std::fmt;
 
 use xc_sim::cost::CostModel;
 use xc_sim::time::Nanos;
+
+/// Dense hypercall number: one variant per [`Hypercall`] kind, used to
+/// index the accounting arrays. The engine charges a hypercall on every
+/// privileged crossing, so the accounting path must be a pair of array
+/// stores, not tree lookups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(usize)]
+pub enum HypercallNr {
+    /// `mmu_update`
+    MmuUpdate = 0,
+    /// `iret`
+    Iret = 1,
+    /// `event_channel_op`
+    EventChannelOp = 2,
+    /// `grant_table_op`
+    GrantTableOp = 3,
+    /// `sched_op`
+    SchedOp = 4,
+    /// `new_baseptr`
+    NewBaseptr = 5,
+    /// `update_va_mapping`
+    UpdateVaMapping = 6,
+    /// `set_trap_table`
+    SetTrapTable = 7,
+    /// `set_timer_op`
+    SetTimerOp = 8,
+}
+
+/// Number of distinct hypercall kinds (the accounting array length).
+pub const NUM_HYPERCALLS: usize = 9;
+
+/// Hypercall names indexed by [`HypercallNr`].
+const NAMES: [&str; NUM_HYPERCALLS] = [
+    "mmu_update",
+    "iret",
+    "event_channel_op",
+    "grant_table_op",
+    "sched_op",
+    "new_baseptr",
+    "update_va_mapping",
+    "set_trap_table",
+    "set_timer_op",
+];
+
+/// [`HypercallNr`]s in lexicographic name order, so reports iterate the
+/// dense arrays in exactly the order the former `BTreeMap<&str, _>` did.
+const NAME_ORDER: [HypercallNr; NUM_HYPERCALLS] = [
+    HypercallNr::EventChannelOp,
+    HypercallNr::GrantTableOp,
+    HypercallNr::Iret,
+    HypercallNr::MmuUpdate,
+    HypercallNr::NewBaseptr,
+    HypercallNr::SchedOp,
+    HypercallNr::SetTimerOp,
+    HypercallNr::SetTrapTable,
+    HypercallNr::UpdateVaMapping,
+];
+
+impl HypercallNr {
+    /// A stable name for accounting keys.
+    pub fn name(self) -> &'static str {
+        NAMES[self as usize]
+    }
+
+    /// Resolves an accounting-key name back to its number.
+    pub fn from_name(name: &str) -> Option<HypercallNr> {
+        NAME_ORDER.into_iter().find(|nr| nr.name() == name)
+    }
+}
 
 /// The modelled hypercall set (names follow Xen's).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -44,19 +112,24 @@ pub enum Hypercall {
 }
 
 impl Hypercall {
+    /// The dense number of this hypercall (its accounting index).
+    pub fn nr(&self) -> HypercallNr {
+        match self {
+            Hypercall::MmuUpdate { .. } => HypercallNr::MmuUpdate,
+            Hypercall::Iret => HypercallNr::Iret,
+            Hypercall::EventChannelOp => HypercallNr::EventChannelOp,
+            Hypercall::GrantTableOp { .. } => HypercallNr::GrantTableOp,
+            Hypercall::SchedOp => HypercallNr::SchedOp,
+            Hypercall::NewBaseptr => HypercallNr::NewBaseptr,
+            Hypercall::UpdateVaMapping => HypercallNr::UpdateVaMapping,
+            Hypercall::SetTrapTable => HypercallNr::SetTrapTable,
+            Hypercall::SetTimerOp => HypercallNr::SetTimerOp,
+        }
+    }
+
     /// A stable name for accounting keys.
     pub fn name(&self) -> &'static str {
-        match self {
-            Hypercall::MmuUpdate { .. } => "mmu_update",
-            Hypercall::Iret => "iret",
-            Hypercall::EventChannelOp => "event_channel_op",
-            Hypercall::GrantTableOp { .. } => "grant_table_op",
-            Hypercall::SchedOp => "sched_op",
-            Hypercall::NewBaseptr => "new_baseptr",
-            Hypercall::UpdateVaMapping => "update_va_mapping",
-            Hypercall::SetTrapTable => "set_trap_table",
-            Hypercall::SetTimerOp => "set_timer_op",
-        }
+        self.nr().name()
     }
 
     /// Cost of this hypercall under the given model: the base trap plus
@@ -101,8 +174,8 @@ impl fmt::Display for Hypercall {
 /// ```
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct HypervisorAccounting {
-    calls: BTreeMap<&'static str, u64>,
-    time: BTreeMap<&'static str, Nanos>,
+    calls: [u64; NUM_HYPERCALLS],
+    time: [Nanos; NUM_HYPERCALLS],
     total_time: Nanos,
 }
 
@@ -115,20 +188,21 @@ impl HypervisorAccounting {
     /// Records one hypercall and returns its cost.
     pub fn charge(&mut self, call: Hypercall, costs: &CostModel) -> Nanos {
         let cost = call.cost(costs);
-        *self.calls.entry(call.name()).or_insert(0) += 1;
-        *self.time.entry(call.name()).or_insert(Nanos::ZERO) += cost;
+        let i = call.nr() as usize;
+        self.calls[i] += 1;
+        self.time[i] += cost;
         self.total_time += cost;
         cost
     }
 
     /// Number of invocations of a particular hypercall.
     pub fn calls_of(&self, name: &str) -> u64 {
-        self.calls.get(name).copied().unwrap_or(0)
+        HypercallNr::from_name(name).map_or(0, |nr| self.calls[nr as usize])
     }
 
     /// Total hypercalls issued.
     pub fn total_calls(&self) -> u64 {
-        self.calls.values().sum()
+        self.calls.iter().sum()
     }
 
     /// Total simulated time spent in the hypervisor.
@@ -136,20 +210,21 @@ impl HypervisorAccounting {
         self.total_time
     }
 
-    /// Iterates `(name, count, time)` in name order.
+    /// Iterates `(name, count, time)` over charged hypercalls in name
+    /// order (zero-count entries are skipped, matching the sparse map
+    /// this used to be).
     pub fn entries(&self) -> impl Iterator<Item = (&'static str, u64, Nanos)> + '_ {
-        self.calls
-            .iter()
-            .map(|(name, count)| (*name, *count, self.time[name]))
+        NAME_ORDER
+            .into_iter()
+            .filter(|&nr| self.calls[nr as usize] > 0)
+            .map(|nr| (nr.name(), self.calls[nr as usize], self.time[nr as usize]))
     }
 
     /// Merges another accounting into this one.
     pub fn merge(&mut self, other: &HypervisorAccounting) {
-        for (name, count) in &other.calls {
-            *self.calls.entry(name).or_insert(0) += count;
-        }
-        for (name, time) in &other.time {
-            *self.time.entry(name).or_insert(Nanos::ZERO) += *time;
+        for i in 0..NUM_HYPERCALLS {
+            self.calls[i] += other.calls[i];
+            self.time[i] += other.time[i];
         }
         self.total_time += other.total_time;
     }
@@ -222,6 +297,21 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.calls_of("iret"), 2);
         assert_eq!(a.total_calls(), 3);
+    }
+
+    #[test]
+    fn name_order_is_sorted_and_covers_every_nr() {
+        let names: Vec<&str> = NAME_ORDER.iter().map(|nr| nr.name()).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted, "entries() must iterate in name order");
+        let mut indices: Vec<usize> = NAME_ORDER.iter().map(|&nr| nr as usize).collect();
+        indices.sort_unstable();
+        assert_eq!(indices, (0..NUM_HYPERCALLS).collect::<Vec<_>>());
+        for &nr in &NAME_ORDER {
+            assert_eq!(HypercallNr::from_name(nr.name()), Some(nr));
+        }
+        assert_eq!(HypercallNr::from_name("no_such_call"), None);
     }
 
     #[test]

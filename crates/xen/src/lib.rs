@@ -61,5 +61,5 @@ pub mod xenstore;
 pub use abi::XenAbi;
 pub use domain::{Domain, DomainId, DomainKind};
 pub use error::XenError;
-pub use hypercall::{Hypercall, HypervisorAccounting};
+pub use hypercall::{Hypercall, HypercallNr, HypervisorAccounting};
 pub use sched::CreditScheduler;

@@ -7,7 +7,7 @@
 //! space switching whose TLB behaviour differentiates PV guests from
 //! X-Containers (§4.3).
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 use std::fmt;
 
 use xc_sim::cost::CostModel;
@@ -66,10 +66,15 @@ struct Space {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct PageTables {
-    spaces: BTreeMap<AddressSpaceId, Space>,
-    next: u64,
-    /// Currently installed space per physical CPU.
-    current: BTreeMap<u32, AddressSpaceId>,
+    /// Indexed by `AddressSpaceId.0` — ids are allocated sequentially
+    /// and never reused, so the id *is* the slot and every space lookup
+    /// is one array access. Destroyed spaces leave a `None` hole.
+    spaces: Vec<Option<Space>>,
+    live: usize,
+    /// Currently installed space per physical CPU (indexed by pcpu),
+    /// with the owning domain cached alongside so switch classification
+    /// does not re-derive it from the space table.
+    current: Vec<Option<(AddressSpaceId, DomainId)>>,
     switches: u64,
     rejected_updates: u64,
 }
@@ -87,16 +92,13 @@ impl PageTables {
     /// Infallible today; returns `Result` because real implementations can
     /// exhaust PT frames.
     pub fn create_space(&mut self, domain: DomainId) -> Result<AddressSpaceId, XenError> {
-        let id = AddressSpaceId(self.next);
-        self.next += 1;
-        self.spaces.insert(
-            id,
-            Space {
-                domain,
-                table_frames: BTreeSet::new(),
-                writable_frames: BTreeSet::new(),
-            },
-        );
+        let id = AddressSpaceId(self.spaces.len() as u64);
+        self.spaces.push(Some(Space {
+            domain,
+            table_frames: BTreeSet::new(),
+            writable_frames: BTreeSet::new(),
+        }));
+        self.live += 1;
         Ok(id)
     }
 
@@ -106,17 +108,22 @@ impl PageTables {
     ///
     /// Returns [`XenError::BadPageTableUpdate`] for unknown spaces.
     pub fn destroy_space(&mut self, id: AddressSpaceId) -> Result<(), XenError> {
-        self.spaces
-            .remove(&id)
-            .map(|_| ())
-            .ok_or(XenError::BadPageTableUpdate {
+        match self.spaces.get_mut(id.0 as usize) {
+            Some(slot @ Some(_)) => {
+                *slot = None;
+                self.live -= 1;
+                Ok(())
+            }
+            _ => Err(XenError::BadPageTableUpdate {
                 reason: "unknown address space",
-            })
+            }),
+        }
     }
 
     fn space_mut(&mut self, id: AddressSpaceId) -> Result<&mut Space, XenError> {
         self.spaces
-            .get_mut(&id)
+            .get_mut(id.0 as usize)
+            .and_then(Option::as_mut)
             .ok_or(XenError::BadPageTableUpdate {
                 reason: "unknown address space",
             })
@@ -173,20 +180,35 @@ impl PageTables {
     pub fn switch_to(&mut self, pcpu: u32, space: AddressSpaceId) -> Result<SwitchKind, XenError> {
         let new_domain = self
             .spaces
-            .get(&space)
+            .get(space.0 as usize)
+            .and_then(Option::as_ref)
             .ok_or(XenError::BadPageTableUpdate {
                 reason: "unknown address space",
             })?
             .domain;
-        let kind = match self.current.get(&pcpu) {
-            Some(prev) if *prev == space => SwitchKind::None,
-            Some(prev) => match self.spaces.get(prev) {
-                Some(prev_space) if prev_space.domain == new_domain => SwitchKind::IntraDomain,
-                _ => SwitchKind::CrossDomain,
-            },
+        let pcpu_idx = pcpu as usize;
+        if pcpu_idx >= self.current.len() {
+            self.current.resize(pcpu_idx + 1, None);
+        }
+        let kind = match self.current[pcpu_idx] {
+            Some((prev, _)) if prev == space => SwitchKind::None,
+            // The cached domain stands in for re-reading the previous
+            // space — unless that space has been destroyed, which is
+            // always a cross-domain (full-flush) switch.
+            Some((prev, prev_domain)) => {
+                let prev_live = self
+                    .spaces
+                    .get(prev.0 as usize)
+                    .is_some_and(Option::is_some);
+                if prev_live && prev_domain == new_domain {
+                    SwitchKind::IntraDomain
+                } else {
+                    SwitchKind::CrossDomain
+                }
+            }
             None => SwitchKind::CrossDomain,
         };
-        self.current.insert(pcpu, space);
+        self.current[pcpu_idx] = Some((space, new_domain));
         if kind != SwitchKind::None {
             self.switches += 1;
         }
@@ -204,7 +226,11 @@ impl PageTables {
 
     /// Space currently installed on `pcpu`.
     pub fn current_space(&self, pcpu: u32) -> Option<AddressSpaceId> {
-        self.current.get(&pcpu).copied()
+        self.current
+            .get(pcpu as usize)
+            .copied()
+            .flatten()
+            .map(|(space, _)| space)
     }
 
     /// Total non-trivial switches performed.
@@ -219,7 +245,7 @@ impl PageTables {
 
     /// Number of live address spaces.
     pub fn space_count(&self) -> usize {
-        self.spaces.len()
+        self.live
     }
 }
 

@@ -16,8 +16,6 @@
 //! overhead accounting at scales where event-driven simulation of 400
 //! containers would dominate runtime.
 
-use std::collections::BTreeMap;
-
 use xc_sim::cost::CostModel;
 use xc_sim::time::Nanos;
 
@@ -77,9 +75,12 @@ pub struct SteadyState {
 pub struct CreditScheduler {
     pcpus: u32,
     slice: Nanos,
-    vcpus: BTreeMap<VcpuId, Vcpu>,
-    next_id: u32,
-    running: BTreeMap<u32, VcpuId>,
+    /// Indexed by `VcpuId.0` — ids are sequential and never reused, so
+    /// every per-tick lookup is one array access. Removed vCPUs leave a
+    /// `None` hole.
+    vcpus: Vec<Option<Vcpu>>,
+    /// vCPU installed on each physical CPU (indexed by pcpu).
+    running: Vec<Option<VcpuId>>,
     switches: u64,
     ticks: u64,
 }
@@ -96,9 +97,8 @@ impl CreditScheduler {
         CreditScheduler {
             pcpus,
             slice: DEFAULT_SLICE,
-            vcpus: BTreeMap::new(),
-            next_id: 0,
-            running: BTreeMap::new(),
+            vcpus: Vec::new(),
+            running: vec![None; pcpus as usize],
             switches: 0,
             ticks: 0,
         }
@@ -106,17 +106,13 @@ impl CreditScheduler {
 
     /// Registers a vCPU with a proportional weight (Xen default: 256).
     pub fn add_vcpu(&mut self, weight: u32) -> VcpuId {
-        let id = VcpuId(self.next_id);
-        self.next_id += 1;
-        self.vcpus.insert(
-            id,
-            Vcpu {
-                weight: weight.max(1),
-                runnable: false,
-                credits: 0,
-                run_time: Nanos::ZERO,
-            },
-        );
+        let id = VcpuId(self.vcpus.len() as u32);
+        self.vcpus.push(Some(Vcpu {
+            weight: weight.max(1),
+            runnable: false,
+            credits: 0,
+            run_time: Nanos::ZERO,
+        }));
         id
     }
 
@@ -126,12 +122,18 @@ impl CreditScheduler {
     ///
     /// Returns [`XenError::NoSuchVcpu`] for unknown ids.
     pub fn remove_vcpu(&mut self, id: VcpuId) -> Result<(), XenError> {
-        self.vcpus
-            .remove(&id)
-            .map(|_| {
-                self.running.retain(|_, v| *v != id);
-            })
-            .ok_or(XenError::NoSuchVcpu(id.0))
+        match self.vcpus.get_mut(id.0 as usize) {
+            Some(slot @ Some(_)) => {
+                *slot = None;
+                for r in &mut self.running {
+                    if *r == Some(id) {
+                        *r = None;
+                    }
+                }
+                Ok(())
+            }
+            _ => Err(XenError::NoSuchVcpu(id.0)),
+        }
     }
 
     /// Marks a vCPU runnable or blocked.
@@ -140,10 +142,18 @@ impl CreditScheduler {
     ///
     /// Returns [`XenError::NoSuchVcpu`] for unknown ids.
     pub fn set_runnable(&mut self, id: VcpuId, runnable: bool) -> Result<(), XenError> {
-        let v = self.vcpus.get_mut(&id).ok_or(XenError::NoSuchVcpu(id.0))?;
+        let v = self
+            .vcpus
+            .get_mut(id.0 as usize)
+            .and_then(Option::as_mut)
+            .ok_or(XenError::NoSuchVcpu(id.0))?;
         v.runnable = runnable;
         if !runnable {
-            self.running.retain(|_, r| *r != id);
+            for r in &mut self.running {
+                if *r == Some(id) {
+                    *r = None;
+                }
+            }
         }
         Ok(())
     }
@@ -155,7 +165,8 @@ impl CreditScheduler {
     /// Returns [`XenError::NoSuchVcpu`] for unknown ids.
     pub fn run_time(&self, id: VcpuId) -> Result<Nanos, XenError> {
         self.vcpus
-            .get(&id)
+            .get(id.0 as usize)
+            .and_then(Option::as_ref)
             .map(|v| v.run_time)
             .ok_or(XenError::NoSuchVcpu(id.0))
     }
@@ -167,7 +178,7 @@ impl CreditScheduler {
 
     /// Number of runnable vCPUs.
     pub fn runnable_count(&self) -> usize {
-        self.vcpus.values().filter(|v| v.runnable).count()
+        self.vcpus.iter().flatten().filter(|v| v.runnable).count()
     }
 
     /// Advances one scheduling quantum: accrues credits, debits running
@@ -177,18 +188,19 @@ impl CreditScheduler {
         self.ticks += 1;
         let total_weight: u64 = self
             .vcpus
-            .values()
+            .iter()
+            .flatten()
             .filter(|v| v.runnable)
             .map(|v| u64::from(v.weight))
             .sum();
         if total_weight == 0 {
-            self.running.clear();
+            self.running.fill(None);
             return Vec::new();
         }
         // Accrue: the machine distributes pcpus × slice worth of credit
         // per tick, proportionally to weight.
         let pool = self.slice.as_nanos() as i64 * i64::from(self.pcpus);
-        for v in self.vcpus.values_mut() {
+        for v in self.vcpus.iter_mut().flatten() {
             if v.runnable {
                 v.credits += pool * i64::from(v.weight) / total_weight as i64;
                 // Cap accumulation like Xen does, to bound latency debt.
@@ -204,16 +216,20 @@ impl CreditScheduler {
             let best = self
                 .vcpus
                 .iter()
+                .enumerate()
+                .filter_map(|(i, v)| v.as_ref().map(|v| (VcpuId(i as u32), v)))
                 .filter(|(id, v)| v.runnable && !placed.contains(id))
-                .max_by_key(|(id, v)| (v.credits, std::cmp::Reverse(**id)))
-                .map(|(id, _)| *id);
+                .max_by_key(|&(id, v)| (v.credits, std::cmp::Reverse(id)))
+                .map(|(id, _)| id);
             let Some(choice) = best else { break };
             placed.push(choice);
-            let prev = self.running.insert(pcpu, choice);
+            let prev = self.running[pcpu as usize].replace(choice);
             if prev != Some(choice) {
                 self.switches += 1;
             }
-            let v = self.vcpus.get_mut(&choice).expect("placed vcpu exists");
+            let v = self.vcpus[choice.0 as usize]
+                .as_mut()
+                .expect("placed vcpu exists");
             v.credits -= self.slice.as_nanos() as i64;
             v.run_time += self.slice;
             assignments.push((pcpu, choice));
