@@ -39,6 +39,7 @@ use xc_verify::{AnalysisCache, DetourHazard, Verifier};
 
 use crate::patcher::{Abom, PatchOutcome};
 use crate::patterns::recognize;
+use crate::stats::AbomStats;
 use crate::table::VsyscallTable;
 
 /// Why a syscall site was left unpatched.
@@ -100,6 +101,10 @@ pub struct OfflineReport {
     pub detour_patched: u64,
     /// Sites skipped, with reasons.
     pub skipped: Vec<(u64, SkipReason)>,
+    /// Counters from the run's ABOM instance: the adjacent-replacement
+    /// pass plus [`AbomStats::hazard_scans_saved`], the edge-list walks
+    /// amortized away by batching the per-region hazard queries.
+    pub abom: AbomStats,
 }
 
 impl OfflineReport {
@@ -233,32 +238,47 @@ impl OfflinePatcher {
         };
         let mut detours: Vec<(Site, u64)> = Vec::new();
         let mut tramp_cursor = image.base() + tramp_start_off;
+        let mut abom = Abom::new();
 
+        // Cheap shape checks first, so the hazard queries for every
+        // surviving candidate region can be answered by one batched
+        // edge-list walk instead of one full walk per site.
+        let mut prechecked: Vec<(&Site, Result<u64, SkipReason>)> = Vec::new();
         for site in &sites {
             if site.adjacent {
                 continue; // handled by the online-style pass below
             }
+            let region_len = (site.syscall_addr + 2 - site.mov_addr) as usize;
+            let verdict = if region_len < 5 {
+                Err(SkipReason::RegionTooSmall)
+            } else if let Some(entry) = self.table.entry_for_number(site.nr) {
+                Ok(entry)
+            } else {
+                Err(SkipReason::NumberOutOfRange)
+            };
+            prechecked.push((site, verdict));
+        }
+        // Pre-flight safety proof for every candidate at once: refuse
+        // regions whose interior is reachable from outside the region.
+        let queries: Vec<(u64, u64, u64)> = prechecked
+            .iter()
+            .filter(|(_, v)| v.is_ok())
+            .map(|(s, _)| (s.mov_addr, s.mov_addr + s.mov_len as u64, s.syscall_addr))
+            .collect();
+        abom.stats_mut().hazard_scans_saved += (queries.len() as u64).saturating_sub(1);
+        let mut hazards = analysis.region_detour_hazards(&queries).into_iter();
+
+        for (site, verdict) in prechecked {
             let region_start = site.mov_addr;
             let region_end = site.syscall_addr + 2;
-            let region_len = (region_end - region_start) as usize;
-            if region_len < 5 {
-                report
-                    .skipped
-                    .push((site.syscall_addr, SkipReason::RegionTooSmall));
-                continue;
-            }
-            let Some(entry) = self.table.entry_for_number(site.nr) else {
-                report
-                    .skipped
-                    .push((site.syscall_addr, SkipReason::NumberOutOfRange));
-                continue;
+            let entry = match verdict {
+                Ok(entry) => entry,
+                Err(reason) => {
+                    report.skipped.push((site.syscall_addr, reason));
+                    continue;
+                }
             };
-            // Pre-flight safety proof: refuse regions whose interior is
-            // reachable from outside the region.
-            let mov_end = site.mov_addr + site.mov_len as u64;
-            if let Some(hazard) =
-                analysis.region_detour_hazard(region_start, mov_end, site.syscall_addr)
-            {
+            if let Some(hazard) = hazards.next().expect("one hazard result per candidate") {
                 let reason = match hazard {
                     DetourHazard::InteriorJumpTarget { .. } => SkipReason::InteriorJumpTarget,
                     DetourHazard::EscapingInteriorBranch { .. } => SkipReason::InteriorBranchEscape,
@@ -316,7 +336,6 @@ impl OfflinePatcher {
         }
 
         // Adjacent sites: run the online replacement logic on the copy.
-        let mut abom = Abom::new();
         for site in &sites {
             if site.adjacent {
                 match abom.on_syscall_trap(&mut out, site.syscall_addr) {
@@ -333,6 +352,7 @@ impl OfflinePatcher {
             }
         }
 
+        report.abom = *abom.stats();
         out.protect_all(false);
         Ok((out, report))
     }
@@ -509,6 +529,11 @@ mod tests {
         let (mut patched, report) = OfflinePatcher::new().patch(&image).unwrap();
         assert_eq!(report.adjacent_patched, 2);
         assert_eq!(report.detour_patched, 2);
+        assert_eq!(
+            report.abom.hazard_scans_saved, 1,
+            "two detour candidates must share one batched edge-list walk"
+        );
+        assert_eq!(report.abom.patched_sites(), 2, "adjacent pass counters");
 
         let mut kernel = XContainerKernel::new();
         for spec in &specs {

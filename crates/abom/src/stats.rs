@@ -36,6 +36,11 @@ pub struct AbomStats {
     pub verify_cache_hits: u64,
     /// Pre-flight lookups that ran the full static-analysis pipeline.
     pub verify_cache_misses: u64,
+    /// Full CFG edge-list walks avoided by the offline patcher's batched
+    /// hazard query: answering R candidate regions in one walk saves
+    /// R − 1 walks over re-issuing the query per region. Always zero for
+    /// the online (trap-driven) path, which patches one site at a time.
+    pub hazard_scans_saved: u64,
 }
 
 impl AbomStats {
@@ -80,6 +85,7 @@ impl AbomStats {
         self.verify_rejected += other.verify_rejected;
         self.verify_cache_hits += other.verify_cache_hits;
         self.verify_cache_misses += other.verify_cache_misses;
+        self.hazard_scans_saved += other.hazard_scans_saved;
     }
 
     /// Fraction of pre-flight verifications served from the analysis

@@ -18,8 +18,16 @@
 //!
 //! - default: full-size churn, digest gate, and `BENCH_runner.json`
 //!   rows `queue_bench_heap` / `queue_bench_calendar`;
+//! - `--sparse`: additionally run the sparse-regime churn — a few dozen
+//!   events in flight with millisecond-scale hops (hundreds of empty
+//!   buckets between occupied ones), comparing the heap, the calendar
+//!   queue's reference linear bucket scan and its occupancy-bitmap
+//!   advance. This is the regime the bitmap exists for: the linear scan
+//!   probes every empty bucket, the bitmap finds the next occupied one
+//!   with a handful of word scans;
 //! - `--quick`: small churn and the digest gate only — no benchmark
-//!   ledger writes, exit 1 on any mismatch (what `check.sh` runs);
+//!   ledger writes, exit 1 on any mismatch (`check.sh` runs
+//!   `--quick --sparse`);
 //! - `--write-golden`: refresh the committed fig4 digest at
 //!   [`GOLDEN_PATH`] (run from the repository root).
 //!
@@ -48,6 +56,12 @@ const FULL_EVENTS: u64 = 2_000_000;
 const QUICK_EVENTS: u64 = 200_000;
 /// Events pre-seeded before the churn loop starts.
 const SEED_EVENTS: u64 = 4096;
+/// Events in flight during the sparse-regime churn: few enough that
+/// consecutive events sit tens of empty ~4µs buckets apart.
+const SPARSE_SEED_EVENTS: u64 = 48;
+/// Sparse hop bounds in nanoseconds: 0.2–4 ms, i.e. 50–1000 bucket
+/// widths, so the wheel is almost entirely empty between events.
+const SPARSE_HOP: (u64, u64) = (200_000, 4_000_000);
 
 /// The subset of the queue API the churn workload exercises, so one
 /// generic driver measures both implementations.
@@ -105,6 +119,34 @@ fn churn<Q: ChurnQueue>(queue: &mut Q, events: u64) -> (u64, f64) {
     (checksum, start.elapsed().as_secs_f64())
 }
 
+/// The sparse-regime churn: [`SPARSE_SEED_EVENTS`] events in flight,
+/// every pop rescheduling one successor a [`SPARSE_HOP`] hop out. Same
+/// order contract and checksum as [`churn`], different occupancy: the
+/// wheel holds a handful of occupied buckets separated by hundreds of
+/// empty ones, so advance cost — not push/pop — dominates.
+fn sparse_churn<Q: ChurnQueue>(queue: &mut Q, events: u64) -> (u64, f64) {
+    let mut rng = Rng::new(0x0dd_ba11);
+    let mut seq = 0u64;
+    for _ in 0..SPARSE_SEED_EVENTS {
+        let at = Nanos::from_nanos(rng.range_inclusive(0, SPARSE_HOP.1));
+        queue.push(key(at, seq), seq);
+        seq += 1;
+    }
+    let start = Instant::now();
+    let mut checksum = 0u64;
+    for _ in 0..events {
+        let Some((k, ev)) = queue.pop() else { break };
+        checksum = checksum
+            .wrapping_mul(0x100000001b3)
+            .wrapping_add((k as u64) ^ (k >> 64) as u64)
+            .wrapping_add(ev);
+        let at = key_time(k) + Nanos::from_nanos(rng.range_inclusive(SPARSE_HOP.0, SPARSE_HOP.1));
+        queue.push(key(at, seq), seq);
+        seq += 1;
+    }
+    (checksum, start.elapsed().as_secs_f64())
+}
+
 /// FNV-1a over the serial fig4 harness output: rendered text plus the
 /// findings JSON, the same bytes `check.sh` compares across `--jobs`.
 fn fig4_digest() -> (String, f64) {
@@ -120,10 +162,12 @@ fn fig4_digest() -> (String, f64) {
 
 fn main() {
     let mut quick = false;
+    let mut sparse = false;
     let mut write_golden = false;
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--quick" => quick = true,
+            "--sparse" => sparse = true,
             "--write-golden" => write_golden = true,
             other => {
                 eprintln!("queue_bench: unknown argument {other:?}");
@@ -158,6 +202,30 @@ fn main() {
         }
     );
 
+    let mut sparse_diverged = false;
+    let mut sparse_timings: Option<(f64, f64, f64)> = None;
+    if sparse {
+        let (sh_sum, sh_s) = sparse_churn(&mut HeapQueue::with_capacity(64), events);
+        let (sl_sum, sl_s) = sparse_churn(&mut CalendarQueue::new_linear_scan(), events);
+        let (sb_sum, sb_s) = sparse_churn(&mut CalendarQueue::with_capacity(64), events);
+        sparse_diverged = sh_sum != sl_sum || sh_sum != sb_sum;
+        sparse_timings = Some((sh_s, sl_s, sb_s));
+        println!(
+            "sparse churn ({events} events, {SPARSE_SEED_EVENTS} in flight): \
+             heap {:.1} Mops, linear-scan {:.1} Mops, bitmap {:.1} Mops \
+             (bitmap vs linear {:.2}x), checksums {}",
+            mops(sh_s),
+            mops(sl_s),
+            mops(sb_s),
+            sl_s / sb_s,
+            if sparse_diverged {
+                "DIVERGED"
+            } else {
+                "identical"
+            }
+        );
+    }
+
     let fig3_start = Instant::now();
     let _ = fig3::run(&Runner::new(1));
     let fig3_ms = fig3_start.elapsed().as_secs_f64() * 1e3;
@@ -175,9 +243,30 @@ fn main() {
     if !quick {
         record_bench(&BenchEntry::timing("queue_bench_heap", 1, heap_s * 1e3));
         record_bench(&BenchEntry::timing("queue_bench_calendar", 1, cal_s * 1e3));
+        if let Some((sh_s, sl_s, sb_s)) = sparse_timings {
+            record_bench(&BenchEntry::timing(
+                "queue_bench_sparse_heap",
+                1,
+                sh_s * 1e3,
+            ));
+            record_bench(&BenchEntry::timing(
+                "queue_bench_sparse_linear",
+                1,
+                sl_s * 1e3,
+            ));
+            record_bench(&BenchEntry::timing(
+                "queue_bench_sparse_bitmap",
+                1,
+                sb_s * 1e3,
+            ));
+        }
     }
     if heap_sum != cal_sum {
         eprintln!("error: calendar queue pop order diverged from the binary heap");
+        std::process::exit(1);
+    }
+    if sparse_diverged {
+        eprintln!("error: sparse churn pop order diverged across queue implementations");
         std::process::exit(1);
     }
     if !digest_ok {

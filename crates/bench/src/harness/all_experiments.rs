@@ -4,6 +4,8 @@
 //! nine independent measurement groups fan out across workers while the
 //! merged summary stays in fixed experiment order.
 
+use std::fmt::Write as _;
+
 use xcontainers::prelude::*;
 use xcontainers::workloads::apps::{memcached, nginx_static, redis};
 use xcontainers::workloads::fig6::{fig6a_nginx_1worker, fig6b_nginx_4workers, fig6c_php_mysql};
@@ -201,8 +203,11 @@ pub fn run(runner: &Runner) -> HarnessOutput {
         ]);
     }
     let out_of_band = findings.iter().filter(|f| !f.in_band).count();
-    let text = format!(
-        "{summary}\n{} findings, {} outside the acceptance band.\n",
+    let mut text = String::new();
+    summary.render_into(&mut text);
+    let _ = write!(
+        text,
+        "\n{} findings, {} outside the acceptance band.\n",
         findings.len(),
         out_of_band
     );

@@ -88,11 +88,10 @@ fn cell(
             });
         }
     }
-    (
-        format!("{table}\n"),
-        findings,
-        (cache.hits(), cache.misses()),
-    )
+    let mut text = String::new();
+    table.render_into(&mut text);
+    text.push('\n');
+    (text, findings, (cache.hits(), cache.misses()))
 }
 
 /// Runs the full cloud × profile grid, one cell per (cloud, profile).

@@ -1,6 +1,8 @@
 //! Figure 4 — relative system call throughput, single and concurrent,
 //! on both clouds (see the `fig4_syscall` binary).
 
+use std::fmt::Write as _;
+
 use xcontainers::prelude::*;
 use xcontainers::workloads::unixbench::concurrent_score;
 
@@ -46,7 +48,10 @@ fn cell(cloud: CloudEnv, costs: &CostModel) -> (String, Vec<Finding>) {
             });
         }
     }
-    (format!("{table}\n"), findings)
+    let mut text = String::new();
+    table.render_into(&mut text);
+    text.push('\n');
+    (text, findings)
 }
 
 /// Runs both clouds, one cell each, then the headline comparison.
@@ -59,11 +64,12 @@ pub fn run(runner: &Runner) -> HarnessOutput {
     let docker = Platform::docker(CloudEnv::AmazonEc2, true);
     let xc = Platform::x_container(CloudEnv::AmazonEc2, true);
     let headline = SystemCallBench::score(&xc, &costs) / SystemCallBench::score(&docker, &costs);
-    out.text.push_str(&format!(
+    let _ = write!(
+        out.text,
         "Headline: X-Container raw syscall throughput = {} Docker (paper: up to 27x).\n\
          The Meltdown patch leaves X-Containers and Clear Containers untouched:\n\
          optimized syscalls never cross the hardware privilege boundary (§5.4).\n",
         ratio(headline)
-    ));
+    );
     out
 }

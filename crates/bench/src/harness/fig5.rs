@@ -87,7 +87,10 @@ fn panel(cloud: CloudEnv, concurrent: bool, costs: &CostModel) -> (String, Vec<F
             });
         }
     }
-    (format!("{table}\n"), findings)
+    let mut text = String::new();
+    table.render_into(&mut text);
+    text.push('\n');
+    (text, findings)
 }
 
 /// Runs the four panels, one cell each.

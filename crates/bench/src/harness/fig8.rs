@@ -1,27 +1,51 @@
 //! Figure 8 — throughput scalability as the number of containers
-//! increases (see the `fig8_scalability` binary). One cell per platform
-//! sweep; the table interleaves them afterwards, so the sweeps can run
-//! concurrently while the output stays column-ordered.
+//! increases (see the `fig8_scalability` binary). The four platform
+//! sweeps are split into point-range sub-cells over a flattened
+//! `(configuration, chunk)` grid — 16 cells instead of 4 — so `--jobs N`
+//! keeps scaling past four workers; the index-ordered merge reassembles
+//! each sweep before the table interleaves them, so the output is
+//! byte-identical at any worker count (the model is closed-form and
+//! RNG-free).
+
+use std::fmt::Write as _;
 
 use xcontainers::prelude::*;
-use xcontainers::workloads::scalability::{figure8_points, sweep, ScalabilityConfig};
+use xcontainers::workloads::scalability::{
+    figure8_points, throughput, ScalabilityConfig, ScalabilityPoint,
+};
 
 use super::HarnessOutput;
 use crate::runner::Runner;
 use crate::Finding;
 
-/// Runs the four platform sweeps, one cell each.
+/// Sweep points evaluated per sub-cell.
+const POINTS_PER_CELL: usize = 4;
+
+/// Runs the four platform sweeps as point-range sub-cells.
 pub fn run(runner: &Runner) -> HarnessOutput {
     let costs = CostModel::skylake_cloud();
-    let sweeps = runner.run(ScalabilityConfig::ALL.len(), |i| {
-        sweep(ScalabilityConfig::ALL[i], &costs)
+    let points = figure8_points();
+    let chunks = points.len().div_ceil(POINTS_PER_CELL);
+    let cells = runner.run(ScalabilityConfig::ALL.len() * chunks, |i| {
+        let config = ScalabilityConfig::ALL[i / chunks];
+        let lo = (i % chunks) * POINTS_PER_CELL;
+        let hi = (lo + POINTS_PER_CELL).min(points.len());
+        points[lo..hi]
+            .iter()
+            .map(|&n| ScalabilityPoint {
+                containers: n,
+                throughput_rps: throughput(config, n, &costs),
+            })
+            .collect::<Vec<_>>()
     });
+    // Reassemble each configuration's full sweep from its chunk run,
+    // in index order.
+    let sweeps: Vec<Vec<ScalabilityPoint>> = cells.chunks(chunks).map(|c| c.concat()).collect();
 
     let mut table = Table::new(
         "Figure 8: aggregate throughput (requests/s) vs container count",
         &["N", "Docker", "X-Container", "Xen HVM", "Xen PV"],
     );
-    let points = figure8_points();
     for (i, n) in points.iter().enumerate() {
         let cell = |cfg_idx: usize| match sweeps[cfg_idx][i].throughput_rps {
             Some(v) => Cell::Num(v, 0),
@@ -30,8 +54,8 @@ pub fn run(runner: &Runner) -> HarnessOutput {
         table.row([Cell::from(*n), cell(0), cell(1), cell(2), cell(3)]);
     }
 
-    // Pull the headline points straight out of the sweeps (sweep(cfg)
-    // evaluates the same closed-form model as throughput(cfg, n)).
+    // Pull the headline points straight out of the sweeps (the sub-cells
+    // evaluate the same closed-form model as throughput(cfg, n)).
     let at = |cfg_idx: usize, n: u64| {
         let i = points.iter().position(|p| *p == n).expect("figure 8 point");
         sweeps[cfg_idx][i].throughput_rps.expect("bootable point")
@@ -40,8 +64,11 @@ pub fn run(runner: &Runner) -> HarnessOutput {
     let (d400, x400) = (at(0, 400), at(1, 400));
     let gain_400 = (x400 / d400 - 1.0) * 100.0;
 
-    let text = format!(
-        "{table}\n\
+    let mut text = String::new();
+    table.render_into(&mut text);
+    let _ = write!(
+        text,
+        "\n\
          At N=50:  Docker {:.0} rps vs X-Container {:.0} rps (Docker leads — \n\
           cheaper switches, processes spread over idle cores).\n\
          At N=400: Docker {:.0} rps vs X-Container {:.0} rps — X-Containers\n\

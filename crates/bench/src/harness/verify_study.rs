@@ -21,6 +21,7 @@
 //! nondeterministic output; [`Output::stable_digest`] excludes it so
 //! tests can compare runs byte-for-byte.
 
+use std::fmt::Write as _;
 use std::time::Instant;
 
 use xcontainers::abom::binaries::{invoke_with, WrapperStyle};
@@ -188,8 +189,11 @@ impl Output {
                 Cell::Num(r.detours as f64, 0),
             ]);
         }
-        format!(
-            "{table}\n\
+        let mut out = String::new();
+        table.render_into(&mut out);
+        let _ = write!(
+            out,
+            "\n\
              {total_safe}/{total_sites} sites proved Safe; the Unknown residue is\n\
              exactly the register-indirect wrappers the paper's ABOM also cannot\n\
              patch. Every offline-rewritten library passes post-patch\n\
@@ -204,7 +208,8 @@ impl Output {
             hits = self.cache_hits(),
             misses = self.cache_misses(),
             rate = self.cache_hit_rate() * 100.0,
-        )
+        );
+        out
     }
 
     /// Every deterministic output — rendered text with the wall-time

@@ -75,8 +75,18 @@ impl Finding {
 
 /// Renders findings exactly as [`record`] serializes them — shared by the
 /// determinism tests and the runner's serial-vs-parallel self-checks.
+/// Streams every finding into one buffer ([`Json::write_into`]) instead
+/// of collecting an intermediate `Json::Arr`.
 pub fn findings_json(findings: &[Finding]) -> String {
-    Json::Arr(findings.iter().map(Finding::to_json).collect()).to_string_compact()
+    let mut out = String::from("[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        f.to_json().write_into(&mut out);
+    }
+    out.push(']');
+    out
 }
 
 /// Serializes findings to `results/<experiment>.json` (creates the

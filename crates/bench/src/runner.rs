@@ -279,7 +279,14 @@ pub fn record_bench(entry: &BenchEntry) {
     lines.retain(|l| !l.contains(&marker));
     lines.push(entry.to_json().to_string_compact());
     lines.sort_unstable();
-    let body = format!("[\n{}\n]\n", lines.join(",\n"));
+    let mut body = String::from("[\n");
+    for (i, line) in lines.iter().enumerate() {
+        if i > 0 {
+            body.push_str(",\n");
+        }
+        body.push_str(line);
+    }
+    body.push_str("\n]\n");
     if let Err(e) = std::fs::write(BENCH_PATH, body) {
         eprintln!("note: cannot write {BENCH_PATH}: {e}");
     }

@@ -34,12 +34,26 @@
 //!   edge; entries migrate onto the ring as the cursor advances.
 //!
 //! When `current` drains, the queue advances: the nearest populated
-//! epoch (scanning the ring, bounded by the overflow minimum) becomes
-//! the new cursor, overflow entries now inside the window migrate, and
-//! the cursor's ring bucket is sorted into `current`. Each event is
-//! touched a constant number of times on its way through — push, one
-//! migration at most, one sort, pop — which is where the wheel beats the
-//! heap's per-operation log factor.
+//! epoch (found via the occupancy bitmap, bounded by the overflow
+//! minimum) becomes the new cursor, overflow entries now inside the
+//! window migrate, and the cursor's ring bucket is sorted into
+//! `current`. Each event is touched a constant number of times on its
+//! way through — push, one migration at most, one sort, pop — which is
+//! where the wheel beats the heap's per-operation log factor.
+//!
+//! # Finding the next bucket
+//!
+//! A 16×`u64` occupancy bitmap mirrors the ring: bit `r % 64` of word
+//! `r / 64` is set exactly when ring bucket `r` is non-empty. `advance`
+//! locates the nearest populated epoch with a rotating
+//! `trailing_zeros` word scan — at most 17 word reads for the whole
+//! 1024-bucket ring — instead of probing buckets one by one. The
+//! difference is invisible when events are dense (the very next bucket
+//! is almost always populated) but decisive in the sparse regime, where
+//! event spacing far exceeds the bucket width and the old linear scan
+//! walked hundreds of empty buckets per pop. The pre-bitmap scan
+//! survives behind [`CalendarQueue::new_linear_scan`] purely as the
+//! reference strategy `queue_bench --sparse` measures against.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -56,6 +70,8 @@ const BUCKET_BITS: u32 = 12;
 /// heap.
 const NUM_BUCKETS: usize = 1 << 10;
 const EPOCH_MASK: u64 = NUM_BUCKETS as u64 - 1;
+/// Words in the ring occupancy bitmap (one bit per bucket).
+const OCC_WORDS: usize = NUM_BUCKETS / 64;
 
 /// Packs an absolute time and a sequence number into one scalar key
 /// whose `u128` order is the lexicographic `(time, seq)` order.
@@ -192,8 +208,15 @@ pub struct CalendarQueue<E> {
     ring: Vec<Vec<Entry<E>>>,
     /// Total events stored across all ring buckets.
     ring_len: usize,
+    /// Ring occupancy: bit `r % 64` of word `r / 64` is set exactly
+    /// when ring bucket `r` is non-empty.
+    occupancy: [u64; OCC_WORDS],
     /// Events at or beyond the window's far edge, min-keyed first.
     overflow: BinaryHeap<Entry<E>>,
+    /// Use the pre-bitmap linear empty-bucket probe in [`advance`]
+    /// (`Self::advance`) — the reference strategy `queue_bench --sparse`
+    /// compares the bitmap scan against. Never set on engine queues.
+    linear_advance: bool,
 }
 
 impl<E> CalendarQueue<E> {
@@ -204,7 +227,20 @@ impl<E> CalendarQueue<E> {
             cursor: 0,
             ring: Vec::new(),
             ring_len: 0,
+            occupancy: [0; OCC_WORDS],
             overflow: BinaryHeap::new(),
+            linear_advance: false,
+        }
+    }
+
+    /// Creates a queue whose `advance` probes ring buckets one by one
+    /// (the pre-bitmap strategy). Kept only so `queue_bench --sparse`
+    /// and the equivalence tests can measure the bitmap scan against
+    /// its predecessor; the engine always uses [`CalendarQueue::new`].
+    pub fn new_linear_scan() -> Self {
+        CalendarQueue {
+            linear_advance: true,
+            ..CalendarQueue::new()
         }
     }
 
@@ -245,8 +281,10 @@ impl<E> CalendarQueue<E> {
             if self.ring.is_empty() {
                 self.ring = (0..NUM_BUCKETS).map(|_| Vec::new()).collect();
             }
-            self.ring[(epoch & EPOCH_MASK) as usize].push(Entry { key, event });
+            let slot = (epoch & EPOCH_MASK) as usize;
+            self.ring[slot].push(Entry { key, event });
             self.ring_len += 1;
+            self.occupancy[slot / 64] |= 1 << (slot % 64);
         } else {
             self.overflow.push(Entry { key, event });
         }
@@ -296,24 +334,22 @@ impl<E> CalendarQueue<E> {
         if self.ring_len == 0 && self.overflow.is_empty() {
             return false;
         }
-        // The next cursor is the nearest populated epoch: scan the ring
-        // outward from the cursor, stopping early if the overflow
-        // minimum is nearer. A live ring bucket holds a single epoch,
-        // so a non-empty bucket at distance d *is* epoch cursor + d.
+        // The next cursor is the nearest populated epoch: the occupancy
+        // bitmap names the nearest live ring bucket (a live bucket
+        // holds a single epoch, so the bucket at distance d *is* epoch
+        // cursor + d), bounded by the overflow minimum.
         let overflow_epoch = self.overflow.peek().map(|e| epoch_of(e.key));
-        let mut next = overflow_epoch;
-        if self.ring_len > 0 {
-            for d in 1..NUM_BUCKETS as u64 {
-                let ep = self.cursor + d;
-                if matches!(next, Some(limit) if ep >= limit) {
-                    break;
-                }
-                if !self.ring[(ep & EPOCH_MASK) as usize].is_empty() {
-                    next = Some(ep);
-                    break;
-                }
-            }
-        }
+        let ring_epoch = if self.ring_len == 0 {
+            None
+        } else if self.linear_advance {
+            self.next_ring_epoch_linear(overflow_epoch)
+        } else {
+            self.next_ring_epoch()
+        };
+        let next = match (ring_epoch, overflow_epoch) {
+            (Some(r), Some(o)) => Some(r.min(o)),
+            (r, o) => r.or(o),
+        };
         let Some(next) = next else { return false };
         self.cursor = next;
         // Pull overflow entries that are now inside the window. The
@@ -330,8 +366,10 @@ impl<E> CalendarQueue<E> {
                     if self.ring.is_empty() {
                         self.ring = (0..NUM_BUCKETS).map(|_| Vec::new()).collect();
                     }
-                    self.ring[(ep & EPOCH_MASK) as usize].push(e);
+                    let slot = (ep & EPOCH_MASK) as usize;
+                    self.ring[slot].push(e);
                     self.ring_len += 1;
+                    self.occupancy[slot / 64] |= 1 << (slot % 64);
                 } else {
                     break;
                 }
@@ -339,9 +377,11 @@ impl<E> CalendarQueue<E> {
         }
         // Open the cursor's ring bucket.
         if self.ring_len > 0 {
-            let bucket = &mut self.ring[(self.cursor & EPOCH_MASK) as usize];
+            let slot = (self.cursor & EPOCH_MASK) as usize;
+            let bucket = &mut self.ring[slot];
             self.ring_len -= bucket.len();
             self.current.append(bucket);
+            self.occupancy[slot / 64] &= !(1 << (slot % 64));
         }
         // Near-empty buckets are the steady state when event spacing is
         // comparable to the bucket width; skip the sort-call overhead
@@ -352,6 +392,48 @@ impl<E> CalendarQueue<E> {
         }
         debug_assert!(!self.current.is_empty());
         true
+    }
+
+    /// Nearest populated ring epoch strictly after the cursor, located
+    /// by a rotating `trailing_zeros` scan over the occupancy words:
+    /// the first (partial) word masked to residues past the cursor,
+    /// then whole words wrapping around the ring. The cursor's own
+    /// residue can never be occupied (its live epoch would be
+    /// `cursor + NUM_BUCKETS`, which lands in overflow), so a set bit
+    /// always names a strictly later epoch.
+    #[inline]
+    fn next_ring_epoch(&self) -> Option<u64> {
+        let start = ((self.cursor + 1) & EPOCH_MASK) as usize;
+        let mut w = start / 64;
+        let mut word = self.occupancy[w] & (!0u64 << (start % 64));
+        for _ in 0..=OCC_WORDS {
+            if word != 0 {
+                let slot = (w * 64 + word.trailing_zeros() as usize) as u64;
+                let d = slot.wrapping_sub(self.cursor) & EPOCH_MASK;
+                debug_assert_ne!(d, 0, "cursor residue cannot be occupied");
+                return Some(self.cursor + d);
+            }
+            w = (w + 1) % OCC_WORDS;
+            word = self.occupancy[w];
+        }
+        None
+    }
+
+    /// The pre-bitmap strategy: probe ring buckets one by one outward
+    /// from the cursor, giving up once `bound` (the overflow minimum)
+    /// is at least as near. Reachable only through
+    /// [`CalendarQueue::new_linear_scan`].
+    fn next_ring_epoch_linear(&self, bound: Option<u64>) -> Option<u64> {
+        for d in 1..NUM_BUCKETS as u64 {
+            let ep = self.cursor + d;
+            if matches!(bound, Some(limit) if ep >= limit) {
+                return None;
+            }
+            if !self.ring[(ep & EPOCH_MASK) as usize].is_empty() {
+                return Some(ep);
+            }
+        }
+        None
     }
 }
 
@@ -462,6 +544,34 @@ mod tests {
             heap.push(k, i as u32);
         }
         drain_both(cal, heap);
+    }
+
+    #[test]
+    fn sparse_spacing_matches_heap_and_linear_reference() {
+        // Millisecond-scale spacing (hundreds of empty buckets between
+        // events) drives the bitmap scan through full-word skips and
+        // ring wrap-around; the linear-scan reference must agree too.
+        let mut cal = CalendarQueue::new();
+        let mut lin = CalendarQueue::new_linear_scan();
+        let mut heap = HeapQueue::new();
+        let mut ns = 0u64;
+        for i in 0..64u64 {
+            ns += 700_000 + (i * 137_911) % 2_900_000; // 0.7–3.6 ms gaps
+            let k = key(Nanos::from_nanos(ns), i);
+            cal.push(k, i as u32);
+            lin.push(k, i as u32);
+            heap.push(k, i as u32);
+        }
+        loop {
+            assert_eq!(cal.peek_key(), heap.peek_key());
+            assert_eq!(lin.peek_key(), heap.peek_key());
+            let (a, b, c) = (cal.pop(), lin.pop(), heap.pop());
+            assert_eq!(a, c);
+            assert_eq!(b, c);
+            if c.is_none() {
+                break;
+            }
+        }
     }
 
     #[test]

@@ -123,6 +123,7 @@ impl<E> EventQueue<E> {
     /// # Panics
     ///
     /// Panics if `at` is earlier than the current time.
+    #[inline]
     pub fn schedule_at(&mut self, at: Nanos, event: E) {
         assert!(
             at >= self.now,
@@ -135,6 +136,7 @@ impl<E> EventQueue<E> {
     }
 
     /// Schedules `event` after a relative `delay`.
+    #[inline]
     pub fn schedule_in(&mut self, delay: Nanos, event: E) {
         let at = self.now.saturating_add(delay);
         self.schedule_at(at, event);
@@ -143,10 +145,12 @@ impl<E> EventQueue<E> {
     /// The instant of the next pending event, if any. Takes `&mut self`
     /// because finding the front may advance the wheel cursor; the
     /// visible state (pending events, `now`) is unchanged.
+    #[inline]
     pub fn peek_at(&mut self) -> Option<Nanos> {
         self.cal.peek_key().map(key_time)
     }
 
+    #[inline]
     fn pop(&mut self) -> Option<(Nanos, E)> {
         self.cal.pop().map(|(key, event)| {
             let at = key_time(key);
@@ -159,6 +163,7 @@ impl<E> EventQueue<E> {
     /// Pops the next event iff it is due at or before `deadline` — a
     /// fused peek-then-pop so bounded drains touch the queue front once
     /// per event.
+    #[inline]
     fn pop_due(&mut self, deadline: Nanos) -> Option<(Nanos, E)> {
         // Every seq at time `deadline` qualifies, so the limit key is
         // (deadline, u64::MAX).
@@ -242,6 +247,7 @@ impl<W: World> Simulation<W> {
     }
 
     /// Processes a single event. Returns `false` when the queue is empty.
+    #[inline]
     pub fn step(&mut self) -> bool {
         match self.queue.pop() {
             Some((at, event)) => {

@@ -20,11 +20,15 @@ pub enum Cell {
 }
 
 impl Cell {
-    fn render(&self) -> String {
+    /// Appends the cell's text form to `out` — no per-cell `String`;
+    /// callers thread one reused buffer through every cell.
+    fn render_into(&self, out: &mut String) {
         match self {
-            Cell::Text(s) => s.clone(),
-            Cell::Num(v, dp) => format!("{v:.*}", dp),
-            Cell::Blank => String::new(),
+            Cell::Text(s) => out.push_str(s),
+            Cell::Num(v, dp) => {
+                let _ = write!(out, "{v:.*}", dp);
+            }
+            Cell::Blank => {}
         }
     }
 
@@ -114,8 +118,22 @@ impl Table {
         self.rows.is_empty()
     }
 
-    /// Renders the aligned text form.
+    /// Renders the aligned text form into a fresh `String`.
     pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    /// Appends the aligned text form to `out`.
+    ///
+    /// Allocation-free per cell: a single scratch buffer is reused for
+    /// every cell (once in the width pass, once in the emit pass —
+    /// re-rendering a cell is cheaper than keeping `rows × columns`
+    /// heap strings alive), and lines are assembled directly in `out`.
+    /// Byte-identical to the previous per-cell-`String` renderer, which
+    /// the `render_into_matches_string_per_cell_reference` test pins.
+    pub fn render_into(&self, out: &mut String) {
         let columns = self
             .rows
             .iter()
@@ -128,50 +146,63 @@ impl Table {
         for (i, h) in self.headers.iter().enumerate() {
             widths[i] = widths[i].max(h.chars().count());
         }
-        let rendered: Vec<Vec<String>> = self
-            .rows
-            .iter()
-            .map(|row| row.iter().map(Cell::render).collect())
-            .collect();
-        for row in &rendered {
+        let mut scratch = String::new();
+        for row in &self.rows {
             for (i, cell) in row.iter().enumerate() {
-                widths[i] = widths[i].max(cell.chars().count());
+                scratch.clear();
+                cell.render_into(&mut scratch);
+                widths[i] = widths[i].max(scratch.chars().count());
             }
         }
 
         let total: usize = widths.iter().sum::<usize>() + 3 * widths.len().saturating_sub(1);
-        let mut out = String::new();
         let _ = writeln!(out, "== {} ==", self.title);
-        let mut header_line = String::new();
+        // The header line's byte length (≥ `total` via padding) sets the
+        // rule width; measure it as written instead of buffering it.
+        let header_start = out.len();
         for (i, h) in self.headers.iter().enumerate() {
             if i > 0 {
-                header_line.push_str(" | ");
+                out.push_str(" | ");
             }
-            let _ = write!(header_line, "{:<w$}", h, w = widths[i]);
+            let _ = write!(out, "{:<w$}", h, w = widths[i]);
         }
-        let _ = writeln!(out, "{header_line}");
-        let _ = writeln!(out, "{}", "-".repeat(total.max(header_line.len())));
+        let rule = total.max(out.len() - header_start);
+        out.push('\n');
+        push_dashes(out, rule);
 
-        for (row, cells) in self.rows.iter().zip(&rendered) {
-            if cells.is_empty() {
-                let _ = writeln!(out, "{}", "-".repeat(total.max(header_line.len())));
+        for row in &self.rows {
+            if row.is_empty() {
+                push_dashes(out, rule);
                 continue;
             }
-            let mut line = String::new();
-            for (i, cell) in cells.iter().enumerate() {
+            let line_start = out.len();
+            for (i, cell) in row.iter().enumerate() {
                 if i > 0 {
-                    line.push_str(" | ");
+                    out.push_str(" | ");
                 }
-                if row[i].is_numeric() {
-                    let _ = write!(line, "{:>w$}", cell, w = widths[i]);
+                scratch.clear();
+                cell.render_into(&mut scratch);
+                if cell.is_numeric() {
+                    let _ = write!(out, "{:>w$}", scratch, w = widths[i]);
                 } else {
-                    let _ = write!(line, "{:<w$}", cell, w = widths[i]);
+                    let _ = write!(out, "{:<w$}", scratch, w = widths[i]);
                 }
             }
-            let _ = writeln!(out, "{}", line.trim_end());
+            let trimmed = out[line_start..].trim_end().len();
+            out.truncate(line_start + trimmed);
+            out.push('\n');
         }
-        out
     }
+}
+
+/// Appends `n` dashes and a newline (the table rule) without the
+/// intermediate `String` of `"-".repeat(n)`.
+fn push_dashes(out: &mut String, n: usize) {
+    out.reserve(n + 1);
+    for _ in 0..n {
+        out.push('-');
+    }
+    out.push('\n');
 }
 
 impl fmt::Display for Table {
@@ -201,11 +232,13 @@ impl Json {
     /// Serializes to compact JSON text.
     pub fn to_string_compact(&self) -> String {
         let mut out = String::new();
-        self.write(&mut out);
+        self.write_into(&mut out);
         out
     }
 
-    fn write(&self, out: &mut String) {
+    /// Appends compact JSON text to `out` — lets callers stream many
+    /// values (e.g. one record per finding) into one buffer.
+    pub fn write_into(&self, out: &mut String) {
         match self {
             Json::Null => out.push_str("null"),
             Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
@@ -220,30 +253,14 @@ impl Json {
                     out.push_str("null");
                 }
             }
-            Json::Str(s) => {
-                out.push('"');
-                for c in s.chars() {
-                    match c {
-                        '"' => out.push_str("\\\""),
-                        '\\' => out.push_str("\\\\"),
-                        '\n' => out.push_str("\\n"),
-                        '\r' => out.push_str("\\r"),
-                        '\t' => out.push_str("\\t"),
-                        c if (c as u32) < 0x20 => {
-                            let _ = write!(out, "\\u{:04x}", c as u32);
-                        }
-                        c => out.push(c),
-                    }
-                }
-                out.push('"');
-            }
+            Json::Str(s) => write_escaped(out, s),
             Json::Arr(items) => {
                 out.push('[');
                 for (i, item) in items.iter().enumerate() {
                     if i > 0 {
                         out.push(',');
                     }
-                    item.write(out);
+                    item.write_into(out);
                 }
                 out.push(']');
             }
@@ -253,14 +270,35 @@ impl Json {
                     if i > 0 {
                         out.push(',');
                     }
-                    Json::Str(k.clone()).write(out);
+                    write_escaped(out, k);
                     out.push(':');
-                    v.write(out);
+                    v.write_into(out);
                 }
                 out.push('}');
             }
         }
     }
+}
+
+/// Appends `s` as a quoted, escaped JSON string. Shared by string
+/// values and object keys (keys previously cloned through a temporary
+/// `Json::Str` — one heap allocation per field).
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
 }
 
 impl From<&str> for Json {
@@ -347,6 +385,106 @@ mod tests {
         assert!(text.contains("extra"));
         assert_eq!(t.len(), 3);
         assert!(!t.is_empty());
+    }
+
+    /// The pre-`render_into` renderer, kept verbatim as the reference:
+    /// one `String` per cell, buffered header/row lines, `str::repeat`
+    /// rules. `render_into` must reproduce its bytes exactly.
+    fn reference_to_text(t: &Table) -> String {
+        fn render(cell: &Cell) -> String {
+            match cell {
+                Cell::Text(s) => s.clone(),
+                Cell::Num(v, dp) => format!("{v:.*}", dp),
+                Cell::Blank => String::new(),
+            }
+        }
+        let columns = t
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain(std::iter::once(t.headers.len()))
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; columns];
+        for (i, h) in t.headers.iter().enumerate() {
+            widths[i] = widths[i].max(h.chars().count());
+        }
+        let rendered: Vec<Vec<String>> = t
+            .rows
+            .iter()
+            .map(|row| row.iter().map(render).collect())
+            .collect();
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let total: usize = widths.iter().sum::<usize>() + 3 * widths.len().saturating_sub(1);
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", t.title);
+        let mut header_line = String::new();
+        for (i, h) in t.headers.iter().enumerate() {
+            if i > 0 {
+                header_line.push_str(" | ");
+            }
+            let _ = write!(header_line, "{:<w$}", h, w = widths[i]);
+        }
+        let _ = writeln!(out, "{header_line}");
+        let _ = writeln!(out, "{}", "-".repeat(total.max(header_line.len())));
+        for (row, cells) in t.rows.iter().zip(&rendered) {
+            if cells.is_empty() {
+                let _ = writeln!(out, "{}", "-".repeat(total.max(header_line.len())));
+                continue;
+            }
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str(" | ");
+                }
+                if row[i].is_numeric() {
+                    let _ = write!(line, "{:>w$}", cell, w = widths[i]);
+                } else {
+                    let _ = write!(line, "{:<w$}", cell, w = widths[i]);
+                }
+            }
+            let _ = writeln!(out, "{}", line.trim_end());
+        }
+        out
+    }
+
+    /// A golden table exercising every layout feature: ragged rows,
+    /// separators, blanks, mixed alignment, wide headers, multi-byte
+    /// chars, trailing-space trimming.
+    fn golden_table() -> Table {
+        let mut t = Table::new("Fig X — golden", &["configuration", "rps", "Δ vs docker"]);
+        t.row([
+            "Docker (µs)".into(),
+            Cell::Num(1234.5, 1),
+            Cell::Num(1.0, 2),
+        ]);
+        t.row(["X-Container".into(), Cell::Num(9.0, 0), Cell::Blank]);
+        t.separator();
+        t.row([
+            "wide row".into(),
+            Cell::Num(-0.5, 3),
+            2.0.into(),
+            "overflow col".into(),
+        ]);
+        t.row([Cell::Blank, Cell::Blank]);
+        t.row(["tail".into()]);
+        t
+    }
+
+    #[test]
+    fn render_into_matches_string_per_cell_reference() {
+        let t = golden_table();
+        let mut streamed = String::from("prefix|");
+        t.render_into(&mut streamed);
+        assert_eq!(streamed, format!("prefix|{}", reference_to_text(&t)));
+        assert_eq!(t.to_text(), reference_to_text(&t));
+        // An empty table is a degenerate but legal layout.
+        let empty = Table::new("E", &[]);
+        assert_eq!(empty.to_text(), reference_to_text(&empty));
     }
 
     #[test]

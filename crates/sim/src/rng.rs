@@ -149,6 +149,18 @@ impl Rng {
         (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
+    /// Fills `out` with uniform `f64`s in `[0, 1)` — the exact sequence
+    /// `out.len()` calls to [`Rng::next_f64`] would produce, drawn in
+    /// one pass. Hot loops that consume one uniform per event (e.g. the
+    /// closed-loop service jitter) refill a small slab through this
+    /// instead of paying a generator round-trip per draw.
+    #[inline]
+    pub fn next_f64_batch(&mut self, out: &mut [f64]) {
+        for slot in out {
+            *slot = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        }
+    }
+
     /// Bernoulli trial: `true` with probability `p` (clamped to `[0, 1]`).
     pub fn chance(&mut self, p: f64) -> bool {
         if p <= 0.0 {

@@ -212,14 +212,18 @@ impl Histogram {
         }
     }
 
+    /// Branch-free bucket index. Indices 0..2·SUB_BUCKETS are exactly
+    /// `value` (bucket 1's shift is zero, so its formula degenerates to
+    /// the identity), which lets the small-value case fall out of the
+    /// general formula: `value | 1` makes `leading_zeros` well-defined
+    /// at zero, and the two saturating clamps (compiled to cmov, not
+    /// branches) pin sub-`SUB_BUCKETS` magnitudes to shift 0 / base 0.
+    #[inline]
     fn index_of(value: u64) -> usize {
-        if value < SUB_BUCKETS as u64 {
-            return value as usize;
-        }
-        let magnitude = 63 - value.leading_zeros(); // >= SUB_BITS here
-        let bucket = magnitude - SUB_BITS + 1;
-        let sub = (value >> (magnitude - SUB_BITS)) as usize & (SUB_BUCKETS - 1);
-        (bucket as usize) * SUB_BUCKETS + sub
+        let magnitude = 63 - (value | 1).leading_zeros();
+        let shift = magnitude.saturating_sub(SUB_BITS);
+        let base = (magnitude + 1).saturating_sub(SUB_BITS) as usize * SUB_BUCKETS;
+        base + ((value >> shift) as usize & (SUB_BUCKETS - 1))
     }
 
     /// Representative (midpoint-ish upper bound) value for a bucket index.
@@ -238,6 +242,7 @@ impl Histogram {
     }
 
     /// Records a single value.
+    #[inline]
     pub fn record(&mut self, value: u64) {
         self.counts[Self::index_of(value)] += 1;
         self.total += 1;
@@ -483,5 +488,30 @@ mod tests {
             prev_idx = idx;
             assert!(Histogram::value_of(idx) >= v);
         }
+    }
+
+    #[test]
+    fn branch_free_index_matches_branching_reference() {
+        // The original early-return formula, kept verbatim as the
+        // reference the branch-free rewrite must reproduce bit-for-bit.
+        fn reference(value: u64) -> usize {
+            if value < SUB_BUCKETS as u64 {
+                return value as usize;
+            }
+            let magnitude = 63 - value.leading_zeros();
+            let bucket = magnitude - SUB_BITS + 1;
+            let sub = (value >> (magnitude - SUB_BITS)) as usize & (SUB_BUCKETS - 1);
+            (bucket as usize) * SUB_BUCKETS + sub
+        }
+        for v in 0..10_000u64 {
+            assert_eq!(Histogram::index_of(v), reference(v), "v={v}");
+        }
+        for shift in 0..64u32 {
+            for delta in [-1i64, 0, 1] {
+                let v = (1u64 << shift).wrapping_add_signed(delta);
+                assert_eq!(Histogram::index_of(v), reference(v), "v={v}");
+            }
+        }
+        assert_eq!(Histogram::index_of(u64::MAX), reference(u64::MAX));
     }
 }

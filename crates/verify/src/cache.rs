@@ -141,14 +141,34 @@ impl CachedAnalysis {
             mov_end - self.base,
             syscall_addr - self.base,
         )?;
-        Some(match h {
+        Some(self.rebase_hazard(h))
+    }
+
+    /// Batched pre-flight detour check (see
+    /// [`Analysis::region_detour_hazards`]), in absolute addresses:
+    /// answers every query with one pass over the shared analysis's edge
+    /// list.
+    pub fn region_detour_hazards(&self, queries: &[(u64, u64, u64)]) -> Vec<Option<DetourHazard>> {
+        let translated: Vec<(u64, u64, u64)> = queries
+            .iter()
+            .map(|&(rs, me, sa)| (rs - self.base, me - self.base, sa - self.base))
+            .collect();
+        self.inner
+            .region_detour_hazards(&translated)
+            .into_iter()
+            .map(|h| h.map(|h| self.rebase_hazard(h)))
+            .collect()
+    }
+
+    fn rebase_hazard(&self, h: DetourHazard) -> DetourHazard {
+        match h {
             DetourHazard::InteriorJumpTarget { target } => DetourHazard::InteriorJumpTarget {
                 target: target + self.base,
             },
             DetourHazard::EscapingInteriorBranch { src } => DetourHazard::EscapingInteriorBranch {
                 src: src + self.base,
             },
-        })
+        }
     }
 
     /// The per-site report. Site addresses are base-relative offsets (the
@@ -364,6 +384,37 @@ mod tests {
             Some(Verdict::Unsafe(UnsafeReason::InteriorJumpTarget {
                 target: hi_interior
             }))
+        );
+    }
+
+    #[test]
+    fn batched_hazard_view_translates_addresses() {
+        let mut a = Assembler::new(0x9_0000);
+        a.label("w").unwrap();
+        a.inst(Inst::MovImm32 {
+            reg: Reg::Rax,
+            imm: 1,
+        });
+        a.label("interior").unwrap();
+        a.inst(Inst::Nop);
+        let syscall_at = a.here();
+        a.inst(Inst::Syscall);
+        a.inst(Inst::Ret);
+        a.label("other").unwrap();
+        a.jmp_to("interior");
+        let img = a.finish().unwrap();
+        let w = img.symbol("w").unwrap();
+        let view = AnalysisCache::new().analyze(&Verifier::new(), &img);
+        let queries = [(w, w + 5, syscall_at)];
+        let batched = view.region_detour_hazards(&queries);
+        assert_eq!(batched.len(), 1);
+        assert_eq!(batched[0], view.region_detour_hazard(w, w + 5, syscall_at));
+        assert_eq!(
+            batched[0],
+            Some(DetourHazard::InteriorJumpTarget {
+                target: img.symbol("interior").unwrap()
+            }),
+            "hazard address must come back in the caller's base"
         );
     }
 

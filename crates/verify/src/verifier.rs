@@ -139,6 +139,49 @@ impl Analysis {
                 return Some(DetourHazard::InteriorJumpTarget { target: e.target });
             }
         }
+        self.region_hazard_tail(region_start, mov_end, syscall_addr)
+    }
+
+    /// Batched form of [`Analysis::region_detour_hazard`]: answers every
+    /// `(region_start, mov_end, syscall_addr)` query with **one** pass
+    /// over the CFG edge list instead of one full-list walk per region.
+    /// The remaining per-region checks (entry points, interior branches)
+    /// are ordered-map range scans over the region only and stay
+    /// per-region. Results are index-aligned with `queries` and identical
+    /// to calling the single-region form on each query.
+    pub fn region_detour_hazards(&self, queries: &[(u64, u64, u64)]) -> Vec<Option<DetourHazard>> {
+        let mut out: Vec<Option<DetourHazard>> = vec![None; queries.len()];
+        // Outside → interior edges, every region in one edge-list walk.
+        // The first matching edge in list order wins for each region,
+        // exactly as `edges_into` iteration would find it.
+        for e in &self.cfg.edges {
+            for (slot, &(region_start, _, syscall_addr)) in out.iter_mut().zip(queries) {
+                let region_end = syscall_addr + 2;
+                if slot.is_none()
+                    && (region_start + 1..region_end).contains(&e.target)
+                    && !(region_start..region_end).contains(&e.src)
+                {
+                    *slot = Some(DetourHazard::InteriorJumpTarget { target: e.target });
+                }
+            }
+        }
+        for (slot, &(region_start, mov_end, syscall_addr)) in out.iter_mut().zip(queries) {
+            if slot.is_none() {
+                *slot = self.region_hazard_tail(region_start, mov_end, syscall_addr);
+            }
+        }
+        out
+    }
+
+    /// The per-region half of the hazard check (everything after the
+    /// edge-list walk), shared by the single and batched forms.
+    fn region_hazard_tail(
+        &self,
+        region_start: u64,
+        mov_end: u64,
+        syscall_addr: u64,
+    ) -> Option<DetourHazard> {
+        let region_end = syscall_addr + 2;
         // An external entry point inside the region interior.
         if let Some(&entry) = self
             .disasm

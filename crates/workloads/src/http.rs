@@ -125,7 +125,17 @@ struct ClosedLoop {
     rng: Rng,
     /// Arrival timestamps for queued-but-unserved requests (FIFO).
     waiting: std::collections::VecDeque<Nanos>,
+    /// Slab of pre-drawn uniforms ([`Rng::next_f64_batch`]): one draw
+    /// per service start, refilled in bulk. The k-th slab value is
+    /// exactly the k-th `next_f64()` of the un-batched stream, so the
+    /// jitter sequence — and the histogram — is unchanged.
+    uniforms: [f64; UNIFORM_SLAB],
+    /// Next unconsumed slab index; `UNIFORM_SLAB` means refill.
+    uniform_pos: usize,
 }
+
+/// Uniform draws fetched per RNG batch in the closed-loop hot path.
+const UNIFORM_SLAB: usize = 64;
 
 enum Ev {
     /// A request arrives at the server (issued_at records client send time).
@@ -135,10 +145,22 @@ enum Ev {
 }
 
 impl ClosedLoop {
+    #[inline]
+    fn next_uniform(&mut self) -> f64 {
+        if self.uniform_pos == UNIFORM_SLAB {
+            self.rng.next_f64_batch(&mut self.uniforms);
+            self.uniform_pos = 0;
+        }
+        let u = self.uniforms[self.uniform_pos];
+        self.uniform_pos += 1;
+        u
+    }
+
+    #[inline]
     fn sample_service(&mut self) -> Nanos {
         // ±jitter uniform service-time variation keeps the histogram
         // honest without changing the mean.
-        let f = 1.0 + self.jitter * (self.rng.next_f64() * 2.0 - 1.0);
+        let f = 1.0 + self.jitter * (self.next_uniform() * 2.0 - 1.0);
         self.service.scale(f)
     }
 }
@@ -275,6 +297,8 @@ pub fn run_closed_loop(
         latency: Histogram::new(),
         rng: Rng::new(seed),
         waiting: std::collections::VecDeque::new(),
+        uniforms: [0.0; UNIFORM_SLAB],
+        uniform_pos: UNIFORM_SLAB, // first draw triggers a refill
     };
     // Steady state holds at most one pending event per connection (its
     // in-flight Arrive or Finish); pre-size the heap so it never grows

@@ -44,8 +44,8 @@ awk -v s="$t0" -v m="$t1" -v p="$t2" -v j="$jobs" 'BEGIN {
         m - s, j, p - m
 }'
 
-echo "== perf smoke: queue_bench --quick (fig4 golden digest gate) =="
+echo "== perf smoke: queue_bench --quick --sparse (fig4 golden digest gate) =="
 cargo build -q --release -p xc-bench --bin queue_bench
-target/release/queue_bench --quick
+target/release/queue_bench --quick --sparse
 
 echo "ok: formatting clean, no lints, deterministic at any --jobs, fig4 digest matches golden"
