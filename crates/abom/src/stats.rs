@@ -41,6 +41,10 @@ pub struct AbomStats {
     /// R − 1 walks over re-issuing the query per region. Always zero for
     /// the online (trap-driven) path, which patches one site at a time.
     pub hazard_scans_saved: u64,
+    /// Patches undone by [`crate::patcher::Abom::rollback`] after a
+    /// post-patch failure was detected: the site's original bytes were
+    /// restored and the syscall trap path is its permanent fallback.
+    pub rolled_back: u64,
 }
 
 impl AbomStats {
@@ -86,6 +90,7 @@ impl AbomStats {
         self.verify_cache_hits += other.verify_cache_hits;
         self.verify_cache_misses += other.verify_cache_misses;
         self.hazard_scans_saved += other.hazard_scans_saved;
+        self.rolled_back += other.rolled_back;
     }
 
     /// Fraction of pre-flight verifications served from the analysis

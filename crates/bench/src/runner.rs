@@ -3,7 +3,7 @@
 //! Every figure in the paper's evaluation is a grid of independent
 //! (configuration, seed) cells, and each cell is a *pure function*: the
 //! DES engine in `xc-sim` is single-threaded and dependency-free by
-//! policy (DESIGN.md §5), so a cell's result depends only on its inputs.
+//! policy (DESIGN.md §6), so a cell's result depends only on its inputs.
 //! That makes the harness layer — not the engine — the right place for
 //! parallelism: [`Runner::run`] shards cells across `std::thread::scope`
 //! workers and merges results **in cell-index order**, so the merged
@@ -25,12 +25,104 @@
 //! each harness upserts a [`BenchEntry`] (wall time, jobs, serial
 //! reference time, cache hit rates) through [`record_bench`].
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
 
 use xcontainers::prelude::{json_object, Histogram, Json, Rng, Summary};
 
 /// Where harnesses record wall-clock and cache measurements.
 pub const BENCH_PATH: &str = "BENCH_runner.json";
+
+/// Environment variable consulted for the worker count when no `--jobs`
+/// flag is present. Parsed as strictly as the flag: a malformed or zero
+/// value is an error, not a silent fallback.
+pub const JOBS_ENV: &str = "XC_JOBS";
+
+/// How [`Runner::try_run`] treats a failing cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunPolicy {
+    /// Times a panicking cell is attempted before it is reported as
+    /// failed (≥ 1; cells are pure, so retries mainly catch harness
+    /// bugs that depend on ambient state, e.g. filesystem races).
+    pub max_attempts: u32,
+    /// Wall-clock budget per cell. Exceeding it cannot abort the cell —
+    /// cells are ordinary closures — but it is flagged on stderr so a
+    /// wedged grid is diagnosable. Never affects results.
+    pub soft_deadline: Option<Duration>,
+}
+
+impl Default for RunPolicy {
+    fn default() -> Self {
+        RunPolicy {
+            max_attempts: 2,
+            soft_deadline: None,
+        }
+    }
+}
+
+/// One cell that kept panicking through every attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellFailure {
+    /// The cell's grid index.
+    pub index: usize,
+    /// Attempts made.
+    pub attempts: u32,
+    /// The final panic's message.
+    pub message: String,
+}
+
+/// Outcome of a fault-tolerant grid run: per-cell results in index
+/// order, with failed cells as `None` plus a structured failure record.
+#[derive(Debug)]
+pub struct RunReport<T> {
+    /// `results[i]` is `Some` iff cell `i` succeeded; index order.
+    pub results: Vec<Option<T>>,
+    /// Failed cells, in index order.
+    pub failures: Vec<CellFailure>,
+}
+
+impl<T> RunReport<T> {
+    /// Whether every cell succeeded.
+    pub fn ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// One-line-per-cell failure summary (empty string when all passed).
+    pub fn failure_summary(&self) -> String {
+        if self.failures.is_empty() {
+            return String::new();
+        }
+        let mut s = format!(
+            "{} of {} cells failed:",
+            self.failures.len(),
+            self.results.len()
+        );
+        for f in &self.failures {
+            s.push_str(&format!(
+                "\n  cell {} ({} attempt{}): {}",
+                f.index,
+                f.attempts,
+                if f.attempts == 1 { "" } else { "s" },
+                f.message
+            ));
+        }
+        s
+    }
+
+    /// Unwraps into the plain result vector.
+    ///
+    /// # Errors
+    ///
+    /// The failure summary, if any cell failed.
+    pub fn into_results(self) -> Result<Vec<T>, String> {
+        if self.ok() {
+            Ok(self.results.into_iter().flatten().collect())
+        } else {
+            Err(self.failure_summary())
+        }
+    }
+}
 
 /// A deterministic parallel cell executor (see the module docs).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,10 +138,20 @@ impl Runner {
     }
 
     /// A runner configured from the process arguments: `--jobs N`,
-    /// `--jobs=N` or `-j N`, defaulting to the host's available
-    /// parallelism when absent.
+    /// `--jobs=N` or `-j N`; then the [`JOBS_ENV`] environment variable;
+    /// then the host's available parallelism. Malformed or zero values
+    /// from either source are a usage error (exit 2), never silently
+    /// clamped — a typo'd worker count should fail loudly, not run a
+    /// multi-minute sweep at the wrong width.
     pub fn from_args() -> Self {
-        Runner::new(jobs_from(std::env::args().skip(1)))
+        let env = std::env::var(JOBS_ENV).ok();
+        match jobs_from(std::env::args().skip(1), env.as_deref()) {
+            Ok(jobs) => Runner::new(jobs),
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                std::process::exit(2);
+            }
+        }
     }
 
     /// Worker count this runner shards across.
@@ -60,42 +162,83 @@ impl Runner {
     /// Evaluates `cell(i)` for `i in 0..cells` and returns the results in
     /// index order — identically at every worker count.
     ///
-    /// Workers claim cell indices from a shared atomic counter (work
-    /// stealing keeps unequal cell costs balanced) and stash
-    /// `(index, result)` pairs locally; the merge sorts by index.
+    /// # Panics
+    ///
+    /// A panicking cell no longer takes the whole grid down mid-flight:
+    /// every other cell still runs to completion ([`Runner::try_run`]
+    /// with the default [`RunPolicy`]), and only then does the runner
+    /// panic with a structured per-cell report naming each failed index
+    /// and its panic message.
     pub fn run<T, F>(&self, cells: usize, cell: F) -> Vec<T>
     where
         T: Send,
         F: Fn(usize) -> T + Sync,
     {
-        let workers = self.jobs.min(cells);
-        if workers <= 1 {
-            return (0..cells).map(cell).collect();
+        match self
+            .try_run(cells, RunPolicy::default(), cell)
+            .into_results()
+        {
+            Ok(results) => results,
+            Err(summary) => panic!("{summary}"),
         }
-        let next = AtomicUsize::new(0);
-        let mut indexed: Vec<(usize, T)> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    scope.spawn(|| {
-                        let mut local = Vec::new();
-                        loop {
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            if i >= cells {
-                                return local;
-                            }
-                            local.push((i, cell(i)));
-                        }
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("runner worker panicked"))
+    }
+
+    /// Fault-isolating grid run: evaluates `cell(i)` for `i in 0..cells`
+    /// under `policy`, catching per-cell panics so one bad cell cannot
+    /// poison its worker's remaining claims. Results come back in index
+    /// order with failures recorded per cell — identically at every
+    /// worker count (retries and deadlines are wall-clock concerns and
+    /// never alter a successful cell's value).
+    pub fn try_run<T, F>(&self, cells: usize, policy: RunPolicy, cell: F) -> RunReport<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let workers = self.jobs.min(cells);
+        let outcomes: Vec<(usize, Result<T, CellFailure>)> = if workers <= 1 {
+            (0..cells)
+                .map(|i| (i, attempt_cell(&cell, i, policy)))
                 .collect()
-        });
-        indexed.sort_unstable_by_key(|&(i, _)| i);
-        debug_assert_eq!(indexed.len(), cells);
-        indexed.into_iter().map(|(_, v)| v).collect()
+        } else {
+            let next = AtomicUsize::new(0);
+            let mut indexed: Vec<(usize, Result<T, CellFailure>)> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        scope.spawn(|| {
+                            let mut local = Vec::new();
+                            loop {
+                                let i = next.fetch_add(1, Ordering::Relaxed);
+                                if i >= cells {
+                                    return local;
+                                }
+                                local.push((i, attempt_cell(&cell, i, policy)));
+                            }
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("runner worker panicked"))
+                    .collect()
+            });
+            indexed.sort_unstable_by_key(|&(i, _)| i);
+            indexed
+        };
+        debug_assert_eq!(outcomes.len(), cells);
+        let mut report = RunReport {
+            results: Vec::with_capacity(cells),
+            failures: Vec::new(),
+        };
+        for (_, outcome) in outcomes {
+            match outcome {
+                Ok(v) => report.results.push(Some(v)),
+                Err(f) => {
+                    report.results.push(None);
+                    report.failures.push(f);
+                }
+            }
+        }
+        report
     }
 
     /// Runs a sharded experiment: shard `i` of `shards` receives its own
@@ -168,31 +311,93 @@ fn shard_len(total: u64, shards: usize, i: usize) -> u64 {
     total / shards + u64::from(i < total % shards)
 }
 
-/// Parses the `--jobs` flag out of an argument stream; defaults to the
-/// host's available parallelism.
-fn jobs_from<I: Iterator<Item = String>>(mut args: I) -> usize {
-    let parse = |v: &str| -> usize {
-        v.parse().unwrap_or_else(|_| {
-            eprintln!("error: --jobs expects a positive integer, got {v:?}");
-            std::process::exit(2);
-        })
-    };
-    while let Some(arg) = args.next() {
-        if arg == "--jobs" || arg == "-j" {
-            match args.next() {
-                Some(v) => return parse(&v).max(1),
-                None => {
-                    eprintln!("error: --jobs expects a value");
-                    std::process::exit(2);
+/// Runs one cell under `policy`: up to `max_attempts` tries with
+/// per-attempt panic isolation, soft-deadline reporting on stderr.
+fn attempt_cell<T, F>(cell: &F, index: usize, policy: RunPolicy) -> Result<T, CellFailure>
+where
+    F: Fn(usize) -> T,
+{
+    let attempts = policy.max_attempts.max(1);
+    let mut message = String::new();
+    for attempt in 1..=attempts {
+        let started = Instant::now();
+        let outcome = catch_unwind(AssertUnwindSafe(|| cell(index)));
+        if let Some(deadline) = policy.soft_deadline {
+            let elapsed = started.elapsed();
+            if elapsed > deadline {
+                eprintln!(
+                    "note: cell {index} took {:.1}s (soft deadline {:.1}s)",
+                    elapsed.as_secs_f64(),
+                    deadline.as_secs_f64()
+                );
+            }
+        }
+        match outcome {
+            Ok(v) => return Ok(v),
+            Err(payload) => {
+                message = panic_message(payload.as_ref());
+                if attempt < attempts {
+                    eprintln!(
+                        "note: cell {index} panicked (attempt {attempt}/{attempts}): {message}"
+                    );
                 }
             }
-        } else if let Some(v) = arg.strip_prefix("--jobs=") {
-            return parse(v).max(1);
         }
     }
-    std::thread::available_parallelism()
+    Err(CellFailure {
+        index,
+        attempts,
+        message,
+    })
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// Parses the worker count from an argument stream (`--jobs N`,
+/// `--jobs=N`, `-j N`), falling back to the [`JOBS_ENV`] value when no
+/// flag is present (an empty/whitespace value counts as unset), then to
+/// the host's available parallelism.
+///
+/// Strict by design: zero and non-numeric values are errors. The flag
+/// wins over the environment, so a malformed `XC_JOBS` is only
+/// diagnosed when it would actually be used.
+fn jobs_from<I: Iterator<Item = String>>(mut args: I, env: Option<&str>) -> Result<usize, String> {
+    fn parse(value: &str, source: &str) -> Result<usize, String> {
+        match value.parse::<usize>() {
+            Ok(0) => Err(format!(
+                "{source} expects a positive integer, got 0 (use 1 for a serial run)"
+            )),
+            Ok(n) => Ok(n),
+            Err(_) => Err(format!(
+                "{source} expects a positive integer, got {value:?}"
+            )),
+        }
+    }
+    while let Some(arg) = args.next() {
+        if arg == "--jobs" || arg == "-j" {
+            return match args.next() {
+                Some(v) => parse(&v, "--jobs"),
+                None => Err("--jobs expects a value".to_owned()),
+            };
+        } else if let Some(v) = arg.strip_prefix("--jobs=") {
+            return parse(v, "--jobs");
+        }
+    }
+    if let Some(v) = env.map(str::trim).filter(|v| !v.is_empty()) {
+        return parse(v, JOBS_ENV);
+    }
+    Ok(std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
+        .unwrap_or(1))
 }
 
 /// One harness's entry in [`BENCH_PATH`].
@@ -370,13 +575,98 @@ mod tests {
 
     #[test]
     fn jobs_flag_parsing() {
-        let parse = |args: &[&str]| jobs_from(args.iter().map(|s| (*s).to_owned()));
-        assert_eq!(parse(&["--jobs", "4"]), 4);
-        assert_eq!(parse(&["--jobs=2"]), 2);
-        assert_eq!(parse(&["-j", "8"]), 8);
-        assert_eq!(parse(&["--jobs", "0"]), 1, "clamped to at least one");
-        let default = parse(&[]);
+        let parse = |args: &[&str]| jobs_from(args.iter().map(|s| (*s).to_owned()), None);
+        assert_eq!(parse(&["--jobs", "4"]), Ok(4));
+        assert_eq!(parse(&["--jobs=2"]), Ok(2));
+        assert_eq!(parse(&["-j", "8"]), Ok(8));
+        let default = parse(&[]).expect("default is host parallelism");
         assert!(default >= 1);
+    }
+
+    #[test]
+    fn jobs_parsing_rejects_zero_and_garbage() {
+        let parse = |args: &[&str]| jobs_from(args.iter().map(|s| (*s).to_owned()), None);
+        assert!(
+            parse(&["--jobs", "0"]).is_err(),
+            "zero is rejected, not clamped"
+        );
+        assert!(parse(&["--jobs=0"]).is_err());
+        assert!(parse(&["-j", "four"]).is_err());
+        assert!(parse(&["--jobs", "-2"]).is_err());
+        assert!(parse(&["--jobs=2.5"]).is_err());
+        assert!(parse(&["--jobs"]).is_err(), "missing value is rejected");
+    }
+
+    #[test]
+    fn jobs_env_is_fallback_only_and_just_as_strict() {
+        let parse = |args: &[&str], env| jobs_from(args.iter().map(|s| (*s).to_owned()), env);
+        assert_eq!(parse(&[], Some("6")), Ok(6));
+        assert_eq!(parse(&[], Some(" 3 ")), Ok(3), "surrounding whitespace ok");
+        assert!(parse(&[], Some("0")).is_err());
+        assert!(parse(&[], Some("lots")).is_err());
+        // Empty counts as unset, not malformed.
+        assert!(parse(&[], Some("")).is_ok());
+        assert!(parse(&[], Some("  ")).is_ok());
+        // The flag wins; a malformed env var is not even consulted.
+        assert_eq!(parse(&["--jobs", "2"], Some("bogus")), Ok(2));
+        assert_eq!(parse(&["--jobs=5"], Some("1")), Ok(5));
+    }
+
+    #[test]
+    fn panicking_cell_is_isolated_and_reported() {
+        for jobs in [1, 4] {
+            let report = Runner::new(jobs).try_run(10, RunPolicy::default(), |i| {
+                assert!(i != 3 && i != 7, "cell {i} exploded");
+                i * 2
+            });
+            assert!(!report.ok());
+            // Every healthy cell still produced its result.
+            for i in [0, 1, 2, 4, 5, 6, 8, 9] {
+                assert_eq!(report.results[i], Some(i * 2), "jobs={jobs}");
+            }
+            assert_eq!(report.results[3], None);
+            assert_eq!(report.results[7], None);
+            let indices: Vec<usize> = report.failures.iter().map(|f| f.index).collect();
+            assert_eq!(
+                indices,
+                vec![3, 7],
+                "failures in index order at jobs={jobs}"
+            );
+            assert_eq!(report.failures[0].attempts, 2);
+            assert!(report.failures[0].message.contains("cell 3 exploded"));
+            let summary = report.failure_summary();
+            assert!(summary.contains("2 of 10 cells failed"), "{summary}");
+            assert!(summary.contains("cell 7"), "{summary}");
+        }
+    }
+
+    #[test]
+    fn try_run_with_no_failures_matches_run() {
+        let report = Runner::new(4).try_run(20, RunPolicy::default(), |i| i + 1);
+        assert!(report.ok());
+        assert!(report.failure_summary().is_empty());
+        assert_eq!(
+            report.into_results().expect("all cells passed"),
+            Runner::new(4).run(20, |i| i + 1)
+        );
+    }
+
+    #[test]
+    fn run_panics_with_structured_summary_after_finishing_the_grid() {
+        let touched = std::sync::atomic::AtomicUsize::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            Runner::new(2).run(8, |i| {
+                touched.fetch_add(1, Ordering::Relaxed);
+                assert!(i != 5, "boom in cell {i}");
+                i
+            })
+        }));
+        let payload = result.expect_err("a failing cell must surface");
+        let message = panic_message(payload.as_ref());
+        assert!(message.contains("1 of 8 cells failed"), "{message}");
+        assert!(message.contains("boom in cell 5"), "{message}");
+        // Every cell ran (the failing one twice) before the panic.
+        assert_eq!(touched.load(Ordering::Relaxed), 9);
     }
 
     #[test]

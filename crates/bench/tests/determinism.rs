@@ -6,9 +6,9 @@
 //! quantifies over.
 
 use xc_bench::findings_json;
-use xc_bench::harness::{fig4, fig5, fig8, verify_study};
-use xc_bench::runner::Runner;
-use xcontainers::prelude::{Histogram, Rng, Summary};
+use xc_bench::harness::{chaos, fig4, fig5, fig8, verify_study};
+use xc_bench::runner::{RunPolicy, Runner};
+use xcontainers::prelude::{FaultPlan, FaultRates, Histogram, Rng, Summary};
 
 /// Byte-compares one harness's full output across worker counts.
 fn assert_jobs_invariant(run: impl Fn(&Runner) -> (String, String)) {
@@ -65,6 +65,76 @@ fn verify_study_slice_reports_cache_hits() {
     let out = verify_study::run_with(&Runner::new(4), 300, verify_study::SEED);
     assert!(out.cache_hits() > 0, "expected analysis-cache hits");
     assert!(out.cache_hit_rate() > 0.0);
+}
+
+/// The chaos sweep — faults, retries, watchdog restarts and all — must
+/// be byte-identical at every worker count (the quick grid keeps the
+/// suite fast; each cell still runs a full second of simulated time).
+#[test]
+fn chaos_quick_sweep_is_jobs_invariant() {
+    assert_jobs_invariant(|r| {
+        let out = chaos::run_with(r, true, None);
+        (out.text, findings_json(&out.findings))
+    });
+}
+
+/// Satellite property: a [`FaultPlan`]'s schedule digest is a pure
+/// function of `(seed, rates)` — identical when the per-cell digests are
+/// computed at 1, 2 or 8 workers, and identical under any shard-merge
+/// ordering (here: forward, reverse, and stride-interleaved), because
+/// each cell derives its own substreams rather than sharing a cursor.
+#[test]
+fn fault_plan_schedule_is_jobs_and_merge_order_invariant() {
+    const CELLS: usize = 16;
+    const DRAWS: u32 = 256;
+    let digest_for = |cell: usize| {
+        let seed = Rng::substream(2019, cell as u64).next_u64();
+        FaultPlan::schedule_digest(seed, FaultRates::scaled(0.01), DRAWS)
+    };
+
+    let reference: Vec<u64> = Runner::new(1).run(CELLS, digest_for);
+    for jobs in [2, 8] {
+        let digests: Vec<u64> = Runner::new(jobs).run(CELLS, digest_for);
+        assert_eq!(digests, reference, "digests diverged at --jobs {jobs}");
+    }
+
+    // Merge-order independence: computing cells in any order yields the
+    // same per-cell digest, so any shard partition merges identically.
+    let mut reversed: Vec<(usize, u64)> = (0..CELLS).rev().map(|c| (c, digest_for(c))).collect();
+    reversed.sort_by_key(|&(c, _)| c);
+    let mut strided: Vec<(usize, u64)> = (0..CELLS)
+        .filter(|c| c % 2 == 0)
+        .chain((0..CELLS).filter(|c| c % 2 == 1))
+        .map(|c| (c, digest_for(c)))
+        .collect();
+    strided.sort_by_key(|&(c, _)| c);
+    for (order, digests) in [("reverse", reversed), ("stride", strided)] {
+        let merged: Vec<u64> = digests.into_iter().map(|(_, d)| d).collect();
+        assert_eq!(merged, reference, "digests diverged under {order} merge");
+    }
+}
+
+/// A cell that panics must not take down the rest of the grid: the
+/// runner isolates it, retries it, and reports a structured failure
+/// while every other cell's result survives — at any worker count.
+#[test]
+fn panicking_cell_is_isolated_from_the_grid() {
+    for jobs in [1, 4] {
+        let report = Runner::new(jobs).try_run(6, RunPolicy::default(), |i| {
+            assert!(i != 3, "cell 3 always panics");
+            i * 10
+        });
+        assert!(!report.ok());
+        assert_eq!(report.failures.len(), 1);
+        assert_eq!(report.failures[0].index, 3);
+        assert!(report.failures[0].message.contains("cell 3 always panics"));
+        let got: Vec<Option<usize>> = report.results;
+        assert_eq!(
+            got,
+            vec![Some(0), Some(10), Some(20), None, Some(40), Some(50)],
+            "surviving cells diverged at --jobs {jobs}"
+        );
+    }
 }
 
 /// Sharded statistics merge to the same result at every worker count.

@@ -21,6 +21,7 @@
 //! | [`verify`] | static patch-safety analyzer: disassembly, CFG, dataflow, verdicts |
 //! | [`xen`] | hypervisor substrate: domains, hypercalls, event channels, grant tables, credit scheduler, PV vs X-Kernel ABI |
 //! | [`libos`] | guest Linux / X-LibOS: processes, CFS scheduler, VFS, pipes, network paths |
+//! | [`faults`] | deterministic fault injection: seeded fault plans, retry/backoff, watchdog restarts, ABOM degradation, the chaos world |
 //! | [`runtimes`] | platform compositions: Docker, Xen-Container, X-Container, gVisor, Clear Containers, Graphene, Unikernel |
 //! | [`workloads`] | UnixBench, iperf, macrobenchmarks, Table 1, Figures 6, 8, 9 |
 //!
@@ -69,6 +70,7 @@
 #![warn(missing_docs)]
 
 pub use xc_abom as abom;
+pub use xc_faults as faults;
 pub use xc_isa as isa;
 pub use xc_libos as libos;
 pub use xc_runtimes as runtimes;
@@ -82,6 +84,10 @@ pub mod prelude {
     pub use xc_abom::handler::XContainerKernel;
     pub use xc_abom::offline::OfflinePatcher;
     pub use xc_abom::patcher::{Abom, AbomConfig};
+    pub use xc_faults::{
+        run_chaos, ChaosParams, ChaosResult, FaultKind, FaultPlan, FaultRates, RetryPolicy,
+        Watchdog,
+    };
     pub use xc_isa::asm::Assembler;
     pub use xc_isa::cpu::Cpu;
     pub use xc_isa::image::BinaryImage;
@@ -125,5 +131,18 @@ mod tests {
         assert_eq!(analysis.report().tally(), (1, 0, 0));
         let _: &VerifyReport = analysis.report();
         assert!(Verdict::Safe.allows_patch());
+        let mut plan = FaultPlan::new(1, FaultRates::disabled());
+        assert!(!plan.should_inject(FaultKind::DomainCrash));
+        assert!(RetryPolicy::event_default().delay_for(0).is_some());
+        let _ = Watchdog::new(1, Nanos::from_millis(1));
+        let r: ChaosResult = run_chaos(
+            ChaosParams {
+                duration: Nanos::from_millis(20),
+                ..ChaosParams::default()
+            },
+            plan,
+            7,
+        );
+        assert!(r.check_conservation().is_ok());
     }
 }

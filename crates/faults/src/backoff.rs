@@ -1,0 +1,101 @@
+//! Bounded retry with exponential backoff in simulated time.
+//!
+//! Transient hypercall failures ([`crate::FaultKind::HypercallTransient`])
+//! are retried a bounded number of times, each attempt waiting
+//! `base × factor^attempt` of *simulated* time (capped). The policy is
+//! pure arithmetic over [`Nanos`], so retries cost sim time — visible in
+//! latency histograms — without ever blocking the host.
+
+use xc_sim::time::Nanos;
+
+/// A bounded exponential-backoff schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Delay before the first retry.
+    pub base: Nanos,
+    /// Multiplier applied per attempt.
+    pub factor: u32,
+    /// Ceiling on any single delay.
+    pub cap: Nanos,
+    /// Attempts after which the operation is abandoned.
+    pub max_attempts: u32,
+}
+
+impl RetryPolicy {
+    /// Default schedule for event-path hypercalls: 2µs, 4µs, 8µs, …
+    /// capped at 200µs, at most 6 attempts (≈ 78µs total worst case).
+    pub fn event_default() -> Self {
+        RetryPolicy {
+            base: Nanos::from_micros(2),
+            factor: 2,
+            cap: Nanos::from_micros(200),
+            max_attempts: 6,
+        }
+    }
+
+    /// The delay to wait after failed attempt number `attempt` (0-based),
+    /// or `None` when the budget is exhausted and the caller must fall
+    /// back (abandon the request, demote the site, …).
+    pub fn delay_for(&self, attempt: u32) -> Option<Nanos> {
+        if attempt >= self.max_attempts {
+            return None;
+        }
+        let mult = u64::from(self.factor).saturating_pow(attempt);
+        Some(self.base.saturating_mul(mult).min(self.cap))
+    }
+
+    /// Sum of every delay the policy can impose — callers size their
+    /// resend timeouts above this so a retried send is never mistaken
+    /// for a lost one.
+    pub fn total_delay(&self) -> Nanos {
+        (0..self.max_attempts)
+            .filter_map(|a| self.delay_for(a))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_grow_then_stop() {
+        let p = RetryPolicy::event_default();
+        assert_eq!(p.delay_for(0), Some(Nanos::from_micros(2)));
+        assert_eq!(p.delay_for(1), Some(Nanos::from_micros(4)));
+        assert_eq!(p.delay_for(5), Some(Nanos::from_micros(64)));
+        assert_eq!(p.delay_for(6), None);
+        assert_eq!(p.delay_for(u32::MAX), None);
+    }
+
+    #[test]
+    fn cap_bounds_each_delay() {
+        let p = RetryPolicy {
+            base: Nanos::from_micros(10),
+            factor: 10,
+            cap: Nanos::from_micros(50),
+            max_attempts: 8,
+        };
+        assert_eq!(p.delay_for(0), Some(Nanos::from_micros(10)));
+        assert_eq!(p.delay_for(1), Some(Nanos::from_micros(50)));
+        assert_eq!(p.delay_for(7), Some(Nanos::from_micros(50)));
+    }
+
+    #[test]
+    fn huge_exponents_saturate_instead_of_overflowing() {
+        let p = RetryPolicy {
+            base: Nanos::from_secs(1),
+            factor: u32::MAX,
+            cap: Nanos::MAX,
+            max_attempts: 64,
+        };
+        assert_eq!(p.delay_for(63), Some(Nanos::MAX));
+    }
+
+    #[test]
+    fn total_delay_sums_the_schedule() {
+        let p = RetryPolicy::event_default();
+        // 2+4+8+16+32+64 µs
+        assert_eq!(p.total_delay(), Nanos::from_micros(126));
+    }
+}

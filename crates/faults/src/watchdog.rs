@@ -1,0 +1,103 @@
+//! Progress-based stuck-domain detection.
+//!
+//! The watchdog tracks the last simulated instant each domain made
+//! observable progress (completed a request, started service). A domain
+//! whose progress timestamp falls more than `timeout` behind the clock
+//! is declared stuck; the chaos world then restarts it, paying the
+//! platform's full spawn cost and recording the detection-to-recovery
+//! latency. Progress-based (rather than flag-based) detection means the
+//! watchdog also catches stalls nobody explicitly signalled.
+
+use xc_sim::time::Nanos;
+
+/// Tracks per-domain progress timestamps against a stuck timeout.
+#[derive(Debug, Clone)]
+pub struct Watchdog {
+    timeout: Nanos,
+    last_progress: Vec<Nanos>,
+}
+
+impl Watchdog {
+    /// A watchdog over `domains` domains, all considered fresh (progress
+    /// at time zero) with the given stuck `timeout`.
+    pub fn new(domains: usize, timeout: Nanos) -> Self {
+        Watchdog {
+            timeout,
+            last_progress: vec![Nanos::ZERO; domains],
+        }
+    }
+
+    /// Records that domain `dom` made progress at `now`. Timestamps are
+    /// monotonic: an out-of-order note never moves a domain backwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dom` is out of range.
+    pub fn note_progress(&mut self, dom: usize, now: Nanos) {
+        let slot = &mut self.last_progress[dom];
+        *slot = (*slot).max(now);
+    }
+
+    /// The last instant `dom` made progress.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dom` is out of range.
+    pub fn last_progress(&self, dom: usize) -> Nanos {
+        self.last_progress[dom]
+    }
+
+    /// Whether `dom` has gone at least the timeout without progress.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dom` is out of range.
+    pub fn is_stuck(&self, dom: usize, now: Nanos) -> bool {
+        now.saturating_sub(self.last_progress[dom]) >= self.timeout
+    }
+
+    /// Every domain currently stuck at `now`.
+    pub fn stuck(&self, now: Nanos) -> Vec<usize> {
+        (0..self.last_progress.len())
+            .filter(|&d| self.is_stuck(d, now))
+            .collect()
+    }
+
+    /// The configured stuck timeout.
+    pub fn timeout(&self) -> Nanos {
+        self.timeout
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_domains_become_stuck_only_after_timeout() {
+        let wd = Watchdog::new(2, Nanos::from_millis(10));
+        assert!(!wd.is_stuck(0, Nanos::from_millis(9)));
+        assert!(wd.is_stuck(0, Nanos::from_millis(10)));
+        assert_eq!(wd.stuck(Nanos::from_millis(10)), vec![0, 1]);
+    }
+
+    #[test]
+    fn progress_resets_the_clock_per_domain() {
+        let mut wd = Watchdog::new(3, Nanos::from_millis(5));
+        wd.note_progress(1, Nanos::from_millis(8));
+        let now = Nanos::from_millis(10);
+        assert!(wd.is_stuck(0, now));
+        assert!(!wd.is_stuck(1, now));
+        assert!(wd.is_stuck(2, now));
+        assert_eq!(wd.stuck(now), vec![0, 2]);
+        assert_eq!(wd.last_progress(1), Nanos::from_millis(8));
+    }
+
+    #[test]
+    fn progress_is_monotonic() {
+        let mut wd = Watchdog::new(1, Nanos::from_millis(5));
+        wd.note_progress(0, Nanos::from_millis(7));
+        wd.note_progress(0, Nanos::from_millis(3)); // stale note, ignored
+        assert_eq!(wd.last_progress(0), Nanos::from_millis(7));
+    }
+}

@@ -162,6 +162,9 @@ pub struct DispatchTable {
     /// Dispatch cost shared by every routed syscall (the cost model
     /// prices the crossing, not the number).
     dispatch_cost: Nanos,
+    /// Sites permanently demoted from their resolved route back to the
+    /// fallback (see [`DispatchTable::demote`]).
+    demoted: u64,
 }
 
 impl DispatchTable {
@@ -185,7 +188,31 @@ impl DispatchTable {
             routes: vec![table_route; VSYSCALL_TABLE_ENTRIES as usize].into_boxed_slice(),
             fallback,
             dispatch_cost: backend.syscall_cost(costs, config, optimized),
+            demoted: 0,
         }
+    }
+
+    /// Permanently demotes syscall `nr` to the fallback route — the
+    /// graceful-degradation escape hatch: when an ABOM patch for a site
+    /// is rolled back (failed post-patch verification, repeated patch
+    /// faults), the number stops dispatching as a function call and
+    /// takes the always-correct forwarded/trap path instead. Returns
+    /// whether the route actually changed (demoting an already-fallback
+    /// number is a no-op and is not counted).
+    pub fn demote(&mut self, nr: u64) -> bool {
+        match self.routes.get_mut(nr as usize) {
+            Some(route) if *route != self.fallback => {
+                *route = self.fallback;
+                self.demoted += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Number of syscall numbers demoted to the fallback route.
+    pub fn demoted(&self) -> u64 {
+        self.demoted
     }
 
     /// The dispatch route for syscall number `nr`.
@@ -287,6 +314,28 @@ mod tests {
                 "{backend:?} optimized={optimized}"
             );
         }
+    }
+
+    #[test]
+    fn demote_falls_back_permanently() {
+        let costs = CostModel::skylake_cloud();
+        let mut xc = DispatchTable::resolve(
+            Backend::XKernel,
+            &KernelConfig::xlibos_default(),
+            true,
+            &costs,
+        );
+        assert_eq!(xc.route(SYS_READ), SyscallRoute::FunctionCall);
+        assert!(xc.demote(SYS_READ));
+        assert_eq!(xc.route(SYS_READ), SyscallRoute::Forwarded);
+        assert_eq!(xc.demoted(), 1);
+        // Idempotent: re-demoting an already-fallback number is a no-op.
+        assert!(!xc.demote(SYS_READ));
+        assert_eq!(xc.demoted(), 1);
+        // Numbers past the dense table are already on the fallback.
+        assert!(!xc.demote(VSYSCALL_TABLE_ENTRIES + 5));
+        // Other numbers keep their optimized route.
+        assert_eq!(xc.route(SYS_WRITE), SyscallRoute::FunctionCall);
     }
 
     #[test]

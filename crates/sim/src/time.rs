@@ -106,6 +106,14 @@ impl Nanos {
         Nanos(self.0.saturating_add(other.0))
     }
 
+    /// Saturating multiplication by an integer factor, clamping at
+    /// [`Nanos::MAX`] — exponential-backoff schedules double delays
+    /// repeatedly and must cap instead of overflowing.
+    #[inline]
+    pub const fn saturating_mul(self, rhs: u64) -> Nanos {
+        Nanos(self.0.saturating_mul(rhs))
+    }
+
     /// Multiplies by a floating-point factor, rounding to the nearest
     /// nanosecond. Useful for environment speed scaling.
     ///
@@ -234,6 +242,8 @@ mod tests {
         assert_eq!((a / 4).as_nanos(), 25);
         assert_eq!(b.saturating_sub(a), Nanos::ZERO);
         assert_eq!(Nanos::MAX.saturating_add(a), Nanos::MAX);
+        assert_eq!(a.saturating_mul(4).as_nanos(), 400);
+        assert_eq!(Nanos::MAX.saturating_mul(2), Nanos::MAX);
     }
 
     #[test]

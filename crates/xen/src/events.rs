@@ -62,6 +62,7 @@ pub struct EventChannels {
     domains: Vec<DomainPorts>,
     sends: u64,
     deliveries: u64,
+    drops: u64,
 }
 
 impl EventChannels {
@@ -188,6 +189,35 @@ impl EventChannels {
         out
     }
 
+    /// Fault-injection hook: clears `dom`'s pending bit on `port` as if
+    /// the notification was lost before the guest observed it (a dropped
+    /// virtual interrupt). Returns whether an event was actually
+    /// suppressed — `false` means the bit was already clear, so nothing
+    /// was lost. Suppressed events count toward [`EventChannels::drops`],
+    /// keeping the send/delivery ledger balanced:
+    /// `sends == deliveries + drops + pending`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XenError::BadEventPort`] for unknown ports.
+    pub fn drop_pending(&mut self, dom: DomainId, port: u32) -> Result<bool, XenError> {
+        let p = self.port_mut(dom, port)?;
+        let was_pending = p.pending;
+        p.pending = false;
+        if was_pending {
+            self.drops += 1;
+        }
+        Ok(was_pending)
+    }
+
+    /// Number of ports currently pending (masked or not) for `dom` — the
+    /// outstanding side of the send/delivery conservation ledger.
+    pub fn pending_count(&self, dom: DomainId) -> usize {
+        self.domains
+            .get(dom.0 as usize)
+            .map_or(0, |t| t.ports.iter().filter(|p| p.pending).count())
+    }
+
     /// Total sends performed.
     pub fn sends(&self) -> u64 {
         self.sends
@@ -196,6 +226,12 @@ impl EventChannels {
     /// Total events delivered.
     pub fn deliveries(&self) -> u64 {
         self.deliveries
+    }
+
+    /// Total pending events suppressed by the fault-injection hook
+    /// ([`EventChannels::drop_pending`]).
+    pub fn drops(&self) -> u64 {
+        self.drops
     }
 }
 
@@ -277,6 +313,37 @@ mod tests {
         assert_eq!(
             ev.set_masked(DomainId(9), 7, true),
             Err(XenError::BadEventPort(7))
+        );
+    }
+
+    #[test]
+    fn drop_pending_suppresses_and_balances() {
+        let (mut ev, a, ap, b, bp) = setup();
+        ev.send(a, ap).unwrap();
+        assert!(ev.has_pending(b));
+        assert_eq!(ev.pending_count(b), 1);
+        assert_eq!(ev.drop_pending(b, bp), Ok(true));
+        assert!(!ev.has_pending(b));
+        assert!(ev.take_pending(b).is_empty());
+        // Dropping an already-clear bit suppresses nothing.
+        assert_eq!(ev.drop_pending(b, bp), Ok(false));
+        assert_eq!(ev.drops(), 1);
+        // Ledger: every send is delivered, dropped, or still pending.
+        ev.send(a, ap).unwrap();
+        assert_eq!(ev.take_pending(b), vec![bp]);
+        ev.send(a, ap).unwrap();
+        assert_eq!(
+            ev.sends(),
+            ev.deliveries() + ev.drops() + ev.pending_count(b) as u64
+        );
+    }
+
+    #[test]
+    fn drop_pending_rejects_unknown_port() {
+        let mut ev = EventChannels::new();
+        assert_eq!(
+            ev.drop_pending(DomainId(9), 3),
+            Err(XenError::BadEventPort(3))
         );
     }
 

@@ -1,0 +1,123 @@
+//! `XenError` rejection paths under sustained abuse.
+//!
+//! The module tests cover one rejection each; these integration tests
+//! exercise the paths the fault-injection layer (`xc-faults`) leans on:
+//! exhaustion is stable and per-domain, revoked grant references stay
+//! dead through slot reuse, and control-plane operations from an
+//! unprivileged DomU are refused without perturbing state.
+
+use xc_xen::domain::DomainId;
+use xc_xen::events::{EventChannels, MAX_PORTS};
+use xc_xen::grant::{GrantAccess, GrantTable, MAX_GRANTS};
+use xc_xen::xenstore::XenStore;
+use xc_xen::XenError;
+
+#[test]
+fn port_exhaustion_is_stable_and_per_domain() {
+    let mut ev = EventChannels::new();
+    let full = DomainId(1);
+    for _ in 0..MAX_PORTS {
+        ev.alloc_unbound(full).expect("below the port limit");
+    }
+    // Exhaustion is not transient: every further allocation fails the
+    // same way, it does not corrupt the table.
+    for _ in 0..3 {
+        assert_eq!(ev.alloc_unbound(full), Err(XenError::NoFreePorts));
+    }
+    // The limit is per-domain; a neighbor still allocates and binds
+    // against the full domain's existing ports.
+    let neighbor = DomainId(2);
+    let np = ev.alloc_unbound(neighbor).expect("fresh domain has ports");
+    ev.bind(full, 0, neighbor, np)
+        .expect("bind survives exhaustion");
+    ev.send(neighbor, np).expect("send survives exhaustion");
+    assert_eq!(ev.take_pending(full), vec![0]);
+}
+
+#[test]
+fn revoked_grant_ref_is_dead_in_every_operation() {
+    let mut gt = GrantTable::new();
+    let (front, back) = (DomainId(1), DomainId(2));
+    let gref = gt
+        .grant(front, back, 0x7000, GrantAccess::ReadWrite)
+        .expect("grant");
+    gt.map(back, gref).expect("map");
+    gt.unmap(back, gref).expect("unmap");
+    gt.revoke(front, gref).expect("revoke");
+
+    // A revocation mid-transfer leaves the grantee holding a stale ref:
+    // every grant operation on it must fail with BadGrantRef, including
+    // after the slot is reused by a new grant.
+    assert_eq!(gt.map(back, gref), Err(XenError::BadGrantRef(gref)));
+    assert_eq!(gt.copy(back, gref, 4096), Err(XenError::BadGrantRef(gref)));
+    assert_eq!(gt.unmap(back, gref), Err(XenError::BadGrantRef(gref)));
+    assert_eq!(gt.revoke(front, gref), Err(XenError::BadGrantRef(gref)));
+
+    let fresh = gt
+        .grant(front, back, 0x8000, GrantAccess::ReadOnly)
+        .expect("slot reuse");
+    assert_ne!(fresh, gref, "generation bump changes the reference");
+    assert_eq!(gt.map(back, gref), Err(XenError::BadGrantRef(gref)));
+    assert_eq!(gt.map(back, fresh), Ok(0x8000));
+    assert_eq!(gt.bytes_copied(), 0, "failed copies move no bytes");
+}
+
+#[test]
+fn grant_table_exhaustion_reports_full() {
+    let mut gt = GrantTable::new();
+    let (front, back) = (DomainId(1), DomainId(2));
+    let mut last = 0;
+    for frame in 0..u64::from(MAX_GRANTS) {
+        last = gt
+            .grant(front, back, frame, GrantAccess::ReadOnly)
+            .expect("below the grant limit");
+    }
+    assert_eq!(
+        gt.grant(front, back, 0xdead, GrantAccess::ReadOnly),
+        Err(XenError::GrantTableFull)
+    );
+    // Revoking one entry frees exactly one slot.
+    gt.revoke(front, last).expect("revoke");
+    gt.grant(front, back, 0xbeef, GrantAccess::ReadOnly)
+        .expect("freed slot is reusable");
+}
+
+#[test]
+fn domu_control_ops_are_permission_denied() {
+    let mut store = XenStore::new();
+    let dom0 = DomainId(0);
+    let guest = DomainId(5);
+    let intruder = DomainId(6);
+
+    // Dom0 provisions the guest's control nodes.
+    store
+        .write(dom0, "/local/domain/5/console", "hvc0")
+        .expect("dom0 writes anywhere");
+
+    // A DomU may not write outside its own subtree — the classic
+    // control-plane escape attempt.
+    let denied = store.write(intruder, "/local/domain/5/console", "pwned");
+    assert!(matches!(
+        denied,
+        Err(XenError::PermissionDenied { caller, op })
+            if caller == intruder && op == "xenstore write"
+    ));
+    // Nor may it read another guest's nodes or re-grant permissions.
+    assert!(matches!(
+        store.read(intruder, "/local/domain/5/console"),
+        Err(XenError::PermissionDenied { .. })
+    ));
+    assert!(matches!(
+        store.set_perm(intruder, "/local/domain/5/console", intruder),
+        Err(XenError::PermissionDenied { .. })
+    ));
+    // The denied operations left the node untouched and readable by its
+    // rightful owners.
+    assert_eq!(
+        store.read(dom0, "/local/domain/5/console"),
+        Ok(Some("hvc0"))
+    );
+    store
+        .write(guest, "/local/domain/5/state", "running")
+        .expect("a guest writes under its own subtree");
+}

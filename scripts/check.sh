@@ -44,8 +44,32 @@ awk -v s="$t0" -v m="$t1" -v p="$t2" -v j="$jobs" 'BEGIN {
         m - s, j, p - m
 }'
 
+echo "== chaos_study --quick --jobs 1 vs --jobs N byte-identity gate =="
+cargo build -q --release -p xc-bench --bin chaos_study
+target/release/chaos_study --quick --jobs 1 >"$tmp/chaos-serial.out"
+cp results/chaos.json "$tmp/chaos-serial.json"
+target/release/chaos_study --quick --jobs "$jobs" >"$tmp/chaos-parallel.out"
+cp results/chaos.json "$tmp/chaos-parallel.json"
+if ! diff -q "$tmp/chaos-serial.out" "$tmp/chaos-parallel.out" >/dev/null; then
+    echo "FAIL: chaos_study stdout diverges between --jobs 1 and --jobs $jobs" >&2
+    diff "$tmp/chaos-serial.out" "$tmp/chaos-parallel.out" >&2 || true
+    exit 1
+fi
+if ! diff -q "$tmp/chaos-serial.json" "$tmp/chaos-parallel.json" >/dev/null; then
+    echo "FAIL: results/chaos.json diverges between --jobs 1 and --jobs $jobs" >&2
+    exit 1
+fi
+if grep -q "VIOLATED" "$tmp/chaos-serial.out"; then
+    echo "FAIL: chaos_study reports a conservation violation" >&2
+    exit 1
+fi
+echo "ok: chaos sweep byte-identical at --jobs 1 and --jobs $jobs, all ledgers balanced"
+
+echo "== panic isolation smoke: a poisoned cell must not abort the grid =="
+cargo test -q -p xc-bench --test determinism panicking_cell_is_isolated_from_the_grid
+
 echo "== perf smoke: queue_bench --quick --sparse (fig4 golden digest gate) =="
 cargo build -q --release -p xc-bench --bin queue_bench
 target/release/queue_bench --quick --sparse
 
-echo "ok: formatting clean, no lints, deterministic at any --jobs, fig4 digest matches golden"
+echo "ok: formatting clean, no lints, deterministic at any --jobs, fault-tolerant runner, fig4 digest matches golden"
