@@ -40,6 +40,14 @@ pub enum WrapperStyle {
     /// The number is statically known but the pair is only 4 bytes —
     /// too small even for the offline detour's 5-byte redirect.
     XorZeroRead,
+    /// libc-style `syscall(nr, ...)` shim pair: the wrapper materializes
+    /// the number as an *argument* (`mov $nr,%edi`) and calls a shared
+    /// identity shim (`mov %rdi,%rax; syscall; ret`). Neither half is
+    /// recognizable to online ABOM or the default offline scan — but the
+    /// v2 interprocedural verifier proves the shim's syscall number
+    /// constant through the call edge, so the offline tool in
+    /// interprocedural mode can detour it.
+    LibcShim,
 }
 
 impl WrapperStyle {
@@ -50,14 +58,18 @@ impl WrapperStyle {
             WrapperStyle::PthreadCancellable
                 | WrapperStyle::IndirectNumber
                 | WrapperStyle::XorZeroRead
+                | WrapperStyle::LibcShim
         )
     }
 
-    /// Whether the offline detour tool can patch this style.
+    /// Whether the offline detour tool in its **default** (single-pass,
+    /// intraprocedural) configuration can patch this style.
+    /// [`WrapperStyle::LibcShim`] additionally becomes patchable when
+    /// the offline tool runs with `interprocedural` enabled.
     pub fn offline_patchable(self) -> bool {
         !matches!(
             self,
-            WrapperStyle::IndirectNumber | WrapperStyle::XorZeroRead
+            WrapperStyle::IndirectNumber | WrapperStyle::XorZeroRead | WrapperStyle::LibcShim
         )
     }
 
@@ -137,6 +149,23 @@ fn emit_wrapper(a: &mut Assembler, style: WrapperStyle, nr: u64) {
         }
         WrapperStyle::XorZeroRead => {
             a.inst(Inst::XorEaxEax);
+            a.inst(Inst::Syscall);
+            a.inst(Inst::Ret);
+        }
+        WrapperStyle::LibcShim => {
+            // The number travels as an argument through a call edge.
+            a.inst(Inst::MovImm32 {
+                reg: Reg::Rdi,
+                imm: nr as u32,
+            });
+            let shim = format!("shim_{}", a.here());
+            a.call_to(&shim);
+            a.inst(Inst::Ret);
+            a.label(&shim).expect("unique label");
+            a.inst(Inst::MovRegReg64 {
+                dst: Reg::Rax,
+                src: Reg::Rdi,
+            });
             a.inst(Inst::Syscall);
             a.inst(Inst::Ret);
         }
@@ -371,5 +400,28 @@ mod tests {
         assert!(!WrapperStyle::XorZeroRead.online_patchable());
         assert!(!WrapperStyle::XorZeroRead.offline_patchable());
         assert!(WrapperStyle::PthreadCancellable.offline_patchable());
+        assert!(!WrapperStyle::LibcShim.online_patchable());
+        assert!(!WrapperStyle::LibcShim.offline_patchable());
+        assert!(!WrapperStyle::LibcShim.takes_stack_number());
+        assert!(!WrapperStyle::LibcShim.takes_register_number());
+    }
+
+    #[test]
+    fn libc_shim_wrapper_always_traps_unpatched() {
+        // The shim hides the number behind a call + register copy, so the
+        // online patcher never recognizes the site — every invocation traps.
+        let mut image = library_image(&[WrapperSpec {
+            index: 0,
+            style: WrapperStyle::LibcShim,
+            nr: 39,
+        }]);
+        let entry = image.symbol("wrapper_0").unwrap();
+        let mut kernel = XContainerKernel::new();
+        for _ in 0..4 {
+            invoke(&mut image, &mut kernel, entry, None).unwrap();
+        }
+        assert_eq!(kernel.syscall_numbers(), vec![39; 4]);
+        assert_eq!(kernel.stats().trapped, 4, "never patched online");
+        assert_eq!(kernel.stats().patched_sites(), 0);
     }
 }

@@ -35,7 +35,7 @@ use std::fmt;
 use xc_isa::decode::{decode, DecodeError};
 use xc_isa::image::{BinaryImage, PAGE_SIZE};
 use xc_isa::inst::{Inst, Reg};
-use xc_verify::{AnalysisCache, DetourHazard, Verifier};
+use xc_verify::{AnalysisCache, DetourHazard, SiteKind, Verdict, Verifier};
 
 use crate::patcher::{Abom, PatchOutcome};
 use crate::patterns::recognize;
@@ -105,6 +105,10 @@ pub struct OfflineReport {
     /// pass plus [`AbomStats::hazard_scans_saved`], the edge-list walks
     /// amortized away by batching the per-region hazard queries.
     pub abom: AbomStats,
+    /// Sites the linear scan gave up on ([`SkipReason::UnknownNumber`])
+    /// that the interprocedural verifier recovered into detour
+    /// candidates (only nonzero with [`OfflineConfig::interprocedural`]).
+    pub interprocedural_recovered: u64,
 }
 
 impl OfflineReport {
@@ -137,12 +141,22 @@ pub struct OfflineConfig {
     /// intact). The paper's tool is applied manually to known-safe sites;
     /// this flag is that human judgement.
     pub across_conditional_branches: bool,
+    /// Consult the interprocedural verifier for sites the linear scan
+    /// cannot resolve: a [`SkipReason::UnknownNumber`] site whose
+    /// verdict is `Safe` with kind `PropagatedNumber` (constant proven
+    /// through copies, spills, or call edges) becomes a detour
+    /// candidate, with the region anchored at the propagating
+    /// instruction the verifier names. Off by default: the default tool
+    /// mirrors the paper's single-pass scan, so existing Table-1
+    /// numbers are unchanged unless a caller opts in.
+    pub interprocedural: bool,
 }
 
 impl Default for OfflineConfig {
     fn default() -> Self {
         OfflineConfig {
             across_conditional_branches: true,
+            interprocedural: false,
         }
     }
 }
@@ -218,10 +232,43 @@ impl OfflinePatcher {
         image: &BinaryImage,
         cache: &mut AnalysisCache,
     ) -> Result<(BinaryImage, OfflineReport), OfflineError> {
-        let (sites, skipped) = self.scan(image);
+        let (mut sites, mut skipped) = self.scan(image);
         // One static analysis of the unpatched image backs every detour
         // decision below (memoized: a hit if the caller analyzed it first).
         let analysis = cache.analyze(&Verifier::new(), image);
+
+        // Interprocedural recovery: sites the linear scan could not
+        // resolve but the abstract interpreter proved constant get a
+        // region anchored at the propagating instruction. The hazard
+        // checks below still apply to every recovered region.
+        let mut recovered = 0u64;
+        if self.config.interprocedural {
+            skipped.retain(|&(addr, reason)| {
+                if reason != SkipReason::UnknownNumber {
+                    return true;
+                }
+                let Some(site) = analysis.site_at(addr) else {
+                    return true;
+                };
+                let propagated =
+                    site.verdict == Verdict::Safe && site.kind == SiteKind::PropagatedNumber;
+                let (Some(mov_addr), Some(mov_len), Some(nr), true) =
+                    (site.mov_addr, site.mov_len, site.number, propagated)
+                else {
+                    return true;
+                };
+                sites.push(Site {
+                    mov_addr,
+                    mov_len: mov_len as usize,
+                    syscall_addr: addr,
+                    nr: nr as u64,
+                    adjacent: false,
+                });
+                recovered += 1;
+                false
+            });
+            sites.sort_by_key(|s| s.syscall_addr);
+        }
 
         // Build the output: original bytes + page-aligned trampoline area.
         let text_len = image.len();
@@ -234,6 +281,7 @@ impl OfflinePatcher {
 
         let mut report = OfflineReport {
             skipped,
+            interprocedural_recovered: recovered,
             ..OfflineReport::default()
         };
         let mut detours: Vec<(Site, u64)> = Vec::new();
@@ -305,13 +353,10 @@ impl OfflinePatcher {
                 bytes.resize(off + tramp.len(), 0xcc);
             }
             bytes[off..off + tramp.len()].copy_from_slice(&tramp);
+            // Pack trampolines back-to-back: each is only entered via its
+            // detour jump and left via its closing jump, so alignment
+            // padding between them bought nothing (ROADMAP item 5).
             tramp_cursor += tramp.len() as u64;
-            // Keep trampolines 16-byte aligned.
-            tramp_cursor = tramp_cursor.div_ceil(16) * 16;
-            let pad_to = (tramp_cursor - image.base()) as usize;
-            if bytes.len() < pad_to {
-                bytes.resize(pad_to, 0xcc);
-            }
         }
 
         // Write the detour jumps into the text copy.
@@ -452,6 +497,7 @@ impl OfflinePatcher {
                 | Inst::SubRspImm8 { .. }
                 | Inst::LoadRspDisp8R32 { .. }
                 | Inst::LoadRspDisp8R64 { .. }
+                | Inst::StoreRspDisp8R64 { .. }
                 | Inst::MovRegReg64 { .. } => {}
             }
             addr += d.len as u64;
@@ -566,6 +612,7 @@ mod tests {
         let image = pthread_cancellable_wrapper_image(202);
         let tool = OfflinePatcher::with_config(OfflineConfig {
             across_conditional_branches: false,
+            ..OfflineConfig::default()
         });
         let (_, report) = tool.patch(&image).unwrap();
         assert_eq!(report.total_patched(), 0);
@@ -617,5 +664,96 @@ mod tests {
         assert_eq!(patched.symbol("wrapper"), image.symbol("wrapper"));
         assert!(patched.len() > image.len());
         assert_eq!(patched.base(), image.base());
+    }
+
+    #[test]
+    fn trampolines_pack_by_length_and_still_reverify() {
+        // Two cancellable wrappers → two detour trampolines. Each is
+        // interior (5 bytes: test/jcc/nop) + vsyscall call (7) + jmp
+        // back (5) = 17 bytes; packed back-to-back the trampoline area
+        // is exactly 34 bytes, not two 16-byte-aligned slots.
+        let specs = [
+            WrapperSpec {
+                index: 0,
+                style: WrapperStyle::PthreadCancellable,
+                nr: 202,
+            },
+            WrapperSpec {
+                index: 1,
+                style: WrapperStyle::PthreadCancellable,
+                nr: 1,
+            },
+        ];
+        let image = library_image(&specs);
+        let (mut patched, report) = OfflinePatcher::new().patch(&image).unwrap();
+        assert_eq!(report.detour_patched, 2);
+        let tramp_area_start = (image.len() as u64).div_ceil(PAGE_SIZE) * PAGE_SIZE;
+        assert_eq!(
+            patched.len() as u64 - tramp_area_start,
+            34,
+            "trampolines must pack by actual length"
+        );
+
+        let shape = xc_verify::reverify(&patched, image.len());
+        assert!(shape.ok(), "violations: {:?}", shape.violations);
+        assert_eq!(shape.detours.len(), 2);
+
+        let mut kernel = XContainerKernel::new();
+        for spec in &specs {
+            let entry = patched.symbol(&format!("wrapper_{}", spec.index)).unwrap();
+            invoke(&mut patched, &mut kernel, entry, None).unwrap();
+        }
+        assert_eq!(kernel.syscall_numbers(), vec![202, 1]);
+        assert_eq!(kernel.stats().trapped, 0);
+    }
+
+    #[test]
+    fn default_config_skips_libc_shim() {
+        let image = library_image(&[WrapperSpec {
+            index: 0,
+            style: WrapperStyle::LibcShim,
+            nr: 39,
+        }]);
+        let (_, report) = OfflinePatcher::new().patch(&image).unwrap();
+        assert_eq!(report.total_patched(), 0);
+        assert_eq!(report.interprocedural_recovered, 0);
+        assert!(report
+            .skipped
+            .iter()
+            .any(|(_, r)| *r == SkipReason::UnknownNumber));
+    }
+
+    #[test]
+    fn interprocedural_config_recovers_libc_shim() {
+        let image = library_image(&[WrapperSpec {
+            index: 0,
+            style: WrapperStyle::LibcShim,
+            nr: 39,
+        }]);
+        let tool = OfflinePatcher::with_config(OfflineConfig {
+            interprocedural: true,
+            ..OfflineConfig::default()
+        });
+        let (mut patched, report) = tool.patch(&image).unwrap();
+        assert_eq!(report.detour_patched, 1);
+        assert_eq!(report.interprocedural_recovered, 1);
+        assert!(!report
+            .skipped
+            .iter()
+            .any(|(_, r)| *r == SkipReason::UnknownNumber));
+
+        let shape = xc_verify::reverify(&patched, image.len());
+        assert!(shape.ok(), "violations: {:?}", shape.violations);
+
+        // Execution equivalence: the shim's syscall now runs entirely via
+        // the vsyscall function call, still reporting nr 39.
+        let entry = patched.symbol("wrapper_0").unwrap();
+        let mut kernel = XContainerKernel::new();
+        for _ in 0..3 {
+            invoke(&mut patched, &mut kernel, entry, None).unwrap();
+        }
+        assert_eq!(kernel.syscall_numbers(), vec![39; 3]);
+        assert_eq!(kernel.stats().trapped, 0);
+        assert_eq!(kernel.stats().via_function_call, 3);
     }
 }

@@ -20,6 +20,7 @@ pub mod fig3;
 pub mod fig4;
 pub mod fig5;
 pub mod fig8;
+pub mod verify_lint;
 pub mod verify_study;
 
 use std::time::Instant;

@@ -1,15 +1,21 @@
 //! Verify study — static patch-safety analysis over the Table 1 corpus
 //! (see the `verify_study` binary).
 //!
-//! Three questions, answered against the same synthetic wrapper
+//! Four questions, answered against the same synthetic wrapper
 //! libraries the Table 1 reduction study executes:
 //!
 //! 1. **Coverage** — how many syscall sites does `xc-verify` prove
-//!    `Safe`, and what remains `Unknown`? (Expected residue: only the
-//!    register-indirect wrappers, whose number is data-dependent.)
-//! 2. **Post-patch shape** — after the offline tool rewrites a library,
+//!    `Safe`, and what remains `Unknown`? Both analyzer generations run
+//!    side by side: v1 (single-pass, intraprocedural) leaves the libc
+//!    `syscall(nr)` shim wrappers `Unknown`; v2 (call graph + function
+//!    summaries + abstract interpretation) propagates the caller's
+//!    constant into the shim and upgrades them to `Safe`.
+//! 2. **Interprocedural recovery** — the offline tool, run with
+//!    `interprocedural` enabled, turns each upgraded verdict into a real
+//!    detour patch (`interprocedural_recovered`).
+//! 3. **Post-patch shape** — after the offline tool rewrites a library,
 //!    does re-verification confirm every detour/trampoline invariant?
-//! 3. **Redundancy ablation** — with `preflight_verify` enabled, does
+//! 4. **Redundancy ablation** — with `preflight_verify` enabled, does
 //!    the online patcher ever get vetoed? Zero rejections means the
 //!    §4.4 pattern matcher is already sound on this corpus — now proved
 //!    rather than assumed.
@@ -26,10 +32,10 @@ use std::time::Instant;
 
 use xcontainers::abom::binaries::{invoke_with, WrapperStyle};
 use xcontainers::abom::handler::XContainerKernel;
-use xcontainers::abom::offline::OfflinePatcher;
+use xcontainers::abom::offline::{OfflineConfig, OfflinePatcher};
 use xcontainers::abom::stats::AbomStats;
 use xcontainers::prelude::*;
-use xcontainers::verify::{reverify, Verifier};
+use xcontainers::verify::{reverify, summarize, Verifier, VerifierConfig};
 use xcontainers::workloads::table1::{table1_profiles, AppProfile};
 
 use crate::runner::Runner;
@@ -68,13 +74,19 @@ pub struct ProfileRow {
     pub safe: usize,
     pub unsafe_: usize,
     pub unknown: usize,
+    /// `Unknown` verdicts under the v1 (intraprocedural) analyzer.
+    pub v1_unknown: usize,
+    /// Sites the interprocedural pass upgraded to `Safe`.
+    pub upgraded: usize,
     /// Analysis wall time — nondeterministic, excluded from digests.
     pub micros: f64,
     pub reverify_ok: bool,
     pub detours: usize,
     pub detour_patched: u64,
-    /// Register-indirect wrappers (the expected `Unknown` residue).
-    pub indirect: usize,
+    /// Detours owed to interprocedural upgrades.
+    pub recovered: u64,
+    /// Libc `syscall(nr)` shim wrappers (the expected v1 residue).
+    pub shims: usize,
     pub rejections: u64,
     pub study_cache_hits: u64,
     pub study_cache_misses: u64,
@@ -119,6 +131,16 @@ impl Output {
         }
     }
 
+    /// Total `Unknown` verdicts under the v1 analyzer.
+    pub fn v1_unknown(&self) -> usize {
+        self.rows.iter().map(|r| r.v1_unknown).sum()
+    }
+
+    /// Total `Unknown` verdicts under the v2 analyzer.
+    pub fn v2_unknown(&self) -> usize {
+        self.rows.iter().map(|r| r.unknown).sum()
+    }
+
     /// The findings recorded to `results/verify_study.json`.
     pub fn findings(&self) -> Vec<Finding> {
         let mut findings = Vec::new();
@@ -127,12 +149,11 @@ impl Output {
                 experiment: "verify_study",
                 metric: format!("{}_safe_sites", r.name),
                 paper: format!(
-                    "{}/{} provable (§4.4 soundness)",
-                    r.sites - r.indirect,
-                    r.sites
+                    "{}/{} provable (§4.4 + interprocedural propagation)",
+                    r.sites, r.sites
                 ),
                 measured: r.safe as f64,
-                in_band: r.safe == r.sites - r.indirect && r.unsafe_ == 0,
+                in_band: r.safe == r.sites && r.unsafe_ == 0 && r.unknown == 0,
             });
             findings.push(Finding {
                 experiment: "verify_study",
@@ -142,6 +163,23 @@ impl Output {
                 in_band: r.reverify_ok && r.detours as u64 == r.detour_patched,
             });
         }
+        findings.push(Finding {
+            experiment: "verify_study",
+            metric: "interprocedural_unknown_reduction".to_owned(),
+            paper: format!(
+                "v2 strictly reduces Unknown verdicts (v1 leaves {} shim sites)",
+                self.rows.iter().map(|r| r.shims).sum::<usize>()
+            ),
+            measured: (self.v1_unknown() - self.v2_unknown()) as f64,
+            in_band: self.v2_unknown() < self.v1_unknown(),
+        });
+        findings.push(Finding {
+            experiment: "verify_study",
+            metric: "interprocedural_detours_recovered".to_owned(),
+            paper: "each upgraded verdict becomes an offline detour".to_owned(),
+            measured: self.rows.iter().map(|r| r.recovered).sum::<u64>() as f64,
+            in_band: self.rows.iter().all(|r| r.recovered as usize == r.upgraded),
+        });
         findings.push(Finding {
             experiment: "verify_study",
             metric: "preflight_rejections".to_owned(),
@@ -169,6 +207,8 @@ impl Output {
                 "safe",
                 "unsafe",
                 "unknown",
+                "v1 unk",
+                "upgraded",
                 "µs",
                 "reverify",
                 "detours",
@@ -184,6 +224,8 @@ impl Output {
                 Cell::Num(r.safe as f64, 0),
                 Cell::Num(r.unsafe_ as f64, 0),
                 Cell::Num(r.unknown as f64, 0),
+                Cell::Num(r.v1_unknown as f64, 0),
+                Cell::Num(r.upgraded as f64, 0),
                 Cell::Num(r.micros, 1),
                 Cell::from(if r.reverify_ok { "ok" } else { "FAIL" }),
                 Cell::Num(r.detours as f64, 0),
@@ -194,15 +236,19 @@ impl Output {
         let _ = write!(
             out,
             "\n\
-             {total_safe}/{total_sites} sites proved Safe; the Unknown residue is\n\
-             exactly the register-indirect wrappers the paper's ABOM also cannot\n\
-             patch. Every offline-rewritten library passes post-patch\n\
-             re-verification.\n\
+             {total_safe}/{total_sites} sites proved Safe. The v1 analyzer left\n\
+             {v1_unk} libc `syscall(nr)` shim sites Unknown; interprocedural\n\
+             propagation upgraded {upgraded} of them and the offline tool turned\n\
+             {recovered} into detour patches. Every offline-rewritten library\n\
+             passes post-patch re-verification.\n\
              Pre-flight ablation: {rej} online patches vetoed by the\n\
              verifier across {per_app} syscalls/app — the §4.4 pattern\n\
              matcher never patches a site the analyzer cannot prove.\n\
              Analysis cache: {hits} hits / {misses} misses ({rate:.0}% hit rate)\n\
              across the study and online pre-flight passes.\n",
+            v1_unk = self.v1_unknown(),
+            upgraded = self.rows.iter().map(|r| r.upgraded).sum::<usize>(),
+            recovered = self.rows.iter().map(|r| r.recovered).sum::<u64>(),
             rej = self.total_rejections(),
             per_app = self.syscalls_per_app,
             hits = self.cache_hits(),
@@ -234,22 +280,36 @@ fn cell(profile: &AppProfile, syscalls: u64, rng: Rng) -> ProfileRow {
     let mut cache = AnalysisCache::new();
 
     // 1. Pre-patch verdicts + analysis wall time (populates the cache).
+    //    The v1 baseline (upgrades off) runs uncached so the study and
+    //    offline pre-flight keep sharing one fingerprint.
     let start = Instant::now();
     let analysis = cache.analyze(&Verifier::new(), &image);
     let micros = start.elapsed().as_secs_f64() * 1e6;
     let (safe, unsafe_, unknown) = analysis.report().tally();
+    let upgraded = summarize(analysis.report()).upgraded;
+    let (_, _, v1_unknown) = Verifier::with_config(VerifierConfig {
+        interprocedural_upgrades: false,
+        ..VerifierConfig::default()
+    })
+    .analyze(&image)
+    .report()
+    .tally();
 
-    let indirect = profile
+    let shims = profile
         .sites
         .iter()
-        .filter(|s| s.style == WrapperStyle::IndirectNumber)
+        .filter(|s| s.style == WrapperStyle::LibcShim)
         .count();
 
     // 2. Offline patch through the same cache (guaranteed hit), then
-    //    re-verify the rewritten image.
-    let (patched, report) = OfflinePatcher::new()
-        .patch_with_cache(&image, &mut cache)
-        .expect("offline patching");
+    //    re-verify the rewritten image. `interprocedural` turns the
+    //    upgraded shim verdicts into detours.
+    let (patched, report) = OfflinePatcher::with_config(OfflineConfig {
+        interprocedural: true,
+        ..OfflineConfig::default()
+    })
+    .patch_with_cache(&image, &mut cache)
+    .expect("offline patching");
     let shape = reverify(&patched, image.len());
 
     // 3. Pre-flight ablation: same run, verifier in the loop.
@@ -270,11 +330,14 @@ fn cell(profile: &AppProfile, syscalls: u64, rng: Rng) -> ProfileRow {
         safe,
         unsafe_,
         unknown,
+        v1_unknown,
+        upgraded,
         micros,
         reverify_ok: shape.ok(),
         detours: shape.detours.len(),
         detour_patched: report.detour_patched,
-        indirect,
+        recovered: report.interprocedural_recovered,
+        shims,
         rejections: verified.verify_rejected,
         study_cache_hits: cache.hits(),
         study_cache_misses: cache.misses(),

@@ -419,6 +419,10 @@ pub struct BenchEntry {
     pub cache_hits: Option<u64>,
     /// Analysis-cache misses observed by the run.
     pub cache_misses: Option<u64>,
+    /// Extra named numeric metrics (e.g. `coverage_pct`), serialized as
+    /// additional top-level keys so the trajectory file tracks harness
+    /// quality measures alongside wall time.
+    pub metrics: Vec<(&'static str, f64)>,
 }
 
 impl BenchEntry {
@@ -432,6 +436,7 @@ impl BenchEntry {
             parallel_matches_serial: None,
             cache_hits: None,
             cache_misses: None,
+            metrics: Vec::new(),
         }
     }
 
@@ -467,6 +472,9 @@ impl BenchEntry {
             if h + m > 0 {
                 fields.push(("cache_hit_rate", Json::Num(h as f64 / (h + m) as f64)));
             }
+        }
+        for &(name, value) in &self.metrics {
+            fields.push((name, Json::Num(value)));
         }
         json_object(fields)
     }
@@ -704,5 +712,17 @@ mod tests {
             !json.contains("cache_hits"),
             "absent cache stays absent: {json}"
         );
+    }
+
+    #[test]
+    fn bench_entry_metrics_serialize_as_extra_keys() {
+        let e = BenchEntry {
+            metrics: vec![("coverage_pct", 100.0), ("unknown_sites", 0.0)],
+            ..BenchEntry::timing("verify_lint", 1, 3.0)
+        };
+        let json = e.to_json().to_string_compact();
+        assert!(json.contains("\"coverage_pct\":100"));
+        assert!(json.contains("\"unknown_sites\":0"));
+        assert!(!json.contains("null"));
     }
 }

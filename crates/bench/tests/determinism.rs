@@ -6,7 +6,7 @@
 //! quantifies over.
 
 use xc_bench::findings_json;
-use xc_bench::harness::{chaos, fig4, fig5, fig8, verify_study};
+use xc_bench::harness::{chaos, fig4, fig5, fig8, verify_lint, verify_study};
 use xc_bench::runner::{RunPolicy, Runner};
 use xcontainers::prelude::{FaultPlan, FaultRates, Histogram, Rng, Summary};
 
@@ -55,6 +55,18 @@ fn verify_study_slice_is_jobs_invariant() {
         let digest =
             verify_study::run_with(&Runner::new(jobs), 300, verify_study::SEED).stable_digest();
         assert_eq!(digest, digest1, "verify study diverged at --jobs {jobs}");
+    }
+}
+
+/// The lint sweep has no wall-time columns at all, so its full output —
+/// table, per-rule counts, rendered findings, machine JSON — must be
+/// byte-identical at every worker count.
+#[test]
+fn verify_lint_is_jobs_invariant() {
+    let digest1 = verify_lint::run(&Runner::new(1)).stable_digest();
+    for jobs in [2, 4] {
+        let digest = verify_lint::run(&Runner::new(jobs)).stable_digest();
+        assert_eq!(digest, digest1, "verify lint diverged at --jobs {jobs}");
     }
 }
 

@@ -376,6 +376,11 @@ impl Cpu {
                 self.set_reg(reg, v);
                 self.rip = at + len;
             }
+            Inst::StoreRspDisp8R64 { reg, disp } => {
+                let v = self.reg(reg);
+                self.write_stack_u64(self.reg(Reg::Rsp) + u64::from(disp), v)?;
+                self.rip = at + len;
+            }
             Inst::MovRegReg64 { dst, src } => {
                 let v = self.reg(src);
                 self.set_reg(dst, v);

@@ -293,7 +293,8 @@ fn decode_rex_w(bytes: &[u8]) -> Result<Decoded, DecodeError> {
             }
         }
         0x89 => {
-            // mov r64, r64: 48 89 /r with mod=11
+            // mov r64, r64: 48 89 /r with mod=11, or the store form
+            // mov [rsp+disp8], r64: 48 89 modrm(01 reg 100) sib(24) disp8.
             need(bytes, 3)?;
             let modrm = bytes[2];
             if modrm & 0xc0 == 0xc0 {
@@ -304,6 +305,19 @@ fn decode_rex_w(bytes: &[u8]) -> Result<Decoded, DecodeError> {
                     },
                     len: 3,
                 })
+            } else if modrm & 0xc7 == 0x44 {
+                need(bytes, 5)?;
+                if bytes[3] == 0x24 {
+                    Ok(Decoded {
+                        inst: Inst::StoreRspDisp8R64 {
+                            reg: Reg::from_code((modrm >> 3) & 7),
+                            disp: bytes[4],
+                        },
+                        len: 5,
+                    })
+                } else {
+                    Err(DecodeError::Unsupported(0x89))
+                }
             } else {
                 Err(DecodeError::Unsupported(0x89))
             }
@@ -368,6 +382,7 @@ mod tests {
             roundtrip(Inst::MovImm32SxR64 { reg, imm: -7 });
             roundtrip(Inst::LoadRspDisp8R32 { reg, disp: 0x18 });
             roundtrip(Inst::LoadRspDisp8R64 { reg, disp: 0x08 });
+            roundtrip(Inst::StoreRspDisp8R64 { reg, disp: 0x10 });
             for src in Reg::ALL {
                 roundtrip(Inst::MovRegReg64 { dst: reg, src });
             }

@@ -142,6 +142,14 @@ pub enum Inst {
         /// Unsigned byte displacement from `rsp`.
         disp: u8,
     },
+    /// `mov [rsp+disp8], r64` — `REX.W 89 /r` with SIB (5 bytes): the
+    /// spill half of the Go `syscall.Syscall` argument-passing pattern.
+    StoreRspDisp8R64 {
+        /// Source register.
+        reg: Reg,
+        /// Unsigned byte displacement from `rsp`.
+        disp: u8,
+    },
     /// `mov r64, r64` — `REX.W 89 /r` (3 bytes).
     MovRegReg64 {
         /// Destination register.
@@ -215,6 +223,7 @@ impl Inst {
             Inst::LoadRspDisp8R32 { .. } | Inst::AddRspImm8 { .. } | Inst::SubRspImm8 { .. } => 4,
             Inst::MovImm32 { .. }
             | Inst::LoadRspDisp8R64 { .. }
+            | Inst::StoreRspDisp8R64 { .. }
             | Inst::CallRel32 { .. }
             | Inst::JmpRel32 { .. } => 5,
             Inst::MovImm32SxR64 { .. } | Inst::CallAbsIndirect { .. } => 7,
@@ -256,6 +265,13 @@ impl Inst {
             Inst::LoadRspDisp8R64 { reg, disp } => {
                 out.push(0x48);
                 out.push(0x8b);
+                out.push(0x44 + (reg.code() << 3));
+                out.push(0x24);
+                out.push(disp);
+            }
+            Inst::StoreRspDisp8R64 { reg, disp } => {
+                out.push(0x48);
+                out.push(0x89);
                 out.push(0x44 + (reg.code() << 3));
                 out.push(0x24);
                 out.push(disp);
@@ -417,6 +433,7 @@ impl fmt::Display for Inst {
                 write!(f, "mov {disp:#x}(%rsp),%e{}", &reg.to_string()[1..])
             }
             Inst::LoadRspDisp8R64 { reg, disp } => write!(f, "mov {disp:#x}(%rsp),%{reg}"),
+            Inst::StoreRspDisp8R64 { reg, disp } => write!(f, "mov %{reg},{disp:#x}(%rsp)"),
             Inst::MovRegReg64 { dst, src } => write!(f, "mov %{src},%{dst}"),
             Inst::CallAbsIndirect { target } => write!(f, "callq *{target:#x}"),
             Inst::CallRel32 { rel } => write!(f, "call .{rel:+}"),
@@ -533,6 +550,10 @@ mod tests {
                 reg: Reg::Rdx,
                 disp: 8,
             },
+            Inst::StoreRspDisp8R64 {
+                reg: Reg::Rdi,
+                disp: 8,
+            },
             Inst::MovRegReg64 {
                 dst: Reg::Rdi,
                 src: Reg::Rax,
@@ -574,6 +595,17 @@ mod tests {
         }
         .encode();
         assert_eq!(b, [0x48, 0x89, 0xc7]);
+    }
+
+    #[test]
+    fn store_rsp_disp8_bytes() {
+        // mov %rdi,0x8(%rsp) => 48 89 7c 24 08
+        let b = Inst::StoreRspDisp8R64 {
+            reg: Reg::Rdi,
+            disp: 8,
+        }
+        .encode();
+        assert_eq!(b, [0x48, 0x89, 0x7c, 0x24, 0x08]);
     }
 
     #[test]

@@ -31,6 +31,7 @@ fn arb_inst() -> impl Strategy<Value = Inst> {
         (arb_reg(), any::<i32>()).prop_map(|(reg, imm)| Inst::MovImm32SxR64 { reg, imm }),
         (arb_reg(), any::<u8>()).prop_map(|(reg, disp)| Inst::LoadRspDisp8R32 { reg, disp }),
         (arb_reg(), any::<u8>()).prop_map(|(reg, disp)| Inst::LoadRspDisp8R64 { reg, disp }),
+        (arb_reg(), any::<u8>()).prop_map(|(reg, disp)| Inst::StoreRspDisp8R64 { reg, disp }),
         (arb_reg(), arb_reg()).prop_map(|(dst, src)| Inst::MovRegReg64 { dst, src }),
         any::<i32>().prop_map(|v| Inst::CallAbsIndirect {
             target: v as i64 as u64

@@ -1,0 +1,598 @@
+//! Interprocedural abstract interpretation over the CFG.
+//!
+//! This replaces the v1 single-register forward pass with a worklist
+//! fixpoint that tracks an abstract value for **all eight GPRs** plus a
+//! bounded window of `rsp`-relative stack slots, propagated *across call
+//! edges*: a call site seeds its resolved callee's entry state with the
+//! caller's registers, and the caller continues with the callee's
+//! [`crate::summaries::FnSummary`] applied. That is what lets a syscall
+//! number materialised in a caller (`mov $39, %edi; call shim`) reach
+//! the `syscall` inside a libc-style identity shim as a *constant with a
+//! named defining instruction* — the fact the upgrade pass
+//! ([`crate::verifier`]) needs to turn an `Unknown` verdict into a
+//! patchable region.
+//!
+//! ## Lattice
+//!
+//! [`AbsValue`] is a flat constant domain widened through intervals:
+//! `Unreached ⊑ Const ⊑ Interval ⊑ Top`. Joining two *equal* constants
+//! keeps the value but drops the defining site unless it is also equal —
+//! a value that is constant along all paths but defined in two places is
+//! still constant (good for diagnostics) yet yields no single region to
+//! patch. Every copy or reload **re-defines**: the def site moves to the
+//! copy, so the patchable region starts at the *latest* instruction that
+//! materialises the value before the syscall.
+//!
+//! All values in this ISA originate from immediates (there is no
+//! arithmetic on registers), so interval endpoints are drawn from the
+//! finite set of program constants and the fixpoint terminates; a
+//! per-block visit cap widens to `Top` as defence in depth.
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+use xc_isa::inst::{Inst, Reg};
+
+use crate::callgraph::CallGraph;
+use crate::cfg::Cfg;
+use crate::disasm::Disassembly;
+use crate::summaries::{reg_bit, RaxEffect, Summaries};
+
+/// Abstract value of one register or stack slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbsValue {
+    /// No path reaches this point (bottom).
+    Unreached,
+    /// The value is `v` on every path. `def` names the single
+    /// instruction (address, length) that materialises it when that
+    /// instruction is unique — only then can a detour region be built.
+    Const {
+        /// The constant.
+        v: i64,
+        /// Unique defining instruction, if any.
+        def: Option<(u64, u8)>,
+    },
+    /// The value lies within `[lo, hi]` (join of unequal constants).
+    Interval {
+        /// Inclusive lower bound.
+        lo: i64,
+        /// Inclusive upper bound.
+        hi: i64,
+    },
+    /// No claim (top).
+    Top,
+}
+
+impl AbsValue {
+    /// Least upper bound.
+    pub fn join(self, other: AbsValue) -> AbsValue {
+        use AbsValue::*;
+        match (self, other) {
+            (Unreached, x) | (x, Unreached) => x,
+            (Top, _) | (_, Top) => Top,
+            (Const { v: a, def: da }, Const { v: b, def: db }) => {
+                if a == b {
+                    Const {
+                        v: a,
+                        def: if da == db { da } else { None },
+                    }
+                } else {
+                    Interval {
+                        lo: a.min(b),
+                        hi: a.max(b),
+                    }
+                }
+            }
+            (Const { v, .. }, Interval { lo, hi }) | (Interval { lo, hi }, Const { v, .. }) => {
+                Interval {
+                    lo: lo.min(v),
+                    hi: hi.max(v),
+                }
+            }
+            (Interval { lo: a, hi: b }, Interval { lo: c, hi: d }) => Interval {
+                lo: a.min(c),
+                hi: b.max(d),
+            },
+        }
+    }
+
+    /// The value after being copied by the instruction at `at` (length
+    /// `len`): constants are re-defined to the copy site, everything
+    /// else is unchanged.
+    fn redef(self, at: u64, len: u8) -> AbsValue {
+        match self {
+            AbsValue::Const { v, .. } => AbsValue::Const {
+                v,
+                def: Some((at, len)),
+            },
+            other => other,
+        }
+    }
+
+    /// The constant value, if this is a `Const`.
+    pub fn as_const(self) -> Option<i64> {
+        match self {
+            AbsValue::Const { v, .. } => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Abstract machine state at one program point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AbsState {
+    /// One value per GPR, indexed by [`Reg::code`].
+    pub regs: [AbsValue; 8],
+    /// Tracked `rsp`-relative slots, keyed by byte displacement. An
+    /// absent key means `Top` (untracked), **not** unreached.
+    pub slots: BTreeMap<u8, AbsValue>,
+}
+
+impl AbsState {
+    /// The no-information state (function entry from outside).
+    pub fn top() -> AbsState {
+        AbsState {
+            regs: [AbsValue::Top; 8],
+            slots: BTreeMap::new(),
+        }
+    }
+
+    /// Value of `reg`.
+    pub fn reg(&self, reg: Reg) -> AbsValue {
+        self.regs[reg.code() as usize]
+    }
+
+    fn set_reg(&mut self, reg: Reg, v: AbsValue) {
+        self.regs[reg.code() as usize] = v;
+    }
+
+    /// Pointwise join. Slots join by key intersection (absent = `Top`).
+    fn join(&self, other: &AbsState) -> AbsState {
+        let mut regs = [AbsValue::Top; 8];
+        for (i, slot) in regs.iter_mut().enumerate() {
+            *slot = self.regs[i].join(other.regs[i]);
+        }
+        let mut slots = BTreeMap::new();
+        for (&k, &v) in &self.slots {
+            if let Some(&w) = other.slots.get(&k) {
+                let j = v.join(w);
+                if j != AbsValue::Top {
+                    slots.insert(k, j);
+                }
+            }
+        }
+        AbsState { regs, slots }
+    }
+
+    /// State a resolved callee starts in when entered from here: the
+    /// caller's registers travel through the call, the caller's frame
+    /// does not (`rsp` moved).
+    fn call_seed(&self) -> AbsState {
+        AbsState {
+            regs: self.regs,
+            slots: BTreeMap::new(),
+        }
+    }
+}
+
+/// Result of the interprocedural pass.
+#[derive(Debug, Clone, Default)]
+pub struct AbsInt {
+    /// Pre-state of every reachable instruction.
+    pub state_in: BTreeMap<u64, AbsState>,
+}
+
+/// A block is re-queued at most this many times before its in-state is
+/// widened straight to `Top` (defence in depth; see module docs).
+const BLOCK_VISIT_CAP: u32 = 64;
+
+impl AbsInt {
+    /// The abstract `%rax` value just before the instruction at `at`
+    /// ([`AbsValue::Unreached`] if the point was never reached).
+    pub fn rax_at(&self, at: u64) -> AbsValue {
+        self.state_in
+            .get(&at)
+            .map_or(AbsValue::Unreached, |s| s.reg(Reg::Rax))
+    }
+
+    /// Runs the fixpoint. `stack_window_slots` bounds the tracked frame
+    /// window to displacements below `8 * stack_window_slots` bytes.
+    pub fn analyze(
+        disasm: &Disassembly,
+        cfg: &Cfg,
+        cg: &CallGraph,
+        summaries: &Summaries,
+        stack_window_slots: u8,
+    ) -> AbsInt {
+        let window = u16::from(stack_window_slots) * 8;
+        let mut block_in: BTreeMap<u64, AbsState> = BTreeMap::new();
+        let mut visits: BTreeMap<u64, u32> = BTreeMap::new();
+        let mut work: BTreeSet<u64> = BTreeSet::new();
+        for &e in &disasm.entries {
+            if cfg.blocks.contains_key(&e) {
+                block_in.insert(e, AbsState::top());
+                work.insert(e);
+            }
+        }
+
+        let merge =
+            |block_in: &mut BTreeMap<u64, AbsState>, target: u64, state: &AbsState| -> bool {
+                match block_in.get(&target) {
+                    Some(old) => {
+                        let joined = old.join(state);
+                        if &joined != old {
+                            block_in.insert(target, joined);
+                            true
+                        } else {
+                            false
+                        }
+                    }
+                    None => {
+                        block_in.insert(target, state.clone());
+                        true
+                    }
+                }
+            };
+
+        while let Some(&start) = work.iter().next() {
+            work.remove(&start);
+            let visit = visits.entry(start).or_insert(0);
+            *visit += 1;
+            if *visit > BLOCK_VISIT_CAP {
+                block_in.insert(start, AbsState::top());
+            }
+            let block = &cfg.blocks[&start];
+            let mut state = block_in[&start].clone();
+            for &at in &block.insts {
+                let d = &disasm.insts[&at];
+                if let Some(target) = resolved_call_target(cg, at) {
+                    let seed = state.call_seed();
+                    if merge(&mut block_in, target, &seed) && cfg.blocks.contains_key(&target) {
+                        work.insert(target);
+                    }
+                }
+                transfer(&mut state, d.inst, at, window, cg, summaries);
+            }
+            for &succ in &block.succs {
+                if cfg.blocks.contains_key(&succ) && merge(&mut block_in, succ, &state) {
+                    work.insert(succ);
+                }
+            }
+        }
+
+        // Converged: materialise per-instruction pre-states in order.
+        let mut state_in = BTreeMap::new();
+        for (start, block) in &cfg.blocks {
+            let Some(mut state) = block_in.get(start).cloned() else {
+                continue;
+            };
+            for &at in &block.insts {
+                state_in.insert(at, state.clone());
+                transfer(
+                    &mut state,
+                    disasm.insts[&at].inst,
+                    at,
+                    window,
+                    cg,
+                    summaries,
+                );
+            }
+        }
+        AbsInt { state_in }
+    }
+}
+
+/// Resolved in-image destination of a call instruction at `at`, if any.
+fn resolved_call_target(cg: &CallGraph, at: u64) -> Option<u64> {
+    cg.site_targets.get(&at).copied()
+}
+
+/// One-instruction transfer function (mutates `state` in place).
+fn transfer(
+    state: &mut AbsState,
+    inst: Inst,
+    at: u64,
+    window: u16,
+    cg: &CallGraph,
+    summaries: &Summaries,
+) {
+    match inst {
+        Inst::MovImm32 { reg, imm } => state.set_reg(
+            reg,
+            AbsValue::Const {
+                v: i64::from(imm),
+                def: Some((at, 5)),
+            },
+        ),
+        Inst::MovImm32SxR64 { reg, imm } => state.set_reg(
+            reg,
+            AbsValue::Const {
+                v: i64::from(imm),
+                def: Some((at, 7)),
+            },
+        ),
+        Inst::XorEaxEax => state.set_reg(
+            Reg::Rax,
+            AbsValue::Const {
+                v: 0,
+                def: Some((at, 2)),
+            },
+        ),
+        Inst::MovRegReg64 { dst, src } => {
+            let v = state.reg(src).redef(at, 3);
+            state.set_reg(dst, v);
+        }
+        Inst::LoadRspDisp8R64 { reg, disp } => {
+            let v = state
+                .slots
+                .get(&disp)
+                .copied()
+                .unwrap_or(AbsValue::Top)
+                .redef(at, 5);
+            state.set_reg(reg, v);
+        }
+        Inst::LoadRspDisp8R32 { reg, disp } => {
+            // 32-bit load zero-extends; only constants already in u32
+            // range survive the truncation claim.
+            let v = match state.slots.get(&disp) {
+                Some(AbsValue::Const { v, .. }) if (0..=i64::from(u32::MAX)).contains(v) => {
+                    AbsValue::Const {
+                        v: *v,
+                        def: Some((at, 4)),
+                    }
+                }
+                _ => AbsValue::Top,
+            };
+            state.set_reg(reg, v);
+        }
+        Inst::StoreRspDisp8R64 { reg, disp } => {
+            // An 8-byte store invalidates any tracked slot it overlaps.
+            let lo = disp.saturating_sub(7);
+            let hi = disp.saturating_add(7);
+            let stale: Vec<u8> = state.slots.range(lo..=hi).map(|(&k, _)| k).collect();
+            for k in stale {
+                state.slots.remove(&k);
+            }
+            if u16::from(disp) < window {
+                let v = state.reg(reg);
+                if v != AbsValue::Top {
+                    state.slots.insert(disp, v);
+                }
+            }
+        }
+        Inst::Syscall => {
+            state.set_reg(Reg::Rax, AbsValue::Top);
+            state.set_reg(Reg::Rcx, AbsValue::Top);
+            state.slots.clear();
+        }
+        Inst::CallRel32 { .. } | Inst::CallAbsIndirect { .. } => {
+            match resolved_call_target(cg, at) {
+                Some(target) => {
+                    let s = summaries.summary(target);
+                    let pre_rax = state.reg(Reg::Rax);
+                    for code in 0..8u8 {
+                        if s.clobbers & (1 << code) != 0 {
+                            state.regs[code as usize] = AbsValue::Top;
+                        }
+                    }
+                    let rax = match s.rax {
+                        RaxEffect::Preserved => pre_rax,
+                        // A summary constant has no caller-side defining
+                        // instruction, so it never yields a region.
+                        RaxEffect::Const(v) => AbsValue::Const { v, def: None },
+                        RaxEffect::ArgReg(_) | RaxEffect::Unknown => {
+                            if s.clobbers & reg_bit(Reg::Rax) != 0 {
+                                AbsValue::Top
+                            } else {
+                                pre_rax
+                            }
+                        }
+                    };
+                    state.set_reg(Reg::Rax, rax);
+                }
+                None => {
+                    state.regs = [AbsValue::Top; 8];
+                }
+            }
+            state.slots.clear();
+        }
+        Inst::PushRbp | Inst::AddRspImm8 { .. } | Inst::SubRspImm8 { .. } => {
+            state.set_reg(Reg::Rsp, AbsValue::Top);
+            state.slots.clear();
+        }
+        Inst::PopRbp | Inst::Leave => {
+            state.set_reg(Reg::Rsp, AbsValue::Top);
+            state.set_reg(Reg::Rbp, AbsValue::Top);
+            state.slots.clear();
+        }
+        Inst::Nop
+        | Inst::Ret
+        | Inst::Int3
+        | Inst::Ud2
+        | Inst::TestEaxEax
+        | Inst::JmpRel8 { .. }
+        | Inst::JmpRel32 { .. }
+        | Inst::JccRel8 { .. } => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disasm::disassemble_image;
+    use crate::verifier::VerifierConfig;
+    use xc_isa::asm::Assembler;
+
+    fn run(a: Assembler) -> (Disassembly, AbsInt) {
+        let image = a.finish().unwrap();
+        let d = disassemble_image(&image);
+        let cfg = Cfg::build(&d);
+        let cg = CallGraph::build(&d, &cfg);
+        let config = VerifierConfig::default();
+        let summaries = Summaries::build(&d, &cfg, &cg, config.max_summary_depth);
+        let a = AbsInt::analyze(&d, &cfg, &cg, &summaries, config.stack_window_slots);
+        (d, a)
+    }
+
+    fn syscall_addrs(d: &Disassembly) -> Vec<u64> {
+        d.insts
+            .iter()
+            .filter(|(_, dec)| dec.inst == Inst::Syscall)
+            .map(|(&at, _)| at)
+            .collect()
+    }
+
+    #[test]
+    fn constant_flows_through_identity_shim() {
+        let mut a = Assembler::new(0x1000);
+        a.label("wrapper").unwrap();
+        a.inst(Inst::MovImm32 {
+            reg: Reg::Rdi,
+            imm: 39,
+        });
+        a.call_to("shim");
+        a.inst(Inst::Ret);
+        a.label("shim").unwrap();
+        let copy_at = a.here();
+        a.inst(Inst::MovRegReg64 {
+            dst: Reg::Rax,
+            src: Reg::Rdi,
+        });
+        a.inst(Inst::Syscall);
+        a.inst(Inst::Ret);
+        let (d, ai) = run(a);
+        let syscalls = syscall_addrs(&d);
+        assert_eq!(syscalls.len(), 1);
+        assert_eq!(
+            ai.rax_at(syscalls[0]),
+            AbsValue::Const {
+                v: 39,
+                def: Some((copy_at, 3)),
+            }
+        );
+    }
+
+    #[test]
+    fn two_callers_with_different_numbers_join_to_interval() {
+        let mut a = Assembler::new(0x1000);
+        a.label("caller_a").unwrap();
+        a.inst(Inst::MovImm32 {
+            reg: Reg::Rdi,
+            imm: 0,
+        });
+        a.call_to("shim");
+        a.inst(Inst::Ret);
+        a.label("caller_b").unwrap();
+        a.inst(Inst::MovImm32 {
+            reg: Reg::Rdi,
+            imm: 60,
+        });
+        a.call_to("shim");
+        a.inst(Inst::Ret);
+        a.label("shim").unwrap();
+        a.inst(Inst::MovRegReg64 {
+            dst: Reg::Rax,
+            src: Reg::Rdi,
+        });
+        a.inst(Inst::Syscall);
+        a.inst(Inst::Ret);
+        let (d, ai) = run(a);
+        let syscalls = syscall_addrs(&d);
+        assert_eq!(ai.rax_at(syscalls[0]), AbsValue::Interval { lo: 0, hi: 60 });
+    }
+
+    #[test]
+    fn spill_and_reload_keeps_the_constant_and_redefs_to_the_load() {
+        let mut a = Assembler::new(0x1000);
+        a.label("f").unwrap();
+        a.inst(Inst::MovImm32 {
+            reg: Reg::Rdi,
+            imm: 7,
+        });
+        a.inst(Inst::StoreRspDisp8R64 {
+            reg: Reg::Rdi,
+            disp: 0x10,
+        });
+        let load_at = a.here();
+        a.inst(Inst::LoadRspDisp8R64 {
+            reg: Reg::Rax,
+            disp: 0x10,
+        });
+        a.inst(Inst::Syscall);
+        a.inst(Inst::Ret);
+        let (d, ai) = run(a);
+        let syscalls = syscall_addrs(&d);
+        assert_eq!(
+            ai.rax_at(syscalls[0]),
+            AbsValue::Const {
+                v: 7,
+                def: Some((load_at, 5)),
+            }
+        );
+    }
+
+    #[test]
+    fn overlapping_store_invalidates_tracked_slot() {
+        let mut a = Assembler::new(0x1000);
+        a.label("f").unwrap();
+        a.inst(Inst::MovImm32 {
+            reg: Reg::Rdi,
+            imm: 7,
+        });
+        a.inst(Inst::StoreRspDisp8R64 {
+            reg: Reg::Rdi,
+            disp: 0x10,
+        });
+        // Unknown value clobbers [0x14, 0x1c) which overlaps slot 0x10.
+        a.inst(Inst::StoreRspDisp8R64 {
+            reg: Reg::Rsi,
+            disp: 0x14,
+        });
+        a.inst(Inst::LoadRspDisp8R64 {
+            reg: Reg::Rax,
+            disp: 0x10,
+        });
+        a.inst(Inst::Syscall);
+        a.inst(Inst::Ret);
+        let (d, ai) = run(a);
+        let syscalls = syscall_addrs(&d);
+        assert_eq!(ai.rax_at(syscalls[0]), AbsValue::Top);
+    }
+
+    #[test]
+    fn call_applies_callee_clobbers_but_preserves_the_rest() {
+        let mut a = Assembler::new(0x1000);
+        a.label("caller").unwrap();
+        a.inst(Inst::MovImm32 {
+            reg: Reg::Rbx,
+            imm: 11,
+        });
+        a.inst(Inst::MovImm32 {
+            reg: Reg::Rax,
+            imm: 1,
+        });
+        a.call_to("noisy");
+        let after_call = a.here();
+        a.inst(Inst::Syscall);
+        a.inst(Inst::Ret);
+        a.label("noisy").unwrap();
+        a.inst(Inst::Syscall); // clobbers rax + rcx
+        a.inst(Inst::Ret);
+        let (_, ai) = run(a);
+        let state = ai.state_in.get(&after_call).unwrap();
+        // rax was clobbered by the callee's syscall; rbx survived.
+        assert_eq!(state.reg(Reg::Rax), AbsValue::Top);
+        assert_eq!(state.reg(Reg::Rbx).as_const(), Some(11));
+    }
+
+    #[test]
+    fn entry_state_is_top() {
+        let mut a = Assembler::new(0x1000);
+        a.label("f").unwrap();
+        let first = a.here();
+        a.inst(Inst::Syscall);
+        a.inst(Inst::Ret);
+        let (_, ai) = run(a);
+        assert_eq!(ai.rax_at(first), AbsValue::Top);
+    }
+}

@@ -51,7 +51,7 @@ use std::sync::Arc;
 
 use xc_isa::image::BinaryImage;
 
-use crate::report::{UnknownReason, UnsafeReason, Verdict, VerifyReport};
+use crate::report::{ReasonChain, SiteReport, UnknownReason, UnsafeReason, Verdict, VerifyReport};
 use crate::verifier::{Analysis, DetourHazard, Verifier};
 
 /// FNV-1a offset basis.
@@ -78,6 +78,17 @@ fn fingerprint(verifier: &Verifier, image: &BinaryImage) -> u64 {
     let mut h = FNV_OFFSET;
     h = fnv1a(h, &(image.len() as u64).to_le_bytes());
     h = fnv1a(h, &verifier.config().max_syscall_nr.to_le_bytes());
+    // The interprocedural inputs are part of the analysis function: two
+    // configurations that window the frame, bound the summary fixpoint,
+    // or gate upgrades differently must not share verdicts.
+    h = fnv1a(
+        h,
+        &[
+            verifier.config().stack_window_slots,
+            verifier.config().max_summary_depth,
+            u8::from(verifier.config().interprocedural_upgrades),
+        ],
+    );
     let body = image
         .read_bytes(image.base(), image.len())
         .expect("whole-image read is in bounds by construction");
@@ -176,6 +187,29 @@ impl CachedAnalysis {
     /// are what callers consume.
     pub fn report(&self) -> &VerifyReport {
         self.inner.report()
+    }
+
+    /// The full site record for the `syscall` at absolute address
+    /// `syscall_addr`, with every embedded address translated into the
+    /// caller's base (the offline patcher uses this to place detours for
+    /// [`crate::SiteKind::PropagatedNumber`] sites).
+    pub fn site_at(&self, syscall_addr: u64) -> Option<SiteReport> {
+        let s = *self
+            .inner
+            .report()
+            .site(syscall_addr.checked_sub(self.base)?)?;
+        Some(SiteReport {
+            syscall_addr: s.syscall_addr + self.base,
+            kind: s.kind,
+            number: s.number,
+            mov_addr: s.mov_addr.map(|a| a + self.base),
+            mov_len: s.mov_len,
+            chain: ReasonChain {
+                blocker: s.chain.blocker.map(|a| a + self.base),
+                definer: s.chain.definer.map(|a| a + self.base),
+            },
+            verdict: self.rebase_verdict(s.verdict),
+        })
     }
 
     /// The shared offset-based analysis (addresses relative to the image
@@ -467,10 +501,68 @@ mod tests {
         let image = wrapper_image();
         let mut cache = AnalysisCache::new();
         let default = Verifier::new();
-        let narrow = Verifier::with_config(crate::verifier::VerifierConfig { max_syscall_nr: 0 });
+        let narrow = Verifier::with_config(crate::verifier::VerifierConfig {
+            max_syscall_nr: 0,
+            ..Default::default()
+        });
         cache.analyze(&default, &image);
         cache.analyze(&narrow, &image);
         assert_eq!(cache.misses(), 2, "different configs must not collide");
+    }
+
+    #[test]
+    fn interprocedural_config_participates_in_the_key() {
+        let image = wrapper_image();
+        let mut cache = AnalysisCache::new();
+        let on = Verifier::new();
+        let off = Verifier::with_config(crate::verifier::VerifierConfig {
+            interprocedural_upgrades: false,
+            ..Default::default()
+        });
+        cache.analyze(&on, &image);
+        cache.analyze(&off, &image);
+        assert_eq!(
+            cache.misses(),
+            2,
+            "upgrade gating changes verdicts, so it must key the cache"
+        );
+    }
+
+    #[test]
+    fn site_at_rebases_propagated_site_addresses() {
+        fn shim_image(base: u64) -> BinaryImage {
+            let mut a = Assembler::new(base);
+            a.label("wrapper").unwrap();
+            a.inst(Inst::MovImm32 {
+                reg: Reg::Rdi,
+                imm: 39,
+            });
+            a.call_to("shim");
+            a.inst(Inst::Ret);
+            a.label("shim").unwrap();
+            a.inst(Inst::MovRegReg64 {
+                dst: Reg::Rax,
+                src: Reg::Rdi,
+            });
+            a.inst(Inst::Syscall);
+            a.inst(Inst::Ret);
+            a.finish().unwrap()
+        }
+        let lo = shim_image(0x1000);
+        let hi = shim_image(0x9_0000);
+        let verifier = Verifier::new();
+        let mut cache = AnalysisCache::new();
+        let a = cache.analyze(&verifier, &lo);
+        let b = cache.analyze(&verifier, &hi);
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        for (view, img) in [(&a, &lo), (&b, &hi)] {
+            let shim = img.symbol("shim").unwrap();
+            let site = view.site_at(shim + 3).unwrap();
+            assert_eq!(site.verdict, Verdict::Safe);
+            assert_eq!(site.kind, crate::report::SiteKind::PropagatedNumber);
+            assert_eq!(site.mov_addr, Some(shim));
+            assert_eq!(site.mov_len, Some(3));
+        }
     }
 
     #[test]

@@ -1,0 +1,205 @@
+//! Whole-image call graph over the hybrid disassembly.
+//!
+//! Nodes are *function heads*: the image's external entry points plus
+//! every resolved call destination. Direct `call rel32` targets resolve
+//! trivially; `call *disp32` targets resolve when the absolute address is
+//! provably constant (it is encoded in the instruction) **and** lands on
+//! an in-image sweep boundary — the jump-table/indirect case the subset
+//! admits. Everything else (vsyscall-page calls) stays an unresolved
+//! escape, which the summary layer treats as clobber-everything.
+//!
+//! A function's *body* is the set of basic blocks reachable from its head
+//! along intraprocedural successor edges (call edges excluded: control
+//! returns). Bodies may overlap when code is shared by fall-through —
+//! that is fine, every consumer of a body is conservative over a
+//! superset.
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+use xc_isa::inst::Inst;
+
+use crate::cfg::Cfg;
+use crate::disasm::Disassembly;
+
+/// The call graph of one image.
+#[derive(Debug, Clone, Default)]
+pub struct CallGraph {
+    /// Function head addresses: entries plus resolved call targets.
+    pub nodes: BTreeSet<u64>,
+    /// Call-site address → resolved in-image destination. Sites whose
+    /// destination cannot be proven constant and in-image are *absent*
+    /// (the conservative escape set).
+    pub site_targets: BTreeMap<u64, u64>,
+    /// Call-site addresses with **no** resolvable in-image destination
+    /// (vsyscall-page and other external calls).
+    pub unresolved_sites: BTreeSet<u64>,
+    /// Function head → block start addresses of its intraprocedural body.
+    pub bodies: BTreeMap<u64, BTreeSet<u64>>,
+    /// Function head → heads of the functions it calls (resolved only).
+    pub callees: BTreeMap<u64, BTreeSet<u64>>,
+    /// Function head → whether its body contains an unresolved call.
+    pub has_unresolved_call: BTreeMap<u64, bool>,
+}
+
+impl CallGraph {
+    /// Builds the call graph from the disassembly and CFG.
+    pub fn build(disasm: &Disassembly, cfg: &Cfg) -> CallGraph {
+        let mut site_targets = BTreeMap::new();
+        let mut unresolved_sites = BTreeSet::new();
+        for (&at, d) in &disasm.insts {
+            match d.inst {
+                Inst::CallRel32 { .. } => {
+                    let t = d.inst.branch_target(at).expect("call rel32 has target");
+                    if cfg.blocks.contains_key(&t) {
+                        site_targets.insert(at, t);
+                    } else {
+                        unresolved_sites.insert(at);
+                    }
+                }
+                Inst::CallAbsIndirect { target } => {
+                    // The indirect destination is a compile-time constant
+                    // encoded in the instruction; it resolves exactly when
+                    // it names an in-image block head.
+                    if (disasm.base()..disasm.end()).contains(&target)
+                        && cfg.blocks.contains_key(&target)
+                    {
+                        site_targets.insert(at, target);
+                    } else {
+                        unresolved_sites.insert(at);
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        let mut nodes: BTreeSet<u64> = disasm
+            .entries
+            .iter()
+            .copied()
+            .filter(|e| cfg.blocks.contains_key(e))
+            .collect();
+        nodes.extend(site_targets.values().copied());
+
+        let mut cg = CallGraph {
+            nodes,
+            site_targets,
+            unresolved_sites,
+            ..CallGraph::default()
+        };
+        for &head in &cg.nodes.clone() {
+            let body = cg.body_blocks(head, cfg);
+            let mut callees = BTreeSet::new();
+            let mut unresolved = false;
+            for &start in &body {
+                for at in &cfg.blocks[&start].insts {
+                    if let Some(&t) = cg.site_targets.get(at) {
+                        callees.insert(t);
+                    }
+                    if cg.unresolved_sites.contains(at) {
+                        unresolved = true;
+                    }
+                }
+            }
+            cg.bodies.insert(head, body);
+            cg.callees.insert(head, callees);
+            cg.has_unresolved_call.insert(head, unresolved);
+        }
+        cg
+    }
+
+    /// Blocks reachable from `head` along intraprocedural edges.
+    fn body_blocks(&self, head: u64, cfg: &Cfg) -> BTreeSet<u64> {
+        let mut seen = BTreeSet::new();
+        let mut stack = vec![head];
+        while let Some(b) = stack.pop() {
+            if !cfg.blocks.contains_key(&b) || !seen.insert(b) {
+                continue;
+            }
+            stack.extend(cfg.blocks[&b].succs.iter().copied());
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disasm::disassemble_image;
+    use xc_isa::asm::Assembler;
+    use xc_isa::inst::Reg;
+
+    fn graph_of(a: Assembler) -> (CallGraph, Cfg) {
+        let image = a.finish().unwrap();
+        let d = disassemble_image(&image);
+        let cfg = Cfg::build(&d);
+        (CallGraph::build(&d, &cfg), cfg)
+    }
+
+    #[test]
+    fn direct_call_resolves_and_makes_callee_a_node() {
+        let mut a = Assembler::new(0x1000);
+        a.label("main").unwrap();
+        a.call_to("helper");
+        a.inst(Inst::Ret);
+        a.label("helper").unwrap();
+        a.inst(Inst::Ret);
+        let (cg, _) = graph_of(a);
+        assert!(cg.nodes.contains(&0x1000));
+        let helper = *cg.site_targets.get(&0x1000).unwrap();
+        assert!(cg.nodes.contains(&helper));
+        assert!(cg.callees[&0x1000].contains(&helper));
+        assert!(!cg.has_unresolved_call[&0x1000]);
+    }
+
+    #[test]
+    fn vsyscall_indirect_call_is_unresolved() {
+        let mut a = Assembler::new(0x1000);
+        a.label("patched").unwrap();
+        a.inst(Inst::CallAbsIndirect {
+            target: 0xffff_ffff_ff60_0008,
+        });
+        a.inst(Inst::Ret);
+        let (cg, _) = graph_of(a);
+        assert!(cg.unresolved_sites.contains(&0x1000));
+        assert!(cg.has_unresolved_call[&0x1000]);
+        assert!(cg.site_targets.is_empty());
+    }
+
+    #[test]
+    fn in_image_constant_indirect_call_resolves() {
+        // call *0x1008 where 0x1008 is a real function head.
+        let mut a = Assembler::new(0x1000);
+        a.label("main").unwrap();
+        a.inst(Inst::CallAbsIndirect { target: 0x1008 });
+        a.inst(Inst::Ret);
+        assert_eq!(a.here(), 0x1008);
+        a.label("helper").unwrap();
+        a.inst(Inst::MovImm32 {
+            reg: Reg::Rax,
+            imm: 1,
+        });
+        a.inst(Inst::Ret);
+        let (cg, _) = graph_of(a);
+        assert_eq!(cg.site_targets.get(&0x1000), Some(&0x1008));
+        assert!(cg.nodes.contains(&0x1008));
+    }
+
+    #[test]
+    fn bodies_stay_intraprocedural() {
+        let mut a = Assembler::new(0x1000);
+        a.label("main").unwrap();
+        a.call_to("helper");
+        a.inst(Inst::Ret);
+        a.label("helper").unwrap();
+        a.inst(Inst::Nop);
+        a.inst(Inst::Ret);
+        let (cg, cfg) = graph_of(a);
+        let helper_head = *cg.site_targets.get(&0x1000).unwrap();
+        let main_body = &cg.bodies[&0x1000];
+        // The callee's blocks are not part of the caller's body.
+        assert!(!main_body.contains(&helper_head));
+        assert!(cg.bodies[&helper_head].contains(&helper_head));
+        assert!(cfg.blocks.contains_key(&helper_head));
+    }
+}

@@ -169,6 +169,8 @@ fn rcx_use_def(inst: &Inst) -> (bool, bool) {
     match *inst {
         // rcx is the 4th SysV argument register: assume every call reads it.
         Inst::CallRel32 { .. } | Inst::CallAbsIndirect { .. } => (true, false),
+        // A spill publishes the current rcx value to memory: that is a read.
+        Inst::StoreRspDisp8R64 { reg: Reg::Rcx, .. } => (true, false),
         Inst::MovRegReg64 { src: Reg::Rcx, dst } => (true, dst == Reg::Rcx),
         Inst::MovRegReg64 { dst: Reg::Rcx, .. }
         | Inst::MovImm32 { reg: Reg::Rcx, .. }

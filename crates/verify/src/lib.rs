@@ -19,10 +19,20 @@
 //!    jumps; see [`xc_isa::inst::BranchKind`]),
 //! 3. [`dataflow`] — forward `%rax` syscall-number reaching values and
 //!    backward `%rcx` clobber liveness,
-//! 4. [`verifier`] — per-site [`Verdict`]s: `Safe`, `Unsafe(reason)` or
+//! 4. [`callgraph`] / [`summaries`] / [`absint`] — the v2 interprocedural
+//!    layer: whole-image call-graph construction, per-function clobber /
+//!    return-effect summaries, and an abstract-interpretation worklist
+//!    over all GPRs plus a bounded stack-slot window, propagated across
+//!    call edges,
+//! 5. [`verifier`] — per-site [`Verdict`]s: `Safe`, `Unsafe(reason)` or
 //!    `Unknown(reason)`, where a sound patcher treats `Unknown` exactly
-//!    like `Unsafe`,
-//! 5. [`reverify`](mod@reverify) — post-patch shape checking: patched sites decode
+//!    like `Unsafe`. The interprocedural layer monotonically *upgrades*
+//!    `Unknown` number-tracking verdicts to `Safe`
+//!    [`SiteKind::PropagatedNumber`] sites when a constant provably
+//!    reaches the syscall through copies, spills, or call boundaries,
+//! 6. [`lint`] — structured findings (stable rule ids, severities, reason
+//!    chains, fix hints) rendered as text or JSON,
+//! 7. [`reverify`](mod@reverify) — post-patch shape checking: patched sites decode
 //!    to the documented 7/9-byte replacements and trampolines are
 //!    reachable only through their detour jump.
 //!
@@ -47,18 +57,30 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod absint;
 pub mod cache;
+pub mod callgraph;
 pub mod cfg;
 pub mod dataflow;
 pub mod disasm;
+pub mod lint;
 pub mod report;
 pub mod reverify;
+pub mod summaries;
 pub mod verifier;
 
+pub use absint::{AbsInt, AbsState, AbsValue};
 pub use cache::{AnalysisCache, CachedAnalysis};
+pub use callgraph::CallGraph;
 pub use cfg::{BasicBlock, Cfg, Edge, EdgeKind};
 pub use dataflow::{Dataflow, RaxValue};
 pub use disasm::{disassemble_image, Disassembly};
-pub use report::{SiteKind, SiteReport, UnknownReason, UnsafeReason, Verdict, VerifyReport};
+pub use lint::{
+    lint_report, render_json, render_text, summarize, LintFinding, LintSummary, Severity,
+};
+pub use report::{
+    ReasonChain, SiteKind, SiteReport, UnknownReason, UnsafeReason, Verdict, VerifyReport,
+};
 pub use reverify::{reverify, ReverifyReport, Violation};
+pub use summaries::{FnSummary, RaxEffect, Summaries};
 pub use verifier::{Analysis, DetourHazard, Verifier, VerifierConfig};

@@ -123,6 +123,12 @@ pub enum SiteKind {
     /// `syscall.Syscall` shape); the vsyscall dispatch entry validates the
     /// number at run time, so no static range check applies.
     StackNumber,
+    /// The interprocedural pass proved the number constant through a
+    /// copy, reload, or call boundary (a libc-style `syscall(nr, ...)`
+    /// shim) and found a sound detour region at the propagating
+    /// instruction. Syntactically the site looked like [`SiteKind::Other`];
+    /// v1 reported it `Unknown`.
+    PropagatedNumber,
     /// Anything else.
     Other,
 }
@@ -132,7 +138,41 @@ impl fmt::Display for SiteKind {
         match self {
             SiteKind::ImmediateNumber => write!(f, "immediate"),
             SiteKind::StackNumber => write!(f, "stack"),
+            SiteKind::PropagatedNumber => write!(f, "propagated"),
             SiteKind::Other => write!(f, "other"),
+        }
+    }
+}
+
+/// The causal chain behind a non-`Safe` verdict: not just the terminal
+/// reason but *where* the proof broke down and *where* the value came
+/// from, so diagnostics can point at the instruction to fix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReasonChain {
+    /// The instruction that blocked the proof (the first rax-clobbering
+    /// or flow-merging instruction the backward walk hit, or the
+    /// escaping branch / interior target for unsafe sites).
+    pub blocker: Option<u64>,
+    /// The defining instruction the abstract interpreter attributes the
+    /// `%rax` value to at the blocker, when it knows one.
+    pub definer: Option<u64>,
+}
+
+impl ReasonChain {
+    /// Chain with no recorded links.
+    pub const EMPTY: ReasonChain = ReasonChain {
+        blocker: None,
+        definer: None,
+    };
+}
+
+impl fmt::Display for ReasonChain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.blocker, self.definer) {
+            (Some(b), Some(d)) => write!(f, " (blocked at {b:#x}, value defined at {d:#x})"),
+            (Some(b), None) => write!(f, " (blocked at {b:#x})"),
+            (None, Some(d)) => write!(f, " (value defined at {d:#x})"),
+            (None, None) => Ok(()),
         }
     }
 }
@@ -148,6 +188,11 @@ pub struct SiteReport {
     pub number: Option<i64>,
     /// Address of the single defining `mov`, when one exists.
     pub mov_addr: Option<u64>,
+    /// Encoded length of that defining instruction (needed by an
+    /// offline patcher to place the detour for propagated sites).
+    pub mov_len: Option<u8>,
+    /// Causal chain for non-`Safe` verdicts (empty for `Safe`).
+    pub chain: ReasonChain,
     /// The verdict.
     pub verdict: Verdict,
 }
@@ -188,7 +233,11 @@ impl fmt::Display for VerifyReport {
             self.sites.len()
         )?;
         for s in &self.sites {
-            writeln!(f, "  {:#x} [{}] {}", s.syscall_addr, s.kind, s.verdict)?;
+            writeln!(
+                f,
+                "  {:#x} [{}] {}{}",
+                s.syscall_addr, s.kind, s.verdict, s.chain
+            )?;
         }
         Ok(())
     }

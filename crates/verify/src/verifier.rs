@@ -3,10 +3,15 @@
 use xc_isa::image::BinaryImage;
 use xc_isa::inst::{Inst, Reg};
 
+use crate::absint::{AbsInt, AbsValue};
+use crate::callgraph::CallGraph;
 use crate::cfg::Cfg;
 use crate::dataflow::{Dataflow, RaxValue};
 use crate::disasm::{disassemble_image, Disassembly};
-use crate::report::{SiteKind, SiteReport, UnknownReason, UnsafeReason, Verdict, VerifyReport};
+use crate::report::{
+    ReasonChain, SiteKind, SiteReport, UnknownReason, UnsafeReason, Verdict, VerifyReport,
+};
+use crate::summaries::Summaries;
 
 /// Analysis parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -16,12 +21,28 @@ pub struct VerifierConfig {
     /// in the dependency order, so the constant is duplicated, not
     /// imported).
     pub max_syscall_nr: i64,
+    /// How many 8-byte `rsp`-relative slots the abstract interpreter
+    /// tracks per frame (displacements at or beyond `8 × slots` are
+    /// treated as untracked).
+    pub stack_window_slots: u8,
+    /// Growth-round cap for the per-function summary fixpoint; if the
+    /// clobber sets have not stabilised within this many rounds they
+    /// collapse to clobber-everything.
+    pub max_summary_depth: u8,
+    /// Whether the interprocedural pass may upgrade
+    /// `Unknown(NumberNotConstant | MultipleDefinitions)` verdicts to
+    /// `Safe` [`SiteKind::PropagatedNumber`] sites. Upgrades are
+    /// monotone: `Safe` and `Unsafe` verdicts are never touched.
+    pub interprocedural_upgrades: bool,
 }
 
 impl Default for VerifierConfig {
     fn default() -> Self {
         VerifierConfig {
             max_syscall_nr: 351,
+            stack_window_slots: 16,
+            max_summary_depth: 8,
+            interprocedural_upgrades: true,
         }
     }
 }
@@ -72,11 +93,23 @@ impl Verifier {
         let disasm = disassemble_image(image);
         let cfg = Cfg::build(&disasm);
         let dataflow = Dataflow::run(&disasm, &cfg);
+        let callgraph = CallGraph::build(&disasm, &cfg);
+        let summaries = Summaries::build(&disasm, &cfg, &callgraph, self.config.max_summary_depth);
+        let absint = AbsInt::analyze(
+            &disasm,
+            &cfg,
+            &callgraph,
+            &summaries,
+            self.config.stack_window_slots,
+        );
         let mut analysis = Analysis {
             config: self.config,
             disasm,
             cfg,
             dataflow,
+            callgraph,
+            summaries,
+            absint,
             report: VerifyReport::default(),
         };
         analysis.report = analysis.judge_all();
@@ -94,6 +127,12 @@ pub struct Analysis {
     pub cfg: Cfg,
     /// The dataflow fixpoints.
     pub dataflow: Dataflow,
+    /// The whole-image call graph.
+    pub callgraph: CallGraph,
+    /// Per-function summaries.
+    pub summaries: Summaries,
+    /// The interprocedural abstract interpretation.
+    pub absint: AbsInt,
     /// Per-site verdicts.
     pub report: VerifyReport,
 }
@@ -228,33 +267,203 @@ impl Analysis {
         // verifier's job is to judge the region a naive patcher would
         // pick, including regions the dataflow already knows are entered
         // from elsewhere.
-        let (kind, number, mov_addr, region) =
+        let (kind, number, mov_addr, mov_len, region) =
             if let Some((mov, len, nr)) = self.syntactic_region(syscall_addr) {
                 (
                     SiteKind::ImmediateNumber,
                     Some(nr),
                     Some(mov),
+                    Some(len as u8),
                     Some((mov, mov + len)),
                 )
-            } else if let Some(load_addr) = self.adjacent_stack_load(syscall_addr) {
+            } else if let Some((load_addr, load_len)) = self.adjacent_stack_load(syscall_addr) {
                 (
                     SiteKind::StackNumber,
                     None,
                     Some(load_addr),
+                    Some(load_len),
                     Some((load_addr, syscall_addr)),
                 )
             } else {
-                (SiteKind::Other, None, None, None)
+                (SiteKind::Other, None, None, None, None)
             };
 
         let verdict = self.judge_region(syscall_addr, rax, kind, number, region);
+
+        // Interprocedural upgrade: only undecided number-tracking
+        // verdicts are candidates, so `Safe` never regresses and proven
+        // `Unsafe` structure is never overridden.
+        let upgradable = matches!(
+            verdict,
+            Verdict::Unknown(UnknownReason::NumberNotConstant | UnknownReason::MultipleDefinitions)
+        );
+        if upgradable && self.config.interprocedural_upgrades {
+            if let Some((nr, def_addr, def_len)) = self.try_upgrade(syscall_addr) {
+                return SiteReport {
+                    syscall_addr,
+                    kind: SiteKind::PropagatedNumber,
+                    number: Some(nr),
+                    mov_addr: Some(def_addr),
+                    mov_len: Some(def_len),
+                    chain: ReasonChain::EMPTY,
+                    verdict: Verdict::Safe,
+                };
+            }
+        }
+
+        let chain = self.chain_for(syscall_addr, verdict, region);
         SiteReport {
             syscall_addr,
             kind,
             number,
             mov_addr,
+            mov_len,
+            chain,
             verdict,
         }
+    }
+
+    /// Attempts to prove the `Unknown` site at `syscall_addr` patchable
+    /// using the interprocedural constant: the abstract `%rax` value must
+    /// be a constant with a **unique defining instruction** in front of
+    /// the syscall, and the region `[def, syscall+2)` must pass every
+    /// structural check the v1 immediate path applies — plus one more:
+    /// the defining instruction is *dropped* from the detour trampoline
+    /// (the vsyscall entry supplies the number), so nothing in the
+    /// displaced interior may read `%rax`.
+    ///
+    /// Returns `(number, def_addr, def_len)` on success.
+    fn try_upgrade(&self, syscall_addr: u64) -> Option<(i64, u64, u8)> {
+        let AbsValue::Const {
+            v,
+            def: Some((def_addr, def_len)),
+        } = self.absint.rax_at(syscall_addr)
+        else {
+            return None;
+        };
+        if !(0..=self.config.max_syscall_nr).contains(&v) {
+            return None;
+        }
+        if def_addr >= syscall_addr {
+            return None;
+        }
+        let region_end = syscall_addr + 2;
+        if region_end - def_addr < 5 {
+            return None; // detour needs room for a jmp rel32
+        }
+        self.disasm.contiguous_code(def_addr, region_end).ok()?;
+        if self
+            .disasm
+            .overlapping_targets
+            .range(def_addr..region_end)
+            .next()
+            .is_some()
+        {
+            return None;
+        }
+        let mov_end = def_addr + u64::from(def_len);
+        for (_, d) in self.disasm.insts.range(mov_end..syscall_addr) {
+            if reads_rax(d.inst) {
+                return None;
+            }
+        }
+        if self
+            .region_detour_hazard(def_addr, mov_end, syscall_addr)
+            .is_some()
+        {
+            return None;
+        }
+        if self
+            .dataflow
+            .rcx_live_out
+            .get(&syscall_addr)
+            .copied()
+            .unwrap_or(true)
+        {
+            return None;
+        }
+        Some((v, def_addr, def_len))
+    }
+
+    /// Builds the causal chain for a non-`Safe` verdict: which
+    /// instruction blocked the proof and where the abstract interpreter
+    /// last saw the value defined.
+    fn chain_for(
+        &self,
+        syscall_addr: u64,
+        verdict: Verdict,
+        region: Option<(u64, u64)>,
+    ) -> ReasonChain {
+        let definer = match self.absint.rax_at(syscall_addr) {
+            AbsValue::Const {
+                def: Some((at, _)), ..
+            } => Some(at),
+            _ => None,
+        };
+        let blocker = match verdict {
+            Verdict::Safe => return ReasonChain::EMPTY,
+            Verdict::Unsafe(UnsafeReason::InteriorJumpTarget { target }) => Some(target),
+            Verdict::Unsafe(UnsafeReason::InteriorBranchEscapes { src }) => Some(src),
+            Verdict::Unsafe(UnsafeReason::RcxLiveAfterSite) => {
+                self.first_rcx_reader_after(syscall_addr)
+            }
+            Verdict::Unknown(
+                UnknownReason::NumberNotConstant | UnknownReason::MultipleDefinitions,
+            ) => self.syntactic_blocker(syscall_addr).or(region.map(|r| r.0)),
+            Verdict::Unknown(UnknownReason::NumberOutOfRange { .. }) => region.map(|r| r.0),
+            Verdict::Unknown(
+                UnknownReason::OverlappingDecode { at } | UnknownReason::UndecodedBytes { at },
+            ) => Some(at),
+        };
+        ReasonChain { blocker, definer }
+    }
+
+    /// The instruction that stopped the syntactic backward walk (the
+    /// first rax-clobbering or flow-breaking instruction behind the
+    /// site), when the walk failed to find a defining immediate.
+    fn syntactic_blocker(&self, syscall_addr: u64) -> Option<u64> {
+        let mut at = syscall_addr;
+        loop {
+            let (prev, d) = self.disasm.enclosing(at.checked_sub(1)?)?;
+            if prev + d.len as u64 != at {
+                return Some(prev);
+            }
+            match d.inst {
+                Inst::MovImm32 { reg: Reg::Rax, .. } | Inst::XorEaxEax => return None,
+                Inst::MovImm32SxR64 { reg: Reg::Rax, imm } if imm >= 0 => return None,
+                Inst::MovImm32SxR64 { reg: Reg::Rax, .. }
+                | Inst::LoadRspDisp8R32 { reg: Reg::Rax, .. }
+                | Inst::LoadRspDisp8R64 { reg: Reg::Rax, .. }
+                | Inst::MovRegReg64 { dst: Reg::Rax, .. }
+                | Inst::Syscall
+                | Inst::CallRel32 { .. }
+                | Inst::CallAbsIndirect { .. }
+                | Inst::Ret
+                | Inst::JmpRel8 { .. }
+                | Inst::JmpRel32 { .. }
+                | Inst::Int3 => return Some(prev),
+                _ => at = prev,
+            }
+        }
+    }
+
+    /// First instruction shortly after the site that reads `%rcx`
+    /// (diagnostic pointer for [`UnsafeReason::RcxLiveAfterSite`]; the
+    /// real liveness fact is CFG-wide, this names the adjacent witness
+    /// when there is one).
+    fn first_rcx_reader_after(&self, syscall_addr: u64) -> Option<u64> {
+        self.disasm
+            .insts
+            .range(syscall_addr + 2..)
+            .take(16)
+            .find(|(_, d)| {
+                matches!(
+                    d.inst,
+                    Inst::MovRegReg64 { src: Reg::Rcx, .. }
+                        | Inst::StoreRspDisp8R64 { reg: Reg::Rcx, .. }
+                )
+            })
+            .map(|(&a, _)| a)
     }
 
     /// The region a straight-line scan would patch: walks backwards from
@@ -293,7 +502,7 @@ impl Analysis {
 
     /// The instruction directly before `syscall_addr`, when it is a
     /// `mov %rax, disp8(%rsp)`-style stack load (the Go wrapper shape).
-    fn adjacent_stack_load(&self, syscall_addr: u64) -> Option<u64> {
+    fn adjacent_stack_load(&self, syscall_addr: u64) -> Option<(u64, u8)> {
         let (at, d) = self.disasm.enclosing(syscall_addr.checked_sub(1)?)?;
         let adjacent = at + d.len as u64 == syscall_addr;
         let is_load = matches!(
@@ -301,7 +510,7 @@ impl Analysis {
             Inst::LoadRspDisp8R64 { reg: Reg::Rax, .. }
                 | Inst::LoadRspDisp8R32 { reg: Reg::Rax, .. }
         );
-        (adjacent && is_load).then_some(at)
+        (adjacent && is_load).then_some((at, d.len as u8))
     }
 
     fn judge_region(
@@ -376,6 +585,19 @@ impl Analysis {
 
         Verdict::Safe
     }
+}
+
+/// Whether executing `inst` observes the current value of `%rax`.
+/// Used to veto upgraded regions whose interior would be displaced into
+/// a trampoline that no longer contains the defining instruction.
+fn reads_rax(inst: Inst) -> bool {
+    matches!(
+        inst,
+        Inst::MovRegReg64 { src: Reg::Rax, .. }
+            | Inst::StoreRspDisp8R64 { reg: Reg::Rax, .. }
+            | Inst::TestEaxEax
+            | Inst::Syscall
+    )
 }
 
 #[cfg(test)]
@@ -568,5 +790,167 @@ mod tests {
         let an = analyze(a);
         assert_eq!(an.report().tally(), (1, 0, 1));
         assert!(an.report().to_string().contains("2 sites"));
+    }
+
+    /// `mov $nr, %edi; call shim` with an identity shim: v1 reports the
+    /// shim's syscall `Unknown`, the interprocedural pass proves it.
+    fn shim_library() -> Assembler {
+        let mut a = Assembler::new(0x1000);
+        a.label("wrapper").unwrap();
+        a.inst(Inst::MovImm32 {
+            reg: Reg::Rdi,
+            imm: 39,
+        });
+        a.call_to("shim");
+        a.inst(Inst::Ret);
+        a.label("shim").unwrap();
+        a.inst(Inst::MovRegReg64 {
+            dst: Reg::Rax,
+            src: Reg::Rdi,
+        });
+        a.inst(Inst::Syscall);
+        a.inst(Inst::Ret);
+        a
+    }
+
+    #[test]
+    fn libc_shim_syscall_upgrades_to_propagated_safe() {
+        let image = shim_library().finish().unwrap();
+        let shim = image.symbol("shim").unwrap();
+        let syscall_at = shim + 3;
+        let an = Verifier::new().analyze(&image);
+        assert_eq!(an.verdict_at(syscall_at), Some(Verdict::Safe));
+        let site = an.report().site(syscall_at).unwrap();
+        assert_eq!(site.kind, SiteKind::PropagatedNumber);
+        assert_eq!(site.number, Some(39));
+        assert_eq!(site.mov_addr, Some(shim));
+        assert_eq!(site.mov_len, Some(3));
+    }
+
+    #[test]
+    fn upgrades_can_be_disabled_and_v1_verdict_returns() {
+        let image = shim_library().finish().unwrap();
+        let shim = image.symbol("shim").unwrap();
+        let an = Verifier::with_config(VerifierConfig {
+            interprocedural_upgrades: false,
+            ..VerifierConfig::default()
+        })
+        .analyze(&image);
+        let site = an.report().site(shim + 3).unwrap();
+        assert_eq!(
+            site.verdict,
+            Verdict::Unknown(UnknownReason::NumberNotConstant)
+        );
+        // The reason chain still names the blocking copy and the
+        // abstract definer even without the upgrade.
+        assert_eq!(site.chain.blocker, Some(shim));
+        assert_eq!(site.chain.definer, Some(shim));
+    }
+
+    #[test]
+    fn shim_with_two_disagreeing_callers_stays_unknown() {
+        let mut a = Assembler::new(0x1000);
+        a.label("caller_a").unwrap();
+        a.inst(Inst::MovImm32 {
+            reg: Reg::Rdi,
+            imm: 0,
+        });
+        a.call_to("shim");
+        a.inst(Inst::Ret);
+        a.label("caller_b").unwrap();
+        a.inst(Inst::MovImm32 {
+            reg: Reg::Rdi,
+            imm: 60,
+        });
+        a.call_to("shim");
+        a.inst(Inst::Ret);
+        a.label("shim").unwrap();
+        a.inst(Inst::MovRegReg64 {
+            dst: Reg::Rax,
+            src: Reg::Rdi,
+        });
+        a.inst(Inst::Syscall);
+        a.inst(Inst::Ret);
+        let image = a.finish().unwrap();
+        let shim = image.symbol("shim").unwrap();
+        let an = Verifier::new().analyze(&image);
+        assert_eq!(
+            an.verdict_at(shim + 3),
+            Some(Verdict::Unknown(UnknownReason::NumberNotConstant))
+        );
+    }
+
+    #[test]
+    fn out_of_range_propagated_number_stays_unknown() {
+        let mut a = Assembler::new(0x1000);
+        a.label("wrapper").unwrap();
+        a.inst(Inst::MovImm32 {
+            reg: Reg::Rdi,
+            imm: 9999,
+        });
+        a.call_to("shim");
+        a.inst(Inst::Ret);
+        a.label("shim").unwrap();
+        a.inst(Inst::MovRegReg64 {
+            dst: Reg::Rax,
+            src: Reg::Rdi,
+        });
+        a.inst(Inst::Syscall);
+        a.inst(Inst::Ret);
+        let image = a.finish().unwrap();
+        let shim = image.symbol("shim").unwrap();
+        let an = Verifier::new().analyze(&image);
+        assert_eq!(
+            an.verdict_at(shim + 3),
+            Some(Verdict::Unknown(UnknownReason::NumberNotConstant))
+        );
+    }
+
+    #[test]
+    fn unknown_chain_points_at_the_blocking_call() {
+        // rax set before a call, syscall after: the call both blocks the
+        // syntactic walk and clobbers the abstract value.
+        let mut a = Assembler::new(0x1000);
+        a.label("f").unwrap();
+        a.inst(Inst::MovImm32 {
+            reg: Reg::Rax,
+            imm: 1,
+        });
+        let call_at = a.here();
+        a.call_to("noisy");
+        let syscall_at = a.here();
+        a.inst(Inst::Syscall);
+        a.inst(Inst::Ret);
+        a.label("noisy").unwrap();
+        a.inst(Inst::Syscall);
+        a.inst(Inst::Ret);
+        let an = analyze(a);
+        let site = an.report().site(syscall_at).unwrap();
+        assert!(matches!(site.verdict, Verdict::Unknown(_)));
+        assert_eq!(site.chain.blocker, Some(call_at));
+    }
+
+    #[test]
+    fn propagated_region_shorter_than_a_detour_stays_unknown() {
+        // The copy lands rax right before the syscall but the region is
+        // 3 + 2 = 5 bytes — exactly enough. Shrink it: an xor-defined
+        // rdi copied via a 3-byte mov still works, so instead test a
+        // direct 2-byte def (xor) with an adjacent syscall in a called
+        // shim — region 2 + 2 = 4 bytes, too small.
+        let mut a = Assembler::new(0x1000);
+        a.label("wrapper").unwrap();
+        a.call_to("shim");
+        a.inst(Inst::Ret);
+        a.label("shim").unwrap();
+        a.inst(Inst::XorEaxEax);
+        a.inst(Inst::Syscall);
+        a.inst(Inst::Ret);
+        let image = a.finish().unwrap();
+        let shim = image.symbol("shim").unwrap();
+        let an = Verifier::new().analyze(&image);
+        // xor is a *syntactic* immediate def, so this is judged by the
+        // v1 path as an immediate site, not an upgrade candidate.
+        let site = an.report().site(shim + 2).unwrap();
+        assert_eq!(site.kind, SiteKind::ImmediateNumber);
     }
 }

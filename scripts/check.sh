@@ -72,4 +72,8 @@ echo "== perf smoke: queue_bench --quick --sparse (fig4 golden digest gate) =="
 cargo build -q --release -p xc-bench --bin queue_bench
 target/release/queue_bench --quick --sparse
 
-echo "ok: formatting clean, no lints, deterministic at any --jobs, fault-tolerant runner, fig4 digest matches golden"
+echo "== coverage regression gate: verify_lint --quick (golden digest, coverage floor, Unknown ceiling) =="
+cargo build -q --release -p xc-bench --bin verify_lint
+target/release/verify_lint --quick
+
+echo "ok: formatting clean, no lints, deterministic at any --jobs, fault-tolerant runner, fig4 digest matches golden, lint coverage at floor"
