@@ -1,0 +1,30 @@
+//! Cluster study — per-host container density, tail latency and drop
+//! rate for 100+ simulated hosts × 1000+ X-Container/Docker/gVisor
+//! domains under open-loop traffic from over a million modelled clients
+//! (extension; DESIGN.md §4g).
+//!
+//! Flags: `--quick` runs the 8-host CI smoke configuration instead of
+//! the full 120-host study; `--jobs N` controls the worker pool (the
+//! output is byte-identical at every value).
+
+use xc_bench::harness::{cluster, measure};
+use xc_bench::record;
+use xc_bench::runner::{record_bench, Runner};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let runner = Runner::from_args();
+    let name = if quick {
+        "cluster_study_quick"
+    } else {
+        "cluster_study"
+    };
+    let (out, mut entry) = measure(name, &runner, |r| cluster::run(r, quick));
+    print!("{}", out.text);
+    record("cluster", &out.findings);
+    let p = cluster::params(quick);
+    entry.metrics.push(("hosts", f64::from(p.hosts)));
+    entry.metrics.push(("domains", p.total_domains() as f64));
+    entry.metrics.push(("clients", p.clients as f64));
+    record_bench(&entry);
+}

@@ -20,11 +20,14 @@
 //!   rows `queue_bench_heap` / `queue_bench_calendar`;
 //! - `--sparse`: additionally run the sparse-regime churn — a few dozen
 //!   events in flight with millisecond-scale hops (hundreds of empty
-//!   buckets between occupied ones), comparing the heap, the calendar
-//!   queue's reference linear bucket scan and its occupancy-bitmap
-//!   advance. This is the regime the bitmap exists for: the linear scan
-//!   probes every empty bucket, the bitmap finds the next occupied one
-//!   with a handful of word scans;
+//!   buckets between occupied ones), comparing four lanes that must pop
+//!   identically: the heap, the calendar queue's reference linear
+//!   bucket scan, its fixed-width occupancy-bitmap advance, and the
+//!   adaptive queue, which watches its advance telemetry and widens the
+//!   buckets until consecutive events sit a handful of buckets apart.
+//!   This is the regime the bitmap and the resizer exist for: the
+//!   linear scan probes every empty bucket, the bitmap skips them a
+//!   word at a time, and the adaptive queue makes them mostly disappear;
 //! - `--quick`: small churn and the digest gate only — no benchmark
 //!   ledger writes, exit 1 on any mismatch (`check.sh` runs
 //!   `--quick --sparse`);
@@ -59,9 +62,16 @@ const SEED_EVENTS: u64 = 4096;
 /// Events in flight during the sparse-regime churn: few enough that
 /// consecutive events sit tens of empty ~4µs buckets apart.
 const SPARSE_SEED_EVENTS: u64 = 48;
-/// Sparse hop bounds in nanoseconds: 0.2–4 ms, i.e. 50–1000 bucket
-/// widths, so the wheel is almost entirely empty between events.
+/// Sparse hop bounds in nanoseconds: 0.2–4 ms, i.e. 50–1000 default
+/// bucket widths, so the wheel is almost entirely empty between events
+/// but hops still land inside the 1024-bucket ring window.
 const SPARSE_HOP: (u64, u64) = (200_000, 4_000_000);
+/// Ultra-sparse hop bounds: 4–40 ms, i.e. up to ~10,000 default bucket
+/// widths. At the default width most pushes overshoot the ring window
+/// entirely and fall into the overflow heap — the regime where a fixed
+/// wheel degenerates into a worse binary heap and adaptive widening
+/// restores ring residency.
+const ULTRA_HOP: (u64, u64) = (4_000_000, 40_000_000);
 
 /// The subset of the queue API the churn workload exercises, so one
 /// generic driver measures both implementations.
@@ -119,16 +129,17 @@ fn churn<Q: ChurnQueue>(queue: &mut Q, events: u64) -> (u64, f64) {
     (checksum, start.elapsed().as_secs_f64())
 }
 
-/// The sparse-regime churn: [`SPARSE_SEED_EVENTS`] events in flight,
-/// every pop rescheduling one successor a [`SPARSE_HOP`] hop out. Same
+/// A sparse-regime churn: [`SPARSE_SEED_EVENTS`] events in flight,
+/// every pop rescheduling one successor a `hop`-bounded hop out. Same
 /// order contract and checksum as [`churn`], different occupancy: the
-/// wheel holds a handful of occupied buckets separated by hundreds of
-/// empty ones, so advance cost — not push/pop — dominates.
-fn sparse_churn<Q: ChurnQueue>(queue: &mut Q, events: u64) -> (u64, f64) {
+/// wheel holds a handful of occupied buckets separated by hundreds
+/// ([`SPARSE_HOP`]) or thousands ([`ULTRA_HOP`]) of empty ones, so
+/// advance and tiering cost — not push/pop — dominates.
+fn sparse_churn<Q: ChurnQueue>(queue: &mut Q, events: u64, hop: (u64, u64)) -> (u64, f64) {
     let mut rng = Rng::new(0x0dd_ba11);
     let mut seq = 0u64;
     for _ in 0..SPARSE_SEED_EVENTS {
-        let at = Nanos::from_nanos(rng.range_inclusive(0, SPARSE_HOP.1));
+        let at = Nanos::from_nanos(rng.range_inclusive(0, hop.1));
         queue.push(key(at, seq), seq);
         seq += 1;
     }
@@ -140,7 +151,7 @@ fn sparse_churn<Q: ChurnQueue>(queue: &mut Q, events: u64) -> (u64, f64) {
             .wrapping_mul(0x100000001b3)
             .wrapping_add((k as u64) ^ (k >> 64) as u64)
             .wrapping_add(ev);
-        let at = key_time(k) + Nanos::from_nanos(rng.range_inclusive(SPARSE_HOP.0, SPARSE_HOP.1));
+        let at = key_time(k) + Nanos::from_nanos(rng.range_inclusive(hop.0, hop.1));
         queue.push(key(at, seq), seq);
         seq += 1;
     }
@@ -203,22 +214,53 @@ fn main() {
     );
 
     let mut sparse_diverged = false;
-    let mut sparse_timings: Option<(f64, f64, f64)> = None;
+    let mut sparse_timings: Option<(f64, f64, f64, f64)> = None;
+    let mut ultra_timings: Option<(f64, f64, f64)> = None;
     if sparse {
-        let (sh_sum, sh_s) = sparse_churn(&mut HeapQueue::with_capacity(64), events);
-        let (sl_sum, sl_s) = sparse_churn(&mut CalendarQueue::new_linear_scan(), events);
-        let (sb_sum, sb_s) = sparse_churn(&mut CalendarQueue::with_capacity(64), events);
-        sparse_diverged = sh_sum != sl_sum || sh_sum != sb_sum;
-        sparse_timings = Some((sh_s, sl_s, sb_s));
+        let (sh_sum, sh_s) = sparse_churn(&mut HeapQueue::with_capacity(64), events, SPARSE_HOP);
+        let (sl_sum, sl_s) =
+            sparse_churn(&mut CalendarQueue::new_linear_scan(), events, SPARSE_HOP);
+        let (sb_sum, sb_s) =
+            sparse_churn(&mut CalendarQueue::new_fixed_width(), events, SPARSE_HOP);
+        let mut adaptive = CalendarQueue::with_capacity(64);
+        let (sa_sum, sa_s) = sparse_churn(&mut adaptive, events, SPARSE_HOP);
+        sparse_diverged = sh_sum != sl_sum || sh_sum != sb_sum || sh_sum != sa_sum;
+        sparse_timings = Some((sh_s, sl_s, sb_s, sa_s));
         println!(
             "sparse churn ({events} events, {SPARSE_SEED_EVENTS} in flight): \
-             heap {:.1} Mops, linear-scan {:.1} Mops, bitmap {:.1} Mops \
-             (bitmap vs linear {:.2}x), checksums {}",
+             heap {:.1} Mops, linear-scan {:.1} Mops, fixed bitmap {:.1} Mops, \
+             adaptive {:.1} Mops (bitmap vs linear {:.2}x, settled at 2^{} ns \
+             buckets), checksums {}",
             mops(sh_s),
             mops(sl_s),
             mops(sb_s),
+            mops(sa_s),
             sl_s / sb_s,
+            adaptive.bucket_bits(),
             if sparse_diverged {
+                "DIVERGED"
+            } else {
+                "identical"
+            }
+        );
+
+        let (uh_sum, uh_s) = sparse_churn(&mut HeapQueue::with_capacity(64), events, ULTRA_HOP);
+        let (uf_sum, uf_s) = sparse_churn(&mut CalendarQueue::new_fixed_width(), events, ULTRA_HOP);
+        let mut ultra = CalendarQueue::with_capacity(64);
+        let (ua_sum, ua_s) = sparse_churn(&mut ultra, events, ULTRA_HOP);
+        sparse_diverged |= uh_sum != uf_sum || uh_sum != ua_sum;
+        ultra_timings = Some((uh_s, uf_s, ua_s));
+        println!(
+            "ultra-sparse churn ({events} events, {SPARSE_SEED_EVENTS} in flight, \
+             4-40 ms hops): heap {:.1} Mops, fixed bitmap {:.1} Mops, adaptive \
+             {:.1} Mops (adaptive vs fixed {:.2}x, settled at 2^{} ns buckets), \
+             checksums {}",
+            mops(uh_s),
+            mops(uf_s),
+            mops(ua_s),
+            uf_s / ua_s,
+            ultra.bucket_bits(),
+            if uh_sum != uf_sum || uh_sum != ua_sum {
                 "DIVERGED"
             } else {
                 "identical"
@@ -243,7 +285,7 @@ fn main() {
     if !quick {
         record_bench(&BenchEntry::timing("queue_bench_heap", 1, heap_s * 1e3));
         record_bench(&BenchEntry::timing("queue_bench_calendar", 1, cal_s * 1e3));
-        if let Some((sh_s, sl_s, sb_s)) = sparse_timings {
+        if let Some((sh_s, sl_s, sb_s, sa_s)) = sparse_timings {
             record_bench(&BenchEntry::timing(
                 "queue_bench_sparse_heap",
                 1,
@@ -258,6 +300,24 @@ fn main() {
                 "queue_bench_sparse_bitmap",
                 1,
                 sb_s * 1e3,
+            ));
+            record_bench(&BenchEntry::timing(
+                "queue_bench_sparse_adaptive",
+                1,
+                sa_s * 1e3,
+            ));
+        }
+        if let Some((uh_s, uf_s, ua_s)) = ultra_timings {
+            record_bench(&BenchEntry::timing("queue_bench_ultra_heap", 1, uh_s * 1e3));
+            record_bench(&BenchEntry::timing(
+                "queue_bench_ultra_fixed",
+                1,
+                uf_s * 1e3,
+            ));
+            record_bench(&BenchEntry::timing(
+                "queue_bench_ultra_adaptive",
+                1,
+                ua_s * 1e3,
             ));
         }
     }

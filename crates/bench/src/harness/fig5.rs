@@ -10,100 +10,112 @@ use super::HarnessOutput;
 use crate::runner::Runner;
 use crate::{clouds, platform_matrix, Finding};
 
-/// One panel cell: a (cloud, concurrency) table plus its findings.
-fn panel(cloud: CloudEnv, concurrent: bool, costs: &CostModel) -> (String, Vec<Finding>) {
-    let mut findings = Vec::new();
-    let mode = if concurrent { "Concurrent" } else { "Single" };
-    let mut table = Table::new(
-        &format!(
-            "Figure 5: {} {} (relative to patched Docker)",
-            cloud.name(),
-            mode
-        ),
-        &[
-            "configuration",
-            "Execl",
-            "File Copy",
-            "Pipe Tput",
-            "Ctx Switch",
-            "Proc Create",
-            "iperf",
-        ],
-    );
-
+/// One cloud cell: scores every microbenchmark once per platform, then
+/// renders the Single and Concurrent panels from that matrix. The
+/// concurrent panel is pure arithmetic over the single-copy scores
+/// ([`concurrent_score`]), so hoisting the score computation halves the
+/// model evaluations without moving a single byte of output.
+fn cell(cloud: CloudEnv, costs: &CostModel) -> (String, Vec<Finding>) {
     let (baseline, matrix) = platform_matrix(cloud);
-    let base: Vec<f64> = MicroBench::ALL
-        .iter()
-        .map(|b| {
-            let s = b.score(&baseline, costs);
-            if concurrent {
-                concurrent_score(s, &baseline, 4)
-            } else {
-                s
-            }
+    let score_vec = |p: &Platform| -> (Vec<f64>, f64) {
+        (
+            MicroBench::ALL.iter().map(|b| b.score(p, costs)).collect(),
+            IperfBench::throughput_bps(p, costs),
+        )
+    };
+    let (base_single, base_iperf) = score_vec(&baseline);
+    let rows: Vec<(Platform, Vec<f64>, f64)> = matrix
+        .into_iter()
+        .map(|p| {
+            let (scores, iperf) = score_vec(&p);
+            (p, scores, iperf)
         })
         .collect();
-    let base_iperf = IperfBench::throughput_bps(&baseline, costs);
 
-    for platform in matrix {
-        let mut cells = vec![Cell::from(platform.name())];
-        for (i, bench) in MicroBench::ALL.iter().enumerate() {
-            let mut s = bench.score(&platform, costs);
-            if concurrent {
-                s = concurrent_score(s, &platform, 4);
-            }
-            cells.push(Cell::Num(s / base[i], 2));
-        }
-        cells.push(Cell::Num(
-            IperfBench::throughput_bps(&platform, costs) / base_iperf,
-            2,
-        ));
-        table.row(cells);
-
-        if platform.kind() == PlatformKind::XContainer && platform.is_patched() && !concurrent {
-            let execl = MicroBench::Execl.score(&platform, costs) / base[0];
-            let ctx = MicroBench::ContextSwitching.score(&platform, costs) / base[3];
-            let spawn = MicroBench::ProcessCreation.score(&platform, costs) / base[4];
-            findings.push(Finding {
-                experiment: "fig5",
-                metric: format!("x_execl_{}", cloud.name().to_lowercase()),
-                paper: "above 1 (X wins Execl)".to_owned(),
-                measured: execl,
-                in_band: execl > 1.0,
-            });
-            findings.push(Finding {
-                experiment: "fig5",
-                metric: format!("x_ctxswitch_{}", cloud.name().to_lowercase()),
-                paper: "below 1 (PT ops cross into X-Kernel)".to_owned(),
-                measured: ctx,
-                in_band: ctx < 1.0,
-            });
-            findings.push(Finding {
-                experiment: "fig5",
-                metric: format!("x_proccreate_{}", cloud.name().to_lowercase()),
-                paper: "below 1".to_owned(),
-                measured: spawn,
-                in_band: spawn < 1.0,
-            });
-        }
-    }
     let mut text = String::new();
-    table.render_into(&mut text);
-    text.push('\n');
+    let mut findings = Vec::new();
+    for concurrent in [false, true] {
+        let mode = if concurrent { "Concurrent" } else { "Single" };
+        let mut table = Table::new(
+            &format!(
+                "Figure 5: {} {} (relative to patched Docker)",
+                cloud.name(),
+                mode
+            ),
+            &[
+                "configuration",
+                "Execl",
+                "File Copy",
+                "Pipe Tput",
+                "Ctx Switch",
+                "Proc Create",
+                "iperf",
+            ],
+        );
+
+        let base: Vec<f64> = base_single
+            .iter()
+            .map(|&s| {
+                if concurrent {
+                    concurrent_score(s, &baseline, 4)
+                } else {
+                    s
+                }
+            })
+            .collect();
+
+        for (platform, single, iperf) in &rows {
+            let mut cells = vec![Cell::from(platform.name())];
+            for (i, &s0) in single.iter().enumerate() {
+                let s = if concurrent {
+                    concurrent_score(s0, platform, 4)
+                } else {
+                    s0
+                };
+                cells.push(Cell::Num(s / base[i], 2));
+            }
+            cells.push(Cell::Num(iperf / base_iperf, 2));
+            table.row(cells);
+
+            if platform.kind() == PlatformKind::XContainer && platform.is_patched() && !concurrent {
+                let execl = single[0] / base[0];
+                let ctx = single[3] / base[3];
+                let spawn = single[4] / base[4];
+                findings.push(Finding {
+                    experiment: "fig5",
+                    metric: format!("x_execl_{}", cloud.name().to_lowercase()),
+                    paper: "above 1 (X wins Execl)".to_owned(),
+                    measured: execl,
+                    in_band: execl > 1.0,
+                });
+                findings.push(Finding {
+                    experiment: "fig5",
+                    metric: format!("x_ctxswitch_{}", cloud.name().to_lowercase()),
+                    paper: "below 1 (PT ops cross into X-Kernel)".to_owned(),
+                    measured: ctx,
+                    in_band: ctx < 1.0,
+                });
+                findings.push(Finding {
+                    experiment: "fig5",
+                    metric: format!("x_proccreate_{}", cloud.name().to_lowercase()),
+                    paper: "below 1".to_owned(),
+                    measured: spawn,
+                    in_band: spawn < 1.0,
+                });
+            }
+        }
+        table.render_into(&mut text);
+        text.push('\n');
+    }
     (text, findings)
 }
 
-/// Runs the four panels, one cell each.
+/// Runs one cell per cloud; each renders its Single and Concurrent
+/// panels in the figure's order.
 pub fn run(runner: &Runner) -> HarnessOutput {
     let costs = CostModel::skylake_cloud();
-    let grid: Vec<(CloudEnv, bool)> = clouds()
-        .into_iter()
-        .flat_map(|cloud| [false, true].into_iter().map(move |c| (cloud, c)))
-        .collect();
-    let cells = runner.run(grid.len(), |i| {
-        let (cloud, concurrent) = grid[i];
-        panel(cloud, concurrent, &costs)
-    });
+    let grid = clouds();
+    let cells = runner.run(grid.len(), |i| cell(grid[i], &costs));
     let mut out = HarnessOutput::merge(cells);
     out.text.push_str(
         "Shape (§5.4): X-Containers win the syscall-dominated benchmarks\n\

@@ -16,6 +16,7 @@
 pub mod ablations;
 pub mod all_experiments;
 pub mod chaos;
+pub mod cluster;
 pub mod fig3;
 pub mod fig4;
 pub mod fig5;

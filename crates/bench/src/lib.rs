@@ -17,6 +17,7 @@
 //! | `security_matrix` | §3.4 — TCB and attack-surface comparison (extension) |
 //! | `rdma_study` | §5.7 — soft-RDMA capability study (extension) |
 //! | `verify_study` | §4.4 — static patch-safety verdicts, re-verification, pre-flight ablation (extension) |
+//! | `cluster_study` | DESIGN.md §4g — per-host container density and tail latency at cluster scale (extension) |
 //! | `all_experiments` | combined acceptance pass over all findings |
 //!
 //! Every harness prints the paper's expected shape next to the measured
@@ -38,6 +39,7 @@ pub mod harness;
 pub mod runner;
 
 use std::fs;
+use std::io::{self, BufWriter, Write};
 use std::path::Path;
 
 use xcontainers::prelude::{json_object, CloudEnv, Json, Platform};
@@ -73,34 +75,51 @@ impl Finding {
     }
 }
 
-/// Renders findings exactly as [`record`] serializes them — shared by the
-/// determinism tests and the runner's serial-vs-parallel self-checks.
-/// Streams every finding into one buffer ([`Json::write_into`]) instead
-/// of collecting an intermediate `Json::Arr`.
-pub fn findings_json(findings: &[Finding]) -> String {
-    let mut out = String::from("[");
+/// Streams findings into any [`io::Write`] sink in [`record`]'s exact
+/// byte format. One finding is serialized at a time through a reused
+/// scratch buffer, so memory stays flat no matter how many findings a
+/// harness (or the cluster study) accumulates.
+pub fn write_findings<W: io::Write>(sink: &mut W, findings: &[Finding]) -> io::Result<()> {
+    sink.write_all(b"[")?;
+    let mut scratch = String::new();
     for (i, f) in findings.iter().enumerate() {
         if i > 0 {
-            out.push(',');
+            sink.write_all(b",")?;
         }
-        f.to_json().write_into(&mut out);
+        scratch.clear();
+        f.to_json().write_into(&mut scratch);
+        sink.write_all(scratch.as_bytes())?;
     }
-    out.push(']');
-    out
+    sink.write_all(b"]")
+}
+
+/// Renders findings exactly as [`record`] serializes them — shared by the
+/// determinism tests and the runner's serial-vs-parallel self-checks.
+/// Delegates to [`write_findings`] so the two can never drift.
+pub fn findings_json(findings: &[Finding]) -> String {
+    let mut out = Vec::new();
+    write_findings(&mut out, findings).expect("Vec sink cannot fail");
+    String::from_utf8(out).expect("findings serialize to UTF-8")
 }
 
 /// Serializes findings to `results/<experiment>.json` (creates the
-/// directory as needed). Errors are reported but non-fatal: harnesses
-/// must still print their tables on read-only filesystems.
+/// directory as needed) by streaming each finding straight into a
+/// buffered file writer — no intermediate whole-document `String`.
+/// Errors are reported but non-fatal: harnesses must still print their
+/// tables on read-only filesystems.
 pub fn record(experiment: &str, findings: &[Finding]) {
     let dir = Path::new(RESULTS_DIR);
     if let Err(e) = fs::create_dir_all(dir) {
         eprintln!("note: cannot create {RESULTS_DIR}/: {e}");
         return;
     }
-    let body = findings_json(findings);
     let path = dir.join(format!("{experiment}.json"));
-    if let Err(e) = fs::write(&path, body) {
+    let write = || -> io::Result<()> {
+        let mut sink = BufWriter::new(fs::File::create(&path)?);
+        write_findings(&mut sink, findings)?;
+        sink.flush()
+    };
+    if let Err(e) = write() {
         eprintln!("note: cannot write {}: {e}", path.display());
     }
 }
@@ -161,6 +180,25 @@ mod tests {
             findings_json(std::slice::from_ref(&f)),
             format!("[{}]", f.to_json().to_string_compact())
         );
+    }
+
+    #[test]
+    fn write_findings_streams_identical_bytes() {
+        let findings: Vec<Finding> = (0..3)
+            .map(|i| Finding {
+                experiment: "fig4",
+                metric: format!("m{i}"),
+                paper: "27x".to_owned(),
+                measured: i as f64,
+                in_band: i % 2 == 0,
+            })
+            .collect();
+        let mut sink = Vec::new();
+        write_findings(&mut sink, &findings).unwrap();
+        assert_eq!(String::from_utf8(sink).unwrap(), findings_json(&findings));
+        let mut empty = Vec::new();
+        write_findings(&mut empty, &[]).unwrap();
+        assert_eq!(empty, b"[]");
     }
 
     #[test]

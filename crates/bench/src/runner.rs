@@ -29,7 +29,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
-use xcontainers::prelude::{json_object, Histogram, Json, Rng, Summary};
+use xcontainers::prelude::{json_object, shard_share, Histogram, Json, Rng, Summary};
 
 /// Where harnesses record wall-clock and cache measurements.
 pub const BENCH_PATH: &str = "BENCH_runner.json";
@@ -303,12 +303,10 @@ impl Default for Runner {
 }
 
 /// Samples shard `i` draws when `total` samples split over `shards`
-/// shards: the remainder goes to the lowest-indexed shards, so the split
-/// is a pure function of `(total, shards)`.
+/// shards — [`shard_share`], so the runner, the per-worker closed loop
+/// and the cluster study all cut ranges with the same arithmetic.
 fn shard_len(total: u64, shards: usize, i: usize) -> u64 {
-    let shards = shards as u64;
-    let i = i as u64;
-    total / shards + u64::from(i < total % shards)
+    shard_share(total, shards as u64, i as u64)
 }
 
 /// Runs one cell under `policy`: up to `max_attempts` tries with

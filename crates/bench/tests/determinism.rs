@@ -6,9 +6,9 @@
 //! quantifies over.
 
 use xc_bench::findings_json;
-use xc_bench::harness::{chaos, fig4, fig5, fig8, verify_lint, verify_study};
+use xc_bench::harness::{chaos, cluster, fig3, fig4, fig5, fig8, verify_lint, verify_study};
 use xc_bench::runner::{RunPolicy, Runner};
-use xcontainers::prelude::{FaultPlan, FaultRates, Histogram, Rng, Summary};
+use xcontainers::prelude::{ClosedLoopCache, FaultPlan, FaultRates, Histogram, Rng, Summary};
 
 /// Byte-compares one harness's full output across worker counts.
 fn assert_jobs_invariant(run: impl Fn(&Runner) -> (String, String)) {
@@ -18,6 +18,46 @@ fn assert_jobs_invariant(run: impl Fn(&Runner) -> (String, String)) {
         assert_eq!(text, text1, "text diverged at --jobs {jobs}");
         assert_eq!(json, json1, "findings diverged at --jobs {jobs}");
     }
+}
+
+/// The closed-loop macrobenchmark grid — per-worker shard worlds, one
+/// shared memoization cache racing across cells — must still render
+/// byte-identically at every worker count: results are a function of
+/// the derived cost table alone, never of cache scheduling.
+#[test]
+fn fig3_is_jobs_invariant() {
+    assert_jobs_invariant(|r| {
+        let out = fig3::run(r);
+        (out.text, findings_json(&out.findings))
+    });
+}
+
+/// One cache shared across *runs* (the `fig3_macro` persistent-cache
+/// shape) must not change a byte either: a warm cache answers from
+/// values the cold run computed.
+#[test]
+fn fig3_shared_cache_is_run_invariant() {
+    let cache = ClosedLoopCache::new();
+    let cold = fig3::run_with(&Runner::new(2), &cache);
+    let warm = fig3::run_with(&Runner::new(2), &cache);
+    assert_eq!(cold.text, warm.text);
+    assert_eq!(findings_json(&cold.findings), findings_json(&warm.findings));
+    let (hits, misses) = warm.cache_stats.expect("fig3 reports cache stats");
+    assert_eq!(misses, 0, "a warm cache re-simulates nothing");
+    assert!(hits > 0);
+}
+
+/// The cluster study's (platform × host-chunk) grid merges
+/// [`ClusterResult`]s in host-index order, so the quick configuration
+/// must render byte-identically at every worker count.
+///
+/// [`ClusterResult`]: xcontainers::prelude::ClusterResult
+#[test]
+fn cluster_quick_is_jobs_invariant() {
+    assert_jobs_invariant(|r| {
+        let out = cluster::run(r, true);
+        (out.text, findings_json(&out.findings))
+    });
 }
 
 #[test]

@@ -100,12 +100,15 @@ pub mod prelude {
     pub use xc_sim::cost::CostModel;
     pub use xc_sim::report::{json_array, json_object, Cell, Json, Table};
     pub use xc_sim::rng::Rng;
-    pub use xc_sim::stats::{Histogram, Summary};
+    pub use xc_sim::stats::{shard_share, Histogram, Summary};
     pub use xc_sim::time::Nanos;
     pub use xc_verify::{AnalysisCache, Verdict, Verifier, VerifyReport};
+    pub use xc_workloads::cluster::{run_cluster, run_cluster_range, ClusterParams, ClusterResult};
+    pub use xc_workloads::costs::PlatformCosts;
     pub use xc_workloads::fig6::{DbTopology, LibOsPlatform};
     pub use xc_workloads::http::{
-        run_closed_loop, run_closed_loop_cached, ClosedLoopCache, RequestProfile, ServerModel,
+        run_closed_loop, run_closed_loop_cached, run_closed_loop_from, run_closed_loop_sharded,
+        ClosedLoopCache, ClosedLoopResult, RequestProfile, ServerModel,
     };
     pub use xc_workloads::loadbalance::LbMode;
     pub use xc_workloads::scalability::ScalabilityConfig;

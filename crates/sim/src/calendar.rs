@@ -60,18 +60,38 @@ use std::collections::BinaryHeap;
 
 use crate::time::Nanos;
 
-/// log2 of the bucket width in nanoseconds: 2^12 ns ≈ 4.1 µs per
-/// bucket. Service times and RTTs in the workload models are
+/// log2 of the starting bucket width in nanoseconds: 2^12 ns ≈ 4.1 µs
+/// per bucket. Service times and RTTs in the workload models are
 /// microsecond-scale, so a saturated simulation lands a handful of
-/// events in each bucket.
-const BUCKET_BITS: u32 = 12;
-/// Number of wheel buckets (power of two). 1024 buckets × 4.1 µs ≈
-/// 4.2 ms of look-ahead window; events beyond it wait in the overflow
-/// heap.
+/// events in each bucket. Adaptive queues resize away from this when
+/// the observed occupancy drifts out of band (see
+/// [`CalendarQueue::advance`]).
+const DEFAULT_BUCKET_BITS: u32 = 12;
+/// Narrowest adaptive bucket width: 2^8 ns = 256 ns.
+const MIN_BUCKET_BITS: u32 = 8;
+/// Widest adaptive bucket width: 2^22 ns ≈ 4.2 ms per bucket (a ~4.3 s
+/// window), enough that even second-scale timer wheels advance bucket
+/// by bucket instead of scanning.
+const MAX_BUCKET_BITS: u32 = 22;
+/// Number of wheel buckets (power of two). The ring *size* is fixed —
+/// only the per-bucket time width adapts. At the default width, 1024
+/// buckets × 4.1 µs ≈ 4.2 ms of look-ahead window; events beyond it
+/// wait in the overflow heap.
 const NUM_BUCKETS: usize = 1 << 10;
 const EPOCH_MASK: u64 = NUM_BUCKETS as u64 - 1;
 /// Words in the ring occupancy bitmap (one bit per bucket).
 const OCC_WORDS: usize = NUM_BUCKETS / 64;
+/// Advances between adaptation checks. Long enough to smooth over
+/// bursts, short enough that a regime change (e.g. a sparse timer
+/// phase) is caught within a few thousand events.
+const ADAPT_PERIOD: u32 = 512;
+/// Mean epoch jump per advance above which the buckets are too narrow
+/// (the scan walks mostly-empty words): widen.
+const WIDEN_JUMP: u64 = 8;
+/// Mean events opened per advance above which the buckets are too wide
+/// (each advance sorts a crowd): narrow — but only when the jump is
+/// already tiny, so widening and narrowing can never oscillate.
+const NARROW_OCCUPANCY: u64 = 16;
 
 /// Packs an absolute time and a sequence number into one scalar key
 /// whose `u128` order is the lexicographic `(time, seq)` order.
@@ -87,8 +107,8 @@ pub fn key_time(key: u128) -> Nanos {
 }
 
 #[inline]
-fn epoch_of(key: u128) -> u64 {
-    ((key >> 64) as u64) >> BUCKET_BITS
+fn epoch_of(key: u128, bucket_bits: u32) -> u64 {
+    ((key >> 64) as u64) >> bucket_bits
 }
 
 /// One pending event: a packed `(time, seq)` key plus its payload.
@@ -213,6 +233,18 @@ pub struct CalendarQueue<E> {
     occupancy: [u64; OCC_WORDS],
     /// Events at or beyond the window's far edge, min-keyed first.
     overflow: BinaryHeap<Entry<E>>,
+    /// log2 of the current bucket width in nanoseconds. Fixed at
+    /// [`DEFAULT_BUCKET_BITS`] for non-adaptive queues.
+    bucket_bits: u32,
+    /// Whether the queue resizes its bucket width when occupancy
+    /// drifts out of band (see [`CalendarQueue::advance`]).
+    adaptive: bool,
+    /// Advances since the last adaptation check.
+    advances: u32,
+    /// Events opened into `current` since the last adaptation check.
+    opened: u64,
+    /// Sum of cursor-epoch jumps since the last adaptation check.
+    jump_sum: u64,
     /// Use the pre-bitmap linear empty-bucket probe in [`advance`]
     /// (`Self::advance`) — the reference strategy `queue_bench --sparse`
     /// compares the bitmap scan against. Never set on engine queues.
@@ -220,7 +252,8 @@ pub struct CalendarQueue<E> {
 }
 
 impl<E> CalendarQueue<E> {
-    /// Creates an empty queue with the cursor at epoch zero.
+    /// Creates an empty queue with the cursor at epoch zero and
+    /// adaptive bucket-width resizing enabled (the engine default).
     pub fn new() -> Self {
         CalendarQueue {
             current: Vec::new(),
@@ -229,19 +262,43 @@ impl<E> CalendarQueue<E> {
             ring_len: 0,
             occupancy: [0; OCC_WORDS],
             overflow: BinaryHeap::new(),
+            bucket_bits: DEFAULT_BUCKET_BITS,
+            adaptive: true,
+            advances: 0,
+            opened: 0,
+            jump_sum: 0,
             linear_advance: false,
         }
     }
 
+    /// Creates a queue pinned to the default bucket width — the
+    /// pre-adaptive behaviour, kept as the fixed-width reference lane
+    /// `queue_bench --sparse` measures the adaptive queue against.
+    pub fn new_fixed_width() -> Self {
+        CalendarQueue {
+            adaptive: false,
+            ..CalendarQueue::new()
+        }
+    }
+
     /// Creates a queue whose `advance` probes ring buckets one by one
-    /// (the pre-bitmap strategy). Kept only so `queue_bench --sparse`
-    /// and the equivalence tests can measure the bitmap scan against
-    /// its predecessor; the engine always uses [`CalendarQueue::new`].
+    /// (the pre-bitmap strategy, fixed width). Kept only so
+    /// `queue_bench --sparse` and the equivalence tests can measure the
+    /// bitmap scan against its predecessor; the engine always uses
+    /// [`CalendarQueue::new`].
     pub fn new_linear_scan() -> Self {
         CalendarQueue {
+            adaptive: false,
             linear_advance: true,
             ..CalendarQueue::new()
         }
+    }
+
+    /// log2 of the current bucket width in nanoseconds (observability
+    /// for benches and tests; starts at 12, moves only on adaptive
+    /// queues).
+    pub fn bucket_bits(&self) -> u32 {
+        self.bucket_bits
     }
 
     /// Creates an empty queue with the open bucket pre-sized for
@@ -271,22 +328,29 @@ impl<E> CalendarQueue<E> {
     /// Inserts an event under a packed key.
     #[inline]
     pub fn push(&mut self, key: u128, event: E) {
-        let epoch = epoch_of(key);
+        self.push_entry(Entry { key, event });
+    }
+
+    /// Routes one entry to the right tier under the current bucket
+    /// width. Shared by `push` and `rebucket`.
+    #[inline]
+    fn push_entry(&mut self, entry: Entry<E>) {
+        let epoch = epoch_of(entry.key, self.bucket_bits);
         if epoch <= self.cursor {
             // The open bucket: binary-insert to keep the descending
             // order. Most same-instant work lands at the tail.
-            let idx = self.current.partition_point(|e| e.key > key);
-            self.current.insert(idx, Entry { key, event });
+            let idx = self.current.partition_point(|e| e.key > entry.key);
+            self.current.insert(idx, entry);
         } else if epoch - self.cursor < NUM_BUCKETS as u64 {
             if self.ring.is_empty() {
                 self.ring = (0..NUM_BUCKETS).map(|_| Vec::new()).collect();
             }
             let slot = (epoch & EPOCH_MASK) as usize;
-            self.ring[slot].push(Entry { key, event });
+            self.ring[slot].push(entry);
             self.ring_len += 1;
             self.occupancy[slot / 64] |= 1 << (slot % 64);
         } else {
-            self.overflow.push(Entry { key, event });
+            self.overflow.push(entry);
         }
     }
 
@@ -334,11 +398,28 @@ impl<E> CalendarQueue<E> {
         if self.ring_len == 0 && self.overflow.is_empty() {
             return false;
         }
+        if self.adaptive {
+            self.advances += 1;
+            if self.advances >= ADAPT_PERIOD && self.maybe_resize() {
+                // A coarsening rebucket can fold pending epochs into the
+                // open bucket; if it did, that's this advance's refill.
+                if !self.current.is_empty() {
+                    if self.current.len() > 1 {
+                        self.current
+                            .sort_unstable_by_key(|e| std::cmp::Reverse(e.key));
+                    }
+                    return true;
+                }
+            }
+        }
         // The next cursor is the nearest populated epoch: the occupancy
         // bitmap names the nearest live ring bucket (a live bucket
         // holds a single epoch, so the bucket at distance d *is* epoch
         // cursor + d), bounded by the overflow minimum.
-        let overflow_epoch = self.overflow.peek().map(|e| epoch_of(e.key));
+        let overflow_epoch = self
+            .overflow
+            .peek()
+            .map(|e| epoch_of(e.key, self.bucket_bits));
         let ring_epoch = if self.ring_len == 0 {
             None
         } else if self.linear_advance {
@@ -351,13 +432,16 @@ impl<E> CalendarQueue<E> {
             (r, o) => r.or(o),
         };
         let Some(next) = next else { return false };
+        if self.adaptive {
+            self.jump_sum += next - self.cursor;
+        }
         self.cursor = next;
         // Pull overflow entries that are now inside the window. The
         // minimum's epoch is already in hand, so the common case (empty
         // or still-distant overflow) costs no second heap peek.
         if overflow_epoch.is_some_and(|ep| ep - self.cursor < NUM_BUCKETS as u64) {
             while let Some(e) = self.overflow.peek() {
-                let ep = epoch_of(e.key);
+                let ep = epoch_of(e.key, self.bucket_bits);
                 if ep <= self.cursor {
                     let e = self.overflow.pop().expect("peeked entry");
                     self.current.push(e);
@@ -390,8 +474,61 @@ impl<E> CalendarQueue<E> {
             self.current
                 .sort_unstable_by_key(|e| std::cmp::Reverse(e.key));
         }
+        if self.adaptive {
+            self.opened += self.current.len() as u64;
+        }
         debug_assert!(!self.current.is_empty());
         true
+    }
+
+    /// Adaptation check, run every [`ADAPT_PERIOD`] advances: widen the
+    /// buckets when the cursor leaps many epochs per advance (sparse
+    /// regime — the scan mostly skips emptiness), narrow when each
+    /// advance opens a crowd *and* the cursor barely moves (dense regime
+    /// — the sort dominates). The conditions are mutually exclusive on
+    /// the observed jump, so the width cannot oscillate. Returns whether
+    /// a rebucket happened.
+    fn maybe_resize(&mut self) -> bool {
+        let advances = u64::from(std::mem::take(&mut self.advances));
+        let opened = std::mem::take(&mut self.opened);
+        let jump_sum = std::mem::take(&mut self.jump_sum);
+        let avg_jump = jump_sum / advances;
+        let avg_opened = opened / advances;
+        let new_bits = if avg_jump > WIDEN_JUMP && self.bucket_bits < MAX_BUCKET_BITS {
+            (self.bucket_bits + 2).min(MAX_BUCKET_BITS)
+        } else if avg_opened > NARROW_OCCUPANCY
+            && avg_jump <= 2
+            && self.bucket_bits > MIN_BUCKET_BITS
+        {
+            (self.bucket_bits - 2).max(MIN_BUCKET_BITS)
+        } else {
+            return false;
+        };
+        self.rebucket(new_bits);
+        true
+    }
+
+    /// Re-buckets every pending ring/overflow entry under a new bucket
+    /// width. Safe at any advance boundary: `current` is empty there, so
+    /// every pending entry's old epoch is strictly greater than the
+    /// cursor, which makes `cursor << old_bits` a lower bound on every
+    /// pending time — re-deriving the cursor from that floor can only
+    /// round down, never past a pending event.
+    fn rebucket(&mut self, new_bits: u32) {
+        debug_assert!(self.current.is_empty());
+        let floor = self.cursor << self.bucket_bits;
+        let mut pending: Vec<Entry<E>> = Vec::with_capacity(self.len());
+        for bucket in &mut self.ring {
+            pending.append(bucket);
+        }
+        self.ring_len = 0;
+        self.occupancy = [0; OCC_WORDS];
+        pending.extend(self.overflow.drain());
+        self.bucket_bits = new_bits;
+        self.cursor = floor >> new_bits;
+        for entry in pending {
+            self.push_entry(entry);
+        }
     }
 
     /// Nearest populated ring epoch strictly after the cursor, located
@@ -533,7 +670,7 @@ mod tests {
         // must wait for the window to slide, not corrupt the first.
         let mut cal = CalendarQueue::new();
         let mut heap = HeapQueue::new();
-        let bucket_ns = 1u64 << BUCKET_BITS;
+        let bucket_ns = 1u64 << DEFAULT_BUCKET_BITS;
         let window = bucket_ns * NUM_BUCKETS as u64;
         for (i, ns) in [bucket_ns, bucket_ns + window, bucket_ns + 2 * window]
             .iter()
@@ -568,6 +705,128 @@ mod tests {
             let (a, b, c) = (cal.pop(), lin.pop(), heap.pop());
             assert_eq!(a, c);
             assert_eq!(b, c);
+            if c.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_widening_matches_heap_on_sparse_schedule() {
+        // A self-perpetuating sparse schedule: every pop schedules the
+        // next event ~1 ms out, so the cursor leaps ~244 epochs per
+        // advance at the default 4.1 µs width. After ADAPT_PERIOD
+        // advances the adaptive queue must have widened its buckets —
+        // and still pop in exactly the heap's order throughout.
+        let mut cal = CalendarQueue::new();
+        let mut fixed = CalendarQueue::new_fixed_width();
+        let mut heap = HeapQueue::new();
+        let mut seq = 0u64;
+        let mut ns = 0u64;
+        for _ in 0..8 {
+            ns += 900_000 + (seq * 77_017) % 300_000;
+            let k = key(Nanos::from_nanos(ns), seq);
+            cal.push(k, seq as u32);
+            fixed.push(k, seq as u32);
+            heap.push(k, seq as u32);
+            seq += 1;
+        }
+        for _ in 0..1500 {
+            let (k, v) = heap.pop().expect("heap has events");
+            assert_eq!(cal.pop(), Some((k, v)), "adaptive pop order diverged");
+            assert_eq!(fixed.pop(), Some((k, v)), "fixed pop order diverged");
+            ns = key_time(k).as_nanos() + 900_000 + (seq * 77_017) % 300_000;
+            let nk = key(Nanos::from_nanos(ns), seq);
+            cal.push(nk, seq as u32);
+            fixed.push(nk, seq as u32);
+            heap.push(nk, seq as u32);
+            seq += 1;
+        }
+        assert!(
+            cal.bucket_bits() > DEFAULT_BUCKET_BITS,
+            "sparse schedule should widen buckets, still at {}",
+            cal.bucket_bits()
+        );
+        assert_eq!(fixed.bucket_bits(), DEFAULT_BUCKET_BITS);
+        // Drain the remainder in lockstep too.
+        loop {
+            let (a, b, c) = (cal.pop(), fixed.pop(), heap.pop());
+            assert_eq!(a, c);
+            assert_eq!(b, c);
+            if c.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_narrowing_matches_heap_on_dense_schedule() {
+        // Dense microsecond-scale traffic under artificially wide
+        // buckets: drive the width up first with a sparse phase, then
+        // flood with dense events and check the queue narrows back while
+        // preserving heap order.
+        let mut cal = CalendarQueue::new();
+        let mut heap = HeapQueue::new();
+        let mut seq = 0u64;
+        let mut ns = 0u64;
+        // Sparse phase: jittered ~1 ms spacing (distinct timestamps, so
+        // every pop drains the open bucket and triggers an advance)
+        // widens the buckets.
+        for _ in 0..4 {
+            ns += 900_000 + (seq * 77_017) % 300_000;
+            let k = key(Nanos::from_nanos(ns), seq);
+            cal.push(k, seq as u32);
+            heap.push(k, seq as u32);
+            seq += 1;
+        }
+        for _ in 0..1500 {
+            let (k, v) = heap.pop().unwrap();
+            assert_eq!(cal.pop(), Some((k, v)));
+            ns = key_time(k).as_nanos() + 900_000 + (seq * 77_017) % 300_000;
+            let nk = key(Nanos::from_nanos(ns), seq);
+            cal.push(nk, seq as u32);
+            heap.push(nk, seq as u32);
+            seq += 1;
+        }
+        let widened = cal.bucket_bits();
+        assert!(widened > DEFAULT_BUCKET_BITS, "setup should widen first");
+        // Dense phase: 50 events in flight rescheduled ~40 µs out, so
+        // the in-flight span (~40 µs, under one wide bucket) makes each
+        // advance open the whole crowd while the cursor moves one epoch
+        // at a time. The adaptation window straddling the regime change
+        // may widen once more (its average jump is still
+        // sparse-dominated); the loop runs until the width drops below
+        // the sparse-phase plateau, bounded well past the advances the
+        // narrowing checks need.
+        for _ in 0..50 {
+            ns += 38_000 + (seq * 131) % 4_000;
+            let k = key(Nanos::from_nanos(ns), seq);
+            cal.push(k, seq as u32);
+            heap.push(k, seq as u32);
+            seq += 1;
+        }
+        let mut narrowed = false;
+        for _ in 0..400_000 {
+            let (k, v) = heap.pop().unwrap();
+            assert_eq!(cal.pop(), Some((k, v)), "dense pop order diverged");
+            ns = key_time(k).as_nanos() + 38_000 + (seq * 131) % 4_000;
+            let nk = key(Nanos::from_nanos(ns), seq);
+            cal.push(nk, seq as u32);
+            heap.push(nk, seq as u32);
+            seq += 1;
+            if cal.bucket_bits() < widened {
+                narrowed = true;
+                break;
+            }
+        }
+        assert!(
+            narrowed,
+            "dense schedule should narrow buckets back, still at {}",
+            cal.bucket_bits()
+        );
+        loop {
+            let (a, c) = (cal.pop(), heap.pop());
+            assert_eq!(a, c);
             if c.is_none() {
                 break;
             }

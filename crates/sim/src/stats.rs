@@ -336,6 +336,21 @@ impl Histogram {
     }
 }
 
+/// Items shard `index` owns when `total` items split across `shards`
+/// equal partitions: the remainder goes to the lowest-indexed shards, so
+/// the split is a pure function of `(total, shards)` — the contract
+/// every deterministic sharded merge in the workspace relies on (the
+/// parallel bench runner, the per-worker closed loop, the cluster
+/// study's client partition).
+///
+/// # Panics
+///
+/// Panics if `shards == 0`.
+pub fn shard_share(total: u64, shards: u64, index: u64) -> u64 {
+    assert!(shards > 0, "shard_share over zero shards");
+    total / shards + u64::from(index < total % shards)
+}
+
 impl fmt::Display for Histogram {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(

@@ -146,6 +146,27 @@ pub fn haproxy_forward() -> RequestProfile {
     }
 }
 
+/// One cloud-native microservice request for the cluster study: a JSON
+/// API endpoint doing real application work (deserialize, business
+/// logic, serialize ~8 KB) over a chatty runtime — the
+/// service-mesh-era container the van Rijn/Rellermeyer survey and the
+/// Quark motivation describe. Deliberately heavyweight (~1 ms on
+/// patched Docker) so host-level density, not per-request syscall
+/// shaving, dominates the cluster comparison — while the 120-syscall
+/// footprint still separates platforms that intercept syscalls.
+pub fn microservice() -> RequestProfile {
+    RequestProfile {
+        name: "microservice",
+        syscalls: 120,
+        recv_bytes: 2_048,
+        send_bytes: 8_192,
+        app_compute: Nanos::from_micros(620),
+        kernel_work: Nanos::from_micros(60),
+        process_switches: 1,
+        coordination_events: 0,
+    }
+}
+
 /// All macro-benchmark profiles of Figure 3, in figure order.
 pub fn figure3_profiles() -> Vec<RequestProfile> {
     vec![nginx_static(), memcached(), redis()]

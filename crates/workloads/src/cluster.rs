@@ -1,0 +1,449 @@
+//! Cluster-scale open-loop study: hosts × domains × modelled clients.
+//!
+//! The paper's macrobenchmarks drive one server; this module asks the
+//! cloud operator's question instead — how many X-Container domains
+//! does a *host* sustain, and what do the tails look like when a whole
+//! cluster of them serves an open-loop population of clients? Each
+//! simulated host runs `domains_per_host` single-process container
+//! domains (one [`microservice`](crate::apps::microservice)-class
+//! service each) on `host_cores` cores. A shard of the global client
+//! population drives the host with Poisson arrivals (aggregate rate
+//! `clients_on_host / think_time`), domain popularity is Zipf-skewed,
+//! and every domain owns a bounded FIFO — requests arriving at a full
+//! queue are dropped, which is how saturation (gVisor at high density)
+//! becomes visible as loss instead of unbounded latency.
+//!
+//! # Determinism and sharding
+//!
+//! A host is an independent world seeded by
+//! [`Rng::substream`]`(seed, host_index)` serving
+//! [`shard_share`]`(clients, hosts, host_index)` clients, so the
+//! cluster decomposes exactly like the per-worker closed loop: any
+//! contiguous partition of the host range, simulated in any
+//! arrangement of threads and merged back in host-index order, yields
+//! byte-identical results. The bench harness exploits that by making
+//! host chunks its parallel runner cells.
+
+use std::collections::VecDeque;
+
+use xc_sim::engine::{EventQueue, Simulation, World};
+use xc_sim::rng::Rng;
+use xc_sim::stats::{shard_share, Histogram};
+use xc_sim::time::Nanos;
+
+use crate::costs::PlatformCosts;
+
+/// Shape of one cluster experiment (everything but the platform, which
+/// enters through the derived [`PlatformCosts`] table).
+#[derive(Debug, Clone)]
+pub struct ClusterParams {
+    /// Simulated hosts in the cluster.
+    pub hosts: u32,
+    /// Container domains packed onto each host.
+    pub domains_per_host: u32,
+    /// Modelled clients across the whole cluster (each host serves its
+    /// [`shard_share`]).
+    pub clients: u64,
+    /// Mean client think time between a response and the next request.
+    pub think_time: Nanos,
+    /// Simulated duration per host.
+    pub duration: Nanos,
+    /// Per-domain pending-request cap; arrivals beyond it are dropped.
+    pub queue_cap: usize,
+    /// Zipf skew of domain popularity in `[0, 1)` (0 = uniform).
+    pub zipf_theta: f64,
+    /// CPU cores per host.
+    pub host_cores: u32,
+    /// Master seed; host `h` uses substream `h`.
+    pub seed: u64,
+}
+
+impl ClusterParams {
+    /// Total domains across the cluster.
+    pub fn total_domains(&self) -> u64 {
+        u64::from(self.hosts) * u64::from(self.domains_per_host)
+    }
+
+    /// Aggregate offered load in requests/second.
+    pub fn offered_rps(&self) -> f64 {
+        self.clients as f64 / self.think_time.as_secs_f64()
+    }
+}
+
+/// One domain: a single-process service draining its own FIFO.
+struct Domain {
+    /// Arrival timestamps of queued-but-unserved requests.
+    pending: VecDeque<Nanos>,
+    /// Whether a request is currently on a core.
+    in_service: bool,
+}
+
+/// One host's world: open-loop Poisson arrivals over Zipf-ranked
+/// domains, cores as the shared bottleneck.
+struct HostWorld {
+    table: PlatformCosts,
+    jitter: f64,
+    arrival_mean_ns: f64,
+    zipf_theta: f64,
+    queue_cap: usize,
+    cores: u32,
+    busy_cores: u32,
+    domains: Vec<Domain>,
+    /// Domains ready to serve (idle, pending non-empty) waiting for a
+    /// free core, FIFO. A domain is queued at most once: it enters only
+    /// on its idle-with-work transition and leaves when started.
+    core_queue: VecDeque<u32>,
+    completed: u64,
+    dropped: u64,
+    latency: Histogram,
+    /// Total core-time consumed by completed-or-running service.
+    busy_ns: u64,
+    rng: Rng,
+}
+
+enum Ev {
+    /// The next client request reaches the host.
+    Arrive,
+    /// Domain `domain` finishes the request that arrived at `issued`.
+    Finish { domain: u32, issued: Nanos },
+}
+
+impl HostWorld {
+    #[inline]
+    fn sample_service(&mut self) -> Nanos {
+        let f = 1.0 + self.jitter * (self.rng.next_f64() * 2.0 - 1.0);
+        self.table.service.scale(f)
+    }
+
+    /// Puts ready domain `d` on a core, or in line for one.
+    fn dispatch(&mut self, d: u32, queue: &mut EventQueue<Ev>) {
+        if self.busy_cores < self.cores {
+            self.start(d, queue);
+        } else {
+            self.core_queue.push_back(d);
+        }
+    }
+
+    fn start(&mut self, d: u32, queue: &mut EventQueue<Ev>) {
+        let issued = self.domains[d as usize]
+            .pending
+            .pop_front()
+            .expect("ready domain has pending work");
+        self.domains[d as usize].in_service = true;
+        self.busy_cores += 1;
+        let st = self.sample_service();
+        self.busy_ns += st.as_nanos();
+        queue.schedule_in(st, Ev::Finish { domain: d, issued });
+    }
+}
+
+impl World for HostWorld {
+    type Event = Ev;
+
+    fn handle(&mut self, now: Nanos, event: Ev, queue: &mut EventQueue<Ev>) {
+        match event {
+            Ev::Arrive => {
+                // Self-perpetuating Poisson process: draw the next
+                // inter-arrival first so the stream's RNG usage is
+                // independent of what this arrival does.
+                let gap = self.rng.exponential(self.arrival_mean_ns);
+                queue.schedule_in(Nanos::from_nanos(gap as u64), Ev::Arrive);
+                let d = self.rng.zipf(self.domains.len() as u64, self.zipf_theta) as u32;
+                let dom = &mut self.domains[d as usize];
+                if dom.in_service || !dom.pending.is_empty() {
+                    // Busy or already in line: join the domain FIFO.
+                    if dom.pending.len() >= self.queue_cap {
+                        self.dropped += 1;
+                    } else {
+                        dom.pending.push_back(now);
+                    }
+                } else {
+                    dom.pending.push_back(now);
+                    self.dispatch(d, queue);
+                }
+            }
+            Ev::Finish { domain, issued } => {
+                self.completed += 1;
+                self.latency.record_nanos((now - issued) + self.table.rtt);
+                let dom = &mut self.domains[domain as usize];
+                dom.in_service = false;
+                self.busy_cores -= 1;
+                if !dom.pending.is_empty() {
+                    // Re-compete for a core behind anyone already waiting.
+                    self.core_queue.push_back(domain);
+                }
+                while self.busy_cores < self.cores {
+                    let Some(next) = self.core_queue.pop_front() else {
+                        break;
+                    };
+                    self.start(next, queue);
+                }
+            }
+        }
+    }
+}
+
+/// One host's contribution to a cluster run.
+#[derive(Debug, Clone, Default)]
+pub struct HostResult {
+    /// Requests served to completion.
+    pub completed: u64,
+    /// Requests dropped at a full domain queue.
+    pub dropped: u64,
+    /// Completed-request latency distribution (nanoseconds).
+    pub latency: Histogram,
+    /// Core-nanoseconds of service consumed.
+    pub busy_ns: u64,
+}
+
+/// Merged results of a host range (or the whole cluster).
+#[derive(Debug, Clone, Default)]
+pub struct ClusterResult {
+    /// Hosts merged into this result.
+    pub hosts: u32,
+    /// Requests served to completion.
+    pub completed: u64,
+    /// Requests dropped at a full domain queue.
+    pub dropped: u64,
+    /// Completed-request latency distribution (nanoseconds).
+    pub latency: Histogram,
+    /// Core-nanoseconds of service consumed across the range.
+    pub busy_ns: u64,
+}
+
+impl ClusterResult {
+    /// Folds `host` in. Callers must merge in host-index order — the
+    /// histogram merge is exact, so order only matters for keeping the
+    /// float throughput sums bit-identical across run arrangements.
+    pub fn absorb(&mut self, host: &HostResult) {
+        self.hosts += 1;
+        self.completed += host.completed;
+        self.dropped += host.dropped;
+        self.latency.merge(&host.latency);
+        self.busy_ns += host.busy_ns;
+    }
+
+    /// Folds another merged range in (same ordering contract).
+    pub fn merge(&mut self, other: &ClusterResult) {
+        self.hosts += other.hosts;
+        self.completed += other.completed;
+        self.dropped += other.dropped;
+        self.latency.merge(&other.latency);
+        self.busy_ns += other.busy_ns;
+    }
+
+    /// Served requests per second across the merged hosts.
+    pub fn throughput_rps(&self, duration: Nanos) -> f64 {
+        self.completed as f64 / duration.as_secs_f64()
+    }
+
+    /// Fraction of arrivals dropped at full queues.
+    pub fn drop_rate(&self) -> f64 {
+        let offered = self.completed + self.dropped;
+        if offered == 0 {
+            0.0
+        } else {
+            self.dropped as f64 / offered as f64
+        }
+    }
+
+    /// Mean core utilization over the merged hosts.
+    pub fn utilization(&self, host_cores: u32, duration: Nanos) -> f64 {
+        let capacity = u64::from(self.hosts) * u64::from(host_cores) * duration.as_nanos();
+        if capacity == 0 {
+            0.0
+        } else {
+            self.busy_ns as f64 / capacity as f64
+        }
+    }
+
+    /// Latency quantile in milliseconds.
+    pub fn quantile_ms(&self, q: f64) -> f64 {
+        self.latency.quantile(q) as f64 / 1_000_000.0
+    }
+
+    /// Per-host density: how many domains of this load class one host
+    /// sustains at full cores, from the observed mean service time and
+    /// the per-domain offered rate. The headline "containers per host"
+    /// number the platform comparison is about.
+    pub fn density_domains_per_host(&self, params: &ClusterParams) -> f64 {
+        if self.completed == 0 {
+            return 0.0;
+        }
+        let mean_service_ns = self.busy_ns as f64 / self.completed as f64;
+        let per_domain_rps =
+            params.offered_rps() / params.hosts as f64 / f64::from(params.domains_per_host);
+        let cores_per_domain = per_domain_rps * mean_service_ns / 1e9;
+        f64::from(params.host_cores) / cores_per_domain
+    }
+}
+
+/// Simulates one host of the cluster. Pure function of
+/// `(table, params, host_index)` — the unit every driver composes from.
+pub fn simulate_host(table: &PlatformCosts, params: &ClusterParams, host: u32) -> HostResult {
+    let clients = shard_share(params.clients, u64::from(params.hosts), u64::from(host));
+    if clients == 0 || params.domains_per_host == 0 {
+        return HostResult::default();
+    }
+    let world = HostWorld {
+        table: *table,
+        jitter: 0.15,
+        arrival_mean_ns: params.think_time.as_nanos() as f64 / clients as f64,
+        zipf_theta: params.zipf_theta,
+        queue_cap: params.queue_cap.max(1),
+        cores: params.host_cores.max(1),
+        busy_cores: 0,
+        domains: (0..params.domains_per_host)
+            .map(|_| Domain {
+                pending: VecDeque::new(),
+                in_service: false,
+            })
+            .collect(),
+        core_queue: VecDeque::new(),
+        completed: 0,
+        dropped: 0,
+        latency: Histogram::new(),
+        busy_ns: 0,
+        rng: Rng::substream(params.seed, u64::from(host)),
+    };
+    let mut sim = Simulation::with_capacity(world, params.domains_per_host as usize + 2);
+    sim.queue_mut().schedule_at(Nanos::ZERO, Ev::Arrive);
+    sim.run_until(params.duration);
+    let world = sim.world();
+    HostResult {
+        completed: world.completed,
+        dropped: world.dropped,
+        latency: world.latency.clone(),
+        busy_ns: world.busy_ns,
+    }
+}
+
+/// Simulates the contiguous host range `[first, first + count)` and
+/// merges in host-index order.
+pub fn run_cluster_range(
+    table: &PlatformCosts,
+    params: &ClusterParams,
+    first: u32,
+    count: u32,
+) -> ClusterResult {
+    let mut out = ClusterResult::default();
+    for host in first..first + count {
+        out.absorb(&simulate_host(table, params, host));
+    }
+    out
+}
+
+/// Simulates the whole cluster serially — the golden reference the
+/// parallel harness cells must reproduce byte-for-byte.
+pub fn run_cluster(table: &PlatformCosts, params: &ClusterParams) -> ClusterResult {
+    run_cluster_range(table, params, 0, params.hosts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps;
+    use crate::http::ServerModel;
+    use xc_runtimes::cloud::CloudEnv;
+    use xc_runtimes::platform::Platform;
+    use xc_sim::cost::CostModel;
+
+    fn table(platform: Platform) -> PlatformCosts {
+        let costs = CostModel::skylake_cloud();
+        PlatformCosts::derive(
+            &ServerModel {
+                platform,
+                profile: apps::microservice(),
+                workers: 1,
+                cores: 1,
+            },
+            &costs,
+        )
+    }
+
+    fn params() -> ClusterParams {
+        ClusterParams {
+            hosts: 4,
+            domains_per_host: 6,
+            clients: 20_000,
+            think_time: Nanos::from_secs(1),
+            duration: Nanos::from_millis(80),
+            queue_cap: 64,
+            zipf_theta: 0.4,
+            host_cores: 16,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn deterministic_and_range_merge_invariant() {
+        let t = table(Platform::docker(CloudEnv::LocalCluster, true));
+        let p = params();
+        let a = run_cluster(&t, &p);
+        let b = run_cluster(&t, &p);
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.latency, b.latency);
+        // Splitting the host range anywhere and merging in order is the
+        // same computation.
+        for split in [1, 2, 3] {
+            let mut merged = run_cluster_range(&t, &p, 0, split);
+            merged.merge(&run_cluster_range(&t, &p, split, p.hosts - split));
+            assert_eq!(merged.hosts, a.hosts);
+            assert_eq!(merged.completed, a.completed);
+            assert_eq!(merged.dropped, a.dropped);
+            assert_eq!(merged.latency, a.latency);
+            assert_eq!(merged.busy_ns, a.busy_ns);
+        }
+    }
+
+    #[test]
+    fn hosts_differ_but_all_serve() {
+        // Substream seeding: hosts are distinct worlds, none degenerate.
+        let t = table(Platform::docker(CloudEnv::LocalCluster, true));
+        let p = params();
+        let h0 = simulate_host(&t, &p, 0);
+        let h1 = simulate_host(&t, &p, 1);
+        assert!(h0.completed > 0 && h1.completed > 0);
+        assert_ne!(
+            h0.latency, h1.latency,
+            "distinct substreams must decorrelate hosts"
+        );
+    }
+
+    #[test]
+    fn slow_platform_saturates_first() {
+        let p = params();
+        let docker = run_cluster(&table(Platform::docker(CloudEnv::LocalCluster, true)), &p);
+        let gvisor = run_cluster(&table(Platform::gvisor(CloudEnv::LocalCluster, true)), &p);
+        assert!(
+            gvisor.completed < docker.completed,
+            "gvisor {} vs docker {}",
+            gvisor.completed,
+            docker.completed
+        );
+        assert!(
+            gvisor.quantile_ms(0.99) > docker.quantile_ms(0.99),
+            "gvisor p99 {} vs docker p99 {}",
+            gvisor.quantile_ms(0.99),
+            docker.quantile_ms(0.99)
+        );
+        assert!(
+            gvisor.density_domains_per_host(&p) < docker.density_domains_per_host(&p),
+            "density must favor the faster platform"
+        );
+    }
+
+    #[test]
+    fn load_drives_utilization_and_drops() {
+        let t = table(Platform::docker(CloudEnv::LocalCluster, true));
+        let mut light = params();
+        light.clients = 4_000;
+        let mut heavy = params();
+        heavy.clients = 200_000;
+        let l = run_cluster(&t, &light);
+        let h = run_cluster(&t, &heavy);
+        assert!(h.utilization(16, heavy.duration) > l.utilization(16, light.duration) * 2.0);
+        assert!(h.drop_rate() > l.drop_rate());
+        assert!(h.quantile_ms(0.99) > l.quantile_ms(0.99));
+    }
+}

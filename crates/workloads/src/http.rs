@@ -4,16 +4,35 @@
 //! against NGINX/PHP, `memtier_benchmark` against memcached/Redis — are
 //! closed-loop load generators: a fixed number of connections, each
 //! issuing the next request as soon as the previous response returns.
-//! This module prices one request on a platform ([`ServerModel`]) and
-//! derives closed-loop throughput and latency percentiles from a
-//! deterministic multi-worker queueing simulation on the `xc-sim` engine.
+//! This module prices one request on a platform ([`ServerModel`] →
+//! [`PlatformCosts`]) and derives closed-loop throughput and latency
+//! percentiles from a deterministic queueing simulation on the `xc-sim`
+//! engine.
+//!
+//! # Per-worker decomposition
+//!
+//! The closed loop is modelled the way the real servers are deployed:
+//! each worker process owns its accept queue (`SO_REUSEPORT`-style), so
+//! worker `w` of `P` serves a fixed
+//! [`shard_share`](xc_sim::stats::shard_share) of the connections with
+//! its own RNG substream, independent of every other worker. That makes
+//! the whole simulation embarrassingly parallel: the serial path runs
+//! the worker worlds one after another and merges their histograms in
+//! worker order; [`run_closed_loop_sharded`] runs contiguous worker
+//! ranges on OS threads and merges in the same order, so its output is
+//! byte-identical to the serial reference at any shard count.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 use xc_runtimes::platform::Platform;
 use xc_sim::cost::CostModel;
 use xc_sim::engine::{EventQueue, Simulation, World};
 use xc_sim::rng::Rng;
-use xc_sim::stats::Histogram;
+use xc_sim::stats::{shard_share, Histogram};
 use xc_sim::time::Nanos;
+
+use crate::costs::PlatformCosts;
 
 /// What one request costs the server, in kernel-visible operations.
 #[derive(Debug, Clone, PartialEq)]
@@ -90,8 +109,7 @@ impl ServerModel {
 
     /// Open-loop capacity ceiling in requests/second.
     pub fn capacity_rps(&self, costs: &CostModel) -> f64 {
-        let st = self.profile.service_time(&self.platform, costs);
-        f64::from(self.parallelism()) / st.as_secs_f64()
+        PlatformCosts::derive(self, costs).capacity_rps()
     }
 }
 
@@ -111,15 +129,13 @@ impl ClosedLoopResult {
     }
 }
 
-/// Discrete-event closed-loop world: `connections` clients, each with one
-/// outstanding request; `parallelism` servers drain a FIFO.
-struct ClosedLoop {
+/// One worker's closed-loop world: a fixed set of connections, each with
+/// one outstanding request, against a single server draining a FIFO.
+struct WorkerLoop {
     service: Nanos,
     jitter: f64,
     rtt: Nanos,
-    busy: u32,
-    parallelism: u32,
-    queue_depth: u64,
+    busy: bool,
     completed: u64,
     latency: Histogram,
     rng: Rng,
@@ -128,7 +144,7 @@ struct ClosedLoop {
     /// Slab of pre-drawn uniforms ([`Rng::next_f64_batch`]): one draw
     /// per service start, refilled in bulk. The k-th slab value is
     /// exactly the k-th `next_f64()` of the un-batched stream, so the
-    /// jitter sequence — and the histogram — is unchanged.
+    /// jitter sequence — and the histogram — is independent of batching.
     uniforms: [f64; UNIFORM_SLAB],
     /// Next unconsumed slab index; `UNIFORM_SLAB` means refill.
     uniform_pos: usize,
@@ -140,11 +156,11 @@ const UNIFORM_SLAB: usize = 64;
 enum Ev {
     /// A request arrives at the server (issued_at records client send time).
     Arrive { issued_at: Nanos },
-    /// A server worker finishes the request issued at `issued_at`.
+    /// The server finishes the request issued at `issued_at`.
     Finish { issued_at: Nanos },
 }
 
-impl ClosedLoop {
+impl WorkerLoop {
     #[inline]
     fn next_uniform(&mut self) -> f64 {
         if self.uniform_pos == UNIFORM_SLAB {
@@ -165,20 +181,18 @@ impl ClosedLoop {
     }
 }
 
-impl World for ClosedLoop {
+impl World for WorkerLoop {
     type Event = Ev;
 
     fn handle(&mut self, now: Nanos, event: Ev, queue: &mut EventQueue<Ev>) {
         match event {
             Ev::Arrive { issued_at } => {
-                self.queue_depth += 1;
-                if self.busy < self.parallelism {
-                    self.busy += 1;
-                    self.queue_depth -= 1;
+                if self.busy {
+                    self.waiting.push_back(issued_at);
+                } else {
+                    self.busy = true;
                     let st = self.sample_service();
                     queue.schedule_in(st, Ev::Finish { issued_at });
-                } else {
-                    self.waiting.push_back(issued_at);
                 }
             }
             Ev::Finish { issued_at } => {
@@ -194,7 +208,6 @@ impl World for ClosedLoop {
                 );
                 // Pull the next queued request, if any.
                 if let Some(waiting_since) = self.waiting.pop_front() {
-                    self.queue_depth -= 1;
                     let st = self.sample_service();
                     queue.schedule_in(
                         st,
@@ -203,76 +216,80 @@ impl World for ClosedLoop {
                         },
                     );
                 } else {
-                    self.busy -= 1;
+                    self.busy = false;
                 }
             }
         }
     }
 }
 
-/// Memoizes closed-loop results by the simulation's *true* inputs.
-///
-/// A closed-loop run is a pure function of the service time, the wire
-/// RTT and the effective parallelism once the client side (connections,
-/// duration, seed) is fixed — the platform only enters through those
-/// derived parameters. Distinct platforms frequently collapse onto the
-/// same key: an X-Container's guest kernel ignores the host patch
-/// state, so its patched and unpatched variants price requests
-/// identically and need only one simulation between them.
-#[derive(Debug, Default)]
-pub struct ClosedLoopCache {
-    map: std::collections::HashMap<(u64, u64, u32, u32, u64, u64), ClosedLoopResult>,
-    hits: u64,
-    misses: u64,
+/// Runs one worker's world: the contiguous global-connection range
+/// `[first, first + count)` of `total` connections, seeded from worker
+/// `index`'s RNG substream. Pure function of its arguments — the unit
+/// both the serial and the sharded drivers compose from.
+fn run_worker(
+    table: &PlatformCosts,
+    index: u32,
+    first: u64,
+    count: u64,
+    total: u64,
+    duration: Nanos,
+    seed: u64,
+) -> (u64, Histogram) {
+    let world = WorkerLoop {
+        service: table.service,
+        jitter: 0.15,
+        rtt: table.rtt,
+        busy: false,
+        completed: 0,
+        latency: Histogram::new(),
+        rng: Rng::substream(seed, u64::from(index)),
+        waiting: std::collections::VecDeque::new(),
+        uniforms: [0.0; UNIFORM_SLAB],
+        uniform_pos: UNIFORM_SLAB, // first draw triggers a refill
+    };
+    // Steady state holds at most one pending event per connection (its
+    // in-flight Arrive or Finish); pre-size the queue so it never grows
+    // mid-run.
+    let mut sim = Simulation::with_capacity(world, count as usize + 1);
+    for g in first..first + count {
+        // Stagger initial arrivals across one RTT by *global* connection
+        // index, matching the single-world schedule shape.
+        let offset = table.rtt * g / total.max(1);
+        sim.queue_mut()
+            .schedule_at(offset, Ev::Arrive { issued_at: offset });
+    }
+    sim.run_until(duration);
+    let world = sim.world();
+    (world.completed, world.latency.clone())
 }
 
-impl ClosedLoopCache {
-    /// Creates an empty cache.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Simulations answered from the cache.
-    pub fn hits(&self) -> u64 {
-        self.hits
-    }
-
-    /// Simulations actually run.
-    pub fn misses(&self) -> u64 {
-        self.misses
-    }
-}
-
-/// [`run_closed_loop`] behind a [`ClosedLoopCache`]: deployments whose
-/// derived simulation parameters coincide share one run. Results are
-/// identical to the uncached path — the cache key is exactly the input
-/// of the (deterministic) simulation.
-pub fn run_closed_loop_cached(
-    server: &ServerModel,
-    costs: &CostModel,
+/// Runs a closed-loop benchmark from a precomputed [`PlatformCosts`]
+/// table: `connections` concurrent clients, for `duration` of simulated
+/// time. This is the serial golden reference — worker worlds run one
+/// after another, results merged in worker-index order.
+pub fn run_closed_loop_from(
+    table: &PlatformCosts,
     connections: u32,
     duration: Nanos,
     seed: u64,
-    cache: &mut ClosedLoopCache,
 ) -> ClosedLoopResult {
-    let service = server.profile.service_time(&server.platform, costs);
-    let rtt = server.platform.net_stack(costs).wire_latency(costs);
-    let key = (
-        service.as_nanos(),
-        rtt.as_nanos(),
-        server.parallelism(),
-        connections,
-        duration.as_nanos(),
-        seed,
-    );
-    if let Some(hit) = cache.map.get(&key) {
-        cache.hits += 1;
-        return hit.clone();
+    let workers = table.parallelism.max(1);
+    let total = u64::from(connections);
+    let mut completed = 0u64;
+    let mut latency = Histogram::new();
+    let mut first = 0u64;
+    for w in 0..workers {
+        let count = shard_share(total, u64::from(workers), u64::from(w));
+        let (done, hist) = run_worker(table, w, first, count, total, duration, seed);
+        completed += done;
+        latency.merge(&hist);
+        first += count;
     }
-    cache.misses += 1;
-    let result = run_closed_loop(server, costs, connections, duration, seed);
-    cache.map.insert(key, result.clone());
-    result
+    ClosedLoopResult {
+        throughput_rps: completed as f64 / duration.as_secs_f64(),
+        latency,
+    }
 }
 
 /// Runs a closed-loop benchmark: `connections` concurrent clients against
@@ -284,38 +301,150 @@ pub fn run_closed_loop(
     duration: Nanos,
     seed: u64,
 ) -> ClosedLoopResult {
-    let service = server.profile.service_time(&server.platform, costs);
-    let rtt = server.platform.net_stack(costs).wire_latency(costs);
-    let world = ClosedLoop {
-        service,
-        jitter: 0.15,
-        rtt,
-        busy: 0,
-        parallelism: server.parallelism(),
-        queue_depth: 0,
-        completed: 0,
-        latency: Histogram::new(),
-        rng: Rng::new(seed),
-        waiting: std::collections::VecDeque::new(),
-        uniforms: [0.0; UNIFORM_SLAB],
-        uniform_pos: UNIFORM_SLAB, // first draw triggers a refill
-    };
-    // Steady state holds at most one pending event per connection (its
-    // in-flight Arrive or Finish); pre-size the heap so it never grows
-    // mid-run.
-    let mut sim = Simulation::with_capacity(world, connections as usize + 1);
-    for i in 0..connections {
-        // Stagger initial arrivals across one RTT.
-        let offset = rtt * u64::from(i) / u64::from(connections.max(1));
-        sim.queue_mut()
-            .schedule_at(offset, Ev::Arrive { issued_at: offset });
+    let table = PlatformCosts::derive(server, costs);
+    run_closed_loop_from(&table, connections, duration, seed)
+}
+
+/// [`run_closed_loop_from`] with worker worlds distributed over `shards`
+/// OS threads. Workers are split into contiguous index ranges (the same
+/// [`shard_share`] partition the runner uses for cells) and each
+/// thread's partial results are merged back in worker-index order, so
+/// the output is **byte-identical** to the serial reference at any
+/// shard count — `shards` only changes wall-clock time.
+pub fn run_closed_loop_sharded(
+    table: &PlatformCosts,
+    connections: u32,
+    duration: Nanos,
+    seed: u64,
+    shards: u32,
+) -> ClosedLoopResult {
+    let workers = table.parallelism.max(1);
+    let shards = shards.clamp(1, workers);
+    if shards == 1 {
+        return run_closed_loop_from(table, connections, duration, seed);
     }
-    sim.run_until(duration);
-    let world = sim.world();
+    let total = u64::from(connections);
+    // Per-worker world descriptors in worker order: (index, first, count).
+    let mut plan = Vec::with_capacity(workers as usize);
+    let mut first = 0u64;
+    for w in 0..workers {
+        let count = shard_share(total, u64::from(workers), u64::from(w));
+        plan.push((w, first, count));
+        first += count;
+    }
+    let mut partials: Vec<Vec<(u64, Histogram)>> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(shards as usize);
+        let mut start = 0usize;
+        for s in 0..shards {
+            let len = shard_share(u64::from(workers), u64::from(shards), u64::from(s)) as usize;
+            let slice = &plan[start..start + len];
+            start += len;
+            handles.push(scope.spawn(move || {
+                slice
+                    .iter()
+                    .map(|&(w, first, count)| {
+                        run_worker(table, w, first, count, total, duration, seed)
+                    })
+                    .collect::<Vec<_>>()
+            }));
+        }
+        partials = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    });
+    let mut completed = 0u64;
+    let mut latency = Histogram::new();
+    for (done, hist) in partials.iter().flatten() {
+        completed += done;
+        latency.merge(hist);
+    }
     ClosedLoopResult {
-        throughput_rps: world.completed as f64 / duration.as_secs_f64(),
-        latency: world.latency.clone(),
+        throughput_rps: completed as f64 / duration.as_secs_f64(),
+        latency,
     }
+}
+
+/// Memoizes closed-loop results by the simulation's *true* inputs.
+///
+/// A closed-loop run is a pure function of the derived
+/// [`PlatformCosts`] table once the client side (connections, duration,
+/// seed) is fixed — the platform only enters through those derived
+/// parameters. Distinct platforms frequently collapse onto the same
+/// table: an X-Container's guest kernel ignores the host patch state,
+/// so its patched and unpatched variants price requests identically and
+/// need only one simulation between them.
+///
+/// Interior-mutable and thread-safe, so one cache can be shared across
+/// a whole figure grid even when the runner executes cells on worker
+/// threads. Concurrent misses on the same key may each run the
+/// simulation, but the runs are deterministic and identical, so the
+/// race only costs time, never changes a result.
+#[derive(Debug, Default)]
+pub struct ClosedLoopCache {
+    #[allow(clippy::type_complexity)]
+    map: Mutex<std::collections::HashMap<(PlatformCosts, u32, u64, u64), ClosedLoopResult>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ClosedLoopCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Simulations answered from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Simulations actually run.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Looks up (or runs and memoizes) the closed loop for one derived
+    /// table. The key is the full table plus the client-side knobs —
+    /// exactly the inputs of the deterministic simulation, so cached
+    /// and uncached paths are observationally identical.
+    pub fn get_or_run(
+        &self,
+        table: &PlatformCosts,
+        connections: u32,
+        duration: Nanos,
+        seed: u64,
+    ) -> ClosedLoopResult {
+        let key = (*table, connections, duration.as_nanos(), seed);
+        if let Some(hit) = self.map.lock().unwrap().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return hit.clone();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        // Simulate outside the lock: a long run must not serialize the
+        // runner's other cells behind the mutex.
+        let result = run_closed_loop_from(table, connections, duration, seed);
+        self.map
+            .lock()
+            .unwrap()
+            .entry(key)
+            .or_insert_with(|| result.clone());
+        result
+    }
+}
+
+/// [`run_closed_loop`] behind a [`ClosedLoopCache`]: deployments whose
+/// derived [`PlatformCosts`] tables coincide share one run. Results are
+/// identical to the uncached path — the cache key is exactly the input
+/// of the (deterministic) simulation.
+pub fn run_closed_loop_cached(
+    server: &ServerModel,
+    costs: &CostModel,
+    connections: u32,
+    duration: Nanos,
+    seed: u64,
+    cache: &ClosedLoopCache,
+) -> ClosedLoopResult {
+    let table = PlatformCosts::derive(server, costs);
+    cache.get_or_run(&table, connections, duration, seed)
 }
 
 #[cfg(test)]
@@ -393,26 +522,60 @@ mod tests {
     }
 
     #[test]
+    fn multiworker_throughput_scales_in_simulation() {
+        // Not just the capacity formula: the per-worker decomposition
+        // must actually serve ~4x with 4 workers under saturation.
+        let costs = CostModel::skylake_cloud();
+        let one = server(Platform::docker(CloudEnv::AmazonEc2, true), 1);
+        let four = server(Platform::docker(CloudEnv::AmazonEc2, true), 4);
+        let r1 = run_closed_loop(&one, &costs, 64, Nanos::from_millis(200), 1);
+        let r4 = run_closed_loop(&four, &costs, 64, Nanos::from_millis(200), 1);
+        assert!(
+            r4.throughput_rps > r1.throughput_rps * 3.5,
+            "one {} four {}",
+            r1.throughput_rps,
+            r4.throughput_rps
+        );
+    }
+
+    #[test]
     fn gvisor_cannot_use_multicore() {
         let s = server(Platform::gvisor(CloudEnv::AmazonEc2, true), 4);
         assert_eq!(s.parallelism(), 1);
     }
 
     #[test]
+    fn sharded_matches_serial_reference_exactly() {
+        let costs = CostModel::skylake_cloud();
+        let s = server(Platform::docker(CloudEnv::AmazonEc2, true), 4);
+        let table = PlatformCosts::derive(&s, &costs);
+        let serial = run_closed_loop_from(&table, 50, Nanos::from_millis(100), 7);
+        for shards in [1, 2, 3, 4, 9] {
+            let sharded = run_closed_loop_sharded(&table, 50, Nanos::from_millis(100), 7, shards);
+            assert_eq!(
+                serial.throughput_rps.to_bits(),
+                sharded.throughput_rps.to_bits(),
+                "{shards} shards"
+            );
+            assert_eq!(serial.latency, sharded.latency, "{shards} shards");
+        }
+    }
+
+    #[test]
     fn cache_returns_identical_results_and_counts() {
         let costs = CostModel::skylake_cloud();
         let s = server(Platform::docker(CloudEnv::AmazonEc2, true), 2);
-        let mut cache = ClosedLoopCache::new();
+        let cache = ClosedLoopCache::new();
         let uncached = run_closed_loop(&s, &costs, 16, Nanos::from_millis(100), 7);
-        let a = run_closed_loop_cached(&s, &costs, 16, Nanos::from_millis(100), 7, &mut cache);
-        let b = run_closed_loop_cached(&s, &costs, 16, Nanos::from_millis(100), 7, &mut cache);
+        let a = run_closed_loop_cached(&s, &costs, 16, Nanos::from_millis(100), 7, &cache);
+        let b = run_closed_loop_cached(&s, &costs, 16, Nanos::from_millis(100), 7, &cache);
         assert_eq!(a.throughput_rps, uncached.throughput_rps);
         assert_eq!(a.latency, uncached.latency);
         assert_eq!(b.throughput_rps, a.throughput_rps);
         assert_eq!(b.latency, a.latency);
         assert_eq!((cache.hits(), cache.misses()), (1, 1));
         // A different seed is a different simulation.
-        let _ = run_closed_loop_cached(&s, &costs, 16, Nanos::from_millis(100), 8, &mut cache);
+        let _ = run_closed_loop_cached(&s, &costs, 16, Nanos::from_millis(100), 8, &cache);
         assert_eq!((cache.hits(), cache.misses()), (1, 2));
     }
 
@@ -420,14 +583,13 @@ mod tests {
     fn cache_collapses_platforms_with_equal_parameters() {
         // An X-Container's guest kernel ignores the host patch state, so
         // the patched and unpatched deployments derive identical
-        // simulation parameters and share one cache entry.
+        // PlatformCosts tables and share one cache entry.
         let costs = CostModel::skylake_cloud();
         let patched = server(Platform::x_container(CloudEnv::AmazonEc2, true), 2);
         let unpatched = server(Platform::x_container(CloudEnv::AmazonEc2, false), 2);
-        let mut cache = ClosedLoopCache::new();
-        let a = run_closed_loop_cached(&patched, &costs, 8, Nanos::from_millis(50), 3, &mut cache);
-        let b =
-            run_closed_loop_cached(&unpatched, &costs, 8, Nanos::from_millis(50), 3, &mut cache);
+        let cache = ClosedLoopCache::new();
+        let a = run_closed_loop_cached(&patched, &costs, 8, Nanos::from_millis(50), 3, &cache);
+        let b = run_closed_loop_cached(&unpatched, &costs, 8, Nanos::from_millis(50), 3, &cache);
         assert_eq!((cache.hits(), cache.misses()), (1, 1));
         assert_eq!(a.throughput_rps, b.throughput_rps);
     }

@@ -9,7 +9,14 @@
 //!   (Figures 4 and 5),
 //! * [`iperf`] — TCP stream throughput (Figure 5),
 //! * [`http`] — the closed-loop request/response engine behind `ab`,
-//!   `wrk` and `memtier_benchmark`,
+//!   `wrk` and `memtier_benchmark`, decomposed into per-worker shard
+//!   worlds ([`http::run_closed_loop_sharded`]),
+//! * [`costs`] — the precomputed [`PlatformCosts`] table every
+//!   request/response simulation reads instead of re-deriving platform
+//!   costs per event,
+//! * [`cluster`] — the cluster-scale open-loop study: simulated hosts ×
+//!   X-Container domains under traffic from millions of modelled
+//!   clients,
 //! * [`apps`] — per-application service profiles: NGINX, memcached,
 //!   Redis, PHP, MySQL, PHP-FPM (Figures 3 and 6),
 //! * [`table1`] — the ABOM syscall-reduction study over synthetic
@@ -37,6 +44,8 @@
 #![warn(missing_docs)]
 
 pub mod apps;
+pub mod cluster;
+pub mod costs;
 pub mod fig6;
 pub mod http;
 pub mod iperf;
@@ -48,4 +57,5 @@ pub mod scalability_des;
 pub mod table1;
 pub mod unixbench;
 
+pub use costs::PlatformCosts;
 pub use http::{ClosedLoopResult, RequestProfile, ServerModel};

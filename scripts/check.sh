@@ -65,6 +65,23 @@ if grep -q "VIOLATED" "$tmp/chaos-serial.out"; then
 fi
 echo "ok: chaos sweep byte-identical at --jobs 1 and --jobs $jobs, all ledgers balanced"
 
+echo "== cluster_study --quick --jobs 1 vs --jobs N byte-identity gate =="
+cargo build -q --release -p xc-bench --bin cluster_study
+target/release/cluster_study --quick --jobs 1 >"$tmp/cluster-serial.out"
+cp results/cluster.json "$tmp/cluster-serial.json"
+target/release/cluster_study --quick --jobs "$jobs" >"$tmp/cluster-parallel.out"
+cp results/cluster.json "$tmp/cluster-parallel.json"
+if ! diff -q "$tmp/cluster-serial.out" "$tmp/cluster-parallel.out" >/dev/null; then
+    echo "FAIL: cluster_study stdout diverges between --jobs 1 and --jobs $jobs" >&2
+    diff "$tmp/cluster-serial.out" "$tmp/cluster-parallel.out" >&2 || true
+    exit 1
+fi
+if ! diff -q "$tmp/cluster-serial.json" "$tmp/cluster-parallel.json" >/dev/null; then
+    echo "FAIL: results/cluster.json diverges between --jobs 1 and --jobs $jobs" >&2
+    exit 1
+fi
+echo "ok: cluster study byte-identical at --jobs 1 and --jobs $jobs"
+
 echo "== panic isolation smoke: a poisoned cell must not abort the grid =="
 cargo test -q -p xc-bench --test determinism panicking_cell_is_isolated_from_the_grid
 
