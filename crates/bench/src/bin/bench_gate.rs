@@ -1,0 +1,52 @@
+//! Perf-regression gate binary (see [`xc_bench::gate`]): compares the
+//! fresh `BENCH_runner.json` against a committed snapshot and exits
+//! non-zero when a gated harness regressed past the wall-time budget.
+//!
+//! Usage: `bench_gate --baseline <snapshot> [--fresh <ledger>]`
+//! (`--fresh` defaults to `BENCH_runner.json`). `XC_BENCH_GATE=off`
+//! disarms the gate — it prints a note and exits 0 without comparing,
+//! the escape hatch for timing-noisy hosts.
+
+use xc_bench::gate::{check, render, MAX_RATIO};
+
+fn arg_value(name: &str) -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == name {
+            return args.next();
+        }
+    }
+    None
+}
+
+fn main() {
+    if std::env::var("XC_BENCH_GATE").as_deref() == Ok("off") {
+        println!("bench gate disarmed (XC_BENCH_GATE=off); skipping wall-time comparison");
+        return;
+    }
+    let Some(baseline) = arg_value("--baseline") else {
+        eprintln!("error: --baseline <snapshot> is required");
+        std::process::exit(2);
+    };
+    let fresh = arg_value("--fresh").unwrap_or_else(|| "BENCH_runner.json".to_owned());
+    let committed = match std::fs::read_to_string(&baseline) {
+        Ok(body) => body,
+        Err(e) => {
+            eprintln!("error: cannot read baseline {baseline}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let current = match std::fs::read_to_string(&fresh) {
+        Ok(body) => body,
+        Err(e) => {
+            eprintln!("error: cannot read fresh ledger {fresh}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let outcomes = check(&committed, &current, MAX_RATIO);
+    let (text, failed) = render(&outcomes, MAX_RATIO);
+    print!("{text}");
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -4,6 +4,10 @@
 //! parses `--jobs`, prints the result and records findings plus wall
 //! time, analysis-cache hit accounting, and (when parallel) a serial
 //! reference run compared on the wall-time-blanked stable digest.
+//!
+//! `--profile` appends a per-library worklist profile of the
+//! abstract-interpretation fixpoint (pops, merges, phase wall times)
+//! and folds the counter totals into the benchmark ledger row.
 
 use std::time::Instant;
 
@@ -12,6 +16,7 @@ use xc_bench::record;
 use xc_bench::runner::{record_bench, BenchEntry, Runner};
 
 fn main() {
+    let profile = std::env::args().any(|a| a == "--profile");
     let runner = Runner::from_args();
     let start = Instant::now();
     let out = verify_study::run(&runner);
@@ -28,6 +33,23 @@ fn main() {
         let serial = verify_study::run(&Runner::new(1));
         entry.serial_wall_ms = Some(serial_start.elapsed().as_secs_f64() * 1e3);
         entry.parallel_matches_serial = Some(serial.stable_digest() == out.stable_digest());
+    }
+    if profile {
+        let rows = verify_study::worklist_profiles(&runner);
+        print!("\n{}", verify_study::render_worklist_profiles(&rows));
+        let total = |f: fn(&verify_study::WorklistProfile) -> f64| rows.iter().map(f).sum::<f64>();
+        entry
+            .metrics
+            .push(("absint_pops", total(|r| r.pops as f64)));
+        entry
+            .metrics
+            .push(("absint_merges", total(|r| r.merges as f64)));
+        entry
+            .metrics
+            .push(("absint_fixpoint_us", total(|r| r.fixpoint_micros)));
+        entry
+            .metrics
+            .push(("absint_materialize_us", total(|r| r.materialize_micros)));
     }
     record_bench(&entry);
 }

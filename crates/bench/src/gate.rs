@@ -1,0 +1,247 @@
+//! Perf-regression gate over the `BENCH_runner.json` trajectory.
+//!
+//! `scripts/check.sh --bench` snapshots the committed ledger, re-runs
+//! the gated harnesses to refresh it, and then calls the `bench_gate`
+//! binary, which compares the fresh wall times against the snapshot
+//! through [`check`]: a gated harness whose fresh `wall_ms` exceeds the
+//! committed one by more than [`MAX_RATIO`] fails the gate. Wall time
+//! is only comparable within one host and worker count, so a missing
+//! committed entry or a `jobs` mismatch downgrades to a skip-with-note;
+//! a missing *fresh* entry is a hard failure (the harness did not
+//! report). `XC_BENCH_GATE=off` disarms the gate entirely — the escape
+//! hatch for hosts whose timing is too noisy to gate on.
+//!
+//! The ledger is the runner's own format (one compact JSON object per
+//! line inside a top-level array), parsed with the same hand-rolled
+//! line scanning the rest of the repo uses — no serde.
+
+use std::fmt::Write as _;
+
+/// Harnesses whose wall time the gate enforces: the three heaviest
+/// pipelines, where a reducer or arena regression would actually show.
+pub const GATED_HARNESSES: [&str; 3] = ["fig3_macro", "all_experiments", "cluster_study"];
+
+/// Fresh wall time may be at most this multiple of the committed one
+/// (35% headroom — far above same-host scheduler noise, low enough to
+/// catch an accidental O(n²) or a lost vectorization).
+pub const MAX_RATIO: f64 = 1.35;
+
+/// One ledger row's gate-relevant fields.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateEntry {
+    /// Harness name (the ledger key).
+    pub harness: String,
+    /// Worker count the row was measured at.
+    pub jobs: u64,
+    /// Measured wall time, milliseconds.
+    pub wall_ms: f64,
+}
+
+/// Verdict for one gated harness.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GateStatus {
+    /// Within budget; carries `fresh / committed`.
+    Pass(f64),
+    /// Not comparable on this host — noted, never fatal.
+    Skip(String),
+    /// Regression or missing fresh measurement — fails the gate.
+    Fail(String),
+}
+
+/// One harness's outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateOutcome {
+    /// The gated harness.
+    pub harness: &'static str,
+    /// Its verdict.
+    pub status: GateStatus,
+}
+
+/// Extracts the string value of `"key":"..."` from one ledger line.
+fn str_field(line: &str, key: &str) -> Option<String> {
+    let marker = format!("\"{key}\":\"");
+    let start = line.find(&marker)? + marker.len();
+    let end = line[start..].find('"')?;
+    Some(line[start..start + end].to_owned())
+}
+
+/// Extracts the numeric value of `"key":<num>` from one ledger line.
+fn num_field(line: &str, key: &str) -> Option<f64> {
+    let marker = format!("\"{key}\":");
+    let start = line.find(&marker)? + marker.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Parses a ledger body into its gate-relevant rows. Lines missing any
+/// required field are ignored (same tolerance as the runner's reader).
+pub fn parse_entries(body: &str) -> Vec<GateEntry> {
+    body.lines()
+        .map(str::trim)
+        .filter(|l| l.starts_with('{'))
+        .filter_map(|l| {
+            Some(GateEntry {
+                harness: str_field(l, "harness")?,
+                jobs: num_field(l, "jobs")? as u64,
+                wall_ms: num_field(l, "wall_ms")?,
+            })
+        })
+        .collect()
+}
+
+fn find<'a>(entries: &'a [GateEntry], harness: &str) -> Option<&'a GateEntry> {
+    entries.iter().find(|e| e.harness == harness)
+}
+
+/// Compares `fresh` against `committed` for every gated harness.
+pub fn check(committed: &str, fresh: &str, max_ratio: f64) -> Vec<GateOutcome> {
+    let committed = parse_entries(committed);
+    let fresh = parse_entries(fresh);
+    GATED_HARNESSES
+        .iter()
+        .map(|&harness| {
+            let status = match (find(&committed, harness), find(&fresh, harness)) {
+                (_, None) => GateStatus::Fail("no fresh measurement in the ledger".to_owned()),
+                (None, Some(_)) => {
+                    GateStatus::Skip("no committed baseline entry to compare against".to_owned())
+                }
+                (Some(base), Some(new)) if base.jobs != new.jobs => GateStatus::Skip(format!(
+                    "jobs mismatch (committed --jobs {}, fresh --jobs {})",
+                    base.jobs, new.jobs
+                )),
+                (Some(base), Some(_)) if base.wall_ms <= 0.0 => {
+                    GateStatus::Skip("committed wall time is zero".to_owned())
+                }
+                (Some(base), Some(new)) => {
+                    let ratio = new.wall_ms / base.wall_ms;
+                    if ratio > max_ratio {
+                        GateStatus::Fail(format!(
+                            "{:.1}ms vs committed {:.1}ms ({:.2}x > {:.2}x budget)",
+                            new.wall_ms, base.wall_ms, ratio, max_ratio
+                        ))
+                    } else {
+                        GateStatus::Pass(ratio)
+                    }
+                }
+            };
+            GateOutcome { harness, status }
+        })
+        .collect()
+}
+
+/// Renders the outcomes as the gate's stdout report; the bool is
+/// whether any outcome failed.
+pub fn render(outcomes: &[GateOutcome], max_ratio: f64) -> (String, bool) {
+    let mut text = format!("Perf regression gate (budget {max_ratio:.2}x committed wall time):\n");
+    let mut failed = false;
+    for o in outcomes {
+        match &o.status {
+            GateStatus::Pass(ratio) => {
+                let _ = writeln!(text, "  ok   {:<16} {ratio:.2}x", o.harness);
+            }
+            GateStatus::Skip(why) => {
+                let _ = writeln!(text, "  skip {:<16} {why}", o.harness);
+            }
+            GateStatus::Fail(why) => {
+                failed = true;
+                let _ = writeln!(text, "  FAIL {:<16} {why}", o.harness);
+            }
+        }
+    }
+    (text, failed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(harness: &str, jobs: u64, wall_ms: f64) -> String {
+        format!("{{\"harness\":\"{harness}\",\"jobs\":{jobs},\"host_parallelism\":1,\"wall_ms\":{wall_ms}}}")
+    }
+
+    fn ledger(rows: &[(&str, u64, f64)]) -> String {
+        let body: Vec<String> = rows.iter().map(|&(h, j, w)| line(h, j, w)).collect();
+        format!("[\n{}\n]\n", body.join(",\n"))
+    }
+
+    fn full(scale: f64) -> String {
+        ledger(&[
+            ("fig3_macro", 2, 110.0 * scale),
+            ("all_experiments", 2, 35.0 * scale),
+            ("cluster_study", 1, 450.0 * scale),
+        ])
+    }
+
+    #[test]
+    fn parses_the_runner_ledger_format() {
+        let entries = parse_entries(&full(1.0));
+        assert_eq!(entries.len(), 3);
+        assert_eq!(entries[0].harness, "fig3_macro");
+        assert_eq!(entries[0].jobs, 2);
+        assert_eq!(entries[0].wall_ms, 110.0);
+    }
+
+    #[test]
+    fn identical_ledgers_pass() {
+        let outcomes = check(&full(1.0), &full(1.0), MAX_RATIO);
+        assert!(outcomes
+            .iter()
+            .all(|o| matches!(o.status, GateStatus::Pass(_))));
+        let (text, failed) = render(&outcomes, MAX_RATIO);
+        assert!(!failed, "{text}");
+    }
+
+    #[test]
+    fn a_regression_beyond_budget_fails() {
+        let outcomes = check(&full(1.0), &full(1.5), MAX_RATIO);
+        assert!(outcomes
+            .iter()
+            .all(|o| matches!(o.status, GateStatus::Fail(_))));
+        let (text, failed) = render(&outcomes, MAX_RATIO);
+        assert!(failed);
+        assert!(text.contains("FAIL"));
+    }
+
+    #[test]
+    fn an_improvement_passes() {
+        let outcomes = check(&full(1.0), &full(0.5), MAX_RATIO);
+        assert!(outcomes
+            .iter()
+            .all(|o| matches!(o.status, GateStatus::Pass(_))));
+    }
+
+    #[test]
+    fn missing_committed_entry_skips_with_note() {
+        let committed = ledger(&[("fig3_macro", 2, 110.0)]);
+        let outcomes = check(&committed, &full(1.0), MAX_RATIO);
+        assert!(matches!(outcomes[0].status, GateStatus::Pass(_)));
+        assert!(matches!(outcomes[1].status, GateStatus::Skip(_)));
+        assert!(matches!(outcomes[2].status, GateStatus::Skip(_)));
+        let (_, failed) = render(&outcomes, MAX_RATIO);
+        assert!(!failed);
+    }
+
+    #[test]
+    fn missing_fresh_entry_fails() {
+        let fresh = ledger(&[("fig3_macro", 2, 110.0)]);
+        let outcomes = check(&full(1.0), &fresh, MAX_RATIO);
+        assert!(matches!(outcomes[0].status, GateStatus::Pass(_)));
+        assert!(matches!(outcomes[1].status, GateStatus::Fail(_)));
+        assert!(matches!(outcomes[2].status, GateStatus::Fail(_)));
+    }
+
+    #[test]
+    fn jobs_mismatch_skips_not_fails() {
+        let fresh = ledger(&[
+            ("fig3_macro", 4, 110.0),
+            ("all_experiments", 2, 35.0),
+            ("cluster_study", 1, 450.0),
+        ]);
+        let outcomes = check(&full(1.0), &fresh, MAX_RATIO);
+        assert!(matches!(outcomes[0].status, GateStatus::Skip(_)));
+        assert!(matches!(outcomes[1].status, GateStatus::Pass(_)));
+    }
+}

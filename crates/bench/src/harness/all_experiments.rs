@@ -215,5 +215,6 @@ pub fn run(runner: &Runner) -> HarnessOutput {
         text,
         findings,
         cache_stats: None,
+        metrics: Vec::new(),
     }
 }

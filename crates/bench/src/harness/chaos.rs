@@ -247,6 +247,7 @@ pub fn run_with(runner: &Runner, quick: bool, rate_override: Option<f64>) -> Har
         text,
         findings,
         cache_stats: None,
+        metrics: Vec::new(),
     }
 }
 

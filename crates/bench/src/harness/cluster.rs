@@ -16,7 +16,7 @@
 
 use xcontainers::prelude::*;
 use xcontainers::workloads::apps::microservice;
-use xcontainers::workloads::cluster::run_cluster_range;
+use xcontainers::workloads::cluster::{arena_counters, run_cluster_range};
 
 use super::HarnessOutput;
 use crate::runner::Runner;
@@ -94,6 +94,7 @@ pub fn run(runner: &Runner, quick: bool) -> HarnessOutput {
     let chunks = CHUNKS.min(p.hosts).max(1);
     let (base, rem) = (p.hosts / chunks, p.hosts % chunks);
     let grid = plats.len() * chunks as usize;
+    let (allocs_before, reuses_before) = arena_counters();
     let cells = runner.run(grid, |i| {
         let pi = i / chunks as usize;
         let ci = (i % chunks as usize) as u32;
@@ -106,9 +107,7 @@ pub fn run(runner: &Runner, quick: bool) -> HarnessOutput {
         .chunks(chunks as usize)
         .map(|parts| {
             let mut whole = ClusterResult::default();
-            for part in parts {
-                whole.merge(part);
-            }
+            whole.merge_many(&parts.iter().collect::<Vec<_>>());
             whole
         })
         .collect();
@@ -203,7 +202,17 @@ pub fn run(runner: &Runner, quick: bool) -> HarnessOutput {
         });
     }
 
+    // World-arena effectiveness over this grid: in steady state nearly
+    // every host world is assembled from recycled storage (one
+    // allocation per worker thread, not one per host). Ledger-only —
+    // the counters depend on thread count, so they must stay out of the
+    // deterministic text/findings.
+    let (allocs_after, reuses_after) = arena_counters();
     let mut out = HarnessOutput::merge(vec![(text, findings)]);
     out.cache_stats = None;
+    out.metrics = vec![
+        ("arena_allocs", (allocs_after - allocs_before) as f64),
+        ("arena_reuses", (reuses_after - reuses_before) as f64),
+    ];
     out
 }

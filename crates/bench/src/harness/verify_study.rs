@@ -35,7 +35,10 @@ use xcontainers::abom::handler::XContainerKernel;
 use xcontainers::abom::offline::{OfflineConfig, OfflinePatcher};
 use xcontainers::abom::stats::AbomStats;
 use xcontainers::prelude::*;
-use xcontainers::verify::{reverify, summarize, Verifier, VerifierConfig};
+use xcontainers::verify::{
+    disassemble_image, reverify, summarize, AbsInt, CallGraph, Cfg, Summaries, Verifier,
+    VerifierConfig,
+};
 use xcontainers::workloads::table1::{table1_profiles, AppProfile};
 
 use crate::runner::Runner;
@@ -365,4 +368,83 @@ pub fn run_with(runner: &Runner, syscalls_per_app: u64, seed: u64) -> Output {
 /// Runs the study at the default workload size.
 pub fn run(runner: &Runner) -> Output {
     run_with(runner, SYSCALLS_PER_APP, SEED)
+}
+
+/// One application's abstract-interpretation worklist profile (the
+/// `--profile` flag; see [`worklist_profiles`]).
+#[derive(Debug, Clone)]
+pub struct WorklistProfile {
+    /// Table 1 application name.
+    pub name: &'static str,
+    /// Basic blocks in the library's CFG.
+    pub blocks: usize,
+    /// Worklist pops (fixpoint iterations).
+    pub pops: u64,
+    /// Edge-state merges attempted.
+    pub merges: u64,
+    /// Merges that moved the lattice and re-queued a block.
+    pub merges_changed: u64,
+    /// Fixpoint-phase wall time — nondeterministic.
+    pub fixpoint_micros: f64,
+    /// Materialisation-phase wall time — nondeterministic.
+    pub materialize_micros: f64,
+}
+
+/// Profiles the abstract-interpretation fixpoint over the Table 1
+/// corpus: one `AbsInt::analyze_profiled` run per library, reporting
+/// worklist traffic and phase wall times. The counters are a pure
+/// function of each image; the µs columns are host noise, so the whole
+/// pass stays out of the findings, digests and the benchmark gate.
+pub fn worklist_profiles(runner: &Runner) -> Vec<WorklistProfile> {
+    let profiles = table1_profiles();
+    runner.run(profiles.len(), |i| {
+        let p = &profiles[i];
+        let image = p.library();
+        let d = disassemble_image(&image);
+        let cfg = Cfg::build(&d);
+        let cg = CallGraph::build(&d, &cfg);
+        let config = VerifierConfig::default();
+        let summaries = Summaries::build(&d, &cfg, &cg, config.max_summary_depth);
+        let (_, prof) =
+            AbsInt::analyze_profiled(&d, &cfg, &cg, &summaries, config.stack_window_slots);
+        WorklistProfile {
+            name: p.name,
+            blocks: cfg.blocks.len(),
+            pops: prof.pops,
+            merges: prof.merges,
+            merges_changed: prof.merges_changed,
+            fixpoint_micros: prof.fixpoint_nanos as f64 / 1e3,
+            materialize_micros: prof.materialize_nanos as f64 / 1e3,
+        }
+    })
+}
+
+/// Renders the `--profile` table appended after the study output.
+pub fn render_worklist_profiles(rows: &[WorklistProfile]) -> String {
+    let mut table = Table::new(
+        "Worklist profile: abstract-interpretation fixpoint per library",
+        &[
+            "Application",
+            "blocks",
+            "pops",
+            "merges",
+            "changed",
+            "fixpoint µs",
+            "materialize µs",
+        ],
+    );
+    for r in rows {
+        table.row([
+            Cell::from(r.name),
+            Cell::Num(r.blocks as f64, 0),
+            Cell::Num(r.pops as f64, 0),
+            Cell::Num(r.merges as f64, 0),
+            Cell::Num(r.merges_changed as f64, 0),
+            Cell::Num(r.fixpoint_micros, 1),
+            Cell::Num(r.materialize_micros, 1),
+        ]);
+    }
+    let mut out = String::new();
+    table.render_into(&mut out);
+    out
 }

@@ -35,6 +35,7 @@
 //! evaluation) so regressions in the reproduction infrastructure are
 //! caught.
 
+pub mod gate;
 pub mod harness;
 pub mod runner;
 

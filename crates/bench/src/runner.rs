@@ -254,8 +254,10 @@ impl Runner {
     }
 
     /// Draws `total` samples of `sample` split across `shards` substreams
-    /// and merges the per-shard histograms in shard order with
-    /// [`Histogram::merge`].
+    /// and folds the per-shard histograms in shard order with one
+    /// [`Histogram::merge_many`] pass (integer buckets are
+    /// order-independent, so the one-pass reduce is byte-identical to the
+    /// old sequential merges).
     pub fn sharded_histogram<F>(&self, shards: usize, total: u64, seed: u64, sample: F) -> Histogram
     where
         F: Fn(&mut Rng) -> u64 + Sync,
@@ -268,15 +270,14 @@ impl Runner {
             h
         });
         let mut merged = Histogram::new();
-        for part in &parts {
-            merged.merge(part);
-        }
+        merged.merge_many(&parts.iter().collect::<Vec<_>>());
         merged
     }
 
     /// Draws `total` samples of `sample` split across `shards` substreams
     /// and merges the per-shard summaries in shard order with
-    /// [`Summary::merge`].
+    /// [`Summary::merge_many`] (a sequential fold — Welford combination is
+    /// order-sensitive, so summaries never tree-reduce).
     pub fn sharded_summary<F>(&self, shards: usize, total: u64, seed: u64, sample: F) -> Summary
     where
         F: Fn(&mut Rng) -> f64 + Sync,
@@ -289,9 +290,7 @@ impl Runner {
             s
         });
         let mut merged = Summary::new();
-        for part in &parts {
-            merged.merge(part);
-        }
+        merged.merge_many(&parts.iter().collect::<Vec<_>>());
         merged
     }
 }

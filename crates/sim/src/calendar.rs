@@ -315,6 +315,30 @@ impl<E> CalendarQueue<E> {
         self.current.reserve(additional);
     }
 
+    /// Clears every pending event and rewinds the queue to its
+    /// just-constructed logical state while keeping the allocations (the
+    /// open bucket's capacity, the lazily-allocated ring, the overflow
+    /// heap's buffer). The adaptive state rewinds too — bucket width back
+    /// to the default, telemetry counters zeroed — so a reused queue is
+    /// observationally identical to a fresh one. Arena-backed simulation
+    /// worlds rely on that to stay byte-identical to freshly-allocated
+    /// runs. The construction-time strategy flags (`adaptive`,
+    /// `linear_advance`) are preserved.
+    pub fn reset(&mut self) {
+        self.current.clear();
+        self.cursor = 0;
+        for bucket in &mut self.ring {
+            bucket.clear();
+        }
+        self.ring_len = 0;
+        self.occupancy = [0; OCC_WORDS];
+        self.overflow.clear();
+        self.bucket_bits = DEFAULT_BUCKET_BITS;
+        self.advances = 0;
+        self.opened = 0;
+        self.jump_sum = 0;
+    }
+
     /// Number of pending events.
     pub fn len(&self) -> usize {
         self.current.len() + self.ring_len + self.overflow.len()
@@ -828,6 +852,48 @@ mod tests {
             let (a, c) = (cal.pop(), heap.pop());
             assert_eq!(a, c);
             if c.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn reset_queue_is_observationally_fresh() {
+        // Drive an adaptive queue through a sparse phase so it widens its
+        // buckets and populates every tier, then reset and replay a fixed
+        // schedule against a genuinely fresh queue: pops must agree and
+        // the adaptive state must have rewound.
+        let mut used = CalendarQueue::new();
+        let mut seq = 0u64;
+        let mut ns = 0u64;
+        for _ in 0..8 {
+            ns += 900_000 + (seq * 77_017) % 300_000;
+            used.push(key(Nanos::from_nanos(ns), seq), seq as u32);
+            seq += 1;
+        }
+        for _ in 0..1500 {
+            let (k, _) = used.pop().expect("events pending");
+            ns = key_time(k).as_nanos() + 900_000 + (seq * 77_017) % 300_000;
+            used.push(key(Nanos::from_nanos(ns), seq), seq as u32);
+            seq += 1;
+        }
+        assert!(used.bucket_bits() > DEFAULT_BUCKET_BITS, "setup must widen");
+        // Leave ring + overflow populated, then reset.
+        used.push(key(Nanos::from_secs(30), seq), 0);
+        used.reset();
+        assert!(used.is_empty());
+        assert_eq!(used.bucket_bits(), DEFAULT_BUCKET_BITS);
+        let mut fresh = CalendarQueue::new();
+        for (i, t) in [5u64, 4096, 1 << 33, 1 << 40, 12].iter().enumerate() {
+            let k = key(Nanos::from_nanos(*t), i as u64);
+            used.push(k, i as u32);
+            fresh.push(k, i as u32);
+        }
+        loop {
+            assert_eq!(used.peek_key(), fresh.peek_key());
+            let (a, b) = (used.pop(), fresh.pop());
+            assert_eq!(a, b);
+            if a.is_none() {
                 break;
             }
         }

@@ -27,13 +27,22 @@ use crate::time::Nanos;
 /// assert!((s.mean() - 5.0).abs() < 1e-12);
 /// assert!((s.stddev() - 2.138089935).abs() < 1e-6);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Summary {
     count: u64,
     mean: f64,
     m2: f64,
     min: f64,
     max: f64,
+}
+
+impl Default for Summary {
+    /// Same as [`Summary::new`]: a derived `Default` would zero `min`/`max`
+    /// instead of installing the ±infinity sentinels, silently corrupting
+    /// the extrema of anything recorded afterwards.
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl Summary {
@@ -106,11 +115,20 @@ impl Summary {
     }
 
     /// Merges another summary into this one (parallel Welford combination).
+    ///
+    /// Empty operands are handled by explicit count checks — an empty
+    /// `other` leaves `self` untouched and an empty `self` copies `other`
+    /// wholesale — so the result never depends on the ±infinity min/max
+    /// sentinels an empty summary carries. The observation count saturates
+    /// instead of wrapping when the combined total would exceed `u64::MAX`.
     pub fn merge(&mut self, other: &Summary) {
         if other.count == 0 {
+            // Nothing to fold in; in particular other's sentinel extrema
+            // must not leak into ours.
             return;
         }
         if self.count == 0 {
+            // Our own sentinels are equally meaningless: adopt other as-is.
             *self = *other;
             return;
         }
@@ -120,9 +138,22 @@ impl Summary {
         let total = n1 + n2;
         self.mean += delta * n2 / total;
         self.m2 += other.m2 + delta * delta * n1 * n2 / total;
-        self.count += other.count;
+        self.count = self.count.saturating_add(other.count);
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
+    }
+
+    /// Folds `others` into `self` in slice order.
+    ///
+    /// Welford combination is a float computation, so unlike
+    /// [`Histogram::merge_many`] the order matters for bit-identity: this
+    /// is defined as the exact sequential left fold the callers previously
+    /// spelled out, kept as a method so sharded reducers have one entry
+    /// point for both statistic kinds.
+    pub fn merge_many(&mut self, others: &[&Summary]) {
+        for other in others {
+            self.merge(other);
+        }
     }
 }
 
@@ -241,12 +272,39 @@ impl Histogram {
         }
     }
 
+    /// Resets to the empty state while keeping the bucket allocation —
+    /// the reuse hook world arenas call instead of building a fresh
+    /// histogram (2 048 buckets) per simulation.
+    pub fn clear(&mut self) {
+        self.counts.fill(0);
+        self.total = 0;
+        self.sum = 0;
+        self.max = 0;
+        self.min = u64::MAX;
+    }
+
     /// Records a single value.
     #[inline]
     pub fn record(&mut self, value: u64) {
         self.counts[Self::index_of(value)] += 1;
         self.total += 1;
         self.sum += u128::from(value);
+        self.max = self.max.max(value);
+        self.min = self.min.min(value);
+    }
+
+    /// Records `n` occurrences of `value` at once, saturating the bucket
+    /// count and total instead of wrapping (an `n` near `u64::MAX` is how
+    /// merge saturation is exercised without `u64::MAX` calls to
+    /// [`record`](Self::record)).
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let slot = &mut self.counts[Self::index_of(value)];
+        *slot = slot.saturating_add(n);
+        self.total = self.total.saturating_add(n);
+        self.sum = self.sum.saturating_add(u128::from(value) * u128::from(n));
         self.max = self.max.max(value);
         self.min = self.min.min(value);
     }
@@ -325,14 +383,59 @@ impl Histogram {
     }
 
     /// Merges another histogram into this one.
+    ///
+    /// Counts saturate instead of wrapping, and the bucket loop is the
+    /// same lane-chunked pass as [`merge_many`](Self::merge_many).
     pub fn merge(&mut self, other: &Histogram) {
-        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
-            *a += b;
+        self.merge_many(&[other]);
+    }
+
+    /// Width of the fixed lane arrays the merge loops accumulate into.
+    ///
+    /// Eight u64 lanes fill two AVX2 registers; the loops below are plain
+    /// array arithmetic over `[u64; LANES]` chunks with no per-bucket
+    /// branching, which LLVM autovectorizes.
+    const LANES: usize = 8;
+
+    /// Merges every histogram in `others` into `self` in one pass over the
+    /// bucket array.
+    ///
+    /// Integer bucket counts are exact and order-independent, so unlike
+    /// [`Summary`] this is safe for tree reduction: folding N shards here
+    /// touches each of the 2 048 buckets once (sources inner, buckets
+    /// outer) instead of N times, and produces bytes identical to N
+    /// sequential [`merge`](Self::merge) calls in any order. All counters
+    /// saturate instead of wrapping.
+    pub fn merge_many(&mut self, others: &[&Histogram]) {
+        let n = self.counts.len();
+        let mut i = 0;
+        while i + Self::LANES <= n {
+            let mut acc = [0u64; Self::LANES];
+            acc.copy_from_slice(&self.counts[i..i + Self::LANES]);
+            for other in others {
+                debug_assert_eq!(other.counts.len(), n);
+                let src = &other.counts[i..i + Self::LANES];
+                for (a, &b) in acc.iter_mut().zip(src) {
+                    *a = a.saturating_add(b);
+                }
+            }
+            self.counts[i..i + Self::LANES].copy_from_slice(&acc);
+            i += Self::LANES;
         }
-        self.total += other.total;
-        self.sum += other.sum;
-        self.max = self.max.max(other.max);
-        self.min = self.min.min(other.min);
+        while i < n {
+            let mut a = self.counts[i];
+            for other in others {
+                a = a.saturating_add(other.counts[i]);
+            }
+            self.counts[i] = a;
+            i += 1;
+        }
+        for other in others {
+            self.total = self.total.saturating_add(other.total);
+            self.sum = self.sum.saturating_add(other.sum);
+            self.max = self.max.max(other.max);
+            self.min = self.min.min(other.min);
+        }
     }
 }
 
@@ -394,6 +497,45 @@ mod tests {
         assert_eq!(s.min(), 1.0);
         assert_eq!(s.max(), 5.0);
         assert!((s.sum() - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_default_matches_new() {
+        // A derived Default would zero the extrema sentinels; recording
+        // through a default-constructed summary must behave like new().
+        let mut d = Summary::default();
+        d.record(7.0);
+        assert_eq!(d.min(), 7.0);
+        assert_eq!(d.max(), 7.0);
+        let mut m = Summary::default();
+        m.merge(&d);
+        assert_eq!(m.min(), 7.0);
+    }
+
+    #[test]
+    fn summary_count_saturates_on_merge() {
+        let mut a = Summary::new();
+        a.count = u64::MAX - 1;
+        a.mean = 1.0;
+        a.min = 1.0;
+        a.max = 1.0;
+        let b: Summary = [2.0, 3.0, 4.0].into_iter().collect();
+        a.merge(&b);
+        assert_eq!(a.count(), u64::MAX);
+    }
+
+    #[test]
+    fn summary_merge_many_is_sequential_fold() {
+        let parts: Vec<Summary> = (0..5)
+            .map(|i| (i * 50..(i + 1) * 50).map(f64::from).collect())
+            .collect();
+        let mut seq = Summary::new();
+        for p in &parts {
+            seq.merge(p);
+        }
+        let mut many = Summary::new();
+        many.merge_many(&parts.iter().collect::<Vec<_>>());
+        assert_eq!(seq, many);
     }
 
     #[test]
@@ -473,6 +615,78 @@ mod tests {
         assert_eq!(merged.count(), union.count());
         assert_eq!(merged.quantile(0.5), union.quantile(0.5));
         assert_eq!(merged.max(), union.max());
+    }
+
+    #[test]
+    fn histogram_clear_restores_empty_state() {
+        let mut h: Histogram = (1..5000u64).collect();
+        h.clear();
+        assert_eq!(h, Histogram::new());
+        h.record(9);
+        assert_eq!(h.min(), 9);
+        assert_eq!(h.max(), 9);
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn histogram_record_n_matches_repeated_record() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in [3u64, 900, 70_000] {
+            a.record_n(v, 5);
+            for _ in 0..5 {
+                b.record(v);
+            }
+        }
+        a.record_n(42, 0); // no-op, must not disturb min/max/total
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn histogram_merge_saturates_counts() {
+        let mut a = Histogram::new();
+        a.record_n(5, u64::MAX - 3);
+        let mut b = Histogram::new();
+        b.record_n(5, 10);
+        b.record_n(1 << 40, 10); // an overflow-range bucket too
+        a.merge(&b);
+        assert_eq!(a.count(), u64::MAX, "total must saturate, not wrap");
+        assert_eq!(
+            a.counts[Histogram::index_of(5)],
+            u64::MAX,
+            "bucket count must saturate, not wrap"
+        );
+        assert_eq!(a.counts[Histogram::index_of(1 << 40)], 10);
+        assert_eq!(a.max(), 1 << 40);
+    }
+
+    #[test]
+    fn histogram_merge_many_matches_sequential() {
+        let parts: Vec<Histogram> = (0..7)
+            .map(|i| {
+                (i * 1000..(i + 1) * 1000 + 13)
+                    .map(|v| v * 31 + 1)
+                    .collect()
+            })
+            .collect();
+        let mut seq = Histogram::new();
+        for p in &parts {
+            seq.merge(p);
+        }
+        let mut many = Histogram::new();
+        many.merge_many(&parts.iter().collect::<Vec<_>>());
+        // Full structural equality: identical buckets, totals, extrema.
+        assert_eq!(seq, many);
+        assert_eq!(seq.quantile(0.999), many.quantile(0.999));
+    }
+
+    #[test]
+    fn histogram_merge_many_with_empties() {
+        let mut a = Histogram::new();
+        let b: Histogram = (1..100u64).collect();
+        let empty = Histogram::new();
+        a.merge_many(&[&empty, &b, &empty]);
+        assert_eq!(a, b);
     }
 
     #[test]

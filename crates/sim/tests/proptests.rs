@@ -232,6 +232,89 @@ proptest! {
         }
     }
 
+    /// `merge_many` over any shard partition — flat, or as a two-level
+    /// tree of arbitrary fan-out, or with the shard order rotated — is
+    /// byte-identical to the sequential `merge` fold: integer bucket
+    /// adds commute and associate, so the lane-chunked batch reducer
+    /// may regroup freely without moving a single quantile.
+    #[test]
+    fn histogram_merge_many_is_order_and_shape_free(
+        values in proptest::collection::vec(0u64..1_000_000, 1..300),
+        shards in 1usize..9,
+        fanout in 1usize..4,
+        rotate in 0usize..8,
+    ) {
+        let parts: Vec<Histogram> = values
+            .chunks(values.len().div_ceil(shards))
+            .map(|c| c.iter().copied().collect())
+            .collect();
+
+        // Reference: sequential pairwise merges in shard order.
+        let mut sequential = Histogram::new();
+        for p in &parts {
+            sequential.merge(p);
+        }
+
+        // Flat batch.
+        let mut flat = Histogram::new();
+        flat.merge_many(&parts.iter().collect::<Vec<_>>());
+
+        // Two-level tree: reduce `fanout`-sized groups, then the roots.
+        let mid: Vec<Histogram> = parts
+            .chunks(fanout)
+            .map(|group| {
+                let mut h = Histogram::new();
+                h.merge_many(&group.iter().collect::<Vec<_>>());
+                h
+            })
+            .collect();
+        let mut tree = Histogram::new();
+        tree.merge_many(&mid.iter().collect::<Vec<_>>());
+
+        // Commutativity: rotated shard order.
+        let mut rotated_parts: Vec<&Histogram> = parts.iter().collect();
+        rotated_parts.rotate_left(rotate % parts.len().max(1));
+        let mut rotated = Histogram::new();
+        rotated.merge_many(&rotated_parts);
+
+        for h in [&flat, &tree, &rotated] {
+            prop_assert_eq!(h.count(), sequential.count());
+            prop_assert_eq!(h.min(), sequential.min());
+            prop_assert_eq!(h.max(), sequential.max());
+            prop_assert_eq!(h.mean().to_bits(), sequential.mean().to_bits());
+            for i in 0..=20 {
+                let q = f64::from(i) / 20.0;
+                prop_assert_eq!(h.quantile(q), sequential.quantile(q));
+            }
+        }
+    }
+
+    /// `Summary::merge_many` is defined as exactly the sequential fold
+    /// (float joins are order-sensitive, so the batch entry point must
+    /// not re-associate) — bit-for-bit across every moment.
+    #[test]
+    fn summary_merge_many_is_the_sequential_fold(
+        xs in proptest::collection::vec(-1e6f64..1e6, 1..300),
+        shards in 1usize..9,
+    ) {
+        let parts: Vec<Summary> = xs
+            .chunks(xs.len().div_ceil(shards))
+            .map(|c| c.iter().copied().collect())
+            .collect();
+        let mut sequential = Summary::new();
+        for p in &parts {
+            sequential.merge(p);
+        }
+        let mut batched = Summary::new();
+        batched.merge_many(&parts.iter().collect::<Vec<_>>());
+        prop_assert_eq!(batched.count(), sequential.count());
+        prop_assert_eq!(batched.min().to_bits(), sequential.min().to_bits());
+        prop_assert_eq!(batched.max().to_bits(), sequential.max().to_bits());
+        prop_assert_eq!(batched.sum().to_bits(), sequential.sum().to_bits());
+        prop_assert_eq!(batched.mean().to_bits(), sequential.mean().to_bits());
+        prop_assert_eq!(batched.stddev().to_bits(), sequential.stddev().to_bits());
+    }
+
     /// Merging per-shard summaries across any shard count matches the
     /// single-stream summary (count/min/max exactly, moments within fp
     /// tolerance) — the contract the parallel runner's sharded

@@ -29,13 +29,13 @@
 //! per-block visit cap widens to `Top` as defence in depth.
 
 use std::collections::BTreeMap;
-use std::collections::BTreeSet;
 
 use xc_isa::inst::{Inst, Reg};
 
 use crate::callgraph::CallGraph;
 use crate::cfg::Cfg;
 use crate::disasm::Disassembly;
+use crate::profile::{NoProbe, Probe};
 use crate::summaries::{reg_bit, RaxEffect, Summaries};
 
 /// Abstract value of one register or stack slot.
@@ -186,6 +186,46 @@ pub struct AbsInt {
 /// widened straight to `Top` (defence in depth; see module docs).
 const BLOCK_VISIT_CAP: u32 = 64;
 
+/// Bitset worklist over dense block ids. `pop_first` returns the lowest
+/// set id, so with ids assigned in ascending block-address order the
+/// scheduling is identical to the old `BTreeSet<u64>` pop-minimum — one
+/// cache line per 64 blocks instead of a node allocation per entry.
+struct Worklist {
+    words: Vec<u64>,
+    /// Lowest word index that may contain a set bit (monotone scan
+    /// cursor, rewound on insert).
+    hint: usize,
+}
+
+impl Worklist {
+    fn new(blocks: usize) -> Worklist {
+        Worklist {
+            words: vec![0; blocks.div_ceil(64)],
+            hint: 0,
+        }
+    }
+
+    #[inline]
+    fn insert(&mut self, id: usize) {
+        self.words[id / 64] |= 1u64 << (id % 64);
+        self.hint = self.hint.min(id / 64);
+    }
+
+    #[inline]
+    fn pop_first(&mut self) -> Option<usize> {
+        while self.hint < self.words.len() {
+            let word = &mut self.words[self.hint];
+            if *word != 0 {
+                let bit = word.trailing_zeros() as usize;
+                *word &= *word - 1;
+                return Some(self.hint * 64 + bit);
+            }
+            self.hint += 1;
+        }
+        None
+    }
+}
+
 impl AbsInt {
     /// The abstract `%rax` value just before the instruction at `at`
     /// ([`AbsValue::Unreached`] if the point was never reached).
@@ -204,66 +244,115 @@ impl AbsInt {
         summaries: &Summaries,
         stack_window_slots: u8,
     ) -> AbsInt {
+        Self::analyze_with(disasm, cfg, cg, summaries, stack_window_slots, &mut NoProbe)
+    }
+
+    /// Runs the fixpoint with a timing/counting probe attached,
+    /// returning the analysis plus its profile. Only compiled with the
+    /// `profile` feature; [`AbsInt::analyze`] monomorphizes the same
+    /// driver against a no-op probe, so the production path pays
+    /// nothing for the instrumentation seam.
+    #[cfg(feature = "profile")]
+    pub fn analyze_profiled(
+        disasm: &Disassembly,
+        cfg: &Cfg,
+        cg: &CallGraph,
+        summaries: &Summaries,
+        stack_window_slots: u8,
+    ) -> (AbsInt, crate::profile::AbsIntProfile) {
+        let mut probe = crate::profile::AbsIntProfile::new();
+        let out = Self::analyze_with(disasm, cfg, cg, summaries, stack_window_slots, &mut probe);
+        (out, probe)
+    }
+
+    /// The worklist driver behind both entry points.
+    ///
+    /// Block states live in a dense arena indexed by the block's rank in
+    /// ascending start-address order (the iteration order of
+    /// `cfg.blocks`), with a binary search mapping addresses to ids; the
+    /// worklist is a [`Worklist`] bitset over the same ids. Popping the
+    /// lowest set bit is therefore exactly the old
+    /// `BTreeSet<u64>`-pop-minimum schedule, and the result — including
+    /// join order and widening points — is unchanged; only the map and
+    /// set overhead on the hot loop is gone.
+    fn analyze_with<P: Probe>(
+        disasm: &Disassembly,
+        cfg: &Cfg,
+        cg: &CallGraph,
+        summaries: &Summaries,
+        stack_window_slots: u8,
+        probe: &mut P,
+    ) -> AbsInt {
         let window = u16::from(stack_window_slots) * 8;
-        let mut block_in: BTreeMap<u64, AbsState> = BTreeMap::new();
-        let mut visits: BTreeMap<u64, u32> = BTreeMap::new();
-        let mut work: BTreeSet<u64> = BTreeSet::new();
+        let starts: Vec<u64> = cfg.blocks.keys().copied().collect();
+        let id_of = |addr: u64| starts.binary_search(&addr).ok();
+        let mut block_in: Vec<Option<AbsState>> = vec![None; starts.len()];
+        let mut visits: Vec<u32> = vec![0; starts.len()];
+        let mut work = Worklist::new(starts.len());
         for &e in &disasm.entries {
-            if cfg.blocks.contains_key(&e) {
-                block_in.insert(e, AbsState::top());
-                work.insert(e);
+            if let Some(id) = id_of(e) {
+                block_in[id] = Some(AbsState::top());
+                work.insert(id);
             }
         }
 
+        // Merging into an address with no block used to park a state in
+        // the map that nothing ever read; the dense arena just skips it.
         let merge =
-            |block_in: &mut BTreeMap<u64, AbsState>, target: u64, state: &AbsState| -> bool {
-                match block_in.get(&target) {
+            |block_in: &mut [Option<AbsState>], probe: &mut P, id: usize, state: &AbsState| {
+                let changed = match &mut block_in[id] {
                     Some(old) => {
                         let joined = old.join(state);
                         if &joined != old {
-                            block_in.insert(target, joined);
+                            *old = joined;
                             true
                         } else {
                             false
                         }
                     }
-                    None => {
-                        block_in.insert(target, state.clone());
+                    slot @ None => {
+                        *slot = Some(state.clone());
                         true
                     }
-                }
+                };
+                probe.state_merged(changed);
+                changed
             };
 
-        while let Some(&start) = work.iter().next() {
-            work.remove(&start);
-            let visit = visits.entry(start).or_insert(0);
-            *visit += 1;
-            if *visit > BLOCK_VISIT_CAP {
-                block_in.insert(start, AbsState::top());
+        while let Some(id) = work.pop_first() {
+            probe.block_popped();
+            visits[id] += 1;
+            if visits[id] > BLOCK_VISIT_CAP {
+                block_in[id] = Some(AbsState::top());
             }
+            let start = starts[id];
             let block = &cfg.blocks[&start];
-            let mut state = block_in[&start].clone();
+            let mut state = block_in[id].clone().expect("queued block has a state");
             for &at in &block.insts {
                 let d = &disasm.insts[&at];
-                if let Some(target) = resolved_call_target(cg, at) {
+                if let Some(tid) = resolved_call_target(cg, at).and_then(id_of) {
                     let seed = state.call_seed();
-                    if merge(&mut block_in, target, &seed) && cfg.blocks.contains_key(&target) {
-                        work.insert(target);
+                    if merge(&mut block_in, probe, tid, &seed) {
+                        work.insert(tid);
                     }
                 }
                 transfer(&mut state, d.inst, at, window, cg, summaries);
             }
             for &succ in &block.succs {
-                if cfg.blocks.contains_key(&succ) && merge(&mut block_in, succ, &state) {
-                    work.insert(succ);
+                if let Some(sid) = id_of(succ) {
+                    if merge(&mut block_in, probe, sid, &state) {
+                        work.insert(sid);
+                    }
                 }
             }
         }
+        probe.fixpoint_done();
 
         // Converged: materialise per-instruction pre-states in order.
         let mut state_in = BTreeMap::new();
-        for (start, block) in &cfg.blocks {
-            let Some(mut state) = block_in.get(start).cloned() else {
+        for (id, (start, block)) in cfg.blocks.iter().enumerate() {
+            debug_assert_eq!(*start, starts[id]);
+            let Some(mut state) = block_in[id].clone() else {
                 continue;
             };
             for &at in &block.insts {
@@ -278,6 +367,7 @@ impl AbsInt {
                 );
             }
         }
+        probe.materialize_done();
         AbsInt { state_in }
     }
 }

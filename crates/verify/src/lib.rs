@@ -64,6 +64,7 @@ pub mod cfg;
 pub mod dataflow;
 pub mod disasm;
 pub mod lint;
+mod profile;
 pub mod report;
 pub mod reverify;
 pub mod summaries;
@@ -78,6 +79,8 @@ pub use disasm::{disassemble_image, Disassembly};
 pub use lint::{
     lint_report, render_json, render_text, summarize, LintFinding, LintSummary, Severity,
 };
+#[cfg(feature = "profile")]
+pub use profile::AbsIntProfile;
 pub use report::{
     ReasonChain, SiteKind, SiteReport, UnknownReason, UnsafeReason, Verdict, VerifyReport,
 };

@@ -24,7 +24,9 @@
 //! byte-identical results. The bench harness exploits that by making
 //! host chunks its parallel runner cells.
 
+use std::cell::RefCell;
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use xc_sim::engine::{EventQueue, Simulation, World};
 use xc_sim::rng::Rng;
@@ -80,7 +82,15 @@ struct Domain {
 
 /// One host's world: open-loop Poisson arrivals over Zipf-ranked
 /// domains, cores as the shared bottleneck.
-struct HostWorld {
+///
+/// The heap-backed pieces (domain FIFOs, the core run queue, the
+/// latency histogram) are *borrowed* from a [`WorldArena`] so the
+/// cluster grid reuses one set of allocations across hosts and cells
+/// instead of rebuilding them per host; the histogram doubles as the
+/// range accumulator (integer bucket adds are order-independent, so
+/// recording hosts straight into one histogram is byte-identical to
+/// merging per-host ones).
+struct HostWorld<'a> {
     table: PlatformCosts,
     jitter: f64,
     arrival_mean_ns: f64,
@@ -88,14 +98,14 @@ struct HostWorld {
     queue_cap: usize,
     cores: u32,
     busy_cores: u32,
-    domains: Vec<Domain>,
+    domains: &'a mut Vec<Domain>,
     /// Domains ready to serve (idle, pending non-empty) waiting for a
     /// free core, FIFO. A domain is queued at most once: it enters only
     /// on its idle-with-work transition and leaves when started.
-    core_queue: VecDeque<u32>,
+    core_queue: &'a mut VecDeque<u32>,
     completed: u64,
     dropped: u64,
-    latency: Histogram,
+    latency: &'a mut Histogram,
     /// Total core-time consumed by completed-or-running service.
     busy_ns: u64,
     rng: Rng,
@@ -108,7 +118,7 @@ enum Ev {
     Finish { domain: u32, issued: Nanos },
 }
 
-impl HostWorld {
+impl HostWorld<'_> {
     #[inline]
     fn sample_service(&mut self) -> Nanos {
         let f = 1.0 + self.jitter * (self.rng.next_f64() * 2.0 - 1.0);
@@ -137,7 +147,7 @@ impl HostWorld {
     }
 }
 
-impl World for HostWorld {
+impl World for HostWorld<'_> {
     type Event = Ev;
 
     fn handle(&mut self, now: Nanos, event: Ev, queue: &mut EventQueue<Ev>) {
@@ -184,7 +194,7 @@ impl World for HostWorld {
 }
 
 /// One host's contribution to a cluster run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct HostResult {
     /// Requests served to completion.
     pub completed: u64,
@@ -197,7 +207,7 @@ pub struct HostResult {
 }
 
 /// Merged results of a host range (or the whole cluster).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ClusterResult {
     /// Hosts merged into this result.
     pub hosts: u32,
@@ -230,6 +240,22 @@ impl ClusterResult {
         self.dropped += other.dropped;
         self.latency.merge(&other.latency);
         self.busy_ns += other.busy_ns;
+    }
+
+    /// Folds a whole slice of merged ranges in with a single pass over
+    /// the latency buckets ([`Histogram::merge_many`]). The scalar
+    /// counters are integer sums, so this is byte-identical to calling
+    /// [`merge`](Self::merge) once per element in order — the bench
+    /// harness uses it to reduce a platform's host chunks in one go.
+    pub fn merge_many(&mut self, others: &[&ClusterResult]) {
+        for other in others {
+            self.hosts += other.hosts;
+            self.completed += other.completed;
+            self.dropped += other.dropped;
+            self.busy_ns += other.busy_ns;
+        }
+        let hists: Vec<&Histogram> = others.iter().map(|o| &o.latency).collect();
+        self.latency.merge_many(&hists);
     }
 
     /// Served requests per second across the merged hosts.
@@ -278,49 +304,104 @@ impl ClusterResult {
     }
 }
 
-/// Simulates one host of the cluster. Pure function of
-/// `(table, params, host_index)` — the unit every driver composes from.
-pub fn simulate_host(table: &PlatformCosts, params: &ClusterParams, host: u32) -> HostResult {
-    let clients = shard_share(params.clients, u64::from(params.hosts), u64::from(host));
-    if clients == 0 || params.domains_per_host == 0 {
-        return HostResult::default();
+/// Worlds assembled from freshly allocated (or grown) storage.
+static ARENA_ALLOCS: AtomicU64 = AtomicU64::new(0);
+/// Worlds assembled entirely from recycled arena storage.
+static ARENA_REUSES: AtomicU64 = AtomicU64::new(0);
+
+/// Cumulative `(allocated, reused)` world-construction counters across
+/// every thread's arena, for the bench ledger: in steady state the grid
+/// should report almost all reuses — one allocation per worker thread
+/// per storage growth, not one per host.
+pub fn arena_counters() -> (u64, u64) {
+    (
+        ARENA_ALLOCS.load(Ordering::Relaxed),
+        ARENA_REUSES.load(Ordering::Relaxed),
+    )
+}
+
+/// Reusable backing storage for [`HostWorld`]s and their event queues.
+///
+/// Every host in the cluster grid needs the same heap structure — one
+/// FIFO per domain, a core run queue, a 2 048-bucket latency histogram,
+/// and a calendar-queue wheel — so the arena keeps one set alive and
+/// hands it out reset instead of letting each host reallocate it. The
+/// resets restore the exact logical state of fresh storage
+/// ([`EventQueue::reset`] rewinds even the adaptive bucket width), so
+/// arena-backed runs are byte-identical to freshly-allocated ones — a
+/// feature-gated proptest pins that equivalence.
+#[derive(Default)]
+pub struct WorldArena {
+    domains: Vec<Domain>,
+    core_queue: VecDeque<u32>,
+    queue: Option<EventQueue<Ev>>,
+}
+
+impl WorldArena {
+    /// Creates an empty arena; storage is allocated on first use.
+    pub fn new() -> Self {
+        Self::default()
     }
-    let world = HostWorld {
-        table: *table,
-        jitter: 0.15,
-        arrival_mean_ns: params.think_time.as_nanos() as f64 / clients as f64,
-        zipf_theta: params.zipf_theta,
-        queue_cap: params.queue_cap.max(1),
-        cores: params.host_cores.max(1),
-        busy_cores: 0,
-        domains: (0..params.domains_per_host)
-            .map(|_| Domain {
-                pending: VecDeque::new(),
-                in_service: false,
-            })
-            .collect(),
-        core_queue: VecDeque::new(),
-        completed: 0,
-        dropped: 0,
-        latency: Histogram::new(),
-        busy_ns: 0,
-        rng: Rng::substream(params.seed, u64::from(host)),
-    };
-    let mut sim = Simulation::with_capacity(world, params.domains_per_host as usize + 2);
-    sim.queue_mut().schedule_at(Nanos::ZERO, Ev::Arrive);
-    sim.run_until(params.duration);
-    let world = sim.world();
-    HostResult {
-        completed: world.completed,
-        dropped: world.dropped,
-        latency: world.latency.clone(),
-        busy_ns: world.busy_ns,
+
+    /// Resets the pooled storage for a world of `domains` domains and
+    /// bumps the global alloc/reuse counters. Retained FIFOs keep their
+    /// buffers; extra domains from a previous, larger grid are dropped.
+    fn prepare(&mut self, domains: usize, queue_capacity: usize) -> EventQueue<Ev> {
+        let reused = self.queue.is_some() && self.domains.len() >= domains;
+        if reused {
+            ARENA_REUSES.fetch_add(1, Ordering::Relaxed);
+        } else {
+            ARENA_ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        self.domains.truncate(domains);
+        for d in &mut self.domains {
+            d.pending.clear();
+            d.in_service = false;
+        }
+        self.domains.resize_with(domains, || Domain {
+            pending: VecDeque::new(),
+            in_service: false,
+        });
+        self.core_queue.clear();
+        match self.queue.take() {
+            Some(mut q) => {
+                q.reset();
+                q
+            }
+            None => EventQueue::with_capacity(queue_capacity),
+        }
     }
 }
 
-/// Simulates the contiguous host range `[first, first + count)` and
-/// merges in host-index order.
-pub fn run_cluster_range(
+thread_local! {
+    /// One arena per worker thread: the parallel runner hands each
+    /// thread a stream of grid cells, and every cell on that thread
+    /// reuses the same world storage.
+    static ARENA: RefCell<WorldArena> = RefCell::new(WorldArena::new());
+}
+
+/// Simulates one host of the cluster. Pure function of
+/// `(table, params, host_index)` — the unit every driver composes from.
+pub fn simulate_host(table: &PlatformCosts, params: &ClusterParams, host: u32) -> HostResult {
+    let mut arena = WorldArena::new();
+    let r = run_cluster_range_in(&mut arena, table, params, host, 1);
+    HostResult {
+        completed: r.completed,
+        dropped: r.dropped,
+        latency: r.latency,
+        busy_ns: r.busy_ns,
+    }
+}
+
+/// Simulates the contiguous host range `[first, first + count)` into a
+/// single [`ClusterResult`], drawing world storage from `arena`.
+///
+/// Byte-identical to simulating each host with fresh storage and
+/// merging in host-index order: the resets restore fresh logical state,
+/// and the shared latency histogram accumulates integer bucket counts,
+/// which sum the same whether recorded directly or merged per host.
+pub fn run_cluster_range_in(
+    arena: &mut WorldArena,
     table: &PlatformCosts,
     params: &ClusterParams,
     first: u32,
@@ -328,9 +409,51 @@ pub fn run_cluster_range(
 ) -> ClusterResult {
     let mut out = ClusterResult::default();
     for host in first..first + count {
-        out.absorb(&simulate_host(table, params, host));
+        out.hosts += 1;
+        let clients = shard_share(params.clients, u64::from(params.hosts), u64::from(host));
+        if clients == 0 || params.domains_per_host == 0 {
+            continue;
+        }
+        let n = params.domains_per_host as usize;
+        let queue = arena.prepare(n, n + 2);
+        let world = HostWorld {
+            table: *table,
+            jitter: 0.15,
+            arrival_mean_ns: params.think_time.as_nanos() as f64 / clients as f64,
+            zipf_theta: params.zipf_theta,
+            queue_cap: params.queue_cap.max(1),
+            cores: params.host_cores.max(1),
+            busy_cores: 0,
+            domains: &mut arena.domains,
+            core_queue: &mut arena.core_queue,
+            completed: 0,
+            dropped: 0,
+            latency: &mut out.latency,
+            busy_ns: 0,
+            rng: Rng::substream(params.seed, u64::from(host)),
+        };
+        let mut sim = Simulation::from_parts(world, queue);
+        sim.queue_mut().schedule_at(Nanos::ZERO, Ev::Arrive);
+        sim.run_until(params.duration);
+        let (world, queue) = sim.into_parts();
+        out.completed += world.completed;
+        out.dropped += world.dropped;
+        out.busy_ns += world.busy_ns;
+        arena.queue = Some(queue);
     }
     out
+}
+
+/// Simulates the contiguous host range `[first, first + count)` and
+/// merges in host-index order, using the calling thread's arena (world
+/// storage is recycled across every range this thread simulates).
+pub fn run_cluster_range(
+    table: &PlatformCosts,
+    params: &ClusterParams,
+    first: u32,
+    count: u32,
+) -> ClusterResult {
+    ARENA.with(|arena| run_cluster_range_in(&mut arena.borrow_mut(), table, params, first, count))
 }
 
 /// Simulates the whole cluster serially — the golden reference the
