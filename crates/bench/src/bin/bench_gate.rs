@@ -7,7 +7,7 @@
 //! disarms the gate — it prints a note and exits 0 without comparing,
 //! the escape hatch for timing-noisy hosts.
 
-use xc_bench::gate::{check, render, MAX_RATIO};
+use xc_bench::gate::{check, deltas_line, render, MAX_RATIO};
 
 fn arg_value(name: &str) -> Option<String> {
     let mut args = std::env::args().skip(1);
@@ -46,6 +46,7 @@ fn main() {
     let outcomes = check(&committed, &current, MAX_RATIO);
     let (text, failed) = render(&outcomes, MAX_RATIO);
     print!("{text}");
+    println!("{}", deltas_line(&committed, &current));
     if failed {
         std::process::exit(1);
     }

@@ -20,10 +20,24 @@ fn main() {
         std::process::exit(2);
     });
     let runner = Runner::from_args();
-    let (out, entry) = measure("chaos_study", &runner, |r| chaos::run_with(r, quick, rate));
+    // Quick and full sweeps are different workloads, so they get
+    // distinct ledger rows (mirroring cluster_study) — otherwise the
+    // check-script's quick byte gate overwrites the full entry with a
+    // quick wall time at whatever --jobs it happened to use, and the
+    // perf gate compares apples to oranges.
+    let name = if quick {
+        "chaos_study_quick"
+    } else {
+        "chaos_study"
+    };
+    let (out, entry) = measure(name, &runner, |r| chaos::run_with(r, quick, rate));
     print!("{}", out.text);
     record("chaos", &out.findings);
-    record_bench(&entry);
+    // A pinned --fault-rate changes the sweep axis; keep those runs out
+    // of the wall-time trajectory.
+    if rate.is_none() {
+        record_bench(&entry);
+    }
 }
 
 /// Parses `--fault-rate <r>` / `--fault-rate=<r>`; the rate must be a

@@ -43,12 +43,18 @@ fn main() {
     let mut quick = false;
     let mut json = false;
     let mut write_golden = false;
-    for arg in std::env::args().skip(1) {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => quick = true,
             "--json" => json = true,
             "--write-golden" => write_golden = true,
-            other if other.starts_with("--jobs") => {} // handled by Runner::from_args
+            // Both --jobs forms are handled by Runner::from_args; the
+            // space-separated one needs its value consumed here too.
+            "--jobs" => {
+                args.next();
+            }
+            other if other.starts_with("--jobs=") => {}
             other => {
                 eprintln!("verify_lint: unknown argument {other:?}");
                 std::process::exit(2);

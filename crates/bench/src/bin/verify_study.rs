@@ -49,6 +49,12 @@ fn main() {
             .push(("absint_fixpoint_us", total(|r| r.fixpoint_micros)));
         entry
             .metrics
+            .push(("absint_states_cloned", total(|r| r.states_cloned as f64)));
+        entry
+            .metrics
+            .push(("absint_states_shared", total(|r| r.states_shared as f64)));
+        entry
+            .metrics
             .push(("absint_materialize_us", total(|r| r.materialize_micros)));
     }
     record_bench(&entry);

@@ -10,6 +10,7 @@
 
 use std::fmt::Write as _;
 
+use xcontainers::faults::chaos::arena_counters;
 use xcontainers::prelude::*;
 
 use super::HarnessOutput;
@@ -113,6 +114,7 @@ pub fn run_with(runner: &Runner, quick: bool, rate_override: Option<f64>) -> Har
         .flat_map(|p| rates.iter().map(move |&r| (p, r)))
         .collect();
 
+    let (allocs_before, reuses_before) = arena_counters();
     let outcomes: Vec<CellOutcome> = runner.run(grid.len(), |i| {
         let (p, rate) = grid[i];
         let (label, platform) = &platforms[p];
@@ -243,11 +245,19 @@ pub fn run_with(runner: &Runner, quick: bool, rate_override: Option<f64>) -> Har
          flight — never lost; demoted ABOM sites fall back to the syscall trap (§4.4)."
     );
 
+    // Chaos-world arena effectiveness over this sweep: after the first
+    // cell on each worker thread, every world should be rebuilt from
+    // recycled storage. Ledger-only — the split depends on thread
+    // count, so it stays out of the deterministic text/findings.
+    let (allocs_after, reuses_after) = arena_counters();
     HarnessOutput {
         text,
         findings,
         cache_stats: None,
-        metrics: Vec::new(),
+        metrics: vec![
+            ("arena_allocs", (allocs_after - allocs_before) as f64),
+            ("arena_reuses", (reuses_after - reuses_before) as f64),
+        ],
     }
 }
 

@@ -142,8 +142,26 @@ impl AbsState {
         self.regs[reg.code() as usize]
     }
 
-    fn set_reg(&mut self, reg: Reg, v: AbsValue) {
-        self.regs[reg.code() as usize] = v;
+    /// Writes `reg`, reporting whether the value actually moved — the
+    /// transfer function's dirty bit is the OR of these.
+    fn set_reg(&mut self, reg: Reg, v: AbsValue) -> bool {
+        let slot = &mut self.regs[reg.code() as usize];
+        if *slot == v {
+            false
+        } else {
+            *slot = v;
+            true
+        }
+    }
+
+    /// Drops every tracked slot, reporting whether any existed.
+    fn clear_slots(&mut self) -> bool {
+        if self.slots.is_empty() {
+            false
+        } else {
+            self.slots.clear();
+            true
+        }
     }
 
     /// Pointwise join. Slots join by key intersection (absent = `Top`).
@@ -176,10 +194,17 @@ impl AbsState {
 }
 
 /// Result of the interprocedural pass.
+///
+/// Pre-states are interned: `states` is a dense arena and `state_in`
+/// maps instruction addresses to arena ids, so the many program points
+/// that share one abstract state (every instruction that does not move
+/// the lattice) share one allocation instead of each holding a clone.
 #[derive(Debug, Clone, Default)]
 pub struct AbsInt {
-    /// Pre-state of every reachable instruction.
-    pub state_in: BTreeMap<u64, AbsState>,
+    /// Interned abstract states (the copy-on-write arena).
+    states: Vec<AbsState>,
+    /// Arena id of the pre-state of every reachable instruction.
+    state_in: BTreeMap<u64, u32>,
 }
 
 /// A block is re-queued at most this many times before its in-state is
@@ -227,11 +252,15 @@ impl Worklist {
 }
 
 impl AbsInt {
+    /// The interned pre-state of the instruction at `at`, if reached.
+    pub fn state_at(&self, at: u64) -> Option<&AbsState> {
+        self.state_in.get(&at).map(|&id| &self.states[id as usize])
+    }
+
     /// The abstract `%rax` value just before the instruction at `at`
     /// ([`AbsValue::Unreached`] if the point was never reached).
     pub fn rax_at(&self, at: u64) -> AbsValue {
-        self.state_in
-            .get(&at)
+        self.state_at(at)
             .map_or(AbsValue::Unreached, |s| s.reg(Reg::Rax))
     }
 
@@ -267,14 +296,21 @@ impl AbsInt {
 
     /// The worklist driver behind both entry points.
     ///
-    /// Block states live in a dense arena indexed by the block's rank in
-    /// ascending start-address order (the iteration order of
-    /// `cfg.blocks`), with a binary search mapping addresses to ids; the
-    /// worklist is a [`Worklist`] bitset over the same ids. Popping the
-    /// lowest set bit is therefore exactly the old
-    /// `BTreeSet<u64>`-pop-minimum schedule, and the result — including
-    /// join order and widening points — is unchanged; only the map and
-    /// set overhead on the hot loop is gone.
+    /// Block in-states are *interned*: the arena (`AbsInt::states`)
+    /// holds the actual `AbsState`s and `block_in` maps dense block ids
+    /// (rank in ascending start-address order, binary search for the
+    /// lookup) to arena ids. The arena is copy-on-write — `owned[id]`
+    /// says whether block `id` is the sole referent of its slot. When a
+    /// popped block's transfer chain leaves the state untouched (the
+    /// per-pop dirty bit stays clear), successors receive the in-state
+    /// *by id* instead of by clone, and both sides drop ownership so a
+    /// later join interns a fresh slot rather than mutating a shared
+    /// one. Join order, widening points and the pop schedule are
+    /// exactly the old `BTreeSet<u64>`-pop-minimum behaviour; only the
+    /// clone traffic changes, which [`Probe::state_cloned`] /
+    /// [`Probe::state_shared`] account for (each share replaces what
+    /// the pre-CoW driver cloned, so `cloned + shared` is the old clone
+    /// count).
     fn analyze_with<P: Probe>(
         disasm: &Disassembly,
         cfg: &Cfg,
@@ -286,61 +322,89 @@ impl AbsInt {
         let window = u16::from(stack_window_slots) * 8;
         let starts: Vec<u64> = cfg.blocks.keys().copied().collect();
         let id_of = |addr: u64| starts.binary_search(&addr).ok();
-        let mut block_in: Vec<Option<AbsState>> = vec![None; starts.len()];
+        let mut arena: Vec<AbsState> = Vec::with_capacity(starts.len());
+        let mut block_in: Vec<Option<u32>> = vec![None; starts.len()];
+        let mut owned: Vec<bool> = vec![false; starts.len()];
         let mut visits: Vec<u32> = vec![0; starts.len()];
         let mut work = Worklist::new(starts.len());
         for &e in &disasm.entries {
             if let Some(id) = id_of(e) {
-                block_in[id] = Some(AbsState::top());
+                if block_in[id].is_none() {
+                    arena.push(AbsState::top());
+                    block_in[id] = Some((arena.len() - 1) as u32);
+                    owned[id] = true;
+                }
                 work.insert(id);
             }
         }
 
-        // Merging into an address with no block used to park a state in
-        // the map that nothing ever read; the dense arena just skips it.
-        let merge =
-            |block_in: &mut [Option<AbsState>], probe: &mut P, id: usize, state: &AbsState| {
-                let changed = match &mut block_in[id] {
-                    Some(old) => {
-                        let joined = old.join(state);
-                        if &joined != old {
-                            *old = joined;
-                            true
-                        } else {
-                            false
-                        }
-                    }
-                    slot @ None => {
-                        *slot = Some(state.clone());
-                        true
-                    }
-                };
-                probe.state_merged(changed);
-                changed
-            };
+        // Scratch out-state, refreshed per pop (the one unavoidable
+        // copy per fixpoint iteration — `clone_from` reuses its
+        // allocations where the collections allow).
+        let mut scratch = AbsState::top();
 
         while let Some(id) = work.pop_first() {
             probe.block_popped();
             visits[id] += 1;
+            let cur = block_in[id].expect("queued block has a state") as usize;
             if visits[id] > BLOCK_VISIT_CAP {
-                block_in[id] = Some(AbsState::top());
+                if owned[id] {
+                    arena[cur] = AbsState::top();
+                } else {
+                    arena.push(AbsState::top());
+                    block_in[id] = Some((arena.len() - 1) as u32);
+                    owned[id] = true;
+                }
             }
+            let in_id = block_in[id].expect("queued block has a state");
+            scratch.clone_from(&arena[in_id as usize]);
+            probe.state_cloned();
             let start = starts[id];
             let block = &cfg.blocks[&start];
-            let mut state = block_in[id].clone().expect("queued block has a state");
+            let mut dirty = false;
             for &at in &block.insts {
                 let d = &disasm.insts[&at];
                 if let Some(tid) = resolved_call_target(cg, at).and_then(id_of) {
-                    let seed = state.call_seed();
-                    if merge(&mut block_in, probe, tid, &seed) {
+                    let seed = scratch.call_seed();
+                    let m = merge_into(
+                        &mut arena,
+                        &mut block_in,
+                        &mut owned,
+                        probe,
+                        tid,
+                        &seed,
+                        None,
+                    );
+                    if m.changed {
                         work.insert(tid);
+                        // A self-targeted seed may have joined into our
+                        // own (owned) slot in place; don't offer that
+                        // slot's id to successors as the clean in-state.
+                        dirty |= tid == id;
                     }
                 }
-                transfer(&mut state, d.inst, at, window, cg, summaries);
+                dirty |= transfer(&mut scratch, d.inst, at, window, cg, summaries);
             }
+            // A clean chain means the out-state *is* the in-state, so
+            // successors may share its arena id.
+            let out_id = if dirty { None } else { Some(in_id) };
             for &succ in &block.succs {
                 if let Some(sid) = id_of(succ) {
-                    if merge(&mut block_in, probe, sid, &state) {
+                    let m = merge_into(
+                        &mut arena,
+                        &mut block_in,
+                        &mut owned,
+                        probe,
+                        sid,
+                        &scratch,
+                        out_id,
+                    );
+                    if m.shared {
+                        // Two blocks now reference the slot; neither may
+                        // join into it in place.
+                        owned[id] = false;
+                    }
+                    if m.changed {
                         work.insert(sid);
                     }
                 }
@@ -349,16 +413,30 @@ impl AbsInt {
         probe.fixpoint_done();
 
         // Converged: materialise per-instruction pre-states in order.
+        // Instructions whose transfer left the state untouched share
+        // the previous arena id; only a lattice-moving instruction
+        // interns a fresh state.
         let mut state_in = BTreeMap::new();
         for (id, (start, block)) in cfg.blocks.iter().enumerate() {
             debug_assert_eq!(*start, starts[id]);
-            let Some(mut state) = block_in[id].clone() else {
+            let Some(mut cur_id) = block_in[id] else {
                 continue;
             };
+            scratch.clone_from(&arena[cur_id as usize]);
+            probe.state_cloned();
+            let mut dirty = false;
             for &at in &block.insts {
-                state_in.insert(at, state.clone());
-                transfer(
-                    &mut state,
+                if dirty {
+                    arena.push(scratch.clone());
+                    probe.state_cloned();
+                    cur_id = (arena.len() - 1) as u32;
+                    dirty = false;
+                } else {
+                    probe.state_shared();
+                }
+                state_in.insert(at, cur_id);
+                dirty |= transfer(
+                    &mut scratch,
                     disasm.insts[&at].inst,
                     at,
                     window,
@@ -368,8 +446,81 @@ impl AbsInt {
             }
         }
         probe.materialize_done();
-        AbsInt { state_in }
+        AbsInt {
+            states: arena,
+            state_in,
+        }
     }
+}
+
+/// What [`merge_into`] did: whether the join moved the target's lattice
+/// (re-queue it) and whether the incoming state was adopted by arena id
+/// (the donor must then give up in-place mutation rights).
+struct MergeOutcome {
+    changed: bool,
+    shared: bool,
+}
+
+/// Merges `state` into block `id`'s in-state under the copy-on-write
+/// discipline. `src` carries the incoming state's arena id when it is
+/// already interned (a clean out-state); a first merge then shares the
+/// id instead of cloning. Joins mutate in place only when the target
+/// owns its slot; otherwise the joined state is interned fresh so
+/// sharers never observe the write. Merging into an address with no
+/// block used to park a state in the map that nothing ever read; the
+/// dense arena just skips it.
+fn merge_into<P: Probe>(
+    arena: &mut Vec<AbsState>,
+    block_in: &mut [Option<u32>],
+    owned: &mut [bool],
+    probe: &mut P,
+    id: usize,
+    state: &AbsState,
+    src: Option<u32>,
+) -> MergeOutcome {
+    let outcome = match block_in[id] {
+        Some(cur) => {
+            let old = &arena[cur as usize];
+            let joined = old.join(state);
+            let changed = &joined != old;
+            if changed {
+                if owned[id] {
+                    arena[cur as usize] = joined;
+                } else {
+                    arena.push(joined);
+                    block_in[id] = Some((arena.len() - 1) as u32);
+                    owned[id] = true;
+                }
+            }
+            MergeOutcome {
+                changed,
+                shared: false,
+            }
+        }
+        None => match src {
+            Some(sid) => {
+                block_in[id] = Some(sid);
+                owned[id] = false;
+                probe.state_shared();
+                MergeOutcome {
+                    changed: true,
+                    shared: true,
+                }
+            }
+            None => {
+                arena.push(state.clone());
+                block_in[id] = Some((arena.len() - 1) as u32);
+                owned[id] = true;
+                probe.state_cloned();
+                MergeOutcome {
+                    changed: true,
+                    shared: false,
+                }
+            }
+        },
+    };
+    probe.state_merged(outcome.changed);
+    outcome
 }
 
 /// Resolved in-image destination of a call instruction at `at`, if any.
@@ -378,6 +529,8 @@ fn resolved_call_target(cg: &CallGraph, at: u64) -> Option<u64> {
 }
 
 /// One-instruction transfer function (mutates `state` in place).
+/// Returns whether the state actually moved — the copy-on-write driver
+/// uses this dirty bit to share untouched states by arena id.
 fn transfer(
     state: &mut AbsState,
     inst: Inst,
@@ -385,7 +538,7 @@ fn transfer(
     window: u16,
     cg: &CallGraph,
     summaries: &Summaries,
-) {
+) -> bool {
     match inst {
         Inst::MovImm32 { reg, imm } => state.set_reg(
             reg,
@@ -410,7 +563,7 @@ fn transfer(
         ),
         Inst::MovRegReg64 { dst, src } => {
             let v = state.reg(src).redef(at, 3);
-            state.set_reg(dst, v);
+            state.set_reg(dst, v)
         }
         Inst::LoadRspDisp8R64 { reg, disp } => {
             let v = state
@@ -419,7 +572,7 @@ fn transfer(
                 .copied()
                 .unwrap_or(AbsValue::Top)
                 .redef(at, 5);
-            state.set_reg(reg, v);
+            state.set_reg(reg, v)
         }
         Inst::LoadRspDisp8R32 { reg, disp } => {
             // 32-bit load zero-extends; only constants already in u32
@@ -433,35 +586,49 @@ fn transfer(
                 }
                 _ => AbsValue::Top,
             };
-            state.set_reg(reg, v);
+            state.set_reg(reg, v)
         }
         Inst::StoreRspDisp8R64 { reg, disp } => {
-            // An 8-byte store invalidates any tracked slot it overlaps.
+            // An 8-byte store invalidates any tracked slot it overlaps,
+            // then records the stored value at `disp` when it is inside
+            // the tracked window and informative.
             let lo = disp.saturating_sub(7);
             let hi = disp.saturating_add(7);
-            let stale: Vec<u8> = state.slots.range(lo..=hi).map(|(&k, _)| k).collect();
+            let new = if u16::from(disp) < window {
+                Some(state.reg(reg)).filter(|&v| v != AbsValue::Top)
+            } else {
+                None
+            };
+            let stale: Vec<u8> = state
+                .slots
+                .range(lo..=hi)
+                .map(|(&k, _)| k)
+                .filter(|&k| k != disp)
+                .collect();
+            let mut changed = !stale.is_empty();
             for k in stale {
                 state.slots.remove(&k);
             }
-            if u16::from(disp) < window {
-                let v = state.reg(reg);
-                if v != AbsValue::Top {
-                    state.slots.insert(disp, v);
-                }
+            match new {
+                Some(v) => changed |= state.slots.insert(disp, v) != Some(v),
+                None => changed |= state.slots.remove(&disp).is_some(),
             }
+            changed
         }
         Inst::Syscall => {
-            state.set_reg(Reg::Rax, AbsValue::Top);
-            state.set_reg(Reg::Rcx, AbsValue::Top);
-            state.slots.clear();
+            let mut changed = state.set_reg(Reg::Rax, AbsValue::Top);
+            changed |= state.set_reg(Reg::Rcx, AbsValue::Top);
+            changed | state.clear_slots()
         }
         Inst::CallRel32 { .. } | Inst::CallAbsIndirect { .. } => {
-            match resolved_call_target(cg, at) {
+            let mut changed = match resolved_call_target(cg, at) {
                 Some(target) => {
                     let s = summaries.summary(target);
                     let pre_rax = state.reg(Reg::Rax);
+                    let mut changed = false;
                     for code in 0..8u8 {
                         if s.clobbers & (1 << code) != 0 {
+                            changed |= state.regs[code as usize] != AbsValue::Top;
                             state.regs[code as usize] = AbsValue::Top;
                         }
                     }
@@ -478,22 +645,24 @@ fn transfer(
                             }
                         }
                     };
-                    state.set_reg(Reg::Rax, rax);
+                    changed | state.set_reg(Reg::Rax, rax)
                 }
                 None => {
+                    let changed = state.regs != [AbsValue::Top; 8];
                     state.regs = [AbsValue::Top; 8];
+                    changed
                 }
-            }
-            state.slots.clear();
+            };
+            changed |= state.clear_slots();
+            changed
         }
         Inst::PushRbp | Inst::AddRspImm8 { .. } | Inst::SubRspImm8 { .. } => {
-            state.set_reg(Reg::Rsp, AbsValue::Top);
-            state.slots.clear();
+            state.set_reg(Reg::Rsp, AbsValue::Top) | state.clear_slots()
         }
         Inst::PopRbp | Inst::Leave => {
-            state.set_reg(Reg::Rsp, AbsValue::Top);
-            state.set_reg(Reg::Rbp, AbsValue::Top);
-            state.slots.clear();
+            state.set_reg(Reg::Rsp, AbsValue::Top)
+                | state.set_reg(Reg::Rbp, AbsValue::Top)
+                | state.clear_slots()
         }
         Inst::Nop
         | Inst::Ret
@@ -502,7 +671,7 @@ fn transfer(
         | Inst::TestEaxEax
         | Inst::JmpRel8 { .. }
         | Inst::JmpRel32 { .. }
-        | Inst::JccRel8 { .. } => {}
+        | Inst::JccRel8 { .. } => false,
     }
 }
 
@@ -669,7 +838,7 @@ mod tests {
         a.inst(Inst::Syscall); // clobbers rax + rcx
         a.inst(Inst::Ret);
         let (_, ai) = run(a);
-        let state = ai.state_in.get(&after_call).unwrap();
+        let state = ai.state_at(after_call).unwrap();
         // rax was clobbered by the callee's syscall; rbx survived.
         assert_eq!(state.reg(Reg::Rax), AbsValue::Top);
         assert_eq!(state.reg(Reg::Rbx).as_const(), Some(11));

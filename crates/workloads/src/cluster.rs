@@ -72,12 +72,108 @@ impl ClusterParams {
     }
 }
 
-/// One domain: a single-process service draining its own FIFO.
-struct Domain {
-    /// Arrival timestamps of queued-but-unserved requests.
-    pending: VecDeque<Nanos>,
-    /// Whether a request is currently on a core.
-    in_service: bool,
+/// Flat per-domain bounded FIFOs plus in-service flags.
+///
+/// Every domain used to own a `VecDeque` (cap-bounded by the drop
+/// check), so a 2 880-domain host world was 2 880 separate ring
+/// buffers. This packs them into **one** slab: `stride` slots per
+/// domain (the queue cap rounded up to a power of two) with per-domain
+/// wrapping `u32` head/tail counters, so `len = tail - head` and the
+/// slot index is `d * stride + (counter & (stride - 1))`. The logical
+/// queue discipline — FIFO order, drop when `len >= queue_cap` — is
+/// exactly the old per-deque behaviour (a unit test pins the cap-64
+/// drop boundary against a `VecDeque` model).
+#[derive(Default)]
+struct DomainFifos {
+    /// All domains' ring storage, `stride` slots each. Slack beyond the
+    /// live `domains * stride` prefix (from a larger earlier grid) is
+    /// dead data — indexing never leaves a domain's own window.
+    slots: Vec<Nanos>,
+    /// Per-domain head counters (wrapping).
+    heads: Vec<u32>,
+    /// Per-domain tail counters (wrapping).
+    tails: Vec<u32>,
+    /// Whether each domain has a request on a core.
+    in_service: Vec<bool>,
+    /// Power-of-two slots per domain (≥ the logical queue cap).
+    stride: usize,
+}
+
+impl DomainFifos {
+    /// Number of domains currently configured.
+    #[cfg(test)]
+    fn domains(&self) -> usize {
+        self.heads.len()
+    }
+
+    /// Queued requests in domain `d`'s FIFO.
+    #[inline]
+    fn len(&self, d: usize) -> usize {
+        self.tails[d].wrapping_sub(self.heads[d]) as usize
+    }
+
+    /// Whether domain `d`'s FIFO is empty.
+    #[inline]
+    fn is_empty(&self, d: usize) -> bool {
+        self.heads[d] == self.tails[d]
+    }
+
+    /// Appends an arrival timestamp to domain `d`'s FIFO. The caller
+    /// enforces the logical cap; the ring itself never overflows
+    /// because `len <= queue_cap <= stride`.
+    #[inline]
+    fn push(&mut self, d: usize, v: Nanos) {
+        debug_assert!(self.len(d) < self.stride, "ring overfull");
+        let t = self.tails[d];
+        self.slots[d * self.stride + (t as usize & (self.stride - 1))] = v;
+        self.tails[d] = t.wrapping_add(1);
+    }
+
+    /// Pops the oldest arrival from domain `d`'s FIFO.
+    #[inline]
+    fn pop(&mut self, d: usize) -> Nanos {
+        debug_assert!(!self.is_empty(d), "ready domain has pending work");
+        let h = self.heads[d];
+        let v = self.slots[d * self.stride + (h as usize & (self.stride - 1))];
+        self.heads[d] = h.wrapping_add(1);
+        v
+    }
+
+    /// Whether domain `d` has a request on a core.
+    #[inline]
+    fn in_service(&self, d: usize) -> bool {
+        self.in_service[d]
+    }
+
+    #[inline]
+    fn set_in_service(&mut self, d: usize, v: bool) {
+        self.in_service[d] = v;
+    }
+
+    /// Reconfigures for `domains` domains with logical cap `queue_cap`,
+    /// emptying every FIFO (counters to zero) while keeping the slab
+    /// allocation when it is already large enough. Stale slot contents
+    /// are unreachable once `head == tail`, so they are left in place.
+    fn reset(&mut self, domains: usize, queue_cap: usize) {
+        self.stride = queue_cap.max(1).next_power_of_two();
+        let need = domains * self.stride;
+        if self.slots.len() < need {
+            self.slots.resize(need, Nanos::ZERO);
+        }
+        self.heads.clear();
+        self.heads.resize(domains, 0);
+        self.tails.clear();
+        self.tails.resize(domains, 0);
+        self.in_service.clear();
+        self.in_service.resize(domains, false);
+    }
+
+    /// Whether the slab already covers `domains` domains at `queue_cap`
+    /// (i.e. a [`DomainFifos::reset`] would not allocate).
+    fn covers(&self, domains: usize, queue_cap: usize) -> bool {
+        let stride = queue_cap.max(1).next_power_of_two();
+        self.slots.len() >= domains * stride && self.heads.capacity() >= domains
+    }
 }
 
 /// One host's world: open-loop Poisson arrivals over Zipf-ranked
@@ -98,7 +194,10 @@ struct HostWorld<'a> {
     queue_cap: usize,
     cores: u32,
     busy_cores: u32,
-    domains: &'a mut Vec<Domain>,
+    /// Domains on this host (the Zipf draw's range; the ring slab's
+    /// configured domain count always matches).
+    n_domains: u64,
+    fifos: &'a mut DomainFifos,
     /// Domains ready to serve (idle, pending non-empty) waiting for a
     /// free core, FIFO. A domain is queued at most once: it enters only
     /// on its idle-with-work transition and leaves when started.
@@ -135,11 +234,8 @@ impl HostWorld<'_> {
     }
 
     fn start(&mut self, d: u32, queue: &mut EventQueue<Ev>) {
-        let issued = self.domains[d as usize]
-            .pending
-            .pop_front()
-            .expect("ready domain has pending work");
-        self.domains[d as usize].in_service = true;
+        let issued = self.fifos.pop(d as usize);
+        self.fifos.set_in_service(d as usize, true);
         self.busy_cores += 1;
         let st = self.sample_service();
         self.busy_ns += st.as_nanos();
@@ -158,27 +254,26 @@ impl World for HostWorld<'_> {
                 // independent of what this arrival does.
                 let gap = self.rng.exponential(self.arrival_mean_ns);
                 queue.schedule_in(Nanos::from_nanos(gap as u64), Ev::Arrive);
-                let d = self.rng.zipf(self.domains.len() as u64, self.zipf_theta) as u32;
-                let dom = &mut self.domains[d as usize];
-                if dom.in_service || !dom.pending.is_empty() {
+                let d = self.rng.zipf(self.n_domains, self.zipf_theta) as u32;
+                let du = d as usize;
+                if self.fifos.in_service(du) || !self.fifos.is_empty(du) {
                     // Busy or already in line: join the domain FIFO.
-                    if dom.pending.len() >= self.queue_cap {
+                    if self.fifos.len(du) >= self.queue_cap {
                         self.dropped += 1;
                     } else {
-                        dom.pending.push_back(now);
+                        self.fifos.push(du, now);
                     }
                 } else {
-                    dom.pending.push_back(now);
+                    self.fifos.push(du, now);
                     self.dispatch(d, queue);
                 }
             }
             Ev::Finish { domain, issued } => {
                 self.completed += 1;
                 self.latency.record_nanos((now - issued) + self.table.rtt);
-                let dom = &mut self.domains[domain as usize];
-                dom.in_service = false;
+                self.fifos.set_in_service(domain as usize, false);
                 self.busy_cores -= 1;
-                if !dom.pending.is_empty() {
+                if !self.fifos.is_empty(domain as usize) {
                     // Re-compete for a core behind anyone already waiting.
                     self.core_queue.push_back(domain);
                 }
@@ -322,17 +417,18 @@ pub fn arena_counters() -> (u64, u64) {
 
 /// Reusable backing storage for [`HostWorld`]s and their event queues.
 ///
-/// Every host in the cluster grid needs the same heap structure — one
-/// FIFO per domain, a core run queue, a 2 048-bucket latency histogram,
-/// and a calendar-queue wheel — so the arena keeps one set alive and
-/// hands it out reset instead of letting each host reallocate it. The
-/// resets restore the exact logical state of fresh storage
-/// ([`EventQueue::reset`] rewinds even the adaptive bucket width), so
-/// arena-backed runs are byte-identical to freshly-allocated ones — a
-/// feature-gated proptest pins that equivalence.
+/// Every host in the cluster grid needs the same heap structure — the
+/// flat [`DomainFifos`] ring slab, a core run queue, a 2 048-bucket
+/// latency histogram, and a calendar-queue wheel — so the arena keeps
+/// one set alive and hands it out reset instead of letting each host
+/// reallocate it. The resets restore the exact logical state of fresh
+/// storage ([`EventQueue::reset`] rewinds even the adaptive bucket
+/// width), so arena-backed runs are byte-identical to
+/// freshly-allocated ones — a feature-gated proptest pins that
+/// equivalence.
 #[derive(Default)]
 pub struct WorldArena {
-    domains: Vec<Domain>,
+    fifos: DomainFifos,
     core_queue: VecDeque<u32>,
     queue: Option<EventQueue<Ev>>,
 }
@@ -343,25 +439,23 @@ impl WorldArena {
         Self::default()
     }
 
-    /// Resets the pooled storage for a world of `domains` domains and
-    /// bumps the global alloc/reuse counters. Retained FIFOs keep their
-    /// buffers; extra domains from a previous, larger grid are dropped.
-    fn prepare(&mut self, domains: usize, queue_capacity: usize) -> EventQueue<Ev> {
-        let reused = self.queue.is_some() && self.domains.len() >= domains;
+    /// Resets the pooled storage for a world of `domains` domains with
+    /// per-domain queue cap `queue_cap` and bumps the global alloc/reuse
+    /// counters. The ring slab keeps its buffer whenever it already
+    /// covers the requested geometry.
+    fn prepare(
+        &mut self,
+        domains: usize,
+        queue_cap: usize,
+        queue_capacity: usize,
+    ) -> EventQueue<Ev> {
+        let reused = self.queue.is_some() && self.fifos.covers(domains, queue_cap);
         if reused {
             ARENA_REUSES.fetch_add(1, Ordering::Relaxed);
         } else {
             ARENA_ALLOCS.fetch_add(1, Ordering::Relaxed);
         }
-        self.domains.truncate(domains);
-        for d in &mut self.domains {
-            d.pending.clear();
-            d.in_service = false;
-        }
-        self.domains.resize_with(domains, || Domain {
-            pending: VecDeque::new(),
-            in_service: false,
-        });
+        self.fifos.reset(domains, queue_cap);
         self.core_queue.clear();
         match self.queue.take() {
             Some(mut q) => {
@@ -415,7 +509,7 @@ pub fn run_cluster_range_in(
             continue;
         }
         let n = params.domains_per_host as usize;
-        let queue = arena.prepare(n, n + 2);
+        let queue = arena.prepare(n, params.queue_cap.max(1), n + 2);
         let world = HostWorld {
             table: *table,
             jitter: 0.15,
@@ -424,7 +518,8 @@ pub fn run_cluster_range_in(
             queue_cap: params.queue_cap.max(1),
             cores: params.host_cores.max(1),
             busy_cores: 0,
-            domains: &mut arena.domains,
+            n_domains: n as u64,
+            fifos: &mut arena.fifos,
             core_queue: &mut arena.core_queue,
             completed: 0,
             dropped: 0,
@@ -496,6 +591,60 @@ mod tests {
             host_cores: 16,
             seed: 11,
         }
+    }
+
+    #[test]
+    fn fifo_ring_matches_vecdeque_at_cap_64_drop_boundary() {
+        // Drive the flat ring and a per-domain VecDeque model through an
+        // identical operation stream with the production drop rule
+        // (`len >= cap` ⇒ drop) at the study's cap of 64, crossing the
+        // boundary repeatedly: fill past full, drain partially, refill.
+        const CAP: usize = 64;
+        const DOMS: usize = 3;
+        let mut ring = DomainFifos::default();
+        ring.reset(DOMS, CAP);
+        assert_eq!(ring.domains(), DOMS);
+        let mut model: Vec<VecDeque<Nanos>> = vec![VecDeque::new(); DOMS];
+        let mut rng = Rng::new(7);
+        let mut drops = (0u64, 0u64);
+        for step in 0..10_000u64 {
+            let d = (rng.next_u64() % DOMS as u64) as usize;
+            let push = !rng.next_u64().is_multiple_of(3); // pushes outnumber pops
+            if push {
+                let v = Nanos::from_nanos(step);
+                if ring.len(d) >= CAP {
+                    drops.0 += 1;
+                } else {
+                    ring.push(d, v);
+                }
+                if model[d].len() >= CAP {
+                    drops.1 += 1;
+                } else {
+                    model[d].push_back(v);
+                }
+            } else if !ring.is_empty(d) {
+                assert_eq!(Some(ring.pop(d)), model[d].pop_front());
+            } else {
+                assert!(model[d].is_empty());
+            }
+            assert_eq!(ring.len(d), model[d].len());
+            assert_eq!(ring.is_empty(d), model[d].is_empty());
+        }
+        assert_eq!(drops.0, drops.1);
+        assert!(drops.0 > 0, "stream must actually hit the drop boundary");
+        // Residual contents drain in identical FIFO order.
+        for (d, m) in model.iter_mut().enumerate() {
+            while let Some(v) = m.pop_front() {
+                assert_eq!(ring.pop(d), v);
+            }
+            assert!(ring.is_empty(d));
+        }
+        // A reset empties every FIFO without reallocating the slab.
+        ring.push(1, Nanos::from_nanos(9));
+        ring.set_in_service(2, true);
+        assert!(ring.covers(DOMS, CAP));
+        ring.reset(DOMS, CAP);
+        assert!(ring.is_empty(1) && !ring.in_service(2));
     }
 
     #[test]

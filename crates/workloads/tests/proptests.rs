@@ -15,7 +15,9 @@ use xc_sim::time::Nanos;
 use xc_workloads::apps;
 use xc_workloads::cluster::{run_cluster_range_in, ClusterParams, WorldArena};
 use xc_workloads::costs::PlatformCosts;
-use xc_workloads::http::{run_closed_loop_from, run_closed_loop_sharded, ServerModel};
+use xc_workloads::http::{
+    run_closed_loop_from, run_closed_loop_from_in, run_closed_loop_sharded, LoopArena, ServerModel,
+};
 
 fn arb_cloud() -> impl Strategy<Value = CloudEnv> {
     prop_oneof![
@@ -101,6 +103,34 @@ proptest! {
         // And the capacity ceiling follows from those fields alone.
         let expect = f64::from(server.parallelism()) / table.service.as_secs_f64();
         prop_assert_eq!(table.capacity_rps().to_bits(), expect.to_bits());
+    }
+
+    /// Closed-loop arena recycling is observationally invisible: a
+    /// [`LoopArena`] reused across a random sequence of closed-loop
+    /// runs reproduces each run's throughput to the last mantissa bit
+    /// and its latency histogram bucket-for-bucket, exactly as a fresh
+    /// arena per run would — the contract behind the thread-local
+    /// arenas inside `run_closed_loop_from` and the sharded workers.
+    #[test]
+    fn loop_arena_reuse_matches_fresh_worlds(
+        runs in proptest::collection::vec(
+            (arb_platform(), arb_profile(), 1u32..40, 2u64..25, any::<u64>()),
+            1..5,
+        ),
+    ) {
+        let costs = CostModel::skylake_cloud();
+        let mut recycled = LoopArena::new();
+        for (platform, profile, connections, duration_ms, seed) in runs {
+            let server = ServerModel { platform, profile, workers: 2, cores: 4 };
+            let table = PlatformCosts::derive(&server, &costs);
+            let duration = Nanos::from_millis(duration_ms);
+            let reused =
+                run_closed_loop_from_in(&mut recycled, &table, connections, duration, seed);
+            let fresh =
+                run_closed_loop_from_in(&mut LoopArena::new(), &table, connections, duration, seed);
+            prop_assert_eq!(reused.throughput_rps.to_bits(), fresh.throughput_rps.to_bits());
+            prop_assert_eq!(reused.latency, fresh.latency);
+        }
     }
 
     /// Arena reuse is observationally invisible: running a host range

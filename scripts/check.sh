@@ -25,7 +25,7 @@ cargo fmt --all -- --check
 
 echo "== cargo clippy (workspace, all targets incl. feature-gated code, warnings are errors) =="
 cargo clippy --workspace --all-targets \
-    --features xc-sim/proptest,xc-workloads/proptest,xc-verify/proptest,xc-verify/profile \
+    --features xc-sim/proptest,xc-workloads/proptest,xc-faults/proptest,xc-verify/proptest,xc-verify/profile \
     -- -D warnings
 
 echo "== runner determinism suite =="
@@ -118,10 +118,13 @@ if [ "$bench" -eq 1 ]; then
     echo "== perf regression gate: fresh wall times vs committed BENCH_runner.json =="
     cargo build -q --release -p xc-bench --bin fig3_macro --bin cluster_study --bin bench_gate
     # Refresh the gated harnesses at the jobs values the committed
-    # trajectory was recorded at, so the gate compares like with like.
+    # trajectory was recorded at, so the gate compares like with like
+    # (each binary records the --jobs it actually ran with).
     target/release/fig3_macro --jobs 2 >/dev/null
     target/release/all_experiments --jobs 2 >/dev/null
     target/release/cluster_study --jobs 1 >/dev/null
+    target/release/chaos_study --jobs 1 >/dev/null
+    target/release/verify_lint --jobs 1 >/dev/null
     target/release/bench_gate --baseline "$tmp/bench-baseline.json"
     echo "ok: perf section green (byte gates, fig4 digest, wall-time budget)"
 fi
