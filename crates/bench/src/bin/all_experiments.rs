@@ -11,14 +11,63 @@
 //! `BENCH_runner.json`, never stdout, so stdout stays byte-comparable
 //! across `--jobs` values.
 //!
+//! Crash-safe flags (DESIGN.md §4j): `--resume` replays completed
+//! measurement groups from the journal, `--fresh` discards it first;
+//! both checkpoint each group and stop gracefully on SIGINT (exit 3,
+//! resumable). Journaled runs skip the serial reference re-run and the
+//! wall-time ledger (a partial wall would poison the trajectory) but
+//! keep the acceptance-band exit status.
+//!
 //! [`measure`]: xc_bench::harness::measure
 
-use xc_bench::harness::{all_experiments, measure};
+use std::path::Path;
+
+use xc_bench::harness::{all_experiments, measure, Journaled};
+use xc_bench::journal::{ResumeArgs, JOURNAL_ROOT};
 use xc_bench::record;
 use xc_bench::runner::{record_bench, Runner};
 
 fn main() {
+    let resume = ResumeArgs::parse(std::env::args().skip(1)).unwrap_or_else(|e| {
+        eprintln!("all_experiments: {e}");
+        std::process::exit(2);
+    });
     let runner = Runner::from_args();
+
+    if resume.journaled() {
+        let root = Path::new(JOURNAL_ROOT);
+        match all_experiments::run_journaled(&runner, root, "all_experiments", &resume) {
+            Ok(Journaled::Complete {
+                out,
+                replayed,
+                executed,
+            }) => {
+                eprintln!(
+                    "all_experiments: {replayed} groups replayed from the journal, \
+                     {executed} executed"
+                );
+                print!("{}", out.text);
+                record("all_experiments", &out.findings);
+                let out_of_band = out.findings.iter().filter(|f| !f.in_band).count();
+                if out_of_band > 0 {
+                    std::process::exit(1);
+                }
+            }
+            Ok(Journaled::Interrupted { completed, total }) => {
+                eprintln!(
+                    "all_experiments: interrupted after {completed}/{total} groups; \
+                     rerun with --resume to continue"
+                );
+                std::process::exit(3);
+            }
+            Err(e) => {
+                eprintln!("all_experiments: journal error: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
     let (out, entry) = measure("all_experiments", &runner, all_experiments::run);
     match (entry.serial_wall_ms, entry.parallel_matches_serial) {
         (Some(serial_ms), Some(matches)) => eprintln!(

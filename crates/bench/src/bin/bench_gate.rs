@@ -5,9 +5,11 @@
 //! Usage: `bench_gate --baseline <snapshot> [--fresh <ledger>]`
 //! (`--fresh` defaults to `BENCH_runner.json`). `XC_BENCH_GATE=off`
 //! disarms the gate — it prints a note and exits 0 without comparing,
-//! the escape hatch for timing-noisy hosts.
+//! the escape hatch for timing-noisy hosts. Any other value arms the
+//! gate and warns: a typo'd switch must never silently change what CI
+//! enforces.
 
-use xc_bench::gate::{check, deltas_line, render, MAX_RATIO};
+use xc_bench::gate::{check, deltas_line, gate_mode, render, GateMode, GATE_ENV, MAX_RATIO};
 
 fn arg_value(name: &str) -> Option<String> {
     let mut args = std::env::args().skip(1);
@@ -20,9 +22,18 @@ fn arg_value(name: &str) -> Option<String> {
 }
 
 fn main() {
-    if std::env::var("XC_BENCH_GATE").as_deref() == Ok("off") {
-        println!("bench gate disarmed (XC_BENCH_GATE=off); skipping wall-time comparison");
-        return;
+    match gate_mode() {
+        GateMode::Disarmed => {
+            println!("bench gate disarmed ({GATE_ENV}=off); skipping wall-time comparison");
+            return;
+        }
+        GateMode::ArmedInvalid(raw) => {
+            eprintln!(
+                "warning: unrecognized {GATE_ENV}={raw:?} (expected \"off\" or \"on\"/unset); \
+                 gate stays armed"
+            );
+        }
+        GateMode::Armed => {}
     }
     let Some(baseline) = arg_value("--baseline") else {
         eprintln!("error: --baseline <snapshot> is required");

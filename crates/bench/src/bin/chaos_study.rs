@@ -7,8 +7,17 @@
 //! `--jobs`, `--quick` (smaller grid, shorter simulated duration), and
 //! `--fault-rate <r>` (pins the fault axis to `[0, r]`), prints the
 //! result and records findings plus wall time.
+//!
+//! Crash-safe flags (DESIGN.md §4j): `--resume` replays completed cells
+//! from the journal, `--fresh` discards it first; both checkpoint each
+//! cell and stop gracefully on SIGINT (exit 3, resumable).
+//! `--halt-after N` / `--max-wall-ms N` bound a checkpointing run.
+//! Journaled runs skip the wall-time ledger.
 
-use xc_bench::harness::{chaos, measure};
+use std::path::Path;
+
+use xc_bench::harness::{chaos, measure, Journaled};
+use xc_bench::journal::{ResumeArgs, JOURNAL_ROOT};
 use xc_bench::record;
 use xc_bench::runner::{record_bench, Runner};
 
@@ -16,6 +25,10 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
     let rate = parse_fault_rate(&args).unwrap_or_else(|e| {
+        eprintln!("chaos_study: {e}");
+        std::process::exit(2);
+    });
+    let resume = ResumeArgs::parse(args.iter().skip(1).cloned()).unwrap_or_else(|e| {
         eprintln!("chaos_study: {e}");
         std::process::exit(2);
     });
@@ -30,6 +43,36 @@ fn main() {
     } else {
         "chaos_study"
     };
+
+    if resume.journaled() {
+        let root = Path::new(JOURNAL_ROOT);
+        match chaos::run_journaled(&runner, quick, rate, root, name, &resume) {
+            Ok(Journaled::Complete {
+                out,
+                replayed,
+                executed,
+            }) => {
+                eprintln!(
+                    "{name}: {replayed} cells replayed from the journal, {executed} executed"
+                );
+                print!("{}", out.text);
+                record("chaos", &out.findings);
+            }
+            Ok(Journaled::Interrupted { completed, total }) => {
+                eprintln!(
+                    "{name}: interrupted after {completed}/{total} cells; \
+                     rerun with --resume to continue"
+                );
+                std::process::exit(3);
+            }
+            Err(e) => {
+                eprintln!("{name}: journal error: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
     let (out, entry) = measure(name, &runner, |r| chaos::run_with(r, quick, rate));
     print!("{}", out.text);
     record("chaos", &out.findings);

@@ -43,6 +43,38 @@ pub const MAX_RATIO: f64 = 1.35;
 /// scale without loosening it for the heavy pipelines.
 pub const ABS_SLACK_MS: f64 = 5.0;
 
+/// Environment variable that disarms the gate (`off`).
+pub const GATE_ENV: &str = "XC_BENCH_GATE";
+
+/// How the [`GATE_ENV`] switch resolved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GateMode {
+    /// Gate runs (variable unset, empty, or explicitly `on`).
+    Armed,
+    /// `XC_BENCH_GATE=off`: gate skips the comparison.
+    Disarmed,
+    /// Any other value: the gate still runs — garbage must never
+    /// silently disarm a CI gate — but the caller should warn with the
+    /// carried raw value so the typo (`Off`, `0`, `false`, …) is
+    /// visible instead of being treated as an implicit `on`.
+    ArmedInvalid(String),
+}
+
+/// Resolves a raw [`GATE_ENV`] value strictly: only the exact strings
+/// `off` (disarm) and `on`/unset/empty (arm) are recognized.
+pub fn gate_mode_from(raw: Option<&str>) -> GateMode {
+    match raw.map(str::trim) {
+        None | Some("") | Some("on") => GateMode::Armed,
+        Some("off") => GateMode::Disarmed,
+        Some(other) => GateMode::ArmedInvalid(other.to_owned()),
+    }
+}
+
+/// Reads [`GATE_ENV`] from the environment and resolves it.
+pub fn gate_mode() -> GateMode {
+    gate_mode_from(std::env::var(GATE_ENV).ok().as_deref())
+}
+
 /// One ledger row's gate-relevant fields.
 #[derive(Debug, Clone, PartialEq)]
 pub struct GateEntry {
@@ -324,6 +356,25 @@ mod tests {
         // Missing entries degrade to placeholders, never panic.
         let partial = deltas_line(&ledger(&[("fig3_macro", 2, 110.0)]), &full(1.0));
         assert!(partial.contains("cluster_study ?→450.0ms"), "{partial}");
+    }
+
+    #[test]
+    fn gate_mode_is_strict_about_the_env_switch() {
+        assert_eq!(gate_mode_from(None), GateMode::Armed);
+        assert_eq!(gate_mode_from(Some("")), GateMode::Armed);
+        assert_eq!(gate_mode_from(Some("  ")), GateMode::Armed);
+        assert_eq!(gate_mode_from(Some("on")), GateMode::Armed);
+        assert_eq!(gate_mode_from(Some("off")), GateMode::Disarmed);
+        assert_eq!(gate_mode_from(Some(" off ")), GateMode::Disarmed);
+        // Anything else arms the gate AND surfaces the garbage value —
+        // a typo must never silently disarm (or silently arm) CI.
+        for garbage in ["Off", "OFF", "0", "false", "no", "disarm"] {
+            assert_eq!(
+                gate_mode_from(Some(garbage)),
+                GateMode::ArmedInvalid(garbage.to_owned()),
+                "{garbage:?} must be flagged, not guessed at"
+            );
+        }
     }
 
     #[test]

@@ -9,11 +9,17 @@
 //! work down or route it onto fallback paths, but never lose it.
 
 use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
 
 use xcontainers::faults::chaos::arena_counters;
 use xcontainers::prelude::*;
 
-use super::HarnessOutput;
+use super::{HarnessOutput, Journaled};
+use crate::journal::{
+    fingerprint, hex_u64, histogram_from_json, histogram_to_json, u64_from_hex, CellPayload,
+    ResumeArgs,
+};
 use crate::runner::Runner;
 use crate::Finding;
 
@@ -94,31 +100,150 @@ struct CellOutcome {
     result: ChaosResult,
 }
 
-/// Runs the sweep. `quick` shrinks the grid and the simulated duration
-/// (the check-script smoke gate); `rate_override` pins the fault axis
-/// to `[0, rate]` (the `--fault-rate` flag).
-pub fn run_with(runner: &Runner, quick: bool, rate_override: Option<f64>) -> HarnessOutput {
-    let rates: Vec<f64> = match rate_override {
-        Some(r) => vec![0.0, r],
-        None if quick => QUICK_RATES.to_vec(),
-        None => RATES.to_vec(),
-    };
-    let duration = if quick {
-        Nanos::from_millis(1000)
-    } else {
-        Nanos::from_secs(4)
-    };
-    let costs = CostModel::skylake_cloud();
-    let platforms = platforms();
-    let grid: Vec<(usize, f64)> = (0..platforms.len())
-        .flat_map(|p| rates.iter().map(move |&r| (p, r)))
-        .collect();
+/// Exact checkpoint codec for a chaos cell. Counters are hex strings
+/// (`u64`-exact), times ride as raw nanosecond counts, histograms
+/// through the sparse checkpoint codec, and the `&'static str` label is
+/// re-derived from the platform index rather than stored.
+impl CellPayload for CellOutcome {
+    fn to_payload(&self) -> Json {
+        let r = &self.result;
+        json_object([
+            ("platform", Json::Num(self.platform as f64)),
+            ("rate", Json::Num(self.rate)),
+            ("issued", hex_u64(r.issued)),
+            ("completed", hex_u64(r.completed)),
+            ("abandoned", hex_u64(r.abandoned)),
+            ("in_flight", hex_u64(r.in_flight)),
+            ("resends", hex_u64(r.resends)),
+            ("hypercall_retries", hex_u64(r.hypercall_retries)),
+            ("grant_faults", hex_u64(r.grant_faults)),
+            ("stalls", hex_u64(r.stalls)),
+            ("crashes", hex_u64(r.crashes)),
+            ("restarts", hex_u64(r.restarts)),
+            ("sends", hex_u64(r.sends)),
+            ("deliveries", hex_u64(r.deliveries)),
+            ("drops", hex_u64(r.drops)),
+            ("pending", hex_u64(r.pending)),
+            ("hypercalls", hex_u64(r.hypercalls)),
+            ("hypervisor_ns", hex_u64(r.hypervisor_ns.as_nanos())),
+            ("bytes_copied", hex_u64(r.bytes_copied)),
+            ("live_grants", hex_u64(r.live_grants)),
+            ("demoted", hex_u64(r.demoted)),
+            ("corpus_sites", hex_u64(r.corpus_sites)),
+            ("latency", histogram_to_json(&r.latency)),
+            ("recovery", histogram_to_json(&r.recovery)),
+            (
+                "drawn",
+                Json::Arr(r.fault_stats.drawn.iter().map(|&v| hex_u64(v)).collect()),
+            ),
+            (
+                "injected",
+                Json::Arr(r.fault_stats.injected.iter().map(|&v| hex_u64(v)).collect()),
+            ),
+            ("duration", hex_u64(r.duration.as_nanos())),
+        ])
+    }
 
-    let (allocs_before, reuses_before) = arena_counters();
-    let outcomes: Vec<CellOutcome> = runner.run(grid.len(), |i| {
-        let (p, rate) = grid[i];
-        let (label, platform) = &platforms[p];
-        let params = params_for(platform, &costs, duration);
+    fn from_payload(payload: &Json) -> Option<Self> {
+        let field = |k: &str| u64_from_hex(payload.get(k)?);
+        let counters = |k: &str| -> Option<[u64; 8]> {
+            let arr = payload.get(k)?.as_arr()?;
+            if arr.len() != 8 {
+                return None;
+            }
+            let mut out = [0u64; 8];
+            for (slot, v) in out.iter_mut().zip(arr) {
+                *slot = u64_from_hex(v)?;
+            }
+            Some(out)
+        };
+        let platform = payload.get("platform")?.as_num()?;
+        if platform.fract() != 0.0 || platform < 0.0 {
+            return None;
+        }
+        let platform = platform as usize;
+        let (label, _) = *platforms().get(platform)?;
+        Some(CellOutcome {
+            platform,
+            label,
+            rate: payload.get("rate")?.as_num()?,
+            result: ChaosResult {
+                issued: field("issued")?,
+                completed: field("completed")?,
+                abandoned: field("abandoned")?,
+                in_flight: field("in_flight")?,
+                resends: field("resends")?,
+                hypercall_retries: field("hypercall_retries")?,
+                grant_faults: field("grant_faults")?,
+                stalls: field("stalls")?,
+                crashes: field("crashes")?,
+                restarts: field("restarts")?,
+                sends: field("sends")?,
+                deliveries: field("deliveries")?,
+                drops: field("drops")?,
+                pending: field("pending")?,
+                hypercalls: field("hypercalls")?,
+                hypervisor_ns: Nanos::from_nanos(field("hypervisor_ns")?),
+                bytes_copied: field("bytes_copied")?,
+                live_grants: field("live_grants")?,
+                demoted: field("demoted")?,
+                corpus_sites: field("corpus_sites")?,
+                latency: histogram_from_json(payload.get("latency")?)?,
+                recovery: histogram_from_json(payload.get("recovery")?)?,
+                fault_stats: FaultStats {
+                    drawn: counters("drawn")?,
+                    injected: counters("injected")?,
+                },
+                duration: Nanos::from_nanos(field("duration")?),
+            },
+        })
+    }
+}
+
+/// The sweep's cell grid (fault rate × platform): geometry, the cell
+/// function and the journal fingerprint, shared by [`run_with`] and the
+/// crash-safe [`run_journaled`].
+pub struct Grid {
+    rates: Vec<f64>,
+    duration: Nanos,
+    costs: CostModel,
+    platforms: Vec<(&'static str, Platform)>,
+}
+
+impl Grid {
+    /// Builds the grid for one mode (`rate_override` pins the fault
+    /// axis to `[0, rate]`, mirroring the `--fault-rate` flag).
+    pub fn new(quick: bool, rate_override: Option<f64>) -> Self {
+        let rates: Vec<f64> = match rate_override {
+            Some(r) => vec![0.0, r],
+            None if quick => QUICK_RATES.to_vec(),
+            None => RATES.to_vec(),
+        };
+        let duration = if quick {
+            Nanos::from_millis(1000)
+        } else {
+            Nanos::from_secs(4)
+        };
+        Grid {
+            rates,
+            duration,
+            costs: CostModel::skylake_cloud(),
+            platforms: platforms(),
+        }
+    }
+
+    /// Cells in the platform-major grid.
+    pub fn cells(&self) -> usize {
+        self.platforms.len() * self.rates.len()
+    }
+
+    /// Executes cell `i`: one (platform, fault-rate) pair under its own
+    /// deterministic fault plan.
+    fn cell(&self, i: usize) -> CellOutcome {
+        let p = i / self.rates.len();
+        let rate = self.rates[i % self.rates.len()];
+        let (label, platform) = &self.platforms[p];
+        let params = params_for(platform, &self.costs, self.duration);
         let plan = FaultPlan::for_cell(SEED, i as u64, FaultRates::scaled(rate));
         let jitter_seed = Rng::substream(SEED, 0x1000 + i as u64).next_u64();
         CellOutcome {
@@ -127,8 +252,77 @@ pub fn run_with(runner: &Runner, quick: bool, rate_override: Option<f64>) -> Har
             rate,
             result: run_chaos(params, plan, jitter_seed),
         }
-    });
+    }
 
+    /// Journal fingerprint over everything that selects a cell's value:
+    /// the seed, the fault-rate axis, the simulated duration and the
+    /// platform count.
+    pub fn fingerprint(&self) -> u64 {
+        let mut words = vec![
+            SEED,
+            self.duration.as_nanos(),
+            self.platforms.len() as u64,
+            CORPUS_SITES,
+            SYSCALLS_PER_REQUEST,
+            APP_COMPUTE.as_nanos(),
+        ];
+        words.extend(self.rates.iter().map(|r| r.to_bits()));
+        fingerprint("chaos_study", &words)
+    }
+}
+
+/// Runs the sweep. `quick` shrinks the grid and the simulated duration
+/// (the check-script smoke gate); `rate_override` pins the fault axis
+/// to `[0, rate]` (the `--fault-rate` flag).
+pub fn run_with(runner: &Runner, quick: bool, rate_override: Option<f64>) -> HarnessOutput {
+    let grid = Grid::new(quick, rate_override);
+    let (allocs_before, reuses_before) = arena_counters();
+    let outcomes: Vec<CellOutcome> = runner.run(grid.cells(), |i| grid.cell(i));
+    let mut out = render_cells(&grid.rates, &outcomes);
+    // Chaos-world arena effectiveness over this sweep: after the first
+    // cell on each worker thread, every world should be rebuilt from
+    // recycled storage. Ledger-only — the split depends on thread
+    // count, so it stays out of the deterministic text/findings.
+    let (allocs_after, reuses_after) = arena_counters();
+    out.metrics = vec![
+        ("arena_allocs", (allocs_after - allocs_before) as f64),
+        ("arena_reuses", (reuses_after - reuses_before) as f64),
+    ];
+    out
+}
+
+/// The crash-safe variant of [`run_with`]: checkpoints each completed
+/// cell under `root`, resumes from any compatible journal, and stops
+/// gracefully on SIGINT or the `resume` limits.
+///
+/// # Errors
+///
+/// Filesystem errors opening or repairing the journal.
+pub fn run_journaled(
+    runner: &Runner,
+    quick: bool,
+    rate_override: Option<f64>,
+    root: &Path,
+    name: &str,
+    resume: &ResumeArgs,
+) -> io::Result<Journaled> {
+    let grid = Grid::new(quick, rate_override);
+    super::run_journaled(
+        runner,
+        root,
+        name,
+        grid.fingerprint(),
+        grid.cells(),
+        resume,
+        |i| grid.cell(i),
+        |outcomes| render_cells(&grid.rates, &outcomes),
+    )
+}
+
+/// Renders the sweep table, shape notes and findings from the
+/// index-ordered cell outcomes — the deterministic output both paths
+/// share.
+fn render_cells(rates: &[f64], outcomes: &[CellOutcome]) -> HarnessOutput {
     let mut findings = Vec::new();
     let mut table = Table::new(
         "Chaos study: throughput degradation and recovery under injected faults",
@@ -145,7 +339,7 @@ pub fn run_with(runner: &Runner, quick: bool, rate_override: Option<f64>) -> Har
         ],
     );
     let mut violations = 0u64;
-    for outcome in &outcomes {
+    for outcome in outcomes {
         let r = &outcome.result;
         let conserved = r.check_conservation();
         if conserved.is_err() {
@@ -189,7 +383,7 @@ pub fn run_with(runner: &Runner, quick: bool, rate_override: Option<f64>) -> Har
         measured: violations as f64,
         in_band: violations == 0,
     });
-    for outcome in &outcomes {
+    for outcome in outcomes {
         if outcome.rate == 0.0 {
             let r = &outcome.result;
             let clean = r.abandoned == 0 && r.restarts == 0 && r.fault_stats.injected_total() == 0;
@@ -245,19 +439,11 @@ pub fn run_with(runner: &Runner, quick: bool, rate_override: Option<f64>) -> Har
          flight — never lost; demoted ABOM sites fall back to the syscall trap (§4.4)."
     );
 
-    // Chaos-world arena effectiveness over this sweep: after the first
-    // cell on each worker thread, every world should be rebuilt from
-    // recycled storage. Ledger-only — the split depends on thread
-    // count, so it stays out of the deterministic text/findings.
-    let (allocs_after, reuses_after) = arena_counters();
     HarnessOutput {
         text,
         findings,
         cache_stats: None,
-        metrics: vec![
-            ("arena_allocs", (allocs_after - allocs_before) as f64),
-            ("arena_reuses", (reuses_after - reuses_before) as f64),
-        ],
+        metrics: Vec::new(),
     }
 }
 

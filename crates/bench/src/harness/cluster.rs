@@ -14,11 +14,18 @@
 //! (platform, contiguous host chunk) pairs whose [`ClusterResult`]s
 //! merge in host-index order — byte-identical output at any `--jobs`.
 
+use std::io;
+use std::path::Path;
+
 use xcontainers::prelude::*;
 use xcontainers::workloads::apps::microservice;
 use xcontainers::workloads::cluster::{arena_counters, run_cluster_range};
 
-use super::HarnessOutput;
+use super::{HarnessOutput, Journaled};
+use crate::journal::{
+    fingerprint, hex_u64, histogram_from_json, histogram_to_json, u64_from_hex, CellPayload,
+    ResumeArgs,
+};
 use crate::runner::Runner;
 use crate::Finding;
 
@@ -83,26 +90,168 @@ fn derive_table(platform: &Platform, costs: &CostModel) -> PlatformCosts {
     )
 }
 
+/// Exact checkpoint codec for one cell's [`ClusterResult`]: raw `u64`
+/// counters ride as hex (a `Json::Num` is an `f64` and would round
+/// them), the latency histogram through the sparse checkpoint codec.
+impl CellPayload for ClusterResult {
+    fn to_payload(&self) -> Json {
+        json_object([
+            ("hosts", Json::Num(f64::from(self.hosts))),
+            ("completed", hex_u64(self.completed)),
+            ("dropped", hex_u64(self.dropped)),
+            ("busy_ns", hex_u64(self.busy_ns)),
+            ("latency", histogram_to_json(&self.latency)),
+        ])
+    }
+
+    fn from_payload(payload: &Json) -> Option<Self> {
+        let hosts = payload.get("hosts")?.as_num()?;
+        if hosts.fract() != 0.0 || !(0.0..=f64::from(u32::MAX)).contains(&hosts) {
+            return None;
+        }
+        Some(ClusterResult {
+            hosts: hosts as u32,
+            completed: u64_from_hex(payload.get("completed")?)?,
+            dropped: u64_from_hex(payload.get("dropped")?)?,
+            busy_ns: u64_from_hex(payload.get("busy_ns")?)?,
+            latency: histogram_from_json(payload.get("latency")?)?,
+        })
+    }
+}
+
+/// The study's cell grid: geometry, the cell function, and the config
+/// fingerprint that guards journal replay — shared by the straight
+/// [`run`] and the crash-safe [`run_journaled`] so the two can never
+/// disagree on what a cell computes.
+pub struct Grid {
+    p: ClusterParams,
+    plats: Vec<Platform>,
+    tables: Vec<PlatformCosts>,
+    chunks: u32,
+    quick: bool,
+}
+
+impl Grid {
+    /// Builds the grid for one mode.
+    pub fn new(quick: bool) -> Self {
+        let costs = CostModel::skylake_cloud();
+        let p = params(quick);
+        let plats = platforms();
+        let tables: Vec<PlatformCosts> = plats.iter().map(|pl| derive_table(pl, &costs)).collect();
+        let chunks = CHUNKS.min(p.hosts).max(1);
+        Grid {
+            p,
+            plats,
+            tables,
+            chunks,
+            quick,
+        }
+    }
+
+    /// Cells in the (platform × host-chunk) grid.
+    pub fn cells(&self) -> usize {
+        self.plats.len() * self.chunks as usize
+    }
+
+    /// Executes cell `i`: one platform's contiguous host range.
+    pub fn cell(&self, i: usize) -> ClusterResult {
+        let chunks = self.chunks as usize;
+        let (base, rem) = (self.p.hosts / self.chunks, self.p.hosts % self.chunks);
+        let pi = i / chunks;
+        let ci = (i % chunks) as u32;
+        let first = ci * base + ci.min(rem);
+        let count = base + u32::from(ci < rem);
+        run_cluster_range(&self.tables[pi], &self.p, first, count)
+    }
+
+    /// Journal fingerprint: every parameter that selects what a cell
+    /// computes. Two runs replay each other's checkpoints iff these
+    /// match.
+    pub fn fingerprint(&self) -> u64 {
+        let p = &self.p;
+        fingerprint(
+            "cluster_study",
+            &[
+                u64::from(p.hosts),
+                u64::from(p.domains_per_host),
+                p.clients,
+                p.think_time.as_nanos(),
+                p.duration.as_nanos(),
+                p.queue_cap as u64,
+                p.zipf_theta.to_bits(),
+                u64::from(p.host_cores),
+                p.seed,
+                u64::from(self.chunks),
+                self.plats.len() as u64,
+            ],
+        )
+    }
+
+    /// Merges the index-ordered cell results and renders the density
+    /// table plus findings — the deterministic output both paths share.
+    pub fn render(&self, cells: Vec<ClusterResult>) -> HarnessOutput {
+        render_cells(&self.p, &self.plats, self.chunks, self.quick, &cells)
+    }
+}
+
 /// Runs the study: a (platform × host-chunk) cell grid under `runner`,
 /// merged per platform in host order, rendered as one density table.
 pub fn run(runner: &Runner, quick: bool) -> HarnessOutput {
-    let costs = CostModel::skylake_cloud();
-    let p = params(quick);
-    let plats = platforms();
-    let tables: Vec<PlatformCosts> = plats.iter().map(|pl| derive_table(pl, &costs)).collect();
-
-    let chunks = CHUNKS.min(p.hosts).max(1);
-    let (base, rem) = (p.hosts / chunks, p.hosts % chunks);
-    let grid = plats.len() * chunks as usize;
+    let grid = Grid::new(quick);
     let (allocs_before, reuses_before) = arena_counters();
-    let cells = runner.run(grid, |i| {
-        let pi = i / chunks as usize;
-        let ci = (i % chunks as usize) as u32;
-        let first = ci * base + ci.min(rem);
-        let count = base + u32::from(ci < rem);
-        run_cluster_range(&tables[pi], &p, first, count)
-    });
+    let cells = runner.run(grid.cells(), |i| grid.cell(i));
+    let mut out = grid.render(cells);
+    // World-arena effectiveness over this grid: in steady state nearly
+    // every host world is assembled from recycled storage (one
+    // allocation per worker thread, not one per host). Ledger-only —
+    // the counters depend on thread count, so they must stay out of the
+    // deterministic text/findings.
+    let (allocs_after, reuses_after) = arena_counters();
+    out.metrics = vec![
+        ("arena_allocs", (allocs_after - allocs_before) as f64),
+        ("arena_reuses", (reuses_after - reuses_before) as f64),
+    ];
+    out
+}
 
+/// The crash-safe variant: checkpoints each completed cell under
+/// `root`, resumes from any compatible journal, and stops gracefully on
+/// SIGINT or the `resume` limits. Completed output is byte-identical to
+/// [`run`]'s (the arena metrics differ, but those are ledger-only and
+/// journaled runs skip the ledger anyway).
+///
+/// # Errors
+///
+/// Filesystem errors opening or repairing the journal.
+pub fn run_journaled(
+    runner: &Runner,
+    quick: bool,
+    root: &Path,
+    name: &str,
+    resume: &ResumeArgs,
+) -> io::Result<Journaled> {
+    let grid = Grid::new(quick);
+    super::run_journaled(
+        runner,
+        root,
+        name,
+        grid.fingerprint(),
+        grid.cells(),
+        resume,
+        |i| grid.cell(i),
+        |cells| grid.render(cells),
+    )
+}
+
+/// Renders the merged per-platform results (host order) as the density
+/// table, shape note, and findings.
+fn render_cells(
+    p: &ClusterParams,
+    plats: &[Platform],
+    chunks: u32,
+    quick: bool,
+    cells: &[ClusterResult],
+) -> HarnessOutput {
     let merged: Vec<ClusterResult> = cells
         .chunks(chunks as usize)
         .map(|parts| {
@@ -141,7 +290,7 @@ pub fn run(runner: &Runner, quick: bool) -> HarnessOutput {
             Cell::Num(r.quantile_ms(0.999), 2),
             Cell::Num(r.drop_rate() * 100.0, 3),
             Cell::Num(r.utilization(p.host_cores, p.duration) * 100.0, 1),
-            Cell::Num(r.density_domains_per_host(&p), 0),
+            Cell::Num(r.density_domains_per_host(p), 0),
         ]);
     }
     let mut text = String::new();
@@ -158,7 +307,7 @@ pub fn run(runner: &Runner, quick: bool) -> HarnessOutput {
     let xen = &merged[1];
     let xc = &merged[2];
     let gv = &merged[3];
-    let density = |r: &ClusterResult| r.density_domains_per_host(&p);
+    let density = |r: &ClusterResult| r.density_domains_per_host(p);
     let mut findings = vec![
         Finding {
             experiment: "cluster",
@@ -202,17 +351,5 @@ pub fn run(runner: &Runner, quick: bool) -> HarnessOutput {
         });
     }
 
-    // World-arena effectiveness over this grid: in steady state nearly
-    // every host world is assembled from recycled storage (one
-    // allocation per worker thread, not one per host). Ledger-only —
-    // the counters depend on thread count, so they must stay out of the
-    // deterministic text/findings.
-    let (allocs_after, reuses_after) = arena_counters();
-    let mut out = HarnessOutput::merge(vec![(text, findings)]);
-    out.cache_stats = None;
-    out.metrics = vec![
-        ("arena_allocs", (allocs_after - allocs_before) as f64),
-        ("arena_reuses", (reuses_after - reuses_before) as f64),
-    ];
-    out
+    HarnessOutput::merge(vec![(text, findings)])
 }

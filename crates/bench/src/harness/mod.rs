@@ -24,9 +24,15 @@ pub mod fig8;
 pub mod verify_lint;
 pub mod verify_study;
 
+use std::io;
+use std::path::Path;
 use std::time::Instant;
 
-use crate::runner::{BenchEntry, Runner};
+use crate::journal::{
+    self, install_sigint_handler, run_resumable, CellPayload, Interrupt, Journal, ResumeArgs,
+    ResumeMode,
+};
+use crate::runner::{BenchEntry, RunPolicy, Runner};
 use crate::Finding;
 
 /// Runs one harness under `runner` and produces its fully-populated
@@ -59,6 +65,114 @@ where
         );
     }
     (out, entry)
+}
+
+/// Outcome of a journaled (crash-safe) harness run.
+#[derive(Debug)]
+pub enum Journaled {
+    /// Every cell completed; the journal was removed.
+    Complete {
+        /// The rendered harness output — byte-identical to a straight
+        /// run's, however many cells came from the journal.
+        out: HarnessOutput,
+        /// Cells satisfied from the journal.
+        replayed: usize,
+        /// Cells executed (and checkpointed) by this process.
+        executed: usize,
+    },
+    /// The run stopped gracefully (SIGINT, `--max-wall-ms`,
+    /// `--halt-after`); completed cells are checkpointed and a
+    /// `--resume` invocation picks up from here.
+    Interrupted {
+        /// Cells checkpointed so far (this process plus the journal).
+        completed: usize,
+        /// Grid size.
+        total: usize,
+    },
+}
+
+/// The crash-safe path every resumable harness shares: opens the
+/// journal for `name` under `root` (honoring `--fresh`), replays
+/// checkpointed cells, executes the missing ones with graceful
+/// interruption wired up, and — only when the grid completed — renders
+/// the merged output and removes the journal. Journal health notes go
+/// to stderr; stdout stays byte-identical to a straight run.
+///
+/// # Errors
+///
+/// Filesystem errors opening or repairing the journal.
+///
+/// # Panics
+///
+/// Mirrors [`Runner::run`]: if any cell exhausts its retry budget the
+/// grid finishes and then panics with the structured failure summary.
+#[allow(clippy::too_many_arguments)]
+pub fn run_journaled<T, F, R>(
+    runner: &Runner,
+    root: &Path,
+    name: &str,
+    fingerprint: u64,
+    cells: usize,
+    resume: &ResumeArgs,
+    cell: F,
+    render: R,
+) -> io::Result<Journaled>
+where
+    T: CellPayload + Send + Sync,
+    F: Fn(usize) -> T + Sync,
+    R: FnOnce(Vec<T>) -> HarnessOutput,
+{
+    if resume.mode == ResumeMode::Fresh {
+        journal::discard(root, name)?;
+    }
+    let mut journal = Journal::<T>::open_at(root, name, fingerprint, cells)?;
+    let scan = journal.scan();
+    if scan.replayed + scan.damaged + scan.stale > 0 {
+        eprintln!(
+            "note: journal {name}: {} cells replayed, {} damaged records dropped, \
+             {} stale records ignored",
+            scan.replayed, scan.damaged, scan.stale
+        );
+    }
+    install_sigint_handler();
+    let mut interrupt = Interrupt::new();
+    if let Some(n) = resume.halt_after {
+        interrupt = interrupt.with_halt_after(n);
+    }
+    if let Some(limit) = resume.max_wall {
+        interrupt = interrupt.with_max_wall(limit);
+    }
+    let out = run_resumable(runner, RunPolicy::default(), &mut journal, &interrupt, cell);
+    assert!(
+        out.failures.is_empty(),
+        "{} of {cells} cells failed:{}",
+        out.failures.len(),
+        out.failures
+            .iter()
+            .map(|f| format!(
+                "\n  cell {} ({} attempt{}): {}",
+                f.index,
+                f.attempts,
+                if f.attempts == 1 { "" } else { "s" },
+                f.message
+            ))
+            .collect::<String>()
+    );
+    if out.interrupted {
+        let completed = out.results.iter().flatten().count();
+        return Ok(Journaled::Interrupted {
+            completed,
+            total: cells,
+        });
+    }
+    let values: Vec<T> = out.results.into_iter().flatten().collect();
+    let rendered = render(values);
+    journal.remove();
+    Ok(Journaled::Complete {
+        out: rendered,
+        replayed: out.replayed,
+        executed: out.executed,
+    })
 }
 
 /// Rendered text plus machine-readable findings from one harness run.

@@ -37,10 +37,11 @@
 
 pub mod gate;
 pub mod harness;
+pub mod journal;
 pub mod runner;
 
 use std::fs;
-use std::io::{self, BufWriter, Write};
+use std::io;
 use std::path::Path;
 
 use xcontainers::prelude::{json_object, CloudEnv, Json, Platform};
@@ -65,7 +66,7 @@ pub struct Finding {
 }
 
 impl Finding {
-    fn to_json(&self) -> Json {
+    pub(crate) fn to_json(&self) -> Json {
         json_object([
             ("experiment", Json::from(self.experiment)),
             ("metric", Json::from(self.metric.clone())),
@@ -104,10 +105,12 @@ pub fn findings_json(findings: &[Finding]) -> String {
 }
 
 /// Serializes findings to `results/<experiment>.json` (creates the
-/// directory as needed) by streaming each finding straight into a
-/// buffered file writer — no intermediate whole-document `String`.
-/// Errors are reported but non-fatal: harnesses must still print their
-/// tables on read-only filesystems.
+/// directory as needed). The document is staged into a same-directory
+/// temp file and renamed into place ([`journal::atomic_write`]), so a
+/// crash mid-write can never leave a truncated ledger behind — readers
+/// see either the old findings or the new ones, whole. Errors are
+/// reported but non-fatal: harnesses must still print their tables on
+/// read-only filesystems.
 pub fn record(experiment: &str, findings: &[Finding]) {
     let dir = Path::new(RESULTS_DIR);
     if let Err(e) = fs::create_dir_all(dir) {
@@ -116,9 +119,9 @@ pub fn record(experiment: &str, findings: &[Finding]) {
     }
     let path = dir.join(format!("{experiment}.json"));
     let write = || -> io::Result<()> {
-        let mut sink = BufWriter::new(fs::File::create(&path)?);
-        write_findings(&mut sink, findings)?;
-        sink.flush()
+        let mut body = Vec::new();
+        write_findings(&mut body, findings)?;
+        journal::atomic_write(&path, &body)
     };
     if let Err(e) = write() {
         eprintln!("note: cannot write {}: {e}", path.display());

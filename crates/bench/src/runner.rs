@@ -42,14 +42,25 @@ pub const JOBS_ENV: &str = "XC_JOBS";
 /// How [`Runner::try_run`] treats a failing cell.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RunPolicy {
-    /// Times a panicking cell is attempted before it is reported as
-    /// failed (≥ 1; cells are pure, so retries mainly catch harness
-    /// bugs that depend on ambient state, e.g. filesystem races).
+    /// Times a panicking (or hard-deadline-busting) cell is attempted
+    /// before it is reported as failed (≥ 1; cells are pure, so retries
+    /// mainly catch harness bugs that depend on ambient state, e.g.
+    /// filesystem races).
     pub max_attempts: u32,
     /// Wall-clock budget per cell. Exceeding it cannot abort the cell —
     /// cells are ordinary closures — but it is flagged on stderr so a
     /// wedged grid is diagnosable. Never affects results.
     pub soft_deadline: Option<Duration>,
+    /// Per-cell hard timeout. A cell whose attempt runs longer than
+    /// this has its result *discarded* and the attempt counted as
+    /// failed — bounded-retry escalation, with the final failure
+    /// reported as a [`CellFailure`] with `timed_out` set. Unlike the
+    /// soft deadline this can turn a slow-but-correct cell into a
+    /// failure, so it trades determinism for liveness: leave it `None`
+    /// (the default) for the byte-gated harnesses, and reserve it for
+    /// operational sweeps where a wedged cell must not hold the whole
+    /// grid's checkpoint hostage.
+    pub hard_deadline: Option<Duration>,
 }
 
 impl Default for RunPolicy {
@@ -57,19 +68,23 @@ impl Default for RunPolicy {
         RunPolicy {
             max_attempts: 2,
             soft_deadline: None,
+            hard_deadline: None,
         }
     }
 }
 
-/// One cell that kept panicking through every attempt.
+/// One cell that kept panicking (or timing out) through every attempt.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CellFailure {
     /// The cell's grid index.
     pub index: usize,
     /// Attempts made.
     pub attempts: u32,
-    /// The final panic's message.
+    /// The final panic's message (or the timeout description).
     pub message: String,
+    /// Whether the final attempt failed by exceeding
+    /// [`RunPolicy::hard_deadline`] rather than panicking.
+    pub timed_out: bool,
 }
 
 /// Outcome of a fault-tolerant grid run: per-cell results in index
@@ -122,6 +137,40 @@ impl<T> RunReport<T> {
             Err(self.failure_summary())
         }
     }
+}
+
+/// Cooperative control surface for [`Runner::try_run_ctl`]: a
+/// cancellation predicate checked before each cell claim, and a
+/// success observer invoked from worker threads as cells complete (in
+/// completion order, not index order — observers that care about order
+/// must key on the index they are handed).
+pub struct RunCtl<'a, T> {
+    /// Checked before every claim; `true` stops further claims while
+    /// in-flight cells finish gracefully.
+    pub should_stop: &'a (dyn Fn() -> bool + Sync),
+    /// Called with `(index, &result)` for each successful cell.
+    pub on_success: &'a (dyn Fn(usize, &T) + Sync),
+}
+
+impl<'a, T> RunCtl<'a, T> {
+    /// A control surface that never cancels and observes nothing — the
+    /// plain [`Runner::try_run`] behavior.
+    pub fn never_stopping() -> Self {
+        RunCtl {
+            should_stop: &|| false,
+            on_success: &|_, _| (),
+        }
+    }
+}
+
+/// Outcome of a cancellable grid run.
+#[derive(Debug)]
+pub struct CtlReport<T> {
+    /// Per-cell results; a cell skipped by cancellation is `None` with
+    /// no matching [`CellFailure`].
+    pub report: RunReport<T>,
+    /// Cells never claimed because the run was cancelled.
+    pub unrun: usize,
 }
 
 /// A deterministic parallel cell executor (see the module docs).
@@ -194,11 +243,54 @@ impl Runner {
         T: Send,
         F: Fn(usize) -> T + Sync,
     {
+        let ctl = RunCtl::never_stopping();
+        let ctl_report = self.try_run_ctl(cells, policy, ctl, cell);
+        debug_assert_eq!(
+            ctl_report.unrun, 0,
+            "an uncancellable run cannot stop early"
+        );
+        ctl_report.report
+    }
+
+    /// The generalized grid run every other entry point reduces to:
+    /// like [`Runner::try_run`], but with a cooperative cancellation
+    /// check consulted before each cell claim and a per-success observer
+    /// invoked from the executing worker the moment a cell completes —
+    /// the seam the crash-safe journal ([`crate::journal`]) hooks to
+    /// checkpoint finished cells before an interrupted process exits.
+    ///
+    /// Cancellation is graceful by construction: in-flight cells run to
+    /// completion (and are observed); only *unclaimed* cells are
+    /// skipped, coming back as `None` results with no failure record
+    /// and counted in [`CtlReport::unrun`].
+    pub fn try_run_ctl<T, F>(
+        &self,
+        cells: usize,
+        policy: RunPolicy,
+        ctl: RunCtl<'_, T>,
+        cell: F,
+    ) -> CtlReport<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
         let workers = self.jobs.min(cells);
+        let run_one = |i: usize| {
+            let outcome = attempt_cell(&cell, i, policy);
+            if let Ok(v) = &outcome {
+                (ctl.on_success)(i, v);
+            }
+            (i, outcome)
+        };
         let outcomes: Vec<(usize, Result<T, CellFailure>)> = if workers <= 1 {
-            (0..cells)
-                .map(|i| (i, attempt_cell(&cell, i, policy)))
-                .collect()
+            let mut local = Vec::new();
+            for i in 0..cells {
+                if (ctl.should_stop)() {
+                    break;
+                }
+                local.push(run_one(i));
+            }
+            local
         } else {
             let next = AtomicUsize::new(0);
             let mut indexed: Vec<(usize, Result<T, CellFailure>)> = std::thread::scope(|scope| {
@@ -207,11 +299,14 @@ impl Runner {
                         scope.spawn(|| {
                             let mut local = Vec::new();
                             loop {
+                                if (ctl.should_stop)() {
+                                    return local;
+                                }
                                 let i = next.fetch_add(1, Ordering::Relaxed);
                                 if i >= cells {
                                     return local;
                                 }
-                                local.push((i, attempt_cell(&cell, i, policy)));
+                                local.push(run_one(i));
                             }
                         })
                     })
@@ -224,21 +319,18 @@ impl Runner {
             indexed.sort_unstable_by_key(|&(i, _)| i);
             indexed
         };
-        debug_assert_eq!(outcomes.len(), cells);
         let mut report = RunReport {
-            results: Vec::with_capacity(cells),
+            results: (0..cells).map(|_| None).collect(),
             failures: Vec::new(),
         };
-        for (_, outcome) in outcomes {
+        let unrun = cells - outcomes.len();
+        for (i, outcome) in outcomes {
             match outcome {
-                Ok(v) => report.results.push(Some(v)),
-                Err(f) => {
-                    report.results.push(None);
-                    report.failures.push(f);
-                }
+                Ok(v) => report.results[i] = Some(v),
+                Err(f) => report.failures.push(f),
             }
         }
-        report
+        CtlReport { report, unrun }
     }
 
     /// Runs a sharded experiment: shard `i` of `shards` receives its own
@@ -309,18 +401,21 @@ fn shard_len(total: u64, shards: usize, i: usize) -> u64 {
 }
 
 /// Runs one cell under `policy`: up to `max_attempts` tries with
-/// per-attempt panic isolation, soft-deadline reporting on stderr.
+/// per-attempt panic isolation, soft-deadline reporting on stderr, and
+/// hard-deadline escalation (a too-slow attempt's result is discarded
+/// and the attempt counted as failed).
 fn attempt_cell<T, F>(cell: &F, index: usize, policy: RunPolicy) -> Result<T, CellFailure>
 where
     F: Fn(usize) -> T,
 {
     let attempts = policy.max_attempts.max(1);
     let mut message = String::new();
+    let mut timed_out = false;
     for attempt in 1..=attempts {
         let started = Instant::now();
         let outcome = catch_unwind(AssertUnwindSafe(|| cell(index)));
+        let elapsed = started.elapsed();
         if let Some(deadline) = policy.soft_deadline {
-            let elapsed = started.elapsed();
             if elapsed > deadline {
                 eprintln!(
                     "note: cell {index} took {:.1}s (soft deadline {:.1}s)",
@@ -330,8 +425,25 @@ where
             }
         }
         match outcome {
-            Ok(v) => return Ok(v),
+            Ok(v) => match policy.hard_deadline {
+                Some(hard) if elapsed > hard => {
+                    timed_out = true;
+                    message = format!(
+                        "exceeded hard deadline: ran {:.1}s (budget {:.1}s)",
+                        elapsed.as_secs_f64(),
+                        hard.as_secs_f64()
+                    );
+                    if attempt < attempts {
+                        eprintln!(
+                            "note: cell {index} {message} (attempt {attempt}/{attempts}); \
+                                 retrying"
+                        );
+                    }
+                }
+                _ => return Ok(v),
+            },
             Err(payload) => {
+                timed_out = false;
                 message = panic_message(payload.as_ref());
                 if attempt < attempts {
                     eprintln!(
@@ -345,6 +457,7 @@ where
         index,
         attempts,
         message,
+        timed_out,
     })
 }
 
@@ -479,7 +592,11 @@ impl BenchEntry {
 
 /// Upserts `entry` into [`BENCH_PATH`] (one JSON object per line inside a
 /// top-level array, keyed by harness name, sorted for stable diffs).
-/// Errors are reported but non-fatal, mirroring [`crate::record`].
+/// The replacement body lands via tmp-file + atomic rename
+/// ([`crate::journal::atomic_write`]), so a harness killed mid-upsert
+/// can never leave a torn ledger behind — readers see the old complete
+/// file or the new complete file, nothing in between. Errors are
+/// reported but non-fatal, mirroring [`crate::record`].
 pub fn record_bench(entry: &BenchEntry) {
     let mut lines = read_bench_lines(BENCH_PATH);
     let marker = format!(
@@ -497,7 +614,8 @@ pub fn record_bench(entry: &BenchEntry) {
         body.push_str(line);
     }
     body.push_str("\n]\n");
-    if let Err(e) = std::fs::write(BENCH_PATH, body) {
+    if let Err(e) = crate::journal::atomic_write(std::path::Path::new(BENCH_PATH), body.as_bytes())
+    {
         eprintln!("note: cannot write {BENCH_PATH}: {e}");
     }
 }
@@ -672,6 +790,135 @@ mod tests {
         assert!(message.contains("boom in cell 5"), "{message}");
         // Every cell ran (the failing one twice) before the panic.
         assert_eq!(touched.load(Ordering::Relaxed), 9);
+    }
+
+    #[test]
+    fn retry_recovers_a_flaky_cell() {
+        // A cell that panics on its first attempt but succeeds on the
+        // second is rescued by the default two-attempt policy, and the
+        // rescue is invisible in the results.
+        let first_tries = std::sync::Mutex::new(std::collections::HashSet::new());
+        let report = Runner::new(1).try_run(5, RunPolicy::default(), |i| {
+            if i == 2 && first_tries.lock().unwrap().insert(i) {
+                panic!("transient failure in cell {i}");
+            }
+            i * 10
+        });
+        assert!(report.ok(), "{}", report.failure_summary());
+        assert_eq!(report.results[2], Some(20));
+    }
+
+    #[test]
+    fn zero_max_attempts_clamps_to_one() {
+        let runs = AtomicUsize::new(0);
+        let policy = RunPolicy {
+            max_attempts: 0,
+            ..RunPolicy::default()
+        };
+        let report = Runner::new(1).try_run(1, policy, |i| {
+            runs.fetch_add(1, Ordering::Relaxed);
+            assert!(i != 0, "always fails");
+        });
+        assert_eq!(runs.load(Ordering::Relaxed), 1, "exactly one attempt");
+        assert_eq!(report.failures[0].attempts, 1);
+        assert!(!report.failures[0].timed_out);
+    }
+
+    #[test]
+    fn soft_deadline_reports_but_never_fails_a_cell() {
+        let policy = RunPolicy {
+            max_attempts: 1,
+            soft_deadline: Some(Duration::from_nanos(1)),
+            hard_deadline: None,
+        };
+        let report = Runner::new(1).try_run(3, policy, |i| {
+            std::thread::sleep(Duration::from_millis(2));
+            i
+        });
+        assert!(report.ok(), "soft deadline is advisory only");
+        assert_eq!(report.results, vec![Some(0), Some(1), Some(2)]);
+    }
+
+    #[test]
+    fn hard_deadline_discards_slow_cells_and_marks_the_timeout() {
+        let policy = RunPolicy {
+            max_attempts: 2,
+            soft_deadline: None,
+            hard_deadline: Some(Duration::from_nanos(1)),
+        };
+        let attempts_made = AtomicUsize::new(0);
+        let report = Runner::new(1).try_run(1, policy, |i| {
+            attempts_made.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(Duration::from_millis(2));
+            i
+        });
+        assert!(!report.ok());
+        assert_eq!(
+            attempts_made.load(Ordering::Relaxed),
+            2,
+            "the timeout consumed the retry budget"
+        );
+        let f = &report.failures[0];
+        assert!(f.timed_out, "failure records the deadline overrun");
+        assert!(f.message.contains("hard deadline"), "{}", f.message);
+        assert_eq!(report.results[0], None, "the slow result was discarded");
+    }
+
+    #[test]
+    fn generous_hard_deadline_changes_nothing() {
+        let policy = RunPolicy {
+            max_attempts: 2,
+            soft_deadline: None,
+            hard_deadline: Some(Duration::from_secs(3600)),
+        };
+        let report = Runner::new(4).try_run(10, policy, |i| i + 1);
+        assert!(report.ok());
+        assert_eq!(
+            report.into_results().expect("all pass"),
+            (1..=10).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn try_run_ctl_stops_claiming_after_cancellation() {
+        for jobs in [1, 4] {
+            let done = AtomicUsize::new(0);
+            let ctl = RunCtl {
+                should_stop: &|| done.load(Ordering::Relaxed) >= 3,
+                on_success: &|_, _| {
+                    done.fetch_add(1, Ordering::Relaxed);
+                },
+            };
+            let out = Runner::new(jobs).try_run_ctl(100, RunPolicy::default(), ctl, |i| i);
+            assert!(out.unrun > 0, "jobs={jobs}: cancellation skipped cells");
+            assert!(out.report.ok(), "skipped cells are not failures");
+            let completed = out.report.results.iter().flatten().count();
+            assert_eq!(completed + out.unrun, 100, "jobs={jobs}");
+            // Every completed cell landed at its own index.
+            for (i, r) in out.report.results.iter().enumerate() {
+                if let Some(v) = r {
+                    assert_eq!(*v, i);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn try_run_ctl_observer_sees_every_success_with_its_index() {
+        let seen = std::sync::Mutex::new(Vec::new());
+        let ctl = RunCtl {
+            should_stop: &|| false,
+            on_success: &|i, v: &usize| seen.lock().unwrap().push((i, *v)),
+        };
+        let out = Runner::new(4).try_run_ctl(20, RunPolicy::default(), ctl, |i| i * 3);
+        assert_eq!(out.unrun, 0);
+        let mut observed = seen.into_inner().unwrap();
+        observed.sort_unstable();
+        assert_eq!(
+            observed,
+            (0..20).map(|i| (i, i * 3)).collect::<Vec<_>>(),
+            "observer fired exactly once per cell"
+        );
     }
 
     #[test]

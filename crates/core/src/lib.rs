@@ -85,8 +85,8 @@ pub mod prelude {
     pub use xc_abom::offline::OfflinePatcher;
     pub use xc_abom::patcher::{Abom, AbomConfig};
     pub use xc_faults::{
-        run_chaos, ChaosParams, ChaosResult, FaultKind, FaultPlan, FaultRates, RetryPolicy,
-        Watchdog,
+        run_chaos, ChaosParams, ChaosResult, FaultKind, FaultPlan, FaultRates, FaultStats,
+        RetryPolicy, Watchdog,
     };
     pub use xc_isa::asm::Assembler;
     pub use xc_isa::cpu::Cpu;
@@ -100,7 +100,7 @@ pub mod prelude {
     pub use xc_sim::cost::CostModel;
     pub use xc_sim::report::{json_array, json_object, Cell, Json, Table};
     pub use xc_sim::rng::Rng;
-    pub use xc_sim::stats::{shard_share, Histogram, Summary};
+    pub use xc_sim::stats::{shard_share, Histogram, HistogramCheckpoint, Summary};
     pub use xc_sim::time::Nanos;
     pub use xc_verify::{AnalysisCache, Verdict, Verifier, VerifyReport};
     pub use xc_workloads::cluster::{run_cluster, run_cluster_range, ClusterParams, ClusterResult};

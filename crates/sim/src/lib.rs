@@ -45,5 +45,5 @@ pub mod time;
 pub use cost::CostModel;
 pub use engine::{EventQueue, Simulation, World};
 pub use rng::Rng;
-pub use stats::{Histogram, Summary};
+pub use stats::{Histogram, HistogramCheckpoint, Summary};
 pub use time::Nanos;

@@ -236,6 +236,67 @@ impl Json {
         out
     }
 
+    /// Parses one JSON value from `text` (the whole string must be the
+    /// value, modulo surrounding whitespace). The inverse of
+    /// [`write_into`](Self::write_into): everything the emitter produces
+    /// parses back, including `f64` round-trips via Rust's shortest
+    /// `Display` form — which is what lets the bench journal replay
+    /// checkpointed cell results byte-identically.
+    ///
+    /// # Errors
+    ///
+    /// A short description with the byte offset of the first problem.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing garbage at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    /// Looks up `key` in an object value.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The element slice, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
     /// Appends compact JSON text to `out` — lets callers stream many
     /// values (e.g. one record per finding) into one buffer.
     pub fn write_into(&self, out: &mut String) {
@@ -299,6 +360,189 @@ fn write_escaped(out: &mut String, s: &str) {
         }
     }
     out.push('"');
+}
+
+/// Advances `pos` past ASCII whitespace.
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+/// Consumes the literal `lit` at `pos` or errors.
+fn expect_lit(bytes: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("expected {lit:?} at byte {}", *pos))
+    }
+}
+
+/// Recursive-descent value parser for [`Json::parse`].
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".to_owned()),
+        Some(b'n') => expect_lit(bytes, pos, "null").map(|()| Json::Null),
+        Some(b't') => expect_lit(bytes, pos, "true").map(|()| Json::Bool(true)),
+        Some(b'f') => expect_lit(bytes, pos, "false").map(|()| Json::Bool(false)),
+        Some(b'"') => parse_string(bytes, pos).map(Json::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {}", *pos));
+                }
+                *pos += 1;
+                fields.push((key, parse_value(bytes, pos)?));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(fields));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+                }
+            }
+        }
+        Some(_) => parse_number(bytes, pos).map(Json::Num),
+    }
+}
+
+/// Parses a quoted string with the emitter's escape set plus `\uXXXX`
+/// (surrogate pairs included) and `\/`, `\b`, `\f` for interchange.
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(format!("expected '\"' at byte {}", *pos));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        let Some(&b) = bytes.get(*pos) else {
+            return Err("unterminated string".to_owned());
+        };
+        *pos += 1;
+        match b {
+            b'"' => return Ok(out),
+            b'\\' => {
+                let Some(&esc) = bytes.get(*pos) else {
+                    return Err("unterminated escape".to_owned());
+                };
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        let mut code = parse_hex4(bytes, pos)?;
+                        if (0xd800..0xdc00).contains(&code) {
+                            // High surrogate: a low surrogate must follow.
+                            if bytes.get(*pos) == Some(&b'\\') && bytes.get(*pos + 1) == Some(&b'u')
+                            {
+                                *pos += 2;
+                                let low = parse_hex4(bytes, pos)?;
+                                if !(0xdc00..0xe000).contains(&low) {
+                                    return Err("invalid low surrogate".to_owned());
+                                }
+                                code = 0x10000 + ((code - 0xd800) << 10) + (low - 0xdc00);
+                            } else {
+                                return Err("lone high surrogate".to_owned());
+                            }
+                        }
+                        match char::from_u32(code) {
+                            Some(c) => out.push(c),
+                            None => return Err(format!("invalid codepoint {code:#x}")),
+                        }
+                    }
+                    _ => return Err(format!("bad escape at byte {}", *pos - 1)),
+                }
+            }
+            _ => {
+                // Re-decode the UTF-8 run starting here in one step.
+                let start = *pos - 1;
+                let len = utf8_len(b);
+                let end = start + len;
+                let chunk = bytes
+                    .get(start..end)
+                    .and_then(|c| std::str::from_utf8(c).ok())
+                    .ok_or_else(|| format!("invalid UTF-8 at byte {start}"))?;
+                out.push_str(chunk);
+                *pos = end;
+            }
+        }
+    }
+}
+
+/// Byte length of the UTF-8 sequence starting with `b`.
+fn utf8_len(b: u8) -> usize {
+    match b {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+/// Parses exactly four hex digits.
+fn parse_hex4(bytes: &[u8], pos: &mut usize) -> Result<u32, String> {
+    let chunk = bytes
+        .get(*pos..*pos + 4)
+        .and_then(|c| std::str::from_utf8(c).ok())
+        .ok_or_else(|| format!("truncated \\u escape at byte {}", *pos))?;
+    let code =
+        u32::from_str_radix(chunk, 16).map_err(|_| format!("bad \\u escape at byte {}", *pos))?;
+    *pos += 4;
+    Ok(code)
+}
+
+/// Parses a JSON number via `f64::from_str` over the numeric run.
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<f64, String> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    let run = std::str::from_utf8(&bytes[start..*pos]).expect("ASCII run");
+    run.parse::<f64>()
+        .map_err(|_| format!("invalid number {run:?} at byte {start}"))
 }
 
 impl From<&str> for Json {
@@ -513,5 +757,78 @@ mod tests {
         assert_eq!(Json::Num(3.25).to_string_compact(), "3.25");
         assert_eq!(Json::Num(f64::NAN).to_string_compact(), "null");
         assert_eq!(Json::Null.to_string_compact(), "null");
+    }
+
+    #[test]
+    fn parse_roundtrips_emitter_output() {
+        let j = json_object([
+            ("name", Json::from("fig4 — \"quoted\"\n\\tab\t")),
+            ("relative", Json::from(27.4)),
+            ("neg", Json::Num(-0.001_220_703_125)),
+            ("patched", Json::from(true)),
+            ("missing", Json::Null),
+            ("runs", json_array([1u64, 2, 3])),
+            ("nested", json_object([("k", Json::Arr(vec![]))])),
+            ("empty", Json::Obj(vec![])),
+        ]);
+        let text = j.to_string_compact();
+        assert_eq!(Json::parse(&text).expect("parses"), j);
+    }
+
+    #[test]
+    fn parse_f64_display_is_exact() {
+        // The journal's replay contract: every f64 the emitter writes
+        // parses back to identical bits (Rust Display is shortest
+        // round-trip), including values with long fractional parts.
+        for v in [
+            0.1 + 0.2,
+            1.0 / 3.0,
+            f64::MAX,
+            f64::MIN_POSITIVE,
+            2.5e-308,
+            98_765_432.123_456_78,
+        ] {
+            let text = Json::Num(v).to_string_compact();
+            let back = Json::parse(&text).expect("parses").as_num().expect("num");
+            assert_eq!(back.to_bits(), v.to_bits(), "{text}");
+        }
+    }
+
+    #[test]
+    fn parse_accepts_whitespace_and_unicode_escapes() {
+        let j =
+            Json::parse(" { \"a\" : [ 1 , \"\\u0041\\u00e9\\ud83d\\ude00\" ] } ").expect("parses");
+        let arr = j.get("a").and_then(Json::as_arr).expect("array");
+        assert_eq!(arr[0].as_num(), Some(1.0));
+        assert_eq!(arr[1].as_str(), Some("Aé😀"));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "\"unterminated",
+            "nul",
+            "[1] trailing",
+            "{\"a\":\"\\ud800\"}",
+            "1.2.3",
+        ] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn json_accessors() {
+        let j = json_object([("x", Json::from(1.0)), ("s", Json::from("v"))]);
+        assert_eq!(j.get("x").and_then(Json::as_num), Some(1.0));
+        assert_eq!(j.get("s").and_then(Json::as_str), Some("v"));
+        assert_eq!(j.get("missing"), None);
+        assert_eq!(Json::Bool(true).as_bool(), Some(true));
+        assert_eq!(Json::Bool(true).as_num(), None);
+        assert_eq!(Json::Null.get("x"), None);
     }
 }

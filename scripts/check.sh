@@ -88,6 +88,38 @@ echo "== coverage regression gate: verify_lint --quick (golden digest, coverage 
 cargo build -q --release -p xc-bench --bin verify_lint
 target/release/verify_lint --quick
 
+echo "== crash-safety smoke: interrupted cluster_study --quick resumes byte-identically =="
+# Reference run, then a journaled run halted mid-grid (exit 3 = resumable),
+# then --resume; the merged output and findings ledger must byte-match the
+# uninterrupted run and the retired journal must be gone (DESIGN.md §4j).
+# Pinned to --jobs 2 so --halt-after 8 always leaves cells for the resume.
+cargo build -q --release -p xc-bench --bin cluster_study
+target/release/cluster_study --quick --jobs 2 >"$tmp/resume-ref.out"
+cp results/cluster.json "$tmp/resume-ref.json"
+rc=0
+target/release/cluster_study --quick --jobs 2 --fresh --halt-after 8 \
+    >"$tmp/resume-halt.out" || rc=$?
+if [ "$rc" -ne 3 ]; then
+    echo "FAIL: halted cluster_study exited $rc (want 3, the resumable status)" >&2
+    exit 1
+fi
+target/release/cluster_study --quick --jobs 2 --resume >"$tmp/resume.out"
+cp results/cluster.json "$tmp/resume.json"
+if ! diff -q "$tmp/resume-ref.out" "$tmp/resume.out" >/dev/null; then
+    echo "FAIL: resumed cluster_study stdout differs from an uninterrupted run" >&2
+    diff "$tmp/resume-ref.out" "$tmp/resume.out" >&2 || true
+    exit 1
+fi
+if ! diff -q "$tmp/resume-ref.json" "$tmp/resume.json" >/dev/null; then
+    echo "FAIL: resumed results/cluster.json differs from an uninterrupted run" >&2
+    exit 1
+fi
+if [ -e results/.journal/cluster_study_quick/cells.jsonl ]; then
+    echo "FAIL: completed resume left its journal behind" >&2
+    exit 1
+fi
+echo "ok: interrupted run resumed to byte-identical output, journal retired"
+
 if [ "$bench" -eq 1 ]; then
     # Snapshot the committed trajectory before the perf section's
     # harness runs rewrite BENCH_runner.json in place.
